@@ -1,0 +1,47 @@
+// Batching ablation (paper III-B/III-D): FC layers cannot reuse weights
+// within a frame, so their 58-123 MB weight streams dominate AlexNet/VGG
+// latency at batch 1. Batching lets the M MACs of an array process M
+// samples per weight load and amortizes every DRAM transfer across the
+// batch. Conv-dominated networks gain almost nothing — their weights are
+// already reused across output positions.
+#include <cstdio>
+
+#include "core/accelerator.hpp"
+#include "core/report.hpp"
+
+using namespace acoustic;
+
+int main() {
+  std::printf("=== Ablation: batch size vs throughput and efficiency "
+              "===\n\n");
+
+  const std::vector<nn::NetworkDesc> nets{
+      nn::alexnet(), nn::vgg16(), nn::resnet18(),
+      nn::cifar10_cnn().conv_only()};
+
+  for (const nn::NetworkDesc& net : nets) {
+    core::Table table({"batch", "Fr/s (per frame)", "Fr/J (per frame)",
+                       "latency/frame [ms]", "DRAM/frame [MB]"});
+    for (int batch : {1, 2, 4, 8, 16, 32}) {
+      perf::ArchConfig arch = perf::lp();
+      arch.batch = batch;
+      const core::Accelerator accel(arch);
+      const core::InferenceCost cost = accel.run(net);
+      table.add_row(
+          {std::to_string(batch),
+           core::format_number(cost.frames_per_s, 4),
+           core::format_number(cost.frames_per_j, 4),
+           core::format_number(cost.latency_s * 1e3, 4),
+           core::format_number(
+               static_cast<double>(cost.perf.dram_bytes) /
+                   (1024.0 * 1024.0 * batch), 4)});
+    }
+    std::printf("%s\n%s\n", net.name.c_str(), table.to_string().c_str());
+  }
+  std::printf("Shape: AlexNet/VGG-16 (large FC layers) gain several-fold "
+              "per-frame\nthroughput up to batch 16 (= M, the MACs per "
+              "array) as FC weight streams\namortize; ResNet-18 gains "
+              "modestly (one small FC); the conv-only\nCIFAR-10 network "
+              "is flat — conv weights were already reused.\n");
+  return 0;
+}

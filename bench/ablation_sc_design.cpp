@@ -1,0 +1,119 @@
+// Ablations of ACOUSTIC's stochastic-computing design choices (the
+// DESIGN.md ablation index):
+//
+//  A. Representation + accumulation: ACOUSTIC's split-unipolar OR datapath
+//     vs the conventional bipolar-MUX datapath of prior SC accelerators,
+//     each with its native training, across stream lengths. This is the
+//     end-to-end version of the paper's II-A/II-B arguments.
+//  B. SNG comparator width: how much RNG resolution the datapath needs.
+//  C. Shared-RNG lane decorrelation: naive LFSR sharing vs the scrambled
+//     + phase-tapped banks (what makes OR accumulation workable at all
+//     with one RNG per bank).
+#include <cstdio>
+
+#include "core/report.hpp"
+#include "sim/bipolar_network.hpp"
+#include "sim/evaluate.hpp"
+#include "train/models.hpp"
+#include "train/trainer.hpp"
+
+using namespace acoustic;
+
+namespace {
+
+float bipolar_accuracy(nn::Network& net, const train::Dataset& data,
+                       std::size_t stream_length) {
+  sim::BipolarConfig cfg;
+  cfg.stream_length = stream_length;
+  sim::BipolarNetwork exec(net, cfg);
+  std::size_t correct = 0;
+  for (const train::Sample& sample : data.samples) {
+    if (static_cast<int>(exec.forward(sample.image).argmax()) ==
+        sample.label) {
+      ++correct;
+    }
+  }
+  return static_cast<float>(correct) / static_cast<float>(data.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablations: SC design choices ===\n\n");
+
+  const train::Dataset tr = train::make_synth_objects(1000, 3, 16);
+  const train::Dataset te = train::make_synth_objects(200, 4, 16);
+
+  std::printf("training both representations' native networks...\n");
+  train::TrainConfig or_cfg;
+  or_cfg.epochs = 8;
+  nn::Network or_net = train::build_cifar_small(nn::AccumMode::kOrApprox, 16);
+  (void)train::fit(or_net, tr, or_cfg);
+
+  train::TrainConfig sum_cfg;
+  sum_cfg.epochs = 16;
+  sum_cfg.learning_rate = 0.01f;
+  sum_cfg.lr_decay = 0.95f;
+  nn::Network sum_net = train::build_cifar_small(nn::AccumMode::kSum, 16);
+  (void)train::fit(sum_net, tr, sum_cfg);
+
+  std::printf("float references: OR-approx net %.1f%%, sum net %.1f%%\n\n",
+              100.0f * train::evaluate(or_net, te),
+              100.0f * train::evaluate(sum_net, te));
+
+  // --- A. representation + accumulation ------------------------------
+  core::Table rep({"stream length", "split-unipolar OR [%]",
+                   "bipolar MUX [%]"});
+  for (std::size_t len : {64u, 128u, 256u, 512u}) {
+    sim::ScConfig sc;
+    sc.stream_length = len;
+    rep.add_row({std::to_string(len),
+                 core::format_number(
+                     100.0 * sim::evaluate_sc(or_net, sc, te), 4),
+                 core::format_number(
+                     100.0 * bipolar_accuracy(sum_net, te, len), 4)});
+  }
+  std::printf("A. representation/accumulation (each with native "
+              "training):\n%s\n", rep.to_string().c_str());
+  std::printf("Shape: the fully-stochastic bipolar-MUX datapath collapses "
+              "at these\nlengths — the MUX multiplies stream noise by the "
+              "accumulation fan-in\n(II-B) and bipolar encoding wastes "
+              "half the resolution (II-A). This is\nprecisely why prior "
+              "SC accelerators abandoned stochastic accumulation\n(early "
+              "binary conversion / parallel counters) and why ACOUSTIC's\n"
+              "split-unipolar OR datapath is the enabling contribution.\n\n");
+
+  // --- B. SNG comparator width ----------------------------------------
+  core::Table width({"SNG width [bits]", "accuracy [%] (256 streams)"});
+  for (unsigned w : {4u, 6u, 8u, 10u, 12u}) {
+    sim::ScConfig sc;
+    sc.stream_length = 256;
+    sc.sng_width = w;
+    width.add_row({std::to_string(w),
+                   core::format_number(
+                       100.0 * sim::evaluate_sc(or_net, sc, te), 4)});
+  }
+  std::printf("B. SNG comparator width:\n%s\n", width.to_string().c_str());
+  std::printf("Shape: ~8 bits suffices (the architecture's choice); "
+              "narrower comparators\nquantize weights/activations too "
+              "coarsely.\n\n");
+
+  // --- C. lane decorrelation ------------------------------------------
+  core::Table corr({"shared-RNG lanes", "accuracy [%] (256 streams)"});
+  for (bool decorrelate : {true, false}) {
+    sim::ScConfig sc;
+    sc.stream_length = 256;
+    sc.decorrelate_lanes = decorrelate;
+    corr.add_row({decorrelate ? "scrambled + phase taps" : "naive sharing",
+                  core::format_number(
+                      100.0 * sim::evaluate_sc(or_net, sc, te), 4)});
+  }
+  std::printf("C. shared-RNG lane decorrelation:\n%s\n",
+              corr.to_string().c_str());
+  std::printf("Shape: naive sharing makes every lane's stream identical "
+              "in time, so AND\nproducts collapse toward min() and OR "
+              "toward max() — accuracy craters.\nThe scrambler+phase "
+              "wiring restores independence at negligible cost\n(III-A "
+              "RNG sharing done right).\n");
+  return 0;
+}

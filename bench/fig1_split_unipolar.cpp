@@ -1,0 +1,70 @@
+// Figure 1 reproduction: circuit-level walkthrough of the split-unipolar
+// two-phase MAC.
+//
+// The paper's example: a 2-wide MAC with activations {0.75, 0.25}, weights
+// {+0.5, -0.5} and stream length 8 per phase. We print the bit-level trace
+// (activation streams, sign-gated weight-magnitude streams, AND products,
+// OR accumulation, up/down counter) for the paper's parameters and then
+// re-run the same MAC at increasing stream lengths to show convergence to
+// the ideal 0.75*0.5 - 0.25*0.5 = 0.25.
+#include <cstdio>
+#include <vector>
+
+#include "core/report.hpp"
+#include "sim/sc_mac.hpp"
+
+using namespace acoustic;
+
+namespace {
+
+void print_stream(const char* label, const sc::BitStream& s) {
+  std::printf("  %-22s %s  (%.3f)\n", label, s.to_string().c_str(),
+              s.value());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 1: split-unipolar MAC, bit-level trace ===\n\n");
+  const std::vector<double> acts{0.75, 0.25};
+  const std::vector<double> wgts{0.5, -0.5};
+
+  sim::ScConfig cfg;
+  cfg.stream_length = 16;  // 8 bits per phase, as drawn in the figure
+  cfg.sng_width = 8;
+  const sim::SplitMacTrace trace = sim::split_unipolar_mac(acts, wgts, cfg);
+
+  std::printf("phase + (positive weights active, counter counts up):\n");
+  print_stream("act0 stream (0.75)", trace.act_pos[0]);
+  print_stream("wgt0 |w|=0.5 stream", trace.weight_mag[0]);
+  print_stream("product0 = a0 & w0", trace.product[0]);
+  print_stream("OR accumulation", trace.or_pos);
+  std::printf("  counter after + phase: %+lld\n\n",
+              static_cast<long long>(trace.count_after_pos));
+
+  std::printf("phase - (negative weights active, counter counts down):\n");
+  print_stream("act1 stream (0.25)", trace.act_neg[1]);
+  print_stream("wgt1 |w|=0.5 stream", trace.weight_mag[1]);
+  print_stream("product1 = a1 & w1", trace.product[1]);
+  print_stream("OR accumulation", trace.or_neg);
+  std::printf("  counter final: %+lld\n",
+              static_cast<long long>(trace.count_final));
+  std::printf("  recovered value: %+.4f (ideal %.4f)\n\n", trace.result,
+              0.75 * 0.5 - 0.25 * 0.5);
+
+  std::printf("convergence with stream length (same MAC):\n");
+  core::Table table({"stream length", "recovered", "|error| vs ideal"});
+  for (std::size_t len : {16u, 32u, 64u, 128u, 256u, 512u, 1024u, 4096u}) {
+    sim::ScConfig c;
+    c.stream_length = len;
+    c.sng_width = 10;
+    const sim::SplitMacTrace t = sim::split_unipolar_mac(acts, wgts, c);
+    table.add_row({std::to_string(len), core::format_number(t.result, 4),
+                   core::format_number(std::abs(t.result - 0.25), 3)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Paper reference: Fig. 1 recovers 0.25 from an 8-bit-per-"
+              "phase example;\nthe counter value divided by the phase "
+              "length estimates the signed dot product.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 4 reproduction: conv-layer latency vs clock frequency for seven
+// external-memory interfaces.
+//
+// Workload (paper IV / Fig. 4 caption): process a convolutional layer with
+// 16x16x512 inputs and 512 3x3x512 kernels while pre-loading 512 3x3x512
+// kernels for the subsequent layer, with temporally-unrolled 256-long
+// split-unipolar streams. Latency becomes memory-bound below ~300 MHz for
+// DDR3-class interfaces; HBM never binds in this range.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "perf/codegen.hpp"
+#include "perf/perf_sim.hpp"
+
+using namespace acoustic;
+
+int main() {
+  std::printf("=== Figure 4: latency vs clock frequency and memory "
+              "interface ===\n\n");
+
+  nn::LayerDesc layer;
+  layer.kind = nn::LayerKind::kConv;
+  layer.label = "conv3x3x512";
+  layer.in_h = 16;
+  layer.in_w = 16;
+  layer.in_c = 512;
+  layer.kernel = 3;
+  layer.padding = 1;
+  layer.out_c = 512;
+
+  const std::uint64_t preload_bytes = layer.weight_count();
+
+  std::vector<std::string> header{"Clock [MHz]"};
+  for (const perf::DramSpec& dram : perf::figure4_interfaces()) {
+    header.push_back(dram.name);
+  }
+  core::Table table(header);
+
+  for (int mhz = 100; mhz <= 1000; mhz += 100) {
+    std::vector<std::string> row{std::to_string(mhz)};
+    for (const perf::DramSpec& dram : perf::figure4_interfaces()) {
+      perf::ArchConfig arch = perf::lp();
+      arch.clock_mhz = mhz;
+      arch.dram = dram;
+      const perf::LayerMapping m = perf::map_layer(layer, arch, true, true);
+      const isa::Program prog = perf::generate_layer_program(
+          layer, arch, m, preload_bytes, /*load_input=*/true,
+          /*store_output=*/true);
+      const perf::PerfResult r = perf::simulate(prog, arch);
+      row.push_back(core::format_number(r.latency_s * 1e3, 4));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\n[latency in ms]\n");
+  std::printf("Paper shape: DDR3 interfaces flatten (memory-bound) as the "
+              "clock rises —\nthe knee sits near 300 MHz for mid-range "
+              "DDR3; HBM stays compute-bound\nacross the whole sweep, so "
+              "its latency keeps falling ~1/f.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Google-benchmark microbenchmarks of the reproduction's hot primitives:
+// stream generation, single-gate arithmetic, the split-unipolar MAC, the
+// bit-level network executor and the performance simulator. These guard
+// the simulator's own throughput (the paper notes SC is "extremely slow to
+// accurately simulate in software" — IV-A — which is why the word-parallel
+// functional simulator exists).
+#include <benchmark/benchmark.h>
+
+#include "nn/model_zoo.hpp"
+#include "perf/codegen.hpp"
+#include "perf/perf_sim.hpp"
+#include "sc/gates.hpp"
+#include "sc/sng.hpp"
+#include "sim/evaluate.hpp"
+#include "sim/sc_mac.hpp"
+#include "train/models.hpp"
+
+using namespace acoustic;
+
+namespace {
+
+void BM_SngGenerate(benchmark::State& state) {
+  sc::Sng sng(8, 1);
+  const auto length = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sng.generate(0.37, length));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(length));
+}
+BENCHMARK(BM_SngGenerate)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_AndMultiply(benchmark::State& state) {
+  sc::Sng sng(16, 3);
+  const auto length = static_cast<std::size_t>(state.range(0));
+  const sc::BitStream a = sng.generate(0.5, length);
+  const sc::BitStream b = sng.generate(0.3, length);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sc::and_multiply(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(length));
+}
+BENCHMARK(BM_AndMultiply)->Arg(1024)->Arg(65536);
+
+void BM_OrAccumulateWide(benchmark::State& state) {
+  sc::Sng sng(16, 5);
+  const int width = static_cast<int>(state.range(0));
+  std::vector<sc::BitStream> streams;
+  for (int i = 0; i < width; ++i) {
+    streams.push_back(sng.generate(0.01, 1024));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sc::or_accumulate(std::span<const sc::BitStream>(streams)));
+  }
+  state.SetItemsProcessed(state.iterations() * width * 1024);
+}
+BENCHMARK(BM_OrAccumulateWide)->Arg(96)->Arg(2304);
+
+void BM_SplitUnipolarMac(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  std::vector<double> acts(static_cast<std::size_t>(width), 0.4);
+  std::vector<double> wgts(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    wgts[static_cast<std::size_t>(i)] = (i % 2 ? 0.2 : -0.2);
+  }
+  sim::ScConfig cfg;
+  cfg.stream_length = 256;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::split_unipolar_mac(acts, wgts, cfg));
+  }
+}
+BENCHMARK(BM_SplitUnipolarMac)->Arg(96);
+
+void BM_ScNetworkForward(benchmark::State& state) {
+  nn::Network net = train::build_lenet_small(nn::AccumMode::kOrApprox, 16);
+  sim::ScConfig cfg;
+  cfg.stream_length = static_cast<std::size_t>(state.range(0));
+  sim::ScNetwork executor(net, cfg);
+  nn::Tensor x(nn::Shape{16, 16, 1});
+  x.fill(0.5f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.forward(x));
+  }
+}
+BENCHMARK(BM_ScNetworkForward)->Arg(64)->Arg(256);
+
+void BM_PerfSimAlexNet(benchmark::State& state) {
+  const nn::NetworkDesc net = nn::alexnet();
+  const perf::ArchConfig arch = perf::lp();
+  const perf::CodegenResult compiled = perf::generate_program(net, arch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perf::simulate(compiled.program, arch));
+  }
+}
+BENCHMARK(BM_PerfSimAlexNet);
+
+void BM_CodegenVgg(benchmark::State& state) {
+  const nn::NetworkDesc net = nn::vgg16();
+  const perf::ArchConfig arch = perf::lp();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perf::generate_program(net, arch));
+  }
+}
+BENCHMARK(BM_CodegenVgg);
+
+}  // namespace

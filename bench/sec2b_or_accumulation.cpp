@@ -1,0 +1,125 @@
+// Section II-B claims:
+//  1. For a 3x3x256 = 2304-wide accumulation, OR has ~8x less absolute
+//     error than MUX-based accumulation (Monte-Carlo).
+//  2. An OR-accumulating MAC is far smaller than parallel-counter (APC,
+//     SC-DCNN [12]) or early-binary-conversion [21] designs: 4.2x and
+//     23.8x respectively at 128-wide.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/report.hpp"
+#include "energy/component_models.hpp"
+#include "sc/apc.hpp"
+#include "sc/gates.hpp"
+#include "sc/rng.hpp"
+#include "sc/sng.hpp"
+
+using namespace acoustic;
+
+namespace {
+
+struct ErrorStats {
+  double or_abs_err = 0.0;
+  double mux_abs_err = 0.0;
+  double apc_abs_err = 0.0;
+};
+
+/// One trial: `width` random product-magnitude values accumulated by OR
+/// and by MUX, each scored on the *recovered dot-product sum* — the value
+/// the network actually consumes. MUX recovers it as n * stream value
+/// (undoing the 1/n scaling); OR recovers it as -ln(1 - stream value)
+/// (inverting the known saturation, which training absorbs, II-D).
+ErrorStats accumulate_trial(int width, std::size_t length,
+                            std::uint32_t seed) {
+  sc::XorShift32 value_rng(seed);
+  std::vector<sc::BitStream> streams;
+  std::vector<double> values;
+  streams.reserve(static_cast<std::size_t>(width));
+  double sum = 0.0;
+  for (int i = 0; i < width; ++i) {
+    // CNN product magnitudes (activation x weight), sum ~ 1 across the
+    // 2304-wide receptive field.
+    const double v = 2.0 * value_rng.next_double() / width;
+    values.push_back(v);
+    sum += v;
+    sc::Sng sng(16, seed * 2654435761u + static_cast<std::uint32_t>(i) + 1);
+    streams.push_back(sng.generate(v, length));
+  }
+
+  const sc::BitStream or_out = sc::or_accumulate(streams);
+  sc::XorShift32 sel(seed ^ 0xABCDu);
+  const sc::BitStream mux_out =
+      sc::mux_accumulate(std::span<const sc::BitStream>(streams), sel);
+
+  ErrorStats stats;
+  const double or_est =
+      -std::log(std::max(1.0 - or_out.value(), 1.0 / (2.0 * length)));
+  const double mux_est = mux_out.value() * static_cast<double>(width);
+  stats.or_abs_err = std::fabs(or_est - sum);
+  stats.mux_abs_err = std::fabs(mux_est - sum);
+  // APC (SC-DCNN style): numerically near-exact, but costs 4.2x MAC area.
+  stats.apc_abs_err =
+      std::fabs(apc_value(std::span<const sc::BitStream>(streams)) - sum);
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Section II-B: OR vs MUX accumulation, MAC area ===\n\n");
+
+  constexpr int kWidth = 2304;  // 3x3x256, as in the paper's analysis
+  constexpr int kTrials = 24;
+  core::Table table({"stream length", "OR mean |sum err|",
+                     "MUX mean |sum err|", "MUX/OR",
+                     "APC (4.2x area) |sum err|"});
+  for (std::size_t length : {128u, 256u, 512u}) {
+    double or_err = 0.0;
+    double mux_err = 0.0;
+    double apc_err = 0.0;
+    for (int t = 0; t < kTrials; ++t) {
+      const ErrorStats s = accumulate_trial(
+          kWidth, length, 0xC0FFEE + static_cast<std::uint32_t>(t));
+      or_err += s.or_abs_err;
+      mux_err += s.mux_abs_err;
+      apc_err += s.apc_abs_err;
+    }
+    or_err /= kTrials;
+    mux_err /= kTrials;
+    apc_err /= kTrials;
+    table.add_row({std::to_string(length), core::format_number(or_err, 3),
+                   core::format_number(mux_err, 3),
+                   core::format_number(mux_err / or_err, 3),
+                   core::format_number(apc_err, 3)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Paper: for 2304-wide accumulation, OR shows ~8x less "
+              "absolute error than MUX.\nThe mechanism: MUX scales the sum "
+              "by 1/2304, so recovering it multiplies\nthe stream noise "
+              "back up by 2304; OR is scale-free, paying only its\n"
+              "(training-absorbed) saturation.\n\n");
+
+  // --- MAC area comparison at 128-wide accumulation ---
+  const auto k = energy::tsmc28();
+  const double or_mac_um2 = 128.0 * k.mac_lane_um2;
+  // APC-based MAC (SC-DCNN style): an AND per input plus a 128:8 parallel
+  // counter (~2 full-adder gate pairs per input) and registers.
+  const double apc_mac_um2 = or_mac_um2 * 4.2;
+  // Early binary conversion (Sim & Lee [21]): per-input counter + adder
+  // tree in binary domain.
+  const double binary_mac_um2 = or_mac_um2 * 23.8;
+  core::Table area({"MAC style (128-wide)", "area [um2]",
+                    "vs OR-based"});
+  area.add_row({"ACOUSTIC OR-based", core::format_number(or_mac_um2, 4),
+                "1.0x"});
+  area.add_row({"APC-based (SC-DCNN [12])",
+                core::format_number(apc_mac_um2, 4), "4.2x"});
+  area.add_row({"binary-convert (Sim&Lee [21])",
+                core::format_number(binary_mac_um2, 4), "23.8x"});
+  std::printf("%s\n", area.to_string().c_str());
+  std::printf("The 4.2x / 23.8x factors are the paper's synthesized "
+              "ratios; the OR-based\nabsolute area comes from this "
+              "repository's 28nm-calibrated lane model.\n");
+  return 0;
+}

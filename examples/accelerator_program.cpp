@@ -1,0 +1,79 @@
+// Accelerator programming: compile a network to the ACOUSTIC ISA, inspect
+// the assembly, and run the performance + energy simulation (the paper's
+// Table III methodology on one workload).
+//
+// Build & run:  ./build/examples/accelerator_program
+#include <cstdio>
+
+#include "core/accelerator.hpp"
+#include "core/report.hpp"
+#include "energy/breakdown.hpp"
+#include "isa/assembler.hpp"
+#include "perf/timeline.hpp"
+
+using namespace acoustic;
+
+int main() {
+  const nn::NetworkDesc net = nn::cifar10_cnn();
+  const core::Accelerator lp(perf::lp());
+
+  // --- 1. compile to the Table I instruction set ----------------------
+  const isa::Program program = lp.compile(net);
+  const std::string assembly = isa::format(program);
+  std::printf("=== %s compiled for %s: %zu instructions ===\n",
+              net.name.c_str(), lp.config().name.c_str(), program.size());
+  // Print the first layer's worth of assembly.
+  std::size_t shown = 0;
+  std::size_t pos = 0;
+  while (shown < 14 && pos < assembly.size()) {
+    const std::size_t nl = assembly.find('\n', pos);
+    std::printf("  %s\n", assembly.substr(pos, nl - pos).c_str());
+    pos = nl + 1;
+    ++shown;
+  }
+  std::printf("  ... (%zu more)\n\n", program.size() - shown);
+
+  // The assembler round-trips, so programs can be stored/edited as text.
+  const isa::Program reparsed = isa::parse(assembly);
+  std::printf("assembler round-trip: %s\n\n",
+              reparsed.size() == program.size() ? "ok" : "MISMATCH");
+
+  // --- 2. performance + energy simulation ----------------------------
+  const core::InferenceCost cost = lp.run(net);
+  std::printf("latency:  %.4f ms  (%.0f frames/s)\n",
+              cost.latency_s * 1e3, cost.frames_per_s);
+  std::printf("energy:   %.4f uJ on-chip (%.0f frames/J), %.4f uJ DRAM\n",
+              cost.on_chip_energy_j * 1e6, cost.frames_per_j,
+              cost.dram_energy_j * 1e6);
+  std::printf("traffic:  %.1f KB DRAM\n\n",
+              static_cast<double>(cost.perf.dram_bytes) / 1024.0);
+
+  core::Table units({"unit", "busy cycles", "instructions", "busy %"});
+  for (int u = 0; u < isa::kUnitCount; ++u) {
+    const auto& stats = cost.perf.units[static_cast<std::size_t>(u)];
+    units.add_row({isa::unit_name(static_cast<isa::Unit>(u)),
+                   std::to_string(stats.busy_cycles),
+                   std::to_string(stats.instructions),
+                   core::format_number(100.0 * stats.busy_cycles /
+                                           cost.perf.total_cycles, 3)});
+  }
+  std::printf("%s\n", units.to_string().c_str());
+
+  // --- 3. execution timeline (the III-C overlap, visualized) ----------
+  const perf::TracedResult traced =
+      perf::simulate_traced(program, lp.config());
+  std::printf("%s\n", perf::render_gantt(traced, 90).c_str());
+
+  // --- 4. per-layer mapping report ------------------------------------
+  core::Table layers({"layer", "passes", "cycles/pass", "utilization",
+                      "weights resident"});
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    const perf::LayerMapping& m = cost.mappings[i];
+    layers.add_row({net.layers[i].label, std::to_string(m.passes),
+                    std::to_string(m.cycles_per_pass),
+                    core::format_number(100.0 * m.utilization, 3) + "%",
+                    m.weights_resident ? "yes" : "no (streamed)"});
+  }
+  std::printf("%s", layers.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Design-space exploration with the decoupled simulators — the workflow
+// the paper built its methodology for (IV-A: "to aid in computationally
+// tractable design space exploration, we opted to decouple functional and
+// performance simulations").
+//
+// Sweeps the fabric scale between the ULP and LP corners and the stream
+// length, reporting the area / power / throughput / efficiency frontier
+// for the CIFAR-10 CNN. Runs in milliseconds because the performance
+// simulator never touches a bitstream.
+//
+// Build & run:  ./build/examples/design_space
+#include <cstdio>
+#include <tuple>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "core/report.hpp"
+
+using namespace acoustic;
+
+namespace {
+
+perf::ArchConfig scaled_fabric(int rows, int arrays, int macs,
+                               std::uint64_t stream) {
+  perf::ArchConfig cfg = perf::lp();
+  cfg.name = "R" + std::to_string(rows) + "/A" + std::to_string(arrays) +
+             "/M" + std::to_string(macs) + "/s" + std::to_string(stream);
+  cfg.rows = rows;
+  cfg.arrays = arrays;
+  cfg.macs_per_array = macs;
+  cfg.stream_length = stream;
+  // Memories scale with the fabric's appetite (coarse sizing rule).
+  const double scale = static_cast<double>(cfg.total_mac_lanes()) /
+                       static_cast<double>(perf::lp().total_mac_lanes());
+  cfg.wgt_mem_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(perf::lp().wgt_mem_bytes) * scale) + 4096;
+  cfg.act_mem_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(perf::lp().act_mem_bytes) * scale) + 4096;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const nn::NetworkDesc net = nn::cifar10_cnn();
+  std::printf("=== Design-space exploration: %s on scaled ACOUSTIC "
+              "fabrics ===\n\n", net.name.c_str());
+
+  core::Table table({"configuration", "lanes", "area [mm2]", "power [W]",
+                     "Fr/s", "Fr/J"});
+  using Fabric = std::tuple<int, int, int>;
+  const std::vector<Fabric> fabrics{
+      Fabric(8, 2, 2),  Fabric(8, 4, 4),   Fabric(16, 4, 8),
+      Fabric(16, 8, 8), Fabric(32, 8, 16), Fabric(64, 8, 16)};
+  for (const auto& [rows, arrays, macs] : fabrics) {
+    for (std::uint64_t stream : {128u, 256u, 512u}) {
+      const perf::ArchConfig cfg = scaled_fabric(rows, arrays, macs, stream);
+      const core::Accelerator accel(cfg);
+      const core::InferenceCost cost = accel.run(net);
+      const auto power = energy::peak_power_w(cfg);
+      double peak = 0.0;
+      for (double p : power) {
+        peak += p;
+      }
+      table.add_row({cfg.name,
+                     std::to_string(cfg.total_mac_lanes()),
+                     core::format_number(energy::total_area_mm2(cfg), 3),
+                     core::format_number(peak, 3),
+                     core::format_number(cost.frames_per_s, 4),
+                     core::format_number(cost.frames_per_j, 4)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading the frontier:\n"
+      " * throughput scales near-linearly with fabric lanes until the\n"
+      "   workload's parallelism is exhausted (small nets saturate early);\n"
+      " * halving the stream length doubles throughput and roughly halves\n"
+      "   energy, at the accuracy cost Table II quantifies — the\n"
+      "   latency/accuracy knob is software-visible;\n"
+      " * efficiency (Fr/J) is nearly scale-invariant: the datapath energy\n"
+      "   per product bit dominates, which is why the same constants serve\n"
+      "   the 0.18 mm^2 ULP and the 12 mm^2 LP corner (III-D).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: the ACOUSTIC stochastic-computing primitives in ~60 lines.
+//
+// Shows the library's core ideas end to end:
+//   1. encode numbers as stochastic bitstreams (SNG + LFSR),
+//   2. multiply with an AND gate, accumulate with an OR gate,
+//   3. run a signed dot product on the split-unipolar two-phase MAC,
+//   4. convert back to binary with an up/down counter (+ ReLU).
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "sc/counter.hpp"
+#include "sc/gates.hpp"
+#include "sc/representation.hpp"
+#include "sc/sng.hpp"
+#include "sim/sc_mac.hpp"
+
+using namespace acoustic;
+
+int main() {
+  // --- 1. stochastic number generation -------------------------------
+  // An SNG compares a binary value against a pseudo-random (LFSR)
+  // sequence; the fraction of 1s in the output stream encodes the value.
+  sc::Sng sng(/*width=*/8, /*seed=*/0xACE1);
+  const sc::BitStream a = sng.generate(0.5, 1024);
+  const sc::BitStream b = sng.generate(0.3, 1024);
+  std::printf("encode:   a=0.5 -> stream value %.3f\n", a.value());
+  std::printf("          b=0.3 -> stream value %.3f\n", b.value());
+
+  // --- 2. single-gate arithmetic -------------------------------------
+  const sc::BitStream product = sc::and_multiply(a, b);
+  std::printf("AND:      a*b = %.3f (ideal 0.150)\n", product.value());
+
+  const sc::BitStream accum = sc::or_accumulate(a, b);
+  std::printf("OR:       a+b-ab = %.3f (ideal 0.650, scale-free)\n",
+              accum.value());
+
+  // --- 3. split-unipolar signed MAC (paper Fig. 1) --------------------
+  // Signed weights split into positive/negative unipolar components,
+  // processed in two phases; the counter counts up then down.
+  const std::vector<double> acts{0.75, 0.25, 0.5};
+  const std::vector<double> wgts{0.5, -0.5, 0.25};
+  sim::ScConfig cfg;
+  cfg.stream_length = 2048;  // 1024 per phase
+  const sim::SplitMacTrace mac = sim::split_unipolar_mac(acts, wgts, cfg);
+  std::printf("MAC:      dot(acts, wgts) = %.3f (OR-ideal %.3f)\n",
+              mac.result, mac.expected);
+
+  // --- 4. stochastic-to-binary conversion + ReLU ---------------------
+  sc::UpDownCounter counter;
+  counter.count(mac.or_pos, /*up=*/true);
+  counter.count(mac.or_neg, /*up=*/false);
+  std::printf("counter:  raw %+lld, after ReLU %lld\n",
+              static_cast<long long>(counter.value()),
+              static_cast<long long>(counter.relu()));
+
+  std::printf("\nNext steps: examples/lenet_pipeline.cpp (train + bit-level"
+              " inference),\nexamples/accelerator_program.cpp (ISA + "
+              "performance simulation).\n");
+  return 0;
+}

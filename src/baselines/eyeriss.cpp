@@ -1,0 +1,45 @@
+#include "baselines/eyeriss.hpp"
+
+namespace acoustic::baselines {
+
+EyerissConfig eyeriss_base() {
+  EyerissConfig cfg;
+  cfg.name = "Eyeriss Base";
+  cfg.pes = 168;
+  cfg.clock_mhz = 200.0;
+  cfg.area_mm2 = 3.7;
+  cfg.power_w = 0.12;
+  cfg.utilization = 0.90;
+  cfg.energy_per_mac_j = 4.5e-12;
+  return cfg;
+}
+
+EyerissConfig eyeriss_1k() {
+  EyerissConfig cfg;
+  cfg.name = "Eyeriss 1k PEs";
+  cfg.pes = 1024;
+  cfg.clock_mhz = 200.0;
+  cfg.area_mm2 = 15.2;
+  cfg.power_w = 0.45;
+  // Larger array: more mapping fragmentation (calibrated on Table III).
+  cfg.utilization = 0.73;
+  cfg.energy_per_mac_j = 3.6e-12;
+  return cfg;
+}
+
+Performance eyeriss_run(const EyerissConfig& cfg,
+                        const nn::NetworkDesc& net) {
+  Performance perf;
+  const double macs = static_cast<double>(net.total_macs());
+  if (macs <= 0.0) {
+    perf.available = false;
+    return perf;
+  }
+  const double mac_rate =
+      static_cast<double>(cfg.pes) * cfg.clock_mhz * 1e6 * cfg.utilization;
+  perf.frames_per_s = mac_rate / macs;
+  perf.frames_per_j = 1.0 / (macs * cfg.energy_per_mac_j);
+  return perf;
+}
+
+}  // namespace acoustic::baselines

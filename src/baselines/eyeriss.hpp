@@ -1,0 +1,47 @@
+// Eyeriss-style fixed-point spatial accelerator model (Table III baseline).
+//
+// The paper models Eyeriss with the TETRIS simulator [34] at two scales
+// (168 and 1024 PEs), 28 nm, 8-bit. This analytical stand-in prices a
+// network by MAC throughput (PEs x clock x mapping utilization) and a
+// per-MAC system energy (MAC + local/global buffer traffic amortized, the
+// quantity TETRIS reports); both constants are calibrated against the
+// published Table III rows and then applied uniformly to every workload.
+#pragma once
+
+#include <string>
+
+#include "nn/model_zoo.hpp"
+
+namespace acoustic::baselines {
+
+/// Throughput/efficiency of one accelerator on one workload.
+struct Performance {
+  double frames_per_s = 0.0;
+  double frames_per_j = 0.0;
+  bool available = true;  ///< false reproduces the paper's "N/A" cells
+};
+
+struct EyerissConfig {
+  std::string name;
+  int pes = 168;
+  double clock_mhz = 200.0;
+  double area_mm2 = 3.7;
+  double power_w = 0.12;
+  /// Row-stationary mapping efficiency (fraction of peak MAC throughput);
+  /// larger arrays map less efficiently (more fragmentation).
+  double utilization = 0.90;
+  /// System energy per 8-bit MAC including the memory hierarchy (TETRIS).
+  double energy_per_mac_j = 4.5e-12;
+};
+
+/// Original Eyeriss, scaled to 28 nm / 8-bit (Table III "Base").
+[[nodiscard]] EyerissConfig eyeriss_base();
+
+/// Scaled-up 1024-PE variant (Table III "1k PEs").
+[[nodiscard]] EyerissConfig eyeriss_1k();
+
+/// Whole-network throughput and efficiency.
+[[nodiscard]] Performance eyeriss_run(const EyerissConfig& cfg,
+                                      const nn::NetworkDesc& net);
+
+}  // namespace acoustic::baselines

@@ -1,0 +1,18 @@
+#include "baselines/scope.hpp"
+
+namespace acoustic::baselines {
+
+ScopeConfig scope_config() { return ScopeConfig{}; }
+
+Performance scope_run(const nn::NetworkDesc& net) {
+  // Published 28 nm-scaled points (paper Table III).
+  if (net.name == "AlexNet") {
+    return Performance{5771.7, 136.2, true};
+  }
+  if (net.name == "VGG-16") {
+    return Performance{755.9, 9.1, true};
+  }
+  return Performance{0.0, 0.0, false};
+}
+
+}  // namespace acoustic::baselines

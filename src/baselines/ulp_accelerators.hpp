@@ -1,0 +1,34 @@
+// Table IV baselines: MDL-CNN [32] (all-digital time-domain CNN engine)
+// and Conv-RAM [36] (analog in-SRAM convolution engine).
+//
+// Both are silicon publications; like the ACOUSTIC authors we scale the
+// published 28 nm-equivalent operating points. The published point is the
+// conv layers of LeNet-5; other conv-only workloads extrapolate by conv
+// MAC count. Conv-RAM reports nothing for the CIFAR-10 CNN (N/A cell).
+#pragma once
+
+#include <string>
+
+#include "baselines/eyeriss.hpp"  // Performance
+#include "nn/model_zoo.hpp"
+
+namespace acoustic::baselines {
+
+struct UlpSpec {
+  std::string name;
+  std::string domain;      ///< "Analog" / "Time" / "SC"
+  std::string precision;   ///< activations/weights
+  double area_mm2 = 0.0;
+  double power_mw = 0.0;
+  double clock_mhz = 0.0;
+};
+
+[[nodiscard]] UlpSpec mdl_cnn_spec();
+[[nodiscard]] UlpSpec conv_ram_spec();
+
+/// Conv-layers-only performance (Table IV). @p net should be the conv_only()
+/// projection of a workload.
+[[nodiscard]] Performance mdl_cnn_run(const nn::NetworkDesc& net);
+[[nodiscard]] Performance conv_ram_run(const nn::NetworkDesc& net);
+
+}  // namespace acoustic::baselines

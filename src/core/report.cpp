@@ -1,0 +1,59 @@
+#include "core/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace acoustic::core {
+
+Table::Table(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != rows_.front().size()) {
+    throw std::invalid_argument("Table: column-count mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(rows_.front().size(), 0);
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      const std::string& cell = rows_[r][c];
+      out += cell;
+      if (c + 1 < rows_[r].size()) {
+        out.append(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    out += '\n';
+    if (r == 0) {
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        out.append(widths[c], '-');
+        if (c + 1 < widths.size()) {
+          out += "  ";
+        }
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string format_number(double value, int digits) {
+  if (std::isnan(value)) {
+    return "N/A";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+  return buf;
+}
+
+}  // namespace acoustic::core

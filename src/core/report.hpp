@@ -1,0 +1,26 @@
+// Text-table formatting for the benchmark harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace acoustic::core {
+
+/// A simple column-aligned text table (first row = header).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header rule.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats @p value with @p digits significant digits ("N/A" for NaN).
+[[nodiscard]] std::string format_number(double value, int digits = 4);
+
+}  // namespace acoustic::core

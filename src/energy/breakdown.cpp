@@ -1,0 +1,44 @@
+#include "energy/breakdown.hpp"
+
+#include <cstdio>
+
+namespace acoustic::energy {
+
+namespace {
+Breakdown normalize(std::array<double, kComponentCount> values,
+                    std::string title) {
+  Breakdown b;
+  b.title = std::move(title);
+  for (double v : values) {
+    b.total += v;
+  }
+  for (int c = 0; c < kComponentCount; ++c) {
+    b.share[c] = b.total > 0.0 ? values[c] / b.total : 0.0;
+  }
+  return b;
+}
+}  // namespace
+
+Breakdown area_breakdown(const perf::ArchConfig& arch) {
+  return normalize(component_areas_mm2(arch), arch.name + " area");
+}
+
+Breakdown power_breakdown(const perf::ArchConfig& arch) {
+  return normalize(peak_power_w(arch), arch.name + " power");
+}
+
+std::string format_breakdown(const Breakdown& b) {
+  std::string out = b.title + "\n";
+  char line[128];
+  for (int c = 0; c < kComponentCount; ++c) {
+    std::snprintf(line, sizeof(line), "  %-12s %6.1f%%\n",
+                  component_name(static_cast<Component>(c)).c_str(),
+                  100.0 * b.share[c]);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "  %-12s %.4g\n", "total", b.total);
+  out += line;
+  return out;
+}
+
+}  // namespace acoustic::energy

@@ -1,0 +1,27 @@
+// Fig. 5 breakdown tables: area and power shares per component.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "energy/component_models.hpp"
+#include "energy/energy_model.hpp"
+
+namespace acoustic::energy {
+
+struct Breakdown {
+  std::string title;
+  std::array<double, kComponentCount> share{};  ///< fractions, sum ~ 1
+  double total = 0.0;                           ///< mm^2 or W
+};
+
+/// Area shares (Fig. 5 a/b).
+[[nodiscard]] Breakdown area_breakdown(const perf::ArchConfig& arch);
+
+/// Peak-power shares (Fig. 5 c/d).
+[[nodiscard]] Breakdown power_breakdown(const perf::ArchConfig& arch);
+
+/// Formats a breakdown as an aligned text table.
+[[nodiscard]] std::string format_breakdown(const Breakdown& b);
+
+}  // namespace acoustic::energy

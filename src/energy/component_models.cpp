@@ -1,0 +1,81 @@
+#include "energy/component_models.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "energy/sram.hpp"
+
+namespace acoustic::energy {
+
+std::string component_name(Component c) {
+  switch (c) {
+    case Component::kInstMem:    return "Inst Mem";
+    case Component::kActMem:     return "Act Mem";
+    case Component::kWgtMem:     return "Wgt Mem";
+    case Component::kActBuf:     return "Act Buf";
+    case Component::kActSng:     return "Act SNG";
+    case Component::kWgtBuf:     return "Wgt Buf";
+    case Component::kWgtSng:     return "Wgt SNG";
+    case Component::kActCounter: return "Act Counter";
+    case Component::kMacArray:   return "MAC Array";
+  }
+  throw std::logic_error("component_name: bad component");
+}
+
+ComponentConstants tsmc28() { return ComponentConstants{}; }
+
+ComponentCounts component_counts(const perf::ArchConfig& arch) {
+  ComponentCounts n;
+  n.mac_lanes = arch.total_mac_lanes();
+  // One activation SNG per (output position x kernel column x channel)
+  // lane of a sub-row bank; one weight SNG per (kernel x kernel slot x
+  // channel); one counter per (position x kernel).
+  const auto positions = static_cast<std::uint64_t>(arch.positions_per_pass());
+  const auto cpm = static_cast<std::uint64_t>(arch.sng_channels());
+  n.act_sngs = positions * cpm * 3;
+  n.wgt_sngs = static_cast<std::uint64_t>(arch.rows) * 9 * cpm;
+  n.counters = positions * static_cast<std::uint64_t>(arch.rows);
+  // Weight buffers stage one byte per product lane (double-buffered SNG
+  // inputs) — this is why they dominate LP area despite low power (IV-C).
+  n.wgt_buf_bytes = n.mac_lanes;
+  // Activation staging is shared across the R rows.
+  n.act_buf_bytes = n.mac_lanes / std::max(1, arch.rows);
+  return n;
+}
+
+std::array<double, kComponentCount> component_areas_mm2(
+    const perf::ArchConfig& arch, const ComponentConstants& k) {
+  const ComponentCounts n = component_counts(arch);
+  std::array<double, kComponentCount> a{};
+  a[static_cast<int>(Component::kInstMem)] =
+      SramModel::area_mm2(arch.inst_mem_bytes) * 2.0;  // + dispatcher logic
+  a[static_cast<int>(Component::kActMem)] =
+      SramModel::area_mm2(arch.act_mem_bytes);
+  a[static_cast<int>(Component::kWgtMem)] =
+      SramModel::area_mm2(arch.wgt_mem_bytes) * 2.0;   // banked per column
+  a[static_cast<int>(Component::kActBuf)] =
+      static_cast<double>(n.act_buf_bytes) * k.act_buf_um2_per_byte * 1e-6;
+  a[static_cast<int>(Component::kActSng)] =
+      static_cast<double>(n.act_sngs) * k.act_sng_um2 * 1e-6;
+  a[static_cast<int>(Component::kWgtBuf)] =
+      static_cast<double>(n.wgt_buf_bytes) * k.wgt_buf_um2_per_byte * 1e-6;
+  a[static_cast<int>(Component::kWgtSng)] =
+      static_cast<double>(n.wgt_sngs) * k.wgt_sng_um2 * 1e-6;
+  a[static_cast<int>(Component::kActCounter)] =
+      static_cast<double>(n.counters) * k.counter_um2 * 1e-6;
+  a[static_cast<int>(Component::kMacArray)] =
+      static_cast<double>(n.mac_lanes) * k.mac_lane_um2 * 1e-6;
+  return a;
+}
+
+double total_area_mm2(const perf::ArchConfig& arch,
+                      const ComponentConstants& k) {
+  const auto areas = component_areas_mm2(arch, k);
+  double total = 0.0;
+  for (double a : areas) {
+    total += a;
+  }
+  return total;
+}
+
+}  // namespace acoustic::energy

@@ -1,0 +1,93 @@
+#include "energy/energy_model.hpp"
+
+#include "energy/sram.hpp"
+
+namespace acoustic::energy {
+
+namespace {
+constexpr int idx(Component c) { return static_cast<int>(c); }
+}  // namespace
+
+EnergyReport layer_energy(const perf::LayerMapping& m,
+                          const perf::ArchConfig& arch,
+                          const ComponentConstants& k) {
+  EnergyReport r;
+  r.dynamic_j[idx(Component::kMacArray)] =
+      static_cast<double>(m.product_bits) * k.mac_product_bit_j;
+  r.dynamic_j[idx(Component::kActSng)] =
+      static_cast<double>(m.act_stream_bits) * k.act_sng_bit_j;
+  r.dynamic_j[idx(Component::kWgtSng)] =
+      static_cast<double>(m.wgt_stream_bits) * k.wgt_sng_bit_j;
+  r.dynamic_j[idx(Component::kActCounter)] =
+      static_cast<double>(m.counter_bits) * k.counter_bit_j;
+
+  const double act_mem_ej = SramModel::access_energy_j(arch.act_mem_bytes);
+  const double wgt_mem_ej = SramModel::access_energy_j(arch.wgt_mem_bytes);
+  const std::uint64_t wgt_sram_bytes =
+      m.wgt_rng_cycles_per_pass *
+      static_cast<std::uint64_t>(arch.sng_load_lanes) * m.passes;
+  r.dynamic_j[idx(Component::kActMem)] =
+      static_cast<double>(m.act_sram_bytes + m.cnt_store_bytes) * act_mem_ej;
+  r.dynamic_j[idx(Component::kWgtMem)] =
+      static_cast<double>(wgt_sram_bytes + m.wgt_dram_bytes) * wgt_mem_ej;
+  r.dynamic_j[idx(Component::kActBuf)] =
+      static_cast<double>(m.act_sram_bytes) * k.act_buf_byte_j;
+  r.dynamic_j[idx(Component::kWgtBuf)] =
+      static_cast<double>(wgt_sram_bytes) * k.wgt_buf_byte_j;
+  // ~4 dispatched instructions per pass (ACTRNG, WGTRNG, MAC, loop END).
+  r.dynamic_j[idx(Component::kInstMem)] =
+      static_cast<double>(m.passes) * 4.0 * k.dispatch_j;
+
+  if (arch.has_dram) {
+    r.dram_j = arch.dram.transfer_energy_j(m.wgt_dram_bytes +
+                                           m.act_dram_bytes);
+  }
+  return r;
+}
+
+EnergyReport network_energy(const std::vector<perf::LayerMapping>& mappings,
+                            const perf::ArchConfig& arch, double latency_s,
+                            const ComponentConstants& k) {
+  EnergyReport total;
+  for (const perf::LayerMapping& m : mappings) {
+    const EnergyReport layer = layer_energy(m, arch, k);
+    for (int c = 0; c < kComponentCount; ++c) {
+      total.dynamic_j[c] += layer.dynamic_j[c];
+    }
+    total.dram_j += layer.dram_j;
+  }
+  total.leakage_j = k.leakage_w_per_mm2 * total_area_mm2(arch, k) * latency_s;
+  return total;
+}
+
+std::array<double, kComponentCount> peak_power_w(
+    const perf::ArchConfig& arch, const ComponentConstants& k) {
+  const ComponentCounts n = component_counts(arch);
+  const double f = arch.clock_hz();
+  std::array<double, kComponentCount> p{};
+  p[idx(Component::kMacArray)] =
+      static_cast<double>(n.mac_lanes) * k.mac_product_bit_j * f;
+  p[idx(Component::kActSng)] =
+      static_cast<double>(n.act_sngs) * k.act_sng_bit_j * f;
+  p[idx(Component::kWgtSng)] =
+      static_cast<double>(n.wgt_sngs) * k.wgt_sng_bit_j * f;
+  p[idx(Component::kActCounter)] =
+      static_cast<double>(n.counters) * k.counter_bit_j * f;
+  // Memory/buffer peak: the load ports run every cycle.
+  const double act_port_bytes_per_s =
+      static_cast<double>(arch.sng_load_lanes) * f;
+  p[idx(Component::kActMem)] =
+      act_port_bytes_per_s * SramModel::access_energy_j(arch.act_mem_bytes);
+  // Weight memory is read once per pass slice — far less often than the
+  // activation path (this is the "low relative power" note of IV-C).
+  p[idx(Component::kWgtMem)] =
+      0.25 * act_port_bytes_per_s *
+      SramModel::access_energy_j(arch.wgt_mem_bytes);
+  p[idx(Component::kActBuf)] = act_port_bytes_per_s * k.act_buf_byte_j;
+  p[idx(Component::kWgtBuf)] =
+      0.25 * act_port_bytes_per_s * k.wgt_buf_byte_j;
+  p[idx(Component::kInstMem)] = k.dispatch_j * f / 64.0;  // ~1 instr / 64 cyc
+  return p;
+}
+
+}  // namespace acoustic::energy

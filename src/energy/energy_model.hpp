@@ -1,0 +1,58 @@
+// Energy rollup: per-layer activity counts -> joules per inference.
+//
+// Mirrors the paper's methodology: the performance simulator produces
+// activity (cycles, passes, stream bits, memory traffic) and the energy
+// model prices it with the per-component constants. On-chip and DRAM
+// energies are reported separately; the Fr/J columns of Tables III/IV use
+// the accelerator (on-chip) energy, matching how the paper's
+// mobile-envelope numbers are self-consistent (see EXPERIMENTS.md).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "energy/component_models.hpp"
+#include "nn/model_zoo.hpp"
+#include "perf/arch_config.hpp"
+#include "perf/mapping.hpp"
+
+namespace acoustic::energy {
+
+struct EnergyReport {
+  /// Dynamic energy per Fig. 5 component (joules).
+  std::array<double, kComponentCount> dynamic_j{};
+  double leakage_j = 0.0;
+  double dram_j = 0.0;
+
+  /// On-chip energy: dynamic + leakage (excludes DRAM).
+  [[nodiscard]] double on_chip_j() const noexcept {
+    double total = leakage_j;
+    for (double e : dynamic_j) {
+      total += e;
+    }
+    return total;
+  }
+
+  [[nodiscard]] double total_j() const noexcept { return on_chip_j() + dram_j; }
+};
+
+/// Prices one layer's mapped activity. @p latency_s is the layer's wall
+/// time (for leakage); pass the whole-network latency once instead when
+/// aggregating (see network_energy).
+[[nodiscard]] EnergyReport layer_energy(const perf::LayerMapping& mapping,
+                                        const perf::ArchConfig& arch,
+                                        const ComponentConstants& k = tsmc28());
+
+/// Prices a whole network: sum of layer dynamic energies + leakage over
+/// @p latency_s + DRAM transfer energy.
+[[nodiscard]] EnergyReport network_energy(
+    const std::vector<perf::LayerMapping>& mappings,
+    const perf::ArchConfig& arch, double latency_s,
+    const ComponentConstants& k = tsmc28());
+
+/// Peak (full-activity) power per component at the configured clock, used
+/// for the Fig. 5(c,d) power breakdowns and the Table III/IV power rows.
+[[nodiscard]] std::array<double, kComponentCount> peak_power_w(
+    const perf::ArchConfig& arch, const ComponentConstants& k = tsmc28());
+
+}  // namespace acoustic::energy

@@ -1,0 +1,38 @@
+#include "energy/sram.hpp"
+
+#include <cmath>
+
+namespace acoustic::energy {
+
+namespace {
+// 28 nm compiled SRAM anchors: a 64 KB macro reads at ~1 pJ/byte, occupies
+// ~4 um^2/byte including periphery, and leaks ~15 uW; energy scales with
+// sqrt(capacity) (bit/word-line length), area ~linearly + fixed periphery.
+constexpr double kAnchorBytes = 64.0 * 1024.0;
+constexpr double kAnchorEnergyJPerByte = 1.0e-12;
+constexpr double kAreaUm2PerByte = 4.0;
+constexpr double kPeripheryMm2 = 0.002;
+constexpr double kLeakWPerByte = 2.3e-10;
+}  // namespace
+
+double SramModel::access_energy_j(std::uint64_t capacity_bytes) {
+  if (capacity_bytes == 0) {
+    return 0.0;
+  }
+  return kAnchorEnergyJPerByte *
+         std::sqrt(static_cast<double>(capacity_bytes) / kAnchorBytes);
+}
+
+double SramModel::area_mm2(std::uint64_t capacity_bytes) {
+  if (capacity_bytes == 0) {
+    return 0.0;
+  }
+  return kPeripheryMm2 +
+         static_cast<double>(capacity_bytes) * kAreaUm2PerByte * 1e-6;
+}
+
+double SramModel::leakage_w(std::uint64_t capacity_bytes) {
+  return static_cast<double>(capacity_bytes) * kLeakWPerByte;
+}
+
+}  // namespace acoustic::energy

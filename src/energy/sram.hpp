@@ -1,0 +1,25 @@
+// Analytical SRAM model (CACTI-6.5 stand-in, see DESIGN.md section 3).
+//
+// The paper modelled on-chip memories with CACTI 6.5. This replacement
+// captures the two CACTI behaviours the evaluation depends on: access
+// energy grows ~ sqrt(capacity) (longer word/bit lines), and area grows
+// linearly with capacity plus a fixed periphery cost. Constants are
+// calibrated to typical 28 nm compiled-SRAM figures.
+#pragma once
+
+#include <cstdint>
+
+namespace acoustic::energy {
+
+struct SramModel {
+  /// Dynamic energy per byte accessed, joules.
+  [[nodiscard]] static double access_energy_j(std::uint64_t capacity_bytes);
+
+  /// Macro area in mm^2.
+  [[nodiscard]] static double area_mm2(std::uint64_t capacity_bytes);
+
+  /// Leakage power in watts.
+  [[nodiscard]] static double leakage_w(std::uint64_t capacity_bytes);
+};
+
+}  // namespace acoustic::energy

@@ -1,0 +1,191 @@
+#include "isa/assembler.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+namespace acoustic::isa {
+
+namespace {
+
+LoopKind loop_from_suffix(char c, std::size_t line_no) {
+  switch (c) {
+    case 'K': return LoopKind::kKernel;
+    case 'B': return LoopKind::kBatch;
+    case 'R': return LoopKind::kRow;
+    case 'P': return LoopKind::kPool;
+    default:
+      throw std::invalid_argument("asm line " + std::to_string(line_no) +
+                                  ": unknown loop kind");
+  }
+}
+
+std::uint64_t parse_value(std::string_view text, std::size_t line_no) {
+  std::uint64_t value = 0;
+  int base = 10;
+  if (text.starts_with("0x") || text.starts_with("0X")) {
+    text.remove_prefix(2);
+    base = 16;
+  }
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value, base);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw std::invalid_argument("asm line " + std::to_string(line_no) +
+                                ": bad numeric value");
+  }
+  return value;
+}
+
+/// Splits "key=value" and applies it to the instruction.
+void apply_field(Instruction& instr, std::string_view field,
+                 std::size_t line_no) {
+  const std::size_t eq = field.find('=');
+  if (eq == std::string_view::npos) {
+    throw std::invalid_argument("asm line " + std::to_string(line_no) +
+                                ": expected key=value, got '" +
+                                std::string(field) + "'");
+  }
+  const std::string_view key = field.substr(0, eq);
+  const std::uint64_t value = parse_value(field.substr(eq + 1), line_no);
+  if (key == "bytes") {
+    instr.bytes = value;
+  } else if (key == "cycles") {
+    instr.cycles = value;
+  } else if (key == "count") {
+    instr.count = static_cast<std::uint32_t>(value);
+  } else if (key == "mask") {
+    instr.mask = static_cast<std::uint8_t>(value);
+  } else {
+    throw std::invalid_argument("asm line " + std::to_string(line_no) +
+                                ": unknown field '" + std::string(key) + "'");
+  }
+}
+
+}  // namespace
+
+std::string format(const Program& program) {
+  std::ostringstream out;
+  int depth = 0;
+  for (const Instruction& i : program.instructions()) {
+    if (i.op == Opcode::kEnd && depth > 0) {
+      --depth;
+    }
+    for (int d = 0; d < depth; ++d) {
+      out << "  ";
+    }
+    switch (i.op) {
+      case Opcode::kFor:
+        out << "FOR" << loop_suffix(i.loop) << " count=" << i.count;
+        ++depth;
+        break;
+      case Opcode::kEnd:
+        out << "END" << loop_suffix(i.loop);
+        break;
+      case Opcode::kBarr: {
+        out << "BARR mask=0x" << std::hex << static_cast<int>(i.mask)
+            << std::dec;
+        break;
+      }
+      case Opcode::kMac:
+      case Opcode::kWgtShift:
+        out << mnemonic(i.op) << " cycles=" << i.cycles;
+        break;
+      default:
+        out << mnemonic(i.op) << " bytes=" << i.bytes;
+        break;
+    }
+    if (!i.note.empty()) {
+      out << " ; " << i.note;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Program parse(std::string_view text) {
+  Program program;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+
+    std::string note;
+    const std::size_t comment = line.find_first_of(";#");
+    if (comment != std::string_view::npos) {
+      std::string_view raw = line.substr(comment + 1);
+      while (!raw.empty() && raw.front() == ' ') {
+        raw.remove_prefix(1);
+      }
+      while (!raw.empty() && (raw.back() == ' ' || raw.back() == '\r')) {
+        raw.remove_suffix(1);
+      }
+      note = std::string(raw);
+      line = line.substr(0, comment);
+    }
+    // Tokenize on whitespace.
+    std::vector<std::string_view> tokens;
+    std::size_t i = 0;
+    while (i < line.size()) {
+      while (i < line.size() &&
+             (line[i] == ' ' || line[i] == '\t' || line[i] == '\r')) {
+        ++i;
+      }
+      const std::size_t start = i;
+      while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+             line[i] != '\r') {
+        ++i;
+      }
+      if (i > start) {
+        tokens.push_back(line.substr(start, i - start));
+      }
+    }
+    if (tokens.empty()) {
+      continue;
+    }
+    const std::string_view mn = tokens.front();
+    Instruction instr;
+    instr.note = std::move(note);
+    if (mn.size() == 4 && mn.starts_with("FOR")) {
+      instr.op = Opcode::kFor;
+      instr.loop = loop_from_suffix(mn[3], line_no);
+    } else if (mn.size() == 4 && mn.starts_with("END")) {
+      instr.op = Opcode::kEnd;
+      instr.loop = loop_from_suffix(mn[3], line_no);
+    } else if (mn == "BARR") {
+      instr.op = Opcode::kBarr;
+    } else if (mn == "ACTLD") {
+      instr.op = Opcode::kActLd;
+    } else if (mn == "ACTST") {
+      instr.op = Opcode::kActSt;
+    } else if (mn == "WGTLD") {
+      instr.op = Opcode::kWgtLd;
+    } else if (mn == "MAC") {
+      instr.op = Opcode::kMac;
+    } else if (mn == "ACTRNG") {
+      instr.op = Opcode::kActRng;
+    } else if (mn == "WGTRNG") {
+      instr.op = Opcode::kWgtRng;
+    } else if (mn == "WGTSHIFT") {
+      instr.op = Opcode::kWgtShift;
+    } else if (mn == "CNTLD") {
+      instr.op = Opcode::kCntLd;
+    } else if (mn == "CNTST") {
+      instr.op = Opcode::kCntSt;
+    } else {
+      throw std::invalid_argument("asm line " + std::to_string(line_no) +
+                                  ": unknown mnemonic '" + std::string(mn) +
+                                  "'");
+    }
+    for (std::size_t t = 1; t < tokens.size(); ++t) {
+      apply_field(instr, tokens[t], line_no);
+    }
+    program.push(std::move(instr));
+  }
+  return program;
+}
+
+}  // namespace acoustic::isa

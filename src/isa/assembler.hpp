@@ -1,0 +1,27 @@
+// Text form of ACOUSTIC programs.
+//
+// One instruction per line:
+//   WGTLD bytes=2359296            ; conv2 weights
+//   FORK count=16                  ; kernel loop
+//   MAC cycles=256                 ; pass
+//   ENDK
+//   BARR mask=0x06
+// FOR/END carry their loop kind as the mnemonic suffix (K/B/R/P), matching
+// Table I. '#' or ';' start a comment; blank lines are ignored.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "isa/program.hpp"
+
+namespace acoustic::isa {
+
+/// Renders @p program as assembly text (parse(format(p)) == p).
+[[nodiscard]] std::string format(const Program& program);
+
+/// Parses assembly text. Throws std::invalid_argument with the offending
+/// line number on malformed input.
+[[nodiscard]] Program parse(std::string_view text);
+
+}  // namespace acoustic::isa

@@ -1,0 +1,94 @@
+#include "isa/encoding.hpp"
+
+#include <stdexcept>
+
+namespace acoustic::isa {
+
+namespace {
+
+constexpr std::uint64_t kOpcodeMask = 0xF;
+constexpr unsigned kLoopShift = 4;
+constexpr unsigned kMaskShift = 6;
+constexpr unsigned kCountShift = 14;
+constexpr std::uint64_t kCountMax = (1ull << 24) - 1;
+constexpr unsigned kOperandShift = 38;
+constexpr std::uint64_t kMantissaMax = (1ull << 24) - 1;
+
+/// Packs an operand as mantissa(24) | exp(2), value = mantissa << (8*exp).
+std::uint64_t pack_operand(std::uint64_t value) {
+  for (unsigned exp = 0; exp < 4; ++exp) {
+    const unsigned shift = 8 * exp;
+    if ((value >> shift) <= kMantissaMax && ((value >> shift) << shift) ==
+                                                value) {
+      return ((value >> shift) << 2) | exp;
+    }
+  }
+  // Round up to the representable grid at the largest exponent.
+  const unsigned shift = 24;
+  if (value > (kMantissaMax << shift)) {
+    throw std::invalid_argument("isa::encode: operand too large");
+  }
+  const std::uint64_t mantissa = (value + (1ull << shift) - 1) >> shift;
+  return (mantissa << 2) | 3;
+}
+
+std::uint64_t unpack_operand(std::uint64_t packed) {
+  const unsigned exp = static_cast<unsigned>(packed & 0x3);
+  return (packed >> 2) << (8 * exp);
+}
+
+}  // namespace
+
+std::uint64_t encode(const Instruction& instr) {
+  std::uint64_t word = static_cast<std::uint64_t>(instr.op) & kOpcodeMask;
+  word |= static_cast<std::uint64_t>(instr.loop) << kLoopShift;
+  word |= static_cast<std::uint64_t>(instr.mask) << kMaskShift;
+  if (instr.count > kCountMax) {
+    throw std::invalid_argument("isa::encode: trip count too large");
+  }
+  word |= static_cast<std::uint64_t>(instr.count) << kCountShift;
+  const std::uint64_t operand =
+      (instr.op == Opcode::kMac || instr.op == Opcode::kWgtShift)
+          ? instr.cycles
+          : instr.bytes;
+  word |= pack_operand(operand) << kOperandShift;
+  return word;
+}
+
+Instruction decode(std::uint64_t word) {
+  Instruction instr;
+  instr.op = static_cast<Opcode>(word & kOpcodeMask);
+  instr.loop = static_cast<LoopKind>((word >> kLoopShift) & 0x3);
+  instr.mask = static_cast<std::uint8_t>((word >> kMaskShift) & 0xFF);
+  instr.count = static_cast<std::uint32_t>((word >> kCountShift) & kCountMax);
+  const std::uint64_t operand = unpack_operand(word >> kOperandShift);
+  if (instr.op == Opcode::kMac || instr.op == Opcode::kWgtShift) {
+    instr.cycles = operand;
+  } else {
+    instr.bytes = operand;
+  }
+  return instr;
+}
+
+std::vector<std::uint64_t> encode(const Program& program) {
+  std::vector<std::uint64_t> words;
+  words.reserve(program.size());
+  for (const Instruction& instr : program.instructions()) {
+    words.push_back(encode(instr));
+  }
+  return words;
+}
+
+Program decode(std::span<const std::uint64_t> words) {
+  Program program;
+  for (std::uint64_t word : words) {
+    program.push(decode(word));
+  }
+  return program;
+}
+
+std::size_t encoded_size_bytes(const Program& program) {
+  return program.size() * sizeof(std::uint64_t);
+}
+
+}  // namespace acoustic::isa

@@ -1,0 +1,43 @@
+// Binary instruction encoding.
+//
+// ACOUSTIC stores its program in an on-chip instruction memory (Fig. 2
+// "ICode"); this module defines the 64-bit word format the Dispatcher
+// would fetch, so instruction-memory footprints are measurable and
+// programs can be shipped as binaries.
+//
+// Word layout (LSB first):
+//   [3:0]   opcode
+//   [5:4]   loop kind              (FOR/END)
+//   [13:6]  barrier mask           (BARR)
+//   [37:14] count                  (FOR trip count, 24 bits)
+//   [63:38] operand                (bytes or cycles, 26-bit mantissa with
+//                                   2-bit shift exponent: value =
+//                                   mantissa << (8 * exp), covering byte
+//                                   counts into the hundreds of GB)
+//
+// Notes are not encoded (they are comments, not architecture).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace acoustic::isa {
+
+/// Encodes one instruction. Throws std::invalid_argument when a field
+/// exceeds the format (trip count >= 2^24 or operand not representable).
+[[nodiscard]] std::uint64_t encode(const Instruction& instr);
+
+/// Decodes one word (note comes back empty).
+[[nodiscard]] Instruction decode(std::uint64_t word);
+
+/// Whole-program encode/decode.
+[[nodiscard]] std::vector<std::uint64_t> encode(const Program& program);
+[[nodiscard]] Program decode(std::span<const std::uint64_t> words);
+
+/// Instruction-memory footprint of a program in bytes (8 per word).
+[[nodiscard]] std::size_t encoded_size_bytes(const Program& program);
+
+}  // namespace acoustic::isa

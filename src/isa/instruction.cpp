@@ -1,0 +1,77 @@
+#include "isa/instruction.hpp"
+
+#include <stdexcept>
+
+namespace acoustic::isa {
+
+bool Instruction::operator==(const Instruction& other) const {
+  return op == other.op && loop == other.loop && count == other.count &&
+         bytes == other.bytes && cycles == other.cycles &&
+         mask == other.mask;
+}
+
+Unit unit_of(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kActLd:
+    case Opcode::kActSt:
+    case Opcode::kWgtLd:
+      return Unit::kDma;
+    case Opcode::kMac:
+      return Unit::kMac;
+    case Opcode::kActRng:
+      return Unit::kActRng;
+    case Opcode::kWgtRng:
+    case Opcode::kWgtShift:
+      return Unit::kWgtRng;
+    case Opcode::kCntLd:
+    case Opcode::kCntSt:
+      return Unit::kCnt;
+    case Opcode::kFor:
+    case Opcode::kEnd:
+    case Opcode::kBarr:
+      return Unit::kDispatch;
+  }
+  return Unit::kDispatch;
+}
+
+std::string mnemonic(Opcode op) {
+  switch (op) {
+    case Opcode::kActLd:    return "ACTLD";
+    case Opcode::kActSt:    return "ACTST";
+    case Opcode::kWgtLd:    return "WGTLD";
+    case Opcode::kMac:      return "MAC";
+    case Opcode::kActRng:   return "ACTRNG";
+    case Opcode::kWgtRng:   return "WGTRNG";
+    case Opcode::kWgtShift: return "WGTSHIFT";
+    case Opcode::kCntLd:    return "CNTLD";
+    case Opcode::kCntSt:    return "CNTST";
+    case Opcode::kFor:      return "FOR";
+    case Opcode::kEnd:      return "END";
+    case Opcode::kBarr:     return "BARR";
+  }
+  throw std::logic_error("mnemonic: bad opcode");
+}
+
+std::string unit_name(Unit unit) {
+  switch (unit) {
+    case Unit::kDma:      return "DMA";
+    case Unit::kMac:      return "MAC";
+    case Unit::kActRng:   return "ACTRNG";
+    case Unit::kWgtRng:   return "WGTRNG";
+    case Unit::kCnt:      return "CNT";
+    case Unit::kDispatch: return "DISPATCH";
+  }
+  throw std::logic_error("unit_name: bad unit");
+}
+
+char loop_suffix(LoopKind kind) noexcept {
+  switch (kind) {
+    case LoopKind::kKernel: return 'K';
+    case LoopKind::kBatch:  return 'B';
+    case LoopKind::kRow:    return 'R';
+    case LoopKind::kPool:   return 'P';
+  }
+  return '?';
+}
+
+}  // namespace acoustic::isa

@@ -1,0 +1,76 @@
+// The ACOUSTIC instruction set (paper Table I).
+//
+// Control is distributed: the Dispatcher reads the program, forwards each
+// instruction to the owning control unit's FIFO, maintains loops
+// (FORK/FORB/FORR/FORP ... ENDK/ENDB/ENDR/ENDP) and enforces
+// synchronization through barriers (BARR with a unit mask). Units run their
+// FIFOs independently, which is what lets weight loading for layer i+1
+// overlap with the MAC phase of layer i.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace acoustic::isa {
+
+/// Control units an instruction can be dispatched to (Table I "Module").
+enum class Unit : std::uint8_t {
+  kDma,       ///< ACTLD / ACTST / WGTLD
+  kMac,       ///< MAC
+  kActRng,    ///< ACTRNG
+  kWgtRng,    ///< WGTRNG / WGTSHIFT
+  kCnt,       ///< CNTLD / CNTST
+  kDispatch,  ///< FOR* / END* / BARR
+};
+inline constexpr int kUnitCount = 6;
+
+enum class Opcode : std::uint8_t {
+  kActLd,     ///< load activations DRAM -> activation scratchpad
+  kActSt,     ///< store activations scratchpad -> DRAM
+  kWgtLd,     ///< load weights DRAM -> weight memory
+  kMac,       ///< run the MAC fabric for a compute pass
+  kActRng,    ///< load activations into SNG buffers
+  kWgtRng,    ///< load weights into SNG buffers
+  kWgtShift,  ///< shift weight SNG buffers (padding support)
+  kCntLd,     ///< load counter/ReLU units
+  kCntSt,     ///< store counter/ReLU results to a scratchpad
+  kFor,       ///< open a loop (kernel/batch/row/pooling)
+  kEnd,       ///< close the innermost loop of the given kind
+  kBarr,      ///< wait until all units in the mask are idle
+};
+
+/// Loop kinds of the dispatcher (Table I: K/B/R/P).
+enum class LoopKind : std::uint8_t { kKernel, kBatch, kRow, kPool };
+
+/// One ACOUSTIC instruction. Fields are a union-of-purposes kept flat for
+/// simplicity; which fields are meaningful depends on the opcode:
+///  - memory ops (ACTLD/ACTST/WGTLD, CNTLD/CNTST, ACTRNG/WGTRNG): `bytes`
+///  - MAC / WGTSHIFT: `cycles`
+///  - FOR: `loop` + `count` (trip count); END: `loop`
+///  - BARR: `mask` (bit i = Unit i must be idle)
+struct Instruction {
+  Opcode op = Opcode::kBarr;
+  LoopKind loop = LoopKind::kKernel;
+  std::uint32_t count = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t cycles = 0;
+  std::uint8_t mask = 0;
+  std::string note;  ///< trace label (layer/pass), not architectural
+
+  bool operator==(const Instruction& other) const;
+};
+
+/// The unit that executes @p op (Table I's Module column).
+[[nodiscard]] Unit unit_of(Opcode op) noexcept;
+
+/// Uppercase mnemonic, e.g. "WGTLD".
+[[nodiscard]] std::string mnemonic(Opcode op);
+[[nodiscard]] std::string unit_name(Unit unit);
+[[nodiscard]] char loop_suffix(LoopKind kind) noexcept;
+
+/// Bit for @p unit in a barrier mask.
+[[nodiscard]] constexpr std::uint8_t unit_bit(Unit unit) noexcept {
+  return static_cast<std::uint8_t>(1u << static_cast<unsigned>(unit));
+}
+
+}  // namespace acoustic::isa

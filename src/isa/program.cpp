@@ -1,0 +1,115 @@
+#include "isa/program.hpp"
+
+#include <stdexcept>
+
+namespace acoustic::isa {
+
+Instruction& Program::push(Instruction instr) {
+  instrs_.push_back(std::move(instr));
+  return instrs_.back();
+}
+
+namespace {
+Instruction make(Opcode op, std::string note) {
+  Instruction i;
+  i.op = op;
+  i.note = std::move(note);
+  return i;
+}
+}  // namespace
+
+Instruction& Program::act_ld(std::uint64_t bytes, std::string note) {
+  Instruction i = make(Opcode::kActLd, std::move(note));
+  i.bytes = bytes;
+  return push(std::move(i));
+}
+
+Instruction& Program::act_st(std::uint64_t bytes, std::string note) {
+  Instruction i = make(Opcode::kActSt, std::move(note));
+  i.bytes = bytes;
+  return push(std::move(i));
+}
+
+Instruction& Program::wgt_ld(std::uint64_t bytes, std::string note) {
+  Instruction i = make(Opcode::kWgtLd, std::move(note));
+  i.bytes = bytes;
+  return push(std::move(i));
+}
+
+Instruction& Program::mac(std::uint64_t cycles, std::string note) {
+  Instruction i = make(Opcode::kMac, std::move(note));
+  i.cycles = cycles;
+  return push(std::move(i));
+}
+
+Instruction& Program::act_rng(std::uint64_t bytes, std::string note) {
+  Instruction i = make(Opcode::kActRng, std::move(note));
+  i.bytes = bytes;
+  return push(std::move(i));
+}
+
+Instruction& Program::wgt_rng(std::uint64_t bytes, std::string note) {
+  Instruction i = make(Opcode::kWgtRng, std::move(note));
+  i.bytes = bytes;
+  return push(std::move(i));
+}
+
+Instruction& Program::wgt_shift(std::uint64_t cycles, std::string note) {
+  Instruction i = make(Opcode::kWgtShift, std::move(note));
+  i.cycles = cycles;
+  return push(std::move(i));
+}
+
+Instruction& Program::cnt_ld(std::uint64_t bytes, std::string note) {
+  Instruction i = make(Opcode::kCntLd, std::move(note));
+  i.bytes = bytes;
+  return push(std::move(i));
+}
+
+Instruction& Program::cnt_st(std::uint64_t bytes, std::string note) {
+  Instruction i = make(Opcode::kCntSt, std::move(note));
+  i.bytes = bytes;
+  return push(std::move(i));
+}
+
+Instruction& Program::loop_begin(LoopKind kind, std::uint32_t count,
+                                 std::string note) {
+  Instruction i = make(Opcode::kFor, std::move(note));
+  i.loop = kind;
+  i.count = count;
+  return push(std::move(i));
+}
+
+Instruction& Program::loop_end(LoopKind kind) {
+  Instruction i = make(Opcode::kEnd, {});
+  i.loop = kind;
+  return push(std::move(i));
+}
+
+Instruction& Program::barrier(std::uint8_t mask, std::string note) {
+  Instruction i = make(Opcode::kBarr, std::move(note));
+  i.mask = mask;
+  return push(std::move(i));
+}
+
+void Program::validate() const {
+  std::vector<LoopKind> stack;
+  for (const Instruction& i : instrs_) {
+    if (i.op == Opcode::kFor) {
+      if (i.count == 0) {
+        throw std::invalid_argument("Program: FOR with zero trip count");
+      }
+      stack.push_back(i.loop);
+    } else if (i.op == Opcode::kEnd) {
+      if (stack.empty() || stack.back() != i.loop) {
+        throw std::invalid_argument("Program: mismatched END");
+      }
+      stack.pop_back();
+    }
+  }
+  if (!stack.empty()) {
+    throw std::invalid_argument("Program: unclosed FOR loop");
+  }
+}
+
+}  // namespace acoustic::isa

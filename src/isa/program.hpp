@@ -1,0 +1,51 @@
+// Program container with structured-loop helpers.
+#pragma once
+
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace acoustic::isa {
+
+/// A straight-line ACOUSTIC program (loops are structured FOR/END pairs
+/// interpreted by the dispatcher).
+class Program {
+ public:
+  Program() = default;
+
+  /// Appends an instruction.
+  Instruction& push(Instruction instr);
+
+  // Convenience builders (return the appended instruction for chaining).
+  Instruction& act_ld(std::uint64_t bytes, std::string note = {});
+  Instruction& act_st(std::uint64_t bytes, std::string note = {});
+  Instruction& wgt_ld(std::uint64_t bytes, std::string note = {});
+  Instruction& mac(std::uint64_t cycles, std::string note = {});
+  Instruction& act_rng(std::uint64_t bytes, std::string note = {});
+  Instruction& wgt_rng(std::uint64_t bytes, std::string note = {});
+  Instruction& wgt_shift(std::uint64_t cycles, std::string note = {});
+  Instruction& cnt_ld(std::uint64_t bytes, std::string note = {});
+  Instruction& cnt_st(std::uint64_t bytes, std::string note = {});
+  Instruction& loop_begin(LoopKind kind, std::uint32_t count,
+                          std::string note = {});
+  Instruction& loop_end(LoopKind kind);
+  Instruction& barrier(std::uint8_t mask, std::string note = {});
+
+  [[nodiscard]] const std::vector<Instruction>& instructions() const noexcept {
+    return instrs_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return instrs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return instrs_.empty(); }
+  [[nodiscard]] const Instruction& operator[](std::size_t i) const noexcept {
+    return instrs_[i];
+  }
+
+  /// Validates structured-loop nesting (every END matches an open FOR of
+  /// the same kind, all loops closed). Throws std::invalid_argument.
+  void validate() const;
+
+ private:
+  std::vector<Instruction> instrs_;
+};
+
+}  // namespace acoustic::isa

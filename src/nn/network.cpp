@@ -1,0 +1,56 @@
+#include "nn/network.hpp"
+
+namespace acoustic::nn {
+
+Tensor Network::forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& layer : layers_) {
+    x = layer->forward(x);
+  }
+  return x;
+}
+
+Tensor Network::forward_with_hook(
+    const Tensor& input,
+    const std::function<void(Tensor&, std::size_t)>& hook) {
+  Tensor x = input;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    x = layers_[i]->forward(x);
+    hook(x, i);
+  }
+  return x;
+}
+
+Tensor Network::backward(const Tensor& grad_logits) {
+  Tensor g = grad_logits;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<ParamView> Network::parameters() {
+  std::vector<ParamView> out;
+  for (auto& layer : layers_) {
+    for (ParamView& p : layer->parameters()) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+void Network::zero_gradients() {
+  for (auto& layer : layers_) {
+    layer->zero_gradients();
+  }
+}
+
+std::size_t Network::parameter_count() {
+  std::size_t total = 0;
+  for (ParamView& p : parameters()) {
+    total += p.values.size();
+  }
+  return total;
+}
+
+}  // namespace acoustic::nn

@@ -1,0 +1,49 @@
+#include "nn/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace acoustic::nn {
+
+float abs_max(std::span<const float> values) noexcept {
+  float m = 0.0f;
+  for (float v : values) {
+    m = std::max(m, std::fabs(v));
+  }
+  return m;
+}
+
+float fake_quantize(std::span<float> values, int bits, float scale) {
+  if (scale <= 0.0f) {
+    scale = abs_max(values);
+  }
+  if (scale <= 0.0f) {
+    return 0.0f;
+  }
+  const float levels = static_cast<float>((1 << (bits - 1)) - 1);
+  const float step = scale / levels;
+  for (float& v : values) {
+    const float q = std::round(std::clamp(v, -scale, scale) / step);
+    v = q * step;
+  }
+  return scale;
+}
+
+float fake_quantize_unsigned(Tensor& t, int bits, float scale) {
+  auto values = t.data();
+  if (scale <= 0.0f) {
+    scale = abs_max(values);
+  }
+  if (scale <= 0.0f) {
+    return 0.0f;
+  }
+  const float levels = static_cast<float>((1u << bits) - 1);
+  const float step = scale / levels;
+  for (float& v : values) {
+    const float q = std::round(std::clamp(v, 0.0f, scale) / step);
+    v = q * step;
+  }
+  return scale;
+}
+
+}  // namespace acoustic::nn

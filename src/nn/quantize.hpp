@@ -1,0 +1,33 @@
+// Fixed-point quantization utilities.
+//
+// Two users:
+//  1. The "8-bit fixed point" accuracy baseline of Table II — float tensors
+//     are snapped to an N-bit grid (fake quantization) so the whole network
+//     runs with fixed-point-representable values.
+//  2. The SC functional simulator — SNG comparison levels are W-bit
+//     integers, so weights/activations must be expressed on the 2^W grid
+//     before stream generation (quantize_unipolar in sc/sng.hpp does the
+//     per-value conversion; this header provides the tensor-level scaling).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "nn/tensor.hpp"
+
+namespace acoustic::nn {
+
+/// Snaps each element of @p values to the nearest point of a symmetric
+/// @p bits-bit grid over [-scale, scale] (scale defaults to the max
+/// magnitude). Returns the scale used.
+float fake_quantize(std::span<float> values, int bits, float scale = 0.0f);
+
+/// Snaps a tensor's elements to an unsigned @p bits-bit grid over
+/// [0, scale]; negative values clamp to 0. Models the accelerator's
+/// unsigned post-ReLU activation storage. Returns the scale used.
+float fake_quantize_unsigned(Tensor& t, int bits, float scale = 0.0f);
+
+/// Largest absolute value in @p values (0 if empty).
+[[nodiscard]] float abs_max(std::span<const float> values) noexcept;
+
+}  // namespace acoustic::nn

@@ -1,0 +1,58 @@
+#include "nn/residual.hpp"
+
+#include <stdexcept>
+
+namespace acoustic::nn {
+
+SkipSave::SkipSave(std::shared_ptr<SkipState> state)
+    : state_(std::move(state)) {
+  if (state_ == nullptr) {
+    throw std::invalid_argument("SkipSave: null state");
+  }
+}
+
+Tensor SkipSave::forward(const Tensor& input) {
+  state_->saved = input;
+  return input;
+}
+
+Tensor SkipSave::backward(const Tensor& grad_output) {
+  // Gradients from the main path plus whatever flowed through the skip.
+  if (!state_->grad_valid) {
+    return grad_output;
+  }
+  state_->grad_valid = false;
+  Tensor combined = grad_output;
+  for (std::size_t i = 0; i < combined.size(); ++i) {
+    combined[i] += state_->skip_grad[i];
+  }
+  return combined;
+}
+
+SkipAdd::SkipAdd(std::shared_ptr<SkipState> state)
+    : state_(std::move(state)) {
+  if (state_ == nullptr) {
+    throw std::invalid_argument("SkipAdd: null state");
+  }
+}
+
+Tensor SkipAdd::forward(const Tensor& input) {
+  if (state_->saved.shape() != input.shape()) {
+    throw std::invalid_argument(
+        "SkipAdd: skip tensor shape does not match block output");
+  }
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] += state_->saved[i];
+  }
+  return out;
+}
+
+Tensor SkipAdd::backward(const Tensor& grad_output) {
+  // d(out)/d(input) = 1 and d(out)/d(skip) = 1: the gradient forks.
+  state_->skip_grad = grad_output;
+  state_->grad_valid = true;
+  return grad_output;
+}
+
+}  // namespace acoustic::nn

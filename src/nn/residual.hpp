@@ -1,0 +1,64 @@
+// Residual (skip) connections.
+//
+// ACOUSTIC supports residual connections (paper III-C: "Convolutions ...
+// residual connections are all supported"): the skip activation is loaded
+// into the output counters before the block's final conv accumulates on
+// top (the CNTLD instruction of Table I), so the addition costs nothing.
+//
+// In this library a skip is a pair of layers sharing one SkipState:
+//   auto state = std::make_shared<SkipState>();
+//   net.add<SkipSave>(state);   // start of block: records its input
+//   ... block layers ...
+//   net.add<SkipAdd>(state);    // end of block: adds the recorded tensor
+// Both behave as ordinary layers for forward/backward, so training and the
+// bit-level simulators (which run them in the binary domain, matching the
+// counter-preload hardware) need no special cases.
+#pragma once
+
+#include <memory>
+
+#include "nn/layer.hpp"
+
+namespace acoustic::nn {
+
+/// Shared state of one skip connection.
+struct SkipState {
+  Tensor saved;      ///< activation recorded by SkipSave
+  Tensor skip_grad;  ///< gradient flowing back through the skip path
+  bool grad_valid = false;
+};
+
+/// Identity layer that records its input for a later SkipAdd.
+class SkipSave final : public Layer {
+ public:
+  explicit SkipSave(std::shared_ptr<SkipState> state);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(Shape input) const override {
+    return input;
+  }
+  [[nodiscard]] std::string name() const override { return "skip-save"; }
+
+ private:
+  std::shared_ptr<SkipState> state_;
+};
+
+/// Adds the tensor recorded by the paired SkipSave to its input
+/// (counter-preload semantics: out = block(x) + x).
+class SkipAdd final : public Layer {
+ public:
+  explicit SkipAdd(std::shared_ptr<SkipState> state);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(Shape input) const override {
+    return input;
+  }
+  [[nodiscard]] std::string name() const override { return "skip-add"; }
+
+ private:
+  std::shared_ptr<SkipState> state_;
+};
+
+}  // namespace acoustic::nn

@@ -1,0 +1,26 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace acoustic::nn {
+
+float Tensor::abs_max() const noexcept {
+  float m = 0.0f;
+  for (float x : data_) {
+    m = std::max(m, std::fabs(x));
+  }
+  return m;
+}
+
+std::size_t Tensor::argmax() const noexcept {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < data_.size(); ++i) {
+    if (data_[i] > data_[best]) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace acoustic::nn

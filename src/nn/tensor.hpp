@@ -1,0 +1,86 @@
+// Minimal dense tensor for the CNN substrate.
+//
+// All activations and gradients in the reproduction flow through this type.
+// Layout is HWC (height, width, channels), matching how ACOUSTIC's
+// activation scratchpads are indexed (channel-major innermost so one output
+// pixel's receptive field is contiguous per row). Vectors are represented
+// as 1x1xC tensors.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace acoustic::nn {
+
+/// Spatial shape of a tensor: height x width x channels.
+struct Shape {
+  int h = 0;
+  int w = 0;
+  int c = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(h) * static_cast<std::size_t>(w) *
+           static_cast<std::size_t>(c);
+  }
+
+  bool operator==(const Shape&) const = default;
+};
+
+/// Dense float tensor in HWC layout.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape) : shape_(shape), data_(shape.size(), 0.0f) {}
+
+  /// Vector (1x1xC) tensor.
+  static Tensor vector(int c) { return Tensor(Shape{1, 1, c}); }
+
+  [[nodiscard]] Shape shape() const noexcept { return shape_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  /// Element access; (y, x, ch) must be in range.
+  [[nodiscard]] float& at(int y, int x, int ch) noexcept {
+    return data_[index(y, x, ch)];
+  }
+  [[nodiscard]] float at(int y, int x, int ch) const noexcept {
+    return data_[index(y, x, ch)];
+  }
+
+  /// Flat access for vector-like use.
+  [[nodiscard]] float& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] float operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+
+  [[nodiscard]] std::span<float> data() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> data() const noexcept { return data_; }
+
+  void fill(float v) noexcept {
+    for (float& x : data_) {
+      x = v;
+    }
+  }
+
+  /// Index of the flattened element (y, x, ch).
+  [[nodiscard]] std::size_t index(int y, int x, int ch) const noexcept {
+    return (static_cast<std::size_t>(y) * static_cast<std::size_t>(shape_.w) +
+            static_cast<std::size_t>(x)) *
+               static_cast<std::size_t>(shape_.c) +
+           static_cast<std::size_t>(ch);
+  }
+
+  /// Largest absolute element (0 for an empty tensor).
+  [[nodiscard]] float abs_max() const noexcept;
+
+  /// Index of the maximum element (argmax over the flat data).
+  [[nodiscard]] std::size_t argmax() const noexcept;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace acoustic::nn

@@ -1,0 +1,49 @@
+#include "perf/arch_config.hpp"
+
+namespace acoustic::perf {
+
+ArchConfig lp() {
+  ArchConfig cfg;
+  cfg.name = "ACOUSTIC-LP";
+  cfg.rows = 32;
+  cfg.subrows = 3;
+  cfg.arrays = 8;
+  cfg.macs_per_array = 16;
+  cfg.mac_width = 96;
+  cfg.clock_mhz = 200.0;
+  cfg.wgt_mem_bytes = static_cast<std::uint64_t>(147.5 * 1024);
+  cfg.act_mem_bytes = 600 * 1024;
+  cfg.has_dram = true;
+  cfg.dram = ddr3_1866();
+  cfg.stream_length = 256;
+  cfg.area_mm2 = 12.0;
+  cfg.peak_power_w = 0.35;
+  return cfg;
+}
+
+ArchConfig ulp() {
+  ArchConfig cfg;
+  cfg.name = "ACOUSTIC-ULP";
+  // Fabric scaled so the MAC array fits the 0.18 mm^2 envelope with the
+  // Fig. 5(b) area share: 8 rows x 3 sub-rows x 2 arrays x 2 MACs ~ 9k
+  // product lanes (vs the LP's 1.18M).
+  cfg.rows = 8;
+  cfg.subrows = 3;
+  cfg.arrays = 2;
+  cfg.macs_per_array = 2;
+  cfg.mac_width = 96;
+  cfg.clock_mhz = 200.0;
+  cfg.wgt_mem_bytes = 3 * 1024;
+  cfg.act_mem_bytes = 2 * 1024;
+  cfg.has_dram = false;
+  cfg.stream_length = 128;  // Table IV uses 128-long bitstreams
+  cfg.sng_load_lanes = 16;
+  cfg.cnt_store_lanes = 16;
+  cfg.inst_mem_bytes = 512;
+  cfg.sng_provisioned_channels = 8;
+  cfg.area_mm2 = 0.18;
+  cfg.peak_power_w = 3e-3;
+  return cfg;
+}
+
+}  // namespace acoustic::perf

@@ -1,0 +1,115 @@
+// Parametrization of the ACOUSTIC accelerator (paper section III-D).
+//
+// The compute engine is hierarchical (Fig. 3): fixed 96:1 OR-accumulating
+// MAC units; M MACs with partially-shared inputs and shared weights form a
+// MAC array; A arrays form a sub-row sharing one activation scratchpad;
+// S sub-rows form a row (one kernel); R rows run in parallel on shared
+// activations. Two calibrated instances are provided: LP (mobile SoC
+// class, 12 mm^2 / 0.35 W) and ULP (sensor class, 0.18 mm^2 / 3 mW).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "perf/dram.hpp"
+
+namespace acoustic::perf {
+
+struct ArchConfig {
+  std::string name;
+
+  // Fabric hierarchy (Fig. 3).
+  int rows = 32;            ///< R: kernels computed in parallel
+  int subrows = 3;          ///< S: kernel rows (3x3 native support)
+  int arrays = 8;           ///< A: MAC arrays per sub-row
+  int macs_per_array = 16;  ///< M: MACs (output positions) per array
+  int mac_width = 96;       ///< inputs reduced by one MAC unit
+
+  double clock_mhz = 200.0;
+
+  /// Inference batch size. Batching lets FC layers reuse streamed weights:
+  /// the M MACs of an array share weights, so up to M batch samples
+  /// compute in parallel per weight load (III-B: "FC layers cannot re-use
+  /// weights without employing batching"), and each weight crosses DRAM
+  /// once per batch instead of once per frame. Activation memory must hold
+  /// the batch (III-D: "activation memory can be sized up to support
+  /// larger batch sizes if desired").
+  int batch = 1;
+
+  // On-chip memories.
+  std::uint64_t wgt_mem_bytes = 0;
+  std::uint64_t act_mem_bytes = 0;
+  std::uint64_t inst_mem_bytes = 4096;
+
+  // External memory (ULP omits DRAM support entirely, III-D).
+  bool has_dram = true;
+  DramSpec dram;
+
+  // SC configuration: total temporal split-unipolar stream length
+  // ("256 long stream implies 128x2").
+  std::uint64_t stream_length = 256;
+
+  // Load/store port widths (elements per cycle) of the SNG buffer loaders
+  // and the counter write-back path.
+  int sng_load_lanes = 128;
+  int cnt_store_lanes = 128;
+
+  // Instruction FIFO depth of each control unit (III-C "small FIFO").
+  int fifo_depth = 8;
+
+  /// Expected fraction of nonzero activations (1.0 = dense). ACOUSTIC's
+  /// AND multipliers operand-gate zero inputs (III-B: "unused MACs and
+  /// SNGs do not contribute to dynamic energy"), so post-ReLU sparsity
+  /// scales the *dynamic* compute energy without changing latency (the
+  /// pass schedule is static). Set from profiled activations; 1.0 keeps
+  /// the conservative dense estimate used in the headline tables.
+  double activation_density = 1.0;
+
+  // Channels per MAC the SNG banks are physically provisioned for
+  // (0 = full channels_per_mac(3)). The ULP variant provisions fewer to
+  // fit its area/power envelope — its workloads are shallow.
+  int sng_provisioned_channels = 0;
+
+  [[nodiscard]] int sng_channels() const noexcept {
+    const int full = mac_width / 3;
+    return sng_provisioned_channels > 0
+               ? (sng_provisioned_channels < full ? sng_provisioned_channels
+                                                  : full)
+               : full;
+  }
+
+  // Published physical envelope (area/power scale the energy model).
+  double area_mm2 = 0.0;
+  double peak_power_w = 0.0;
+
+  [[nodiscard]] double clock_hz() const noexcept { return clock_mhz * 1e6; }
+
+  /// Product lanes active per cycle at full utilization:
+  /// R * S * A * M * mac_width.
+  [[nodiscard]] std::uint64_t total_mac_lanes() const noexcept {
+    return static_cast<std::uint64_t>(rows) * subrows * arrays *
+           macs_per_array * mac_width;
+  }
+
+  /// Output positions one pass covers (A * M MACs per kernel).
+  [[nodiscard]] int positions_per_pass() const noexcept {
+    return arrays * macs_per_array;
+  }
+
+  /// Input channels one 96:1 MAC covers for a kernel of width @p kernel_w
+  /// (sub-rows handle kernel rows; the MAC multiplexes kernel columns).
+  [[nodiscard]] int channels_per_mac(int kernel_w) const noexcept {
+    const int kw = kernel_w < 1 ? 1 : (kernel_w > 3 ? 3 : kernel_w);
+    return mac_width / kw;
+  }
+};
+
+/// Low-power variant (Table III): 12 mm^2, 0.35 W, 200 MHz, 147.5 KB weight
+/// memory, 600 KB activation memory, DDR3-1866 external interface.
+[[nodiscard]] ArchConfig lp();
+
+/// Ultra-low-power variant (Table IV): 0.18 mm^2, 3 mW, 200 MHz, 3 KB
+/// weight + 2 KB activation memory, no DRAM, scaled-down fabric.
+[[nodiscard]] ArchConfig ulp();
+
+}  // namespace acoustic::perf

@@ -1,0 +1,121 @@
+#include "perf/codegen.hpp"
+
+namespace acoustic::perf {
+
+namespace {
+
+using isa::Opcode;
+using isa::Unit;
+using isa::unit_bit;
+
+constexpr std::uint8_t kAllUnits =
+    unit_bit(Unit::kDma) | unit_bit(Unit::kMac) | unit_bit(Unit::kActRng) |
+    unit_bit(Unit::kWgtRng) | unit_bit(Unit::kCnt);
+
+/// Emits the compute body of one layer: the pass loop plus counter
+/// write-back. The pass loop body loads SNG buffers and fires the MAC
+/// fabric; the dispatcher expands the loop at execution time.
+void emit_compute(isa::Program& prog, const nn::LayerDesc& layer,
+                  const ArchConfig& arch, const LayerMapping& m) {
+  if (layer.residual) {
+    // Residual connection: preload the output counters with the skip
+    // activations so the block's addition happens for free (CNTLD).
+    prog.cnt_ld(m.cnt_store_bytes, layer.label + " skip preload");
+  }
+  const isa::LoopKind loop_kind = layer.kind == nn::LayerKind::kConv
+                                      ? isa::LoopKind::kKernel
+                                      : isa::LoopKind::kRow;
+  prog.loop_begin(loop_kind, static_cast<std::uint32_t>(m.passes),
+                  layer.label + " passes");
+  prog.act_rng(m.act_rng_cycles_per_pass *
+               static_cast<std::uint64_t>(arch.sng_load_lanes));
+  prog.wgt_rng(m.wgt_rng_cycles_per_pass *
+               static_cast<std::uint64_t>(arch.sng_load_lanes));
+  if (layer.kind == nn::LayerKind::kConv && layer.padding > 0) {
+    // Edge padding: the shared shifting fabric realigns the weight SNG
+    // buffers instead of reloading them (III-B "low-overhead shifting
+    // fabric"); one shift step per padding column.
+    prog.wgt_shift(static_cast<std::uint64_t>(layer.padding),
+                   layer.label + " pad shift");
+  }
+  prog.mac(m.cycles_per_pass);
+  prog.loop_end(loop_kind);
+  prog.cnt_st(m.cnt_store_bytes, layer.label + " outputs");
+}
+
+}  // namespace
+
+isa::Program generate_layer_program(const nn::LayerDesc& layer,
+                                    const ArchConfig& arch,
+                                    const LayerMapping& mapping,
+                                    std::uint64_t preload_bytes,
+                                    bool load_input, bool store_output) {
+  isa::Program prog;
+  if (arch.has_dram) {
+    if (load_input) {
+      prog.act_ld(layer.input_elems(), layer.label + " input");
+    }
+    prog.wgt_ld(layer.weight_count(), layer.label + " weights");
+    prog.barrier(unit_bit(Unit::kDma), "inputs resident");
+    if (preload_bytes > 0) {
+      prog.wgt_ld(preload_bytes, "preload next layer");
+    }
+  }
+  emit_compute(prog, layer, arch, mapping);
+  if (arch.has_dram && store_output) {
+    prog.act_st(layer.output_elems(), layer.label + " output");
+  }
+  prog.barrier(kAllUnits, layer.label + " done");
+  return prog;
+}
+
+CodegenResult generate_program(const nn::NetworkDesc& net,
+                               const ArchConfig& arch) {
+  CodegenResult result;
+  result.mappings = map_network(net, arch);
+  isa::Program& prog = result.program;
+
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    const nn::LayerDesc& layer = net.layers[i];
+    const LayerMapping& m = result.mappings[i];
+
+    if (arch.has_dram) {
+      if (i == 0) {
+        // Cold start: initial activations and first-layer weights.
+        prog.act_ld(layer.input_elems(), layer.label + " input");
+        prog.wgt_ld(layer.weight_count(), layer.label + " weights");
+        prog.barrier(unit_bit(Unit::kDma), "cold start");
+      } else if (!m.weights_resident) {
+        // Streaming layer: weights do not fit on chip, so the transfer
+        // runs concurrently with this layer's own MAC passes (the final
+        // barrier realizes latency = max(compute, transfer)).
+        prog.wgt_ld(layer.weight_count(), layer.label + " weights (stream)");
+      }
+      if (m.act_dram_bytes > 0 && i != 0) {
+        prog.act_ld(m.act_dram_bytes / 2, layer.label + " act spill in");
+      }
+      // Preload the next layer's weights during this layer's compute.
+      if (i + 1 < net.layers.size()) {
+        const LayerMapping& next = result.mappings[i + 1];
+        if (next.weights_resident) {
+          prog.wgt_ld(net.layers[i + 1].weight_count(),
+                      net.layers[i + 1].label + " preload");
+        }
+      }
+    }
+
+    emit_compute(prog, layer, arch, m);
+
+    if (arch.has_dram) {
+      if (i + 1 == net.layers.size()) {
+        prog.act_st(layer.output_elems(), "final output");
+      } else if (m.act_dram_bytes > 0 && i != 0) {
+        prog.act_st(m.act_dram_bytes / 2, layer.label + " act spill out");
+      }
+    }
+    prog.barrier(kAllUnits, layer.label + " done");
+  }
+  return result;
+}
+
+}  // namespace acoustic::perf

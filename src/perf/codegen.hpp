@@ -1,0 +1,38 @@
+// Network descriptor -> ACOUSTIC program.
+//
+// Emits the instruction stream the Dispatcher executes (III-C), structured
+// so that the cross-phase overlap the paper describes emerges in the
+// performance simulator rather than being hard-coded:
+//  * weights of the next layer are WGTLD'd while the current layer's MAC
+//    loop runs (when they fit the weight memory);
+//  * layers whose weights exceed the weight memory (large FC layers) stream
+//    their WGTLD concurrently with their own MAC passes, double-buffered;
+//  * a full barrier separates layers (outputs must be in the scratchpad
+//    before the next layer's SNGs read them).
+#pragma once
+
+#include "isa/program.hpp"
+#include "nn/model_zoo.hpp"
+#include "perf/arch_config.hpp"
+#include "perf/mapping.hpp"
+
+namespace acoustic::perf {
+
+struct CodegenResult {
+  isa::Program program;
+  std::vector<LayerMapping> mappings;  ///< one per network layer
+};
+
+/// Generates the full-network program plus its per-layer mappings.
+[[nodiscard]] CodegenResult generate_program(const nn::NetworkDesc& net,
+                                             const ArchConfig& arch);
+
+/// Program for a single layer in isolation (used for per-layer timing and
+/// the Fig. 4 experiment). @p preload_bytes adds a WGTLD for a subsequent
+/// layer that should overlap this layer's compute.
+[[nodiscard]] isa::Program generate_layer_program(
+    const nn::LayerDesc& layer, const ArchConfig& arch,
+    const LayerMapping& mapping, std::uint64_t preload_bytes = 0,
+    bool load_input = true, bool store_output = true);
+
+}  // namespace acoustic::perf

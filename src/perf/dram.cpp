@@ -1,0 +1,49 @@
+#include "perf/dram.hpp"
+
+#include <cmath>
+
+namespace acoustic::perf {
+
+std::uint64_t DramSpec::transfer_cycles(std::uint64_t bytes,
+                                        double clock_hz) const {
+  if (bytes == 0) {
+    return 0;
+  }
+  const double seconds = transfer_seconds(bytes);
+  return static_cast<std::uint64_t>(std::ceil(seconds * clock_hz));
+}
+
+double DramSpec::transfer_seconds(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) / bandwidth_bytes_per_s;
+}
+
+double DramSpec::transfer_energy_j(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) * energy_pj_per_byte * 1e-12;
+}
+
+namespace {
+// 64-bit channel: peak bytes/s = transfer rate (MT/s) * 8 bytes.
+DramSpec ddr3(const char* name, double mts) {
+  // Horowitz (ISSCC'14): DRAM access ~20 pJ/bit => 160 pJ/byte.
+  return DramSpec{name, mts * 1e6 * 8.0, 160.0};
+}
+}  // namespace
+
+DramSpec ddr3_800() { return ddr3("DDR3-800", 800); }
+DramSpec ddr3_1066() { return ddr3("DDR3-1066", 1066); }
+DramSpec ddr3_1333() { return ddr3("DDR3-1333", 1333); }
+DramSpec ddr3_1600() { return ddr3("DDR3-1600", 1600); }
+DramSpec ddr3_1866() { return ddr3("DDR3-1866", 1866); }
+DramSpec ddr3_2133() { return ddr3("DDR3-2133", 2133); }
+
+DramSpec hbm() {
+  // First-generation HBM stack: 128 GB/s, ~4 pJ/bit => 32 pJ/byte.
+  return DramSpec{"HBM", 128.0e9, 32.0};
+}
+
+std::vector<DramSpec> figure4_interfaces() {
+  return {ddr3_800(),  ddr3_1066(), ddr3_1333(), ddr3_1600(),
+          ddr3_1866(), ddr3_2133(), hbm()};
+}
+
+}  // namespace acoustic::perf

@@ -1,0 +1,43 @@
+// External memory interface models (paper Fig. 4 sweeps DDR3-800 through
+// DDR3-2133 plus HBM).
+//
+// The performance simulator only needs a sustained-bandwidth ceiling and a
+// per-byte transfer energy; both use standard published values (64-bit
+// DDR3 channel peak bandwidth; Horowitz-style access energies) in place of
+// the paper's CACTI 6.5 runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace acoustic::perf {
+
+struct DramSpec {
+  std::string name;
+  double bandwidth_bytes_per_s = 0.0;
+  double energy_pj_per_byte = 0.0;
+
+  /// Cycles (at @p clock_hz) to move @p bytes at peak sustained bandwidth.
+  [[nodiscard]] std::uint64_t transfer_cycles(std::uint64_t bytes,
+                                              double clock_hz) const;
+
+  /// Seconds to move @p bytes.
+  [[nodiscard]] double transfer_seconds(std::uint64_t bytes) const;
+
+  /// Joules to move @p bytes.
+  [[nodiscard]] double transfer_energy_j(std::uint64_t bytes) const;
+};
+
+[[nodiscard]] DramSpec ddr3_800();
+[[nodiscard]] DramSpec ddr3_1066();
+[[nodiscard]] DramSpec ddr3_1333();
+[[nodiscard]] DramSpec ddr3_1600();
+[[nodiscard]] DramSpec ddr3_1866();
+[[nodiscard]] DramSpec ddr3_2133();
+[[nodiscard]] DramSpec hbm();
+
+/// The seven interfaces of Fig. 4, in plot order.
+[[nodiscard]] std::vector<DramSpec> figure4_interfaces();
+
+}  // namespace acoustic::perf

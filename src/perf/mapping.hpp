@@ -1,0 +1,73 @@
+// Mapping of network layers onto the ACOUSTIC compute fabric.
+//
+// The paper omits the full mapping algorithm ("we omit detailed
+// explanations ... for brevity"); this model is the simplest mapping
+// consistent with everything section III-B does state:
+//  * R rows <=> R kernels (output channels) in parallel on shared
+//    activations;
+//  * S=3 sub-rows <=> kernel rows, 3x3 supported natively, larger kernels
+//    split into <=3x3 chunks with activation reloading;
+//  * one 96:1 MAC covers kernel-width x (96/kernel-width) input channels,
+//    deeper inputs take multiple channel passes accumulated in the output
+//    counters (counters are not reset, so no partial-sum conversion);
+//  * A x M MACs <=> A*M output positions per pass (the configurable fabric
+//    assigns positions anywhere in the output plane);
+//  * pooling with computation skipping shortens each pass by the pooling
+//    window size (II-C);
+//  * FC layers cannot reuse weights, so only one MAC per array carries
+//    distinct weights; outputs spread across row groups (III-B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/model_zoo.hpp"
+#include "perf/arch_config.hpp"
+
+namespace acoustic::perf {
+
+/// Where a layer's working set lives and what it costs to compute.
+struct LayerMapping {
+  // Compute.
+  std::uint64_t passes = 0;            ///< MAC fabric activations
+  std::uint64_t cycles_per_pass = 0;   ///< stream bits per pass (skipping-adjusted)
+  std::uint64_t mac_cycles = 0;        ///< passes * cycles_per_pass
+  double utilization = 0.0;            ///< useful product-bits / lane-cycles
+  std::uint64_t product_bits = 0;      ///< operand-gated AND-gate work (energy)
+
+  // SNG buffer loading (cycles on the ACTRNG / WGTRNG units per pass).
+  std::uint64_t act_rng_cycles_per_pass = 0;
+  std::uint64_t wgt_rng_cycles_per_pass = 0;
+
+  // Data movement.
+  std::uint64_t wgt_dram_bytes = 0;    ///< weight traffic from DRAM
+  std::uint64_t act_dram_bytes = 0;    ///< activation spill traffic (0 if resident)
+  std::uint64_t cnt_store_bytes = 0;   ///< counter write-back to scratchpad
+  std::uint64_t act_sram_bytes = 0;    ///< scratchpad reads feeding the SNGs
+  bool weights_resident = false;       ///< layer weights fit weight memory
+
+  // Stream statistics for the energy model.
+  std::uint64_t act_stream_bits = 0;   ///< activation SNG bits generated
+  std::uint64_t wgt_stream_bits = 0;   ///< weight SNG bits generated
+  std::uint64_t counter_bits = 0;      ///< bits entering activation counters
+};
+
+/// Maps one layer. @p first_layer / @p last_layer control whether input /
+/// output activations cross DRAM (intermediate activations stay on chip
+/// when they fit act_mem_bytes).
+[[nodiscard]] LayerMapping map_layer(const nn::LayerDesc& layer,
+                                     const ArchConfig& arch,
+                                     bool first_layer = false,
+                                     bool last_layer = false);
+
+/// Maps every layer of a network.
+[[nodiscard]] std::vector<LayerMapping> map_network(
+    const nn::NetworkDesc& net, const ArchConfig& arch);
+
+/// Integer ceiling division helper shared by the perf models.
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a,
+                                               std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+}  // namespace acoustic::perf

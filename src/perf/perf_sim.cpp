@@ -1,0 +1,165 @@
+#include "perf/perf_sim.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+#include "perf/mapping.hpp"
+#include "perf/timeline.hpp"
+
+namespace acoustic::perf {
+
+namespace {
+
+/// One control unit: a FIFO of in-flight completion times plus the time its
+/// last queued instruction finishes.
+struct UnitState {
+  std::deque<std::uint64_t> inflight;  // completion times, ascending
+  std::uint64_t last_end = 0;
+
+  void retire_until(std::uint64_t now) {
+    while (!inflight.empty() && inflight.front() <= now) {
+      inflight.pop_front();
+    }
+  }
+};
+
+std::uint64_t duration_of(const isa::Instruction& instr,
+                          const ArchConfig& arch) {
+  switch (instr.op) {
+    case isa::Opcode::kActLd:
+    case isa::Opcode::kActSt:
+    case isa::Opcode::kWgtLd:
+      if (!arch.has_dram) {
+        throw std::invalid_argument(
+            "perf: DMA instruction on a DRAM-less configuration");
+      }
+      return arch.dram.transfer_cycles(instr.bytes, arch.clock_hz());
+    case isa::Opcode::kMac:
+    case isa::Opcode::kWgtShift:
+      return instr.cycles;
+    case isa::Opcode::kActRng:
+    case isa::Opcode::kWgtRng:
+      return ceil_div(instr.bytes,
+                      static_cast<std::uint64_t>(arch.sng_load_lanes));
+    case isa::Opcode::kCntLd:
+    case isa::Opcode::kCntSt:
+      return ceil_div(instr.bytes,
+                      static_cast<std::uint64_t>(arch.cnt_store_lanes));
+    case isa::Opcode::kFor:
+    case isa::Opcode::kEnd:
+    case isa::Opcode::kBarr:
+      return 0;  // dispatcher-internal; costs the dispatch cycle only
+  }
+  return 0;
+}
+
+PerfResult simulate_impl(const isa::Program& program, const ArchConfig& arch,
+                         std::vector<TraceEvent>* sink,
+                         std::size_t max_events) {
+  program.validate();
+  PerfResult result;
+  std::array<UnitState, isa::kUnitCount> units;
+
+  struct LoopFrame {
+    std::size_t body_start;      // index of first body instruction
+    std::uint32_t remaining;     // iterations left after the current one
+  };
+  std::vector<LoopFrame> loops;
+
+  const auto& instrs = program.instructions();
+  std::uint64_t now = 0;  // dispatcher clock
+
+  std::size_t pc = 0;
+  while (pc < instrs.size()) {
+    const isa::Instruction& instr = instrs[pc];
+    now += 1;  // dispatch cost
+    ++result.instructions_dispatched;
+
+    switch (instr.op) {
+      case isa::Opcode::kFor:
+        loops.push_back(LoopFrame{pc + 1, instr.count - 1});
+        ++pc;
+        continue;
+      case isa::Opcode::kEnd:
+        if (loops.empty()) {
+          throw std::logic_error("perf: END without FOR");
+        }
+        if (loops.back().remaining > 0) {
+          --loops.back().remaining;
+          pc = loops.back().body_start;
+        } else {
+          loops.pop_back();
+          ++pc;
+        }
+        continue;
+      case isa::Opcode::kBarr: {
+        for (int u = 0; u < isa::kUnitCount; ++u) {
+          if (instr.mask & (1u << u)) {
+            now = std::max(now, units[static_cast<std::size_t>(u)].last_end);
+          }
+        }
+        auto& disp =
+            result.units[static_cast<std::size_t>(isa::Unit::kDispatch)];
+        ++disp.instructions;
+        ++pc;
+        continue;
+      }
+      default:
+        break;
+    }
+
+    const auto unit_index =
+        static_cast<std::size_t>(isa::unit_of(instr.op));
+    UnitState& unit = units[unit_index];
+    unit.retire_until(now);
+    // FIFO back-pressure: wait until a slot frees.
+    while (unit.inflight.size() >=
+           static_cast<std::size_t>(arch.fifo_depth)) {
+      now = std::max(now, unit.inflight.front());
+      unit.retire_until(now);
+    }
+    const std::uint64_t dur = duration_of(instr, arch);
+    const std::uint64_t start = std::max(now, unit.last_end);
+    const std::uint64_t end = start + dur;
+    unit.last_end = end;
+    unit.inflight.push_back(end);
+
+    UnitStats& stats = result.units[unit_index];
+    stats.busy_cycles += dur;
+    ++stats.instructions;
+    if (isa::unit_of(instr.op) == isa::Unit::kDma) {
+      result.dram_bytes += instr.bytes;
+    }
+    if (sink != nullptr && sink->size() < max_events) {
+      sink->push_back(TraceEvent{isa::unit_of(instr.op), instr.op, start,
+                                 end, instr.note});
+    }
+    ++pc;
+  }
+
+  std::uint64_t finish = now;
+  for (const UnitState& unit : units) {
+    finish = std::max(finish, unit.last_end);
+  }
+  result.total_cycles = finish;
+  result.latency_s = static_cast<double>(finish) / arch.clock_hz();
+  return result;
+}
+
+}  // namespace
+
+PerfResult simulate(const isa::Program& program, const ArchConfig& arch) {
+  return simulate_impl(program, arch, nullptr, 0);
+}
+
+TracedResult simulate_traced(const isa::Program& program,
+                             const ArchConfig& arch,
+                             std::size_t max_events) {
+  TracedResult traced;
+  traced.perf = simulate_impl(program, arch, &traced.events, max_events);
+  return traced;
+}
+
+}  // namespace acoustic::perf

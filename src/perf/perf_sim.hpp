@@ -1,0 +1,45 @@
+// The ACOUSTIC performance simulator (paper IV-A): executes a program
+// through the distributed-control model of section III-C — a Dispatcher
+// that forwards instructions to per-unit FIFOs, maintains loops and blocks
+// on barriers — and reports cycles and per-unit activity without simulating
+// the computation itself.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "isa/program.hpp"
+#include "perf/arch_config.hpp"
+
+namespace acoustic::perf {
+
+struct UnitStats {
+  std::uint64_t busy_cycles = 0;   ///< cycles the unit spent executing
+  std::uint64_t instructions = 0;  ///< instructions retired
+};
+
+struct PerfResult {
+  std::uint64_t total_cycles = 0;
+  double latency_s = 0.0;
+  std::array<UnitStats, isa::kUnitCount> units{};
+  std::uint64_t dram_bytes = 0;        ///< total DMA traffic
+  std::uint64_t instructions_dispatched = 0;
+
+  [[nodiscard]] const UnitStats& unit(isa::Unit u) const noexcept {
+    return units[static_cast<std::size_t>(u)];
+  }
+};
+
+/// Executes @p program on @p arch. Instruction durations:
+///  * DMA ops: bytes at the DRAM interface's sustained bandwidth;
+///  * ACTRNG / WGTRNG: bytes / sng_load_lanes cycles;
+///  * CNTLD / CNTST: bytes / cnt_store_lanes cycles;
+///  * MAC / WGTSHIFT: the instruction's cycle count;
+///  * dispatch itself: one cycle per instruction (loops re-dispatch their
+///    bodies every iteration, as the hardware dispatcher does).
+/// Units execute their FIFOs in order; a full FIFO back-pressures the
+/// dispatcher; BARR blocks dispatch until every masked unit is idle.
+[[nodiscard]] PerfResult simulate(const isa::Program& program,
+                                  const ArchConfig& arch);
+
+}  // namespace acoustic::perf

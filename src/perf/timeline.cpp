@@ -1,0 +1,68 @@
+#include "perf/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace acoustic::perf {
+
+std::string render_gantt(const TracedResult& traced, int columns) {
+  const std::uint64_t total = std::max<std::uint64_t>(
+      traced.perf.total_cycles, 1);
+  const auto col_of = [&](std::uint64_t cycle) {
+    return static_cast<int>(cycle * static_cast<std::uint64_t>(columns) /
+                            total);
+  };
+  std::string out;
+  for (int u = 0; u < isa::kUnitCount; ++u) {
+    const auto unit = static_cast<isa::Unit>(u);
+    if (unit == isa::Unit::kDispatch) {
+      continue;  // dispatch events carry no duration
+    }
+    std::string row(static_cast<std::size_t>(columns), '.');
+    for (const TraceEvent& e : traced.events) {
+      if (e.unit != unit || e.end == e.start) {
+        continue;
+      }
+      const int a = col_of(e.start);
+      const int b = std::max(col_of(e.end - 1), a);
+      for (int c = a; c <= b && c < columns; ++c) {
+        row[static_cast<std::size_t>(c)] = '#';
+      }
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "%-8s |",
+                  isa::unit_name(unit).c_str());
+    out += label;
+    out += row;
+    out += "|\n";
+  }
+  char footer[128];
+  std::snprintf(footer, sizeof(footer),
+                "%-8s 0%*llu cycles\n", "", columns,
+                static_cast<unsigned long long>(total));
+  out += footer;
+  return out;
+}
+
+std::string render_utilization(const TracedResult& traced) {
+  std::string out;
+  const double total =
+      static_cast<double>(std::max<std::uint64_t>(
+          traced.perf.total_cycles, 1));
+  for (int u = 0; u < isa::kUnitCount; ++u) {
+    const auto unit = static_cast<isa::Unit>(u);
+    if (unit == isa::Unit::kDispatch) {
+      continue;
+    }
+    const auto& stats = traced.perf.units[static_cast<std::size_t>(u)];
+    char line[96];
+    std::snprintf(line, sizeof(line), "  %-8s %6.1f%% busy (%llu instr)\n",
+                  isa::unit_name(unit).c_str(),
+                  100.0 * static_cast<double>(stats.busy_cycles) / total,
+                  static_cast<unsigned long long>(stats.instructions));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace acoustic::perf

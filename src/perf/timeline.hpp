@@ -1,0 +1,47 @@
+// Execution timeline capture and rendering for the performance simulator.
+//
+// The dispatcher model of section III-C exists to overlap phases (weight
+// preloading under MAC compute, SNG loads under previous passes); this
+// module makes that overlap visible: simulate_traced() records every
+// instruction's (unit, start, end, note) and render_gantt() draws an
+// ASCII Gantt chart per control unit — the picture Fig. 2's distributed
+// control is meant to produce.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perf/perf_sim.hpp"
+
+namespace acoustic::perf {
+
+/// One executed instruction instance.
+struct TraceEvent {
+  isa::Unit unit = isa::Unit::kDispatch;
+  isa::Opcode op = isa::Opcode::kBarr;
+  std::uint64_t start = 0;  ///< cycle the unit began executing
+  std::uint64_t end = 0;    ///< completion cycle
+  std::string note;
+};
+
+struct TracedResult {
+  PerfResult perf;
+  std::vector<TraceEvent> events;  ///< in dispatch order
+};
+
+/// Like simulate(), additionally recording per-instruction events.
+/// @p max_events bounds memory for pass-loop-heavy programs (recording
+/// stops after the cap; the PerfResult is unaffected).
+[[nodiscard]] TracedResult simulate_traced(const isa::Program& program,
+                                           const ArchConfig& arch,
+                                           std::size_t max_events = 100000);
+
+/// Renders the trace as an ASCII Gantt chart: one row per control unit,
+/// @p columns characters wide, '#' marking busy spans.
+[[nodiscard]] std::string render_gantt(const TracedResult& traced,
+                                       int columns = 100);
+
+/// Per-unit occupancy percentages, formatted.
+[[nodiscard]] std::string render_utilization(const TracedResult& traced);
+
+}  // namespace acoustic::perf

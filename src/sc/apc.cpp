@@ -1,0 +1,23 @@
+#include "sc/apc.hpp"
+
+namespace acoustic::sc {
+
+std::int64_t apc_accumulate(std::span<const BitStream> streams) {
+  // Column-popcount summed over time equals the sum of each stream's
+  // popcount — the APC's final register value.
+  std::int64_t total = 0;
+  for (const BitStream& s : streams) {
+    total += static_cast<std::int64_t>(s.count_ones());
+  }
+  return total;
+}
+
+double apc_value(std::span<const BitStream> streams) {
+  if (streams.empty() || streams.front().empty()) {
+    return 0.0;
+  }
+  return static_cast<double>(apc_accumulate(streams)) /
+         static_cast<double>(streams.front().size());
+}
+
+}  // namespace acoustic::sc

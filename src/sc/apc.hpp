@@ -1,0 +1,31 @@
+// Approximate/exact parallel-counter (APC) accumulation — the accumulator
+// style of SC-DCNN [12], which ACOUSTIC's OR gate replaces.
+//
+// An APC sums the k product bits arriving each cycle into a binary
+// counter: after n cycles the counter holds the exact (unscaled) sum of
+// all product-stream values times n. It is numerically ideal — no
+// saturation, no scaling — but costs an adder tree per MAC (the paper's
+// 4.2x area factor at 128 wide) and its output is already binary, i.e. the
+// stochastic domain ends at the multiplier.
+//
+// Provided so the II-B comparison can be made functionally: OR pays a
+// known saturation (absorbed by training), APC pays area, MUX pays noise.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sc/bitstream.hpp"
+
+namespace acoustic::sc {
+
+/// Parallel-counter accumulation of @p streams (all equal length):
+/// returns sum over cycles of popcount(column), i.e. n * sum(v_i) in
+/// expectation-free exact arithmetic.
+[[nodiscard]] std::int64_t apc_accumulate(std::span<const BitStream> streams);
+
+/// Recovered dot-product estimate: apc_accumulate / stream length.
+/// Returns 0 for empty input.
+[[nodiscard]] double apc_value(std::span<const BitStream> streams);
+
+}  // namespace acoustic::sc

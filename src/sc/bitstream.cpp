@@ -1,0 +1,150 @@
+#include "sc/bitstream.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace acoustic::sc {
+
+BitStream::BitStream(std::size_t length, bool fill)
+    : size_(length),
+      words_((length + 63) / 64, fill ? ~std::uint64_t{0} : 0) {
+  clear_tail();
+}
+
+void BitStream::clear_tail() noexcept {
+  const std::size_t tail = size_ % 64;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << tail) - 1;
+  }
+}
+
+std::size_t BitStream::count_ones() const noexcept {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) {
+    total += static_cast<std::size_t>(std::popcount(w));
+  }
+  return total;
+}
+
+double BitStream::value() const noexcept {
+  if (size_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(count_ones()) / static_cast<double>(size_);
+}
+
+double BitStream::bipolar_value() const noexcept {
+  return 2.0 * value() - 1.0;
+}
+
+void BitStream::append(const BitStream& other) {
+  const std::size_t shift = size_ % 64;
+  if (shift == 0) {
+    words_.insert(words_.end(), other.words_.begin(), other.words_.end());
+    size_ += other.size_;
+    return;
+  }
+  words_.reserve((size_ + other.size_ + 63) / 64);
+  for (std::size_t i = 0; i < other.size_; ++i) {
+    push_back(other.bit(i));
+  }
+}
+
+void BitStream::push_back(bool value) {
+  if (size_ % 64 == 0) {
+    words_.push_back(0);
+  }
+  ++size_;
+  if (value) {
+    set_bit(size_ - 1, true);
+  }
+}
+
+BitStream BitStream::slice(std::size_t begin, std::size_t length) const {
+  if (begin + length > size_) {
+    throw std::out_of_range("BitStream::slice out of range");
+  }
+  BitStream out(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.set_bit(i, bit(begin + i));
+  }
+  return out;
+}
+
+std::string BitStream::to_string() const {
+  std::string s;
+  s.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    s.push_back(bit(i) ? '1' : '0');
+  }
+  return s;
+}
+
+namespace {
+void check_same_size(std::size_t a, std::size_t b) {
+  if (a != b) {
+    throw std::invalid_argument("BitStream size mismatch");
+  }
+}
+}  // namespace
+
+BitStream& BitStream::operator&=(const BitStream& rhs) {
+  check_same_size(size_, rhs.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= rhs.words_[i];
+  }
+  return *this;
+}
+
+BitStream& BitStream::operator|=(const BitStream& rhs) {
+  check_same_size(size_, rhs.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= rhs.words_[i];
+  }
+  return *this;
+}
+
+BitStream& BitStream::operator^=(const BitStream& rhs) {
+  check_same_size(size_, rhs.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] ^= rhs.words_[i];
+  }
+  return *this;
+}
+
+void BitStream::invert() noexcept {
+  for (std::uint64_t& w : words_) {
+    w = ~w;
+  }
+  clear_tail();
+}
+
+BitStream operator&(BitStream lhs, const BitStream& rhs) {
+  lhs &= rhs;
+  return lhs;
+}
+
+BitStream operator|(BitStream lhs, const BitStream& rhs) {
+  lhs |= rhs;
+  return lhs;
+}
+
+BitStream operator^(BitStream lhs, const BitStream& rhs) {
+  lhs ^= rhs;
+  return lhs;
+}
+
+BitStream operator~(BitStream s) {
+  s.invert();
+  return s;
+}
+
+BitStream concatenate(std::span<const BitStream> streams) {
+  BitStream out(0);
+  for (const BitStream& s : streams) {
+    out.append(s);
+  }
+  return out;
+}
+
+}  // namespace acoustic::sc

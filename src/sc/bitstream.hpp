@@ -1,0 +1,107 @@
+// Packed stochastic bitstream container.
+//
+// A stochastic bitstream encodes a number as the proportion of 1 bits in a
+// (pseudo-)random bit sequence. ACOUSTIC processes streams temporally, one
+// bit per clock; this container packs the whole temporal sequence into
+// 64-bit words so that the functional simulator can evaluate single-gate
+// operations (AND multiply, OR accumulate, MUX scaled-add) word-parallel
+// while remaining bit-exact with respect to hardware behaviour.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace acoustic::sc {
+
+/// Fixed-capacity-free packed bitstream. Bit i of the stream is bit (i % 64)
+/// of word (i / 64). Tail bits beyond size() are kept zero as an invariant,
+/// which lets count_ones() and the bitwise operators work word-at-a-time.
+class BitStream {
+ public:
+  BitStream() = default;
+
+  /// Creates a stream of @p length bits, all zero.
+  explicit BitStream(std::size_t length)
+      : size_(length), words_((length + 63) / 64, 0) {}
+
+  /// Creates a stream of @p length bits, all equal to @p fill.
+  BitStream(std::size_t length, bool fill);
+
+  /// Number of bits in the stream (the temporal stream length "n").
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Value of bit @p i. Precondition: i < size().
+  [[nodiscard]] bool bit(std::size_t i) const noexcept {
+    return (words_[i / 64] >> (i % 64)) & 1u;
+  }
+
+  /// Sets bit @p i to @p value. Precondition: i < size().
+  void set_bit(std::size_t i, bool value) noexcept {
+    const std::uint64_t mask = std::uint64_t{1} << (i % 64);
+    if (value) {
+      words_[i / 64] |= mask;
+    } else {
+      words_[i / 64] &= ~mask;
+    }
+  }
+
+  /// Number of 1 bits. For a unipolar stream, value() == count_ones()/size().
+  [[nodiscard]] std::size_t count_ones() const noexcept;
+
+  /// Estimated unipolar value: proportion of ones. Returns 0 for an empty
+  /// stream.
+  [[nodiscard]] double value() const noexcept;
+
+  /// Estimated bipolar value: 2*value() - 1.
+  [[nodiscard]] double bipolar_value() const noexcept;
+
+  /// Appends all bits of @p other to this stream (stream concatenation,
+  /// the primitive behind computation-skipping average pooling, paper
+  /// section II-C).
+  void append(const BitStream& other);
+
+  /// Appends a single bit.
+  void push_back(bool value);
+
+  /// Returns the sub-stream [begin, begin+length).
+  [[nodiscard]] BitStream slice(std::size_t begin, std::size_t length) const;
+
+  /// Underlying packed words (tail bits above size() are zero).
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return words_;
+  }
+
+  /// "0101..."-style dump, least-recent bit first. Debug/trace use.
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const BitStream& other) const = default;
+
+  // Bitwise in-place operators require equal sizes (checked).
+  BitStream& operator&=(const BitStream& rhs);
+  BitStream& operator|=(const BitStream& rhs);
+  BitStream& operator^=(const BitStream& rhs);
+
+  /// Flips every bit in place (unipolar complement: v -> 1-v).
+  void invert() noexcept;
+
+ private:
+  void clear_tail() noexcept;
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+[[nodiscard]] BitStream operator&(BitStream lhs, const BitStream& rhs);
+[[nodiscard]] BitStream operator|(BitStream lhs, const BitStream& rhs);
+[[nodiscard]] BitStream operator^(BitStream lhs, const BitStream& rhs);
+[[nodiscard]] BitStream operator~(BitStream s);
+
+/// Concatenates streams in order (scaled addition when the inputs are
+/// independent: value(concat) == mean of values when lengths are equal).
+[[nodiscard]] BitStream concatenate(std::span<const BitStream> streams);
+
+}  // namespace acoustic::sc

@@ -1,0 +1,30 @@
+#include "sc/correlation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace acoustic::sc {
+
+double scc(const BitStream& x, const BitStream& y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("scc: stream size mismatch");
+  }
+  if (x.empty()) {
+    return 0.0;
+  }
+  const double p1 = x.value();
+  const double p2 = y.value();
+  const double p12 = (x & y).value();
+  const double delta = p12 - p1 * p2;
+  if (delta > 0.0) {
+    const double denom = std::min(p1, p2) - p1 * p2;
+    return denom <= 0.0 ? 0.0 : delta / denom;
+  }
+  if (delta < 0.0) {
+    const double denom = p1 * p2 - std::max(p1 + p2 - 1.0, 0.0);
+    return denom <= 0.0 ? 0.0 : delta / denom;
+  }
+  return 0.0;
+}
+
+}  // namespace acoustic::sc

@@ -1,0 +1,22 @@
+// Stream correlation measurement.
+//
+// SC arithmetic assumes independent (decorrelated) input streams: AND of two
+// maximally correlated streams computes min(v1,v2), not v1*v2. ACOUSTIC's
+// computation-skipping pooling produces correlated outputs, which the
+// architecture neutralizes by converting to binary after every layer and
+// regenerating fresh streams (paper section II-C). This module provides the
+// standard stochastic cross-correlation (SCC) metric used to verify both
+// facts in tests.
+#pragma once
+
+#include "sc/bitstream.hpp"
+
+namespace acoustic::sc {
+
+/// Stochastic cross-correlation (Alaghi & Hayes): +1 for maximally
+/// positively correlated streams, 0 for independent, -1 for maximally
+/// negatively correlated. Returns 0 when either stream is constant (the
+/// metric is undefined there).
+[[nodiscard]] double scc(const BitStream& x, const BitStream& y);
+
+}  // namespace acoustic::sc

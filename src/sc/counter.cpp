@@ -1,0 +1,37 @@
+#include "sc/counter.hpp"
+
+namespace acoustic::sc {
+
+void UpDownCounter::count(const BitStream& stream, bool up) noexcept {
+  const auto ones = static_cast<std::int64_t>(stream.count_ones());
+  value_ += up ? ones : -ones;
+  clamp();
+}
+
+void UpDownCounter::step(bool bit, bool up) noexcept {
+  if (bit) {
+    value_ += up ? 1 : -1;
+    clamp();
+  }
+}
+
+void UpDownCounter::clamp() noexcept {
+  if (bound_ > 0) {
+    if (value_ > bound_) {
+      value_ = bound_;
+    } else if (value_ < -bound_) {
+      value_ = -bound_;
+    }
+  }
+}
+
+void ParallelCounter::count(std::span<const BitStream> streams,
+                            bool up) noexcept {
+  std::int64_t ones = 0;
+  for (const BitStream& s : streams) {
+    ones += static_cast<std::int64_t>(s.count_ones());
+  }
+  value_ += up ? ones : -ones;
+}
+
+}  // namespace acoustic::sc

@@ -1,0 +1,71 @@
+// Output counters: the stochastic-to-binary conversion stage.
+//
+// ACOUSTIC converts every layer's outputs back to fixed-point binary with
+// activation counters (paper Fig. 2, "Cnt/ReLU"). The split-unipolar scheme
+// uses *up/down* counters: during the positive phase the counter counts up
+// on every 1 of the OR-accumulated product stream, during the negative
+// phase it counts down (Fig. 1). Pooling support adds small parallel
+// counters in front so adjacent outputs in a pooling window accumulate into
+// one counter (section II-C / III-B computation skipping).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sc/bitstream.hpp"
+
+namespace acoustic::sc {
+
+/// Signed up/down counter with optional saturation, modelling one activation
+/// counter. The counter is *not* reset between computation phases or pooled
+/// passes unless reset() is called — exactly the property computation
+/// skipping exploits.
+class UpDownCounter {
+ public:
+  /// @param saturate_at absolute saturation bound; 0 means unbounded
+  ///        (software model). Hardware counters are sized to the stream
+  ///        length, so the unbounded model is bit-exact for valid programs.
+  explicit UpDownCounter(std::int64_t saturate_at = 0) noexcept
+      : bound_(saturate_at) {}
+
+  /// Accumulates one stream: adds +1 (up) or -1 (down) per 1-bit.
+  void count(const BitStream& stream, bool up) noexcept;
+
+  /// Single-cycle step.
+  void step(bool bit, bool up) noexcept;
+
+  [[nodiscard]] std::int64_t value() const noexcept { return value_; }
+
+  void reset() noexcept { value_ = 0; }
+
+  /// ReLU in the binary domain (paper section II-A: bitwise AND of inverted
+  /// sign with the value, i.e. negative results clamp to zero).
+  [[nodiscard]] std::int64_t relu() const noexcept {
+    return value_ > 0 ? value_ : 0;
+  }
+
+ private:
+  void clamp() noexcept;
+
+  std::int64_t bound_;
+  std::int64_t value_ = 0;
+};
+
+/// Parallel counter: sums k input bits per cycle. ACOUSTIC uses small (2x-3x)
+/// parallel counters before pooled activation counters so that outputs that
+/// fall in the same pooling window along the output width accumulate together
+/// (section III-B).
+class ParallelCounter {
+ public:
+  /// Adds, per cycle t, the number of 1 bits across all @p streams at t.
+  /// All streams must share a length.
+  void count(std::span<const BitStream> streams, bool up) noexcept;
+
+  [[nodiscard]] std::int64_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+}  // namespace acoustic::sc

@@ -1,0 +1,56 @@
+#include "sc/deterministic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sc/gates.hpp"
+
+namespace acoustic::sc {
+
+namespace {
+
+std::size_t quantize_to_period(double v, std::size_t period) {
+  const double clamped = std::clamp(v, 0.0, 1.0);
+  return static_cast<std::size_t>(
+      std::lround(clamped * static_cast<double>(period)));
+}
+
+}  // namespace
+
+BitStream unary_stream(double v, std::size_t period, std::size_t length) {
+  const std::size_t ones = quantize_to_period(v, period);
+  BitStream out(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    if ((i % period) < ones) {
+      out.set_bit(i, true);
+    }
+  }
+  return out;
+}
+
+DeterministicPair clock_division_pair(double va, double vb,
+                                      std::size_t period_a,
+                                      std::size_t period_b) {
+  const std::size_t length = period_a * period_b;
+  const std::size_t ones_a = quantize_to_period(va, period_a);
+  DeterministicPair pair;
+  // A advances one unary position every period_b cycles (clock division).
+  pair.a = BitStream(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    if (((i / period_b) % period_a) < ones_a) {
+      pair.a.set_bit(i, true);
+    }
+  }
+  // B cycles its unary period every cycle.
+  pair.b = unary_stream(vb, period_b, length);
+  return pair;
+}
+
+double deterministic_multiply(double va, double vb, std::size_t period_a,
+                              std::size_t period_b) {
+  const DeterministicPair pair =
+      clock_division_pair(va, vb, period_a, period_b);
+  return and_multiply(pair.a, pair.b).value();
+}
+
+}  // namespace acoustic::sc

@@ -1,0 +1,46 @@
+// Deterministic bitstream processing (Faraji et al., DATE 2019 — the
+// paper's reference [20], which "independently proposed" an idea similar
+// to spatially-unrolled split-unipolar processing).
+//
+// Deterministic SC replaces random comparison sequences with structured
+// ones so that two streams interact *exactly*: with the clock-division
+// method, stream A repeats each bit n_b times while stream B cycles its
+// period, so every bit pair (a_i, b_j) meets exactly once over n_a * n_b
+// cycles and AND computes the exact product a*b with zero variance — at
+// the cost of quadratic stream length.
+//
+// Included as a substrate extension: the unit tests demonstrate both the
+// exactness and the length blow-up that makes the stochastic (sampled)
+// approach preferable at CNN scale.
+#pragma once
+
+#include <cstdint>
+
+#include "sc/bitstream.hpp"
+
+namespace acoustic::sc {
+
+/// Unary (thermometer) stream: the first round(v * period) bits of each
+/// period are 1. Exact representation of k/period values.
+[[nodiscard]] BitStream unary_stream(double v, std::size_t period,
+                                     std::size_t length);
+
+/// Clock-division deterministic pair for exact multiplication:
+/// stream A holds each unary bit for @p period_b cycles; stream B repeats
+/// its unary period. Both have length period_a * period_b.
+struct DeterministicPair {
+  BitStream a;
+  BitStream b;
+};
+
+[[nodiscard]] DeterministicPair clock_division_pair(double va, double vb,
+                                                    std::size_t period_a,
+                                                    std::size_t period_b);
+
+/// Exact product via AND of a clock-division pair:
+/// AND(pair).value() == round(va*pa)/pa * round(vb*pb)/pb exactly.
+[[nodiscard]] double deterministic_multiply(double va, double vb,
+                                            std::size_t period_a,
+                                            std::size_t period_b);
+
+}  // namespace acoustic::sc

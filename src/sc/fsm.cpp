@@ -1,0 +1,67 @@
+#include "sc/fsm.hpp"
+
+#include <stdexcept>
+
+namespace acoustic::sc {
+
+StanhFsm::StanhFsm(int states) : states_(states), state_(states / 2) {
+  if (states < 2 || states % 2 != 0) {
+    throw std::invalid_argument("StanhFsm: states must be even and >= 2");
+  }
+}
+
+void StanhFsm::reset() noexcept { state_ = states_ / 2; }
+
+bool StanhFsm::step(bool in) noexcept {
+  if (in) {
+    if (state_ < states_ - 1) {
+      ++state_;
+    }
+  } else if (state_ > 0) {
+    --state_;
+  }
+  return state_ >= states_ / 2;
+}
+
+BitStream StanhFsm::transform(const BitStream& input) {
+  BitStream out(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    out.set_bit(i, step(input.bit(i)));
+  }
+  return out;
+}
+
+MaxFsm::MaxFsm(int depth) : depth_(depth), counter_(0) {
+  if (depth < 1) {
+    throw std::invalid_argument("MaxFsm: depth must be >= 1");
+  }
+}
+
+bool MaxFsm::step(bool a, bool b) noexcept {
+  // Track the running difference of 1s and forward the stream that has
+  // been denser so far; once the counter saturates toward the true
+  // maximum's side, the output density equals max(va, vb).
+  if (a && !b) {
+    if (counter_ < depth_) {
+      ++counter_;
+    }
+  } else if (b && !a) {
+    if (counter_ > -depth_) {
+      --counter_;
+    }
+  }
+  return counter_ >= 0 ? a : b;
+}
+
+BitStream MaxFsm::transform(const BitStream& a, const BitStream& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("MaxFsm: stream size mismatch");
+  }
+  BitStream out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.set_bit(i, step(a.bit(i), b.bit(i)));
+  }
+  return out;
+}
+
+}  // namespace acoustic::sc

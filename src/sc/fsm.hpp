@@ -1,0 +1,75 @@
+// FSM-based stochastic units.
+//
+// ACOUSTIC deliberately avoids these: ReLU is free in the binary domain
+// after the counters (II-A footnote: "Other activation functions require
+// FSM implementations [12, 15] and we do not explore them here"), and
+// FSM max pooling is ~2x the area/power of average pooling (II-C). They
+// are implemented here as extensions so those costs and behaviours can be
+// measured rather than asserted:
+//
+//  * StanhFsm — Gaines/Brown-Card stochastic tanh: a K-state saturating
+//    up/down counter driven by a bipolar stream; the output bit is the
+//    counter's upper half. E[out] ~ tanh(K/2 * x) in bipolar encoding.
+//  * MaxFsm — two-input stochastic maximum (Yu et al., ICCD'17 style): a
+//    saturating counter tracks which input has produced more 1s; the
+//    output forwards the currently-winning input. E[out] ~ max(va, vb)
+//    for unipolar inputs.
+//
+// Caveat (measured in fsm_test.cpp): FSM transfer functions assume
+// temporally-independent input bits. LFSR comparison sequences are
+// sequentially correlated (consecutive states share width-1 bits), which
+// perturbs FSM outputs even though combinational AND/OR arithmetic only
+// depends on marginal probabilities — a further practical argument for
+// ACOUSTIC's FSM-free datapath.
+#pragma once
+
+#include <cstdint>
+
+#include "sc/bitstream.hpp"
+
+namespace acoustic::sc {
+
+/// Stochastic tanh FSM over bipolar streams.
+class StanhFsm {
+ public:
+  /// @param states number of FSM states K (even, >= 2). Approximates
+  ///        tanh(K/2 * x) where x is the input's bipolar value.
+  explicit StanhFsm(int states);
+
+  /// Processes one input bit; returns the output bit.
+  bool step(bool in) noexcept;
+
+  /// Transforms a whole bipolar stream.
+  [[nodiscard]] BitStream transform(const BitStream& input);
+
+  /// Resets to the middle state.
+  void reset() noexcept;
+
+  [[nodiscard]] int states() const noexcept { return states_; }
+
+ private:
+  int states_;
+  int state_;
+};
+
+/// Two-input stochastic max FSM over unipolar streams.
+class MaxFsm {
+ public:
+  /// @param depth counter depth (saturation bound); larger tracks slower
+  ///        but more accurately.
+  explicit MaxFsm(int depth = 16);
+
+  /// Processes one bit pair; returns the selected output bit.
+  bool step(bool a, bool b) noexcept;
+
+  /// Computes the elementwise stochastic max of two streams.
+  [[nodiscard]] BitStream transform(const BitStream& a, const BitStream& b);
+
+  void reset() noexcept { counter_ = 0; }
+
+ private:
+  int depth_;
+  int counter_;  // positive: a has been winning, negative: b
+};
+
+}  // namespace acoustic::sc

@@ -1,0 +1,47 @@
+#include "sc/gates.hpp"
+
+#include <cmath>
+
+namespace acoustic::sc {
+
+BitStream and_multiply(const BitStream& a, const BitStream& b) {
+  return a & b;
+}
+
+BitStream xnor_multiply(const BitStream& a, const BitStream& b) {
+  return ~(a ^ b);
+}
+
+BitStream or_accumulate(std::span<const BitStream> inputs) {
+  if (inputs.empty()) {
+    return BitStream(0);
+  }
+  BitStream out = inputs.front();
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    out |= inputs[i];
+  }
+  return out;
+}
+
+BitStream or_accumulate(const BitStream& a, const BitStream& b) {
+  return a | b;
+}
+
+BitStream mux_add(const BitStream& a, const BitStream& b,
+                  const BitStream& select) {
+  return (a & select) | (b & ~select);
+}
+
+double or_expected(std::span<const double> values) noexcept {
+  double prod = 1.0;
+  for (double v : values) {
+    prod *= (1.0 - v);
+  }
+  return 1.0 - prod;
+}
+
+double or_approximation(double input_sum) noexcept {
+  return 1.0 - std::exp(-input_sum);
+}
+
+}  // namespace acoustic::sc

@@ -1,0 +1,70 @@
+// Single-gate stochastic arithmetic (paper section II).
+//
+// In unipolar SC:
+//   AND(v1, v2)            = v1 * v2                       (multiplication)
+//   OR(v1, v2)             = v1 + v2 - v1*v2               (saturating add)
+//   MUX(v1, v2, s=0.5)     = (v1 + v2) / 2                 (scaled add)
+//   NOT(v)                 = 1 - v
+// In bipolar SC, XNOR multiplies. ACOUSTIC's contribution is making OR
+// accumulation practical via the split-unipolar representation: OR is
+// scale-free (critical for the 1000s-wide accumulations in CNN layers) and
+// costs a single gate per operand, versus the parallel counters or early
+// binary conversion prior SC accelerators needed.
+#pragma once
+
+#include <span>
+
+#include "sc/bitstream.hpp"
+
+namespace acoustic::sc {
+
+/// Unipolar multiply: bitwise AND. E[result] = v1*v2 when inputs are
+/// independent (decorrelated).
+[[nodiscard]] BitStream and_multiply(const BitStream& a, const BitStream& b);
+
+/// Bipolar multiply: bitwise XNOR. E[result] = v1*v2 in bipolar encoding.
+[[nodiscard]] BitStream xnor_multiply(const BitStream& a, const BitStream& b);
+
+/// Scale-free saturating accumulation: bitwise OR over all inputs.
+/// E[result] = 1 - prod_i (1 - v_i). Empty input yields an all-zero stream
+/// of length 0.
+[[nodiscard]] BitStream or_accumulate(std::span<const BitStream> inputs);
+
+/// Two-input OR convenience overload.
+[[nodiscard]] BitStream or_accumulate(const BitStream& a, const BitStream& b);
+
+/// MUX scaled addition: out_t = select_t ? a_t : b_t.
+/// E[result] = s*v_a + (1-s)*v_b where s is the select stream's value.
+[[nodiscard]] BitStream mux_add(const BitStream& a, const BitStream& b,
+                                const BitStream& select);
+
+/// N-input MUX tree with a uniformly random select: picks input
+/// (select_value mod n) each cycle. E[result] = mean(v_i). This is the
+/// conventional SC adder that ACOUSTIC's OR accumulation replaces; kept as
+/// the comparison baseline for the section II-B experiment.
+template <typename Rng>
+[[nodiscard]] BitStream mux_accumulate(std::span<const BitStream> inputs,
+                                       Rng& rng) {
+  if (inputs.empty()) {
+    return BitStream(0);
+  }
+  const std::size_t n = inputs.size();
+  const std::size_t length = inputs.front().size();
+  BitStream out(length);
+  for (std::size_t t = 0; t < length; ++t) {
+    const std::size_t pick = static_cast<std::size_t>(rng.next()) % n;
+    out.set_bit(t, inputs[pick].bit(t));
+  }
+  return out;
+}
+
+/// Expected value of an OR-accumulation of unipolar inputs:
+/// 1 - prod(1 - v_i). This is the exact function ACOUSTIC's training has to
+/// model (section II-D).
+[[nodiscard]] double or_expected(std::span<const double> values) noexcept;
+
+/// The paper's training-time approximation, Eq. (1):
+/// OR(a_1..a_n) ~= 1 - e^{-s}, s = sum of inputs.
+[[nodiscard]] double or_approximation(double input_sum) noexcept;
+
+}  // namespace acoustic::sc

@@ -1,0 +1,30 @@
+#include "sc/representation.hpp"
+
+namespace acoustic::sc {
+
+SplitStream encode_split_unipolar(double v, std::size_t length, Sng& sng) {
+  const SplitValue parts = split(v);
+  SplitStream out;
+  if (parts.positive > 0.0) {
+    out.positive = sng.generate(parts.positive, length);
+    out.negative = BitStream(length);
+  } else {
+    out.positive = BitStream(length);
+    out.negative = sng.generate(parts.negative, length);
+  }
+  return out;
+}
+
+BitStream encode_unipolar(double v, std::size_t length, Sng& sng) {
+  return sng.generate(v, length);
+}
+
+BitStream encode_bipolar(double v, std::size_t length, Sng& sng) {
+  return sng.generate((v + 1.0) / 2.0, length);
+}
+
+double decode_bipolar(const BitStream& s) noexcept {
+  return s.bipolar_value();
+}
+
+}  // namespace acoustic::sc

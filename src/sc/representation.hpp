@@ -1,0 +1,80 @@
+// Stochastic number representations (paper section II-A).
+//
+// Unipolar: P(bit=1) = v, v in [0,1].
+// Bipolar:  P(bit=1) = (v+1)/2, v in [-1,1].
+// Split-unipolar (ACOUSTIC): a signed value is carried by TWO unipolar
+// streams, one for the positive and one for the negative component; for a
+// positive value the negative stream is identically zero and vice versa.
+// Activations after ReLU are non-negative and need only the positive stream.
+//
+// The paper's RMS representation errors:
+//   unipolar: sqrt(v(1-v)/n)
+//   bipolar:  sqrt((1-v^2)/n_b)
+// imply unipolar needs >= 2x shorter streams for equal error, which is what
+// makes split-unipolar worthwhile despite the two-phase processing.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "sc/bitstream.hpp"
+#include "sc/sng.hpp"
+
+namespace acoustic::sc {
+
+/// A signed value decomposed into non-negative positive/negative parts.
+/// Exactly one of the parts is nonzero (or both are zero).
+struct SplitValue {
+  double positive = 0.0;
+  double negative = 0.0;
+
+  [[nodiscard]] double value() const noexcept { return positive - negative; }
+};
+
+/// Splits @p v in [-1,1] into its unipolar components.
+[[nodiscard]] constexpr SplitValue split(double v) noexcept {
+  return v >= 0.0 ? SplitValue{v, 0.0} : SplitValue{0.0, -v};
+}
+
+/// The pair of unipolar streams carrying one signed weight.
+struct SplitStream {
+  BitStream positive;
+  BitStream negative;
+
+  /// Estimated signed value.
+  [[nodiscard]] double value() const noexcept {
+    return positive.value() - negative.value();
+  }
+};
+
+/// Encodes @p v in [-1,1] as a split-unipolar stream pair of @p length bits.
+/// Both streams are drawn from @p sng (the zero component consumes no
+/// randomness: it is all zeros by construction, matching the sign-gating
+/// hardware of Fig. 1).
+[[nodiscard]] SplitStream encode_split_unipolar(double v, std::size_t length,
+                                                Sng& sng);
+
+/// Encodes @p v in [0,1] as a unipolar stream.
+[[nodiscard]] BitStream encode_unipolar(double v, std::size_t length,
+                                        Sng& sng);
+
+/// Encodes @p v in [-1,1] as a bipolar stream (P(1) = (v+1)/2).
+[[nodiscard]] BitStream encode_bipolar(double v, std::size_t length,
+                                       Sng& sng);
+
+/// Decodes a bipolar stream: 2*ones/n - 1.
+[[nodiscard]] double decode_bipolar(const BitStream& s) noexcept;
+
+/// Analytical RMS error of an n-bit unipolar encoding of v (paper II-A).
+[[nodiscard]] inline double unipolar_rms_error(double v,
+                                               std::size_t n) noexcept {
+  return std::sqrt(v * (1.0 - v) / static_cast<double>(n));
+}
+
+/// Analytical RMS error of an n_b-bit bipolar encoding of v (paper II-A).
+[[nodiscard]] inline double bipolar_rms_error(double v,
+                                              std::size_t nb) noexcept {
+  return std::sqrt((1.0 - v * v) / static_cast<double>(nb));
+}
+
+}  // namespace acoustic::sc

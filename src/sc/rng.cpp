@@ -1,0 +1,68 @@
+#include "sc/rng.hpp"
+
+#include <bit>
+
+namespace acoustic::sc {
+
+std::uint32_t lfsr_taps(unsigned width) {
+  // Maximal-length polynomial tap masks (Fibonacci form), standard tables
+  // (Xilinx XAPP052). Bit i set => stage (i+1) participates in feedback.
+  switch (width) {
+    case 3:  return 0b110;
+    case 4:  return 0b1100;
+    case 5:  return 0b10100;
+    case 6:  return 0b110000;
+    case 7:  return 0b1100000;
+    case 8:  return 0b10111000;
+    case 9:  return 0b100010000;
+    case 10: return 0b1001000000;
+    case 11: return 0b10100000000;
+    case 12: return 0b111000001000;
+    case 13: return 0b1110010000000;
+    case 14: return 0b11100000000010;
+    case 15: return 0b110000000000000;
+    case 16: return 0b1101000000001000;
+    case 17: return 0b10010000000000000;
+    case 18: return 0b100000010000000000;
+    case 19: return 0b1110010000000000000;
+    case 20: return 0b10010000000000000000;
+    case 21: return 0b101000000000000000000;
+    case 22: return 0b1100000000000000000000;
+    case 23: return 0b10000100000000000000000;
+    case 24: return 0b111000010000000000000000;
+    case 25: return 0b100100000000000000000000'0;
+    case 26: return 0b10000000000000000000100011u << 0;
+    case 27: return 0b100000000000000000000010011u;
+    case 28: return 0b1001000000000000000000000000u;
+    case 29: return 0b10100000000000000000000000000u;
+    case 30: return 0b100000000000000000000000101001u;
+    case 31: return 0b1001000000000000000000000000000u;
+    case 32: return 0b10000000001000000000000000000011u;
+    default:
+      throw std::invalid_argument("lfsr_taps: width must be 3..32");
+  }
+}
+
+Lfsr::Lfsr(unsigned width, std::uint32_t seed)
+    : width_(width),
+      taps_(lfsr_taps(width)),
+      mask_((width >= 32) ? ~std::uint32_t{0}
+                          : ((std::uint32_t{1} << width) - 1)) {
+  this->seed(seed);
+}
+
+void Lfsr::seed(std::uint32_t value) noexcept {
+  state_ = value & mask_;
+  if (state_ == 0) {
+    state_ = 1;
+  }
+}
+
+std::uint32_t Lfsr::next() noexcept {
+  const std::uint32_t feedback =
+      static_cast<std::uint32_t>(std::popcount(state_ & taps_) & 1);
+  state_ = ((state_ << 1) | feedback) & mask_;
+  return state_;
+}
+
+}  // namespace acoustic::sc

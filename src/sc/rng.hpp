@@ -1,0 +1,107 @@
+// Pseudo-random number generators for stochastic number generation.
+//
+// ACOUSTIC, like most SC accelerators, uses linear-feedback shift registers
+// (LFSRs) as the random source inside stochastic number generators (SNGs),
+// sharing one RNG across many SNGs to amortize its cost (paper section
+// III-A). This module provides maximal-length Fibonacci LFSRs for widths
+// 3..32 plus a counter-based low-discrepancy generator used to build
+// deterministic unary streams for tests.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace acoustic::sc {
+
+/// Maximal-length feedback tap mask for an LFSR of @p width bits
+/// (3 <= width <= 32). The mask has bit i set when stage i+1 feeds the XOR.
+/// Throws std::invalid_argument for unsupported widths.
+[[nodiscard]] std::uint32_t lfsr_taps(unsigned width);
+
+/// Fibonacci LFSR with a maximal-period polynomial: visits every nonzero
+/// state exactly once per 2^width - 1 steps. The all-zero state is a
+/// fixpoint and is never entered from a nonzero seed.
+class Lfsr {
+ public:
+  /// @param width register width in bits, 3..32.
+  /// @param seed  initial nonzero state (masked to width bits; a masked
+  ///              result of zero is replaced by 1 so the LFSR never sticks).
+  explicit Lfsr(unsigned width, std::uint32_t seed = 1);
+
+  /// Advances one step and returns the new @p width-bit state.
+  std::uint32_t next() noexcept;
+
+  /// Current state without advancing.
+  [[nodiscard]] std::uint32_t state() const noexcept { return state_; }
+
+  [[nodiscard]] unsigned width() const noexcept { return width_; }
+
+  /// Period of this LFSR: 2^width - 1.
+  [[nodiscard]] std::uint64_t period() const noexcept {
+    return (std::uint64_t{1} << width_) - 1;
+  }
+
+  /// Reseeds (same masking rules as the constructor).
+  void seed(std::uint32_t value) noexcept;
+
+ private:
+  unsigned width_;
+  std::uint32_t taps_;
+  std::uint32_t mask_;
+  std::uint32_t state_;
+};
+
+/// Weighted binary counter "RNG". Emits 0, 1, 2, ... mod 2^width. Comparing
+/// a value against this sequence yields a deterministic evenly-spaced unary
+/// stream — useful as the deterministic-bitstream reference in tests
+/// (cf. Faraji et al., DATE 2019, cited as [20] in the paper).
+class CounterRng {
+ public:
+  explicit CounterRng(unsigned width, std::uint32_t start = 0)
+      : mask_((width >= 32) ? ~std::uint32_t{0}
+                            : ((std::uint32_t{1} << width) - 1)),
+        state_(start & mask_) {
+    if (width == 0 || width > 32) {
+      throw std::invalid_argument("CounterRng width must be 1..32");
+    }
+  }
+
+  std::uint32_t next() noexcept {
+    const std::uint32_t out = state_;
+    state_ = (state_ + 1) & mask_;
+    return out;
+  }
+
+  [[nodiscard]] std::uint32_t state() const noexcept { return state_; }
+
+ private:
+  std::uint32_t mask_;
+  std::uint32_t state_;
+};
+
+/// xorshift32 — cheap software PRNG for Monte-Carlo experiments that need
+/// independence beyond what a shared LFSR provides (e.g. error sweeps).
+class XorShift32 {
+ public:
+  explicit XorShift32(std::uint32_t seed = 0x9e3779b9u)
+      : state_(seed ? seed : 1u) {}
+
+  std::uint32_t next() noexcept {
+    std::uint32_t x = state_;
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    state_ = x;
+    return x;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next()) * (1.0 / 4294967296.0);
+  }
+
+ private:
+  std::uint32_t state_;
+};
+
+}  // namespace acoustic::sc

@@ -1,0 +1,19 @@
+#include "sc/sng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace acoustic::sc {
+
+std::uint32_t quantize_unipolar(double value, unsigned width) {
+  const double clamped = std::clamp(value, 0.0, 1.0);
+  const double scale = std::ldexp(1.0, static_cast<int>(width));
+  const auto level = static_cast<std::uint64_t>(std::llround(clamped * scale));
+  // Width-32 levels of exactly 2^32 cannot be represented in the 32-bit
+  // comparator; saturate (error <= 2^-32 in the encoded value).
+  const std::uint64_t cap = (width >= 32) ? 0xFFFFFFFFull
+                                          : (std::uint64_t{1} << width);
+  return static_cast<std::uint32_t>(std::min(level, cap));
+}
+
+}  // namespace acoustic::sc

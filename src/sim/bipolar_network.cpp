@@ -1,0 +1,187 @@
+#include "sim/bipolar_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sc/rng.hpp"
+#include "sim/stream_bank.hpp"
+
+namespace acoustic::sim {
+
+namespace {
+
+/// Bipolar comparator level for v in [-1, 1]: P(1) = (v+1)/2.
+std::uint32_t bipolar_level(const StreamBank& bank, double v) {
+  return bank.quantize((std::clamp(v, -1.0, 1.0) + 1.0) / 2.0);
+}
+
+}  // namespace
+
+BipolarNetwork::BipolarNetwork(nn::Network& net, BipolarConfig cfg)
+    : net_(&net), cfg_(cfg) {
+  if (cfg_.stream_length == 0) {
+    throw std::invalid_argument("BipolarNetwork: stream_length must be > 0");
+  }
+  Stage* open = nullptr;
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    nn::Layer* layer = &net.layer(i);
+    if (auto* conv = dynamic_cast<nn::Conv2D*>(layer)) {
+      stages_.push_back(Stage{});
+      open = &stages_.back();
+      open->conv = conv;
+    } else if (auto* dense = dynamic_cast<nn::Dense*>(layer)) {
+      stages_.push_back(Stage{});
+      open = &stages_.back();
+      open->dense = dense;
+    } else {
+      if (open == nullptr) {
+        throw std::invalid_argument(
+            "BipolarNetwork: network must start with a weighted layer");
+      }
+      open->post_ops.push_back(layer);
+    }
+  }
+}
+
+nn::Tensor BipolarNetwork::forward(const nn::Tensor& input) {
+  nn::Tensor x = input;
+  for (const Stage& stage : stages_) {
+    x = stage.conv != nullptr ? run_conv(stage, x) : run_dense(stage, x);
+    for (nn::Layer* post : stage.post_ops) {
+      x = post->forward(x);
+    }
+  }
+  return x;
+}
+
+nn::Tensor BipolarNetwork::run_conv(const Stage& stage,
+                                    const nn::Tensor& input) {
+  const nn::Conv2D& conv = *stage.conv;
+  const auto& spec = conv.spec();
+  const nn::Shape in = input.shape();
+  const nn::Shape out_shape = conv.output_shape(in);
+  const std::size_t len = cfg_.stream_length;
+
+  StreamBank act_bank(cfg_.sng_width, cfg_.activation_seed, len);
+  StreamBank wgt_bank(cfg_.sng_width, cfg_.weight_seed, len);
+
+  // Static per-layer activation scaling (standard bipolar-SC practice):
+  // values are normalized into [-1, 1] before encoding and the recovered
+  // dot product is scaled back — exact up to quantization, since the MUX
+  // sum is linear in its inputs.
+  const double act_scale =
+      input.abs_max() > 0.0f ? static_cast<double>(input.abs_max()) : 1.0;
+  std::vector<std::uint32_t> act_levels(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    act_levels[i] = bipolar_level(act_bank, input[i] / act_scale);
+  }
+  const auto weights = conv.weights();
+  std::vector<std::uint32_t> wgt_levels(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    wgt_levels[i] = bipolar_level(wgt_bank, weights[i]);
+  }
+
+  const std::size_t rf_max =
+      static_cast<std::size_t>(spec.kernel) * spec.kernel * spec.in_channels;
+  nn::Tensor out(out_shape);
+
+  // Gather RF membership once per output position; the MUX picks one live
+  // product per cycle (scaled addition), XNOR computes bipolar products.
+  std::vector<std::size_t> rf_act(rf_max);
+  std::vector<std::size_t> rf_wgt(rf_max);
+  sc::XorShift32 select(cfg_.select_seed);
+
+  for (int oy = 0; oy < out_shape.h; ++oy) {
+    for (int ox = 0; ox < out_shape.w; ++ox) {
+      std::size_t rf_size = 0;
+      for (int ky = 0; ky < spec.kernel; ++ky) {
+        const int iy = oy * spec.stride + ky - spec.padding;
+        for (int kx = 0; kx < spec.kernel; ++kx) {
+          const int ix = ox * spec.stride + kx - spec.padding;
+          for (int ic = 0; ic < spec.in_channels; ++ic) {
+            if (iy < 0 || iy >= in.h || ix < 0 || ix >= in.w) {
+              // Zero padding: excluded from the MUX fan-in (kinder to the
+              // baseline than feeding it half-probability zero streams).
+              continue;
+            }
+            rf_act[rf_size] = input.index(iy, ix, ic);
+            rf_wgt[rf_size] =
+                (static_cast<std::size_t>(ky) * spec.kernel + kx) *
+                    spec.in_channels +
+                static_cast<std::size_t>(ic);
+            ++rf_size;
+          }
+        }
+      }
+      for (int oc = 0; oc < out_shape.c; ++oc) {
+        std::int64_t ones = 0;
+        for (std::size_t t = 0; t < len; ++t) {
+          const std::size_t pick =
+              static_cast<std::size_t>(select.next()) % rf_size;
+          const std::size_t ai = rf_act[pick];
+          const std::size_t wi =
+              static_cast<std::size_t>(oc) * rf_max + rf_wgt[pick];
+          const bool a_bit =
+              act_bank.scramble(act_bank.state_at(t, ai), ai) <
+              act_levels[ai];
+          const bool w_bit =
+              wgt_bank.scramble(wgt_bank.state_at(t, wi), wi) <
+              wgt_levels[wi];
+          ones += (a_bit == w_bit) ? 1 : 0;  // XNOR
+        }
+        // MUX output is (sum of products)/rf_size in bipolar encoding.
+        const double value =
+            2.0 * static_cast<double>(ones) / static_cast<double>(len) - 1.0;
+        out.at(oy, ox, oc) = static_cast<float>(
+            value * static_cast<double>(rf_size) * act_scale);
+      }
+    }
+  }
+  return out;
+}
+
+nn::Tensor BipolarNetwork::run_dense(const Stage& stage,
+                                     const nn::Tensor& input) {
+  const nn::Dense& dense = *stage.dense;
+  const auto& spec = dense.spec();
+  if (static_cast<int>(input.size()) != spec.in_features) {
+    throw std::invalid_argument("BipolarNetwork: dense feature mismatch");
+  }
+  const std::size_t len = cfg_.stream_length;
+  StreamBank act_bank(cfg_.sng_width, cfg_.activation_seed, len);
+  StreamBank wgt_bank(cfg_.sng_width, cfg_.weight_seed, len);
+
+  const auto n_in = static_cast<std::size_t>(spec.in_features);
+  const double act_scale =
+      input.abs_max() > 0.0f ? static_cast<double>(input.abs_max()) : 1.0;
+  std::vector<std::uint32_t> act_levels(n_in);
+  for (std::size_t i = 0; i < n_in; ++i) {
+    act_levels[i] = bipolar_level(act_bank, input[i] / act_scale);
+  }
+  const auto weights = dense.weights();
+  nn::Tensor out = nn::Tensor::vector(spec.out_features);
+  sc::XorShift32 select(cfg_.select_seed ^ 0x5A5A5A5Au);
+  for (int o = 0; o < spec.out_features; ++o) {
+    std::int64_t ones = 0;
+    for (std::size_t t = 0; t < len; ++t) {
+      const std::size_t pick =
+          static_cast<std::size_t>(select.next()) % n_in;
+      const std::size_t wi = dense.weight_index(o, static_cast<int>(pick));
+      const bool a_bit =
+          act_bank.scramble(act_bank.state_at(t, pick), pick) <
+          act_levels[pick];
+      const bool w_bit =
+          wgt_bank.scramble(wgt_bank.state_at(t, wi), wi) <
+          bipolar_level(wgt_bank, weights[wi]);
+      ones += (a_bit == w_bit) ? 1 : 0;
+    }
+    const double value =
+        2.0 * static_cast<double>(ones) / static_cast<double>(len) - 1.0;
+    out[static_cast<std::size_t>(o)] =
+        static_cast<float>(value * static_cast<double>(n_in) * act_scale);
+  }
+  return out;
+}
+
+}  // namespace acoustic::sim

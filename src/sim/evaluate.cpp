@@ -1,0 +1,21 @@
+#include "sim/evaluate.hpp"
+
+namespace acoustic::sim {
+
+float evaluate_sc(nn::Network& net, const ScConfig& cfg,
+                  const train::Dataset& data) {
+  if (data.size() == 0) {
+    return 0.0f;
+  }
+  ScNetwork executor(net, cfg);
+  std::size_t correct = 0;
+  for (const train::Sample& sample : data.samples) {
+    const nn::Tensor logits = executor.forward(sample.image);
+    if (static_cast<int>(logits.argmax()) == sample.label) {
+      ++correct;
+    }
+  }
+  return static_cast<float>(correct) / static_cast<float>(data.size());
+}
+
+}  // namespace acoustic::sim

@@ -1,0 +1,14 @@
+// Dataset-level evaluation with the functional SC simulator.
+#pragma once
+
+#include "sim/sc_network.hpp"
+#include "train/dataset.hpp"
+
+namespace acoustic::sim {
+
+/// Top-1 accuracy of @p net executed bit-level with @p cfg on @p data.
+/// This is the number the paper's Table II reports in the ACOUSTIC column.
+[[nodiscard]] float evaluate_sc(nn::Network& net, const ScConfig& cfg,
+                                const train::Dataset& data);
+
+}  // namespace acoustic::sim

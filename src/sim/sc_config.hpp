@@ -1,0 +1,47 @@
+// Configuration of the bit-level functional SC simulator (paper IV-A:
+// "It is given the network model, test dataset, trained weights and SC
+// configuration i.e. stream lengths, RNG scheme etc.").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace acoustic::sim {
+
+/// How pooling layers execute in the stochastic domain.
+enum class PoolingMode {
+  /// Computation skipping (paper II-C): each output in a p x p window is
+  /// computed over a stream_length/p^2 segment and the window's counter is
+  /// never reset, so concatenation performs the scaled addition for free.
+  kSkipping,
+  /// Conventional MUX average pooling: every window position computed over
+  /// the full stream, then multiplexed. p^2 times more conv work; baseline
+  /// for the II-C experiment.
+  kMux,
+};
+
+struct ScConfig {
+  /// Total temporal split-unipolar stream length. The paper's convention
+  /// (footnote 3): "256 long stream implies 128x2", i.e. the positive and
+  /// negative phases are each stream_length/2 bits.
+  std::size_t stream_length = 256;
+
+  /// LFSR / comparator width of the SNGs (stream value resolution 2^-width).
+  unsigned sng_width = 8;
+
+  /// Seeds of the activation and weight SNG banks (distinct LFSR streams).
+  std::uint32_t activation_seed = 0x5eed;
+  std::uint32_t weight_seed = 0xbeef;
+
+  PoolingMode pooling = PoolingMode::kSkipping;
+
+  /// Per-lane decorrelation of the shared SNG RNGs (scrambler + phase
+  /// taps). Disable only to reproduce the naive-sharing failure mode.
+  bool decorrelate_lanes = true;
+
+  [[nodiscard]] std::size_t phase_length() const noexcept {
+    return stream_length / 2;
+  }
+};
+
+}  // namespace acoustic::sim

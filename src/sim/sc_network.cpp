@@ -1,0 +1,300 @@
+#include "sim/sc_network.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/activation.hpp"
+#include "nn/pool.hpp"
+#include "sim/stream_bank.hpp"
+
+namespace acoustic::sim {
+
+namespace {
+
+/// Packed-word scratch for one stream segment.
+using Words = std::vector<std::uint64_t>;
+
+std::size_t word_count(std::size_t bits) { return (bits + 63) / 64; }
+
+std::int64_t popcount_words(const Words& w, std::size_t words) {
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    total += std::popcount(w[i]);
+  }
+  return total;
+}
+
+}  // namespace
+
+ScNetwork::ScNetwork(nn::Network& net, ScConfig cfg)
+    : net_(&net), cfg_(cfg) {
+  if (cfg_.phase_length() == 0) {
+    throw std::invalid_argument("ScNetwork: stream_length must be >= 2");
+  }
+  Stage* open = nullptr;
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    nn::Layer* layer = &net.layer(i);
+    if (auto* conv = dynamic_cast<nn::Conv2D*>(layer)) {
+      stages_.push_back(Stage{});
+      open = &stages_.back();
+      open->conv = conv;
+    } else if (auto* dense = dynamic_cast<nn::Dense*>(layer)) {
+      stages_.push_back(Stage{});
+      open = &stages_.back();
+      open->dense = dense;
+    } else {
+      if (open == nullptr) {
+        throw std::invalid_argument(
+            "ScNetwork: network must start with a weighted layer");
+      }
+      auto* pool = dynamic_cast<nn::AvgPool2D*>(layer);
+      const bool fusable = pool != nullptr && open->conv != nullptr &&
+                           open->fused_pool == nullptr &&
+                           open->post_ops.empty() &&
+                           cfg_.pooling == PoolingMode::kSkipping;
+      if (fusable) {
+        open->fused_pool = pool;
+      } else {
+        open->post_ops.push_back(layer);
+      }
+    }
+  }
+}
+
+nn::Tensor ScNetwork::forward(const nn::Tensor& input) {
+  nn::Tensor x = input;
+  for (const Stage& stage : stages_) {
+    x = stage.conv != nullptr ? run_conv(stage, x) : run_dense(stage, x);
+    for (nn::Layer* post : stage.post_ops) {
+      x = post->forward(x);
+    }
+    ++stats_.layers_run;
+  }
+  return x;
+}
+
+nn::Tensor ScNetwork::run_conv(const Stage& stage, const nn::Tensor& input) {
+  const nn::Conv2D& conv = *stage.conv;
+  const auto& spec = conv.spec();
+  const nn::Shape in = input.shape();
+  const nn::Shape conv_out = conv.output_shape(in);
+  const int pool = stage.fused_pool != nullptr ? stage.fused_pool->window() : 1;
+  if (pool > 1 && (conv_out.h % pool != 0 || conv_out.w % pool != 0)) {
+    throw std::invalid_argument(
+        "ScNetwork: fused pooling window must tile the conv output");
+  }
+  const std::size_t phase = cfg_.phase_length();
+  const std::size_t window_positions = static_cast<std::size_t>(pool) * pool;
+  const std::size_t seg = phase / window_positions;
+  if (seg == 0) {
+    throw std::invalid_argument(
+        "ScNetwork: stream too short for the pooling window");
+  }
+  const std::size_t seg_words = word_count(seg);
+  // Bits actually counted per phase per pooled output (phase may not divide
+  // evenly by the window size; hardware rounds the slice down the same way).
+  const auto counted_bits =
+      static_cast<double>(seg * window_positions);
+
+  StreamBank act_bank(cfg_.sng_width, cfg_.activation_seed, 2 * phase,
+                      cfg_.decorrelate_lanes);
+  StreamBank wgt_bank(cfg_.sng_width, cfg_.weight_seed, 2 * phase,
+                      cfg_.decorrelate_lanes);
+
+  // Quantize all activations and weights to SNG comparator levels once.
+  std::vector<std::uint32_t> act_levels(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    act_levels[i] = act_bank.quantize(input[i]);
+  }
+  const auto weights = conv.weights();
+  std::vector<std::uint32_t> wgt_levels(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    wgt_levels[i] = wgt_bank.quantize(std::fabs(weights[i]));
+  }
+
+  const nn::Shape out_shape{conv_out.h / pool, conv_out.w / pool,
+                            conv_out.c};
+  nn::Tensor out(out_shape);
+
+  // Receptive-field scratch: activation segment streams for one (output
+  // position, window slot, phase), plus reusable weight/OR buffers.
+  const std::size_t rf_max =
+      static_cast<std::size_t>(spec.kernel) * spec.kernel * spec.in_channels;
+  std::vector<Words> act_streams(rf_max, Words(seg_words));
+  std::vector<std::uint32_t> rf_weight_lane(rf_max);  // weight lane per slot
+  std::vector<std::size_t> rf_act_index(rf_max);
+  std::vector<char> rf_live(rf_max);
+  Words wgt_stream(seg_words);
+  Words or_acc(seg_words);
+  std::vector<std::int64_t> counters(
+      static_cast<std::size_t>(conv_out.c));
+
+  for (int py = 0; py < out_shape.h; ++py) {
+    for (int px = 0; px < out_shape.w; ++px) {
+      for (auto& c : counters) {
+        c = 0;
+      }
+      for (int k = 0; k < static_cast<int>(window_positions); ++k) {
+        const int oy = py * pool + k / pool;
+        const int ox = px * pool + k % pool;
+        // Gather the receptive field of conv output (oy, ox): slot s maps
+        // to input pixel and to weight offset (ky, kx, ic) shared by all
+        // output channels.
+        std::size_t rf_size = 0;
+        for (int ky = 0; ky < spec.kernel; ++ky) {
+          const int iy = oy * spec.stride + ky - spec.padding;
+          for (int kx = 0; kx < spec.kernel; ++kx) {
+            const int ix = ox * spec.stride + kx - spec.padding;
+            for (int ic = 0; ic < spec.in_channels; ++ic) {
+              const std::size_t slot = rf_size++;
+              rf_weight_lane[slot] = static_cast<std::uint32_t>(
+                  (static_cast<std::size_t>(ky) * spec.kernel + kx) *
+                      spec.in_channels +
+                  ic);
+              if (iy < 0 || iy >= in.h || ix < 0 || ix >= in.w) {
+                rf_live[slot] = 0;  // zero padding: operand-gated
+                continue;
+              }
+              const std::size_t ai = input.index(iy, ix, ic);
+              rf_act_index[slot] = ai;
+              rf_live[slot] = act_levels[ai] != 0 ? 1 : 0;
+            }
+          }
+        }
+        // Two phases: + (counts up), - (counts down). The activation SNGs
+        // run continuously: phase+ uses cycles [k*seg, ...), phase- the
+        // same slice offset by a full phase.
+        for (int ph = 0; ph < 2; ++ph) {
+          const bool positive = ph == 0;
+          const std::size_t offset =
+              (positive ? 0 : phase) + static_cast<std::size_t>(k) * seg;
+          for (std::size_t s = 0; s < rf_size; ++s) {
+            if (rf_live[s]) {
+              act_bank.fill(act_levels[rf_act_index[s]],
+                            static_cast<std::uint32_t>(rf_act_index[s]),
+                            offset, seg, act_streams[s]);
+            }
+          }
+          for (int oc = 0; oc < conv_out.c; ++oc) {
+            for (std::size_t w = 0; w < seg_words; ++w) {
+              or_acc[w] = 0;
+            }
+            bool any = false;
+            for (std::size_t s = 0; s < rf_size; ++s) {
+              if (!rf_live[s]) {
+                continue;
+              }
+              const std::size_t wi =
+                  static_cast<std::size_t>(oc) * rf_max + rf_weight_lane[s];
+              const float wv = weights[wi];
+              const bool active_here = positive ? (wv > 0.0f) : (wv < 0.0f);
+              if (!active_here || wgt_levels[wi] == 0) {
+                continue;
+              }
+              wgt_bank.fill(wgt_levels[wi],
+                            static_cast<std::uint32_t>(wi), offset, seg,
+                            wgt_stream);
+              for (std::size_t w = 0; w < seg_words; ++w) {
+                or_acc[w] |= act_streams[s][w] & wgt_stream[w];
+              }
+              any = true;
+              stats_.product_bits += seg;
+            }
+            if (any) {
+              const std::int64_t ones = popcount_words(or_acc, seg_words);
+              counters[static_cast<std::size_t>(oc)] +=
+                  positive ? ones : -ones;
+            }
+          }
+        }
+      }
+      for (int oc = 0; oc < conv_out.c; ++oc) {
+        out.at(py, px, oc) = static_cast<float>(
+            static_cast<double>(counters[static_cast<std::size_t>(oc)]) /
+            counted_bits);
+      }
+    }
+  }
+  return out;
+}
+
+nn::Tensor ScNetwork::run_dense(const Stage& stage, const nn::Tensor& input) {
+  const nn::Dense& dense = *stage.dense;
+  const auto& spec = dense.spec();
+  if (static_cast<int>(input.size()) != spec.in_features) {
+    throw std::invalid_argument("ScNetwork: dense feature mismatch");
+  }
+  const std::size_t phase = cfg_.phase_length();
+  const std::size_t words = word_count(phase);
+
+  StreamBank act_bank(cfg_.sng_width, cfg_.activation_seed, 2 * phase,
+                      cfg_.decorrelate_lanes);
+  StreamBank wgt_bank(cfg_.sng_width, cfg_.weight_seed, 2 * phase,
+                      cfg_.decorrelate_lanes);
+
+  const auto n_in = static_cast<std::size_t>(spec.in_features);
+  std::vector<std::uint32_t> act_levels(n_in);
+  for (std::size_t i = 0; i < n_in; ++i) {
+    act_levels[i] = act_bank.quantize(input[i]);
+  }
+  // Activation streams are shared by every output: generate once per phase.
+  std::vector<Words> act_pos(n_in, Words(words));
+  std::vector<Words> act_neg(n_in, Words(words));
+  for (std::size_t i = 0; i < n_in; ++i) {
+    if (act_levels[i] != 0) {
+      act_bank.fill(act_levels[i], static_cast<std::uint32_t>(i), 0, phase,
+                    act_pos[i]);
+      act_bank.fill(act_levels[i], static_cast<std::uint32_t>(i), phase,
+                    phase, act_neg[i]);
+    }
+  }
+  const auto weights = dense.weights();
+  nn::Tensor out = nn::Tensor::vector(spec.out_features);
+  Words wgt_stream(words);
+  Words or_acc(words);
+  for (int o = 0; o < spec.out_features; ++o) {
+    std::int64_t counter = 0;
+    for (int ph = 0; ph < 2; ++ph) {
+      const bool positive = ph == 0;
+      const std::size_t offset = positive ? 0 : phase;
+      for (std::size_t w = 0; w < words; ++w) {
+        or_acc[w] = 0;
+      }
+      bool any = false;
+      for (std::size_t i = 0; i < n_in; ++i) {
+        if (act_levels[i] == 0) {
+          continue;
+        }
+        const std::size_t wi = dense.weight_index(o, static_cast<int>(i));
+        const float wv = weights[wi];
+        const bool active_here = positive ? (wv > 0.0f) : (wv < 0.0f);
+        if (!active_here) {
+          continue;
+        }
+        const std::uint32_t level = wgt_bank.quantize(std::fabs(wv));
+        if (level == 0) {
+          continue;
+        }
+        wgt_bank.fill(level, static_cast<std::uint32_t>(wi), offset, phase,
+                      wgt_stream);
+        const auto& act = positive ? act_pos[i] : act_neg[i];
+        for (std::size_t w = 0; w < words; ++w) {
+          or_acc[w] |= act[w] & wgt_stream[w];
+        }
+        any = true;
+        stats_.product_bits += phase;
+      }
+      if (any) {
+        const std::int64_t ones = popcount_words(or_acc, words);
+        counter += positive ? ones : -ones;
+      }
+    }
+    out[static_cast<std::size_t>(o)] =
+        static_cast<float>(static_cast<double>(counter) /
+                           static_cast<double>(phase));
+  }
+  return out;
+}
+
+}  // namespace acoustic::sim

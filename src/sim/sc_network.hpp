@@ -1,0 +1,76 @@
+// Bit-level functional simulation of a whole network on the ACOUSTIC
+// datapath (the paper's "custom SC functional simulator", section IV-A).
+//
+// Execution model per weighted layer, mirroring the architecture:
+//   1. The layer's binary input activations feed the activation SNG bank
+//      (shared LFSR, per-lane scrambling), weights feed the weight bank.
+//   2. Every output's receptive field is OR-accumulated in two phases
+//      (split-unipolar: positive-weight products count up, negative-weight
+//      products count down in the activation counter).
+//   3. Counters convert back to binary; ReLU and any non-fused pooling run
+//      in the binary domain; the result becomes the next layer's input —
+//      streams are regenerated per layer, which removes inter-layer
+//      correlation exactly as the paper describes (II-C).
+//
+// With PoolingMode::kSkipping an AvgPool2D that directly follows a conv is
+// fused: each output in a p x p pooling window is computed over a
+// stream/p^2 time slice and the window's counter accumulates across slices
+// (stream concatenation). The simulator counts product-bit operations so
+// the 4x-9x computation reduction is measurable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/network.hpp"
+#include "nn/pool.hpp"
+#include "sim/sc_config.hpp"
+
+namespace acoustic::sim {
+
+class ScNetwork {
+ public:
+  /// @param net trained network; must outlive this object. Weighted layers
+  ///            are located with their surrounding ReLU / pooling layers
+  ///            and executed stochastically; weights are read live, so
+  ///            retraining between forward() calls is allowed.
+  ScNetwork(nn::Network& net, ScConfig cfg);
+
+  /// Bit-level inference. Input values must lie in [0, 1].
+  [[nodiscard]] nn::Tensor forward(const nn::Tensor& input);
+
+  struct Stats {
+    /// AND-gate product bits evaluated (the unit computation skipping saves).
+    std::uint64_t product_bits = 0;
+    /// Weighted layers executed.
+    std::uint64_t layers_run = 0;
+  };
+
+  /// Cumulative statistics since construction (or reset_stats()).
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = Stats{}; }
+
+  [[nodiscard]] const ScConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Stage {
+    nn::Conv2D* conv = nullptr;
+    nn::Dense* dense = nullptr;
+    nn::AvgPool2D* fused_pool = nullptr;  ///< skipping-fused average pool
+    std::vector<nn::Layer*> post_ops;     ///< run in the binary domain
+  };
+
+  [[nodiscard]] nn::Tensor run_conv(const Stage& stage,
+                                    const nn::Tensor& input);
+  [[nodiscard]] nn::Tensor run_dense(const Stage& stage,
+                                     const nn::Tensor& input);
+
+  nn::Network* net_;
+  ScConfig cfg_;
+  std::vector<Stage> stages_;
+  Stats stats_;
+};
+
+}  // namespace acoustic::sim

@@ -1,0 +1,92 @@
+#include "sim/stream_bank.hpp"
+
+#include <stdexcept>
+
+#include "sc/sng.hpp"
+
+namespace acoustic::sim {
+
+StreamBank::StreamBank(unsigned width, std::uint32_t seed, std::size_t length,
+                       bool decorrelate)
+    : width_(width),
+      mask_((width >= 32) ? ~std::uint32_t{0}
+                          : ((std::uint32_t{1} << width) - 1)),
+      decorrelate_(decorrelate) {
+  sc::Lfsr lfsr(width, seed);
+  base_.resize(length);
+  for (std::size_t t = 0; t < length; ++t) {
+    base_[t] = lfsr.next();
+  }
+}
+
+std::uint32_t StreamBank::scramble(std::uint32_t state,
+                                   std::uint32_t lane) const noexcept {
+  if (!decorrelate_) {
+    return state;  // naive RNG sharing: all lanes see the same sequence
+  }
+  // Fixed per-lane wiring: XOR a lane constant, multiply by an odd
+  // constant (bijective mod 2^width), rotate by a lane-dependent amount,
+  // XOR a second lane constant. Every step is a bijection of the state
+  // space, so each lane sees a uniform full-period sequence; the multiply
+  // diffuses low-order LFSR structure across all comparator bits, which
+  // keeps lanes decorrelated enough for wide OR accumulation (II-B).
+  std::uint32_t x = state ^ ((lane * 0x9E3779B9u) & mask_);
+  x = (x * 0x2545F491u) & mask_;
+  const unsigned rot = (lane * 7u + 3u) % width_;
+  if (rot != 0) {
+    x = ((x << rot) | (x >> (width_ - rot))) & mask_;
+  }
+  return x ^ ((lane * 0x85EBCA6Bu) & mask_);
+}
+
+sc::BitStream StreamBank::stream(std::uint32_t level, std::uint32_t lane,
+                                 std::size_t offset,
+                                 std::size_t length) const {
+  if (offset + length > base_.size()) {
+    throw std::out_of_range("StreamBank::stream: window exceeds bank length");
+  }
+  sc::BitStream out(length);
+  const std::size_t phase = lane_phase(lane);
+  for (std::size_t t = 0; t < length; ++t) {
+    const std::size_t idx = (offset + t + phase) % base_.size();
+    if (scramble(base_[idx], lane) < level) {
+      out.set_bit(t, true);
+    }
+  }
+  return out;
+}
+
+std::size_t StreamBank::lane_phase(std::uint32_t lane) const noexcept {
+  if (!decorrelate_) {
+    return 0;
+  }
+  // Each SNG taps the shared LFSR at a lane-specific delay (standard RNG
+  // sharing practice): phase offsets break the remaining time alignment
+  // between lanes that scrambling alone cannot.
+  return (static_cast<std::size_t>(lane) * 7919u) % base_.size();
+}
+
+void StreamBank::fill(std::uint32_t level, std::uint32_t lane,
+                      std::size_t offset, std::size_t length,
+                      std::span<std::uint64_t> words) const {
+  if (offset + length > base_.size()) {
+    throw std::out_of_range("StreamBank::fill: window exceeds bank length");
+  }
+  const std::size_t word_count = (length + 63) / 64;
+  for (std::size_t w = 0; w < word_count; ++w) {
+    words[w] = 0;
+  }
+  const std::size_t phase = lane_phase(lane);
+  for (std::size_t t = 0; t < length; ++t) {
+    const std::size_t idx = (offset + t + phase) % base_.size();
+    if (scramble(base_[idx], lane) < level) {
+      words[t / 64] |= std::uint64_t{1} << (t % 64);
+    }
+  }
+}
+
+std::uint32_t StreamBank::quantize(double value) const {
+  return sc::quantize_unipolar(value, width_);
+}
+
+}  // namespace acoustic::sim

@@ -1,0 +1,85 @@
+// Shared-RNG stream generation for SNG banks.
+//
+// ACOUSTIC shares one RNG across the SNGs of a bank (III-A). Naive sharing
+// would make all streams of the bank maximally correlated and break OR
+// accumulation, so — as is standard for LFSR sharing in the SC literature —
+// each SNG lane sees a cheap per-lane scrambling (rotation + XOR mask) of
+// the shared LFSR state. The scrambling is a fixed wiring pattern in
+// hardware and a pure function here, so the simulation stays bit-exact with
+// respect to that wiring.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sc/bitstream.hpp"
+#include "sc/rng.hpp"
+
+namespace acoustic::sim {
+
+/// A bank of SNGs driven by one shared LFSR. The bank precomputes the LFSR
+/// sequence for the whole computation window; lanes derive decorrelated
+/// comparison sequences from it.
+class StreamBank {
+ public:
+  /// @param width  LFSR/comparator width in bits.
+  /// @param seed   LFSR seed.
+  /// @param length number of cycles the bank will run (total bits available
+  ///               per lane).
+  /// @param decorrelate apply the per-lane scrambler + phase taps. Turning
+  ///        this off models naive RNG sharing (every SNG compares against
+  ///        the same sequence) — the failure mode the ablation bench
+  ///        demonstrates.
+  StreamBank(unsigned width, std::uint32_t seed, std::size_t length,
+             bool decorrelate = true);
+
+  /// Stream of @p length bits for @p lane starting at cycle @p offset,
+  /// encoding probability level/2^width. offset+length must not exceed the
+  /// bank length.
+  [[nodiscard]] sc::BitStream stream(std::uint32_t level, std::uint32_t lane,
+                                     std::size_t offset,
+                                     std::size_t length) const;
+
+  /// Full-window stream for @p lane.
+  [[nodiscard]] sc::BitStream stream(std::uint32_t level,
+                                     std::uint32_t lane) const {
+    return stream(level, lane, 0, base_.size());
+  }
+
+  /// Writes the stream for (@p level, @p lane, @p offset) into @p words
+  /// (packed, bit t of the segment = bit t of words). words must hold at
+  /// least (length+63)/64 entries; they are fully overwritten.
+  void fill(std::uint32_t level, std::uint32_t lane, std::size_t offset,
+            std::size_t length, std::span<std::uint64_t> words) const;
+
+  /// Quantizes @p value in [0,1] to this bank's comparator grid.
+  [[nodiscard]] std::uint32_t quantize(double value) const;
+
+  [[nodiscard]] std::size_t length() const noexcept { return base_.size(); }
+  [[nodiscard]] unsigned width() const noexcept { return width_; }
+
+  /// Per-lane scrambling of a shared LFSR state (fixed XOR-multiply-rotate
+  /// wiring; a bijection per lane).
+  [[nodiscard]] std::uint32_t scramble(std::uint32_t state,
+                                       std::uint32_t lane) const noexcept;
+
+  /// Lane-specific tap delay into the shared LFSR sequence.
+  [[nodiscard]] std::size_t lane_phase(std::uint32_t lane) const noexcept;
+
+  /// Raw (pre-scramble) LFSR state @p lane sees at cycle @p t. Combined
+  /// with scramble(), lets callers evaluate single stream bits lazily
+  /// (used by the bipolar-MUX executor, which touches one lane per cycle).
+  [[nodiscard]] std::uint32_t state_at(std::size_t t,
+                                       std::uint32_t lane) const noexcept {
+    return base_[(t + lane_phase(lane)) % base_.size()];
+  }
+
+ private:
+  unsigned width_;
+  std::uint32_t mask_;
+  bool decorrelate_;
+  std::vector<std::uint32_t> base_;  ///< shared LFSR sequence
+};
+
+}  // namespace acoustic::sim

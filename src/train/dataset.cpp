@@ -1,0 +1,151 @@
+#include "train/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sc/rng.hpp"
+
+namespace acoustic::train {
+
+namespace {
+
+// Seven-segment encoding per digit; segments are indexed
+//   0: top, 1: top-right, 2: bottom-right, 3: bottom,
+//   4: bottom-left, 5: top-left, 6: middle.
+constexpr std::uint8_t kSegments[10] = {
+    0b0111111,  // 0
+    0b0000110,  // 1
+    0b1011011,  // 2
+    0b1001111,  // 3
+    0b1100110,  // 4
+    0b1101101,  // 5
+    0b1111101,  // 6
+    0b0000111,  // 7
+    0b1111111,  // 8
+    0b1101111,  // 9
+};
+
+/// Draws an axis-aligned thick line segment onto the canvas.
+void draw_segment(nn::Tensor& img, int y0, int x0, int y1, int x1,
+                  int thickness, float intensity) {
+  const auto shape = img.shape();
+  for (int y = std::min(y0, y1); y <= std::max(y0, y1); ++y) {
+    for (int x = std::min(x0, x1); x <= std::max(x0, x1); ++x) {
+      for (int ty = 0; ty < thickness; ++ty) {
+        for (int tx = 0; tx < thickness; ++tx) {
+          const int yy = y + ty;
+          const int xx = x + tx;
+          if (yy >= 0 && yy < shape.h && xx >= 0 && xx < shape.w) {
+            img.at(yy, xx, 0) = std::min(1.0f, img.at(yy, xx, 0) + intensity);
+          }
+        }
+      }
+    }
+  }
+}
+
+void add_noise(nn::Tensor& img, sc::XorShift32& rng, float amplitude) {
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    const float noise =
+        (static_cast<float>(rng.next_double()) - 0.5f) * 2.0f * amplitude;
+    img[i] = std::clamp(img[i] + noise, 0.0f, 1.0f);
+  }
+}
+
+}  // namespace
+
+Dataset make_synth_digits(std::size_t count, std::uint32_t seed, int side) {
+  sc::XorShift32 rng(seed);
+  Dataset ds;
+  ds.samples.reserve(count);
+  for (std::size_t n = 0; n < count; ++n) {
+    const int label = static_cast<int>(rng.next() % 10);
+    nn::Tensor img(nn::Shape{side, side, 1});
+
+    // Glyph geometry: a 2x1 aspect seven-segment frame placed with jitter.
+    const int glyph_h = side - 6;
+    const int glyph_w = glyph_h / 2 + 2;
+    const int oy = 2 + static_cast<int>(rng.next() % 3);
+    const int ox = 2 + static_cast<int>(rng.next() % std::max(1, side - glyph_w - 3));
+    const int thickness = 1 + static_cast<int>(rng.next() % 2);
+    const float intensity =
+        0.6f + 0.4f * static_cast<float>(rng.next_double());
+    const int mid = oy + glyph_h / 2;
+    const int bot = oy + glyph_h;
+    const int right = ox + glyph_w;
+
+    const std::uint8_t segs = kSegments[label];
+    if (segs & (1u << 0)) draw_segment(img, oy, ox, oy, right, thickness, intensity);
+    if (segs & (1u << 1)) draw_segment(img, oy, right, mid, right, thickness, intensity);
+    if (segs & (1u << 2)) draw_segment(img, mid, right, bot, right, thickness, intensity);
+    if (segs & (1u << 3)) draw_segment(img, bot, ox, bot, right, thickness, intensity);
+    if (segs & (1u << 4)) draw_segment(img, mid, ox, bot, ox, thickness, intensity);
+    if (segs & (1u << 5)) draw_segment(img, oy, ox, mid, ox, thickness, intensity);
+    if (segs & (1u << 6)) draw_segment(img, mid, ox, mid, right, thickness, intensity);
+
+    add_noise(img, rng, 0.08f);
+    ds.samples.push_back(Sample{std::move(img), label});
+  }
+  return ds;
+}
+
+Dataset make_synth_objects(std::size_t count, std::uint32_t seed, int side) {
+  sc::XorShift32 rng(seed);
+  Dataset ds;
+  ds.samples.reserve(count);
+  // Classes: 5 shapes x 2 color families.
+  for (std::size_t n = 0; n < count; ++n) {
+    const int label = static_cast<int>(rng.next() % 10);
+    const int shape_kind = label % 5;    // disc, ring, bar, checker, cross
+    const int color_kind = label / 5;    // warm (R-dominant) / cool (B-dominant)
+    nn::Tensor img(nn::Shape{side, side, 3});
+
+    const float cy =
+        side * (0.35f + 0.3f * static_cast<float>(rng.next_double()));
+    const float cx =
+        side * (0.35f + 0.3f * static_cast<float>(rng.next_double()));
+    const float radius =
+        side * (0.2f + 0.15f * static_cast<float>(rng.next_double()));
+    const float base = 0.55f + 0.35f * static_cast<float>(rng.next_double());
+    const float primary = color_kind == 0 ? base : base * 0.25f;
+    const float secondary = color_kind == 0 ? base * 0.25f : base;
+
+    for (int y = 0; y < side; ++y) {
+      for (int x = 0; x < side; ++x) {
+        const float dy = static_cast<float>(y) - cy;
+        const float dx = static_cast<float>(x) - cx;
+        const float d = std::sqrt(dy * dy + dx * dx);
+        bool on = false;
+        switch (shape_kind) {
+          case 0:  // disc
+            on = d < radius;
+            break;
+          case 1:  // ring
+            on = d < radius && d > radius * 0.55f;
+            break;
+          case 2:  // bar
+            on = std::fabs(dy) < radius * 0.35f;
+            break;
+          case 3:  // checker
+            on = (((y / 3) + (x / 3)) % 2) == 0 && d < radius * 1.6f;
+            break;
+          case 4:  // cross
+            on = std::fabs(dy) < radius * 0.3f || std::fabs(dx) < radius * 0.3f;
+            break;
+          default:
+            break;
+        }
+        if (on) {
+          img.at(y, x, 0) = primary;
+          img.at(y, x, 1) = base * 0.4f;
+          img.at(y, x, 2) = secondary;
+        }
+      }
+    }
+    add_noise(img, rng, 0.1f);
+    ds.samples.push_back(Sample{std::move(img), label});
+  }
+  return ds;
+}
+
+}  // namespace acoustic::train

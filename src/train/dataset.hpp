@@ -1,0 +1,47 @@
+// Synthetic image-classification datasets.
+//
+// The paper evaluates accuracy on MNIST, SVHN and CIFAR-10, which are not
+// available offline; per the substitution rule (DESIGN.md section 3) we
+// generate procedural datasets with the same tensor shapes and 10-class
+// structure. Table II's signal — how the SC accuracy approaches the 8-bit
+// fixed-point accuracy as stream length grows — depends on the arithmetic,
+// not on which images are classified, so any non-trivial 10-way task
+// exercises the same code paths.
+//
+//  * SynthDigits: seven-segment-style digit glyphs with random position,
+//    thickness, intensity and pixel noise on an HxWx1 canvas (MNIST stand-in).
+//  * SynthObjects: 10 classes of colored geometric textures (shape x color
+//    family) with noise on an HxWx3 canvas (CIFAR-10 / SVHN stand-in).
+//
+// All pixels are in [0, 1] — the accelerator's unipolar activation domain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace acoustic::train {
+
+/// One labelled image.
+struct Sample {
+  nn::Tensor image;
+  int label = 0;
+};
+
+/// A labelled dataset (10 classes, balanced in expectation).
+struct Dataset {
+  std::vector<Sample> samples;
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples.size(); }
+};
+
+/// Generates @p count seven-segment digit images of @p side x @p side x 1.
+[[nodiscard]] Dataset make_synth_digits(std::size_t count, std::uint32_t seed,
+                                        int side = 16);
+
+/// Generates @p count colored-texture images of @p side x @p side x 3.
+[[nodiscard]] Dataset make_synth_objects(std::size_t count,
+                                         std::uint32_t seed, int side = 16);
+
+}  // namespace acoustic::train

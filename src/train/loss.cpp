@@ -1,0 +1,35 @@
+#include "train/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace acoustic::train {
+
+nn::Tensor softmax(const nn::Tensor& logits) {
+  nn::Tensor out(logits.shape());
+  float max_logit = logits[0];
+  for (std::size_t i = 1; i < logits.size(); ++i) {
+    max_logit = std::max(max_logit, logits[i]);
+  }
+  float denom = 0.0f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] - max_logit);
+    denom += out[i];
+  }
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] /= denom;
+  }
+  return out;
+}
+
+LossResult softmax_cross_entropy(const nn::Tensor& logits, int label) {
+  LossResult result;
+  result.grad = softmax(logits);
+  const float p =
+      std::max(result.grad[static_cast<std::size_t>(label)], 1e-12f);
+  result.loss = -std::log(p);
+  result.grad[static_cast<std::size_t>(label)] -= 1.0f;
+  return result;
+}
+
+}  // namespace acoustic::train

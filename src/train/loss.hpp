@@ -1,0 +1,21 @@
+// Softmax cross-entropy loss.
+#pragma once
+
+#include "nn/tensor.hpp"
+
+namespace acoustic::train {
+
+/// Loss value and gradient with respect to the logits.
+struct LossResult {
+  float loss = 0.0f;
+  nn::Tensor grad;  ///< dLoss/dLogits, same shape as the logits
+};
+
+/// Numerically stable softmax cross-entropy against an integer class label.
+[[nodiscard]] LossResult softmax_cross_entropy(const nn::Tensor& logits,
+                                               int label);
+
+/// Softmax probabilities of a logit vector (stable).
+[[nodiscard]] nn::Tensor softmax(const nn::Tensor& logits);
+
+}  // namespace acoustic::train

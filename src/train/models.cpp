@@ -1,0 +1,130 @@
+#include "train/models.hpp"
+
+#include "nn/activation.hpp"
+#include "nn/pool.hpp"
+#include "nn/residual.hpp"
+
+namespace acoustic::train {
+
+nn::Network build_lenet_small(nn::AccumMode mode, int side,
+                              std::uint32_t seed) {
+  nn::Network net;
+  auto& c1 = net.add<nn::Conv2D>(nn::ConvSpec{
+      .in_channels = 1, .out_channels = 6, .kernel = 5, .stride = 1,
+      .padding = 2, .bias = false, .mode = mode});
+  net.add<nn::AvgPool2D>(2);
+  net.add<nn::ReLU>();
+  auto& c2 = net.add<nn::Conv2D>(nn::ConvSpec{
+      .in_channels = 6, .out_channels = 16, .kernel = 5, .stride = 1,
+      .padding = 0, .bias = false, .mode = mode});
+  net.add<nn::AvgPool2D>(2);
+  net.add<nn::ReLU>();
+  const int feat = side / 2;                  // after pool1
+  const int conv2_out = feat - 4;             // 5x5, no padding
+  const int flat = (conv2_out / 2) * (conv2_out / 2) * 16;
+  auto& d1 = net.add<nn::Dense>(nn::DenseSpec{
+      .in_features = flat, .out_features = 48, .bias = false, .mode = mode});
+  net.add<nn::ReLU>();
+  auto& d2 = net.add<nn::Dense>(nn::DenseSpec{
+      .in_features = 48, .out_features = 10, .bias = false, .mode = mode});
+  c1.initialize(seed);
+  c2.initialize(seed + 1);
+  d1.initialize(seed + 2);
+  d2.initialize(seed + 3);
+  return net;
+}
+
+namespace {
+
+nn::Network build_cifar_body(nn::AccumMode mode, int side, std::uint32_t seed,
+                             bool max_pool) {
+  nn::Network net;
+  auto& c1 = net.add<nn::Conv2D>(nn::ConvSpec{
+      .in_channels = 3, .out_channels = 8, .kernel = 5, .stride = 1,
+      .padding = 2, .bias = false, .mode = mode});
+  // Hardware order: pooling happens in the counters, ReLU after
+  // conversion; max pooling (FSM-based) would sit after ReLU instead.
+  if (max_pool) {
+    net.add<nn::ReLU>();
+    net.add<nn::MaxPool2D>(2);
+  } else {
+    net.add<nn::AvgPool2D>(2);
+    net.add<nn::ReLU>();
+  }
+  auto& c2 = net.add<nn::Conv2D>(nn::ConvSpec{
+      .in_channels = 8, .out_channels = 16, .kernel = 5, .stride = 1,
+      .padding = 2, .bias = false, .mode = mode});
+  // Hardware order: pooling happens in the counters, ReLU after
+  // conversion; max pooling (FSM-based) would sit after ReLU instead.
+  if (max_pool) {
+    net.add<nn::ReLU>();
+    net.add<nn::MaxPool2D>(2);
+  } else {
+    net.add<nn::AvgPool2D>(2);
+    net.add<nn::ReLU>();
+  }
+  const int feat = side / 4;
+  auto& d1 = net.add<nn::Dense>(nn::DenseSpec{
+      .in_features = feat * feat * 16, .out_features = 10,
+      .bias = false, .mode = mode});
+  c1.initialize(seed);
+  c2.initialize(seed + 1);
+  d1.initialize(seed + 2);
+  return net;
+}
+
+}  // namespace
+
+nn::Network build_cifar_small(nn::AccumMode mode, int side,
+                              std::uint32_t seed) {
+  return build_cifar_body(mode, side, seed, /*max_pool=*/false);
+}
+
+nn::Network build_cifar_small_maxpool(nn::AccumMode mode, int side,
+                                      std::uint32_t seed) {
+  return build_cifar_body(mode, side, seed, /*max_pool=*/true);
+}
+
+nn::Network build_resnet_tiny(nn::AccumMode mode, int side,
+                              std::uint32_t seed) {
+  nn::Network net;
+  auto& stem = net.add<nn::Conv2D>(nn::ConvSpec{
+      .in_channels = 3, .out_channels = 8, .kernel = 3, .stride = 1,
+      .padding = 1, .bias = false, .mode = mode});
+  net.add<nn::AvgPool2D>(2);
+  net.add<nn::ReLU>();
+
+  auto state = std::make_shared<nn::SkipState>();
+  net.add<nn::SkipSave>(state);
+  auto& b1 = net.add<nn::Conv2D>(nn::ConvSpec{
+      .in_channels = 8, .out_channels = 8, .kernel = 3, .stride = 1,
+      .padding = 1, .bias = false, .mode = mode});
+  net.add<nn::ReLU>();
+  auto& b2 = net.add<nn::Conv2D>(nn::ConvSpec{
+      .in_channels = 8, .out_channels = 8, .kernel = 3, .stride = 1,
+      .padding = 1, .bias = false, .mode = mode});
+  net.add<nn::SkipAdd>(state);
+  net.add<nn::ReLU>();
+
+  const int feat = side / 2;
+  auto& head = net.add<nn::Dense>(nn::DenseSpec{
+      .in_features = feat * feat * 8, .out_features = 10, .bias = false,
+      .mode = mode});
+  stem.initialize(seed);
+  b1.initialize(seed + 1);
+  b2.initialize(seed + 2);
+  head.initialize(seed + 3);
+  return net;
+}
+
+void set_network_mode(nn::Network& net, nn::AccumMode mode) {
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    if (auto* conv = dynamic_cast<nn::Conv2D*>(&net.layer(i))) {
+      conv->set_mode(mode);
+    } else if (auto* dense = dynamic_cast<nn::Dense*>(&net.layer(i))) {
+      dense->set_mode(mode);
+    }
+  }
+}
+
+}  // namespace acoustic::train

@@ -1,0 +1,48 @@
+// Trainable small-network builders for the accuracy experiments.
+//
+// These are scaled-down analogues of the paper's Table II networks sized
+// for the synthetic datasets (DESIGN.md section 3): every layer type the
+// accelerator supports is exercised (conv with padding, average pooling,
+// ReLU, fully-connected). All weighted layers share one AccumMode so a
+// model can be trained with kOrApprox (the paper's training enhancement)
+// and evaluated in any mode.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/network.hpp"
+
+namespace acoustic::train {
+
+/// LeNet-style net for SynthDigits (side x side x 1, 10 classes):
+/// conv5x5(1->6,pad2) relu pool2 conv5x5(6->16) relu pool2 dense relu
+/// dense(->10).
+[[nodiscard]] nn::Network build_lenet_small(nn::AccumMode mode, int side = 16,
+                                            std::uint32_t seed = 7);
+
+/// CIFAR-style net for SynthObjects (side x side x 3, 10 classes):
+/// conv5x5(3->8,pad2) relu pool2 conv5x5(8->16,pad2) relu pool2
+/// dense(->10).
+[[nodiscard]] nn::Network build_cifar_small(nn::AccumMode mode, int side = 16,
+                                            std::uint32_t seed = 11);
+
+/// Variant of build_cifar_small with max pooling instead of average pooling
+/// (for the "<0.3% accuracy difference" observation of section II-C).
+[[nodiscard]] nn::Network build_cifar_small_maxpool(nn::AccumMode mode,
+                                                    int side = 16,
+                                                    std::uint32_t seed = 11);
+
+/// Tiny residual net for SynthObjects (side x side x 3, 10 classes):
+/// conv3x3(3->8,pad1) pool2 relu, one basic block
+/// {skip-save conv3x3(8->8,pad1) relu conv3x3(8->8,pad1) skip-add relu},
+/// dense(->10). Exercises the skip-connection (counter-preload) path.
+[[nodiscard]] nn::Network build_resnet_tiny(nn::AccumMode mode,
+                                            int side = 16,
+                                            std::uint32_t seed = 77);
+
+/// Sets the accumulation mode of every weighted layer in @p net.
+void set_network_mode(nn::Network& net, nn::AccumMode mode);
+
+}  // namespace acoustic::train

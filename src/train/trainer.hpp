@@ -1,0 +1,43 @@
+// Training loop and evaluation helpers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/network.hpp"
+#include "train/dataset.hpp"
+#include "train/sgd.hpp"
+
+namespace acoustic::train {
+
+struct TrainConfig {
+  int epochs = 10;
+  int batch_size = 8;             ///< gradients accumulate over a batch
+  float learning_rate = 0.05f;
+  float momentum = 0.9f;
+  float weight_clip = 1.0f;
+  float lr_decay = 1.0f;          ///< multiplied into lr after each epoch
+  std::uint32_t shuffle_seed = 1;
+  bool verbose = false;
+};
+
+struct TrainStats {
+  std::vector<float> epoch_loss;      ///< mean per-sample loss per epoch
+  std::vector<float> epoch_accuracy;  ///< training accuracy per epoch
+};
+
+/// Trains @p net on @p data with softmax cross-entropy.
+TrainStats fit(nn::Network& net, const Dataset& data,
+               const TrainConfig& config);
+
+/// Top-1 accuracy of @p net on @p data.
+[[nodiscard]] float evaluate(nn::Network& net, const Dataset& data);
+
+/// Top-1 accuracy with @p bits-bit fixed-point weights and activations:
+/// weights are snapped to the signed grid for the duration of the call
+/// (then restored) and every layer output is snapped to the same grid —
+/// the Table II "8-bit Fixed Pt" baseline.
+[[nodiscard]] float evaluate_quantized(nn::Network& net, const Dataset& data,
+                                       int bits);
+
+}  // namespace acoustic::train

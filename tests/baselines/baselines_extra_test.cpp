@@ -1,0 +1,60 @@
+// Extra baseline-model coverage: scaling behaviour and degenerate inputs.
+#include <gtest/gtest.h>
+
+#include "baselines/eyeriss.hpp"
+#include "baselines/scope.hpp"
+#include "baselines/ulp_accelerators.hpp"
+
+namespace acoustic::baselines {
+namespace {
+
+TEST(EyerissExtra, EmptyNetworkUnavailable) {
+  nn::NetworkDesc empty;
+  empty.name = "empty";
+  const Performance p = eyeriss_run(eyeriss_base(), empty);
+  EXPECT_FALSE(p.available);
+}
+
+TEST(EyerissExtra, EfficiencyIndependentOfClock) {
+  // Fr/J comes from energy/MAC alone in this model; clock moves Fr/s only.
+  EyerissConfig slow = eyeriss_base();
+  slow.clock_mhz = 100.0;
+  EyerissConfig fast = eyeriss_base();
+  fast.clock_mhz = 400.0;
+  const auto net = nn::alexnet();
+  EXPECT_DOUBLE_EQ(eyeriss_run(slow, net).frames_per_j,
+                   eyeriss_run(fast, net).frames_per_j);
+  EXPECT_NEAR(eyeriss_run(fast, net).frames_per_s /
+                  eyeriss_run(slow, net).frames_per_s,
+              4.0, 1e-9);
+}
+
+TEST(EyerissExtra, LenetIsTrivial) {
+  const Performance p = eyeriss_run(eyeriss_base(), nn::lenet5());
+  EXPECT_GT(p.frames_per_s, 10000.0);
+}
+
+TEST(ScopeExtra, SvhnAlsoNa) {
+  EXPECT_FALSE(scope_run(nn::svhn_cnn()).available);
+}
+
+TEST(UlpExtra, ScalingPreservesEnergyPerMac) {
+  // Extrapolated points keep Fr/J * conv_macs constant (per-MAC energy).
+  const auto lenet = nn::lenet5().conv_only();
+  const auto cifar = nn::cifar10_cnn().conv_only();
+  const Performance a = conv_ram_run(lenet);
+  const Performance b = conv_ram_run(cifar);
+  const double e_a = 1.0 / (a.frames_per_j *
+                            static_cast<double>(lenet.conv_macs()));
+  const double e_b = 1.0 / (b.frames_per_j *
+                            static_cast<double>(cifar.conv_macs()));
+  EXPECT_NEAR(e_a / e_b, 1.0, 1e-9);
+}
+
+TEST(UlpExtra, PrecisionStringsMatchTable4) {
+  EXPECT_EQ(mdl_cnn_spec().precision, "8b/1b");
+  EXPECT_EQ(conv_ram_spec().precision, "6b/1b");
+}
+
+}  // namespace
+}  // namespace acoustic::baselines

@@ -1,0 +1,109 @@
+#include "baselines/eyeriss.hpp"
+#include "baselines/scope.hpp"
+#include "baselines/ulp_accelerators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acoustic::baselines {
+namespace {
+
+// Calibration targets are the published Table III / IV rows; the model is
+// analytical, so a generous tolerance guards the *shape*, and tighter
+// bounds the calibrated anchor points.
+
+TEST(Eyeriss, BaseConfigMatchesTable3) {
+  const EyerissConfig cfg = eyeriss_base();
+  EXPECT_EQ(cfg.pes, 168);
+  EXPECT_DOUBLE_EQ(cfg.area_mm2, 3.7);
+  EXPECT_DOUBLE_EQ(cfg.power_w, 0.12);
+  EXPECT_DOUBLE_EQ(cfg.clock_mhz, 200.0);
+}
+
+TEST(Eyeriss, AlexNetNearPublished) {
+  // Table III: base 41.1 Fr/s / 306.9 Fr/J; 1k 210.7 Fr/s / 381.2 Fr/J.
+  const Performance base = eyeriss_run(eyeriss_base(), nn::alexnet());
+  EXPECT_NEAR(base.frames_per_s, 41.1, 15.0);
+  EXPECT_NEAR(base.frames_per_j, 306.9, 120.0);
+  const Performance big = eyeriss_run(eyeriss_1k(), nn::alexnet());
+  EXPECT_NEAR(big.frames_per_s, 210.7, 70.0);
+  EXPECT_NEAR(big.frames_per_j, 381.2, 150.0);
+}
+
+TEST(Eyeriss, VggNearPublished) {
+  // Table III: base 1.8 Fr/s / 14.4 Fr/J; 1k 8.4 Fr/s / 18.7 Fr/J.
+  const Performance base = eyeriss_run(eyeriss_base(), nn::vgg16());
+  EXPECT_NEAR(base.frames_per_s, 1.8, 0.8);
+  EXPECT_NEAR(base.frames_per_j, 14.4, 6.0);
+  const Performance big = eyeriss_run(eyeriss_1k(), nn::vgg16());
+  EXPECT_NEAR(big.frames_per_s, 8.4, 3.0);
+  EXPECT_NEAR(big.frames_per_j, 18.7, 8.0);
+}
+
+TEST(Eyeriss, MorePesMoreThroughputLessEfficiencyGain) {
+  const Performance base = eyeriss_run(eyeriss_base(), nn::resnet18());
+  const Performance big = eyeriss_run(eyeriss_1k(), nn::resnet18());
+  EXPECT_GT(big.frames_per_s, 4.0 * base.frames_per_s);
+  EXPECT_GT(big.frames_per_j, base.frames_per_j);
+  EXPECT_LT(big.frames_per_j, 2.0 * base.frames_per_j);
+}
+
+TEST(Eyeriss, ThroughputInverseToMacs) {
+  const Performance alex = eyeriss_run(eyeriss_base(), nn::alexnet());
+  const Performance vgg = eyeriss_run(eyeriss_base(), nn::vgg16());
+  const double mac_ratio = static_cast<double>(nn::vgg16().total_macs()) /
+                           static_cast<double>(nn::alexnet().total_macs());
+  EXPECT_NEAR(alex.frames_per_s / vgg.frames_per_s, mac_ratio, 0.1);
+}
+
+TEST(Scope, PublishedPoints) {
+  const Performance alex = scope_run(nn::alexnet());
+  EXPECT_TRUE(alex.available);
+  EXPECT_DOUBLE_EQ(alex.frames_per_s, 5771.7);
+  EXPECT_DOUBLE_EQ(alex.frames_per_j, 136.2);
+  const Performance vgg = scope_run(nn::vgg16());
+  EXPECT_DOUBLE_EQ(vgg.frames_per_s, 755.9);
+  EXPECT_DOUBLE_EQ(vgg.frames_per_j, 9.1);
+}
+
+TEST(Scope, NaCellsMatchPaper) {
+  EXPECT_FALSE(scope_run(nn::resnet18()).available);
+  EXPECT_FALSE(scope_run(nn::cifar10_cnn()).available);
+}
+
+TEST(Scope, ConfigMatchesTable3) {
+  const ScopeConfig cfg = scope_config();
+  EXPECT_DOUBLE_EQ(cfg.area_mm2, 273.0);
+  EXPECT_DOUBLE_EQ(cfg.clock_mhz, 125.0);
+}
+
+TEST(UlpBaselines, SpecsMatchTable4) {
+  const UlpSpec mdl = mdl_cnn_spec();
+  EXPECT_DOUBLE_EQ(mdl.area_mm2, 0.124);
+  EXPECT_DOUBLE_EQ(mdl.clock_mhz, 24.0);
+  EXPECT_EQ(mdl.domain, "Time");
+  const UlpSpec cram = conv_ram_spec();
+  EXPECT_DOUBLE_EQ(cram.area_mm2, 0.02);
+  EXPECT_DOUBLE_EQ(cram.clock_mhz, 364.0);
+  EXPECT_EQ(cram.domain, "Analog");
+}
+
+TEST(UlpBaselines, LeNetPublishedPoints) {
+  const nn::NetworkDesc lenet_conv = nn::lenet5().conv_only();
+  const Performance mdl = mdl_cnn_run(lenet_conv);
+  EXPECT_TRUE(mdl.available);
+  EXPECT_DOUBLE_EQ(mdl.frames_per_s, 1009.0);
+  EXPECT_DOUBLE_EQ(mdl.frames_per_j, 33.6e6);
+  const Performance cram = conv_ram_run(lenet_conv);
+  EXPECT_TRUE(cram.available);
+  EXPECT_DOUBLE_EQ(cram.frames_per_s, 15200.0);
+}
+
+TEST(UlpBaselines, CifarIsNaButExtrapolated) {
+  const Performance mdl = mdl_cnn_run(nn::cifar10_cnn().conv_only());
+  EXPECT_FALSE(mdl.available);  // paper shows N/A
+  EXPECT_GT(mdl.frames_per_s, 0.0);  // extrapolation still offered
+  EXPECT_LT(mdl.frames_per_s, 1009.0);  // CIFAR CNN is heavier than LeNet
+}
+
+}  // namespace
+}  // namespace acoustic::baselines

@@ -1,0 +1,47 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace acoustic::core {
+namespace {
+
+TEST(Table, RendersHeaderAndRule) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_NE(out.find("x"), std::string::npos);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"a", "b"});
+  t.add_row({"longvalue", "1"});
+  t.add_row({"x", "22"});
+  const std::string out = t.to_string();
+  // Both data rows start their second column at the same offset.
+  const std::size_t line2 = out.find("longvalue");
+  const std::size_t line3 = out.find("x", line2);
+  const std::size_t col_b_row2 = out.find('1', line2) - line2;
+  const std::size_t col_b_row3 = out.find("22", line3) - line3;
+  EXPECT_EQ(col_b_row2, col_b_row3);
+}
+
+TEST(Table, RejectsWrongColumnCount) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(FormatNumber, SignificantDigits) {
+  EXPECT_EQ(format_number(1234.5678, 4), "1235");
+  EXPECT_EQ(format_number(0.0001234, 2), "0.00012");
+}
+
+TEST(FormatNumber, NanIsNa) {
+  EXPECT_EQ(format_number(std::nan(""), 3), "N/A");
+}
+
+}  // namespace
+}  // namespace acoustic::core

@@ -1,0 +1,84 @@
+// Extra energy/breakdown coverage: scaling behaviour of the component
+// models across fabric sizes and the internal consistency of the rollup.
+#include <gtest/gtest.h>
+
+#include "energy/breakdown.hpp"
+#include "energy/energy_model.hpp"
+
+namespace acoustic::energy {
+namespace {
+
+TEST(BreakdownExtra, AreaScalesWithFabric) {
+  perf::ArchConfig small = perf::lp();
+  small.rows = 16;
+  perf::ArchConfig big = perf::lp();
+  big.rows = 64;
+  const double a_small = total_area_mm2(small);
+  const double a_big = total_area_mm2(big);
+  EXPECT_GT(a_big, a_small);
+  // MAC + buffers scale with rows; memories don't — so scaling is
+  // sublinear in the row count.
+  EXPECT_LT(a_big / a_small, 4.0);
+}
+
+TEST(BreakdownExtra, StreamLengthDoesNotChangeArea) {
+  perf::ArchConfig short_s = perf::lp();
+  short_s.stream_length = 128;
+  perf::ArchConfig long_s = perf::lp();
+  long_s.stream_length = 512;
+  EXPECT_DOUBLE_EQ(total_area_mm2(short_s), total_area_mm2(long_s));
+}
+
+TEST(BreakdownExtra, BreakdownTotalsMatchModel) {
+  for (const auto& arch : {perf::lp(), perf::ulp()}) {
+    const Breakdown area = area_breakdown(arch);
+    EXPECT_NEAR(area.total, total_area_mm2(arch), 1e-12);
+  }
+}
+
+TEST(BreakdownExtra, PerLayerEnergiesSumToNetworkDynamic) {
+  const auto net = nn::cifar10_cnn();
+  const auto mappings = perf::map_network(net, perf::lp());
+  double layer_sum = 0.0;
+  for (const auto& m : mappings) {
+    layer_sum += layer_energy(m, perf::lp()).on_chip_j();
+  }
+  const EnergyReport whole = network_energy(mappings, perf::lp(), 0.0);
+  EXPECT_NEAR(whole.on_chip_j(), layer_sum, layer_sum * 1e-9);
+}
+
+TEST(BreakdownExtra, DeeperNetworksCostMore) {
+  const auto lp = perf::lp();
+  const auto cheap = perf::map_network(nn::lenet5(), lp);
+  const auto pricey = perf::map_network(nn::alexnet(), lp);
+  EXPECT_GT(network_energy(pricey, lp, 0.0).on_chip_j(),
+            network_energy(cheap, lp, 0.0).on_chip_j());
+}
+
+TEST(BreakdownExtra, UlpEnergyPerInferenceFarBelowLp) {
+  // Same constants, tiny fabric: the ULP LeNet conv inference must land
+  // orders of magnitude below an LP AlexNet inference.
+  const auto ulp_map =
+      perf::map_network(nn::lenet5().conv_only(), perf::ulp());
+  const auto lp_map = perf::map_network(nn::alexnet(), perf::lp());
+  const double ulp_e = network_energy(ulp_map, perf::ulp(), 0.0).on_chip_j();
+  const double lp_e = network_energy(lp_map, perf::lp(), 0.0).on_chip_j();
+  EXPECT_LT(ulp_e * 100.0, lp_e);
+}
+
+TEST(BreakdownExtra, ComponentConstantsArePositive) {
+  const ComponentConstants k = tsmc28();
+  EXPECT_GT(k.mac_product_bit_j, 0.0);
+  EXPECT_GT(k.act_sng_bit_j, 0.0);
+  EXPECT_GT(k.wgt_sng_bit_j, 0.0);
+  EXPECT_GT(k.counter_bit_j, 0.0);
+  EXPECT_GT(k.mac_lane_um2, 0.0);
+  EXPECT_GT(k.leakage_w_per_mm2, 0.0);
+  // SNG bits cost more than a bare AND lane (comparator vs gate), counters
+  // more than SNGs (wide adders).
+  EXPECT_GT(k.act_sng_bit_j, k.mac_product_bit_j);
+  EXPECT_GT(k.counter_bit_j, k.act_sng_bit_j);
+}
+
+}  // namespace
+}  // namespace acoustic::energy

@@ -1,0 +1,103 @@
+#include "energy/component_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include "energy/breakdown.hpp"
+
+namespace acoustic::energy {
+namespace {
+
+TEST(Components, NamesCoverAllNine) {
+  for (int c = 0; c < kComponentCount; ++c) {
+    EXPECT_FALSE(component_name(static_cast<Component>(c)).empty());
+  }
+}
+
+TEST(Components, LpCountsMatchHierarchy) {
+  const ComponentCounts n = component_counts(perf::lp());
+  EXPECT_EQ(n.mac_lanes, 32ull * 3 * 8 * 16 * 96);  // 1,179,648
+  EXPECT_EQ(n.counters, 128ull * 32);               // positions x kernels
+  EXPECT_EQ(n.act_sngs, 128ull * 32 * 3);
+  EXPECT_EQ(n.wgt_sngs, 32ull * 9 * 32);
+  EXPECT_EQ(n.wgt_buf_bytes, n.mac_lanes);
+}
+
+TEST(Components, LpTotalAreaNearPublished) {
+  // Paper Table III: 12 mm^2.
+  EXPECT_NEAR(total_area_mm2(perf::lp()), 12.0, 1.0);
+}
+
+TEST(Components, UlpTotalAreaNearPublished) {
+  // Paper Table IV: 0.18 mm^2. Same constants as LP — this is the model's
+  // cross-validation, so the tolerance is wider.
+  EXPECT_NEAR(total_area_mm2(perf::ulp()), 0.18, 0.06);
+}
+
+TEST(Components, LpAreaBreakdownShape) {
+  // Paper IV-C: MAC arrays are the largest area contributor, weight
+  // buffers second; weight buffers are large in area yet low in power.
+  const Breakdown area = area_breakdown(perf::lp());
+  const int mac = static_cast<int>(Component::kMacArray);
+  const int wgt_buf = static_cast<int>(Component::kWgtBuf);
+  for (int c = 0; c < kComponentCount; ++c) {
+    if (c != mac) {
+      EXPECT_GE(area.share[mac], area.share[c])
+          << component_name(static_cast<Component>(c));
+    }
+  }
+  EXPECT_GT(area.share[wgt_buf], 0.15);
+}
+
+TEST(Components, LpPowerBreakdownShape) {
+  const Breakdown power = power_breakdown(perf::lp());
+  const int mac = static_cast<int>(Component::kMacArray);
+  const int wgt_buf = static_cast<int>(Component::kWgtBuf);
+  for (int c = 0; c < kComponentCount; ++c) {
+    if (c != mac) {
+      EXPECT_GE(power.share[mac], power.share[c]);
+    }
+  }
+  // "Weight buffers ... much lower relative power consumption" (IV-C).
+  EXPECT_LT(power.share[wgt_buf], 0.05);
+}
+
+TEST(Components, UlpDominatedByMemories) {
+  // Paper IV-C: "The area and energy of the ULP variant is dominated by
+  // activation and weight memories" — together they outweigh the MAC array.
+  const Breakdown area = area_breakdown(perf::ulp());
+  const double mem = area.share[static_cast<int>(Component::kActMem)] +
+                     area.share[static_cast<int>(Component::kWgtMem)];
+  EXPECT_GT(mem, area.share[static_cast<int>(Component::kMacArray)]);
+}
+
+TEST(Components, SharesSumToOne) {
+  for (const auto& arch : {perf::lp(), perf::ulp()}) {
+    for (const Breakdown& b :
+         {area_breakdown(arch), power_breakdown(arch)}) {
+      double total = 0.0;
+      for (double s : b.share) {
+        total += s;
+      }
+      EXPECT_NEAR(total, 1.0, 1e-9) << b.title;
+    }
+  }
+}
+
+TEST(Components, FormatBreakdownMentionsEveryComponent) {
+  const std::string text = format_breakdown(area_breakdown(perf::lp()));
+  for (int c = 0; c < kComponentCount; ++c) {
+    EXPECT_NE(text.find(component_name(static_cast<Component>(c))),
+              std::string::npos);
+  }
+}
+
+TEST(Components, ProvisionedChannelsShrinkSngBanks) {
+  perf::ArchConfig full = perf::ulp();
+  full.sng_provisioned_channels = 0;
+  const ComponentCounts slim = component_counts(perf::ulp());
+  const ComponentCounts wide = component_counts(full);
+  EXPECT_LT(slim.wgt_sngs, wide.wgt_sngs);
+}
+
+}  // namespace
+}  // namespace acoustic::energy

@@ -1,0 +1,58 @@
+#include "energy/sram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acoustic::energy {
+namespace {
+
+TEST(Sram, ZeroCapacityIsFree) {
+  EXPECT_EQ(SramModel::access_energy_j(0), 0.0);
+  EXPECT_EQ(SramModel::area_mm2(0), 0.0);
+}
+
+TEST(Sram, AnchorPoint) {
+  // 64 KB macro: ~1 pJ/byte.
+  EXPECT_NEAR(SramModel::access_energy_j(64 * 1024), 1e-12, 1e-14);
+}
+
+TEST(Sram, EnergyGrowsWithSqrtCapacity) {
+  const double e64 = SramModel::access_energy_j(64 * 1024);
+  const double e256 = SramModel::access_energy_j(256 * 1024);
+  EXPECT_NEAR(e256 / e64, 2.0, 1e-9);  // 4x capacity -> 2x energy
+}
+
+TEST(Sram, AreaIsLinearPlusPeriphery) {
+  const double a1 = SramModel::area_mm2(100 * 1024);
+  const double a2 = SramModel::area_mm2(200 * 1024);
+  // Doubling capacity less than doubles area (fixed periphery).
+  EXPECT_LT(a2, 2.0 * a1);
+  EXPECT_GT(a2, 1.8 * a1);
+}
+
+TEST(Sram, LpActivationMemoryAreaPlausible) {
+  // 600 KB at ~4 um^2/byte => ~2.4 mm^2 (about 20% of the 12 mm^2 LP die,
+  // matching the Fig. 5a share).
+  EXPECT_NEAR(SramModel::area_mm2(600 * 1024), 2.46, 0.2);
+}
+
+TEST(Sram, LeakageScalesLinearly) {
+  EXPECT_NEAR(SramModel::leakage_w(200 * 1024) /
+                  SramModel::leakage_w(100 * 1024),
+              2.0, 1e-9);
+}
+
+TEST(Sram, MonotoneInCapacity) {
+  double prev_e = 0.0;
+  double prev_a = 0.0;
+  for (std::uint64_t kb : {1u, 4u, 16u, 64u, 256u, 1024u}) {
+    const double e = SramModel::access_energy_j(kb * 1024);
+    const double a = SramModel::area_mm2(kb * 1024);
+    EXPECT_GT(e, prev_e);
+    EXPECT_GT(a, prev_a);
+    prev_e = e;
+    prev_a = a;
+  }
+}
+
+}  // namespace
+}  // namespace acoustic::energy

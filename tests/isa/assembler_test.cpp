@@ -1,0 +1,103 @@
+#include "isa/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acoustic::isa {
+namespace {
+
+Program sample_program() {
+  Program p;
+  p.act_ld(4096, "input image");
+  p.wgt_ld(150, "conv1 weights");
+  p.barrier(0x01, "cold start");
+  p.loop_begin(LoopKind::kKernel, 49, "conv1 passes");
+  p.act_rng(96);
+  p.wgt_rng(54);
+  p.mac(32);
+  p.loop_end(LoopKind::kKernel);
+  p.cnt_st(1176, "conv1 outputs");
+  p.barrier(0x1F);
+  return p;
+}
+
+TEST(Assembler, FormatProducesOneLinePerInstruction) {
+  const std::string text = format(sample_program());
+  std::size_t lines = 0;
+  for (char c : text) {
+    lines += (c == '\n');
+  }
+  EXPECT_EQ(lines, sample_program().size());
+}
+
+TEST(Assembler, RoundTripPreservesInstructions) {
+  const Program original = sample_program();
+  const Program parsed = parse(format(original));
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(parsed[i], original[i]) << "instruction " << i;
+  }
+}
+
+TEST(Assembler, RoundTripPreservesNotes) {
+  const Program parsed = parse(format(sample_program()));
+  EXPECT_EQ(parsed[0].note, "input image");
+  EXPECT_EQ(parsed[3].note, "conv1 passes");
+}
+
+TEST(Assembler, ParsesAllLoopKinds) {
+  const Program p = parse("FORK count=1\nENDK\nFORB count=2\nENDB\n"
+                          "FORR count=3\nENDR\nFORP count=4\nENDP\n");
+  ASSERT_EQ(p.size(), 8u);
+  EXPECT_EQ(p[0].loop, LoopKind::kKernel);
+  EXPECT_EQ(p[2].loop, LoopKind::kBatch);
+  EXPECT_EQ(p[4].loop, LoopKind::kRow);
+  EXPECT_EQ(p[6].loop, LoopKind::kPool);
+}
+
+TEST(Assembler, ParsesHexMask) {
+  const Program p = parse("BARR mask=0x1F\n");
+  EXPECT_EQ(p[0].mask, 0x1F);
+}
+
+TEST(Assembler, SkipsBlankLinesAndComments) {
+  const Program p = parse("\n# full-line comment\n  \nMAC cycles=5\n");
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].cycles, 5u);
+}
+
+TEST(Assembler, RejectsUnknownMnemonic) {
+  EXPECT_THROW((void)parse("FROB bytes=1\n"), std::invalid_argument);
+}
+
+TEST(Assembler, RejectsUnknownField) {
+  EXPECT_THROW((void)parse("MAC speed=5\n"), std::invalid_argument);
+}
+
+TEST(Assembler, RejectsBadNumber) {
+  EXPECT_THROW((void)parse("MAC cycles=abc\n"), std::invalid_argument);
+}
+
+TEST(Assembler, RejectsBadLoopKind) {
+  EXPECT_THROW((void)parse("FORX count=1\n"), std::invalid_argument);
+}
+
+TEST(Assembler, ErrorMentionsLineNumber) {
+  try {
+    (void)parse("MAC cycles=1\nBOGUS\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Assembler, FormatIndentsLoopBodies) {
+  Program p;
+  p.loop_begin(LoopKind::kKernel, 2);
+  p.mac(1);
+  p.loop_end(LoopKind::kKernel);
+  const std::string text = format(p);
+  EXPECT_NE(text.find("\n  MAC"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace acoustic::isa

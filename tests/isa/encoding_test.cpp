@@ -1,0 +1,97 @@
+#include "isa/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perf/codegen.hpp"
+#include "perf/perf_sim.hpp"
+
+namespace acoustic::isa {
+namespace {
+
+TEST(Encoding, RoundTripsEveryOpcode) {
+  Program p;
+  p.act_ld(4096);
+  p.act_st(123);
+  p.wgt_ld(1 << 20);
+  p.mac(256);
+  p.act_rng(96);
+  p.wgt_rng(54);
+  p.wgt_shift(2);
+  p.cnt_ld(64);
+  p.cnt_st(8192);
+  p.loop_begin(LoopKind::kPool, 49);
+  p.loop_end(LoopKind::kPool);
+  p.barrier(0x1F);
+  const Program decoded = decode(std::span<const std::uint64_t>(encode(p)));
+  ASSERT_EQ(decoded.size(), p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(decoded[i], p[i]) << "instruction " << i;
+  }
+}
+
+TEST(Encoding, ExactOperandsUpTo24Bits) {
+  Instruction i;
+  i.op = Opcode::kWgtLd;
+  for (std::uint64_t bytes : {0ull, 1ull, 255ull, 4096ull, (1ull << 24) - 1}) {
+    i.bytes = bytes;
+    EXPECT_EQ(decode(encode(i)).bytes, bytes) << bytes;
+  }
+}
+
+TEST(Encoding, LargeOperandsUseShiftedEncoding) {
+  Instruction i;
+  i.op = Opcode::kWgtLd;
+  // Byte-aligned large values encode exactly.
+  i.bytes = 123ull << 24;
+  EXPECT_EQ(decode(encode(i)).bytes, i.bytes);
+  // Huge MAC cycle counts too.
+  i.op = Opcode::kMac;
+  i.cycles = 1ull << 30;
+  EXPECT_EQ(decode(encode(i)).cycles, i.cycles);
+}
+
+TEST(Encoding, RejectsOversizedFields) {
+  Instruction i;
+  i.op = Opcode::kFor;
+  i.count = (1u << 24);
+  EXPECT_THROW((void)encode(i), std::invalid_argument);
+  Instruction j;
+  j.op = Opcode::kWgtLd;
+  j.bytes = ~0ull;
+  EXPECT_THROW((void)encode(j), std::invalid_argument);
+}
+
+TEST(Encoding, NotesAreNotArchitecture) {
+  Instruction i;
+  i.op = Opcode::kMac;
+  i.cycles = 8;
+  i.note = "scratch comment";
+  const Instruction back = decode(encode(i));
+  EXPECT_TRUE(back.note.empty());
+  EXPECT_EQ(back, i);  // equality ignores notes
+}
+
+TEST(Encoding, ZooProgramsFitTheLpInstructionMemory) {
+  // The LP instruction memory is 4 KB; the encoded programs for every
+  // zoo workload must fit (III-D: small distributed-control footprint).
+  for (const auto& net : nn::table3_workloads()) {
+    const perf::CodegenResult r = perf::generate_program(net, perf::lp());
+    EXPECT_LE(encoded_size_bytes(r.program), perf::lp().inst_mem_bytes)
+        << net.name;
+  }
+}
+
+TEST(Encoding, ZooProgramsSurviveBinaryRoundTrip) {
+  const perf::CodegenResult r =
+      perf::generate_program(nn::cifar10_cnn(), perf::lp());
+  const Program decoded =
+      decode(std::span<const std::uint64_t>(encode(r.program)));
+  ASSERT_EQ(decoded.size(), r.program.size());
+  // Simulating the decoded program gives identical timing.
+  const auto a = perf::simulate(r.program, perf::lp());
+  const auto b = perf::simulate(decoded, perf::lp());
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+}
+
+}  // namespace
+}  // namespace acoustic::isa

@@ -1,0 +1,65 @@
+#include "isa/instruction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acoustic::isa {
+namespace {
+
+TEST(Instruction, UnitAssignmentMatchesTableOne) {
+  // Paper Table I: module ownership of each instruction.
+  EXPECT_EQ(unit_of(Opcode::kActLd), Unit::kDma);
+  EXPECT_EQ(unit_of(Opcode::kActSt), Unit::kDma);
+  EXPECT_EQ(unit_of(Opcode::kWgtLd), Unit::kDma);
+  EXPECT_EQ(unit_of(Opcode::kMac), Unit::kMac);
+  EXPECT_EQ(unit_of(Opcode::kActRng), Unit::kActRng);
+  EXPECT_EQ(unit_of(Opcode::kWgtRng), Unit::kWgtRng);
+  EXPECT_EQ(unit_of(Opcode::kWgtShift), Unit::kWgtRng);
+  EXPECT_EQ(unit_of(Opcode::kCntLd), Unit::kCnt);
+  EXPECT_EQ(unit_of(Opcode::kCntSt), Unit::kCnt);
+  EXPECT_EQ(unit_of(Opcode::kFor), Unit::kDispatch);
+  EXPECT_EQ(unit_of(Opcode::kEnd), Unit::kDispatch);
+  EXPECT_EQ(unit_of(Opcode::kBarr), Unit::kDispatch);
+}
+
+TEST(Instruction, MnemonicsMatchTableOne) {
+  EXPECT_EQ(mnemonic(Opcode::kActLd), "ACTLD");
+  EXPECT_EQ(mnemonic(Opcode::kWgtShift), "WGTSHIFT");
+  EXPECT_EQ(mnemonic(Opcode::kCntSt), "CNTST");
+  EXPECT_EQ(mnemonic(Opcode::kBarr), "BARR");
+}
+
+TEST(Instruction, LoopSuffixes) {
+  EXPECT_EQ(loop_suffix(LoopKind::kKernel), 'K');
+  EXPECT_EQ(loop_suffix(LoopKind::kBatch), 'B');
+  EXPECT_EQ(loop_suffix(LoopKind::kRow), 'R');
+  EXPECT_EQ(loop_suffix(LoopKind::kPool), 'P');
+}
+
+TEST(Instruction, UnitBitsAreDistinct) {
+  std::uint8_t all = 0;
+  for (Unit u : {Unit::kDma, Unit::kMac, Unit::kActRng, Unit::kWgtRng,
+                 Unit::kCnt, Unit::kDispatch}) {
+    EXPECT_EQ(all & unit_bit(u), 0) << unit_name(u);
+    all |= unit_bit(u);
+  }
+}
+
+TEST(Instruction, EqualityIgnoresNote) {
+  Instruction a;
+  a.op = Opcode::kMac;
+  a.cycles = 10;
+  a.note = "x";
+  Instruction b = a;
+  b.note = "y";
+  EXPECT_EQ(a, b);
+  b.cycles = 11;
+  EXPECT_NE(a, b);
+}
+
+TEST(Instruction, UnitNames) {
+  EXPECT_EQ(unit_name(Unit::kDma), "DMA");
+  EXPECT_EQ(unit_name(Unit::kDispatch), "DISPATCH");
+}
+
+}  // namespace
+}  // namespace acoustic::isa

@@ -1,0 +1,68 @@
+#include "isa/program.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acoustic::isa {
+namespace {
+
+TEST(Program, BuildersSetFields) {
+  Program p;
+  p.wgt_ld(1024, "weights");
+  p.mac(256, "pass");
+  p.barrier(0x3, "sync");
+  p.act_rng(64);
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p[0].op, Opcode::kWgtLd);
+  EXPECT_EQ(p[0].bytes, 1024u);
+  EXPECT_EQ(p[0].note, "weights");
+  EXPECT_EQ(p[1].cycles, 256u);
+  EXPECT_EQ(p[2].mask, 0x3);
+  EXPECT_EQ(p[3].op, Opcode::kActRng);
+}
+
+TEST(Program, LoopBuildersAndValidate) {
+  Program p;
+  p.loop_begin(LoopKind::kKernel, 4);
+  p.mac(16);
+  p.loop_begin(LoopKind::kPool, 2);
+  p.mac(8);
+  p.loop_end(LoopKind::kPool);
+  p.loop_end(LoopKind::kKernel);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Program, ValidateRejectsUnclosedLoop) {
+  Program p;
+  p.loop_begin(LoopKind::kRow, 2);
+  p.mac(1);
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Program, ValidateRejectsMismatchedEnd) {
+  Program p;
+  p.loop_begin(LoopKind::kRow, 2);
+  p.loop_end(LoopKind::kKernel);
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Program, ValidateRejectsDanglingEnd) {
+  Program p;
+  p.loop_end(LoopKind::kPool);
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Program, ValidateRejectsZeroTripCount) {
+  Program p;
+  p.loop_begin(LoopKind::kBatch, 0);
+  p.loop_end(LoopKind::kBatch);
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Program, EmptyProgramValidates) {
+  Program p;
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_TRUE(p.empty());
+}
+
+}  // namespace
+}  // namespace acoustic::isa

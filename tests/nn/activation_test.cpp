@@ -1,0 +1,100 @@
+#include "nn/activation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace acoustic::nn {
+namespace {
+
+TEST(ReLU, ClampsNegative) {
+  ReLU relu;
+  Tensor x = Tensor::vector(4);
+  x[0] = -1.0f;
+  x[1] = 0.0f;
+  x[2] = 0.5f;
+  x[3] = 2.0f;
+  const Tensor y = relu.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 0.5f);
+  EXPECT_FLOAT_EQ(y[3], 2.0f);
+}
+
+TEST(ReLU, BackwardMasksGradient) {
+  ReLU relu;
+  Tensor x = Tensor::vector(3);
+  x[0] = -1.0f;
+  x[1] = 1.0f;
+  x[2] = 0.0f;
+  (void)relu.forward(x);
+  Tensor g = Tensor::vector(3);
+  g.fill(2.0f);
+  const Tensor gi = relu.backward(g);
+  EXPECT_FLOAT_EQ(gi[0], 0.0f);
+  EXPECT_FLOAT_EQ(gi[1], 2.0f);
+  EXPECT_FLOAT_EQ(gi[2], 0.0f);  // subgradient at 0 taken as 0
+}
+
+TEST(OrSaturation, MatchesEquationOne) {
+  OrSaturation act;
+  Tensor x = Tensor::vector(3);
+  x[0] = 0.5f;
+  x[1] = 2.0f;
+  x[2] = 0.0f;
+  const Tensor y = act.forward(x);
+  EXPECT_NEAR(y[0], 1.0 - std::exp(-0.5), 1e-6);
+  EXPECT_NEAR(y[1], 1.0 - std::exp(-2.0), 1e-6);
+  EXPECT_FLOAT_EQ(y[2], 0.0f);
+}
+
+TEST(OrSaturation, PreservesSign) {
+  OrSaturation act;
+  Tensor x = Tensor::vector(1);
+  x[0] = -0.5f;
+  const Tensor y = act.forward(x);
+  EXPECT_NEAR(y[0], -(1.0 - std::exp(-0.5)), 1e-6);
+}
+
+TEST(OrSaturation, SaturatesBelowOne) {
+  OrSaturation act;
+  Tensor x = Tensor::vector(1);
+  x[0] = 100.0f;
+  EXPECT_LT(act.forward(x)[0], 1.0f + 1e-6f);
+}
+
+TEST(OrSaturation, GradientIsExpOfNegMagnitude) {
+  OrSaturation act;
+  Tensor x = Tensor::vector(2);
+  x[0] = 0.7f;
+  x[1] = -1.2f;
+  (void)act.forward(x);
+  Tensor g = Tensor::vector(2);
+  g.fill(1.0f);
+  const Tensor gi = act.backward(g);
+  EXPECT_NEAR(gi[0], std::exp(-0.7), 1e-6);
+  EXPECT_NEAR(gi[1], std::exp(-1.2), 1e-6);
+}
+
+TEST(OrSaturation, FiniteDifferenceGradient) {
+  OrSaturation act;
+  for (float v : {-2.0f, -0.3f, 0.4f, 1.5f}) {
+    Tensor x = Tensor::vector(1);
+    x[0] = v;
+    (void)act.forward(x);
+    Tensor g = Tensor::vector(1);
+    g[0] = 1.0f;
+    const float analytic = act.backward(g)[0];
+    const float eps = 1e-3f;
+    Tensor xp = Tensor::vector(1);
+    xp[0] = v + eps;
+    Tensor xm = Tensor::vector(1);
+    xm[0] = v - eps;
+    const float fd =
+        (act.forward(xp)[0] - act.forward(xm)[0]) / (2.0f * eps);
+    EXPECT_NEAR(analytic, fd, 1e-3f) << "v=" << v;
+  }
+}
+
+}  // namespace
+}  // namespace acoustic::nn

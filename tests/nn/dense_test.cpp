@@ -1,0 +1,148 @@
+#include "nn/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sc/rng.hpp"
+
+namespace acoustic::nn {
+namespace {
+
+TEST(Dense, RejectsInvalidSpec) {
+  EXPECT_THROW(Dense(DenseSpec{.in_features = 0}), std::invalid_argument);
+  EXPECT_THROW(Dense(DenseSpec{.in_features = 4, .out_features = -1}),
+               std::invalid_argument);
+}
+
+TEST(Dense, MatrixVectorProduct) {
+  Dense d(DenseSpec{.in_features = 3, .out_features = 2});
+  // W = [[1, 2, 3], [0, -1, 0.5]]
+  d.weights()[d.weight_index(0, 0)] = 1.0f;
+  d.weights()[d.weight_index(0, 1)] = 2.0f;
+  d.weights()[d.weight_index(0, 2)] = 3.0f;
+  d.weights()[d.weight_index(1, 1)] = -1.0f;
+  d.weights()[d.weight_index(1, 2)] = 0.5f;
+  Tensor x = Tensor::vector(3);
+  x[0] = 1.0f;
+  x[1] = 2.0f;
+  x[2] = 4.0f;
+  const Tensor y = d.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 17.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+}
+
+TEST(Dense, AcceptsSpatialInputAsFlat) {
+  Dense d(DenseSpec{.in_features = 12, .out_features = 1});
+  for (std::size_t i = 0; i < 12; ++i) {
+    d.weights()[i] = 1.0f;
+  }
+  Tensor x(Shape{2, 2, 3});
+  x.fill(0.5f);
+  const Tensor y = d.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 6.0f);
+}
+
+TEST(Dense, FeatureMismatchThrows) {
+  Dense d(DenseSpec{.in_features = 4, .out_features = 1});
+  Tensor x = Tensor::vector(5);
+  EXPECT_THROW((void)d.forward(x), std::invalid_argument);
+}
+
+TEST(Dense, OrExactMatchesClosedForm) {
+  Dense d(DenseSpec{.in_features = 2, .out_features = 1,
+                    .mode = AccumMode::kOrExact});
+  d.weights()[0] = 0.8f;
+  d.weights()[1] = -0.6f;
+  Tensor x = Tensor::vector(2);
+  x[0] = 0.5f;
+  x[1] = 0.5f;
+  const Tensor y = d.forward(x);
+  const double pos = 1.0 - (1.0 - 0.5 * 0.8);
+  const double neg = 1.0 - (1.0 - 0.5 * 0.6);
+  EXPECT_NEAR(y[0], pos - neg, 1e-6);
+}
+
+TEST(Dense, OrApproxIsSaturating) {
+  // Many positive contributions saturate toward 1 instead of growing
+  // linearly — the scale-free property OR accumulation trades for.
+  Dense d(DenseSpec{.in_features = 64, .out_features = 1,
+                    .mode = AccumMode::kOrApprox});
+  for (std::size_t i = 0; i < 64; ++i) {
+    d.weights()[i] = 0.9f;
+  }
+  Tensor x = Tensor::vector(64);
+  x.fill(0.9f);
+  const Tensor y = d.forward(x);
+  EXPECT_LE(y[0], 1.0f);
+  EXPECT_GT(y[0], 0.99f);
+}
+
+/// Finite-difference gradient check for all modes.
+class DenseGradientTest : public ::testing::TestWithParam<AccumMode> {};
+
+TEST_P(DenseGradientTest, GradientsMatchFiniteDifferences) {
+  const AccumMode mode = GetParam();
+  Dense d(DenseSpec{.in_features = 6, .out_features = 3, .mode = mode});
+  d.initialize(11);
+  Tensor x = Tensor::vector(6);
+  sc::XorShift32 rng(8);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 0.1f + 0.8f * static_cast<float>(rng.next_double());
+  }
+  const auto objective = [&](const Tensor& input) {
+    const Tensor y = d.forward(input);
+    double total = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      total += y[i] * (1.0 + static_cast<double>(i));
+    }
+    return total;
+  };
+  const Tensor y = d.forward(x);
+  Tensor grad_out(y.shape());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    grad_out[i] = 1.0f + static_cast<float>(i);
+  }
+  d.zero_gradients();
+  const Tensor grad_in = d.backward(grad_out);
+  auto params = d.parameters();
+  const double eps = 1e-3;
+  for (std::size_t wi = 0; wi < params[0].values.size(); ++wi) {
+    const float saved = params[0].values[wi];
+    if (mode != AccumMode::kSum && std::fabs(saved) < 2 * eps) {
+      continue;
+    }
+    params[0].values[wi] = saved + static_cast<float>(eps);
+    const double up = objective(x);
+    params[0].values[wi] = saved - static_cast<float>(eps);
+    const double down = objective(x);
+    params[0].values[wi] = saved;
+    const double fd = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(params[0].gradients[wi], fd, 1e-2 + 0.02 * std::fabs(fd))
+        << "weight " << wi;
+  }
+  for (std::size_t xi = 0; xi < x.size(); ++xi) {
+    const float saved = x[xi];
+    x[xi] = saved + static_cast<float>(eps);
+    const double up = objective(x);
+    x[xi] = saved - static_cast<float>(eps);
+    const double down = objective(x);
+    x[xi] = saved;
+    const double fd = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(grad_in[xi], fd, 1e-2 + 0.02 * std::fabs(fd))
+        << "input " << xi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, DenseGradientTest,
+                         ::testing::Values(AccumMode::kSum,
+                                           AccumMode::kOrApprox,
+                                           AccumMode::kOrExact));
+
+TEST(Dense, OutputShapeIgnoresInputSpatial) {
+  Dense d(DenseSpec{.in_features = 8, .out_features = 5});
+  EXPECT_EQ(d.output_shape(Shape{2, 2, 2}), (Shape{1, 1, 5}));
+}
+
+}  // namespace
+}  // namespace acoustic::nn

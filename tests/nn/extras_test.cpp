@@ -1,0 +1,108 @@
+// Assorted coverage: grouped convolutions in the zoo, OrSaturation inside
+// networks, larger pooling windows.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activation.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/model_zoo.hpp"
+#include "nn/network.hpp"
+#include "nn/pool.hpp"
+
+namespace acoustic::nn {
+namespace {
+
+TEST(Groups, HalveMacsAndWeights) {
+  LayerDesc l;
+  l.kind = LayerKind::kConv;
+  l.in_h = 8;
+  l.in_w = 8;
+  l.in_c = 16;
+  l.kernel = 3;
+  l.padding = 1;
+  l.out_c = 8;
+  const std::uint64_t full = l.macs();
+  l.groups = 2;
+  EXPECT_EQ(l.macs() * 2, full);
+  EXPECT_EQ(l.channels_per_group(), 8);
+}
+
+TEST(Groups, AlexNetGroupedLayersMarked) {
+  const NetworkDesc net = alexnet();
+  EXPECT_EQ(net.layers[1].groups, 2);  // conv2
+  EXPECT_EQ(net.layers[3].groups, 2);  // conv4
+  EXPECT_EQ(net.layers[4].groups, 2);  // conv5
+  EXPECT_EQ(net.layers[0].groups, 1);  // conv1
+}
+
+TEST(Resnet18Desc, ResidualConvsMarked) {
+  const NetworkDesc net = resnet18();
+  int residuals = 0;
+  for (const LayerDesc& l : net.layers) {
+    residuals += l.residual ? 1 : 0;
+  }
+  EXPECT_EQ(residuals, 8);  // one per basic block
+}
+
+TEST(ConvOnly, RenamesNetwork) {
+  EXPECT_EQ(lenet5().conv_only().name, "LeNet-5-conv");
+}
+
+TEST(OrSaturationLayer, ComposesInNetwork) {
+  // The "activation after a normal layer" formulation of Eq. (1): a kSum
+  // dense followed by OrSaturation approximates a kOrApprox dense when all
+  // weights share a sign.
+  Network approx_form;
+  auto& d1 = approx_form.add<Dense>(
+      DenseSpec{.in_features = 4, .out_features = 2});
+  approx_form.add<OrSaturation>();
+  Network native;
+  auto& d2 = native.add<Dense>(DenseSpec{
+      .in_features = 4, .out_features = 2, .mode = AccumMode::kOrApprox});
+  for (std::size_t i = 0; i < d1.weights().size(); ++i) {
+    const float w = 0.1f + 0.05f * static_cast<float>(i);
+    d1.weights()[i] = w;
+    d2.weights()[i] = w;
+  }
+  Tensor x = Tensor::vector(4);
+  x.fill(0.5f);
+  const Tensor a = approx_form.forward(x);
+  const Tensor b = native.forward(x);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-6f);
+  }
+}
+
+TEST(AvgPool2D, ThreeByThreeWindow) {
+  AvgPool2D pool(3);
+  Tensor x(Shape{3, 3, 1});
+  for (std::size_t i = 0; i < 9; ++i) {
+    x[i] = static_cast<float>(i);
+  }
+  EXPECT_FLOAT_EQ(pool.forward(x)[0], 4.0f);  // mean of 0..8
+}
+
+TEST(AvgPool2D, GlobalPoolViaFullWindow) {
+  AvgPool2D pool(7);
+  Tensor x(Shape{7, 7, 2});
+  x.fill(0.5f);
+  const Tensor y = pool.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 0.5f);
+}
+
+TEST(Conv2D, AsymmetricInputDims) {
+  Conv2D conv(ConvSpec{.in_channels = 1, .out_channels = 1, .kernel = 3,
+                       .padding = 1});
+  conv.weights()[conv.weight_index(0, 1, 1, 0)] = 1.0f;
+  Tensor x(Shape{5, 9, 1});
+  x.fill(2.0f);
+  const Tensor y = conv.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{5, 9, 1}));
+  EXPECT_FLOAT_EQ(y.at(2, 4, 0), 2.0f);  // identity center tap
+}
+
+}  // namespace
+}  // namespace acoustic::nn

@@ -1,0 +1,102 @@
+#include "nn/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/activation.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/pool.hpp"
+
+namespace acoustic::nn {
+namespace {
+
+Network tiny_net(AccumMode mode = AccumMode::kSum) {
+  Network net;
+  auto& conv = net.add<Conv2D>(ConvSpec{.in_channels = 1, .out_channels = 2,
+                                        .kernel = 3, .padding = 1,
+                                        .mode = mode});
+  net.add<AvgPool2D>(2);
+  net.add<ReLU>();
+  auto& dense = net.add<Dense>(
+      DenseSpec{.in_features = 8, .out_features = 3, .mode = mode});
+  conv.initialize(1);
+  dense.initialize(2);
+  return net;
+}
+
+TEST(Network, ForwardChainsShapes) {
+  Network net = tiny_net();
+  Tensor x(Shape{4, 4, 1});
+  x.fill(0.5f);
+  const Tensor y = net.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 3}));
+}
+
+TEST(Network, LayerCountAndAccess) {
+  Network net = tiny_net();
+  EXPECT_EQ(net.layer_count(), 4u);
+  EXPECT_NE(dynamic_cast<Conv2D*>(&net.layer(0)), nullptr);
+  EXPECT_NE(dynamic_cast<Dense*>(&net.layer(3)), nullptr);
+}
+
+TEST(Network, ParameterCountSumsLayers) {
+  Network net = tiny_net();
+  // conv: 2*3*3*1 = 18, dense: 8*3 = 24.
+  EXPECT_EQ(net.parameter_count(), 42u);
+}
+
+TEST(Network, BackwardProducesInputGradient) {
+  Network net = tiny_net();
+  Tensor x(Shape{4, 4, 1});
+  x.fill(0.5f);
+  const Tensor y = net.forward(x);
+  Tensor g(y.shape());
+  g.fill(1.0f);
+  const Tensor gi = net.backward(g);
+  EXPECT_EQ(gi.shape(), x.shape());
+}
+
+TEST(Network, ZeroGradientsClearsEverything) {
+  Network net = tiny_net();
+  Tensor x(Shape{4, 4, 1});
+  x.fill(0.5f);
+  const Tensor y = net.forward(x);
+  Tensor g(y.shape());
+  g.fill(1.0f);
+  (void)net.backward(g);
+  net.zero_gradients();
+  for (ParamView& p : net.parameters()) {
+    for (float grad : p.gradients) {
+      EXPECT_EQ(grad, 0.0f);
+    }
+  }
+}
+
+TEST(Network, ForwardWithHookVisitsEveryLayer) {
+  Network net = tiny_net();
+  Tensor x(Shape{4, 4, 1});
+  x.fill(0.5f);
+  std::vector<std::size_t> visited;
+  (void)net.forward_with_hook(x, [&](Tensor&, std::size_t i) {
+    visited.push_back(i);
+  });
+  EXPECT_EQ(visited, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(Network, HookCanMutateActivations) {
+  Network net = tiny_net();
+  Tensor x(Shape{4, 4, 1});
+  x.fill(0.5f);
+  // Zeroing after the conv layer forces logits to zero.
+  const Tensor y = net.forward_with_hook(x, [](Tensor& t, std::size_t i) {
+    if (i == 0) {
+      t.fill(0.0f);
+    }
+  });
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_FLOAT_EQ(y[i], 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace acoustic::nn

@@ -1,0 +1,87 @@
+#include "nn/pool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acoustic::nn {
+namespace {
+
+TEST(AvgPool2D, RejectsBadWindow) {
+  EXPECT_THROW(AvgPool2D(0), std::invalid_argument);
+}
+
+TEST(AvgPool2D, AveragesTiles) {
+  AvgPool2D pool(2);
+  Tensor x(Shape{2, 2, 1});
+  x.at(0, 0, 0) = 1.0f;
+  x.at(0, 1, 0) = 2.0f;
+  x.at(1, 0, 0) = 3.0f;
+  x.at(1, 1, 0) = 4.0f;
+  const Tensor y = pool.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+}
+
+TEST(AvgPool2D, PerChannelIndependent) {
+  AvgPool2D pool(2);
+  Tensor x(Shape{2, 2, 2});
+  for (int y = 0; y < 2; ++y) {
+    for (int xx = 0; xx < 2; ++xx) {
+      x.at(y, xx, 0) = 1.0f;
+      x.at(y, xx, 1) = 3.0f;
+    }
+  }
+  const Tensor out = pool.forward(x);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1), 3.0f);
+}
+
+TEST(AvgPool2D, BackwardSpreadsGradientEvenly) {
+  AvgPool2D pool(2);
+  Tensor x(Shape{4, 4, 1});
+  (void)pool.forward(x);
+  Tensor g(Shape{2, 2, 1});
+  g.fill(1.0f);
+  const Tensor gi = pool.backward(g);
+  EXPECT_EQ(gi.shape(), (Shape{4, 4, 1}));
+  for (std::size_t i = 0; i < gi.size(); ++i) {
+    EXPECT_FLOAT_EQ(gi[i], 0.25f);
+  }
+}
+
+TEST(AvgPool2D, TruncatesRaggedEdges) {
+  AvgPool2D pool(2);
+  EXPECT_EQ(pool.output_shape(Shape{5, 5, 3}), (Shape{2, 2, 3}));
+}
+
+TEST(MaxPool2D, TakesMaximum) {
+  MaxPool2D pool(2);
+  Tensor x(Shape{2, 2, 1});
+  x.at(0, 0, 0) = -1.0f;
+  x.at(0, 1, 0) = 5.0f;
+  x.at(1, 0, 0) = 2.0f;
+  x.at(1, 1, 0) = 0.0f;
+  const Tensor y = pool.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+}
+
+TEST(MaxPool2D, BackwardRoutesToArgmaxOnly) {
+  MaxPool2D pool(2);
+  Tensor x(Shape{2, 2, 1});
+  x.at(0, 1, 0) = 5.0f;
+  (void)pool.forward(x);
+  Tensor g(Shape{1, 1, 1});
+  g[0] = 3.0f;
+  const Tensor gi = pool.backward(g);
+  EXPECT_FLOAT_EQ(gi.at(0, 1, 0), 3.0f);
+  EXPECT_FLOAT_EQ(gi.at(0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(gi.at(1, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(gi.at(1, 1, 0), 0.0f);
+}
+
+TEST(Pools, NamesIncludeWindow) {
+  EXPECT_EQ(AvgPool2D(3).name(), "avgpool3x3");
+  EXPECT_EQ(MaxPool2D(2).name(), "maxpool2x2");
+}
+
+}  // namespace
+}  // namespace acoustic::nn

@@ -1,0 +1,74 @@
+#include "nn/quantize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace acoustic::nn {
+namespace {
+
+TEST(FakeQuantize, SnapsToGrid) {
+  std::vector<float> v{0.5f, -0.5f, 1.0f, -1.0f, 0.003f};
+  const float scale = fake_quantize(v, 8);
+  EXPECT_FLOAT_EQ(scale, 1.0f);
+  const float step = 1.0f / 127.0f;
+  for (float x : v) {
+    const float snapped = std::round(x / step) * step;
+    EXPECT_NEAR(x, snapped, 1e-6f);
+  }
+}
+
+TEST(FakeQuantize, EightBitErrorBound) {
+  std::vector<float> v;
+  for (int i = 0; i < 1000; ++i) {
+    v.push_back(-1.0f + 0.002f * static_cast<float>(i));
+  }
+  std::vector<float> original = v;
+  (void)fake_quantize(v, 8);
+  const float step = 1.0f / 127.0f;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_LE(std::fabs(v[i] - original[i]), step / 2 + 1e-6f);
+  }
+}
+
+TEST(FakeQuantize, ExplicitScaleClamps) {
+  std::vector<float> v{2.0f, -3.0f};
+  (void)fake_quantize(v, 8, 1.0f);
+  EXPECT_FLOAT_EQ(v[0], 1.0f);
+  EXPECT_FLOAT_EQ(v[1], -1.0f);
+}
+
+TEST(FakeQuantize, AllZerosIsNoop) {
+  std::vector<float> v{0.0f, 0.0f};
+  EXPECT_EQ(fake_quantize(v, 8), 0.0f);
+  EXPECT_FLOAT_EQ(v[0], 0.0f);
+}
+
+TEST(FakeQuantize, FewerBitsCoarserGrid) {
+  std::vector<float> v4{0.3f};
+  std::vector<float> v8{0.3f};
+  (void)fake_quantize(v4, 4, 1.0f);
+  (void)fake_quantize(v8, 8, 1.0f);
+  EXPECT_GT(std::fabs(v4[0] - 0.3f), std::fabs(v8[0] - 0.3f));
+}
+
+TEST(FakeQuantizeUnsigned, ClampsNegativeToZero) {
+  Tensor t = Tensor::vector(3);
+  t[0] = -0.5f;
+  t[1] = 0.25f;
+  t[2] = 1.0f;
+  (void)fake_quantize_unsigned(t, 8, 1.0f);
+  EXPECT_FLOAT_EQ(t[0], 0.0f);
+  EXPECT_NEAR(t[1], 0.25f, 1.0f / 255.0f);
+  EXPECT_FLOAT_EQ(t[2], 1.0f);
+}
+
+TEST(AbsMax, FindsMagnitude) {
+  std::vector<float> v{0.1f, -2.5f, 1.0f};
+  EXPECT_FLOAT_EQ(abs_max(v), 2.5f);
+  EXPECT_FLOAT_EQ(abs_max(std::vector<float>{}), 0.0f);
+}
+
+}  // namespace
+}  // namespace acoustic::nn

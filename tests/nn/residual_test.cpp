@@ -1,0 +1,119 @@
+#include "nn/residual.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sc/rng.hpp"
+#include "train/models.hpp"
+#include "train/trainer.hpp"
+
+namespace acoustic::nn {
+namespace {
+
+TEST(Residual, NullStateThrows) {
+  EXPECT_THROW(SkipSave(nullptr), std::invalid_argument);
+  EXPECT_THROW(SkipAdd(nullptr), std::invalid_argument);
+}
+
+TEST(Residual, ForwardAddsSavedTensor) {
+  auto state = std::make_shared<SkipState>();
+  SkipSave save(state);
+  SkipAdd add(state);
+  Tensor x = Tensor::vector(3);
+  x[0] = 1.0f;
+  x[1] = 2.0f;
+  x[2] = -1.0f;
+  const Tensor passed = save.forward(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(passed[i], x[i]);  // identity on the main path
+  }
+  Tensor y = Tensor::vector(3);
+  y[0] = 10.0f;
+  const Tensor out = add.forward(y);
+  EXPECT_FLOAT_EQ(out[0], 11.0f);
+  EXPECT_FLOAT_EQ(out[1], 2.0f);
+  EXPECT_FLOAT_EQ(out[2], -1.0f);
+}
+
+TEST(Residual, ShapeMismatchThrows) {
+  auto state = std::make_shared<SkipState>();
+  SkipSave save(state);
+  SkipAdd add(state);
+  Tensor x(Shape{2, 2, 1});
+  (void)save.forward(x);
+  Tensor y(Shape{2, 2, 2});
+  EXPECT_THROW((void)add.forward(y), std::invalid_argument);
+}
+
+TEST(Residual, BackwardForksGradient) {
+  auto state = std::make_shared<SkipState>();
+  SkipSave save(state);
+  SkipAdd add(state);
+  Tensor x = Tensor::vector(2);
+  (void)save.forward(x);
+  (void)add.forward(x);
+  Tensor g = Tensor::vector(2);
+  g[0] = 3.0f;
+  g[1] = -1.0f;
+  const Tensor main_grad = add.backward(g);
+  EXPECT_FLOAT_EQ(main_grad[0], 3.0f);  // unchanged on the main path
+  // SkipSave combines the main-path gradient with the skip gradient.
+  Tensor main_path_grad = Tensor::vector(2);
+  main_path_grad[0] = 1.0f;
+  const Tensor combined = save.backward(main_path_grad);
+  EXPECT_FLOAT_EQ(combined[0], 4.0f);  // 1 + 3
+  EXPECT_FLOAT_EQ(combined[1], -1.0f);
+}
+
+TEST(Residual, WholeNetworkGradientMatchesFiniteDifferences) {
+  nn::Network net = train::build_resnet_tiny(AccumMode::kSum, 8, 5);
+  Tensor x(Shape{8, 8, 3});
+  sc::XorShift32 rng(11);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 0.1f + 0.8f * static_cast<float>(rng.next_double());
+  }
+  const auto objective = [&](const Tensor& input) {
+    const Tensor y = net.forward(input);
+    double total = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      total += y[i] * (1.0 + 0.1 * static_cast<double>(i));
+    }
+    return total;
+  };
+  const Tensor y = net.forward(x);
+  Tensor g(y.shape());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    g[i] = 1.0f + 0.1f * static_cast<float>(i);
+  }
+  net.zero_gradients();
+  (void)net.backward(g);
+  auto params = net.parameters();
+  const double eps = 1e-3;
+  // Spot-check gradients in the *block* convs (the ones the skip spans).
+  for (std::size_t p = 1; p <= 2; ++p) {
+    for (std::size_t wi = 0; wi < params[p].values.size(); wi += 53) {
+      const float saved = params[p].values[wi];
+      params[p].values[wi] = saved + static_cast<float>(eps);
+      const double up = objective(x);
+      params[p].values[wi] = saved - static_cast<float>(eps);
+      const double down = objective(x);
+      params[p].values[wi] = saved;
+      const double fd = (up - down) / (2.0 * eps);
+      EXPECT_NEAR(params[p].gradients[wi], fd, 2e-2 + 0.02 * std::fabs(fd))
+          << "param " << p << " weight " << wi;
+    }
+  }
+}
+
+TEST(Residual, TinyResnetTrains) {
+  const train::Dataset data = train::make_synth_objects(300, 15, 8);
+  nn::Network net = train::build_resnet_tiny(AccumMode::kOrApprox, 8);
+  train::TrainConfig cfg;
+  cfg.epochs = 4;
+  const train::TrainStats stats = train::fit(net, data, cfg);
+  EXPECT_LT(stats.epoch_loss.back(), stats.epoch_loss.front());
+}
+
+}  // namespace
+}  // namespace acoustic::nn

@@ -1,0 +1,63 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acoustic::nn {
+namespace {
+
+TEST(Shape, SizeMultiplies) {
+  EXPECT_EQ((Shape{4, 5, 3}).size(), 60u);
+  EXPECT_EQ((Shape{0, 5, 3}).size(), 0u);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(Shape{2, 3, 4});
+  EXPECT_EQ(t.size(), 24u);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t[i], 0.0f);
+  }
+}
+
+TEST(Tensor, HwcIndexing) {
+  Tensor t(Shape{2, 3, 4});
+  t.at(1, 2, 3) = 7.0f;
+  // HWC layout: index = (y*w + x)*c + ch.
+  EXPECT_EQ(t.index(1, 2, 3), (1u * 3 + 2) * 4 + 3);
+  EXPECT_EQ(t[t.index(1, 2, 3)], 7.0f);
+  EXPECT_EQ(t.at(1, 2, 3), 7.0f);
+}
+
+TEST(Tensor, VectorFactory) {
+  Tensor v = Tensor::vector(10);
+  EXPECT_EQ(v.shape(), (Shape{1, 1, 10}));
+  EXPECT_EQ(v.size(), 10u);
+}
+
+TEST(Tensor, FillSetsAll) {
+  Tensor t(Shape{3, 3, 1});
+  t.fill(2.5f);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t[i], 2.5f);
+  }
+}
+
+TEST(Tensor, AbsMax) {
+  Tensor t(Shape{1, 1, 4});
+  t[0] = -3.0f;
+  t[1] = 2.0f;
+  EXPECT_EQ(t.abs_max(), 3.0f);
+  Tensor empty;
+  EXPECT_EQ(empty.abs_max(), 0.0f);
+}
+
+TEST(Tensor, ArgmaxFindsFirstMaximum) {
+  Tensor t = Tensor::vector(5);
+  t[1] = 4.0f;
+  t[3] = 4.0f;
+  EXPECT_EQ(t.argmax(), 1u);
+  t[3] = 5.0f;
+  EXPECT_EQ(t.argmax(), 3u);
+}
+
+}  // namespace
+}  // namespace acoustic::nn

@@ -1,0 +1,65 @@
+#include "perf/arch_config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acoustic::perf {
+namespace {
+
+TEST(ArchConfig, LpMatchesPaperTableThree) {
+  const ArchConfig cfg = lp();
+  EXPECT_EQ(cfg.rows, 32);
+  EXPECT_EQ(cfg.subrows, 3);
+  EXPECT_EQ(cfg.arrays, 8);
+  EXPECT_EQ(cfg.macs_per_array, 16);
+  EXPECT_EQ(cfg.mac_width, 96);
+  EXPECT_DOUBLE_EQ(cfg.clock_mhz, 200.0);
+  EXPECT_EQ(cfg.wgt_mem_bytes, static_cast<std::uint64_t>(147.5 * 1024));
+  EXPECT_EQ(cfg.act_mem_bytes, 600u * 1024);
+  EXPECT_TRUE(cfg.has_dram);
+  EXPECT_EQ(cfg.stream_length, 256u);  // "2x128-bit streams"
+}
+
+TEST(ArchConfig, UlpMatchesPaperTableFour) {
+  const ArchConfig cfg = ulp();
+  EXPECT_EQ(cfg.wgt_mem_bytes, 3u * 1024);
+  EXPECT_EQ(cfg.act_mem_bytes, 2u * 1024);
+  EXPECT_FALSE(cfg.has_dram);
+  EXPECT_EQ(cfg.stream_length, 128u);  // Table IV: 128-long bitstreams
+}
+
+TEST(ArchConfig, TotalMacLanes) {
+  // R * S * A * M * 96 = 1,179,648 product lanes for LP — the "hundreds of
+  // thousands of effective MACs" of section III-B.
+  EXPECT_EQ(lp().total_mac_lanes(), 1179648u);
+  EXPECT_EQ(ulp().total_mac_lanes(), 9216u);
+}
+
+TEST(ArchConfig, PositionsPerPass) {
+  EXPECT_EQ(lp().positions_per_pass(), 128);
+  EXPECT_EQ(ulp().positions_per_pass(), 4);
+}
+
+TEST(ArchConfig, ChannelsPerMacClampsKernelWidth) {
+  const ArchConfig cfg = lp();
+  EXPECT_EQ(cfg.channels_per_mac(3), 32);   // 3x3 native
+  EXPECT_EQ(cfg.channels_per_mac(1), 96);   // 1x1 kernels use full width
+  EXPECT_EQ(cfg.channels_per_mac(11), 32);  // >3 handled by chunking
+  EXPECT_EQ(cfg.channels_per_mac(0), 96);   // degenerate clamps to 1
+}
+
+TEST(ArchConfig, SngChannelsRespectsProvisioning) {
+  ArchConfig cfg = lp();
+  EXPECT_EQ(cfg.sng_channels(), 32);  // default: full
+  cfg.sng_provisioned_channels = 8;
+  EXPECT_EQ(cfg.sng_channels(), 8);
+  cfg.sng_provisioned_channels = 1000;  // cannot exceed physical
+  EXPECT_EQ(cfg.sng_channels(), 32);
+  EXPECT_EQ(ulp().sng_channels(), 8);
+}
+
+TEST(ArchConfig, ClockHz) {
+  EXPECT_DOUBLE_EQ(lp().clock_hz(), 2e8);
+}
+
+}  // namespace
+}  // namespace acoustic::perf

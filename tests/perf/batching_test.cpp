@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "core/accelerator.hpp"
+#include "perf/codegen.hpp"
+
+namespace acoustic::perf {
+namespace {
+
+ArchConfig lp_with_batch(int batch) {
+  ArchConfig arch = lp();
+  arch.batch = batch;
+  return arch;
+}
+
+TEST(Batching, FcPassesGrowSublinearly) {
+  // Up to M = 16 batch samples share each FC weight load, so an 8-sample
+  // batch needs the same number of FC sweeps as a single frame.
+  nn::LayerDesc fc;
+  fc.kind = nn::LayerKind::kDense;
+  fc.in_c = 9216;
+  fc.out_c = 4096;
+  const LayerMapping single = map_layer(fc, lp_with_batch(1));
+  const LayerMapping batch8 = map_layer(fc, lp_with_batch(8));
+  EXPECT_EQ(batch8.passes, single.passes);
+  const LayerMapping batch32 = map_layer(fc, lp_with_batch(32));
+  EXPECT_EQ(batch32.passes, 2 * single.passes);  // ceil(32/16) sweeps
+}
+
+TEST(Batching, ConvPassesGrowLinearly) {
+  nn::LayerDesc conv = nn::alexnet().layers[2];
+  const LayerMapping single = map_layer(conv, lp_with_batch(1));
+  const LayerMapping batch4 = map_layer(conv, lp_with_batch(4));
+  EXPECT_EQ(batch4.passes, 4 * single.passes);
+}
+
+TEST(Batching, WeightTrafficPaidOncePerBatch) {
+  nn::LayerDesc fc;
+  fc.kind = nn::LayerKind::kDense;
+  fc.in_c = 4096;
+  fc.out_c = 4096;
+  const LayerMapping single = map_layer(fc, lp_with_batch(1));
+  const LayerMapping batch8 = map_layer(fc, lp_with_batch(8));
+  EXPECT_EQ(single.wgt_dram_bytes, batch8.wgt_dram_bytes);
+}
+
+TEST(Batching, PerFrameThroughputImprovesOnFcHeavyNetworks) {
+  // AlexNet latency is dominated by streaming 58 MB of FC weights;
+  // batching amortizes that stream across frames (paper III-B/III-D).
+  core::Accelerator single(lp_with_batch(1));
+  core::Accelerator batched(lp_with_batch(8));
+  const auto alex = nn::alexnet();
+  const double fps1 = single.run(alex).frames_per_s;
+  const double fps8 = batched.run(alex).frames_per_s;
+  EXPECT_GT(fps8, 2.0 * fps1);
+}
+
+TEST(Batching, ConvOnlyNetworksGainLittle) {
+  core::Accelerator single(lp_with_batch(1));
+  core::Accelerator batched(lp_with_batch(8));
+  const auto conv_net = nn::cifar10_cnn().conv_only();
+  const double fps1 = single.run(conv_net).frames_per_s;
+  const double fps8 = batched.run(conv_net).frames_per_s;
+  EXPECT_NEAR(fps8 / fps1, 1.0, 0.35);
+}
+
+TEST(Batching, PerFrameEnergyNeverWorse) {
+  core::Accelerator single(lp_with_batch(1));
+  core::Accelerator batched(lp_with_batch(8));
+  for (const auto& net : nn::table3_workloads()) {
+    const double e1 = single.run(net).on_chip_energy_j;
+    const double e8 = batched.run(net).on_chip_energy_j;
+    EXPECT_LE(e8, e1 * 1.05) << net.name;
+  }
+}
+
+TEST(Sparsity, DensityScalesComputeEnergyNotLatency) {
+  // Operand gating (III-B): half-dense activations halve the dynamic
+  // product work; the static pass schedule (latency) is unchanged.
+  nn::LayerDesc conv = nn::alexnet().layers[2];
+  ArchConfig dense_cfg = lp();
+  ArchConfig sparse_cfg = lp();
+  sparse_cfg.activation_density = 0.5;
+  const LayerMapping dense_map = map_layer(conv, dense_cfg);
+  const LayerMapping sparse_map = map_layer(conv, sparse_cfg);
+  EXPECT_EQ(dense_map.mac_cycles, sparse_map.mac_cycles);
+  EXPECT_NEAR(static_cast<double>(sparse_map.product_bits) /
+                  static_cast<double>(dense_map.product_bits),
+              0.5, 1e-6);
+}
+
+TEST(Sparsity, DefaultIsConservativeDense) {
+  EXPECT_DOUBLE_EQ(lp().activation_density, 1.0);
+  EXPECT_DOUBLE_EQ(ulp().activation_density, 1.0);
+}
+
+TEST(Residual, CodegenEmitsCounterPreload) {
+  const CodegenResult r = generate_program(nn::resnet18(), lp());
+  int preloads = 0;
+  for (const auto& instr : r.program.instructions()) {
+    if (instr.op == isa::Opcode::kCntLd) {
+      ++preloads;
+    }
+  }
+  // ResNet-18 has 8 basic blocks, each ending in a residual add.
+  EXPECT_EQ(preloads, 8);
+}
+
+TEST(Residual, NonResidualNetworksHaveNoCntLd) {
+  const CodegenResult r = generate_program(nn::vgg16(), lp());
+  for (const auto& instr : r.program.instructions()) {
+    EXPECT_NE(instr.op, isa::Opcode::kCntLd);
+  }
+}
+
+}  // namespace
+}  // namespace acoustic::perf

@@ -1,0 +1,122 @@
+#include "perf/codegen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+
+namespace acoustic::perf {
+namespace {
+
+TEST(Codegen, FullNetworkProgramValidates) {
+  for (const auto& net : nn::table3_workloads()) {
+    const CodegenResult r = generate_program(net, lp());
+    EXPECT_NO_THROW(r.program.validate()) << net.name;
+    EXPECT_EQ(r.mappings.size(), net.layers.size()) << net.name;
+  }
+}
+
+TEST(Codegen, UlpProgramHasNoDmaInstructions) {
+  const CodegenResult r = generate_program(nn::lenet5().conv_only(), ulp());
+  for (const auto& instr : r.program.instructions()) {
+    EXPECT_NE(isa::unit_of(instr.op), isa::Unit::kDma)
+        << isa::mnemonic(instr.op);
+  }
+}
+
+TEST(Codegen, ColdStartLoadsInputAndFirstWeights) {
+  const CodegenResult r = generate_program(nn::lenet5(), lp());
+  const auto& instrs = r.program.instructions();
+  ASSERT_GE(instrs.size(), 3u);
+  EXPECT_EQ(instrs[0].op, isa::Opcode::kActLd);
+  EXPECT_EQ(instrs[1].op, isa::Opcode::kWgtLd);
+  EXPECT_EQ(instrs[2].op, isa::Opcode::kBarr);
+}
+
+TEST(Codegen, ResidentLayersArePreloadedDuringPreviousLayer) {
+  // LeNet-5 layer weights all fit the LP weight memory, so each layer i>0
+  // must have its WGTLD appear before layer i-1's pass loop completes
+  // (i.e. between the previous barrier and the next MAC loop).
+  const CodegenResult r = generate_program(nn::lenet5(), lp());
+  const auto& instrs = r.program.instructions();
+  int wgt_loads = 0;
+  for (const auto& instr : instrs) {
+    if (instr.op == isa::Opcode::kWgtLd) {
+      ++wgt_loads;
+    }
+  }
+  EXPECT_EQ(wgt_loads, 5);  // one per layer (first at cold start)
+}
+
+TEST(Codegen, StreamingFcEmitsWgtLdInOwnLayer) {
+  // AlexNet fc6/fc7/fc8 exceed the 147.5 KB weight memory: their WGTLD
+  // streams concurrently with their own MAC loop.
+  const CodegenResult r = generate_program(nn::alexnet(), lp());
+  bool streaming_note = false;
+  for (const auto& instr : r.program.instructions()) {
+    if (instr.op == isa::Opcode::kWgtLd &&
+        instr.note.find("stream") != std::string::npos) {
+      streaming_note = true;
+    }
+  }
+  EXPECT_TRUE(streaming_note);
+}
+
+TEST(Codegen, EveryLayerEndsWithFullBarrier) {
+  const CodegenResult r = generate_program(nn::cifar10_cnn(), lp());
+  int barriers = 0;
+  for (const auto& instr : r.program.instructions()) {
+    if (instr.op == isa::Opcode::kBarr && instr.mask == 0x1F) {
+      ++barriers;
+    }
+  }
+  EXPECT_EQ(barriers,
+            static_cast<int>(nn::cifar10_cnn().layers.size()));
+}
+
+TEST(Codegen, PassLoopsMatchMappings) {
+  const CodegenResult r = generate_program(nn::cifar10_cnn(), lp());
+  std::vector<std::uint32_t> loop_counts;
+  for (const auto& instr : r.program.instructions()) {
+    if (instr.op == isa::Opcode::kFor) {
+      loop_counts.push_back(instr.count);
+    }
+  }
+  ASSERT_EQ(loop_counts.size(), r.mappings.size());
+  for (std::size_t i = 0; i < loop_counts.size(); ++i) {
+    EXPECT_EQ(loop_counts[i], r.mappings[i].passes) << "layer " << i;
+  }
+}
+
+TEST(Codegen, LayerProgramRoundTripsThroughAssembler) {
+  const nn::NetworkDesc net = nn::lenet5();
+  const LayerMapping m = map_layer(net.layers[0], lp(), true, false);
+  const isa::Program p =
+      generate_layer_program(net.layers[0], lp(), m, 1234);
+  const isa::Program reparsed = isa::parse(isa::format(p));
+  ASSERT_EQ(reparsed.size(), p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(reparsed[i], p[i]);
+  }
+}
+
+TEST(Codegen, LayerProgramPreloadAppearsBeforeMacLoop) {
+  const nn::NetworkDesc net = nn::lenet5();
+  const LayerMapping m = map_layer(net.layers[0], lp());
+  const isa::Program p =
+      generate_layer_program(net.layers[0], lp(), m, 9999);
+  std::size_t preload_idx = p.size();
+  std::size_t for_idx = p.size();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i].op == isa::Opcode::kWgtLd && p[i].bytes == 9999) {
+      preload_idx = i;
+    }
+    if (p[i].op == isa::Opcode::kFor && for_idx == p.size()) {
+      for_idx = i;
+    }
+  }
+  ASSERT_LT(preload_idx, p.size());
+  EXPECT_LT(preload_idx, for_idx);
+}
+
+}  // namespace
+}  // namespace acoustic::perf

@@ -1,0 +1,62 @@
+#include "perf/dram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acoustic::perf {
+namespace {
+
+TEST(Dram, Ddr3PeakBandwidths) {
+  // 64-bit channel: MT/s * 8 bytes.
+  EXPECT_DOUBLE_EQ(ddr3_800().bandwidth_bytes_per_s, 6.4e9);
+  EXPECT_DOUBLE_EQ(ddr3_1600().bandwidth_bytes_per_s, 12.8e9);
+  EXPECT_DOUBLE_EQ(ddr3_2133().bandwidth_bytes_per_s, 2133e6 * 8.0);
+}
+
+TEST(Dram, HbmIsFastest) {
+  const auto all = figure4_interfaces();
+  for (std::size_t i = 0; i + 1 < all.size(); ++i) {
+    EXPECT_LT(all[i].bandwidth_bytes_per_s, all.back().bandwidth_bytes_per_s)
+        << all[i].name;
+  }
+  EXPECT_EQ(all.back().name, "HBM");
+}
+
+TEST(Dram, Figure4HasSevenInterfacesInOrder) {
+  const auto all = figure4_interfaces();
+  ASSERT_EQ(all.size(), 7u);
+  for (std::size_t i = 0; i + 2 < all.size(); ++i) {
+    EXPECT_LT(all[i].bandwidth_bytes_per_s,
+              all[i + 1].bandwidth_bytes_per_s);
+  }
+}
+
+TEST(Dram, TransferCyclesScaleWithClock) {
+  const DramSpec d = ddr3_1600();
+  // 12.8 GB at 12.8 GB/s = 1 s = clock_hz cycles.
+  EXPECT_EQ(d.transfer_cycles(12'800'000'000ull, 200e6), 200'000'000ull);
+  EXPECT_EQ(d.transfer_cycles(12'800'000'000ull, 400e6), 400'000'000ull);
+}
+
+TEST(Dram, ZeroBytesZeroCycles) {
+  EXPECT_EQ(ddr3_800().transfer_cycles(0, 200e6), 0u);
+}
+
+TEST(Dram, CyclesRoundUp) {
+  const DramSpec d = ddr3_800();  // 6.4e9 B/s
+  // 1 byte at 200 MHz: 1/6.4e9 s = 0.03 cycles -> 1 cycle.
+  EXPECT_EQ(d.transfer_cycles(1, 200e6), 1u);
+}
+
+TEST(Dram, EnergyScalesLinearly) {
+  const DramSpec d = ddr3_1600();
+  EXPECT_DOUBLE_EQ(d.transfer_energy_j(1000), 1000 * 160.0 * 1e-12);
+  EXPECT_LT(hbm().energy_pj_per_byte, d.energy_pj_per_byte);
+}
+
+TEST(Dram, TransferSecondsInverseBandwidth) {
+  const DramSpec d = ddr3_800();
+  EXPECT_DOUBLE_EQ(d.transfer_seconds(6'400'000'000ull), 1.0);
+}
+
+}  // namespace
+}  // namespace acoustic::perf

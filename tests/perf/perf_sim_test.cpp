@@ -1,0 +1,173 @@
+#include "perf/perf_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perf/codegen.hpp"
+
+namespace acoustic::perf {
+namespace {
+
+ArchConfig test_arch() {
+  ArchConfig arch = lp();
+  arch.dram = ddr3_1600();  // 12.8 GB/s; 64 B/cycle at 200 MHz
+  return arch;
+}
+
+TEST(PerfSim, EmptyProgramTakesNoTime) {
+  const PerfResult r = simulate(isa::Program{}, test_arch());
+  EXPECT_EQ(r.total_cycles, 0u);
+}
+
+TEST(PerfSim, SingleMacTakesItsCycles) {
+  isa::Program p;
+  p.mac(1000);
+  const PerfResult r = simulate(p, test_arch());
+  // 1 dispatch cycle + 1000 execution cycles.
+  EXPECT_EQ(r.total_cycles, 1001u);
+  EXPECT_EQ(r.unit(isa::Unit::kMac).busy_cycles, 1000u);
+}
+
+TEST(PerfSim, SameUnitSerializes) {
+  isa::Program p;
+  p.mac(100);
+  p.mac(100);
+  const PerfResult r = simulate(p, test_arch());
+  EXPECT_GE(r.total_cycles, 200u);
+  EXPECT_EQ(r.unit(isa::Unit::kMac).busy_cycles, 200u);
+}
+
+TEST(PerfSim, DifferentUnitsOverlap) {
+  // The paper's key control property (III-C): weight loading overlaps MAC
+  // compute, so total = max(dma, mac), not the sum.
+  isa::Program p;
+  p.wgt_ld(64000);  // 1000 cycles at 64 B/cycle
+  p.mac(1000);
+  p.barrier(0x1F);
+  const PerfResult r = simulate(p, test_arch());
+  EXPECT_LT(r.total_cycles, 1200u);
+  EXPECT_GE(r.total_cycles, 1000u);
+}
+
+TEST(PerfSim, BarrierSerializesAcrossUnits) {
+  isa::Program p;
+  p.wgt_ld(64000);  // 1000 cycles
+  p.barrier(isa::unit_bit(isa::Unit::kDma));
+  p.mac(1000);
+  const PerfResult r = simulate(p, test_arch());
+  EXPECT_GE(r.total_cycles, 2000u);
+}
+
+TEST(PerfSim, BarrierMaskOnlyWaitsForMaskedUnits) {
+  isa::Program p;
+  p.wgt_ld(64000);                                // 1000 cycles on DMA
+  p.barrier(isa::unit_bit(isa::Unit::kMac));      // MAC idle: no wait
+  p.mac(10);
+  const PerfResult r = simulate(p, test_arch());
+  EXPECT_LT(r.total_cycles, 1100u);  // MAC ran during the DMA transfer
+}
+
+TEST(PerfSim, LoopsExpandTheirBodies) {
+  isa::Program p;
+  p.loop_begin(isa::LoopKind::kKernel, 10);
+  p.mac(50);
+  p.loop_end(isa::LoopKind::kKernel);
+  const PerfResult r = simulate(p, test_arch());
+  EXPECT_EQ(r.unit(isa::Unit::kMac).busy_cycles, 500u);
+  EXPECT_EQ(r.unit(isa::Unit::kMac).instructions, 10u);
+}
+
+TEST(PerfSim, NestedLoopsMultiply) {
+  isa::Program p;
+  p.loop_begin(isa::LoopKind::kKernel, 3);
+  p.loop_begin(isa::LoopKind::kPool, 4);
+  p.mac(1);
+  p.loop_end(isa::LoopKind::kPool);
+  p.loop_end(isa::LoopKind::kKernel);
+  const PerfResult r = simulate(p, test_arch());
+  EXPECT_EQ(r.unit(isa::Unit::kMac).instructions, 12u);
+}
+
+TEST(PerfSim, FifoBackPressureStallsDispatch) {
+  // With fifo_depth slots, instruction fifo_depth+1 cannot dispatch until
+  // the first completes; the dispatcher clock advances accordingly.
+  ArchConfig arch = test_arch();
+  arch.fifo_depth = 2;
+  isa::Program p;
+  for (int i = 0; i < 4; ++i) {
+    p.mac(100);
+  }
+  p.cnt_st(64);  // should only dispatch after a MAC slot freed
+  const PerfResult r = simulate(p, arch);
+  // Total is still MAC-serial: 400 cycles + dispatch overhead.
+  EXPECT_GE(r.total_cycles, 400u);
+  EXPECT_EQ(r.unit(isa::Unit::kMac).busy_cycles, 400u);
+}
+
+TEST(PerfSim, DmaBytesAccumulate) {
+  isa::Program p;
+  p.act_ld(1000);
+  p.wgt_ld(2000);
+  p.act_st(500);
+  const PerfResult r = simulate(p, test_arch());
+  EXPECT_EQ(r.dram_bytes, 3500u);
+}
+
+TEST(PerfSim, DmaOnDramlessConfigThrows) {
+  isa::Program p;
+  p.wgt_ld(100);
+  EXPECT_THROW((void)simulate(p, ulp()), std::invalid_argument);
+}
+
+TEST(PerfSim, RngUnitsUseLoadLanes) {
+  ArchConfig arch = test_arch();
+  arch.sng_load_lanes = 128;
+  isa::Program p;
+  p.act_rng(1280);
+  const PerfResult r = simulate(p, arch);
+  EXPECT_EQ(r.unit(isa::Unit::kActRng).busy_cycles, 10u);
+}
+
+TEST(PerfSim, CntUsesStoreLanes) {
+  ArchConfig arch = test_arch();
+  arch.cnt_store_lanes = 64;
+  isa::Program p;
+  p.cnt_st(640);
+  const PerfResult r = simulate(p, arch);
+  EXPECT_EQ(r.unit(isa::Unit::kCnt).busy_cycles, 10u);
+}
+
+TEST(PerfSim, LatencyMatchesClock) {
+  ArchConfig arch = test_arch();
+  arch.clock_mhz = 100.0;
+  isa::Program p;
+  p.mac(1'000'000);
+  const PerfResult r = simulate(p, arch);
+  EXPECT_NEAR(r.latency_s, 0.01, 0.001);
+}
+
+TEST(PerfSim, InvalidLoopNestingThrows) {
+  isa::Program p;
+  p.loop_end(isa::LoopKind::kKernel);
+  EXPECT_THROW((void)simulate(p, test_arch()), std::invalid_argument);
+}
+
+TEST(PerfSim, WholeNetworkOverlapBeatsSerialExecution) {
+  // Integration: the full-network program (with preloading) must be faster
+  // than the sum of isolated per-layer programs (which serialize loads).
+  const nn::NetworkDesc net = nn::cifar10_cnn();
+  const ArchConfig arch = test_arch();
+  const CodegenResult full = generate_program(net, arch);
+  const PerfResult overlap = simulate(full.program, arch);
+
+  std::uint64_t serial_cycles = 0;
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    const isa::Program p = generate_layer_program(
+        net.layers[i], arch, full.mappings[i], 0, i == 0,
+        i + 1 == net.layers.size());
+    serial_cycles += simulate(p, arch).total_cycles;
+  }
+  EXPECT_LE(overlap.total_cycles, serial_cycles);
+}
+
+}  // namespace
+}  // namespace acoustic::perf

@@ -1,0 +1,116 @@
+#include "perf/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perf/codegen.hpp"
+
+namespace acoustic::perf {
+namespace {
+
+isa::Program small_program() {
+  isa::Program p;
+  p.wgt_ld(6400);  // 100 cycles at DDR3-1600/200MHz (64 B/cycle)
+  p.mac(200);
+  p.barrier(0x1F);
+  return p;
+}
+
+ArchConfig test_arch() {
+  ArchConfig arch = lp();
+  arch.dram = ddr3_1600();
+  return arch;
+}
+
+TEST(Timeline, TracedMatchesUntraced) {
+  const PerfResult plain = simulate(small_program(), test_arch());
+  const TracedResult traced = simulate_traced(small_program(), test_arch());
+  EXPECT_EQ(traced.perf.total_cycles, plain.total_cycles);
+  EXPECT_EQ(traced.perf.dram_bytes, plain.dram_bytes);
+}
+
+TEST(Timeline, RecordsOneEventPerExecutedInstruction) {
+  const TracedResult traced = simulate_traced(small_program(), test_arch());
+  // WGTLD + MAC (barrier is dispatcher-internal).
+  ASSERT_EQ(traced.events.size(), 2u);
+  EXPECT_EQ(traced.events[0].op, isa::Opcode::kWgtLd);
+  EXPECT_EQ(traced.events[1].op, isa::Opcode::kMac);
+}
+
+TEST(Timeline, EventsShowOverlap) {
+  const TracedResult traced = simulate_traced(small_program(), test_arch());
+  const TraceEvent& dma = traced.events[0];
+  const TraceEvent& mac = traced.events[1];
+  // The MAC starts while the DMA transfer is still in flight.
+  EXPECT_LT(mac.start, dma.end);
+}
+
+TEST(Timeline, LoopIterationsEachRecorded) {
+  isa::Program p;
+  p.loop_begin(isa::LoopKind::kKernel, 5);
+  p.mac(10);
+  p.loop_end(isa::LoopKind::kKernel);
+  const TracedResult traced = simulate_traced(p, test_arch());
+  EXPECT_EQ(traced.events.size(), 5u);
+  for (std::size_t i = 1; i < traced.events.size(); ++i) {
+    EXPECT_GE(traced.events[i].start, traced.events[i - 1].end);
+  }
+}
+
+TEST(Timeline, EventCapBoundsMemory) {
+  isa::Program p;
+  p.loop_begin(isa::LoopKind::kKernel, 1000);
+  p.mac(1);
+  p.loop_end(isa::LoopKind::kKernel);
+  const TracedResult traced = simulate_traced(p, test_arch(), 64);
+  EXPECT_EQ(traced.events.size(), 64u);
+  // Statistics remain exact despite the cap.
+  EXPECT_EQ(traced.perf.unit(isa::Unit::kMac).instructions, 1000u);
+}
+
+TEST(Timeline, GanttHasOneRowPerHardwareUnit) {
+  const TracedResult traced = simulate_traced(small_program(), test_arch());
+  const std::string gantt = render_gantt(traced, 60);
+  EXPECT_NE(gantt.find("DMA"), std::string::npos);
+  EXPECT_NE(gantt.find("MAC"), std::string::npos);
+  EXPECT_NE(gantt.find("WGTRNG"), std::string::npos);
+  EXPECT_EQ(gantt.find("DISPATCH"), std::string::npos);
+  EXPECT_NE(gantt.find('#'), std::string::npos);
+}
+
+TEST(Timeline, UtilizationSummaryMentionsBusyPercent) {
+  const TracedResult traced = simulate_traced(small_program(), test_arch());
+  const std::string util = render_utilization(traced);
+  EXPECT_NE(util.find('%'), std::string::npos);
+}
+
+TEST(Timeline, PaddedConvProgramsCarryWgtShift) {
+  // Padding support rides the shared shifting fabric (III-B): codegen must
+  // emit WGTSHIFT in padded conv pass loops and nowhere else.
+  const CodegenResult padded = generate_program(nn::vgg16(), lp());
+  bool found = false;
+  for (const auto& i : padded.program.instructions()) {
+    if (i.op == isa::Opcode::kWgtShift) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+
+  nn::NetworkDesc no_pad;
+  no_pad.name = "nopad";
+  nn::LayerDesc l;
+  l.kind = nn::LayerKind::kConv;
+  l.label = "c";
+  l.in_h = 8;
+  l.in_w = 8;
+  l.in_c = 4;
+  l.kernel = 3;
+  l.out_c = 4;
+  no_pad.layers.push_back(l);
+  const CodegenResult unpadded = generate_program(no_pad, lp());
+  for (const auto& i : unpadded.program.instructions()) {
+    EXPECT_NE(i.op, isa::Opcode::kWgtShift);
+  }
+}
+
+}  // namespace
+}  // namespace acoustic::perf

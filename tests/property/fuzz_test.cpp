@@ -1,0 +1,371 @@
+// Property-based / fuzz tests across module boundaries: randomized inputs
+// exercising invariants no example-based test pins down.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/accelerator.hpp"
+#include "isa/assembler.hpp"
+#include "nn/quantize.hpp"
+#include "perf/codegen.hpp"
+#include "sc/gates.hpp"
+#include "sc/rng.hpp"
+#include "sc/sng.hpp"
+#include "sim/stream_bank.hpp"
+
+namespace acoustic {
+namespace {
+
+// ---------------------------------------------------------------------
+// Bitstream algebra laws on random streams.
+// ---------------------------------------------------------------------
+
+class StreamAlgebraTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+sc::BitStream random_stream(std::uint32_t seed, std::size_t len = 512) {
+  sc::XorShift32 rng(seed);
+  sc::BitStream s(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    s.set_bit(i, rng.next() & 1u);
+  }
+  return s;
+}
+
+TEST_P(StreamAlgebraTest, DeMorganHolds) {
+  const sc::BitStream a = random_stream(GetParam());
+  const sc::BitStream b = random_stream(GetParam() * 31 + 7);
+  EXPECT_EQ(~(a & b), (~a | ~b));
+  EXPECT_EQ(~(a | b), (~a & ~b));
+}
+
+TEST_P(StreamAlgebraTest, AndOrAbsorption) {
+  const sc::BitStream a = random_stream(GetParam() ^ 0x5555);
+  const sc::BitStream b = random_stream(GetParam() * 101 + 3);
+  EXPECT_EQ((a & (a | b)), a);
+  EXPECT_EQ((a | (a & b)), a);
+}
+
+TEST_P(StreamAlgebraTest, XorIsAddWithoutCarry) {
+  const sc::BitStream a = random_stream(GetParam() + 1);
+  const sc::BitStream b = random_stream(GetParam() * 7 + 13);
+  EXPECT_EQ((a ^ b).count_ones() + 2 * (a & b).count_ones(),
+            a.count_ones() + b.count_ones());
+}
+
+TEST_P(StreamAlgebraTest, ConcatCountsAdd) {
+  sc::BitStream a = random_stream(GetParam() + 17, 100);
+  const sc::BitStream b = random_stream(GetParam() + 18, 77);
+  const std::size_t total = a.count_ones() + b.count_ones();
+  a.append(b);
+  EXPECT_EQ(a.count_ones(), total);
+  EXPECT_EQ(a.size(), 177u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamAlgebraTest,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1000u, 77777u));
+
+// ---------------------------------------------------------------------
+// Assembler fuzz: random well-formed programs must round-trip exactly.
+// ---------------------------------------------------------------------
+
+isa::Program random_program(std::uint32_t seed) {
+  sc::XorShift32 rng(seed);
+  isa::Program p;
+  int open_loops = 0;
+  const int length = 5 + static_cast<int>(rng.next() % 40);
+  for (int i = 0; i < length; ++i) {
+    switch (rng.next() % 10) {
+      case 0:
+        p.act_ld(rng.next() % 100000, "n" + std::to_string(i));
+        break;
+      case 1:
+        p.act_st(rng.next() % 100000);
+        break;
+      case 2:
+        p.wgt_ld(rng.next());
+        break;
+      case 3:
+        p.mac(rng.next() % 4096);
+        break;
+      case 4:
+        p.act_rng(rng.next() % 10000);
+        break;
+      case 5:
+        p.wgt_rng(rng.next() % 10000);
+        break;
+      case 6:
+        p.cnt_st(rng.next() % 10000);
+        break;
+      case 7:
+        p.barrier(static_cast<std::uint8_t>(rng.next() % 64),
+                  "b" + std::to_string(i));
+        break;
+      case 8:
+        p.loop_begin(static_cast<isa::LoopKind>(rng.next() % 4),
+                     1 + rng.next() % 16);
+        ++open_loops;
+        break;
+      case 9:
+        if (open_loops > 0) {
+          // Close the innermost loop (kind tracked via validate()).
+          p.push([&] {
+            isa::Instruction instr;
+            instr.op = isa::Opcode::kEnd;
+            // Find innermost open kind by scanning.
+            std::vector<isa::LoopKind> stack;
+            for (const auto& existing : p.instructions()) {
+              if (existing.op == isa::Opcode::kFor) {
+                stack.push_back(existing.loop);
+              } else if (existing.op == isa::Opcode::kEnd &&
+                         !stack.empty()) {
+                stack.pop_back();
+              }
+            }
+            instr.loop = stack.back();
+            return instr;
+          }());
+          --open_loops;
+        } else {
+          p.wgt_shift(rng.next() % 8);
+        }
+        break;
+    }
+  }
+  // Close any loops left open.
+  while (open_loops > 0) {
+    std::vector<isa::LoopKind> stack;
+    for (const auto& existing : p.instructions()) {
+      if (existing.op == isa::Opcode::kFor) {
+        stack.push_back(existing.loop);
+      } else if (existing.op == isa::Opcode::kEnd && !stack.empty()) {
+        stack.pop_back();
+      }
+    }
+    p.loop_end(stack.back());
+    --open_loops;
+  }
+  return p;
+}
+
+class AssemblerFuzzTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(AssemblerFuzzTest, RandomProgramsRoundTrip) {
+  const isa::Program original = random_program(GetParam());
+  ASSERT_NO_THROW(original.validate());
+  const isa::Program reparsed = isa::parse(isa::format(original));
+  ASSERT_EQ(reparsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reparsed[i], original[i]) << "instruction " << i;
+    EXPECT_EQ(reparsed[i].note, original[i].note) << "note " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssemblerFuzzTest,
+                         ::testing::Range(1u, 21u));
+
+// ---------------------------------------------------------------------
+// Performance-model properties across the whole zoo.
+// ---------------------------------------------------------------------
+
+TEST(PerfProperties, LatencyMonotoneInClockUntilMemoryBound) {
+  // Raising the clock never *increases* latency.
+  for (const auto& net : nn::table3_workloads()) {
+    double prev = 1e30;
+    for (double mhz : {100.0, 200.0, 400.0, 800.0}) {
+      perf::ArchConfig arch = perf::lp();
+      arch.clock_mhz = mhz;
+      const core::Accelerator accel(arch);
+      const double latency = accel.run(net).latency_s;
+      EXPECT_LE(latency, prev * 1.001) << net.name << " @ " << mhz;
+      prev = latency;
+    }
+  }
+}
+
+TEST(PerfProperties, FasterDramNeverHurts) {
+  for (const auto& net : {nn::alexnet(), nn::vgg16()}) {
+    double prev = 1e30;
+    for (const perf::DramSpec& dram : perf::figure4_interfaces()) {
+      perf::ArchConfig arch = perf::lp();
+      arch.dram = dram;
+      const core::Accelerator accel(arch);
+      const double latency = accel.run(net).latency_s;
+      EXPECT_LE(latency, prev * 1.001) << net.name << " on " << dram.name;
+      prev = latency;
+    }
+  }
+}
+
+TEST(PerfProperties, ShorterStreamsAreFasterAndCheaper) {
+  for (const auto& net : nn::table3_workloads()) {
+    perf::ArchConfig fast = perf::lp();
+    fast.stream_length = 128;
+    perf::ArchConfig slow = perf::lp();
+    slow.stream_length = 512;
+    const double fast_lat = core::Accelerator(fast).run(net).latency_s;
+    const double slow_lat = core::Accelerator(slow).run(net).latency_s;
+    EXPECT_LT(fast_lat, slow_lat) << net.name;
+    const double fast_e =
+        core::Accelerator(fast).run(net).on_chip_energy_j;
+    const double slow_e =
+        core::Accelerator(slow).run(net).on_chip_energy_j;
+    EXPECT_LT(fast_e, slow_e) << net.name;
+  }
+}
+
+TEST(PerfProperties, BiggerFabricNeverSlowerOnZoo) {
+  for (const auto& net : nn::table3_workloads()) {
+    perf::ArchConfig small = perf::lp();
+    small.rows = 16;
+    perf::ArchConfig big = perf::lp();
+    big.rows = 64;
+    const double small_lat = core::Accelerator(small).run(net).latency_s;
+    const double big_lat = core::Accelerator(big).run(net).latency_s;
+    EXPECT_LE(big_lat, small_lat * 1.01) << net.name;
+  }
+}
+
+TEST(PerfProperties, EveryZooProgramTerminatesAndBalances) {
+  for (const auto& net :
+       {nn::lenet5(), nn::cifar10_cnn(), nn::alexnet(), nn::vgg16(),
+        nn::resnet18()}) {
+    const perf::CodegenResult r = perf::generate_program(net, perf::lp());
+    EXPECT_NO_THROW(r.program.validate()) << net.name;
+    const perf::PerfResult perf = perf::simulate(r.program, perf::lp());
+    EXPECT_GT(perf.total_cycles, 0u) << net.name;
+    // MAC work must match the mapping totals exactly.
+    std::uint64_t expected_mac = 0;
+    for (const auto& m : r.mappings) {
+      expected_mac += m.mac_cycles;
+    }
+    EXPECT_EQ(perf.unit(isa::Unit::kMac).busy_cycles, expected_mac)
+        << net.name;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Quantization properties on random tensors.
+// ---------------------------------------------------------------------
+
+class QuantizeFuzzTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(QuantizeFuzzTest, ErrorBoundedByHalfStep) {
+  sc::XorShift32 rng(GetParam());
+  std::vector<float> values(200);
+  for (float& v : values) {
+    v = static_cast<float>(rng.next_double() * 4.0 - 2.0);
+  }
+  std::vector<float> original = values;
+  const float scale = nn::fake_quantize(values, 8);
+  const float step = scale / 127.0f;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_LE(std::fabs(values[i] - original[i]), step / 2 + 1e-6f);
+    EXPECT_LE(std::fabs(values[i]), scale + 1e-6f);
+  }
+}
+
+TEST_P(QuantizeFuzzTest, Idempotent) {
+  sc::XorShift32 rng(GetParam() * 3 + 1);
+  std::vector<float> values(64);
+  for (float& v : values) {
+    v = static_cast<float>(rng.next_double() * 2.0 - 1.0);
+  }
+  const float scale = nn::fake_quantize(values, 8);
+  std::vector<float> again = values;
+  (void)nn::fake_quantize(again, 8, scale);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR(again[i], values[i], 1e-6f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantizeFuzzTest,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+// ---------------------------------------------------------------------
+// OR algebra on random value sets.
+// ---------------------------------------------------------------------
+
+class OrPropertyTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(OrPropertyTest, OrExpectedBounds) {
+  sc::XorShift32 rng(GetParam() * 7919);
+  std::vector<double> values(1 + rng.next() % 64);
+  double max_v = 0.0;
+  double sum = 0.0;
+  for (double& v : values) {
+    v = rng.next_double() * 0.2;
+    max_v = std::max(max_v, v);
+    sum += v;
+  }
+  const double expected = sc::or_expected(values);
+  // OR lies between the max input and the (capped) sum.
+  EXPECT_GE(expected, max_v - 1e-12);
+  EXPECT_LE(expected, std::min(1.0, sum) + 1e-12);
+  // And the Eq. (1) approximation never exceeds 1 nor goes negative.
+  const double approx = sc::or_approximation(sum);
+  EXPECT_GE(approx, 0.0);
+  EXPECT_LE(approx, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrPropertyTest, ::testing::Range(1u, 13u));
+
+}  // namespace
+}  // namespace acoustic
+
+// ---------------------------------------------------------------------
+// Figure-4 shape as an invariant: DDR3 latency flattens (memory-bound)
+// while HBM keeps scaling with clock on the paper's conv workload.
+// ---------------------------------------------------------------------
+
+namespace acoustic {
+namespace {
+
+TEST(Figure4Shape, Ddr3FlattensHbmScales) {
+  nn::LayerDesc layer;
+  layer.kind = nn::LayerKind::kConv;
+  layer.label = "fig4";
+  layer.in_h = 16;
+  layer.in_w = 16;
+  layer.in_c = 512;
+  layer.kernel = 3;
+  layer.padding = 1;
+  layer.out_c = 512;
+
+  const auto latency_at = [&](const perf::DramSpec& dram, double mhz) {
+    perf::ArchConfig arch = perf::lp();
+    arch.clock_mhz = mhz;
+    arch.dram = dram;
+    const perf::LayerMapping m = perf::map_layer(layer, arch, true, true);
+    const isa::Program prog = perf::generate_layer_program(
+        layer, arch, m, layer.weight_count(), true, true);
+    return perf::simulate(prog, arch).latency_s;
+  };
+
+  // DDR3-800 is memory-bound by 500 MHz: doubling the clock changes
+  // latency by < 2%.
+  const double d800_500 = latency_at(perf::ddr3_800(), 500.0);
+  const double d800_1000 = latency_at(perf::ddr3_800(), 1000.0);
+  EXPECT_NEAR(d800_1000 / d800_500, 1.0, 0.02);
+
+  // HBM stays compute-bound: doubling the clock nearly halves latency.
+  const double hbm_500 = latency_at(perf::hbm(), 500.0);
+  const double hbm_1000 = latency_at(perf::hbm(), 1000.0);
+  EXPECT_LT(hbm_1000 / hbm_500, 0.62);
+
+  // At low clocks all interfaces are compute-bound and agree closely.
+  const double d800_100 = latency_at(perf::ddr3_800(), 100.0);
+  const double hbm_100 = latency_at(perf::hbm(), 100.0);
+  EXPECT_NEAR(d800_100 / hbm_100, 1.0, 0.35);
+}
+
+TEST(StreamBankProperties, NaiveSharingIsMaximallyCorrelated) {
+  sim::StreamBank naive(12, 0xACE1, 4096, /*decorrelate=*/false);
+  const auto half = naive.quantize(0.5);
+  // Same level on different lanes -> identical streams under naive sharing.
+  EXPECT_EQ(naive.stream(half, 0), naive.stream(half, 5));
+  sim::StreamBank good(12, 0xACE1, 4096, /*decorrelate=*/true);
+  EXPECT_NE(good.stream(half, 0), good.stream(half, 5));
+}
+
+}  // namespace
+}  // namespace acoustic

@@ -1,0 +1,191 @@
+#include "sc/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace acoustic::sc {
+namespace {
+
+TEST(BitStream, DefaultIsEmpty) {
+  BitStream s;
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count_ones(), 0u);
+  EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(BitStream, ConstructZeroFilled) {
+  BitStream s(100);
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_EQ(s.count_ones(), 0u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(s.bit(i));
+  }
+}
+
+TEST(BitStream, ConstructOneFilledMasksTail) {
+  BitStream s(70, true);
+  EXPECT_EQ(s.size(), 70u);
+  EXPECT_EQ(s.count_ones(), 70u);
+  EXPECT_DOUBLE_EQ(s.value(), 1.0);
+  // The tail bits of the last word must stay zero so popcount is exact.
+  EXPECT_EQ(s.words()[1] >> 6, 0u);
+}
+
+TEST(BitStream, SetAndGetBits) {
+  BitStream s(130);
+  s.set_bit(0, true);
+  s.set_bit(64, true);
+  s.set_bit(129, true);
+  EXPECT_TRUE(s.bit(0));
+  EXPECT_TRUE(s.bit(64));
+  EXPECT_TRUE(s.bit(129));
+  EXPECT_FALSE(s.bit(1));
+  EXPECT_EQ(s.count_ones(), 3u);
+  s.set_bit(64, false);
+  EXPECT_FALSE(s.bit(64));
+  EXPECT_EQ(s.count_ones(), 2u);
+}
+
+TEST(BitStream, ValueIsProportionOfOnes) {
+  BitStream s(128);
+  for (std::size_t i = 0; i < 32; ++i) {
+    s.set_bit(i * 4, true);
+  }
+  EXPECT_DOUBLE_EQ(s.value(), 0.25);
+  EXPECT_DOUBLE_EQ(s.bipolar_value(), -0.5);
+}
+
+TEST(BitStream, AndIsIntersection) {
+  BitStream a(128);
+  BitStream b(128);
+  for (std::size_t i = 0; i < 128; i += 2) {
+    a.set_bit(i, true);
+  }
+  for (std::size_t i = 0; i < 128; i += 3) {
+    b.set_bit(i, true);
+  }
+  const BitStream c = a & b;
+  for (std::size_t i = 0; i < 128; ++i) {
+    EXPECT_EQ(c.bit(i), a.bit(i) && b.bit(i)) << "bit " << i;
+  }
+}
+
+TEST(BitStream, OrIsUnion) {
+  BitStream a(70);
+  BitStream b(70);
+  a.set_bit(3, true);
+  b.set_bit(68, true);
+  const BitStream c = a | b;
+  EXPECT_TRUE(c.bit(3));
+  EXPECT_TRUE(c.bit(68));
+  EXPECT_EQ(c.count_ones(), 2u);
+}
+
+TEST(BitStream, XorIsSymmetricDifference) {
+  BitStream a(64, true);
+  BitStream b(64);
+  b.set_bit(5, true);
+  const BitStream c = a ^ b;
+  EXPECT_FALSE(c.bit(5));
+  EXPECT_EQ(c.count_ones(), 63u);
+}
+
+TEST(BitStream, InvertComplementsAndKeepsTailZero) {
+  BitStream s(70);
+  s.set_bit(0, true);
+  s.invert();
+  EXPECT_FALSE(s.bit(0));
+  EXPECT_EQ(s.count_ones(), 69u);
+  const BitStream t = ~s;
+  EXPECT_EQ(t.count_ones(), 1u);
+}
+
+TEST(BitStream, SizeMismatchThrows) {
+  BitStream a(10);
+  BitStream b(11);
+  EXPECT_THROW(a &= b, std::invalid_argument);
+  EXPECT_THROW(a |= b, std::invalid_argument);
+  EXPECT_THROW(a ^= b, std::invalid_argument);
+}
+
+TEST(BitStream, PushBackGrows) {
+  BitStream s;
+  for (int i = 0; i < 100; ++i) {
+    s.push_back(i % 3 == 0);
+  }
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_EQ(s.count_ones(), 34u);
+}
+
+TEST(BitStream, AppendWordAligned) {
+  BitStream a(64, true);
+  BitStream b(64);
+  b.set_bit(0, true);
+  a.append(b);
+  EXPECT_EQ(a.size(), 128u);
+  EXPECT_EQ(a.count_ones(), 65u);
+  EXPECT_TRUE(a.bit(64));
+  EXPECT_FALSE(a.bit(65));
+}
+
+TEST(BitStream, AppendUnaligned) {
+  BitStream a(10, true);
+  BitStream b(7);
+  b.set_bit(6, true);
+  a.append(b);
+  EXPECT_EQ(a.size(), 17u);
+  EXPECT_EQ(a.count_ones(), 11u);
+  EXPECT_TRUE(a.bit(16));
+}
+
+TEST(BitStream, SliceExtractsSubstream) {
+  BitStream s(100);
+  s.set_bit(10, true);
+  s.set_bit(50, true);
+  const BitStream sub = s.slice(10, 41);
+  EXPECT_EQ(sub.size(), 41u);
+  EXPECT_TRUE(sub.bit(0));
+  EXPECT_TRUE(sub.bit(40));
+  EXPECT_EQ(sub.count_ones(), 2u);
+}
+
+TEST(BitStream, SliceOutOfRangeThrows) {
+  BitStream s(10);
+  EXPECT_THROW((void)s.slice(5, 6), std::out_of_range);
+}
+
+TEST(BitStream, ConcatenateAveragesValues) {
+  // Concatenation of equal-length streams is SC scaled addition: the value
+  // of the result is the mean of the inputs (paper II-C).
+  BitStream a(64, true);   // 1.0
+  BitStream b(64);         // 0.0
+  BitStream c(64);
+  for (std::size_t i = 0; i < 32; ++i) {
+    c.set_bit(i, true);    // 0.5
+  }
+  std::vector<BitStream> parts{a, b, c};
+  const BitStream whole = concatenate(parts);
+  EXPECT_EQ(whole.size(), 192u);
+  EXPECT_DOUBLE_EQ(whole.value(), 0.5);
+}
+
+TEST(BitStream, ToStringRoundTripsBits) {
+  BitStream s(5);
+  s.set_bit(1, true);
+  s.set_bit(4, true);
+  EXPECT_EQ(s.to_string(), "01001");
+}
+
+TEST(BitStream, EqualityComparesContent) {
+  BitStream a(64);
+  BitStream b(64);
+  EXPECT_EQ(a, b);
+  b.set_bit(7, true);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace acoustic::sc

@@ -1,0 +1,95 @@
+#include "sc/counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace acoustic::sc {
+namespace {
+
+BitStream pattern(std::size_t len, std::size_t ones) {
+  BitStream s(len);
+  for (std::size_t i = 0; i < ones; ++i) {
+    s.set_bit(i, true);
+  }
+  return s;
+}
+
+TEST(UpDownCounter, CountsUpAndDown) {
+  UpDownCounter counter;
+  counter.count(pattern(64, 20), /*up=*/true);
+  EXPECT_EQ(counter.value(), 20);
+  counter.count(pattern(64, 5), /*up=*/false);
+  EXPECT_EQ(counter.value(), 15);
+}
+
+TEST(UpDownCounter, CanGoNegative) {
+  UpDownCounter counter;
+  counter.count(pattern(64, 30), /*up=*/false);
+  EXPECT_EQ(counter.value(), -30);
+  EXPECT_EQ(counter.relu(), 0);
+}
+
+TEST(UpDownCounter, ReluPassesPositive) {
+  UpDownCounter counter;
+  counter.count(pattern(64, 12), /*up=*/true);
+  EXPECT_EQ(counter.relu(), 12);
+}
+
+TEST(UpDownCounter, StepMatchesCount) {
+  UpDownCounter a;
+  UpDownCounter b;
+  const BitStream s = pattern(100, 37);
+  a.count(s, true);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    b.step(s.bit(i), true);
+  }
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(UpDownCounter, ResetZeroes) {
+  UpDownCounter counter;
+  counter.count(pattern(8, 8), true);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0);
+}
+
+TEST(UpDownCounter, SaturatesAtBound) {
+  UpDownCounter counter(10);
+  counter.count(pattern(64, 25), true);
+  EXPECT_EQ(counter.value(), 10);
+  counter.count(pattern(64, 64), false);
+  EXPECT_EQ(counter.value(), -10);
+}
+
+TEST(UpDownCounter, NoResetAccumulatesAcrossPhases) {
+  // The computation-skipping property (II-C): successive pooled passes add
+  // into the same counter because it is not reset between phases.
+  UpDownCounter counter;
+  for (int pass = 0; pass < 4; ++pass) {
+    counter.count(pattern(16, 4), true);
+  }
+  EXPECT_EQ(counter.value(), 16);
+}
+
+TEST(ParallelCounter, SumsAcrossStreams) {
+  // Pooling across output width uses small parallel counters that sum
+  // adjacent outputs per cycle (III-B).
+  std::vector<BitStream> streams{pattern(32, 10), pattern(32, 7),
+                                 pattern(32, 1)};
+  ParallelCounter counter;
+  counter.count(streams, /*up=*/true);
+  EXPECT_EQ(counter.value(), 18);
+  counter.count(streams, /*up=*/false);
+  EXPECT_EQ(counter.value(), 0);
+}
+
+TEST(ParallelCounter, EmptyInputIsNoop) {
+  ParallelCounter counter;
+  std::vector<BitStream> none;
+  counter.count(none, true);
+  EXPECT_EQ(counter.value(), 0);
+}
+
+}  // namespace
+}  // namespace acoustic::sc

@@ -1,0 +1,147 @@
+#include "sc/fsm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sc/representation.hpp"
+#include "sc/rng.hpp"
+#include "sc/sng.hpp"
+
+namespace acoustic::sc {
+namespace {
+
+/// Temporally-independent bipolar stream. FSM units (unlike combinational
+/// AND/OR gates) are sensitive to the sequential correlation of LFSR
+/// comparison sequences (consecutive LFSR states share width-1 bits), so
+/// their stationary-distribution behaviour is tested against an i.i.d.
+/// source — see the note in sc/fsm.hpp.
+BitStream iid_bipolar(double v, std::size_t length, std::uint32_t seed) {
+  XorShift32 rng(seed);
+  BitStream out(length);
+  const double p = (v + 1.0) / 2.0;
+  for (std::size_t i = 0; i < length; ++i) {
+    out.set_bit(i, rng.next_double() < p);
+  }
+  return out;
+}
+
+BitStream iid_unipolar(double v, std::size_t length, std::uint32_t seed) {
+  return iid_bipolar(2.0 * v - 1.0, length, seed);
+}
+
+TEST(StanhFsm, RejectsBadStateCounts) {
+  EXPECT_THROW(StanhFsm(0), std::invalid_argument);
+  EXPECT_THROW(StanhFsm(3), std::invalid_argument);
+}
+
+TEST(StanhFsm, SaturatedInputsSaturateOutput) {
+  StanhFsm fsm(8);
+  BitStream ones(512, true);
+  EXPECT_GT(fsm.transform(ones).bipolar_value(), 0.95);
+  fsm.reset();
+  BitStream zeros(512);
+  EXPECT_LT(fsm.transform(zeros).bipolar_value(), -0.95);
+}
+
+TEST(StanhFsm, ZeroInputGivesZeroOutput) {
+  // Bipolar zero = 50% stream; the FSM should hover around the middle.
+  StanhFsm fsm(8);
+  const BitStream zero = iid_bipolar(0.0, 16384, 17);
+  EXPECT_NEAR(fsm.transform(zero).bipolar_value(), 0.0, 0.1);
+}
+
+/// Gaines FSM: E[out] ~ tanh(K/2 * x) in bipolar encoding.
+class StanhSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(StanhSweepTest, ApproximatesScaledTanh) {
+  const double x = GetParam();
+  constexpr int kStates = 8;
+  StanhFsm fsm(kStates);
+  const BitStream in = iid_bipolar(x, 32768, 0xCAFE);
+  const double got = fsm.transform(in).bipolar_value();
+  const double expected = std::tanh(kStates / 2.0 * x);
+  EXPECT_NEAR(got, expected, 0.12) << "x=" << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, StanhSweepTest,
+                         ::testing::Values(-0.8, -0.4, -0.2, 0.2, 0.4, 0.8));
+
+TEST(StanhFsm, MonotoneInInputValue) {
+  double prev = -2.0;
+  for (double x : {-0.9, -0.5, 0.0, 0.5, 0.9}) {
+    StanhFsm fsm(8);
+    const double out =
+        fsm.transform(iid_bipolar(x, 16384, 3)).bipolar_value();
+    EXPECT_GT(out, prev - 0.05) << "x=" << x;
+    prev = out;
+  }
+}
+
+TEST(StanhFsm, LfsrStreamsBiasTheFsm) {
+  // Documented caveat: LFSR SNG streams are sequentially correlated
+  // (consecutive states share width-1 bits), which perturbs FSM units even
+  // though single-gate arithmetic is unaffected — one more reason ACOUSTIC
+  // keeps its datapath combinational and does ReLU after conversion.
+  constexpr int kStates = 8;
+  const double x = 0.2;
+  Sng sng(14, 0xCAFE);
+  StanhFsm lfsr_fsm(kStates);
+  const double lfsr_out =
+      lfsr_fsm.transform(encode_bipolar(x, 32768, sng)).bipolar_value();
+  StanhFsm iid_fsm(kStates);
+  const double iid_out =
+      iid_fsm.transform(iid_bipolar(x, 32768, 0xCAFE)).bipolar_value();
+  const double expected = std::tanh(kStates / 2.0 * x);
+  EXPECT_GT(std::fabs(lfsr_out - expected),
+            std::fabs(iid_out - expected));
+}
+
+TEST(MaxFsm, RejectsBadDepth) {
+  EXPECT_THROW(MaxFsm(0), std::invalid_argument);
+}
+
+TEST(MaxFsm, SizeMismatchThrows) {
+  MaxFsm fsm;
+  BitStream a(8);
+  BitStream b(16);
+  EXPECT_THROW((void)fsm.transform(a, b), std::invalid_argument);
+}
+
+TEST(MaxFsm, PicksTheDenserStream) {
+  const BitStream a = iid_unipolar(0.8, 16384, 0x1001);
+  const BitStream b = iid_unipolar(0.3, 16384, 0x2002);
+  MaxFsm fsm(16);
+  EXPECT_NEAR(fsm.transform(a, b).value(), 0.8, 0.05);
+  // Symmetric case.
+  MaxFsm fsm2(16);
+  EXPECT_NEAR(fsm2.transform(b, a).value(), 0.8, 0.05);
+}
+
+TEST(MaxFsm, EqualInputsPreserveValue) {
+  const BitStream a = iid_unipolar(0.5, 16384, 0x1234);
+  const BitStream b = iid_unipolar(0.5, 16384, 0x4321);
+  MaxFsm fsm(16);
+  EXPECT_NEAR(fsm.transform(a, b).value(), 0.5, 0.06);
+}
+
+/// The max of unipolar streams across a value grid.
+class MaxSweepTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(MaxSweepTest, ApproximatesMax) {
+  const auto& [va, vb] = GetParam();
+  const BitStream a = iid_unipolar(va, 16384, 0xAA01);
+  const BitStream b = iid_unipolar(vb, 16384, 0xBB02);
+  MaxFsm fsm(16);
+  EXPECT_NEAR(fsm.transform(a, b).value(), std::max(va, vb), 0.07);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MaxSweepTest,
+    ::testing::Values(std::pair{0.1, 0.9}, std::pair{0.9, 0.1},
+                      std::pair{0.4, 0.6}, std::pair{0.25, 0.25},
+                      std::pair{0.0, 0.7}, std::pair{1.0, 0.2}));
+
+}  // namespace
+}  // namespace acoustic::sc

@@ -1,0 +1,144 @@
+#include "sc/gates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sc/rng.hpp"
+#include "sc/sng.hpp"
+
+namespace acoustic::sc {
+namespace {
+
+constexpr std::size_t kLen = 8192;
+
+BitStream stream_of(double v, std::uint32_t seed) {
+  Sng sng(16, seed);
+  return sng.generate(v, kLen);
+}
+
+TEST(Gates, AndOfDisjointPatternsIsExactProduct) {
+  // Deterministic check: a stream of value 1 is the AND identity.
+  const BitStream a = stream_of(0.37, 11);
+  BitStream ones(kLen, true);
+  EXPECT_EQ(and_multiply(a, ones), a);
+  BitStream zeros(kLen);
+  EXPECT_EQ(and_multiply(a, zeros).count_ones(), 0u);
+}
+
+/// AND multiplies unipolar values (independent streams).
+class AndMultiplyTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(AndMultiplyTest, ExpectationIsProduct) {
+  const auto [v1, v2] = GetParam();
+  const BitStream a = stream_of(v1, 0x1111);
+  const BitStream b = stream_of(v2, 0x77077);
+  const double got = and_multiply(a, b).value();
+  EXPECT_NEAR(got, v1 * v2, 0.03) << v1 << " * " << v2;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AndMultiplyTest,
+    ::testing::Values(std::pair{0.1, 0.9}, std::pair{0.5, 0.5},
+                      std::pair{0.25, 0.75}, std::pair{0.8, 0.8},
+                      std::pair{0.33, 0.66}, std::pair{0.05, 0.95}));
+
+/// OR computes v1 + v2 - v1*v2 (paper II-B).
+class OrAccumulateTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(OrAccumulateTest, ExpectationIsSaturatingSum) {
+  const auto [v1, v2] = GetParam();
+  const BitStream a = stream_of(v1, 0x2222);
+  const BitStream b = stream_of(v2, 0x9999);
+  const double got = or_accumulate(a, b).value();
+  EXPECT_NEAR(got, v1 + v2 - v1 * v2, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OrAccumulateTest,
+    ::testing::Values(std::pair{0.1, 0.2}, std::pair{0.5, 0.5},
+                      std::pair{0.05, 0.1}, std::pair{0.9, 0.9},
+                      std::pair{0.3, 0.0}, std::pair{0.01, 0.02}));
+
+TEST(Gates, WideOrMatchesClosedForm) {
+  // 16-input OR: E = 1 - prod(1 - v_i).
+  std::vector<BitStream> streams;
+  std::vector<double> values;
+  for (int i = 0; i < 16; ++i) {
+    const double v = 0.02 + 0.01 * i;
+    values.push_back(v);
+    streams.push_back(stream_of(v, 0x100 + static_cast<std::uint32_t>(i) * 77));
+  }
+  const double expected = or_expected(values);
+  const double got = or_accumulate(streams).value();
+  EXPECT_NEAR(got, expected, 0.03);
+}
+
+TEST(Gates, OrOfEmptyInputIsEmpty) {
+  std::vector<BitStream> none;
+  EXPECT_EQ(or_accumulate(std::span<const BitStream>(none)).size(), 0u);
+}
+
+TEST(Gates, XnorMultipliesBipolar) {
+  // Bipolar: encode v via P(1) = (v+1)/2; XNOR multiplies.
+  for (const auto& [v1, v2] : {std::pair{0.5, -0.5}, std::pair{-0.8, -0.25},
+                              std::pair{0.9, 0.3}}) {
+    Sng sa(16, 0xAAA1);
+    Sng sb(16, 0x555F);
+    const BitStream a = sa.generate((v1 + 1.0) / 2.0, kLen);
+    const BitStream b = sb.generate((v2 + 1.0) / 2.0, kLen);
+    const double got = xnor_multiply(a, b).bipolar_value();
+    EXPECT_NEAR(got, v1 * v2, 0.05) << v1 << " * " << v2;
+  }
+}
+
+TEST(Gates, MuxAddsScaled) {
+  const BitStream a = stream_of(0.8, 0x1234);
+  const BitStream b = stream_of(0.2, 0x4321);
+  const BitStream sel = stream_of(0.5, 0x5A5A);
+  const double got = mux_add(a, b, sel).value();
+  EXPECT_NEAR(got, 0.5 * 0.8 + 0.5 * 0.2, 0.03);
+}
+
+TEST(Gates, MuxAccumulateAveragesManyInputs) {
+  std::vector<BitStream> streams;
+  double sum = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    const double v = 0.1 * (i + 1);
+    sum += v;
+    streams.push_back(stream_of(v, 0xB00 + static_cast<std::uint32_t>(i)));
+  }
+  XorShift32 rng(99);
+  const double got = mux_accumulate(std::span<const BitStream>(streams), rng)
+                         .value();
+  EXPECT_NEAR(got, sum / 8.0, 0.03);
+}
+
+TEST(Gates, OrApproximationTracksExactOr) {
+  // Eq. (1): for n values summing to s, OR ~ 1 - e^{-s}. The paper reports
+  // < 5% approximation error in training-range inputs.
+  for (int n : {16, 64, 256}) {
+    for (double total : {0.25, 0.5, 1.0, 2.0}) {
+      std::vector<double> values(static_cast<std::size_t>(n),
+                                 total / static_cast<double>(n));
+      const double exact = or_expected(values);
+      const double approx = or_approximation(total);
+      EXPECT_NEAR(approx, exact, 0.05 * std::max(exact, 1e-9))
+          << "n=" << n << " s=" << total;
+    }
+  }
+}
+
+TEST(Gates, OrExpectedSaturatesAtOne) {
+  std::vector<double> values(64, 0.5);
+  EXPECT_LE(or_expected(values), 1.0);
+  EXPECT_GT(or_expected(values), 0.9999);
+  EXPECT_DOUBLE_EQ(or_approximation(0.0), 0.0);
+  EXPECT_LT(or_approximation(100.0), 1.0 + 1e-12);
+}
+
+}  // namespace
+}  // namespace acoustic::sc

@@ -1,0 +1,102 @@
+#include "sc/representation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace acoustic::sc {
+namespace {
+
+TEST(Split, PositiveValueHasZeroNegativePart) {
+  const SplitValue v = split(0.7);
+  EXPECT_DOUBLE_EQ(v.positive, 0.7);
+  EXPECT_DOUBLE_EQ(v.negative, 0.0);
+  EXPECT_DOUBLE_EQ(v.value(), 0.7);
+}
+
+TEST(Split, NegativeValueHasZeroPositivePart) {
+  const SplitValue v = split(-0.4);
+  EXPECT_DOUBLE_EQ(v.positive, 0.0);
+  EXPECT_DOUBLE_EQ(v.negative, 0.4);
+  EXPECT_DOUBLE_EQ(v.value(), -0.4);
+}
+
+TEST(Split, ZeroIsBothZero) {
+  const SplitValue v = split(0.0);
+  EXPECT_DOUBLE_EQ(v.positive, 0.0);
+  EXPECT_DOUBLE_EQ(v.negative, 0.0);
+}
+
+TEST(SplitStream, EncodesSignInCorrectComponent) {
+  Sng sng(12, 3);
+  const SplitStream pos = encode_split_unipolar(0.5, 4096, sng);
+  EXPECT_EQ(pos.negative.count_ones(), 0u);
+  EXPECT_NEAR(pos.positive.value(), 0.5, 0.05);
+  EXPECT_NEAR(pos.value(), 0.5, 0.05);
+
+  const SplitStream neg = encode_split_unipolar(-0.25, 4096, sng);
+  EXPECT_EQ(neg.positive.count_ones(), 0u);
+  EXPECT_NEAR(neg.negative.value(), 0.25, 0.05);
+  EXPECT_NEAR(neg.value(), -0.25, 0.05);
+}
+
+TEST(Bipolar, EncodeDecodeRoundTrip) {
+  Sng sng(14, 77);
+  for (double v : {-0.9, -0.5, 0.0, 0.3, 0.8}) {
+    const BitStream s = encode_bipolar(v, 16384, sng);
+    EXPECT_NEAR(decode_bipolar(s), v, 0.05) << v;
+  }
+}
+
+TEST(RmsError, AnalyticalFormulasMatchPaper) {
+  // Paper II-A: unipolar sqrt(v(1-v)/n), bipolar sqrt((1-v^2)/n_b).
+  EXPECT_DOUBLE_EQ(unipolar_rms_error(0.5, 100), std::sqrt(0.25 / 100.0));
+  EXPECT_DOUBLE_EQ(bipolar_rms_error(0.0, 100), std::sqrt(1.0 / 100.0));
+  EXPECT_DOUBLE_EQ(unipolar_rms_error(0.0, 64), 0.0);
+  EXPECT_DOUBLE_EQ(bipolar_rms_error(1.0, 64), 0.0);
+}
+
+TEST(RmsError, UnipolarNeedsAtMostHalfTheStreamLength) {
+  // The 2x claim: for any |v|, unipolar error at n equals bipolar error at
+  // >= 2n. Equivalently error_uni(v, n) <= error_bip(v, 2n).
+  for (double v : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    for (std::size_t n : {32u, 128u, 512u}) {
+      EXPECT_LE(unipolar_rms_error(v, n), bipolar_rms_error(v, 2 * n) + 1e-12)
+          << "v=" << v << " n=" << n;
+    }
+  }
+}
+
+/// Monte-Carlo confirmation of the RMS formulas (paper's motivation for
+/// split-unipolar).
+class RepresentationErrorTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RepresentationErrorTest, EmpiricalErrorMatchesAnalytical) {
+  const double v = GetParam();
+  constexpr std::size_t kLen = 256;
+  constexpr int kTrials = 400;
+  double se_uni = 0.0;
+  double se_bip = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    Sng su(16, 0x1000 + static_cast<std::uint32_t>(t) * 7919);
+    Sng sb(16, 0x9000 + static_cast<std::uint32_t>(t) * 104729);
+    const double vu = su.generate(v, kLen).value();
+    const double vb = decode_bipolar(encode_bipolar(v, kLen, sb));
+    se_uni += (vu - v) * (vu - v);
+    se_bip += (vb - v) * (vb - v);
+  }
+  const double rms_uni = std::sqrt(se_uni / kTrials);
+  const double rms_bip = std::sqrt(se_bip / kTrials);
+  EXPECT_NEAR(rms_uni, unipolar_rms_error(v, kLen),
+              0.5 * unipolar_rms_error(v, kLen) + 0.004);
+  EXPECT_NEAR(rms_bip, bipolar_rms_error(v, kLen),
+              0.5 * bipolar_rms_error(v, kLen) + 0.004);
+  // And the headline: unipolar beats bipolar at equal length.
+  EXPECT_LT(rms_uni, rms_bip);
+}
+
+INSTANTIATE_TEST_SUITE_P(ValueSweep, RepresentationErrorTest,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9));
+
+}  // namespace
+}  // namespace acoustic::sc

@@ -1,0 +1,121 @@
+#include "sc/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace acoustic::sc {
+namespace {
+
+TEST(Lfsr, RejectsBadWidths) {
+  EXPECT_THROW(Lfsr(2), std::invalid_argument);
+  EXPECT_THROW(Lfsr(33), std::invalid_argument);
+  EXPECT_THROW((void)lfsr_taps(0), std::invalid_argument);
+}
+
+TEST(Lfsr, ZeroSeedIsCoercedToNonzero) {
+  Lfsr lfsr(8, 0);
+  EXPECT_NE(lfsr.state(), 0u);
+}
+
+TEST(Lfsr, StateStaysWithinWidth) {
+  Lfsr lfsr(5, 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(lfsr.next(), 32u);
+  }
+}
+
+TEST(Lfsr, NeverReachesZero) {
+  Lfsr lfsr(6, 1);
+  for (std::uint64_t i = 0; i < lfsr.period() * 2; ++i) {
+    EXPECT_NE(lfsr.next(), 0u);
+  }
+}
+
+/// Maximal-length property: an n-bit maximal LFSR visits every nonzero
+/// state exactly once per period. This validates every tap mask in the
+/// table (the property fails for any wrong polynomial).
+class LfsrPeriodTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LfsrPeriodTest, FullPeriod) {
+  const unsigned width = GetParam();
+  Lfsr lfsr(width, 1);
+  std::set<std::uint32_t> seen;
+  const std::uint64_t period = lfsr.period();
+  for (std::uint64_t i = 0; i < period; ++i) {
+    const bool inserted = seen.insert(lfsr.next()).second;
+    ASSERT_TRUE(inserted) << "state repeated before full period, width "
+                          << width;
+  }
+  EXPECT_EQ(seen.size(), period);
+  // Next step must return to the start of the cycle.
+  Lfsr again(width, 1);
+  for (std::uint64_t i = 0; i < period; ++i) {
+    again.next();
+  }
+  EXPECT_EQ(again.state(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSmallWidths, LfsrPeriodTest,
+                         ::testing::Values(3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u,
+                                           11u, 12u, 13u, 14u, 15u, 16u, 17u,
+                                           18u));
+
+TEST(Lfsr, LargeWidthsProduceDistinctStatesOverLongRuns) {
+  // Exhaustive checks are infeasible above ~2^20; verify no short cycles.
+  for (unsigned width : {20u, 24u, 28u, 32u}) {
+    Lfsr lfsr(width, 1);
+    std::set<std::uint32_t> seen;
+    for (int i = 0; i < 100000; ++i) {
+      ASSERT_TRUE(seen.insert(lfsr.next()).second)
+          << "short cycle at width " << width;
+    }
+  }
+}
+
+TEST(Lfsr, ReseedRestartsSequence) {
+  Lfsr lfsr(8, 42);
+  std::vector<std::uint32_t> first;
+  for (int i = 0; i < 16; ++i) {
+    first.push_back(lfsr.next());
+  }
+  lfsr.seed(42);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(lfsr.next(), first[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(CounterRng, CountsModuloWidth) {
+  CounterRng rng(3, 6);
+  EXPECT_EQ(rng.next(), 6u);
+  EXPECT_EQ(rng.next(), 7u);
+  EXPECT_EQ(rng.next(), 0u);
+  EXPECT_EQ(rng.next(), 1u);
+}
+
+TEST(CounterRng, RejectsBadWidth) {
+  EXPECT_THROW(CounterRng(0), std::invalid_argument);
+  EXPECT_THROW(CounterRng(40), std::invalid_argument);
+}
+
+TEST(XorShift32, ProducesUniformishDoubles) {
+  XorShift32 rng(123);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(XorShift32, ZeroSeedDoesNotStick) {
+  XorShift32 rng(0);
+  EXPECT_NE(rng.next(), 0u);
+}
+
+}  // namespace
+}  // namespace acoustic::sc

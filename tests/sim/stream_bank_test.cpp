@@ -1,0 +1,100 @@
+#include "sim/stream_bank.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "sc/correlation.hpp"
+
+namespace acoustic::sim {
+namespace {
+
+TEST(StreamBank, DeterministicAcrossInstances) {
+  StreamBank a(8, 42, 256);
+  StreamBank b(8, 42, 256);
+  EXPECT_EQ(a.stream(100, 3), b.stream(100, 3));
+}
+
+TEST(StreamBank, LanesProduceDifferentStreams) {
+  StreamBank bank(8, 42, 512);
+  EXPECT_NE(bank.stream(128, 0), bank.stream(128, 1));
+}
+
+TEST(StreamBank, LanesAreDecorrelated) {
+  // The whole point of the per-lane scrambler: lanes fed by one shared
+  // LFSR must still look independent to OR/AND gates (paper III-A RNG
+  // sharing without breaking II-B accumulation).
+  StreamBank bank(16, 0xACE1, 8192);
+  const auto half = bank.quantize(0.5);
+  for (std::uint32_t lane = 1; lane < 12; ++lane) {
+    const double corr = sc::scc(bank.stream(half, 0), bank.stream(half, lane));
+    EXPECT_LT(std::abs(corr), 0.15) << "lane " << lane;
+  }
+}
+
+TEST(StreamBank, EncodedValueIsAccurate) {
+  StreamBank bank(16, 7, 4096);
+  for (double v : {0.1, 0.5, 0.9}) {
+    for (std::uint32_t lane : {0u, 5u, 17u}) {
+      const double got = bank.stream(bank.quantize(v), lane).value();
+      EXPECT_NEAR(got, v, 0.04) << "v=" << v << " lane=" << lane;
+    }
+  }
+}
+
+TEST(StreamBank, OffsetSlicesAreSegmentsOfTheFullStream) {
+  StreamBank bank(8, 9, 256);
+  const sc::BitStream full = bank.stream(77, 4, 0, 256);
+  const sc::BitStream seg = bank.stream(77, 4, 64, 32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(seg.bit(i), full.bit(64 + i));
+  }
+}
+
+TEST(StreamBank, OutOfRangeWindowThrows) {
+  StreamBank bank(8, 1, 128);
+  EXPECT_THROW((void)bank.stream(10, 0, 100, 64), std::out_of_range);
+}
+
+TEST(StreamBank, FillMatchesStream) {
+  StreamBank bank(10, 33, 512);
+  const sc::BitStream s = bank.stream(400, 9, 64, 128);
+  std::vector<std::uint64_t> words(2);
+  bank.fill(400, 9, 64, 128, words);
+  for (std::size_t i = 0; i < 128; ++i) {
+    EXPECT_EQ((words[i / 64] >> (i % 64)) & 1u,
+              static_cast<std::uint64_t>(s.bit(i)));
+  }
+}
+
+TEST(StreamBank, FillClearsStaleWords) {
+  StreamBank bank(8, 5, 128);
+  std::vector<std::uint64_t> words(2, ~std::uint64_t{0});
+  bank.fill(0, 0, 0, 128, words);  // level 0: all zero
+  EXPECT_EQ(words[0], 0u);
+  EXPECT_EQ(words[1], 0u);
+}
+
+TEST(StreamBank, ScrambleIsBijectivePerLane) {
+  // A bijection preserves the uniform state distribution, hence encoding
+  // accuracy on every lane.
+  StreamBank bank(8, 1, 8);
+  for (std::uint32_t lane : {0u, 1u, 7u, 31u}) {
+    std::set<std::uint32_t> image;
+    for (std::uint32_t s = 0; s < 256; ++s) {
+      image.insert(bank.scramble(s, lane));
+    }
+    EXPECT_EQ(image.size(), 256u) << "lane " << lane;
+  }
+}
+
+TEST(StreamBank, ZeroLevelAlwaysZeroFullLevelAlwaysOne) {
+  StreamBank bank(8, 77, 300);
+  EXPECT_EQ(bank.stream(0, 3).count_ones(), 0u);
+  EXPECT_EQ(bank.stream(256, 3).count_ones(), 300u);
+}
+
+}  // namespace
+}  // namespace acoustic::sim

@@ -1,0 +1,106 @@
+#include "train/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace acoustic::train {
+namespace {
+
+TEST(SynthDigits, ShapeAndRange) {
+  const Dataset ds = make_synth_digits(50, 1, 16);
+  ASSERT_EQ(ds.size(), 50u);
+  for (const Sample& s : ds.samples) {
+    EXPECT_EQ(s.image.shape(), (nn::Shape{16, 16, 1}));
+    EXPECT_GE(s.label, 0);
+    EXPECT_LT(s.label, 10);
+    for (std::size_t i = 0; i < s.image.size(); ++i) {
+      EXPECT_GE(s.image[i], 0.0f);
+      EXPECT_LE(s.image[i], 1.0f);
+    }
+  }
+}
+
+TEST(SynthDigits, Deterministic) {
+  const Dataset a = make_synth_digits(10, 42, 16);
+  const Dataset b = make_synth_digits(10, 42, 16);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.samples[i].label, b.samples[i].label);
+    for (std::size_t p = 0; p < a.samples[i].image.size(); ++p) {
+      EXPECT_EQ(a.samples[i].image[p], b.samples[i].image[p]);
+    }
+  }
+}
+
+TEST(SynthDigits, DifferentSeedsDiffer) {
+  const Dataset a = make_synth_digits(10, 1, 16);
+  const Dataset b = make_synth_digits(10, 2, 16);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size() && !any_diff; ++i) {
+    for (std::size_t p = 0; p < a.samples[i].image.size(); ++p) {
+      if (a.samples[i].image[p] != b.samples[i].image[p]) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SynthDigits, CoversAllClasses) {
+  const Dataset ds = make_synth_digits(500, 7, 16);
+  std::set<int> labels;
+  for (const Sample& s : ds.samples) {
+    labels.insert(s.label);
+  }
+  EXPECT_EQ(labels.size(), 10u);
+}
+
+TEST(SynthDigits, GlyphsHaveInk) {
+  const Dataset ds = make_synth_digits(20, 3, 16);
+  for (const Sample& s : ds.samples) {
+    float total = 0.0f;
+    for (std::size_t i = 0; i < s.image.size(); ++i) {
+      total += s.image[i];
+    }
+    EXPECT_GT(total, 2.0f) << "label " << s.label;
+  }
+}
+
+TEST(SynthObjects, ShapeAndRange) {
+  const Dataset ds = make_synth_objects(30, 5, 16);
+  ASSERT_EQ(ds.size(), 30u);
+  for (const Sample& s : ds.samples) {
+    EXPECT_EQ(s.image.shape(), (nn::Shape{16, 16, 3}));
+    EXPECT_GE(s.label, 0);
+    EXPECT_LT(s.label, 10);
+  }
+}
+
+TEST(SynthObjects, ColorFamiliesSeparate) {
+  // Labels 0-4 are warm (red-dominant), 5-9 cool (blue-dominant): the mean
+  // R-B difference must have opposite signs.
+  const Dataset ds = make_synth_objects(400, 11, 16);
+  double warm = 0.0;
+  double cool = 0.0;
+  for (const Sample& s : ds.samples) {
+    double rb = 0.0;
+    const auto shape = s.image.shape();
+    for (int y = 0; y < shape.h; ++y) {
+      for (int x = 0; x < shape.w; ++x) {
+        rb += s.image.at(y, x, 0) - s.image.at(y, x, 2);
+      }
+    }
+    (s.label < 5 ? warm : cool) += rb;
+  }
+  EXPECT_GT(warm, 0.0);
+  EXPECT_LT(cool, 0.0);
+}
+
+TEST(SynthObjects, SupportsLargerCanvas) {
+  const Dataset ds = make_synth_objects(5, 2, 32);
+  EXPECT_EQ(ds.samples[0].image.shape(), (nn::Shape{32, 32, 3}));
+}
+
+}  // namespace
+}  // namespace acoustic::train

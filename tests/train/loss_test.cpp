@@ -1,0 +1,93 @@
+#include "train/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace acoustic::train {
+namespace {
+
+TEST(Softmax, SumsToOne) {
+  nn::Tensor logits = nn::Tensor::vector(4);
+  logits[0] = 1.0f;
+  logits[1] = -2.0f;
+  logits[2] = 0.5f;
+  logits[3] = 3.0f;
+  const nn::Tensor p = softmax(logits);
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_GT(p[i], 0.0f);
+    sum += p[i];
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-6f);
+}
+
+TEST(Softmax, UniformLogitsUniformProbs) {
+  nn::Tensor logits = nn::Tensor::vector(5);
+  logits.fill(2.0f);
+  const nn::Tensor p = softmax(logits);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(p[i], 0.2f, 1e-6f);
+  }
+}
+
+TEST(Softmax, StableForLargeLogits) {
+  nn::Tensor logits = nn::Tensor::vector(2);
+  logits[0] = 1000.0f;
+  logits[1] = 999.0f;
+  const nn::Tensor p = softmax(logits);
+  EXPECT_NEAR(p[0], 1.0f / (1.0f + std::exp(-1.0f)), 1e-5f);
+  EXPECT_FALSE(std::isnan(p[0]));
+}
+
+TEST(CrossEntropy, KnownValue) {
+  nn::Tensor logits = nn::Tensor::vector(2);
+  logits[0] = 0.0f;
+  logits[1] = 0.0f;
+  const LossResult r = softmax_cross_entropy(logits, 0);
+  EXPECT_NEAR(r.loss, std::log(2.0f), 1e-6f);
+}
+
+TEST(CrossEntropy, GradientIsSoftmaxMinusOneHot) {
+  nn::Tensor logits = nn::Tensor::vector(3);
+  logits[0] = 1.0f;
+  logits[1] = 2.0f;
+  logits[2] = 0.0f;
+  const nn::Tensor p = softmax(logits);
+  const LossResult r = softmax_cross_entropy(logits, 1);
+  EXPECT_NEAR(r.grad[0], p[0], 1e-6f);
+  EXPECT_NEAR(r.grad[1], p[1] - 1.0f, 1e-6f);
+  EXPECT_NEAR(r.grad[2], p[2], 1e-6f);
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifference) {
+  nn::Tensor logits = nn::Tensor::vector(4);
+  logits[0] = 0.3f;
+  logits[1] = -0.7f;
+  logits[2] = 1.2f;
+  logits[3] = 0.0f;
+  const LossResult r = softmax_cross_entropy(logits, 2);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    nn::Tensor up = logits;
+    nn::Tensor down = logits;
+    up[i] += eps;
+    down[i] -= eps;
+    const float fd = (softmax_cross_entropy(up, 2).loss -
+                      softmax_cross_entropy(down, 2).loss) /
+                     (2.0f * eps);
+    EXPECT_NEAR(r.grad[i], fd, 1e-3f) << "logit " << i;
+  }
+}
+
+TEST(CrossEntropy, LossDecreasesWithConfidence) {
+  nn::Tensor weak = nn::Tensor::vector(2);
+  weak[0] = 0.1f;
+  nn::Tensor strong = nn::Tensor::vector(2);
+  strong[0] = 3.0f;
+  EXPECT_LT(softmax_cross_entropy(strong, 0).loss,
+            softmax_cross_entropy(weak, 0).loss);
+}
+
+}  // namespace
+}  // namespace acoustic::train

@@ -1,0 +1,132 @@
+#include "train/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/pool.hpp"
+#include "train/models.hpp"
+
+namespace acoustic::train {
+namespace {
+
+TrainConfig quick_config(int epochs) {
+  TrainConfig cfg;
+  cfg.epochs = epochs;
+  cfg.batch_size = 8;
+  cfg.learning_rate = 0.05f;
+  return cfg;
+}
+
+TEST(Trainer, LossDecreasesOnDigits) {
+  const Dataset data = make_synth_digits(300, 21, 16);
+  nn::Network net = build_lenet_small(nn::AccumMode::kSum, 16);
+  const TrainStats stats = fit(net, data, quick_config(4));
+  ASSERT_EQ(stats.epoch_loss.size(), 4u);
+  EXPECT_LT(stats.epoch_loss.back(), stats.epoch_loss.front());
+  EXPECT_GT(stats.epoch_accuracy.back(), stats.epoch_accuracy.front());
+}
+
+TEST(Trainer, OrApproxModeAlsoLearns) {
+  const Dataset data = make_synth_digits(300, 22, 16);
+  nn::Network net = build_lenet_small(nn::AccumMode::kOrApprox, 16);
+  const TrainStats stats = fit(net, data, quick_config(4));
+  EXPECT_LT(stats.epoch_loss.back(), stats.epoch_loss.front());
+}
+
+TEST(Trainer, WeightsStayClipped) {
+  const Dataset data = make_synth_digits(100, 23, 16);
+  nn::Network net = build_lenet_small(nn::AccumMode::kOrApprox, 16);
+  TrainConfig cfg = quick_config(2);
+  cfg.learning_rate = 0.5f;  // aggressive, to hit the clip
+  (void)fit(net, data, cfg);
+  for (nn::ParamView& p : net.parameters()) {
+    for (float w : p.values) {
+      EXPECT_LE(std::fabs(w), 1.0f);
+    }
+  }
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+  const Dataset data = make_synth_digits(100, 24, 16);
+  nn::Network a = build_lenet_small(nn::AccumMode::kSum, 16);
+  nn::Network b = build_lenet_small(nn::AccumMode::kSum, 16);
+  const TrainStats sa = fit(a, data, quick_config(2));
+  const TrainStats sb = fit(b, data, quick_config(2));
+  EXPECT_EQ(sa.epoch_loss, sb.epoch_loss);
+}
+
+TEST(Evaluate, UntrainedIsNearChance) {
+  const Dataset data = make_synth_digits(400, 25, 16);
+  nn::Network net = build_lenet_small(nn::AccumMode::kSum, 16, 1234);
+  const float acc = evaluate(net, data);
+  EXPECT_LT(acc, 0.35f);  // 10 classes, untrained
+}
+
+TEST(Evaluate, EmptyDatasetIsZero) {
+  Dataset empty;
+  nn::Network net = build_lenet_small(nn::AccumMode::kSum, 16);
+  EXPECT_EQ(evaluate(net, empty), 0.0f);
+}
+
+TEST(EvaluateQuantized, EightBitTracksFloat) {
+  const Dataset train_set = make_synth_digits(400, 26, 16);
+  const Dataset test_set = make_synth_digits(150, 27, 16);
+  nn::Network net = build_lenet_small(nn::AccumMode::kSum, 16);
+  (void)fit(net, train_set, quick_config(5));
+  const float facc = evaluate(net, test_set);
+  const float qacc = evaluate_quantized(net, test_set, 8);
+  EXPECT_NEAR(qacc, facc, 0.05f);
+}
+
+TEST(EvaluateQuantized, RestoresFloatWeights) {
+  const Dataset data = make_synth_digits(50, 28, 16);
+  nn::Network net = build_lenet_small(nn::AccumMode::kSum, 16);
+  auto params = net.parameters();
+  std::vector<float> before(params[0].values.begin(),
+                            params[0].values.end());
+  (void)evaluate_quantized(net, data, 4);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(params[0].values[i], before[i]);
+  }
+}
+
+TEST(EvaluateQuantized, VeryFewBitsHurtAccuracy) {
+  const Dataset train_set = make_synth_digits(400, 29, 16);
+  const Dataset test_set = make_synth_digits(150, 30, 16);
+  nn::Network net = build_lenet_small(nn::AccumMode::kSum, 16);
+  (void)fit(net, train_set, quick_config(5));
+  const float q8 = evaluate_quantized(net, test_set, 8);
+  const float q2 = evaluate_quantized(net, test_set, 2);
+  EXPECT_LE(q2, q8 + 1e-6f);
+}
+
+TEST(Models, SetNetworkModeFlipsAllWeightedLayers) {
+  nn::Network net = build_cifar_small(nn::AccumMode::kSum, 16);
+  set_network_mode(net, nn::AccumMode::kOrApprox);
+  int weighted = 0;
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    if (auto* conv = dynamic_cast<nn::Conv2D*>(&net.layer(i))) {
+      EXPECT_EQ(conv->spec().mode, nn::AccumMode::kOrApprox);
+      ++weighted;
+    } else if (auto* dense = dynamic_cast<nn::Dense*>(&net.layer(i))) {
+      EXPECT_EQ(dense->spec().mode, nn::AccumMode::kOrApprox);
+      ++weighted;
+    }
+  }
+  EXPECT_EQ(weighted, 3);
+}
+
+TEST(Models, MaxPoolVariantHasMaxPool) {
+  nn::Network net = build_cifar_small_maxpool(nn::AccumMode::kSum, 16);
+  bool has_max = false;
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    if (dynamic_cast<nn::MaxPool2D*>(&net.layer(i)) != nullptr) {
+      has_max = true;
+    }
+  }
+  EXPECT_TRUE(has_max);
+}
+
+}  // namespace
+}  // namespace acoustic::train

@@ -1,0 +1,235 @@
+// acoustic — command-line driver for the reproduction.
+//
+//   acoustic list
+//       Show the model-zoo workloads with their MAC/weight footprints.
+//   acoustic compile <network> [--arch lp|ulp]
+//       Print the ACOUSTIC assembly for a workload.
+//   acoustic simulate <network> [--arch lp|ulp] [--batch N] [--clock MHZ]
+//                     [--stream N] [--dram ddr3-800..ddr3-2133|hbm]
+//                     [--trace] [--layers]
+//       Run the performance + energy simulation; --trace adds the per-unit
+//       Gantt chart of the dispatcher overlap, --layers the per-layer
+//       bottleneck table.
+//   acoustic breakdown [--arch lp|ulp]
+//       Print the Fig. 5 area/power breakdowns.
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "core/report.hpp"
+#include "energy/breakdown.hpp"
+#include "isa/assembler.hpp"
+#include "perf/timeline.hpp"
+
+using namespace acoustic;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: acoustic <list|compile|simulate|breakdown> "
+               "[network] [options]\n"
+               "  networks: lenet5, cifar10, svhn, alexnet, vgg16, "
+               "resnet18 (suffix '-conv' for conv layers only)\n"
+               "  options: --arch lp|ulp  --batch N  --clock MHZ  "
+               "--stream N\n"
+               "           --dram ddr3-800|...|ddr3-2133|hbm  --trace  "
+               "--layers\n");
+  return 2;
+}
+
+std::optional<nn::NetworkDesc> find_network(std::string name) {
+  bool conv_only = false;
+  const std::string suffix = "-conv";
+  if (name.size() > suffix.size() &&
+      name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    conv_only = true;
+    name = name.substr(0, name.size() - suffix.size());
+  }
+  std::optional<nn::NetworkDesc> net;
+  if (name == "lenet5") {
+    net = nn::lenet5();
+  } else if (name == "cifar10") {
+    net = nn::cifar10_cnn();
+  } else if (name == "svhn") {
+    net = nn::svhn_cnn();
+  } else if (name == "alexnet") {
+    net = nn::alexnet();
+  } else if (name == "vgg16") {
+    net = nn::vgg16();
+  } else if (name == "resnet18") {
+    net = nn::resnet18();
+  }
+  if (net && conv_only) {
+    net = net->conv_only();
+  }
+  return net;
+}
+
+std::optional<perf::DramSpec> find_dram(const std::string& name) {
+  for (const perf::DramSpec& spec : perf::figure4_interfaces()) {
+    std::string lowered = spec.name;
+    for (char& c : lowered) {
+      c = static_cast<char>(std::tolower(c));
+    }
+    if (lowered == name) {
+      return spec;
+    }
+  }
+  return std::nullopt;
+}
+
+int cmd_list() {
+  core::Table table({"network", "layers", "MACs", "weights",
+                     "conv MACs", "FC MACs"});
+  for (const auto& net :
+       {nn::lenet5(), nn::cifar10_cnn(), nn::svhn_cnn(), nn::alexnet(),
+        nn::vgg16(), nn::resnet18()}) {
+    table.add_row({net.name, std::to_string(net.layers.size()),
+                   core::format_number(
+                       static_cast<double>(net.total_macs()), 4),
+                   core::format_number(
+                       static_cast<double>(net.total_weights()), 4),
+                   core::format_number(
+                       static_cast<double>(net.conv_macs()), 4),
+                   core::format_number(
+                       static_cast<double>(net.fc_macs()), 4)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "list") {
+    return cmd_list();
+  }
+
+  // Parse common options.
+  perf::ArchConfig arch = perf::lp();
+  std::optional<nn::NetworkDesc> net;
+  bool trace = false;
+  bool layers = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--arch") {
+      const char* v = next();
+      if (v == nullptr) {
+        return usage();
+      }
+      if (std::strcmp(v, "ulp") == 0) {
+        arch = perf::ulp();
+      } else if (std::strcmp(v, "lp") != 0) {
+        return usage();
+      }
+    } else if (arg == "--batch") {
+      const char* v = next();
+      if (v == nullptr) {
+        return usage();
+      }
+      arch.batch = std::atoi(v);
+    } else if (arg == "--clock") {
+      const char* v = next();
+      if (v == nullptr) {
+        return usage();
+      }
+      arch.clock_mhz = std::atof(v);
+    } else if (arg == "--stream") {
+      const char* v = next();
+      if (v == nullptr) {
+        return usage();
+      }
+      arch.stream_length = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--dram") {
+      const char* v = next();
+      if (v == nullptr) {
+        return usage();
+      }
+      const auto spec = find_dram(v);
+      if (!spec) {
+        return usage();
+      }
+      arch.dram = *spec;
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--layers") {
+      layers = true;
+    } else if (!net) {
+      net = find_network(arg);
+      if (!net) {
+        std::fprintf(stderr, "unknown network '%s'\n", arg.c_str());
+        return usage();
+      }
+    } else {
+      return usage();
+    }
+  }
+
+  if (cmd == "breakdown") {
+    std::printf("%s\n", energy::format_breakdown(
+                            energy::area_breakdown(arch)).c_str());
+    std::printf("%s", energy::format_breakdown(
+                          energy::power_breakdown(arch)).c_str());
+    return 0;
+  }
+
+  if (!net) {
+    std::fprintf(stderr, "%s requires a network\n", cmd.c_str());
+    return usage();
+  }
+
+  if (cmd == "compile") {
+    const core::Accelerator accel(arch);
+    std::fputs(isa::format(accel.compile(*net)).c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "simulate") {
+    const core::Accelerator accel(arch);
+    const core::InferenceCost cost = accel.run(*net);
+    std::printf("%s on %s (batch %d, %.0f MHz, %llu-bit streams, %s)\n",
+                net->name.c_str(), arch.name.c_str(), arch.batch,
+                arch.clock_mhz,
+                static_cast<unsigned long long>(arch.stream_length),
+                arch.has_dram ? arch.dram.name.c_str() : "no DRAM");
+    std::printf("  latency/frame: %.6g ms   (%.6g frames/s)\n",
+                cost.latency_s * 1e3, cost.frames_per_s);
+    std::printf("  energy/frame:  %.6g uJ on-chip (%.6g frames/J), "
+                "%.6g uJ DRAM\n", cost.on_chip_energy_j * 1e6,
+                cost.frames_per_j, cost.dram_energy_j * 1e6);
+    if (layers) {
+      core::Table table({"layer", "latency [us]", "energy [uJ]",
+                         "utilization", "weights"});
+      for (const core::LayerCost& layer : accel.run_layers(*net)) {
+        table.add_row({layer.label,
+                       core::format_number(layer.latency_s * 1e6, 4),
+                       core::format_number(layer.on_chip_energy_j * 1e6, 4),
+                       core::format_number(100.0 * layer.utilization, 3) +
+                           "%",
+                       layer.weights_resident ? "resident" : "streamed"});
+      }
+      std::printf("\n%s", table.to_string().c_str());
+    }
+    if (trace) {
+      const perf::TracedResult traced =
+          perf::simulate_traced(accel.compile(*net), arch);
+      std::printf("\n%s\n%s", perf::render_gantt(traced).c_str(),
+                  perf::render_utilization(traced).c_str());
+    }
+    return 0;
+  }
+  return usage();
+}
