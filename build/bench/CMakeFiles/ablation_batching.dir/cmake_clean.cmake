@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_batching.dir/ablation_batching.cpp.o"
+  "CMakeFiles/ablation_batching.dir/ablation_batching.cpp.o.d"
+  "ablation_batching"
+  "ablation_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

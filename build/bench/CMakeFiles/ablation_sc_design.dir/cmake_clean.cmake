@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sc_design.dir/ablation_sc_design.cpp.o"
+  "CMakeFiles/ablation_sc_design.dir/ablation_sc_design.cpp.o.d"
+  "ablation_sc_design"
+  "ablation_sc_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sc_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_split_unipolar.dir/fig1_split_unipolar.cpp.o"
+  "CMakeFiles/fig1_split_unipolar.dir/fig1_split_unipolar.cpp.o.d"
+  "fig1_split_unipolar"
+  "fig1_split_unipolar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_split_unipolar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_memory_bound.dir/fig4_memory_bound.cpp.o"
+  "CMakeFiles/fig4_memory_bound.dir/fig4_memory_bound.cpp.o.d"
+  "fig4_memory_bound"
+  "fig4_memory_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_memory_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_breakdowns.dir/fig5_breakdowns.cpp.o"
+  "CMakeFiles/fig5_breakdowns.dir/fig5_breakdowns.cpp.o.d"
+  "fig5_breakdowns"
+  "fig5_breakdowns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_breakdowns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_primitives.dir/microbench_primitives.cpp.o"
+  "CMakeFiles/microbench_primitives.dir/microbench_primitives.cpp.o.d"
+  "microbench_primitives"
+  "microbench_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

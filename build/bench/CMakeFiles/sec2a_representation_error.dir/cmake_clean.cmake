@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec2a_representation_error.dir/sec2a_representation_error.cpp.o"
+  "CMakeFiles/sec2a_representation_error.dir/sec2a_representation_error.cpp.o.d"
+  "sec2a_representation_error"
+  "sec2a_representation_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec2a_representation_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec2b_or_accumulation.dir/sec2b_or_accumulation.cpp.o"
+  "CMakeFiles/sec2b_or_accumulation.dir/sec2b_or_accumulation.cpp.o.d"
+  "sec2b_or_accumulation"
+  "sec2b_or_accumulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec2b_or_accumulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

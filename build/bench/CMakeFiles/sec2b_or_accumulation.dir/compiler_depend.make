@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec2b_or_accumulation.
+# This may be replaced when dependencies are built.

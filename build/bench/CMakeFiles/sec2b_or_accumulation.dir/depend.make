@@ -1,0 +1,2 @@
+# Empty dependencies file for sec2b_or_accumulation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec2c_comp_skipping.dir/sec2c_comp_skipping.cpp.o"
+  "CMakeFiles/sec2c_comp_skipping.dir/sec2c_comp_skipping.cpp.o.d"
+  "sec2c_comp_skipping"
+  "sec2c_comp_skipping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec2c_comp_skipping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec2c_comp_skipping.
+# This may be replaced when dependencies are built.

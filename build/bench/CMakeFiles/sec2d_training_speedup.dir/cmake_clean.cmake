@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec2d_training_speedup.dir/sec2d_training_speedup.cpp.o"
+  "CMakeFiles/sec2d_training_speedup.dir/sec2d_training_speedup.cpp.o.d"
+  "sec2d_training_speedup"
+  "sec2d_training_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec2d_training_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec2d_training_speedup.
+# This may be replaced when dependencies are built.

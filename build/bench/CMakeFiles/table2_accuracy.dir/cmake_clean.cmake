@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_accuracy.dir/table2_accuracy.cpp.o"
+  "CMakeFiles/table2_accuracy.dir/table2_accuracy.cpp.o.d"
+  "table2_accuracy"
+  "table2_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

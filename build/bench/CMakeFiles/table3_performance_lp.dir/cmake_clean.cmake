@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_performance_lp.dir/table3_performance_lp.cpp.o"
+  "CMakeFiles/table3_performance_lp.dir/table3_performance_lp.cpp.o.d"
+  "table3_performance_lp"
+  "table3_performance_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_performance_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_performance_ulp.dir/table4_performance_ulp.cpp.o"
+  "CMakeFiles/table4_performance_ulp.dir/table4_performance_ulp.cpp.o.d"
+  "table4_performance_ulp"
+  "table4_performance_ulp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_performance_ulp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_program.dir/accelerator_program.cpp.o"
+  "CMakeFiles/accelerator_program.dir/accelerator_program.cpp.o.d"
+  "accelerator_program"
+  "accelerator_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

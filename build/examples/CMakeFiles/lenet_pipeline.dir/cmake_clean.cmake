@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lenet_pipeline.dir/lenet_pipeline.cpp.o"
+  "CMakeFiles/lenet_pipeline.dir/lenet_pipeline.cpp.o.d"
+  "lenet_pipeline"
+  "lenet_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lenet_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pooling_skipping.dir/pooling_skipping.cpp.o"
+  "CMakeFiles/pooling_skipping.dir/pooling_skipping.cpp.o.d"
+  "pooling_skipping"
+  "pooling_skipping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pooling_skipping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

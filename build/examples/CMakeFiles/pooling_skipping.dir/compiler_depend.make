@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pooling_skipping.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/eyeriss.cpp" "src/baselines/CMakeFiles/acoustic_baselines.dir/eyeriss.cpp.o" "gcc" "src/baselines/CMakeFiles/acoustic_baselines.dir/eyeriss.cpp.o.d"
+  "/root/repo/src/baselines/scope.cpp" "src/baselines/CMakeFiles/acoustic_baselines.dir/scope.cpp.o" "gcc" "src/baselines/CMakeFiles/acoustic_baselines.dir/scope.cpp.o.d"
+  "/root/repo/src/baselines/ulp_accelerators.cpp" "src/baselines/CMakeFiles/acoustic_baselines.dir/ulp_accelerators.cpp.o" "gcc" "src/baselines/CMakeFiles/acoustic_baselines.dir/ulp_accelerators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/acoustic_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sc/CMakeFiles/acoustic_sc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

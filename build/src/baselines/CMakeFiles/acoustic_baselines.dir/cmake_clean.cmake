@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acoustic_baselines.dir/eyeriss.cpp.o"
+  "CMakeFiles/acoustic_baselines.dir/eyeriss.cpp.o.d"
+  "CMakeFiles/acoustic_baselines.dir/scope.cpp.o"
+  "CMakeFiles/acoustic_baselines.dir/scope.cpp.o.d"
+  "CMakeFiles/acoustic_baselines.dir/ulp_accelerators.cpp.o"
+  "CMakeFiles/acoustic_baselines.dir/ulp_accelerators.cpp.o.d"
+  "libacoustic_baselines.a"
+  "libacoustic_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acoustic_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acoustic_core.dir/accelerator.cpp.o"
+  "CMakeFiles/acoustic_core.dir/accelerator.cpp.o.d"
+  "CMakeFiles/acoustic_core.dir/report.cpp.o"
+  "CMakeFiles/acoustic_core.dir/report.cpp.o.d"
+  "libacoustic_core.a"
+  "libacoustic_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acoustic_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

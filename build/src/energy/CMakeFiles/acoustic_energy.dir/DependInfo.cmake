@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/breakdown.cpp" "src/energy/CMakeFiles/acoustic_energy.dir/breakdown.cpp.o" "gcc" "src/energy/CMakeFiles/acoustic_energy.dir/breakdown.cpp.o.d"
+  "/root/repo/src/energy/component_models.cpp" "src/energy/CMakeFiles/acoustic_energy.dir/component_models.cpp.o" "gcc" "src/energy/CMakeFiles/acoustic_energy.dir/component_models.cpp.o.d"
+  "/root/repo/src/energy/energy_model.cpp" "src/energy/CMakeFiles/acoustic_energy.dir/energy_model.cpp.o" "gcc" "src/energy/CMakeFiles/acoustic_energy.dir/energy_model.cpp.o.d"
+  "/root/repo/src/energy/sram.cpp" "src/energy/CMakeFiles/acoustic_energy.dir/sram.cpp.o" "gcc" "src/energy/CMakeFiles/acoustic_energy.dir/sram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/acoustic_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/acoustic_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/acoustic_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sc/CMakeFiles/acoustic_sc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

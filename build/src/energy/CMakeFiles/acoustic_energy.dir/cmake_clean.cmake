@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acoustic_energy.dir/breakdown.cpp.o"
+  "CMakeFiles/acoustic_energy.dir/breakdown.cpp.o.d"
+  "CMakeFiles/acoustic_energy.dir/component_models.cpp.o"
+  "CMakeFiles/acoustic_energy.dir/component_models.cpp.o.d"
+  "CMakeFiles/acoustic_energy.dir/energy_model.cpp.o"
+  "CMakeFiles/acoustic_energy.dir/energy_model.cpp.o.d"
+  "CMakeFiles/acoustic_energy.dir/sram.cpp.o"
+  "CMakeFiles/acoustic_energy.dir/sram.cpp.o.d"
+  "libacoustic_energy.a"
+  "libacoustic_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acoustic_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libacoustic_energy.a"
+)

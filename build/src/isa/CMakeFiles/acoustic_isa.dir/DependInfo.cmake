@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/assembler.cpp" "src/isa/CMakeFiles/acoustic_isa.dir/assembler.cpp.o" "gcc" "src/isa/CMakeFiles/acoustic_isa.dir/assembler.cpp.o.d"
+  "/root/repo/src/isa/encoding.cpp" "src/isa/CMakeFiles/acoustic_isa.dir/encoding.cpp.o" "gcc" "src/isa/CMakeFiles/acoustic_isa.dir/encoding.cpp.o.d"
+  "/root/repo/src/isa/instruction.cpp" "src/isa/CMakeFiles/acoustic_isa.dir/instruction.cpp.o" "gcc" "src/isa/CMakeFiles/acoustic_isa.dir/instruction.cpp.o.d"
+  "/root/repo/src/isa/program.cpp" "src/isa/CMakeFiles/acoustic_isa.dir/program.cpp.o" "gcc" "src/isa/CMakeFiles/acoustic_isa.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acoustic_isa.dir/assembler.cpp.o"
+  "CMakeFiles/acoustic_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/acoustic_isa.dir/encoding.cpp.o"
+  "CMakeFiles/acoustic_isa.dir/encoding.cpp.o.d"
+  "CMakeFiles/acoustic_isa.dir/instruction.cpp.o"
+  "CMakeFiles/acoustic_isa.dir/instruction.cpp.o.d"
+  "CMakeFiles/acoustic_isa.dir/program.cpp.o"
+  "CMakeFiles/acoustic_isa.dir/program.cpp.o.d"
+  "libacoustic_isa.a"
+  "libacoustic_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acoustic_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

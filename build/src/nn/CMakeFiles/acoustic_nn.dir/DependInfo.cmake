@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/nn/CMakeFiles/acoustic_nn.dir/activation.cpp.o" "gcc" "src/nn/CMakeFiles/acoustic_nn.dir/activation.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/acoustic_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/acoustic_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/acoustic_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/acoustic_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/model_zoo.cpp" "src/nn/CMakeFiles/acoustic_nn.dir/model_zoo.cpp.o" "gcc" "src/nn/CMakeFiles/acoustic_nn.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/acoustic_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/acoustic_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "src/nn/CMakeFiles/acoustic_nn.dir/pool.cpp.o" "gcc" "src/nn/CMakeFiles/acoustic_nn.dir/pool.cpp.o.d"
+  "/root/repo/src/nn/quantize.cpp" "src/nn/CMakeFiles/acoustic_nn.dir/quantize.cpp.o" "gcc" "src/nn/CMakeFiles/acoustic_nn.dir/quantize.cpp.o.d"
+  "/root/repo/src/nn/residual.cpp" "src/nn/CMakeFiles/acoustic_nn.dir/residual.cpp.o" "gcc" "src/nn/CMakeFiles/acoustic_nn.dir/residual.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/acoustic_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/acoustic_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/acoustic_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/acoustic_nn.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sc/CMakeFiles/acoustic_sc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acoustic_nn.dir/activation.cpp.o"
+  "CMakeFiles/acoustic_nn.dir/activation.cpp.o.d"
+  "CMakeFiles/acoustic_nn.dir/conv.cpp.o"
+  "CMakeFiles/acoustic_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/acoustic_nn.dir/dense.cpp.o"
+  "CMakeFiles/acoustic_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/acoustic_nn.dir/model_zoo.cpp.o"
+  "CMakeFiles/acoustic_nn.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/acoustic_nn.dir/network.cpp.o"
+  "CMakeFiles/acoustic_nn.dir/network.cpp.o.d"
+  "CMakeFiles/acoustic_nn.dir/pool.cpp.o"
+  "CMakeFiles/acoustic_nn.dir/pool.cpp.o.d"
+  "CMakeFiles/acoustic_nn.dir/quantize.cpp.o"
+  "CMakeFiles/acoustic_nn.dir/quantize.cpp.o.d"
+  "CMakeFiles/acoustic_nn.dir/residual.cpp.o"
+  "CMakeFiles/acoustic_nn.dir/residual.cpp.o.d"
+  "CMakeFiles/acoustic_nn.dir/serialize.cpp.o"
+  "CMakeFiles/acoustic_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/acoustic_nn.dir/tensor.cpp.o"
+  "CMakeFiles/acoustic_nn.dir/tensor.cpp.o.d"
+  "libacoustic_nn.a"
+  "libacoustic_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acoustic_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

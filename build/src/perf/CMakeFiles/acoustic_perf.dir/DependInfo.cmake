@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/arch_config.cpp" "src/perf/CMakeFiles/acoustic_perf.dir/arch_config.cpp.o" "gcc" "src/perf/CMakeFiles/acoustic_perf.dir/arch_config.cpp.o.d"
+  "/root/repo/src/perf/codegen.cpp" "src/perf/CMakeFiles/acoustic_perf.dir/codegen.cpp.o" "gcc" "src/perf/CMakeFiles/acoustic_perf.dir/codegen.cpp.o.d"
+  "/root/repo/src/perf/dram.cpp" "src/perf/CMakeFiles/acoustic_perf.dir/dram.cpp.o" "gcc" "src/perf/CMakeFiles/acoustic_perf.dir/dram.cpp.o.d"
+  "/root/repo/src/perf/mapping.cpp" "src/perf/CMakeFiles/acoustic_perf.dir/mapping.cpp.o" "gcc" "src/perf/CMakeFiles/acoustic_perf.dir/mapping.cpp.o.d"
+  "/root/repo/src/perf/perf_sim.cpp" "src/perf/CMakeFiles/acoustic_perf.dir/perf_sim.cpp.o" "gcc" "src/perf/CMakeFiles/acoustic_perf.dir/perf_sim.cpp.o.d"
+  "/root/repo/src/perf/timeline.cpp" "src/perf/CMakeFiles/acoustic_perf.dir/timeline.cpp.o" "gcc" "src/perf/CMakeFiles/acoustic_perf.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/acoustic_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/acoustic_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sc/CMakeFiles/acoustic_sc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

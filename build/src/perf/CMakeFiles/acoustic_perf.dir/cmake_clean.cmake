@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acoustic_perf.dir/arch_config.cpp.o"
+  "CMakeFiles/acoustic_perf.dir/arch_config.cpp.o.d"
+  "CMakeFiles/acoustic_perf.dir/codegen.cpp.o"
+  "CMakeFiles/acoustic_perf.dir/codegen.cpp.o.d"
+  "CMakeFiles/acoustic_perf.dir/dram.cpp.o"
+  "CMakeFiles/acoustic_perf.dir/dram.cpp.o.d"
+  "CMakeFiles/acoustic_perf.dir/mapping.cpp.o"
+  "CMakeFiles/acoustic_perf.dir/mapping.cpp.o.d"
+  "CMakeFiles/acoustic_perf.dir/perf_sim.cpp.o"
+  "CMakeFiles/acoustic_perf.dir/perf_sim.cpp.o.d"
+  "CMakeFiles/acoustic_perf.dir/timeline.cpp.o"
+  "CMakeFiles/acoustic_perf.dir/timeline.cpp.o.d"
+  "libacoustic_perf.a"
+  "libacoustic_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acoustic_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sc/apc.cpp" "src/sc/CMakeFiles/acoustic_sc.dir/apc.cpp.o" "gcc" "src/sc/CMakeFiles/acoustic_sc.dir/apc.cpp.o.d"
+  "/root/repo/src/sc/bitstream.cpp" "src/sc/CMakeFiles/acoustic_sc.dir/bitstream.cpp.o" "gcc" "src/sc/CMakeFiles/acoustic_sc.dir/bitstream.cpp.o.d"
+  "/root/repo/src/sc/correlation.cpp" "src/sc/CMakeFiles/acoustic_sc.dir/correlation.cpp.o" "gcc" "src/sc/CMakeFiles/acoustic_sc.dir/correlation.cpp.o.d"
+  "/root/repo/src/sc/counter.cpp" "src/sc/CMakeFiles/acoustic_sc.dir/counter.cpp.o" "gcc" "src/sc/CMakeFiles/acoustic_sc.dir/counter.cpp.o.d"
+  "/root/repo/src/sc/deterministic.cpp" "src/sc/CMakeFiles/acoustic_sc.dir/deterministic.cpp.o" "gcc" "src/sc/CMakeFiles/acoustic_sc.dir/deterministic.cpp.o.d"
+  "/root/repo/src/sc/fsm.cpp" "src/sc/CMakeFiles/acoustic_sc.dir/fsm.cpp.o" "gcc" "src/sc/CMakeFiles/acoustic_sc.dir/fsm.cpp.o.d"
+  "/root/repo/src/sc/gates.cpp" "src/sc/CMakeFiles/acoustic_sc.dir/gates.cpp.o" "gcc" "src/sc/CMakeFiles/acoustic_sc.dir/gates.cpp.o.d"
+  "/root/repo/src/sc/representation.cpp" "src/sc/CMakeFiles/acoustic_sc.dir/representation.cpp.o" "gcc" "src/sc/CMakeFiles/acoustic_sc.dir/representation.cpp.o.d"
+  "/root/repo/src/sc/rng.cpp" "src/sc/CMakeFiles/acoustic_sc.dir/rng.cpp.o" "gcc" "src/sc/CMakeFiles/acoustic_sc.dir/rng.cpp.o.d"
+  "/root/repo/src/sc/sng.cpp" "src/sc/CMakeFiles/acoustic_sc.dir/sng.cpp.o" "gcc" "src/sc/CMakeFiles/acoustic_sc.dir/sng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acoustic_sc.dir/apc.cpp.o"
+  "CMakeFiles/acoustic_sc.dir/apc.cpp.o.d"
+  "CMakeFiles/acoustic_sc.dir/bitstream.cpp.o"
+  "CMakeFiles/acoustic_sc.dir/bitstream.cpp.o.d"
+  "CMakeFiles/acoustic_sc.dir/correlation.cpp.o"
+  "CMakeFiles/acoustic_sc.dir/correlation.cpp.o.d"
+  "CMakeFiles/acoustic_sc.dir/counter.cpp.o"
+  "CMakeFiles/acoustic_sc.dir/counter.cpp.o.d"
+  "CMakeFiles/acoustic_sc.dir/deterministic.cpp.o"
+  "CMakeFiles/acoustic_sc.dir/deterministic.cpp.o.d"
+  "CMakeFiles/acoustic_sc.dir/fsm.cpp.o"
+  "CMakeFiles/acoustic_sc.dir/fsm.cpp.o.d"
+  "CMakeFiles/acoustic_sc.dir/gates.cpp.o"
+  "CMakeFiles/acoustic_sc.dir/gates.cpp.o.d"
+  "CMakeFiles/acoustic_sc.dir/representation.cpp.o"
+  "CMakeFiles/acoustic_sc.dir/representation.cpp.o.d"
+  "CMakeFiles/acoustic_sc.dir/rng.cpp.o"
+  "CMakeFiles/acoustic_sc.dir/rng.cpp.o.d"
+  "CMakeFiles/acoustic_sc.dir/sng.cpp.o"
+  "CMakeFiles/acoustic_sc.dir/sng.cpp.o.d"
+  "libacoustic_sc.a"
+  "libacoustic_sc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acoustic_sc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

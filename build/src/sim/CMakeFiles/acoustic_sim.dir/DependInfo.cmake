@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bipolar_network.cpp" "src/sim/CMakeFiles/acoustic_sim.dir/bipolar_network.cpp.o" "gcc" "src/sim/CMakeFiles/acoustic_sim.dir/bipolar_network.cpp.o.d"
+  "/root/repo/src/sim/evaluate.cpp" "src/sim/CMakeFiles/acoustic_sim.dir/evaluate.cpp.o" "gcc" "src/sim/CMakeFiles/acoustic_sim.dir/evaluate.cpp.o.d"
+  "/root/repo/src/sim/sc_mac.cpp" "src/sim/CMakeFiles/acoustic_sim.dir/sc_mac.cpp.o" "gcc" "src/sim/CMakeFiles/acoustic_sim.dir/sc_mac.cpp.o.d"
+  "/root/repo/src/sim/sc_network.cpp" "src/sim/CMakeFiles/acoustic_sim.dir/sc_network.cpp.o" "gcc" "src/sim/CMakeFiles/acoustic_sim.dir/sc_network.cpp.o.d"
+  "/root/repo/src/sim/stream_bank.cpp" "src/sim/CMakeFiles/acoustic_sim.dir/stream_bank.cpp.o" "gcc" "src/sim/CMakeFiles/acoustic_sim.dir/stream_bank.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/acoustic_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sc/CMakeFiles/acoustic_sc.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/acoustic_train.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

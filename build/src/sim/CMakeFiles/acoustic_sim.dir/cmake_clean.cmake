@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acoustic_sim.dir/bipolar_network.cpp.o"
+  "CMakeFiles/acoustic_sim.dir/bipolar_network.cpp.o.d"
+  "CMakeFiles/acoustic_sim.dir/evaluate.cpp.o"
+  "CMakeFiles/acoustic_sim.dir/evaluate.cpp.o.d"
+  "CMakeFiles/acoustic_sim.dir/sc_mac.cpp.o"
+  "CMakeFiles/acoustic_sim.dir/sc_mac.cpp.o.d"
+  "CMakeFiles/acoustic_sim.dir/sc_network.cpp.o"
+  "CMakeFiles/acoustic_sim.dir/sc_network.cpp.o.d"
+  "CMakeFiles/acoustic_sim.dir/stream_bank.cpp.o"
+  "CMakeFiles/acoustic_sim.dir/stream_bank.cpp.o.d"
+  "libacoustic_sim.a"
+  "libacoustic_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acoustic_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/dataset.cpp" "src/train/CMakeFiles/acoustic_train.dir/dataset.cpp.o" "gcc" "src/train/CMakeFiles/acoustic_train.dir/dataset.cpp.o.d"
+  "/root/repo/src/train/loss.cpp" "src/train/CMakeFiles/acoustic_train.dir/loss.cpp.o" "gcc" "src/train/CMakeFiles/acoustic_train.dir/loss.cpp.o.d"
+  "/root/repo/src/train/models.cpp" "src/train/CMakeFiles/acoustic_train.dir/models.cpp.o" "gcc" "src/train/CMakeFiles/acoustic_train.dir/models.cpp.o.d"
+  "/root/repo/src/train/sgd.cpp" "src/train/CMakeFiles/acoustic_train.dir/sgd.cpp.o" "gcc" "src/train/CMakeFiles/acoustic_train.dir/sgd.cpp.o.d"
+  "/root/repo/src/train/stream_tune.cpp" "src/train/CMakeFiles/acoustic_train.dir/stream_tune.cpp.o" "gcc" "src/train/CMakeFiles/acoustic_train.dir/stream_tune.cpp.o.d"
+  "/root/repo/src/train/trainer.cpp" "src/train/CMakeFiles/acoustic_train.dir/trainer.cpp.o" "gcc" "src/train/CMakeFiles/acoustic_train.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/acoustic_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sc/CMakeFiles/acoustic_sc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/acoustic_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acoustic_train.dir/dataset.cpp.o"
+  "CMakeFiles/acoustic_train.dir/dataset.cpp.o.d"
+  "CMakeFiles/acoustic_train.dir/loss.cpp.o"
+  "CMakeFiles/acoustic_train.dir/loss.cpp.o.d"
+  "CMakeFiles/acoustic_train.dir/models.cpp.o"
+  "CMakeFiles/acoustic_train.dir/models.cpp.o.d"
+  "CMakeFiles/acoustic_train.dir/sgd.cpp.o"
+  "CMakeFiles/acoustic_train.dir/sgd.cpp.o.d"
+  "CMakeFiles/acoustic_train.dir/stream_tune.cpp.o"
+  "CMakeFiles/acoustic_train.dir/stream_tune.cpp.o.d"
+  "CMakeFiles/acoustic_train.dir/trainer.cpp.o"
+  "CMakeFiles/acoustic_train.dir/trainer.cpp.o.d"
+  "libacoustic_train.a"
+  "libacoustic_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acoustic_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_tests.dir/baselines/baselines_extra_test.cpp.o"
+  "CMakeFiles/baselines_tests.dir/baselines/baselines_extra_test.cpp.o.d"
+  "CMakeFiles/baselines_tests.dir/baselines/baselines_test.cpp.o"
+  "CMakeFiles/baselines_tests.dir/baselines/baselines_test.cpp.o.d"
+  "baselines_tests"
+  "baselines_tests.pdb"
+  "baselines_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_tests.dir/energy/breakdown_extra_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/breakdown_extra_test.cpp.o.d"
+  "CMakeFiles/energy_tests.dir/energy/component_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/component_test.cpp.o.d"
+  "CMakeFiles/energy_tests.dir/energy/energy_model_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/energy_model_test.cpp.o.d"
+  "CMakeFiles/energy_tests.dir/energy/sram_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/sram_test.cpp.o.d"
+  "energy_tests"
+  "energy_tests.pdb"
+  "energy_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_tests.dir/isa/assembler_test.cpp.o"
+  "CMakeFiles/isa_tests.dir/isa/assembler_test.cpp.o.d"
+  "CMakeFiles/isa_tests.dir/isa/encoding_test.cpp.o"
+  "CMakeFiles/isa_tests.dir/isa/encoding_test.cpp.o.d"
+  "CMakeFiles/isa_tests.dir/isa/instruction_test.cpp.o"
+  "CMakeFiles/isa_tests.dir/isa/instruction_test.cpp.o.d"
+  "CMakeFiles/isa_tests.dir/isa/program_test.cpp.o"
+  "CMakeFiles/isa_tests.dir/isa/program_test.cpp.o.d"
+  "isa_tests"
+  "isa_tests.pdb"
+  "isa_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_tests.dir/nn/activation_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/activation_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/conv_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/conv_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/dense_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/dense_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/extras_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/extras_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/model_zoo_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/model_zoo_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/network_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/network_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/pool_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/pool_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/quantize_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/quantize_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/residual_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/residual_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/serialize_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/serialize_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/tensor_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/tensor_test.cpp.o.d"
+  "nn_tests"
+  "nn_tests.pdb"
+  "nn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

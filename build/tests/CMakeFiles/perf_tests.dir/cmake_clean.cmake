@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_tests.dir/perf/arch_config_test.cpp.o"
+  "CMakeFiles/perf_tests.dir/perf/arch_config_test.cpp.o.d"
+  "CMakeFiles/perf_tests.dir/perf/batching_test.cpp.o"
+  "CMakeFiles/perf_tests.dir/perf/batching_test.cpp.o.d"
+  "CMakeFiles/perf_tests.dir/perf/codegen_test.cpp.o"
+  "CMakeFiles/perf_tests.dir/perf/codegen_test.cpp.o.d"
+  "CMakeFiles/perf_tests.dir/perf/dram_test.cpp.o"
+  "CMakeFiles/perf_tests.dir/perf/dram_test.cpp.o.d"
+  "CMakeFiles/perf_tests.dir/perf/mapping_test.cpp.o"
+  "CMakeFiles/perf_tests.dir/perf/mapping_test.cpp.o.d"
+  "CMakeFiles/perf_tests.dir/perf/perf_sim_test.cpp.o"
+  "CMakeFiles/perf_tests.dir/perf/perf_sim_test.cpp.o.d"
+  "CMakeFiles/perf_tests.dir/perf/timeline_test.cpp.o"
+  "CMakeFiles/perf_tests.dir/perf/timeline_test.cpp.o.d"
+  "perf_tests"
+  "perf_tests.pdb"
+  "perf_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

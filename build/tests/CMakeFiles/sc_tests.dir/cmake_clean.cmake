@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_tests.dir/sc/apc_deterministic_test.cpp.o"
+  "CMakeFiles/sc_tests.dir/sc/apc_deterministic_test.cpp.o.d"
+  "CMakeFiles/sc_tests.dir/sc/bitstream_test.cpp.o"
+  "CMakeFiles/sc_tests.dir/sc/bitstream_test.cpp.o.d"
+  "CMakeFiles/sc_tests.dir/sc/correlation_test.cpp.o"
+  "CMakeFiles/sc_tests.dir/sc/correlation_test.cpp.o.d"
+  "CMakeFiles/sc_tests.dir/sc/counter_test.cpp.o"
+  "CMakeFiles/sc_tests.dir/sc/counter_test.cpp.o.d"
+  "CMakeFiles/sc_tests.dir/sc/fsm_test.cpp.o"
+  "CMakeFiles/sc_tests.dir/sc/fsm_test.cpp.o.d"
+  "CMakeFiles/sc_tests.dir/sc/gates_test.cpp.o"
+  "CMakeFiles/sc_tests.dir/sc/gates_test.cpp.o.d"
+  "CMakeFiles/sc_tests.dir/sc/representation_test.cpp.o"
+  "CMakeFiles/sc_tests.dir/sc/representation_test.cpp.o.d"
+  "CMakeFiles/sc_tests.dir/sc/rng_test.cpp.o"
+  "CMakeFiles/sc_tests.dir/sc/rng_test.cpp.o.d"
+  "CMakeFiles/sc_tests.dir/sc/sng_test.cpp.o"
+  "CMakeFiles/sc_tests.dir/sc/sng_test.cpp.o.d"
+  "sc_tests"
+  "sc_tests.pdb"
+  "sc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/bipolar_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/bipolar_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/sc_mac_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/sc_mac_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/sc_network_extra_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/sc_network_extra_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/sc_network_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/sc_network_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/stream_bank_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/stream_bank_test.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

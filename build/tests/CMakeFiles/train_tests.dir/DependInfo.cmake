@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/train/dataset_test.cpp" "tests/CMakeFiles/train_tests.dir/train/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/train_tests.dir/train/dataset_test.cpp.o.d"
+  "/root/repo/tests/train/loss_test.cpp" "tests/CMakeFiles/train_tests.dir/train/loss_test.cpp.o" "gcc" "tests/CMakeFiles/train_tests.dir/train/loss_test.cpp.o.d"
+  "/root/repo/tests/train/sgd_test.cpp" "tests/CMakeFiles/train_tests.dir/train/sgd_test.cpp.o" "gcc" "tests/CMakeFiles/train_tests.dir/train/sgd_test.cpp.o.d"
+  "/root/repo/tests/train/stream_tune_test.cpp" "tests/CMakeFiles/train_tests.dir/train/stream_tune_test.cpp.o" "gcc" "tests/CMakeFiles/train_tests.dir/train/stream_tune_test.cpp.o.d"
+  "/root/repo/tests/train/trainer_test.cpp" "tests/CMakeFiles/train_tests.dir/train/trainer_test.cpp.o" "gcc" "tests/CMakeFiles/train_tests.dir/train/trainer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/acoustic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/acoustic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/acoustic_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/acoustic_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/acoustic_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/acoustic_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/acoustic_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/acoustic_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sc/CMakeFiles/acoustic_sc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

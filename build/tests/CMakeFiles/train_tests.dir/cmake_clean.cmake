@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_tests.dir/train/dataset_test.cpp.o"
+  "CMakeFiles/train_tests.dir/train/dataset_test.cpp.o.d"
+  "CMakeFiles/train_tests.dir/train/loss_test.cpp.o"
+  "CMakeFiles/train_tests.dir/train/loss_test.cpp.o.d"
+  "CMakeFiles/train_tests.dir/train/sgd_test.cpp.o"
+  "CMakeFiles/train_tests.dir/train/sgd_test.cpp.o.d"
+  "CMakeFiles/train_tests.dir/train/stream_tune_test.cpp.o"
+  "CMakeFiles/train_tests.dir/train/stream_tune_test.cpp.o.d"
+  "CMakeFiles/train_tests.dir/train/trainer_test.cpp.o"
+  "CMakeFiles/train_tests.dir/train/trainer_test.cpp.o.d"
+  "train_tests"
+  "train_tests.pdb"
+  "train_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sc_tests[1]_include.cmake")
+include("/root/repo/build/tests/nn_tests[1]_include.cmake")
+include("/root/repo/build/tests/train_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/isa_tests[1]_include.cmake")
+include("/root/repo/build/tests/perf_tests[1]_include.cmake")
+include("/root/repo/build/tests/energy_tests[1]_include.cmake")
+include("/root/repo/build/tests/baselines_tests[1]_include.cmake")
+include("/root/repo/build/tests/property_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+add_test(cli.list "/root/repo/build/tools/acoustic" "list")
+set_tests_properties(cli.list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;85;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli.compile "/root/repo/build/tools/acoustic" "compile" "lenet5")
+set_tests_properties(cli.compile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;86;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli.simulate "/root/repo/build/tools/acoustic" "simulate" "cifar10" "--trace")
+set_tests_properties(cli.simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;87;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli.simulate_ulp "/root/repo/build/tools/acoustic" "simulate" "lenet5-conv" "--arch" "ulp")
+set_tests_properties(cli.simulate_ulp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;88;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli.simulate_batch "/root/repo/build/tools/acoustic" "simulate" "alexnet" "--batch" "8" "--dram" "hbm")
+set_tests_properties(cli.simulate_batch PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;89;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli.breakdown "/root/repo/build/tools/acoustic" "breakdown" "--arch" "ulp")
+set_tests_properties(cli.breakdown PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;90;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli.layers "/root/repo/build/tools/acoustic" "simulate" "alexnet" "--layers")
+set_tests_properties(cli.layers PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;91;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli.bad_usage "/root/repo/build/tools/acoustic" "frobnicate")
+set_tests_properties(cli.bad_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;92;add_test;/root/repo/tests/CMakeLists.txt;0;")

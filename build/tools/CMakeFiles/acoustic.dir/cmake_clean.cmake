@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acoustic.dir/acoustic_cli.cpp.o"
+  "CMakeFiles/acoustic.dir/acoustic_cli.cpp.o.d"
+  "acoustic"
+  "acoustic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acoustic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
