@@ -23,8 +23,10 @@ namespace {
 perf::ArchConfig scaled_fabric(int rows, int arrays, int macs,
                                std::uint64_t stream) {
   perf::ArchConfig cfg = perf::lp();
-  cfg.name = "R" + std::to_string(rows) + "/A" + std::to_string(arrays) +
-             "/M" + std::to_string(macs) + "/s" + std::to_string(stream);
+  char name[64];
+  std::snprintf(name, sizeof(name), "R%d/A%d/M%d/s%llu", rows, arrays, macs,
+                static_cast<unsigned long long>(stream));
+  cfg.name = name;
   cfg.rows = rows;
   cfg.arrays = arrays;
   cfg.macs_per_array = macs;

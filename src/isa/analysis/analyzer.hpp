@@ -1,0 +1,98 @@
+// Static analyzer for assembled ACOUSTIC programs.
+//
+// The performance results of the reproduction rest on ISA programs being
+// well-formed: the cycle-accurate simulator times whatever it is given, so
+// a malformed program yields a wrong number, not an error. analyze() walks
+// a Program once and checks the structural invariants the distributed
+// control model of section III-C relies on, emitting structured
+// diagnostics (see diagnostics.hpp) instead of silently mistiming.
+//
+// Rule set (IDs are stable; severity in parentheses):
+//
+// Structure
+//   loop-balance (error)     END without an open FOR, END whose kind does
+//                            not match the innermost open FOR, or a FOR
+//                            still open at the end of the program.
+//   loop-trip-zero (error)   FOR with a zero trip count (the dispatcher
+//                            has no zero-iteration path).
+//   loop-trip-range (error)  FOR trip count exceeding the 24-bit field of
+//                            the binary encoding.
+//   loop-empty (warning)     FOR immediately closed by its END: the loop
+//                            dispatches nothing, so it is almost certainly
+//                            a codegen slip.
+//   operand-range (error)    bytes/cycles operand too large for the 64-bit
+//                            instruction word (isa::encode would throw).
+//   operand-inexact (warning) operand not exactly representable in the
+//                            mantissa/exponent operand format; encoding
+//                            would round the transfer size up.
+//
+// Barriers
+//   barr-noop (warning)      BARR with an empty unit mask waits on nothing.
+//   barr-unknown-unit (warning) BARR mask bits beyond the defined units.
+//
+// Dataflow (straight-line order; loop bodies are scanned in program order)
+//   mac-uninit (error)       MAC issued before any ACTRNG or before any
+//                            WGTRNG: the SNG buffers were never loaded, so
+//                            the fabric would stream garbage.
+//   actrng-uninit (warning)  ACTRNG before anything wrote the activation
+//                            scratchpad (ACTLD or CNTST). Only checked on
+//                            DRAM-backed configs — DRAM-less parts have
+//                            their scratchpad preloaded externally, and a
+//                            single-layer program may legitimately read
+//                            state left by a previous program.
+//   swap-unsync (error)      ACTRNG after a CNTST with no intervening BARR
+//                            whose mask includes the counter unit: the
+//                            scratchpad swap is unsynchronized, so the next
+//                            layer's SNG loads can race the counter
+//                            write-back.
+//   cnt-load-clobber (error) CNTLD while the counters hold unsaved MAC
+//                            results (a MAC since the last CNTST): the
+//                            preload would overwrite live accumulation.
+//   cnt-store-empty (warning) CNTST with neither a MAC nor a CNTLD since
+//                            the previous CNTST: it drains counters that
+//                            hold nothing.
+//   wgt-dead-store (warning) WGTLD with no WGTRNG anywhere after it: the
+//                            loaded weights are never moved into SNG
+//                            buffers, so the transfer is dead.
+//
+// Machine limits (checked only when MachineLimits provides a bound)
+//   dma-no-dram (error)      ACTLD/ACTST/WGTLD on a DRAM-less config (the
+//                            ULP part has no external interface).
+//   wgt-resident-overflow (error) a WGTLD that the program synchronizes on
+//                            before any MAC (resident-intent load) larger
+//                            than the weight memory. Streaming loads —
+//                            those overlapping MAC work, double-buffered —
+//                            are exempt; they never need the full
+//                            footprint resident.
+//   act-resident-overflow (error) same for ACTLD vs the activation
+//                            scratchpad.
+//   inst-mem-overflow (warning) encoded program larger than the
+//                            instruction memory.
+#pragma once
+
+#include "isa/analysis/diagnostics.hpp"
+#include "isa/program.hpp"
+
+namespace acoustic::isa::analysis {
+
+/// The architectural bounds the analyzer checks programs against. A zero
+/// byte bound disables that check (the ISA itself carries no addresses, so
+/// bounds only exist relative to a target configuration).
+/// perf::machine_limits() derives one from an ArchConfig.
+struct MachineLimits {
+  bool has_dram = true;
+  std::uint64_t wgt_mem_bytes = 0;   ///< 0 = unchecked
+  std::uint64_t act_mem_bytes = 0;   ///< 0 = unchecked
+  std::uint64_t inst_mem_bytes = 0;  ///< 0 = unchecked
+};
+
+struct AnalyzerOptions {
+  MachineLimits limits;
+};
+
+/// Runs every rule over @p program. Never throws on malformed programs —
+/// malformation is the result, not an exception.
+[[nodiscard]] Report analyze(const Program& program,
+                             const AnalyzerOptions& options = {});
+
+}  // namespace acoustic::isa::analysis

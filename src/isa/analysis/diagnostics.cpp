@@ -1,0 +1,67 @@
+#include "isa/analysis/diagnostics.hpp"
+
+#include <sstream>
+
+namespace acoustic::isa::analysis {
+
+std::string severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kWarning: return "warning";
+    case Severity::kError:   return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::to_string(const Program* program) const {
+  std::ostringstream out;
+  if (index == kWholeProgram) {
+    out << "<program>";
+  } else {
+    out << '#' << index;
+    if (program != nullptr && index < program->size()) {
+      out << ' ' << mnemonic((*program)[index].op);
+    }
+  }
+  out << ": " << severity_name(severity) << " [" << rule << "] " << message;
+  return out.str();
+}
+
+void Report::add(std::string rule, Severity severity, std::size_t index,
+                 std::string message) {
+  diags_.push_back(
+      Diagnostic{std::move(rule), severity, index, std::move(message)});
+}
+
+std::size_t Report::error_count() const noexcept {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == Severity::kError) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t Report::warning_count() const noexcept {
+  return diags_.size() - error_count();
+}
+
+bool Report::has_rule(std::string_view rule) const noexcept {
+  for (const Diagnostic& d : diags_) {
+    if (d.rule == rule) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Report::to_string(const Program* program) const {
+  std::ostringstream out;
+  for (const Diagnostic& d : diags_) {
+    out << d.to_string(program) << '\n';
+  }
+  out << error_count() << " error(s), " << warning_count() << " warning(s)\n";
+  return out.str();
+}
+
+}  // namespace acoustic::isa::analysis

@@ -188,4 +188,12 @@ Program parse(std::string_view text) {
   return program;
 }
 
+ParsedProgram parse_with_diagnostics(std::string_view text,
+                                     const analysis::AnalyzerOptions& options) {
+  ParsedProgram result;
+  result.program = parse(text);
+  result.lint = analysis::analyze(result.program, options);
+  return result;
+}
+
 }  // namespace acoustic::isa

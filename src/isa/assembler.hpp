@@ -13,6 +13,7 @@
 #include <string>
 #include <string_view>
 
+#include "isa/analysis/analyzer.hpp"
 #include "isa/program.hpp"
 
 namespace acoustic::isa {
@@ -23,5 +24,18 @@ namespace acoustic::isa {
 /// Parses assembly text. Throws std::invalid_argument with the offending
 /// line number on malformed input.
 [[nodiscard]] Program parse(std::string_view text);
+
+/// Parse result with the static analyzer's findings attached.
+struct ParsedProgram {
+  Program program;
+  analysis::Report lint;
+};
+
+/// Parses assembly text and lints it (warn-level: diagnostics are reported,
+/// never thrown — syntactically valid but structurally broken programs
+/// still parse). Throws std::invalid_argument only on syntax errors, like
+/// parse().
+[[nodiscard]] ParsedProgram parse_with_diagnostics(
+    std::string_view text, const analysis::AnalyzerOptions& options = {});
 
 }  // namespace acoustic::isa

@@ -1,5 +1,8 @@
 #include "perf/codegen.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace acoustic::perf {
 
 namespace {
@@ -43,7 +46,30 @@ void emit_compute(isa::Program& prog, const nn::LayerDesc& layer,
   prog.cnt_st(m.cnt_store_bytes, layer.label + " outputs");
 }
 
+/// Lint gate: every program codegen hands out must be structurally sound.
+/// Error-severity findings are codegen bugs and throw; warnings are
+/// tolerated (isolated per-layer programs legitimately read scratchpad
+/// state a previous program left behind).
+void lint_or_throw(const isa::Program& prog, const ArchConfig& arch,
+                   const char* what) {
+  const isa::analysis::Report report =
+      isa::analysis::analyze(prog, {machine_limits(arch)});
+  if (!report.ok()) {
+    throw std::logic_error(std::string("codegen: ") + what +
+                           " failed lint:\n" + report.to_string(&prog));
+  }
+}
+
 }  // namespace
+
+isa::analysis::MachineLimits machine_limits(const ArchConfig& arch) {
+  isa::analysis::MachineLimits limits;
+  limits.has_dram = arch.has_dram;
+  limits.wgt_mem_bytes = arch.wgt_mem_bytes;
+  limits.act_mem_bytes = arch.act_mem_bytes;
+  limits.inst_mem_bytes = arch.inst_mem_bytes;
+  return limits;
+}
 
 isa::Program generate_layer_program(const nn::LayerDesc& layer,
                                     const ArchConfig& arch,
@@ -55,8 +81,18 @@ isa::Program generate_layer_program(const nn::LayerDesc& layer,
     if (load_input) {
       prog.act_ld(layer.input_elems(), layer.label + " input");
     }
-    prog.wgt_ld(layer.weight_count(), layer.label + " weights");
-    prog.barrier(unit_bit(Unit::kDma), "inputs resident");
+    if (mapping.weights_resident) {
+      prog.wgt_ld(layer.weight_count(), layer.label + " weights");
+    }
+    if (load_input || mapping.weights_resident) {
+      prog.barrier(unit_bit(Unit::kDma), "inputs resident");
+    }
+    if (!mapping.weights_resident) {
+      // The weights exceed the weight memory: stream the transfer
+      // concurrently with this layer's own MAC passes (double-buffered),
+      // exactly as generate_program does for streaming layers.
+      prog.wgt_ld(layer.weight_count(), layer.label + " weights (stream)");
+    }
     if (preload_bytes > 0) {
       prog.wgt_ld(preload_bytes, "preload next layer");
     }
@@ -66,6 +102,7 @@ isa::Program generate_layer_program(const nn::LayerDesc& layer,
     prog.act_st(layer.output_elems(), layer.label + " output");
   }
   prog.barrier(kAllUnits, layer.label + " done");
+  lint_or_throw(prog, arch, "layer program");
   return prog;
 }
 
@@ -115,6 +152,7 @@ CodegenResult generate_program(const nn::NetworkDesc& net,
     }
     prog.barrier(kAllUnits, layer.label + " done");
   }
+  lint_or_throw(prog, arch, "network program");
   return result;
 }
 

@@ -11,6 +11,7 @@
 //    before the next layer's SNGs read them).
 #pragma once
 
+#include "isa/analysis/analyzer.hpp"
 #include "isa/program.hpp"
 #include "nn/model_zoo.hpp"
 #include "perf/arch_config.hpp"
@@ -23,13 +24,27 @@ struct CodegenResult {
   std::vector<LayerMapping> mappings;  ///< one per network layer
 };
 
+/// Analyzer bounds for programs targeting @p arch (memory sizes, DRAM
+/// presence) — the bridge between arch_config and isa/analysis.
+[[nodiscard]] isa::analysis::MachineLimits machine_limits(
+    const ArchConfig& arch);
+
 /// Generates the full-network program plus its per-layer mappings.
+///
+/// Every generated program is run through the ISA static analyzer against
+/// @p arch before being returned; an error-severity finding throws
+/// std::logic_error. Codegen bugs therefore surface as failures at
+/// generation time instead of silently wrong cycle counts.
 [[nodiscard]] CodegenResult generate_program(const nn::NetworkDesc& net,
                                              const ArchConfig& arch);
 
 /// Program for a single layer in isolation (used for per-layer timing and
 /// the Fig. 4 experiment). @p preload_bytes adds a WGTLD for a subsequent
-/// layer that should overlap this layer's compute.
+/// layer that should overlap this layer's compute. Lint-gated like
+/// generate_program. When the mapping marks the layer's weights
+/// non-resident, the WGTLD streams concurrently with the layer's own MAC
+/// passes (double-buffered) instead of being barriered up front, matching
+/// generate_program's streaming path.
 [[nodiscard]] isa::Program generate_layer_program(
     const nn::LayerDesc& layer, const ArchConfig& arch,
     const LayerMapping& mapping, std::uint64_t preload_bytes = 0,

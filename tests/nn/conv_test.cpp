@@ -232,7 +232,10 @@ TEST(Conv2D, ZeroGradientsClears) {
   g.fill(1.0f);
   (void)conv.backward(g);
   conv.zero_gradients();
-  for (float grad : conv.parameters()[0].gradients) {
+  // Keep the parameter views alive: the range-for would otherwise iterate a
+  // span member of a destroyed temporary vector.
+  const auto params = conv.parameters();
+  for (float grad : params[0].gradients) {
     EXPECT_EQ(grad, 0.0f);
   }
 }

@@ -5,7 +5,9 @@
 #include <cmath>
 
 #include "core/accelerator.hpp"
+#include "isa/analysis/analyzer.hpp"
 #include "isa/assembler.hpp"
+#include "isa/encoding.hpp"
 #include "nn/quantize.hpp"
 #include "perf/codegen.hpp"
 #include "sc/gates.hpp"
@@ -65,84 +67,132 @@ INSTANTIATE_TEST_SUITE_P(Seeds, StreamAlgebraTest,
                          ::testing::Values(1u, 2u, 3u, 42u, 1000u, 77777u));
 
 // ---------------------------------------------------------------------
-// Assembler fuzz: random well-formed programs must round-trip exactly.
+// Assembler/analyzer fuzz: random *well-formed* programs — well-formed in
+// the static analyzer's sense, not just loop-balanced — must round-trip
+// through text and binary encodings and lint clean throughout.
 // ---------------------------------------------------------------------
 
+/// Generates a random program that maintains every analyzer invariant:
+/// the SNG buffers and scratchpad are initialized before use, counter
+/// loads/stores are ordered, scratchpad swaps are barriered, weight loads
+/// are eventually consumed, loops are balanced and non-empty, and every
+/// operand is exactly encodable (< 2^24).
 isa::Program random_program(std::uint32_t seed) {
   sc::XorShift32 rng(seed);
   isa::Program p;
-  int open_loops = 0;
+  // Prologue: load and synchronize inputs, fill both SNG buffers.
+  p.act_ld(1 + rng.next() % 100000, "input");
+  p.wgt_ld(1 + rng.next() % 100000, "weights");
+  p.barrier(isa::unit_bit(isa::Unit::kDma), "resident");
+  p.act_rng(1 + rng.next() % 10000);
+  p.wgt_rng(1 + rng.next() % 10000);
+
+  std::vector<isa::LoopKind> open;   // kinds of open loops
+  std::vector<bool> body_nonempty;   // per open loop
+  bool counters_dirty = false;       // MAC since last CNTST
+  bool counters_fed = false;         // MAC/CNTLD since last CNTST
+  bool swap_unsynced = false;        // CNTST with no CNT barrier yet
+  int pending_wgt_loads = 0;         // WGTLDs with no later WGTRNG yet
+
+  const auto mark_body = [&] {
+    if (!body_nonempty.empty()) {
+      body_nonempty.back() = true;
+    }
+  };
+
   const int length = 5 + static_cast<int>(rng.next() % 40);
   for (int i = 0; i < length; ++i) {
-    switch (rng.next() % 10) {
+    switch (rng.next() % 12) {
       case 0:
-        p.act_ld(rng.next() % 100000, "n" + std::to_string(i));
+        p.act_ld(1 + rng.next() % 100000, "n" + std::to_string(i));
+        mark_body();
         break;
       case 1:
-        p.act_st(rng.next() % 100000);
+        p.act_st(1 + rng.next() % 100000);
+        mark_body();
         break;
       case 2:
-        p.wgt_ld(rng.next());
+        p.wgt_ld(1 + rng.next() % 100000);
+        ++pending_wgt_loads;
+        mark_body();
         break;
       case 3:
-        p.mac(rng.next() % 4096);
+        p.mac(1 + rng.next() % 4096);
+        counters_dirty = true;
+        counters_fed = true;
+        mark_body();
         break;
       case 4:
-        p.act_rng(rng.next() % 10000);
+        if (swap_unsynced) {
+          p.barrier(isa::unit_bit(isa::Unit::kCnt), "swap sync");
+          swap_unsynced = false;
+        }
+        p.act_rng(1 + rng.next() % 10000);
+        mark_body();
         break;
       case 5:
-        p.wgt_rng(rng.next() % 10000);
+        p.wgt_rng(1 + rng.next() % 10000);
+        pending_wgt_loads = 0;  // a WGTRNG retires every earlier WGTLD
+        mark_body();
         break;
       case 6:
-        p.cnt_st(rng.next() % 10000);
+        if (counters_fed) {
+          p.cnt_st(1 + rng.next() % 10000);
+          counters_dirty = false;
+          counters_fed = false;
+          swap_unsynced = true;
+        } else if (!counters_dirty) {
+          p.cnt_ld(1 + rng.next() % 10000, "preload");
+          counters_fed = true;
+        }
+        mark_body();
         break;
-      case 7:
-        p.barrier(static_cast<std::uint8_t>(rng.next() % 64),
-                  "b" + std::to_string(i));
+      case 7: {
+        std::uint8_t mask =
+            static_cast<std::uint8_t>(1 + rng.next() % 63);  // bits 0..5
+        p.barrier(mask, "b" + std::to_string(i));
+        if (mask & isa::unit_bit(isa::Unit::kCnt)) {
+          swap_unsynced = false;
+        }
+        mark_body();
         break;
+      }
       case 8:
         p.loop_begin(static_cast<isa::LoopKind>(rng.next() % 4),
                      1 + rng.next() % 16);
-        ++open_loops;
+        mark_body();
+        open.push_back(p[p.size() - 1].loop);
+        body_nonempty.push_back(false);
         break;
       case 9:
-        if (open_loops > 0) {
-          // Close the innermost loop (kind tracked via validate()).
-          p.push([&] {
-            isa::Instruction instr;
-            instr.op = isa::Opcode::kEnd;
-            // Find innermost open kind by scanning.
-            std::vector<isa::LoopKind> stack;
-            for (const auto& existing : p.instructions()) {
-              if (existing.op == isa::Opcode::kFor) {
-                stack.push_back(existing.loop);
-              } else if (existing.op == isa::Opcode::kEnd &&
-                         !stack.empty()) {
-                stack.pop_back();
-              }
-            }
-            instr.loop = stack.back();
-            return instr;
-          }());
-          --open_loops;
+        if (!open.empty()) {
+          if (!body_nonempty.back()) {
+            p.wgt_shift(1 + rng.next() % 8);  // avoid an empty body
+          }
+          p.loop_end(open.back());
+          open.pop_back();
+          body_nonempty.pop_back();
         } else {
-          p.wgt_shift(rng.next() % 8);
+          p.wgt_shift(1 + rng.next() % 8);
         }
+        break;
+      default:
+        p.wgt_shift(1 + rng.next() % 8);
+        mark_body();
         break;
     }
   }
-  // Close any loops left open.
-  while (open_loops > 0) {
-    std::vector<isa::LoopKind> stack;
-    for (const auto& existing : p.instructions()) {
-      if (existing.op == isa::Opcode::kFor) {
-        stack.push_back(existing.loop);
-      } else if (existing.op == isa::Opcode::kEnd && !stack.empty()) {
-        stack.pop_back();
-      }
+  // Coda: close open loops and consume pending weight loads.
+  while (!open.empty()) {
+    if (!body_nonempty.back()) {
+      p.wgt_shift(1);
     }
-    p.loop_end(stack.back());
-    --open_loops;
+    p.loop_end(open.back());
+    open.pop_back();
+    body_nonempty.pop_back();
+  }
+  if (pending_wgt_loads > 0) {
+    p.wgt_rng(1 + rng.next() % 10000, "retire weight loads");
   }
   return p;
 }
@@ -158,6 +208,102 @@ TEST_P(AssemblerFuzzTest, RandomProgramsRoundTrip) {
     EXPECT_EQ(reparsed[i], original[i]) << "instruction " << i;
     EXPECT_EQ(reparsed[i].note, original[i].note) << "note " << i;
   }
+}
+
+TEST_P(AssemblerFuzzTest, RandomProgramsLintClean) {
+  const isa::Program p = random_program(GetParam());
+  const isa::analysis::Report report = isa::analysis::analyze(p);
+  EXPECT_TRUE(report.clean()) << report.to_string(&p);
+}
+
+TEST_P(AssemblerFuzzTest, LintCleanProgramsSurviveEncodeDecode) {
+  // assemble -> analyze -> encode -> decode: a lint-clean program encodes
+  // without throwing (the analyzer subsumes the encoder's range checks),
+  // decodes to the same instructions, and the decoded form lints clean
+  // again.
+  const isa::Program original = random_program(GetParam());
+  ASSERT_TRUE(isa::analysis::analyze(original).clean());
+  std::vector<std::uint64_t> words;
+  ASSERT_NO_THROW(words = isa::encode(original));
+  const isa::Program decoded = isa::decode(words);
+  ASSERT_EQ(decoded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(decoded[i], original[i]) << "instruction " << i;
+  }
+  const isa::analysis::Report report = isa::analysis::analyze(decoded);
+  EXPECT_TRUE(report.clean()) << report.to_string(&decoded);
+}
+
+/// Rebuilds a Program from a mutated instruction vector.
+isa::Program rebuild(std::vector<isa::Instruction> instrs) {
+  isa::Program p;
+  for (auto& instr : instrs) {
+    p.push(std::move(instr));
+  }
+  return p;
+}
+
+TEST_P(AssemblerFuzzTest, BreakingMutationsAreFlagged) {
+  // Single-instruction mutations that violate an invariant must be caught
+  // by the analyzer (never silently accepted).
+  const isa::Program original = random_program(GetParam());
+  const auto& instrs = original.instructions();
+
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    if (instrs[i].op == isa::Opcode::kFor) {
+      // Zeroing a trip count.
+      auto mutated = instrs;
+      mutated[i].count = 0;
+      EXPECT_TRUE(isa::analysis::analyze(rebuild(mutated))
+                      .has_rule("loop-trip-zero"));
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    if (instrs[i].op == isa::Opcode::kEnd) {
+      // Deleting an END unbalances the loop.
+      auto mutated = instrs;
+      mutated.erase(mutated.begin() + static_cast<std::ptrdiff_t>(i));
+      EXPECT_TRUE(isa::analysis::analyze(rebuild(mutated))
+                      .has_rule("loop-balance"));
+      break;
+    }
+  }
+  {
+    // Prepending a MAC puts compute before the SNG loads.
+    auto mutated = instrs;
+    isa::Instruction mac;
+    mac.op = isa::Opcode::kMac;
+    mac.cycles = 16;
+    mutated.insert(mutated.begin(), mac);
+    EXPECT_TRUE(
+        isa::analysis::analyze(rebuild(mutated)).has_rule("mac-uninit"));
+  }
+  {
+    // Blowing up an operand beyond the encoding range.
+    auto mutated = instrs;
+    mutated[0].bytes = 1ull << 52;
+    EXPECT_TRUE(
+        isa::analysis::analyze(rebuild(mutated)).has_rule("operand-range"));
+  }
+}
+
+TEST_P(AssemblerFuzzTest, NeutralMutationsStayClean) {
+  // Mutations that preserve the invariants must not introduce findings:
+  // notes are not architectural, and resizing a transfer to another
+  // exactly-encodable size changes nothing structural.
+  const isa::Program original = random_program(GetParam());
+  sc::XorShift32 rng(GetParam() * 977 + 5);
+  auto mutated = original.instructions();
+  for (auto& instr : mutated) {
+    instr.note = "relabeled";
+    if (instr.op == isa::Opcode::kActLd || instr.op == isa::Opcode::kActSt) {
+      instr.bytes = 1 + rng.next() % 100000;
+    }
+  }
+  const isa::analysis::Report report =
+      isa::analysis::analyze(rebuild(mutated));
+  EXPECT_TRUE(report.clean()) << report.to_string();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AssemblerFuzzTest,

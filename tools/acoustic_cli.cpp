@@ -12,9 +12,18 @@
 //       bottleneck table.
 //   acoustic breakdown [--arch lp|ulp]
 //       Print the Fig. 5 area/power breakdowns.
+//   acoustic lint <program.acasm|network> [--arch lp|ulp] [--werror]
+//       Statically analyze an assembly file ('-' reads stdin) or the
+//       program generated for a model-zoo network: loop balance, barrier
+//       placement, scratchpad/weight-memory bounds, counter ordering,
+//       dead weight loads. Exits 1 on errors (with --werror, on any
+//       finding).
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -30,14 +39,16 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: acoustic <list|compile|simulate|breakdown> "
+               "usage: acoustic <list|compile|simulate|breakdown|lint> "
                "[network] [options]\n"
                "  networks: lenet5, cifar10, svhn, alexnet, vgg16, "
                "resnet18 (suffix '-conv' for conv layers only)\n"
                "  options: --arch lp|ulp  --batch N  --clock MHZ  "
                "--stream N\n"
                "           --dram ddr3-800|...|ddr3-2133|hbm  --trace  "
-               "--layers\n");
+               "--layers\n"
+               "  lint: acoustic lint <program.acasm|-|network> "
+               "[--arch lp|ulp] [--werror]\n");
   return 2;
 }
 
@@ -102,6 +113,56 @@ int cmd_list() {
   return 0;
 }
 
+/// `acoustic lint`: run the ISA static analyzer over an assembly file, a
+/// program read from stdin ('-'), or the program codegen emits for a
+/// model-zoo network, against the bounds of the selected architecture.
+int cmd_lint(const std::string& target, const perf::ArchConfig& arch,
+             bool werror) {
+  isa::Program program;
+  if (const std::optional<nn::NetworkDesc> net = find_network(target)) {
+    try {
+      program = core::Accelerator(arch).compile(*net);
+    } catch (const std::exception& e) {
+      // Codegen hard-errors on its own lint findings; surface them.
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  } else {
+    std::string text;
+    if (target == "-") {
+      std::ostringstream buffer;
+      buffer << std::cin.rdbuf();
+      text = buffer.str();
+    } else {
+      std::ifstream file(target);
+      if (!file) {
+        std::fprintf(stderr, "lint: cannot open '%s' (not a file or a "
+                     "known network)\n", target.c_str());
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << file.rdbuf();
+      text = buffer.str();
+    }
+    try {
+      program = isa::parse(text);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", target.c_str(), e.what());
+      return 1;
+    }
+  }
+  const isa::analysis::Report report =
+      isa::analysis::analyze(program, {perf::machine_limits(arch)});
+  for (const auto& diag : report.diagnostics()) {
+    std::fprintf(stderr, "%s: %s\n", target.c_str(),
+                 diag.to_string(&program).c_str());
+  }
+  std::printf("%s: %zu instruction(s), %zu error(s), %zu warning(s)\n",
+              target.c_str(), program.size(), report.error_count(),
+              report.warning_count());
+  return (!report.ok() || (werror && !report.clean())) ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -111,6 +172,36 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "list") {
     return cmd_list();
+  }
+
+  if (cmd == "lint") {
+    perf::ArchConfig arch = perf::lp();
+    std::string target;
+    bool werror = false;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--arch") {
+        if (i + 1 >= argc) {
+          return usage();
+        }
+        const std::string v = argv[++i];
+        if (v == "ulp") {
+          arch = perf::ulp();
+        } else if (v != "lp") {
+          return usage();
+        }
+      } else if (arg == "--werror") {
+        werror = true;
+      } else if (target.empty()) {
+        target = arg;
+      } else {
+        return usage();
+      }
+    }
+    if (target.empty()) {
+      return usage();
+    }
+    return cmd_lint(target, arch, werror);
   }
 
   // Parse common options.
