@@ -12,8 +12,8 @@
 #include <cstdio>
 
 #include "core/report.hpp"
-#include "sim/bipolar_network.hpp"
-#include "sim/evaluate.hpp"
+#include "sim/backend.hpp"
+#include "sim/batch_evaluator.hpp"
 #include "train/models.hpp"
 #include "train/trainer.hpp"
 
@@ -21,19 +21,26 @@ using namespace acoustic;
 
 namespace {
 
+// All bit-level runs go through the shared backend/evaluator layer: one
+// thread pool, per-thread backend clones, bit-identical for any thread
+// count.
+sim::BatchEvaluator& evaluator() {
+  static sim::BatchEvaluator instance(0);
+  return instance;
+}
+
+float sc_accuracy(nn::Network& net, const sim::ScConfig& cfg,
+                  const train::Dataset& data) {
+  const auto backend = sim::make_sc_backend(net, cfg);
+  return evaluator().evaluate(*backend, data).accuracy;
+}
+
 float bipolar_accuracy(nn::Network& net, const train::Dataset& data,
                        std::size_t stream_length) {
   sim::BipolarConfig cfg;
   cfg.stream_length = stream_length;
-  sim::BipolarNetwork exec(net, cfg);
-  std::size_t correct = 0;
-  for (const train::Sample& sample : data.samples) {
-    if (static_cast<int>(exec.forward(sample.image).argmax()) ==
-        sample.label) {
-      ++correct;
-    }
-  }
-  return static_cast<float>(correct) / static_cast<float>(data.size());
+  const auto backend = sim::make_bipolar_backend(net, cfg);
+  return evaluator().evaluate(*backend, data).accuracy;
 }
 
 }  // namespace
@@ -69,7 +76,7 @@ int main() {
     sc.stream_length = len;
     rep.add_row({std::to_string(len),
                  core::format_number(
-                     100.0 * sim::evaluate_sc(or_net, sc, te), 4),
+                     100.0 * sc_accuracy(or_net, sc, te), 4),
                  core::format_number(
                      100.0 * bipolar_accuracy(sum_net, te, len), 4)});
   }
@@ -91,7 +98,7 @@ int main() {
     sc.sng_width = w;
     width.add_row({std::to_string(w),
                    core::format_number(
-                       100.0 * sim::evaluate_sc(or_net, sc, te), 4)});
+                       100.0 * sc_accuracy(or_net, sc, te), 4)});
   }
   std::printf("B. SNG comparator width:\n%s\n", width.to_string().c_str());
   std::printf("Shape: ~8 bits suffices (the architecture's choice); "
@@ -106,7 +113,7 @@ int main() {
     sc.decorrelate_lanes = decorrelate;
     corr.add_row({decorrelate ? "scrambled + phase taps" : "naive sharing",
                   core::format_number(
-                      100.0 * sim::evaluate_sc(or_net, sc, te), 4)});
+                      100.0 * sc_accuracy(or_net, sc, te), 4)});
   }
   std::printf("C. shared-RNG lane decorrelation:\n%s\n",
               corr.to_string().c_str());

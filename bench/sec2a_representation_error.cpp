@@ -5,11 +5,16 @@
 // paper's closed forms sqrt(v(1-v)/n) and sqrt((1-v^2)/n_b), plus the
 // derived "length advantage": the bipolar length needed to match the
 // unipolar error at length n.
+//
+// The (v, n) grid is embarrassingly parallel; each cell runs its trials on
+// the shared runtime::ThreadPool with fixed per-trial seeds, so the output
+// is identical for any thread count.
 #include <cmath>
 #include <cstdio>
 #include <vector>
 
 #include "core/report.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sc/representation.hpp"
 
 using namespace acoustic;
@@ -33,6 +38,13 @@ double empirical_rms(double v, std::size_t length, bool bipolar,
   return std::sqrt(se / trials);
 }
 
+struct Cell {
+  double v = 0.0;
+  std::size_t n = 0;
+  double uni_rms = 0.0;
+  double bip_rms = 0.0;
+};
+
 }  // namespace
 
 int main() {
@@ -40,23 +52,32 @@ int main() {
               "===\n\n");
   constexpr int kTrials = 300;
 
+  std::vector<Cell> cells;
+  for (double v : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    for (std::size_t n : {64u, 128u, 256u, 512u}) {
+      cells.push_back({v, n, 0.0, 0.0});
+    }
+  }
+
+  runtime::ThreadPool pool(0);
+  pool.parallel_for(cells.size(), [&](std::size_t i, unsigned /*worker*/) {
+    cells[i].uni_rms = empirical_rms(cells[i].v, cells[i].n, false, kTrials);
+    cells[i].bip_rms = empirical_rms(cells[i].v, cells[i].n, true, kTrials);
+  });
+
   core::Table table({"v", "n", "unipolar RMS (MC)", "analytical",
                      "bipolar RMS (MC)", "analytical", "bipolar len for "
                      "equal err"});
-  for (double v : {0.1, 0.25, 0.5, 0.75, 0.9}) {
-    for (std::size_t n : {64u, 128u, 256u, 512u}) {
-      const double uni = empirical_rms(v, n, false, kTrials);
-      const double bip = empirical_rms(v, n, true, kTrials);
-      // n_b with bipolar error == unipolar error at n:
-      // (1-v^2)/n_b = v(1-v)/n  =>  n_b = n (1+v)/v.
-      const double equal_len = static_cast<double>(n) * (1.0 + v) / v;
-      table.add_row({core::format_number(v, 2), std::to_string(n),
-                     core::format_number(uni, 3),
-                     core::format_number(sc::unipolar_rms_error(v, n), 3),
-                     core::format_number(bip, 3),
-                     core::format_number(sc::bipolar_rms_error(v, n), 3),
-                     core::format_number(equal_len, 4)});
-    }
+  for (const Cell& c : cells) {
+    // n_b with bipolar error == unipolar error at n:
+    // (1-v^2)/n_b = v(1-v)/n  =>  n_b = n (1+v)/v.
+    const double equal_len = static_cast<double>(c.n) * (1.0 + c.v) / c.v;
+    table.add_row({core::format_number(c.v, 2), std::to_string(c.n),
+                   core::format_number(c.uni_rms, 3),
+                   core::format_number(sc::unipolar_rms_error(c.v, c.n), 3),
+                   core::format_number(c.bip_rms, 3),
+                   core::format_number(sc::bipolar_rms_error(c.v, c.n), 3),
+                   core::format_number(equal_len, 4)});
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf(

@@ -10,7 +10,8 @@
 #include "core/report.hpp"
 #include "energy/energy_model.hpp"
 #include "nn/pool.hpp"
-#include "sim/evaluate.hpp"
+#include "sim/backend.hpp"
+#include "sim/batch_evaluator.hpp"
 #include "train/models.hpp"
 #include "train/trainer.hpp"
 
@@ -97,24 +98,42 @@ int main() {
   sim::ScConfig mux = skip;
   mux.pooling = sim::PoolingMode::kMux;
 
-  const float acc_skip = sim::evaluate_sc(avg_net, skip, te);
-  const float acc_mux = sim::evaluate_sc(avg_net, mux, te);
+  // The batch evaluator surfaces the merged executor stats, so besides the
+  // accuracy equivalence we can *measure* claim 1 end to end: the skipping
+  // run performs ~window-area-fewer MAC product bits than the MUX run.
+  sim::BatchEvaluator evaluator(0);
+  const auto skip_backend = sim::make_sc_backend(avg_net, skip);
+  const auto mux_backend = sim::make_sc_backend(avg_net, mux);
+  const sim::EvalResult res_skip = evaluator.evaluate(*skip_backend, te);
+  const sim::EvalResult res_mux = evaluator.evaluate(*mux_backend, te);
   const float acc_avg_float = train::evaluate(avg_net, te);
   const float acc_max_float = train::evaluate(max_net, te);
 
-  core::Table acc({"configuration", "accuracy [%]"});
+  core::Table acc({"configuration", "accuracy [%]", "MAC product bits"});
   acc.add_row({"avg pooling, float reference",
-               core::format_number(100.0 * acc_avg_float, 4)});
+               core::format_number(100.0 * acc_avg_float, 4), "-"});
   acc.add_row({"max pooling, float reference",
-               core::format_number(100.0 * acc_max_float, 4)});
+               core::format_number(100.0 * acc_max_float, 4), "-"});
   acc.add_row({"SC, skipping pooling (256 streams)",
-               core::format_number(100.0 * acc_skip, 4)});
+               core::format_number(100.0 * res_skip.accuracy, 4),
+               core::format_number(
+                   static_cast<double>(res_skip.stats.product_bits), 4)});
   acc.add_row({"SC, MUX pooling (256 streams)",
-               core::format_number(100.0 * acc_mux, 4)});
+               core::format_number(100.0 * res_mux.accuracy, 4),
+               core::format_number(
+                   static_cast<double>(res_mux.stats.product_bits), 4)});
   std::printf("%s\n", acc.to_string().c_str());
+  std::printf("measured conv-compute reduction (MUX / skipping product "
+              "bits): %sx\n\n",
+              core::format_number(
+                  static_cast<double>(res_mux.stats.product_bits) /
+                      static_cast<double>(res_skip.stats.product_bits),
+                  3).c_str());
   std::printf("Paper shape: skipping == MUX pooling statistically "
               "(ACOUSTIC regenerates\nstreams per layer, removing the "
-              "correlation concern), and avg vs max\npooling differ by "
-              "< 0.3%% for small CNNs.\n");
+              "correlation concern), avg vs max\npooling differ by "
+              "< 0.3%% for small CNNs, and the measured product-bit\n"
+              "ratio shows the pooled conv layers doing ~window-area less "
+              "MAC work.\n");
   return 0;
 }

@@ -11,11 +11,24 @@
 // column evaluates the *sum-mode* network quantized to 8 bits; the
 // ACOUSTIC columns run the bit-level functional simulator at each stream
 // length (the paper's convention: "512" means 256x2 split-unipolar).
+//
+// All stochastic evaluations go through sim::BatchEvaluator, which shards
+// the test set across per-thread backend clones — results are bit-identical
+// for any thread count. Usage:
+//   table2_accuracy [--threads N] [--json PATH]
+// --json writes the per-cell EvalResults (accuracy, throughput, latency
+// percentiles, product-bit counts) as a JSON array, e.g. to
+// BENCH_table2.json.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "core/report.hpp"
-#include "sim/evaluate.hpp"
+#include "sim/backend.hpp"
+#include "sim/batch_evaluator.hpp"
 #include "train/models.hpp"
 #include "train/trainer.hpp"
 
@@ -31,16 +44,23 @@ struct Row {
   float fixed8 = 0.0f;
 };
 
-float sc_accuracy(nn::Network& net, const train::Dataset& test,
-                  std::size_t stream_length) {
-  sim::ScConfig cfg;
-  cfg.stream_length = stream_length;
-  return sim::evaluate_sc(net, cfg, test);
-}
-
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  unsigned threads = 0;  // hardware concurrency
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: table2_accuracy [--threads N] [--json PATH]\n");
+      return 2;
+    }
+  }
+
   std::printf("=== Table II: accuracy comparisons ===\n\n");
   std::printf("training (synthetic datasets; OR-approximate arithmetic, "
               "section II-D)...\n");
@@ -93,16 +113,35 @@ int main() {
     rows.push_back(std::move(r));
   }
 
+  // One evaluator (and thread pool) for every cell of the table.
+  sim::BatchEvaluator evaluator(threads);
+  std::printf("evaluating on %u thread%s...\n", evaluator.threads(),
+              evaluator.threads() == 1 ? "" : "s");
+
+  std::vector<std::string> json_cells;
   core::Table table({"Network", "Dataset", "Stream", "8-bit Fixed Pt [%]",
                      "ACOUSTIC [%]"});
   for (Row& r : rows) {
     bool first = true;
     for (std::size_t len : {32u, 64u, 128u, 256u, 512u}) {
-      const float acc = sc_accuracy(r.net, r.test, len);
+      sim::ScConfig sc;
+      sc.stream_length = len;
+      const auto backend = sim::make_sc_backend(r.net, sc);
+      const sim::EvalResult result = evaluator.evaluate(*backend, r.test);
       table.add_row({first ? r.network : "", first ? r.dataset : "",
                      std::to_string(len),
                      first ? core::format_number(100.0 * r.fixed8, 4) : "",
-                     core::format_number(100.0 * acc, 4)});
+                     core::format_number(100.0 * result.accuracy, 4)});
+      if (!json_path.empty()) {
+        std::string cell = "{\n  \"network\": \"" +
+                           core::json_escape(r.network) +
+                           "\",\n  \"stream_length\": " +
+                           std::to_string(len) + ",\n  \"result\": ";
+        cell += core::to_json(result);
+        cell.pop_back();  // to_json ends with '\n'; close the wrapper
+        cell += "\n}";
+        json_cells.push_back(std::move(cell));
+      }
       first = false;
     }
   }
@@ -113,5 +152,20 @@ int main() {
       "gap is within a couple of points, exactly as the paper reports for\n"
       "LeNet-5/MNIST (99.3 vs 99.2), SVHN (89.02 vs 90.29) and CIFAR-10\n"
       "(78.04 vs 79.9).\n");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+      return 1;
+    }
+    out << "[\n";
+    for (std::size_t i = 0; i < json_cells.size(); ++i) {
+      out << json_cells[i] << (i + 1 < json_cells.size() ? ",\n" : "\n");
+    }
+    out << "]\n";
+    std::printf("\nwrote %zu evaluation records to %s\n", json_cells.size(),
+                json_path.c_str());
+  }
   return 0;
 }

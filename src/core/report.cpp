@@ -1,6 +1,7 @@
 #include "core/report.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <stdexcept>
 
@@ -54,6 +55,103 @@ std::string format_number(double value, int digits) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
   return buf;
+}
+
+namespace {
+
+/// Shortest representation that round-trips a double (JSON has no NaN /
+/// Inf; those degrade to null).
+std::string json_number(double value) {
+  if (!std::isfinite(value)) {
+    return "null";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  double parsed = 0.0;
+  std::sscanf(buf, "%lf", &parsed);
+  for (int digits = 1; digits < 17; ++digits) {
+    char probe[64];
+    std::snprintf(probe, sizeof(probe), "%.*g", digits, value);
+    std::sscanf(probe, "%lf", &parsed);
+    if (parsed == value) {
+      return probe;
+    }
+  }
+  return buf;
+}
+
+std::string json_number(std::uint64_t value) {
+  return std::to_string(value);
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const sim::EvalResult& r) {
+  std::string out = "{\n";
+  out += "  \"backend\": \"" + json_escape(r.backend) + "\",\n";
+  out += "  \"threads\": " + std::to_string(r.threads) + ",\n";
+  out += "  \"samples\": " + std::to_string(r.samples) + ",\n";
+  out += "  \"correct\": " + std::to_string(r.correct) + ",\n";
+  // Recompute in double so the JSON value is the exact ratio rather than
+  // the float-rounded EvalResult field widened to double.
+  out += "  \"accuracy\": " +
+         json_number(r.samples > 0 ? static_cast<double>(r.correct) /
+                                         static_cast<double>(r.samples)
+                                   : 0.0) +
+         ",\n";
+  out += "  \"stats\": {\n";
+  out += "    \"samples\": " + json_number(r.stats.samples) + ",\n";
+  out += "    \"layers_run\": " + json_number(r.stats.layers_run) + ",\n";
+  out += "    \"product_bits\": " + json_number(r.stats.product_bits) +
+         ",\n";
+  out += "    \"skipped_operands\": " +
+         json_number(r.stats.skipped_operands) + "\n";
+  out += "  },\n";
+  out += "  \"wall_seconds\": " + json_number(r.wall_seconds) + ",\n";
+  out += "  \"throughput_sps\": " + json_number(r.throughput_sps) + ",\n";
+  out += "  \"latency_us\": {\n";
+  out += "    \"mean\": " + json_number(r.latency.mean_us) + ",\n";
+  out += "    \"p50\": " + json_number(r.latency.p50_us) + ",\n";
+  out += "    \"p90\": " + json_number(r.latency.p90_us) + ",\n";
+  out += "    \"p99\": " + json_number(r.latency.p99_us) + ",\n";
+  out += "    \"max\": " + json_number(r.latency.max_us) + "\n";
+  out += "  }\n";
+  out += "}\n";
+  return out;
 }
 
 }  // namespace acoustic::core

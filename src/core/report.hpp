@@ -1,8 +1,10 @@
-// Text-table formatting for the benchmark harnesses.
+// Text-table and JSON formatting for the benchmark harnesses and CLI.
 #pragma once
 
 #include <string>
 #include <vector>
+
+#include "sim/batch_evaluator.hpp"
 
 namespace acoustic::core {
 
@@ -22,5 +24,13 @@ class Table {
 
 /// Formats @p value with @p digits significant digits ("N/A" for NaN).
 [[nodiscard]] std::string format_number(double value, int digits = 4);
+
+/// Escapes @p text for inclusion inside a JSON string literal (quotes,
+/// backslashes and control characters).
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+/// Serializes one dataset-evaluation result as a pretty-printed JSON
+/// object (stable key order; numbers round-trip at full precision).
+[[nodiscard]] std::string to_json(const sim::EvalResult& result);
 
 }  // namespace acoustic::core

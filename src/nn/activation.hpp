@@ -23,6 +23,7 @@ class ReLU final : public Layer {
  public:
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Kind kind() const noexcept override { return Kind::kReLU; }
   [[nodiscard]] Shape output_shape(Shape input) const override {
     return input;
   }
@@ -37,6 +38,9 @@ class OrSaturation final : public Layer {
  public:
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Kind kind() const noexcept override {
+    return Kind::kOrSaturation;
+  }
   [[nodiscard]] Shape output_shape(Shape input) const override {
     return input;
   }

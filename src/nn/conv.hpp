@@ -37,6 +37,7 @@ class Conv2D final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<ParamView> parameters() override;
   void zero_gradients() override;
+  [[nodiscard]] Kind kind() const noexcept override { return Kind::kConv2D; }
   [[nodiscard]] Shape output_shape(Shape input) const override;
   [[nodiscard]] std::string name() const override;
 

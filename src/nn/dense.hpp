@@ -28,6 +28,7 @@ class Dense final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<ParamView> parameters() override;
   void zero_gradients() override;
+  [[nodiscard]] Kind kind() const noexcept override { return Kind::kDense; }
   [[nodiscard]] Shape output_shape(Shape input) const override;
   [[nodiscard]] std::string name() const override;
 

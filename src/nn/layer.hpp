@@ -36,6 +36,19 @@ struct ParamView {
 /// backward accumulates parameter gradients (zeroed by zero_gradients()).
 class Layer {
  public:
+  /// Concrete layer type, for executors that dispatch on layer structure
+  /// (stage planning in the SC simulators, network cloning) without RTTI.
+  enum class Kind {
+    kConv2D,
+    kDense,
+    kAvgPool2D,
+    kMaxPool2D,
+    kReLU,
+    kOrSaturation,
+    kSkipSave,
+    kSkipAdd,
+  };
+
   virtual ~Layer() = default;
 
   Layer() = default;
@@ -55,6 +68,9 @@ class Layer {
 
   /// Zeroes all parameter gradients.
   virtual void zero_gradients() {}
+
+  /// This layer's concrete type.
+  [[nodiscard]] virtual Kind kind() const noexcept = 0;
 
   /// Output shape for a given input shape (no allocation; pure).
   [[nodiscard]] virtual Shape output_shape(Shape input) const = 0;

@@ -1,5 +1,15 @@
 #include "nn/network.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "nn/activation.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/pool.hpp"
+#include "nn/residual.hpp"
+
 namespace acoustic::nn {
 
 Tensor Network::forward(const Tensor& input) {
@@ -51,6 +61,60 @@ std::size_t Network::parameter_count() {
     total += p.values.size();
   }
   return total;
+}
+
+Network Network::clone() {
+  Network copy;
+  // Skip pairs in the clone must share a *new* state object, mirroring the
+  // original pairing.
+  std::unordered_map<SkipState*, std::shared_ptr<SkipState>> skip_states;
+  const auto cloned_state = [&](const std::shared_ptr<SkipState>& state) {
+    auto& mapped = skip_states[state.get()];
+    if (mapped == nullptr) {
+      mapped = std::make_shared<SkipState>();
+    }
+    return mapped;
+  };
+  for (auto& layer : layers_) {
+    switch (layer->kind()) {
+      case Layer::Kind::kConv2D:
+        copy.add<Conv2D>(static_cast<const Conv2D&>(*layer).spec());
+        break;
+      case Layer::Kind::kDense:
+        copy.add<Dense>(static_cast<const Dense&>(*layer).spec());
+        break;
+      case Layer::Kind::kAvgPool2D:
+        copy.add<AvgPool2D>(static_cast<const AvgPool2D&>(*layer).window());
+        break;
+      case Layer::Kind::kMaxPool2D:
+        copy.add<MaxPool2D>(static_cast<const MaxPool2D&>(*layer).window());
+        break;
+      case Layer::Kind::kReLU:
+        copy.add<ReLU>();
+        break;
+      case Layer::Kind::kOrSaturation:
+        copy.add<OrSaturation>();
+        break;
+      case Layer::Kind::kSkipSave:
+        copy.add<SkipSave>(
+            cloned_state(static_cast<const SkipSave&>(*layer).state()));
+        break;
+      case Layer::Kind::kSkipAdd:
+        copy.add<SkipAdd>(
+            cloned_state(static_cast<const SkipAdd&>(*layer).state()));
+        break;
+    }
+  }
+  const std::vector<ParamView> src = parameters();
+  const std::vector<ParamView> dst = copy.parameters();
+  if (src.size() != dst.size()) {
+    throw std::logic_error("Network::clone: parameter view mismatch");
+  }
+  for (std::size_t p = 0; p < src.size(); ++p) {
+    std::copy(src[p].values.begin(), src[p].values.end(),
+              dst[p].values.begin());
+  }
+  return copy;
 }
 
 }  // namespace acoustic::nn

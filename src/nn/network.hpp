@@ -55,6 +55,14 @@ class Network {
   /// Total number of trainable scalars.
   [[nodiscard]] std::size_t parameter_count();
 
+  /// Deep copy: rebuilds every layer with identical configuration (via
+  /// Layer::kind() dispatch), copies all parameter values, and re-pairs
+  /// skip connections on fresh SkipState objects. The clone shares no
+  /// mutable state with this network, so it can run on another thread —
+  /// the foundation of the per-thread backend clones in
+  /// sim::BatchEvaluator.
+  [[nodiscard]] Network clone();
+
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
 };

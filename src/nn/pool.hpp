@@ -21,6 +21,9 @@ class AvgPool2D final : public Layer {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Kind kind() const noexcept override {
+    return Kind::kAvgPool2D;
+  }
   [[nodiscard]] Shape output_shape(Shape input) const override;
   [[nodiscard]] std::string name() const override;
 
@@ -38,8 +41,13 @@ class MaxPool2D final : public Layer {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Kind kind() const noexcept override {
+    return Kind::kMaxPool2D;
+  }
   [[nodiscard]] Shape output_shape(Shape input) const override;
   [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] int window() const noexcept { return window_; }
 
  private:
   int window_;

@@ -35,10 +35,17 @@ class SkipSave final : public Layer {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Kind kind() const noexcept override {
+    return Kind::kSkipSave;
+  }
   [[nodiscard]] Shape output_shape(Shape input) const override {
     return input;
   }
   [[nodiscard]] std::string name() const override { return "skip-save"; }
+
+  [[nodiscard]] const std::shared_ptr<SkipState>& state() const noexcept {
+    return state_;
+  }
 
  private:
   std::shared_ptr<SkipState> state_;
@@ -52,10 +59,17 @@ class SkipAdd final : public Layer {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Kind kind() const noexcept override {
+    return Kind::kSkipAdd;
+  }
   [[nodiscard]] Shape output_shape(Shape input) const override {
     return input;
   }
   [[nodiscard]] std::string name() const override { return "skip-add"; }
+
+  [[nodiscard]] const std::shared_ptr<SkipState>& state() const noexcept {
+    return state_;
+  }
 
  private:
   std::shared_ptr<SkipState> state_;

@@ -1,0 +1,94 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace acoustic::runtime {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n =
+      threads != 0 ? threads
+                   : std::max(1u, std::thread::hardware_concurrency());
+  threads_.reserve(n);
+  for (unsigned id = 0; id < n; ++id) {
+    threads_.emplace_back([this, id] { worker_loop(id); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::worker_loop(unsigned id) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) {
+      return;
+    }
+    seen = generation_;
+    const auto* fn = fn_;
+    const std::size_t count = count_;
+    lock.unlock();
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) {
+        break;
+      }
+      try {
+        (*fn)(i, id);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> error_lock(mutex_);
+          if (error_ == nullptr) {
+            error_ = std::current_exception();
+          }
+        }
+        // Abandon the remaining indices: later fetch_adds fall through.
+        next_.store(count, std::memory_order_relaxed);
+      }
+    }
+    lock.lock();
+    if (--active_ == 0) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count,
+    const std::function<void(std::size_t, unsigned)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  const std::lock_guard<std::mutex> job_lock(job_mutex_);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    active_ = size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return active_ == 0; });
+    error = error_;
+    fn_ = nullptr;
+  }
+  if (error != nullptr) {
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace acoustic::runtime

@@ -1,0 +1,66 @@
+// Reusable worker-thread pool for the parallel evaluation paths.
+//
+// One pool, many parallel_for calls: the workers are started once and kept
+// parked between jobs, so per-run overhead is a couple of condition-variable
+// signals rather than thread creation. Index scheduling is dynamic (an
+// atomic cursor), which load-balances uneven per-sample work; callers that
+// need deterministic *results* must therefore make the work item a pure
+// function of its index — the contract sim::BatchEvaluator builds on.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace acoustic::runtime {
+
+class ThreadPool {
+ public:
+  /// Starts @p threads workers (0 = std::thread::hardware_concurrency,
+  /// itself clamped to at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Runs fn(index, worker) for every index in [0, count) across the pool
+  /// and blocks until all indices have completed. worker is in [0, size())
+  /// and identifies which pool thread ran the index — callers use it to
+  /// select per-thread scratch (e.g. a backend clone). If fn throws, the
+  /// first exception is rethrown here after the remaining indices are
+  /// abandoned. One job runs at a time; concurrent callers serialize.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t, unsigned)>& fn);
+
+ private:
+  void worker_loop(unsigned id);
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< wakes workers for a new job
+  std::condition_variable done_cv_;   ///< wakes the caller when a job ends
+  std::mutex job_mutex_;              ///< serializes parallel_for callers
+
+  // State of the current job, guarded by mutex_ except for the cursor.
+  const std::function<void(std::size_t, unsigned)>* fn_ = nullptr;
+  std::size_t count_ = 0;
+  std::atomic<std::size_t> next_{0};  ///< dynamic index cursor
+  std::size_t active_ = 0;            ///< workers still inside the job
+  std::uint64_t generation_ = 0;      ///< bumped per job
+  std::exception_ptr error_;
+  bool stop_ = false;
+};
+
+}  // namespace acoustic::runtime

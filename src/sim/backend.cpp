@@ -1,0 +1,163 @@
+#include "sim/backend.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace acoustic::sim {
+
+namespace {
+
+std::uint64_t count_weighted_layers(nn::Network& net) {
+  std::uint64_t weighted = 0;
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    const nn::Layer::Kind kind = net.layer(i).kind();
+    if (kind == nn::Layer::Kind::kConv2D ||
+        kind == nn::Layer::Kind::kDense) {
+      ++weighted;
+    }
+  }
+  return weighted;
+}
+
+/// Float reference: the network's own (binary-arithmetic) forward pass.
+class FloatBackend final : public InferenceBackend {
+ public:
+  explicit FloatBackend(nn::Network& net)
+      : net_(std::make_unique<nn::Network>(net.clone())),
+        weighted_layers_(count_weighted_layers(*net_)) {}
+
+  [[nodiscard]] std::string name() const override { return "float"; }
+
+  [[nodiscard]] std::unique_ptr<InferenceBackend> clone() const override {
+    return std::make_unique<FloatBackend>(*net_);
+  }
+
+  [[nodiscard]] nn::Tensor forward(const nn::Tensor& input) override {
+    ++stats_.samples;
+    stats_.layers_run += weighted_layers_;
+    return net_->forward(input);
+  }
+
+  [[nodiscard]] RunStats stats() const override { return stats_; }
+  [[nodiscard]] RunStats take_stats() override {
+    return std::exchange(stats_, RunStats{});
+  }
+
+ private:
+  std::unique_ptr<nn::Network> net_;
+  std::uint64_t weighted_layers_;
+  RunStats stats_;
+};
+
+/// Bit-level split-unipolar execution via ScNetwork.
+class ScBackend final : public InferenceBackend {
+ public:
+  ScBackend(nn::Network& net, const ScConfig& cfg)
+      : net_(std::make_unique<nn::Network>(net.clone())),
+        exec_(*net_, cfg) {}
+
+  [[nodiscard]] std::string name() const override {
+    return exec_.config().pooling == PoolingMode::kSkipping ? "sc"
+                                                            : "sc-mux";
+  }
+
+  [[nodiscard]] std::unique_ptr<InferenceBackend> clone() const override {
+    return std::make_unique<ScBackend>(*net_, exec_.config());
+  }
+
+  [[nodiscard]] nn::Tensor forward(const nn::Tensor& input) override {
+    ++samples_;
+    return exec_.forward(input);
+  }
+
+  [[nodiscard]] RunStats stats() const override {
+    const ScNetwork::Stats& s = exec_.stats();
+    return RunStats{samples_, s.layers_run, s.product_bits,
+                    s.skipped_operands};
+  }
+
+  [[nodiscard]] RunStats take_stats() override {
+    const ScNetwork::Stats s = exec_.take_stats();
+    return RunStats{std::exchange(samples_, 0), s.layers_run,
+                    s.product_bits, s.skipped_operands};
+  }
+
+ private:
+  std::unique_ptr<nn::Network> net_;
+  ScNetwork exec_;
+  std::uint64_t samples_ = 0;
+};
+
+/// Conventional bipolar-MUX execution via BipolarNetwork.
+class BipolarBackend final : public InferenceBackend {
+ public:
+  BipolarBackend(nn::Network& net, const BipolarConfig& cfg)
+      : net_(std::make_unique<nn::Network>(net.clone())),
+        exec_(*net_, cfg),
+        weighted_layers_(count_weighted_layers(*net_)) {}
+
+  [[nodiscard]] std::string name() const override { return "bipolar"; }
+
+  [[nodiscard]] std::unique_ptr<InferenceBackend> clone() const override {
+    return std::make_unique<BipolarBackend>(*net_, exec_.config());
+  }
+
+  [[nodiscard]] nn::Tensor forward(const nn::Tensor& input) override {
+    ++stats_.samples;
+    stats_.layers_run += weighted_layers_;
+    return exec_.forward(input);
+  }
+
+  [[nodiscard]] RunStats stats() const override { return stats_; }
+  [[nodiscard]] RunStats take_stats() override {
+    return std::exchange(stats_, RunStats{});
+  }
+
+ private:
+  std::unique_ptr<nn::Network> net_;
+  BipolarNetwork exec_;
+  std::uint64_t weighted_layers_;
+  RunStats stats_;
+};
+
+}  // namespace
+
+std::unique_ptr<InferenceBackend> make_float_backend(nn::Network& net) {
+  return std::make_unique<FloatBackend>(net);
+}
+
+std::unique_ptr<InferenceBackend> make_sc_backend(nn::Network& net,
+                                                  const ScConfig& cfg) {
+  return std::make_unique<ScBackend>(net, cfg);
+}
+
+std::unique_ptr<InferenceBackend> make_bipolar_backend(
+    nn::Network& net, const BipolarConfig& cfg) {
+  return std::make_unique<BipolarBackend>(net, cfg);
+}
+
+std::unique_ptr<InferenceBackend> make_backend(
+    const std::string& name, nn::Network& net, const ScConfig& sc_cfg,
+    const BipolarConfig& bipolar_cfg) {
+  if (name == "float") {
+    return make_float_backend(net);
+  }
+  if (name == "sc") {
+    ScConfig cfg = sc_cfg;
+    cfg.pooling = PoolingMode::kSkipping;
+    return make_sc_backend(net, cfg);
+  }
+  if (name == "sc-mux") {
+    ScConfig cfg = sc_cfg;
+    cfg.pooling = PoolingMode::kMux;
+    return make_sc_backend(net, cfg);
+  }
+  if (name == "bipolar") {
+    return make_bipolar_backend(net, bipolar_cfg);
+  }
+  throw std::invalid_argument(
+      "make_backend: unknown backend '" + name +
+      "' (expected float, sc, sc-mux or bipolar)");
+}
+
+}  // namespace acoustic::sim

@@ -1,0 +1,99 @@
+// Unified inference-backend layer.
+//
+// Every functional execution path of the repo — the float reference
+// network, the bit-level split-unipolar simulator (ScNetwork, both pooling
+// modes) and the conventional bipolar-MUX baseline (BipolarNetwork) — is
+// reachable through one interface, so dataset evaluation, the CLI and the
+// paper benches are written once against InferenceBackend instead of
+// hand-rolling a loop per executor.
+//
+// Concurrency model: a backend snapshots the source network at
+// construction (nn::Network::clone), so it shares no mutable state with
+// the caller's network or with sibling backends. clone() produces an
+// independent twin with zeroed stats; sim::BatchEvaluator gives each
+// worker thread its own clone, which is what makes N-thread evaluation
+// bit-identical to 1-thread evaluation — forward() is a pure function of
+// (weights, config, input), and stats merge commutatively.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "nn/network.hpp"
+#include "sim/bipolar_network.hpp"
+#include "sim/sc_config.hpp"
+#include "sim/sc_network.hpp"
+
+namespace acoustic::sim {
+
+/// Statistics accumulated by a backend across forward() calls. All fields
+/// are additive, so merging per-thread stats is order-insensitive.
+struct RunStats {
+  /// forward() calls (samples executed).
+  std::uint64_t samples = 0;
+  /// Weighted layers executed.
+  std::uint64_t layers_run = 0;
+  /// AND-gate product bits evaluated (SC backend only).
+  std::uint64_t product_bits = 0;
+  /// Product candidates skipped by operand gating (SC backend only).
+  std::uint64_t skipped_operands = 0;
+
+  void merge(const RunStats& other) noexcept {
+    samples += other.samples;
+    layers_run += other.layers_run;
+    product_bits += other.product_bits;
+    skipped_operands += other.skipped_operands;
+  }
+
+  bool operator==(const RunStats&) const = default;
+};
+
+/// One functional execution path for a fixed trained network.
+class InferenceBackend {
+ public:
+  virtual ~InferenceBackend() = default;
+
+  InferenceBackend() = default;
+  InferenceBackend(const InferenceBackend&) = delete;
+  InferenceBackend& operator=(const InferenceBackend&) = delete;
+
+  /// Stable identifier ("float", "sc", "sc-mux", "bipolar").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Independent twin: same weights and configuration, fresh scratch,
+  /// zeroed stats. Safe to run concurrently with this backend.
+  [[nodiscard]] virtual std::unique_ptr<InferenceBackend> clone() const = 0;
+
+  /// Runs one sample. Not thread-safe per instance — use clone() for
+  /// concurrency.
+  [[nodiscard]] virtual nn::Tensor forward(const nn::Tensor& input) = 0;
+
+  /// Stats accumulated since construction / the last take_stats().
+  [[nodiscard]] virtual RunStats stats() const = 0;
+
+  /// Returns the accumulated stats and resets them.
+  [[nodiscard]] virtual RunStats take_stats() = 0;
+};
+
+/// Float (binary-arithmetic) reference execution of @p net.
+[[nodiscard]] std::unique_ptr<InferenceBackend> make_float_backend(
+    nn::Network& net);
+
+/// Bit-level split-unipolar execution (named "sc" for kSkipping pooling,
+/// "sc-mux" for kMux).
+[[nodiscard]] std::unique_ptr<InferenceBackend> make_sc_backend(
+    nn::Network& net, const ScConfig& cfg);
+
+/// Conventional bipolar-MUX baseline execution.
+[[nodiscard]] std::unique_ptr<InferenceBackend> make_bipolar_backend(
+    nn::Network& net, const BipolarConfig& cfg);
+
+/// Factory by name: "float", "sc", "sc-mux" or "bipolar" (the --backend
+/// vocabulary of `acoustic eval`). The irrelevant config is ignored.
+/// Throws std::invalid_argument for an unknown name.
+[[nodiscard]] std::unique_ptr<InferenceBackend> make_backend(
+    const std::string& name, nn::Network& net, const ScConfig& sc_cfg = {},
+    const BipolarConfig& bipolar_cfg = {});
+
+}  // namespace acoustic::sim

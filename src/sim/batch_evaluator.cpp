@@ -1,0 +1,96 @@
+#include "sim/batch_evaluator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace acoustic::sim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+BatchEvaluator::BatchEvaluator(unsigned threads) : pool_(threads) {}
+
+EvalResult BatchEvaluator::evaluate(InferenceBackend& prototype,
+                                    const train::Dataset& data) {
+  if (data.size() == 0) {
+    throw std::invalid_argument(
+        "BatchEvaluator: refusing to evaluate an empty dataset");
+  }
+  const std::size_t n = data.size();
+  const unsigned workers = pool_.size();
+
+  // One clone per worker; the prototype only serves as the template.
+  std::vector<std::unique_ptr<InferenceBackend>> clones;
+  clones.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    clones.push_back(prototype.clone());
+  }
+
+  // Per-sample slots: disjoint writes, no synchronization needed.
+  std::vector<std::uint8_t> correct(n, 0);
+  std::vector<double> latency_us(n, 0.0);
+
+  const Clock::time_point run_start = Clock::now();
+  pool_.parallel_for(n, [&](std::size_t i, unsigned worker) {
+    const train::Sample& sample = data.samples[i];
+    const Clock::time_point t0 = Clock::now();
+    const nn::Tensor logits = clones[worker]->forward(sample.image);
+    const Clock::time_point t1 = Clock::now();
+    correct[i] =
+        static_cast<int>(logits.argmax()) == sample.label ? 1 : 0;
+    latency_us[i] =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+  });
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - run_start).count();
+
+  EvalResult result;
+  result.backend = prototype.name();
+  result.threads = workers;
+  result.samples = n;
+  for (const std::uint8_t c : correct) {
+    result.correct += c;
+  }
+  result.accuracy =
+      static_cast<float>(result.correct) / static_cast<float>(n);
+  // Merge clone stats in worker order; all fields are additive, so the
+  // total is independent of which worker ran which sample.
+  for (auto& clone : clones) {
+    result.stats.merge(clone->take_stats());
+  }
+  result.wall_seconds = wall;
+  result.throughput_sps = wall > 0.0 ? static_cast<double>(n) / wall : 0.0;
+
+  std::vector<double> sorted = latency_us;
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0.0;
+  for (const double v : sorted) {
+    sum += v;
+  }
+  result.latency.mean_us = sum / static_cast<double>(n);
+  result.latency.p50_us = percentile(sorted, 0.50);
+  result.latency.p90_us = percentile(sorted, 0.90);
+  result.latency.p99_us = percentile(sorted, 0.99);
+  result.latency.max_us = sorted.back();
+  return result;
+}
+
+}  // namespace acoustic::sim

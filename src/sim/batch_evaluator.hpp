@@ -1,0 +1,65 @@
+// Parallel, deterministic dataset evaluation over an InferenceBackend.
+//
+// The evaluator shards a train::Dataset across per-thread clones of a
+// backend on a reusable thread pool. Determinism contract: accuracy,
+// per-sample correctness and the merged RunStats are bit-identical for any
+// thread count, because (a) every backend clone is an independent twin of
+// the same snapshot (fresh SNG scratch, no shared mutable state), (b) each
+// sample's forward pass is a pure function of (weights, config, sample) —
+// the SNG seeding in StreamBank is per-sample deterministic — and (c) all
+// merged quantities are order-insensitive sums. Only the wall-clock fields
+// (latency percentiles, throughput) vary run to run.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "runtime/thread_pool.hpp"
+#include "sim/backend.hpp"
+#include "train/dataset.hpp"
+
+namespace acoustic::sim {
+
+/// Per-sample forward-latency distribution, microseconds.
+struct LatencyStats {
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Structured result of one dataset evaluation (JSON-serializable via
+/// core::to_json).
+struct EvalResult {
+  std::string backend;        ///< InferenceBackend::name()
+  unsigned threads = 1;       ///< worker threads used
+  std::size_t samples = 0;
+  std::size_t correct = 0;    ///< top-1 hits
+  float accuracy = 0.0f;      ///< correct / samples
+  RunStats stats;             ///< merged across all clones
+  double wall_seconds = 0.0;  ///< whole-run wall clock
+  double throughput_sps = 0.0;  ///< samples / wall_seconds
+  LatencyStats latency;
+};
+
+class BatchEvaluator {
+ public:
+  /// @param threads worker count (0 = hardware concurrency). The pool is
+  ///                created once and reused by every evaluate() call.
+  explicit BatchEvaluator(unsigned threads = 0);
+
+  [[nodiscard]] unsigned threads() const noexcept { return pool_.size(); }
+
+  /// Evaluates top-1 accuracy of @p prototype on @p data. The prototype
+  /// itself never runs a sample — each worker gets its own clone() — so a
+  /// caller can keep reusing it. Throws std::invalid_argument on an empty
+  /// dataset.
+  [[nodiscard]] EvalResult evaluate(InferenceBackend& prototype,
+                                    const train::Dataset& data);
+
+ private:
+  runtime::ThreadPool pool_;
+};
+
+}  // namespace acoustic::sim

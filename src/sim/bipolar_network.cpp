@@ -23,25 +23,7 @@ BipolarNetwork::BipolarNetwork(nn::Network& net, BipolarConfig cfg)
   if (cfg_.stream_length == 0) {
     throw std::invalid_argument("BipolarNetwork: stream_length must be > 0");
   }
-  Stage* open = nullptr;
-  for (std::size_t i = 0; i < net.layer_count(); ++i) {
-    nn::Layer* layer = &net.layer(i);
-    if (auto* conv = dynamic_cast<nn::Conv2D*>(layer)) {
-      stages_.push_back(Stage{});
-      open = &stages_.back();
-      open->conv = conv;
-    } else if (auto* dense = dynamic_cast<nn::Dense*>(layer)) {
-      stages_.push_back(Stage{});
-      open = &stages_.back();
-      open->dense = dense;
-    } else {
-      if (open == nullptr) {
-        throw std::invalid_argument(
-            "BipolarNetwork: network must start with a weighted layer");
-      }
-      open->post_ops.push_back(layer);
-    }
-  }
+  stages_ = plan_stages(net, /*fuse_avg_pool=*/false, "BipolarNetwork");
 }
 
 nn::Tensor BipolarNetwork::forward(const nn::Tensor& input) {

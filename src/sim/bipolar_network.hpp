@@ -21,6 +21,7 @@
 #include "nn/dense.hpp"
 #include "nn/network.hpp"
 #include "sim/sc_config.hpp"
+#include "sim/stage_plan.hpp"
 
 namespace acoustic::sim {
 
@@ -46,12 +47,6 @@ class BipolarNetwork {
   [[nodiscard]] const BipolarConfig& config() const noexcept { return cfg_; }
 
  private:
-  struct Stage {
-    nn::Conv2D* conv = nullptr;
-    nn::Dense* dense = nullptr;
-    std::vector<nn::Layer*> post_ops;
-  };
-
   [[nodiscard]] nn::Tensor run_conv(const Stage& stage,
                                     const nn::Tensor& input);
   [[nodiscard]] nn::Tensor run_dense(const Stage& stage,

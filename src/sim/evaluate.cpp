@@ -1,21 +1,14 @@
 #include "sim/evaluate.hpp"
 
+#include "sim/backend.hpp"
+#include "sim/batch_evaluator.hpp"
+
 namespace acoustic::sim {
 
 float evaluate_sc(nn::Network& net, const ScConfig& cfg,
                   const train::Dataset& data) {
-  if (data.size() == 0) {
-    return 0.0f;
-  }
-  ScNetwork executor(net, cfg);
-  std::size_t correct = 0;
-  for (const train::Sample& sample : data.samples) {
-    const nn::Tensor logits = executor.forward(sample.image);
-    if (static_cast<int>(logits.argmax()) == sample.label) {
-      ++correct;
-    }
-  }
-  return static_cast<float>(correct) / static_cast<float>(data.size());
+  BatchEvaluator evaluator(1);
+  return evaluator.evaluate(*make_sc_backend(net, cfg), data).accuracy;
 }
 
 }  // namespace acoustic::sim

@@ -1,4 +1,9 @@
 // Dataset-level evaluation with the functional SC simulator.
+//
+// Thin convenience wrapper over the backend/evaluator layer (see
+// sim/backend.hpp and sim/batch_evaluator.hpp); callers that want
+// multi-threaded runs, latency percentiles or the merged product-bit
+// stats should use sim::BatchEvaluator directly.
 #pragma once
 
 #include "sim/sc_network.hpp"
@@ -8,6 +13,7 @@ namespace acoustic::sim {
 
 /// Top-1 accuracy of @p net executed bit-level with @p cfg on @p data.
 /// This is the number the paper's Table II reports in the ACOUSTIC column.
+/// Throws std::invalid_argument on an empty dataset.
 [[nodiscard]] float evaluate_sc(nn::Network& net, const ScConfig& cfg,
                                 const train::Dataset& data);
 

@@ -32,49 +32,29 @@ ScNetwork::ScNetwork(nn::Network& net, ScConfig cfg)
   if (cfg_.phase_length() == 0) {
     throw std::invalid_argument("ScNetwork: stream_length must be >= 2");
   }
-  Stage* open = nullptr;
-  for (std::size_t i = 0; i < net.layer_count(); ++i) {
-    nn::Layer* layer = &net.layer(i);
-    if (auto* conv = dynamic_cast<nn::Conv2D*>(layer)) {
-      stages_.push_back(Stage{});
-      open = &stages_.back();
-      open->conv = conv;
-    } else if (auto* dense = dynamic_cast<nn::Dense*>(layer)) {
-      stages_.push_back(Stage{});
-      open = &stages_.back();
-      open->dense = dense;
-    } else {
-      if (open == nullptr) {
-        throw std::invalid_argument(
-            "ScNetwork: network must start with a weighted layer");
-      }
-      auto* pool = dynamic_cast<nn::AvgPool2D*>(layer);
-      const bool fusable = pool != nullptr && open->conv != nullptr &&
-                           open->fused_pool == nullptr &&
-                           open->post_ops.empty() &&
-                           cfg_.pooling == PoolingMode::kSkipping;
-      if (fusable) {
-        open->fused_pool = pool;
-      } else {
-        open->post_ops.push_back(layer);
-      }
-    }
-  }
+  stages_ = plan_stages(net, cfg_.pooling == PoolingMode::kSkipping,
+                        "ScNetwork");
 }
 
 nn::Tensor ScNetwork::forward(const nn::Tensor& input) {
+  // Per-run accounting: the hot loops below write into `run` (and locals),
+  // never into stats_, so evaluator clones share nothing mutable.
+  Stats run;
   nn::Tensor x = input;
   for (const Stage& stage : stages_) {
-    x = stage.conv != nullptr ? run_conv(stage, x) : run_dense(stage, x);
+    x = stage.conv != nullptr ? run_conv(stage, x, run)
+                              : run_dense(stage, x, run);
     for (nn::Layer* post : stage.post_ops) {
       x = post->forward(x);
     }
-    ++stats_.layers_run;
+    ++run.layers_run;
   }
+  stats_.merge(run);
   return x;
 }
 
-nn::Tensor ScNetwork::run_conv(const Stage& stage, const nn::Tensor& input) {
+nn::Tensor ScNetwork::run_conv(const Stage& stage, const nn::Tensor& input,
+                               Stats& run) {
   const nn::Conv2D& conv = *stage.conv;
   const auto& spec = conv.spec();
   const nn::Shape in = input.shape();
@@ -116,6 +96,8 @@ nn::Tensor ScNetwork::run_conv(const Stage& stage, const nn::Tensor& input) {
   const nn::Shape out_shape{conv_out.h / pool, conv_out.w / pool,
                             conv_out.c};
   nn::Tensor out(out_shape);
+  std::uint64_t product_bits = 0;
+  std::uint64_t skipped = 0;
 
   // Receptive-field scratch: activation segment streams for one (output
   // position, window slot, phase), plus reusable weight/OR buffers.
@@ -182,14 +164,15 @@ nn::Tensor ScNetwork::run_conv(const Stage& stage, const nn::Tensor& input) {
             }
             bool any = false;
             for (std::size_t s = 0; s < rf_size; ++s) {
-              if (!rf_live[s]) {
-                continue;
-              }
               const std::size_t wi =
                   static_cast<std::size_t>(oc) * rf_max + rf_weight_lane[s];
               const float wv = weights[wi];
               const bool active_here = positive ? (wv > 0.0f) : (wv < 0.0f);
-              if (!active_here || wgt_levels[wi] == 0) {
+              if (!active_here) {
+                continue;  // scheduled in the other sign phase
+              }
+              if (!rf_live[s] || wgt_levels[wi] == 0) {
+                ++skipped;  // operand-gated: zero/padding input, zero weight
                 continue;
               }
               wgt_bank.fill(wgt_levels[wi],
@@ -199,7 +182,7 @@ nn::Tensor ScNetwork::run_conv(const Stage& stage, const nn::Tensor& input) {
                 or_acc[w] |= act_streams[s][w] & wgt_stream[w];
               }
               any = true;
-              stats_.product_bits += seg;
+              product_bits += seg;
             }
             if (any) {
               const std::int64_t ones = popcount_words(or_acc, seg_words);
@@ -216,10 +199,13 @@ nn::Tensor ScNetwork::run_conv(const Stage& stage, const nn::Tensor& input) {
       }
     }
   }
+  run.product_bits += product_bits;
+  run.skipped_operands += skipped;
   return out;
 }
 
-nn::Tensor ScNetwork::run_dense(const Stage& stage, const nn::Tensor& input) {
+nn::Tensor ScNetwork::run_dense(const Stage& stage, const nn::Tensor& input,
+                                Stats& run) {
   const nn::Dense& dense = *stage.dense;
   const auto& spec = dense.spec();
   if (static_cast<int>(input.size()) != spec.in_features) {
@@ -253,6 +239,8 @@ nn::Tensor ScNetwork::run_dense(const Stage& stage, const nn::Tensor& input) {
   nn::Tensor out = nn::Tensor::vector(spec.out_features);
   Words wgt_stream(words);
   Words or_acc(words);
+  std::uint64_t product_bits = 0;
+  std::uint64_t skipped = 0;
   for (int o = 0; o < spec.out_features; ++o) {
     std::int64_t counter = 0;
     for (int ph = 0; ph < 2; ++ph) {
@@ -263,17 +251,16 @@ nn::Tensor ScNetwork::run_dense(const Stage& stage, const nn::Tensor& input) {
       }
       bool any = false;
       for (std::size_t i = 0; i < n_in; ++i) {
-        if (act_levels[i] == 0) {
-          continue;
-        }
         const std::size_t wi = dense.weight_index(o, static_cast<int>(i));
         const float wv = weights[wi];
         const bool active_here = positive ? (wv > 0.0f) : (wv < 0.0f);
         if (!active_here) {
-          continue;
+          continue;  // scheduled in the other sign phase
         }
-        const std::uint32_t level = wgt_bank.quantize(std::fabs(wv));
-        if (level == 0) {
+        const std::uint32_t level =
+            act_levels[i] != 0 ? wgt_bank.quantize(std::fabs(wv)) : 0;
+        if (act_levels[i] == 0 || level == 0) {
+          ++skipped;  // operand-gated: zero input or zero weight
           continue;
         }
         wgt_bank.fill(level, static_cast<std::uint32_t>(wi), offset, phase,
@@ -283,7 +270,7 @@ nn::Tensor ScNetwork::run_dense(const Stage& stage, const nn::Tensor& input) {
           or_acc[w] |= act[w] & wgt_stream[w];
         }
         any = true;
-        stats_.product_bits += phase;
+        product_bits += phase;
       }
       if (any) {
         const std::int64_t ones = popcount_words(or_acc, words);
@@ -294,6 +281,8 @@ nn::Tensor ScNetwork::run_dense(const Stage& stage, const nn::Tensor& input) {
         static_cast<float>(static_cast<double>(counter) /
                            static_cast<double>(phase));
   }
+  run.product_bits += product_bits;
+  run.skipped_operands += skipped;
   return out;
 }
 

@@ -27,6 +27,7 @@
 #include "nn/network.hpp"
 #include "nn/pool.hpp"
 #include "sim/sc_config.hpp"
+#include "sim/stage_plan.hpp"
 
 namespace acoustic::sim {
 
@@ -46,26 +47,39 @@ class ScNetwork {
     std::uint64_t product_bits = 0;
     /// Weighted layers executed.
     std::uint64_t layers_run = 0;
+    /// Product candidates skipped by operand gating: a zero (or padding)
+    /// activation or a zero-quantized weight in the phase the product was
+    /// scheduled for (paper II-C's "skip computation on zero operands").
+    std::uint64_t skipped_operands = 0;
+
+    void merge(const Stats& other) noexcept {
+      product_bits += other.product_bits;
+      layers_run += other.layers_run;
+      skipped_operands += other.skipped_operands;
+    }
   };
 
-  /// Cumulative statistics since construction (or reset_stats()).
+  /// Cumulative statistics since construction (or reset_stats() /
+  /// take_stats()). forward() accumulates into per-run locals and folds
+  /// them in once per call, so stats_ is never touched on the hot path.
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = Stats{}; }
+
+  /// Returns the accumulated statistics and resets them — the per-run
+  /// read-out the batch evaluator uses to merge clone stats race-free.
+  [[nodiscard]] Stats take_stats() noexcept {
+    const Stats out = stats_;
+    stats_ = Stats{};
+    return out;
+  }
 
   [[nodiscard]] const ScConfig& config() const noexcept { return cfg_; }
 
  private:
-  struct Stage {
-    nn::Conv2D* conv = nullptr;
-    nn::Dense* dense = nullptr;
-    nn::AvgPool2D* fused_pool = nullptr;  ///< skipping-fused average pool
-    std::vector<nn::Layer*> post_ops;     ///< run in the binary domain
-  };
-
   [[nodiscard]] nn::Tensor run_conv(const Stage& stage,
-                                    const nn::Tensor& input);
+                                    const nn::Tensor& input, Stats& run);
   [[nodiscard]] nn::Tensor run_dense(const Stage& stage,
-                                     const nn::Tensor& input);
+                                     const nn::Tensor& input, Stats& run);
 
   nn::Network* net_;
   ScConfig cfg_;

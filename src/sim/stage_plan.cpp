@@ -1,0 +1,45 @@
+#include "sim/stage_plan.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace acoustic::sim {
+
+std::vector<Stage> plan_stages(nn::Network& net, bool fuse_avg_pool,
+                               const char* who) {
+  std::vector<Stage> stages;
+  Stage* open = nullptr;
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    nn::Layer* layer = &net.layer(i);
+    switch (layer->kind()) {
+      case nn::Layer::Kind::kConv2D:
+        stages.push_back(Stage{});
+        open = &stages.back();
+        open->conv = static_cast<nn::Conv2D*>(layer);
+        continue;
+      case nn::Layer::Kind::kDense:
+        stages.push_back(Stage{});
+        open = &stages.back();
+        open->dense = static_cast<nn::Dense*>(layer);
+        continue;
+      default:
+        break;
+    }
+    if (open == nullptr) {
+      throw std::invalid_argument(
+          std::string(who) + ": network must start with a weighted layer");
+    }
+    const bool fusable = fuse_avg_pool &&
+                         layer->kind() == nn::Layer::Kind::kAvgPool2D &&
+                         open->conv != nullptr &&
+                         open->fused_pool == nullptr && open->post_ops.empty();
+    if (fusable) {
+      open->fused_pool = static_cast<nn::AvgPool2D*>(layer);
+    } else {
+      open->post_ops.push_back(layer);
+    }
+  }
+  return stages;
+}
+
+}  // namespace acoustic::sim

@@ -1,0 +1,37 @@
+// Shared stage planning for the bit-level executors.
+//
+// Both ScNetwork and BipolarNetwork execute a network as a sequence of
+// stages: one weighted layer (conv or dense) followed by the post-ops that
+// run in the binary domain (ReLU, pooling, skip save/add, ...). ScNetwork
+// additionally fuses an AvgPool2D that directly follows a conv when
+// computation-skipping pooling is enabled (paper II-C). The planner
+// dispatches on nn::Layer::Kind, so adding a layer type means extending one
+// switch instead of a dynamic_cast chain per executor.
+#pragma once
+
+#include <vector>
+
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/network.hpp"
+#include "nn/pool.hpp"
+
+namespace acoustic::sim {
+
+/// One executor stage: exactly one of conv/dense is set.
+struct Stage {
+  nn::Conv2D* conv = nullptr;
+  nn::Dense* dense = nullptr;
+  nn::AvgPool2D* fused_pool = nullptr;  ///< skipping-fused average pool
+  std::vector<nn::Layer*> post_ops;     ///< run in the binary domain
+};
+
+/// Splits @p net into stages. With @p fuse_avg_pool an AvgPool2D directly
+/// following a conv is recorded as the stage's fused pool instead of a
+/// post-op. Throws std::invalid_argument (prefixed with @p who) if the
+/// network does not start with a weighted layer.
+[[nodiscard]] std::vector<Stage> plan_stages(nn::Network& net,
+                                             bool fuse_avg_pool,
+                                             const char* who);
+
+}  // namespace acoustic::sim

@@ -1,0 +1,120 @@
+#include "runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace acoustic::runtime {
+namespace {
+
+TEST(ThreadPool, DefaultHasAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ExplicitWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&](std::size_t i, unsigned /*worker*/) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, WorkerIdsAreInRange) {
+  ThreadPool pool(4);
+  std::atomic<bool> out_of_range{false};
+  pool.parallel_for(500, [&](std::size_t /*i*/, unsigned worker) {
+    if (worker >= pool.size()) {
+      out_of_range.store(true);
+    }
+  });
+  EXPECT_FALSE(out_of_range.load());
+}
+
+TEST(ThreadPool, WorkerIdSelectsDisjointScratch) {
+  // The worker id must be safe to use as an index into per-thread scratch:
+  // summing into per-worker slots and reducing must equal the serial sum.
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 2000;
+  std::vector<std::uint64_t> partial(pool.size(), 0);
+  pool.parallel_for(kCount, [&](std::size_t i, unsigned worker) {
+    partial[worker] += i;
+  });
+  const std::uint64_t total =
+      std::accumulate(partial.begin(), partial.end(), std::uint64_t{0});
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kCount) * (kCount - 1) / 2);
+}
+
+TEST(ThreadPool, ZeroCountIsANoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t, unsigned) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(3);
+  for (int job = 0; job < 50; ++job) {
+    std::atomic<std::size_t> done{0};
+    pool.parallel_for(17, [&](std::size_t, unsigned) {
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(done.load(), 17u) << "job " << job;
+  }
+}
+
+TEST(ThreadPool, SingleWorkerRunsEverything) {
+  ThreadPool pool(1);
+  std::vector<int> hits(64, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t i, unsigned worker) {
+    EXPECT_EQ(worker, 0u);
+    ++hits[i];
+  });
+  for (const int h : hits) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i, unsigned) {
+                          if (i == 13) {
+                            throw std::runtime_error("boom");
+                          }
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(10, [](std::size_t, unsigned) {
+      throw std::runtime_error("boom");
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<std::size_t> done{0};
+  pool.parallel_for(25, [&](std::size_t, unsigned) {
+    done.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(done.load(), 25u);
+}
+
+}  // namespace
+}  // namespace acoustic::runtime

@@ -187,5 +187,123 @@ TEST(BitStream, EqualityComparesContent) {
   EXPECT_NE(a, b);
 }
 
+// --- tail-invariant property tests -----------------------------------
+//
+// Every mutating operation must keep the bits of the last word above
+// size() zero (the clear_tail contract); count_ones() and the word-at-a-
+// time operators silently miscount otherwise. Exercised at and around
+// word boundaries where the masking logic can be off by one.
+
+// Sizes straddling the 64-bit word boundaries.
+constexpr std::size_t kBoundarySizes[] = {1, 63, 64, 65, 127, 128, 129};
+
+bool tail_is_zero(const BitStream& s) {
+  const std::size_t rem = s.size() % 64;
+  if (s.words().empty() || rem == 0) {
+    return true;
+  }
+  return (s.words().back() >> rem) == 0;
+}
+
+BitStream alternating(std::size_t size) {
+  BitStream s(size);
+  for (std::size_t i = 0; i < size; i += 2) {
+    s.set_bit(i, true);
+  }
+  return s;
+}
+
+TEST(BitStreamTail, FillConstructorKeepsTailZero) {
+  for (const std::size_t size : kBoundarySizes) {
+    const BitStream s(size, true);
+    EXPECT_TRUE(tail_is_zero(s)) << "size " << size;
+    EXPECT_EQ(s.count_ones(), size);
+  }
+}
+
+TEST(BitStreamTail, InvertKeepsTailZero) {
+  for (const std::size_t size : kBoundarySizes) {
+    BitStream s = alternating(size);
+    const std::size_t ones = s.count_ones();
+    s.invert();
+    EXPECT_TRUE(tail_is_zero(s)) << "size " << size;
+    EXPECT_EQ(s.count_ones(), size - ones) << "size " << size;
+    for (std::size_t i = 0; i < size; ++i) {
+      EXPECT_EQ(s.bit(i), i % 2 != 0);
+    }
+  }
+}
+
+TEST(BitStreamTail, DoubleInvertRoundTrips) {
+  for (const std::size_t size : kBoundarySizes) {
+    const BitStream original = alternating(size);
+    BitStream s = original;
+    s.invert();
+    s.invert();
+    EXPECT_EQ(s, original) << "size " << size;
+  }
+}
+
+TEST(BitStreamTail, SliceKeepsTailZeroAtAllOffsets) {
+  const BitStream s = alternating(256);
+  for (const std::size_t begin : {0u, 1u, 63u, 64u, 65u}) {
+    for (const std::size_t length : kBoundarySizes) {
+      if (begin + length > s.size()) {
+        continue;
+      }
+      const BitStream sub = s.slice(begin, length);
+      ASSERT_EQ(sub.size(), length);
+      EXPECT_TRUE(tail_is_zero(sub))
+          << "begin " << begin << " length " << length;
+      for (std::size_t i = 0; i < length; ++i) {
+        ASSERT_EQ(sub.bit(i), s.bit(begin + i))
+            << "begin " << begin << " length " << length << " bit " << i;
+      }
+    }
+  }
+}
+
+TEST(BitStreamTail, AppendKeepsTailZeroAcrossBoundaries) {
+  for (const std::size_t left : kBoundarySizes) {
+    for (const std::size_t right : kBoundarySizes) {
+      BitStream a = alternating(left);
+      const BitStream b(right, true);
+      a.append(b);
+      ASSERT_EQ(a.size(), left + right);
+      EXPECT_TRUE(tail_is_zero(a)) << left << "+" << right;
+      for (std::size_t i = 0; i < left; ++i) {
+        ASSERT_EQ(a.bit(i), i % 2 == 0) << left << "+" << right;
+      }
+      for (std::size_t i = left; i < left + right; ++i) {
+        ASSERT_TRUE(a.bit(i)) << left << "+" << right;
+      }
+      EXPECT_EQ(a.count_ones(), (left + 1) / 2 + right);
+    }
+  }
+}
+
+TEST(BitStreamTail, PushBackMaintainsInvariantAcrossWordBoundary) {
+  BitStream s;
+  for (std::size_t i = 0; i < 130; ++i) {
+    s.push_back(i % 3 == 0);
+    ASSERT_TRUE(tail_is_zero(s)) << "after bit " << i;
+  }
+  EXPECT_EQ(s.size(), 130u);
+  for (std::size_t i = 0; i < 130; ++i) {
+    EXPECT_EQ(s.bit(i), i % 3 == 0);
+  }
+}
+
+TEST(BitStreamTail, OperatorsPreserveTailInvariant) {
+  for (const std::size_t size : kBoundarySizes) {
+    const BitStream a = alternating(size);
+    const BitStream b(size, true);
+    EXPECT_TRUE(tail_is_zero(a & b)) << "size " << size;
+    EXPECT_TRUE(tail_is_zero(a | b)) << "size " << size;
+    EXPECT_TRUE(tail_is_zero(a ^ b)) << "size " << size;
+    EXPECT_TRUE(tail_is_zero(~a)) << "size " << size;
+  }
+}
+
 }  // namespace
 }  // namespace acoustic::sc
