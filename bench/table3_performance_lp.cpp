@@ -5,7 +5,14 @@
 // energy model. Eyeriss numbers come from the calibrated analytical model
 // (stand-in for the TETRIS runs the paper used); SCOPE rows are the
 // published 28nm-scaled points, exactly as the paper reproduced them.
+//
+//   table3_performance_lp [--json PATH]
+// --json writes one machine-readable record per workload (the ACOUSTIC
+// InferenceCost plus each baseline's throughput/efficiency point).
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "baselines/eyeriss.hpp"
@@ -21,9 +28,34 @@ std::string perf_cell(double value, bool available) {
   return available ? core::format_number(value, 4) : "N/A";
 }
 
+/// One baseline point as a compact JSON object (null when the baseline
+/// does not publish this workload).
+std::string baseline_json(double frames_per_j, double frames_per_s,
+                          bool available) {
+  if (!available) {
+    return "null";
+  }
+  std::string out = "{\"frames_per_j\": ";
+  out += core::json_number(frames_per_j);
+  out += ", \"frames_per_s\": ";
+  out += core::json_number(frames_per_s);
+  out += "}";
+  return out;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: table3_performance_lp [--json PATH]\n");
+      return 2;
+    }
+  }
+
   std::printf("=== Table III: ACOUSTIC LP vs fixed-point and stochastic "
               "accelerators ===\n\n");
 
@@ -52,11 +84,27 @@ int main() {
 
   core::Table table({"Network", "Metric", "Eyeriss Base", "Eyeriss 1k PEs",
                      "SCOPE", "ACOUSTIC LP"});
+  std::vector<std::string> json_records;
   for (const nn::NetworkDesc& net : nn::table3_workloads()) {
     const auto eb = baselines::eyeriss_run(base, net);
     const auto e1k = baselines::eyeriss_run(big, net);
     const auto sc = baselines::scope_run(net);
     const core::InferenceCost cost = lp.run(net);
+    if (!json_path.empty()) {
+      std::string rec = "    {\"network\": \"";
+      rec += core::json_escape(net.name);
+      rec += "\",\n     \"acoustic_lp\": ";
+      rec += core::to_json(cost);
+      rec += ",\n     \"eyeriss_base\": ";
+      rec += baseline_json(eb.frames_per_j, eb.frames_per_s, eb.available);
+      rec += ",\n     \"eyeriss_1k\": ";
+      rec += baseline_json(e1k.frames_per_j, e1k.frames_per_s,
+                           e1k.available);
+      rec += ",\n     \"scope\": ";
+      rec += baseline_json(sc.frames_per_j, sc.frames_per_s, sc.available);
+      rec += "}";
+      json_records.push_back(std::move(rec));
+    }
     table.add_row({net.name, "Fr/J",
                    perf_cell(eb.frames_per_j, eb.available),
                    perf_cell(e1k.frames_per_j, e1k.available),
@@ -95,5 +143,21 @@ int main() {
               alex_cost.on_chip_energy_j * 1e3,
               alex_cost.dram_energy_j * 1e3);
   std::printf("(paper abstract: 4 ms / 0.4 mJ per AlexNet image)\n");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+      return 1;
+    }
+    out << "{\n  \"bench\": \"table3_performance_lp\",\n"
+           "  \"arch\": \"ACOUSTIC-LP\",\n  \"workloads\": [\n";
+    for (std::size_t i = 0; i < json_records.size(); ++i) {
+      out << json_records[i] << (i + 1 < json_records.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    std::printf("\nwrote %zu workload records to %s\n", json_records.size(),
+                json_path.c_str());
+  }
   return 0;
 }

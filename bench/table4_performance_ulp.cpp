@@ -1,7 +1,15 @@
 // Table IV reproduction: ACOUSTIC ULP vs MDL-CNN (time-domain) and
 // Conv-RAM (analog in-SRAM) on the conv layers of LeNet-5 and the small
 // CIFAR-10 CNN.
+//
+//   table4_performance_ulp [--json PATH]
+// --json writes one machine-readable record per workload (the ACOUSTIC
+// InferenceCost plus each baseline's throughput/efficiency point).
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "baselines/ulp_accelerators.hpp"
 #include "core/accelerator.hpp"
@@ -15,9 +23,32 @@ std::string cell(double v, bool available, int digits = 4) {
   return available ? core::format_number(v, digits) : "N/A";
 }
 
+std::string baseline_json(double frames_per_j, double frames_per_s,
+                          bool available) {
+  if (!available) {
+    return "null";
+  }
+  std::string out = "{\"frames_per_j\": ";
+  out += core::json_number(frames_per_j);
+  out += ", \"frames_per_s\": ";
+  out += core::json_number(frames_per_s);
+  out += "}";
+  return out;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: table4_performance_ulp [--json PATH]\n");
+      return 2;
+    }
+  }
+
   std::printf("=== Table IV: ACOUSTIC ULP vs MDL-CNN and Conv-RAM "
               "(conv layers) ===\n\n");
 
@@ -86,5 +117,44 @@ int main() {
   std::printf("\nNote: ACOUSTIC runs 8-bit weights AND activations; the\n"
               "baselines binarize weights (the paper notes a 1-3%% MNIST\n"
               "accuracy cost for them).\n");
+
+  if (!json_path.empty()) {
+    std::vector<std::string> records;
+    const struct {
+      const char* name;
+      const core::InferenceCost& cost;
+      const baselines::Performance& mdl_run;
+      const baselines::Performance& cram_run;
+    } rows[] = {{"LeNet-5 (conv)", lenet_cost, mdl_lenet, cram_lenet},
+                {"CIFAR-10 CNN (conv)", cifar_cost, mdl_cifar, cram_cifar}};
+    for (const auto& row : rows) {
+      std::string rec = "    {\"network\": \"";
+      rec += core::json_escape(row.name);
+      rec += "\",\n     \"acoustic_ulp\": ";
+      rec += core::to_json(row.cost);
+      rec += ",\n     \"mdl_cnn\": ";
+      rec += baseline_json(row.mdl_run.frames_per_j, row.mdl_run.frames_per_s,
+                           row.mdl_run.available);
+      rec += ",\n     \"conv_ram\": ";
+      rec += baseline_json(row.cram_run.frames_per_j,
+                           row.cram_run.frames_per_s, row.cram_run.available);
+      rec += "}";
+      records.push_back(std::move(rec));
+    }
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+      return 1;
+    }
+    out << "{\n  \"bench\": \"table4_performance_ulp\",\n"
+           "  \"arch\": \"ACOUSTIC-ULP\",\n  \"power_mw\": "
+        << core::json_number(ulp_power_mw) << ",\n  \"workloads\": [\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      out << records[i] << (i + 1 < records.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    std::printf("\nwrote %zu workload records to %s\n", records.size(),
+                json_path.c_str());
+  }
   return 0;
 }

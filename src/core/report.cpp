@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "core/accelerator.hpp"
+
 namespace acoustic::core {
 
 Table::Table(std::vector<std::string> header) {
@@ -57,69 +59,6 @@ std::string format_number(double value, int digits) {
   return buf;
 }
 
-namespace {
-
-/// Shortest representation that round-trips a double (JSON has no NaN /
-/// Inf; those degrade to null).
-std::string json_number(double value) {
-  if (!std::isfinite(value)) {
-    return "null";
-  }
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
-  double parsed = 0.0;
-  std::sscanf(buf, "%lf", &parsed);
-  for (int digits = 1; digits < 17; ++digits) {
-    char probe[64];
-    std::snprintf(probe, sizeof(probe), "%.*g", digits, value);
-    std::sscanf(probe, "%lf", &parsed);
-    if (parsed == value) {
-      return probe;
-    }
-  }
-  return buf;
-}
-
-std::string json_number(std::uint64_t value) {
-  return std::to_string(value);
-}
-
-}  // namespace
-
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 std::string to_json(const sim::EvalResult& r) {
   std::string out = "{\n";
   out += "  \"backend\": \"" + json_escape(r.backend) + "\",\n";
@@ -151,6 +90,27 @@ std::string to_json(const sim::EvalResult& r) {
   out += "    \"max\": " + json_number(r.latency.max_us) + "\n";
   out += "  }\n";
   out += "}\n";
+  return out;
+}
+
+std::string to_json(const InferenceCost& cost) {
+  std::string out = "{\"latency_s\": ";
+  out += json_number(cost.latency_s);
+  out += ", \"frames_per_s\": ";
+  out += json_number(cost.frames_per_s);
+  out += ", \"on_chip_energy_j\": ";
+  out += json_number(cost.on_chip_energy_j);
+  out += ", \"frames_per_j\": ";
+  out += json_number(cost.frames_per_j);
+  out += ", \"dram_energy_j\": ";
+  out += json_number(cost.dram_energy_j);
+  out += ", \"total_cycles\": ";
+  out += json_number(cost.perf.total_cycles);
+  out += ", \"instructions_dispatched\": ";
+  out += json_number(cost.perf.instructions_dispatched);
+  out += ", \"dram_bytes\": ";
+  out += json_number(cost.perf.dram_bytes);
+  out += "}";
   return out;
 }
 

@@ -1,9 +1,15 @@
 // Text-table and JSON formatting for the benchmark harnesses and CLI.
+//
+// The low-level JSON primitives live in obs/json.hpp (obs sits below this
+// library in the link order); core re-exports them so the benches keep one
+// include for "format my results".
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "obs/json.hpp"
 #include "sim/batch_evaluator.hpp"
 
 namespace acoustic::core {
@@ -27,10 +33,26 @@ class Table {
 
 /// Escapes @p text for inclusion inside a JSON string literal (quotes,
 /// backslashes and control characters).
-[[nodiscard]] std::string json_escape(const std::string& text);
+[[nodiscard]] inline std::string json_escape(const std::string& text) {
+  return obs::json_escape(text);
+}
+
+/// Shortest representation that round-trips a double (NaN/Inf -> null).
+[[nodiscard]] inline std::string json_number(double value) {
+  return obs::json_number(value);
+}
+[[nodiscard]] inline std::string json_number(std::uint64_t value) {
+  return obs::json_number(value);
+}
 
 /// Serializes one dataset-evaluation result as a pretty-printed JSON
 /// object (stable key order; numbers round-trip at full precision).
 [[nodiscard]] std::string to_json(const sim::EvalResult& result);
+
+struct InferenceCost;  // core/accelerator.hpp
+
+/// Serializes one performance+energy evaluation as a compact single-line
+/// JSON object, for embedding in the bench harnesses' --json documents.
+[[nodiscard]] std::string to_json(const InferenceCost& cost);
 
 }  // namespace acoustic::core

@@ -41,4 +41,42 @@ std::string format_breakdown(const Breakdown& b) {
   return out;
 }
 
+namespace {
+
+/// "Act Counter" -> "act_counter": registry names stay lowercase dotted.
+std::string metric_component_name(Component c) {
+  std::string name = component_name(c);
+  for (char& ch : name) {
+    if (ch == ' ') {
+      ch = '_';
+    } else if (ch >= 'A' && ch <= 'Z') {
+      ch = static_cast<char>(ch - 'A' + 'a');
+    }
+  }
+  return name;
+}
+
+}  // namespace
+
+void export_metrics(const Breakdown& b, const std::string& prefix,
+                    obs::Registry& registry) {
+  registry.set(prefix + ".total", b.total);
+  for (int c = 0; c < kComponentCount; ++c) {
+    registry.set(prefix + "." + metric_component_name(static_cast<Component>(c)),
+                 b.share[c] * b.total);
+  }
+}
+
+void export_metrics(const EnergyReport& report, obs::Registry& registry) {
+  for (int c = 0; c < kComponentCount; ++c) {
+    registry.set("energy.dynamic_j." +
+                     metric_component_name(static_cast<Component>(c)),
+                 report.dynamic_j[static_cast<std::size_t>(c)]);
+  }
+  registry.set("energy.leakage_j", report.leakage_j);
+  registry.set("energy.dram_j", report.dram_j);
+  registry.set("energy.on_chip_j", report.on_chip_j());
+  registry.set("energy.total_j", report.total_j());
+}
+
 }  // namespace acoustic::energy

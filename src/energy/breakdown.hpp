@@ -1,4 +1,5 @@
-// Fig. 5 breakdown tables: area and power shares per component.
+// Fig. 5 breakdown tables: area and power shares per component, plus the
+// obs::Registry exporters that feed `acoustic simulate --metrics`.
 #pragma once
 
 #include <array>
@@ -6,6 +7,7 @@
 
 #include "energy/component_models.hpp"
 #include "energy/energy_model.hpp"
+#include "obs/metrics.hpp"
 
 namespace acoustic::energy {
 
@@ -23,5 +25,15 @@ struct Breakdown {
 
 /// Formats a breakdown as an aligned text table.
 [[nodiscard]] std::string format_breakdown(const Breakdown& b);
+
+/// Gauges @p b under "<prefix>.total" and "<prefix>.<component>" (absolute
+/// values: share * total), e.g. energy.area_mm2.mac_fabric.
+void export_metrics(const Breakdown& b, const std::string& prefix,
+                    obs::Registry& registry);
+
+/// Gauges one priced inference under the "energy." namespace:
+/// energy.dynamic_j.<component>, energy.leakage_j, energy.dram_j,
+/// energy.on_chip_j, energy.total_j.
+void export_metrics(const EnergyReport& report, obs::Registry& registry);
 
 }  // namespace acoustic::energy

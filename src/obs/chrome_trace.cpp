@@ -1,0 +1,123 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/json.hpp"
+
+namespace acoustic::obs {
+
+namespace {
+
+std::string args_json(
+    const std::vector<std::pair<std::string, std::string>>& args) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) {
+      out += ", ";
+    }
+    out += json_quote(args[i].first);
+    out += ": ";
+    out += args[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+std::string metadata_event(int pid, int tid, const std::string& which,
+                           const std::string& name, bool thread_scoped) {
+  std::string out = "{\"ph\": \"M\", \"name\": \"";
+  out += which;
+  out += "\", \"pid\": " + std::to_string(pid);
+  if (thread_scoped) {
+    out += ", \"tid\": " + std::to_string(tid);
+  }
+  out += ", \"args\": {\"name\": ";
+  out += json_quote(name);
+  out += "}}";
+  return out;
+}
+
+}  // namespace
+
+void ChromeTraceWriter::set_process_name(int pid, std::string name) {
+  events_.push_back(
+      Event{metadata_event(pid, 0, "process_name", name, false)});
+}
+
+void ChromeTraceWriter::set_thread_name(int pid, int tid, std::string name) {
+  events_.push_back(
+      Event{metadata_event(pid, tid, "thread_name", name, true)});
+}
+
+void ChromeTraceWriter::add_complete(
+    int pid, int tid, std::string name, std::string category, double ts_us,
+    double dur_us, std::vector<std::pair<std::string, std::string>> args) {
+  std::string out = "{\"ph\": \"X\", \"name\": ";
+  out += json_quote(name);
+  out += ", \"cat\": ";
+  out += json_quote(category);
+  out += ", \"ts\": " + json_number(ts_us) +
+         ", \"dur\": " + json_number(dur_us) +
+         ", \"pid\": " + std::to_string(pid) +
+         ", \"tid\": " + std::to_string(tid);
+  if (!args.empty()) {
+    out += ", \"args\": " + args_json(args);
+  }
+  out += "}";
+  events_.push_back(Event{std::move(out)});
+}
+
+void ChromeTraceWriter::add_spans(int pid,
+                                  const std::vector<SpanRecord>& spans) {
+  std::uint64_t base_ns = std::numeric_limits<std::uint64_t>::max();
+  for (const SpanRecord& span : spans) {
+    base_ns = std::min(base_ns, span.start_ns);
+  }
+  for (const SpanRecord& span : spans) {
+    std::vector<std::pair<std::string, std::string>> args;
+    args.reserve(span.counters.size() + (span.kind.empty() ? 0 : 1));
+    if (!span.kind.empty()) {
+      args.emplace_back("kind", json_quote(span.kind));
+    }
+    for (const auto& [key, value] : span.counters) {
+      args.emplace_back(key, json_number(value));
+    }
+    add_complete(pid, static_cast<int>(span.track), span.name, span.category,
+                 static_cast<double>(span.start_ns - base_ns) * 1e-3,
+                 static_cast<double>(span.dur_ns) * 1e-3, std::move(args));
+  }
+}
+
+void ChromeTraceWriter::set_metadata(const std::string& key,
+                                     std::string json_value) {
+  for (auto& [existing, value] : metadata_) {
+    if (existing == key) {
+      value = std::move(json_value);
+      return;
+    }
+  }
+  metadata_.emplace_back(key, std::move(json_value));
+}
+
+std::string ChromeTraceWriter::to_string() const {
+  std::string out = "{\n  \"traceEvents\": [";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    " + events_[i].json;
+  }
+  out += events_.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"otherData\": {";
+  for (std::size_t i = 0; i < metadata_.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    ";
+    out += json_quote(metadata_[i].first);
+    out += ": ";
+    out += metadata_[i].second;
+  }
+  out += metadata_.empty() ? "},\n" : "\n  },\n";
+  out += "  \"displayTimeUnit\": \"ms\"\n}\n";
+  return out;
+}
+
+}  // namespace acoustic::obs

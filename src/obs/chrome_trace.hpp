@@ -1,0 +1,65 @@
+// Chrome trace-event JSON writer (the format ui.perfetto.dev and
+// chrome://tracing load directly).
+//
+// Output is the JSON-object flavor: {"traceEvents": [...], "otherData":
+// {...}, "displayTimeUnit": "ms"}. Only complete events ("ph": "X") and
+// the process/thread-name metadata events ("ph": "M") are emitted — that
+// is everything the two producers need:
+//   * perf::to_chrome_trace —— one process for the performance simulator,
+//     one thread (track) per isa::Unit, CYCLE timebase: 1 reported "us"
+//     is 1 dispatcher cycle (recorded in otherData.timebase);
+//   * add_spans —— obs::Profiler spans on the wall clock, one thread per
+//     evaluator worker, real microseconds.
+//
+// Timestamps are doubles in microseconds as the format dictates; writers
+// must not mix the two timebases inside one file (use separate files, as
+// the CLI flags do).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace acoustic::obs {
+
+class ChromeTraceWriter {
+ public:
+  /// Names a process ("perf-sim", "batch-evaluator").
+  void set_process_name(int pid, std::string name);
+  /// Names a thread/track within a process ("MAC", "worker 3").
+  void set_thread_name(int pid, int tid, std::string name);
+
+  /// One complete event; @p ts_us / @p dur_us in the file's timebase.
+  /// @p args are key -> already-JSON-encoded value (use obs::json_escape
+  /// + quotes for strings, obs::json_number for numbers).
+  void add_complete(int pid, int tid, std::string name, std::string category,
+                    double ts_us, double dur_us,
+                    std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Adds every span as a complete event under @p pid: tid = span track,
+  /// nanoseconds converted to real microseconds, counters as args.
+  /// Timestamps are rebased to the earliest span so traces start near 0.
+  void add_spans(int pid, const std::vector<SpanRecord>& spans);
+
+  /// Top-level otherData entry; @p json_value must be valid JSON.
+  void set_metadata(const std::string& key, std::string json_value);
+
+  [[nodiscard]] std::size_t event_count() const noexcept {
+    return events_.size();
+  }
+
+  /// Serializes the whole trace document.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  struct Event {
+    std::string json;  ///< fully rendered event object
+  };
+  std::vector<Event> events_;
+  std::vector<std::pair<std::string, std::string>> metadata_;
+};
+
+}  // namespace acoustic::obs

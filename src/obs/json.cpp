@@ -1,0 +1,74 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace acoustic::obs {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_quote(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  out += json_escape(text);
+  out += '"';
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) {
+    return "null";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  double parsed = 0.0;
+  std::sscanf(buf, "%lf", &parsed);
+  for (int digits = 1; digits < 17; ++digits) {
+    char probe[64];
+    std::snprintf(probe, sizeof(probe), "%.*g", digits, value);
+    std::sscanf(probe, "%lf", &parsed);
+    if (parsed == value) {
+      return probe;
+    }
+  }
+  return buf;
+}
+
+std::string json_number(std::uint64_t value) {
+  return std::to_string(value);
+}
+
+}  // namespace acoustic::obs

@@ -1,0 +1,275 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace acoustic::obs {
+
+namespace {
+
+/// Prometheus metric names admit [a-zA-Z0-9_:] only; everything else
+/// (the registry's dotted namespacing in particular) becomes '_'.
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) {
+      c = '_';
+    }
+  }
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+Registry::Registry(const Registry& other) {
+  std::lock_guard lock(other.mutex_);
+  counters_ = other.counters_;
+  gauges_ = other.gauges_;
+  histograms_ = other.histograms_;
+}
+
+Registry& Registry::operator=(const Registry& other) {
+  if (this == &other) {
+    return *this;
+  }
+  // Lock both sides in a stable order to make self-assignment chains safe.
+  std::scoped_lock lock(mutex_, other.mutex_);
+  counters_ = other.counters_;
+  gauges_ = other.gauges_;
+  histograms_ = other.histograms_;
+  return *this;
+}
+
+void Registry::add(const std::string& name, std::uint64_t delta) {
+  std::lock_guard lock(mutex_);
+  counters_[name] += delta;
+}
+
+std::uint64_t Registry::counter(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void Registry::set(const std::string& name, double value) {
+  std::lock_guard lock(mutex_);
+  gauges_[name] = value;
+}
+
+double Registry::gauge(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+void Registry::declare_histogram(const std::string& name,
+                                 std::vector<double> edges) {
+  if (edges.empty()) {
+    throw std::invalid_argument("Registry: histogram '" + name +
+                                "' needs at least one bucket edge");
+  }
+  if (!std::is_sorted(edges.begin(), edges.end()) ||
+      std::adjacent_find(edges.begin(), edges.end()) != edges.end()) {
+    throw std::invalid_argument("Registry: histogram '" + name +
+                                "' edges must be strictly ascending");
+  }
+  std::lock_guard lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    if (it->second.edges != edges) {
+      throw std::invalid_argument("Registry: histogram '" + name +
+                                  "' re-declared with different edges");
+    }
+    return;
+  }
+  HistogramSnapshot h;
+  h.buckets.assign(edges.size() + 1, 0);
+  h.edges = std::move(edges);
+  histograms_.emplace(name, std::move(h));
+}
+
+void Registry::observe(const std::string& name, double value) {
+  std::lock_guard lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    throw std::invalid_argument("Registry: observe on undeclared histogram '" +
+                                name + "'");
+  }
+  HistogramSnapshot& h = it->second;
+  // First bucket whose upper edge admits the value ("le" semantics);
+  // values past the last edge land in the overflow bucket.
+  const auto edge =
+      std::lower_bound(h.edges.begin(), h.edges.end(), value);
+  ++h.buckets[static_cast<std::size_t>(edge - h.edges.begin())];
+  ++h.count;
+  h.sum += value;
+}
+
+HistogramSnapshot Registry::histogram(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    throw std::invalid_argument("Registry: unknown histogram '" + name + "'");
+  }
+  return it->second;
+}
+
+void Registry::merge(const Registry& other) {
+  // Copy the source under its own lock first; merging a registry into
+  // itself then degenerates to doubling, which is at least well-defined.
+  const auto counters = other.counters();
+  const auto gauges = other.gauges();
+  const auto histograms = other.histograms();
+
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, value] : counters) {
+    counters_[name] += value;
+  }
+  for (const auto& [name, value] : gauges) {
+    const auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+      gauges_.emplace(name, value);
+    } else {
+      it->second = std::max(it->second, value);
+    }
+  }
+  for (const auto& [name, theirs] : histograms) {
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, theirs);
+      continue;
+    }
+    HistogramSnapshot& ours = it->second;
+    if (ours.edges != theirs.edges) {
+      throw std::invalid_argument("Registry: merge of histogram '" + name +
+                                  "' with mismatched edges");
+    }
+    for (std::size_t i = 0; i < ours.buckets.size(); ++i) {
+      ours.buckets[i] += theirs.buckets[i];
+    }
+    ours.count += theirs.count;
+    ours.sum += theirs.sum;
+  }
+}
+
+void Registry::clear() {
+  std::lock_guard lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+bool Registry::empty() const {
+  std::lock_guard lock(mutex_);
+  return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+std::map<std::string, std::uint64_t> Registry::counters() const {
+  std::lock_guard lock(mutex_);
+  return counters_;
+}
+
+std::map<std::string, double> Registry::gauges() const {
+  std::lock_guard lock(mutex_);
+  return gauges_;
+}
+
+std::map<std::string, HistogramSnapshot> Registry::histograms() const {
+  std::lock_guard lock(mutex_);
+  return histograms_;
+}
+
+std::string Registry::to_json(int indent) const {
+  const auto counters = this->counters();
+  const auto gauges = this->gauges();
+  const auto histograms = this->histograms();
+
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string p1 = pad + "  ";
+  const std::string p2 = pad + "    ";
+  const std::string p3 = pad + "      ";
+
+  std::string out = "{\n";
+  out += p1 + "\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n" : ",\n";
+    out += p2 + "\"" + json_escape(name) + "\": " + json_number(value);
+    first = false;
+  }
+  out += counters.empty() ? std::string("},\n") : "\n" + p1 + "},\n";
+
+  out += p1 + "\"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n" : ",\n";
+    out += p2 + "\"" + json_escape(name) + "\": " + json_number(value);
+    first = false;
+  }
+  out += gauges.empty() ? std::string("},\n") : "\n" + p1 + "},\n";
+
+  out += p1 + "\"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n" : ",\n";
+    out += p2 + "\"" + json_escape(name) + "\": {\n";
+    out += p3 + "\"edges\": [";
+    for (std::size_t i = 0; i < h.edges.size(); ++i) {
+      out += (i != 0U ? ", " : "") + json_number(h.edges[i]);
+    }
+    out += "],\n";
+    out += p3 + "\"buckets\": [";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      out += (i != 0U ? ", " : "") + json_number(h.buckets[i]);
+    }
+    out += "],\n";
+    out += p3 + "\"count\": " + json_number(h.count) + ",\n";
+    out += p3 + "\"sum\": " + json_number(h.sum) + "\n";
+    out += p2 + "}";
+    first = false;
+  }
+  out += histograms.empty() ? std::string("}\n") : "\n" + p1 + "}\n";
+  out += pad + "}";
+  return out;
+}
+
+std::string Registry::to_prometheus() const {
+  const auto counters = this->counters();
+  const auto gauges = this->gauges();
+  const auto histograms = this->histograms();
+
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + json_number(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + json_number(value) + "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.edges.size(); ++i) {
+      cumulative += h.buckets[i];
+      out += prom + "_bucket{le=\"" + json_number(h.edges[i]) + "\"} " +
+             json_number(cumulative) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + json_number(h.count) + "\n";
+    out += prom + "_sum " + json_number(h.sum) + "\n";
+    out += prom + "_count " + json_number(h.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace acoustic::obs

@@ -1,0 +1,136 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+namespace acoustic::obs {
+
+std::uint64_t Profiler::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Profiler::record(SpanRecord rec) {
+  std::lock_guard lock(mutex_);
+  spans_.push_back(std::move(rec));
+}
+
+std::size_t Profiler::size() const {
+  std::lock_guard lock(mutex_);
+  return spans_.size();
+}
+
+std::vector<SpanRecord> Profiler::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return spans_;
+}
+
+std::vector<SpanRecord> Profiler::take() {
+  std::lock_guard lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.swap(spans_);
+  return out;
+}
+
+Span::Span(Profiler* profiler, std::string name, std::string category,
+           std::uint32_t track, std::uint32_t seq)
+    : profiler_(profiler) {
+  if (profiler_ == nullptr) {
+    return;
+  }
+  rec_.name = std::move(name);
+  rec_.category = std::move(category);
+  rec_.track = track;
+  rec_.seq = seq;
+  rec_.start_ns = Profiler::now_ns();
+}
+
+void Span::counter(std::string key, std::uint64_t value) {
+  if (profiler_ == nullptr) {
+    return;
+  }
+  rec_.counters.emplace_back(std::move(key), value);
+}
+
+void Span::kind(std::string kind) {
+  if (profiler_ == nullptr) {
+    return;
+  }
+  rec_.kind = std::move(kind);
+}
+
+void Span::close() {
+  if (profiler_ == nullptr) {
+    return;
+  }
+  rec_.dur_ns = Profiler::now_ns() - rec_.start_ns;
+  profiler_->record(std::move(rec_));
+  profiler_ = nullptr;
+}
+
+std::uint64_t ProfileRow::counter(const std::string& key) const {
+  for (const auto& [name, value] : counters) {
+    if (name == key) {
+      return value;
+    }
+  }
+  return 0;
+}
+
+std::vector<ProfileRow> aggregate_profile(
+    const std::vector<SpanRecord>& spans, const std::string& category) {
+  struct Accum {
+    ProfileRow row;
+    std::uint32_t min_seq = 0;
+  };
+  std::map<std::string, Accum> by_name;
+  for (const SpanRecord& span : spans) {
+    if (span.category != category) {
+      continue;
+    }
+    auto [it, inserted] = by_name.try_emplace(span.name);
+    Accum& acc = it->second;
+    if (inserted) {
+      acc.row.name = span.name;
+      acc.row.kind = span.kind;
+      acc.min_seq = span.seq;
+    } else {
+      acc.min_seq = std::min(acc.min_seq, span.seq);
+    }
+    ++acc.row.calls;
+    acc.row.wall_ms += static_cast<double>(span.dur_ns) * 1e-6;
+    for (const auto& [key, value] : span.counters) {
+      auto slot = std::find_if(
+          acc.row.counters.begin(), acc.row.counters.end(),
+          [&](const auto& kv) { return kv.first == key; });
+      if (slot == acc.row.counters.end()) {
+        acc.row.counters.emplace_back(key, value);
+      } else {
+        slot->second += value;
+      }
+    }
+  }
+
+  std::vector<Accum> accums;
+  accums.reserve(by_name.size());
+  for (auto& [name, acc] : by_name) {
+    accums.push_back(std::move(acc));
+  }
+  std::sort(accums.begin(), accums.end(), [](const Accum& a, const Accum& b) {
+    if (a.min_seq != b.min_seq) {
+      return a.min_seq < b.min_seq;
+    }
+    return a.row.name < b.row.name;
+  });
+  std::vector<ProfileRow> rows;
+  rows.reserve(accums.size());
+  for (Accum& acc : accums) {
+    rows.push_back(std::move(acc.row));
+  }
+  return rows;
+}
+
+}  // namespace acoustic::obs

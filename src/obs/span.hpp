@@ -1,0 +1,103 @@
+// Scoped-span profiling: RAII wall-clock spans with attached counters.
+//
+// A Span measures one region (a layer's stochastic execution, one image's
+// forward pass) on the monotonic clock and records itself into a Profiler
+// on destruction. Instrumented code takes a nullable Profiler* — a null
+// profiler makes Span construction a few pointer writes and no clock
+// reads, so the hooks can stay compiled into the hot paths permanently.
+//
+// Tracks and ordering: `track` identifies the timeline lane the span
+// belongs to (sim::BatchEvaluator uses the worker index, so the Chrome
+// trace gets one row per pool thread); `seq` is a caller-supplied
+// *structural* ordering key (stage index, layer index). Aggregation orders
+// the per-layer profile by seq, which keeps the report deterministic even
+// though worker threads append spans in racy wall-clock order.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace acoustic::obs {
+
+/// One finished span.
+struct SpanRecord {
+  std::string name;      ///< e.g. "conv5x5(1->6)"
+  std::string category;  ///< e.g. "layer", "image"
+  std::string kind;      ///< flavor within the category, e.g. "conv+pool"
+  std::uint32_t track = 0;  ///< timeline lane (worker thread index)
+  std::uint32_t seq = 0;    ///< structural order key (stage/layer index)
+  std::uint64_t start_ns = 0;  ///< monotonic clock
+  std::uint64_t dur_ns = 0;
+  /// User-attached counters (product bits, skipped operands, ...).
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
+/// Thread-safe sink for finished spans.
+class Profiler {
+ public:
+  Profiler() = default;
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Monotonic timestamp in nanoseconds.
+  [[nodiscard]] static std::uint64_t now_ns();
+
+  void record(SpanRecord rec);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+  /// Returns all spans and clears the profiler.
+  [[nodiscard]] std::vector<SpanRecord> take();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// RAII span: starts timing at construction, records into the profiler at
+/// destruction (or close()). With a null profiler every operation is a
+/// no-op.
+class Span {
+ public:
+  Span(Profiler* profiler, std::string name, std::string category,
+       std::uint32_t track = 0, std::uint32_t seq = 0);
+  ~Span() { close(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a named counter (kept in attach order).
+  void counter(std::string key, std::uint64_t value);
+  /// Overrides the span kind ("conv", "dense", ...).
+  void kind(std::string kind);
+
+  /// Stops the clock and records the span now (idempotent).
+  void close();
+
+ private:
+  Profiler* profiler_;
+  SpanRecord rec_;
+};
+
+/// One row of the per-layer profile: spans of one (category, name)
+/// aggregated across all tracks and calls.
+struct ProfileRow {
+  std::string name;
+  std::string kind;
+  std::uint64_t calls = 0;
+  double wall_ms = 0.0;  ///< summed span durations
+  /// Counters summed across spans, in first-attach order.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+  [[nodiscard]] std::uint64_t counter(const std::string& key) const;
+};
+
+/// Aggregates @p spans of @p category by name, ordered by (min seq, name)
+/// — deterministic for any thread interleaving because seq is structural.
+[[nodiscard]] std::vector<ProfileRow> aggregate_profile(
+    const std::vector<SpanRecord>& spans, const std::string& category);
+
+}  // namespace acoustic::obs

@@ -57,7 +57,8 @@ std::uint64_t duration_of(const isa::Instruction& instr,
 
 PerfResult simulate_impl(const isa::Program& program, const ArchConfig& arch,
                          std::vector<TraceEvent>* sink,
-                         std::size_t max_events) {
+                         std::size_t max_events,
+                         std::uint64_t* dropped_events = nullptr) {
   program.validate();
   PerfResult result;
   std::array<UnitState, isa::kUnitCount> units;
@@ -132,9 +133,13 @@ PerfResult simulate_impl(const isa::Program& program, const ArchConfig& arch,
     if (isa::unit_of(instr.op) == isa::Unit::kDma) {
       result.dram_bytes += instr.bytes;
     }
-    if (sink != nullptr && sink->size() < max_events) {
-      sink->push_back(TraceEvent{isa::unit_of(instr.op), instr.op, start,
-                                 end, instr.note});
+    if (sink != nullptr) {
+      if (sink->size() < max_events) {
+        sink->push_back(TraceEvent{isa::unit_of(instr.op), instr.op, start,
+                                   end, instr.note});
+      } else if (dropped_events != nullptr) {
+        ++*dropped_events;
+      }
     }
     ++pc;
   }
@@ -158,7 +163,8 @@ TracedResult simulate_traced(const isa::Program& program,
                              const ArchConfig& arch,
                              std::size_t max_events) {
   TracedResult traced;
-  traced.perf = simulate_impl(program, arch, &traced.events, max_events);
+  traced.perf = simulate_impl(program, arch, &traced.events, max_events,
+                              &traced.dropped_events);
   return traced;
 }
 

@@ -41,6 +41,14 @@ std::string render_gantt(const TracedResult& traced, int columns) {
                 "%-8s 0%*llu cycles\n", "", columns,
                 static_cast<unsigned long long>(total));
   out += footer;
+  if (traced.dropped_events > 0) {
+    char warn[128];
+    std::snprintf(warn, sizeof(warn),
+                  "WARNING: trace truncated — %llu event(s) dropped after "
+                  "the recording cap\n",
+                  static_cast<unsigned long long>(traced.dropped_events));
+    out += warn;
+  }
   return out;
 }
 
@@ -61,6 +69,14 @@ std::string render_utilization(const TracedResult& traced) {
                   100.0 * static_cast<double>(stats.busy_cycles) / total,
                   static_cast<unsigned long long>(stats.instructions));
     out += line;
+  }
+  if (traced.dropped_events > 0) {
+    char warn[128];
+    std::snprintf(warn, sizeof(warn),
+                  "  (occupancy is exact; the event list itself dropped "
+                  "%llu event(s))\n",
+                  static_cast<unsigned long long>(traced.dropped_events));
+    out += warn;
   }
   return out;
 }

@@ -27,11 +27,16 @@ struct TraceEvent {
 struct TracedResult {
   PerfResult perf;
   std::vector<TraceEvent> events;  ///< in dispatch order
+  /// Events past max_events that were executed but NOT recorded. The
+  /// renderers and the Chrome exporter surface this so a truncated trace
+  /// can never pass for a complete one.
+  std::uint64_t dropped_events = 0;
 };
 
 /// Like simulate(), additionally recording per-instruction events.
 /// @p max_events bounds memory for pass-loop-heavy programs (recording
-/// stops after the cap; the PerfResult is unaffected).
+/// stops after the cap and dropped_events counts the overflow; the
+/// PerfResult is unaffected).
 [[nodiscard]] TracedResult simulate_traced(const isa::Program& program,
                                            const ArchConfig& arch,
                                            std::size_t max_events = 100000);

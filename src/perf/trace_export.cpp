@@ -1,0 +1,61 @@
+#include "perf/trace_export.hpp"
+
+#include <array>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace acoustic::perf {
+
+void export_metrics(const PerfResult& result, obs::Registry& registry) {
+  registry.add("perf.total_cycles", result.total_cycles);
+  registry.add("perf.instructions_dispatched",
+               result.instructions_dispatched);
+  registry.add("perf.dram_bytes", result.dram_bytes);
+  for (int u = 0; u < isa::kUnitCount; ++u) {
+    const auto unit = static_cast<isa::Unit>(u);
+    const UnitStats& stats = result.units[static_cast<std::size_t>(u)];
+    if (stats.instructions == 0 && stats.busy_cycles == 0) {
+      continue;
+    }
+    const std::string prefix = "perf.unit." + isa::unit_name(unit);
+    registry.add(prefix + ".busy_cycles", stats.busy_cycles);
+    registry.add(prefix + ".instructions", stats.instructions);
+  }
+}
+
+void to_chrome_trace(const TracedResult& traced, const ArchConfig& arch,
+                     obs::ChromeTraceWriter& writer, int pid) {
+  writer.set_process_name(pid, "perf-sim (" + arch.name + ")");
+  std::array<bool, isa::kUnitCount> named{};
+  for (const TraceEvent& event : traced.events) {
+    const auto tid = static_cast<int>(event.unit);
+    if (!named[static_cast<std::size_t>(tid)]) {
+      writer.set_thread_name(pid, tid, isa::unit_name(event.unit));
+      named[static_cast<std::size_t>(tid)] = true;
+    }
+    std::vector<std::pair<std::string, std::string>> args;
+    if (!event.note.empty()) {
+      args.emplace_back("note", obs::json_quote(event.note));
+    }
+    // Cycle timebase: ts/dur carry cycles verbatim. Zero-duration
+    // dispatch-internal events still get their dispatch point.
+    writer.add_complete(pid, tid, isa::mnemonic(event.op), "isa",
+                        static_cast<double>(event.start),
+                        static_cast<double>(event.end - event.start),
+                        std::move(args));
+  }
+  writer.set_metadata("timebase", "\"cycles\"");
+  writer.set_metadata("clock_mhz", obs::json_number(arch.clock_mhz));
+  writer.set_metadata("total_cycles",
+                      obs::json_number(traced.perf.total_cycles));
+  writer.set_metadata("dropped_events",
+                      obs::json_number(traced.dropped_events));
+  writer.set_metadata("recorded_events",
+                      obs::json_number(
+                          static_cast<std::uint64_t>(traced.events.size())));
+}
+
+}  // namespace acoustic::perf

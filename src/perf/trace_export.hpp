@@ -1,0 +1,28 @@
+// Telemetry exporters for the performance simulator: PerfResult counters
+// into an obs::Registry, and TracedResult into a Chrome/Perfetto trace
+// (one track per isa::Unit on the cycle timebase).
+#pragma once
+
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "perf/arch_config.hpp"
+#include "perf/timeline.hpp"
+
+namespace acoustic::perf {
+
+/// Registers the cycle/unit/DRAM counters of @p result under the "perf."
+/// namespace: perf.total_cycles, perf.instructions_dispatched,
+/// perf.dram_bytes and perf.unit.<name>.{busy_cycles,instructions} for
+/// every unit that retired at least one instruction.
+void export_metrics(const PerfResult& result, obs::Registry& registry);
+
+/// Fills @p writer with the dispatcher overlap picture Fig. 2 promises:
+/// process @p pid named "perf-sim (<arch>)", one named thread per active
+/// isa::Unit, one complete event per recorded TraceEvent. Timebase is
+/// CYCLES (1 reported "us" = 1 cycle — Chrome JSON has no cycle unit);
+/// otherData records timebase, clock_mhz, total_cycles and
+/// dropped_events so truncation is visible in the file itself.
+void to_chrome_trace(const TracedResult& traced, const ArchConfig& arch,
+                     obs::ChromeTraceWriter& writer, int pid = 0);
+
+}  // namespace acoustic::perf

@@ -7,6 +7,18 @@ namespace acoustic::sim {
 
 namespace {
 
+/// Lowercase tag for the float backend's per-layer span kinds.
+std::string kind_tag(nn::Layer::Kind kind) {
+  switch (kind) {
+    case nn::Layer::Kind::kConv2D:
+      return "conv";
+    case nn::Layer::Kind::kDense:
+      return "dense";
+    default:
+      return "post";
+  }
+}
+
 std::uint64_t count_weighted_layers(nn::Network& net) {
   std::uint64_t weighted = 0;
   for (std::size_t i = 0; i < net.layer_count(); ++i) {
@@ -35,7 +47,20 @@ class FloatBackend final : public InferenceBackend {
   [[nodiscard]] nn::Tensor forward(const nn::Tensor& input) override {
     ++stats_.samples;
     stats_.layers_run += weighted_layers_;
-    return net_->forward(input);
+    if (profiler_ == nullptr) {
+      return net_->forward(input);
+    }
+    // Profiled path: run layer by layer so every layer (weighted and
+    // post-op alike) gets its own span.
+    nn::Tensor x = input;
+    for (std::size_t i = 0; i < net_->layer_count(); ++i) {
+      nn::Layer& layer = net_->layer(i);
+      obs::Span span(profiler_, layer.name(), "layer", track_,
+                     static_cast<std::uint32_t>(i));
+      span.kind(kind_tag(layer.kind()));
+      x = layer.forward(x);
+    }
+    return x;
   }
 
   [[nodiscard]] RunStats stats() const override { return stats_; }
@@ -43,10 +68,17 @@ class FloatBackend final : public InferenceBackend {
     return std::exchange(stats_, RunStats{});
   }
 
+  void set_profiler(obs::Profiler* profiler, std::uint32_t track) override {
+    profiler_ = profiler;
+    track_ = track;
+  }
+
  private:
   std::unique_ptr<nn::Network> net_;
   std::uint64_t weighted_layers_;
   RunStats stats_;
+  obs::Profiler* profiler_ = nullptr;
+  std::uint32_t track_ = 0;
 };
 
 /// Bit-level split-unipolar execution via ScNetwork.
@@ -82,6 +114,10 @@ class ScBackend final : public InferenceBackend {
                     s.product_bits, s.skipped_operands};
   }
 
+  void set_profiler(obs::Profiler* profiler, std::uint32_t track) override {
+    exec_.set_profiler(profiler, track);
+  }
+
  private:
   std::unique_ptr<nn::Network> net_;
   ScNetwork exec_;
@@ -111,6 +147,10 @@ class BipolarBackend final : public InferenceBackend {
   [[nodiscard]] RunStats stats() const override { return stats_; }
   [[nodiscard]] RunStats take_stats() override {
     return std::exchange(stats_, RunStats{});
+  }
+
+  void set_profiler(obs::Profiler* profiler, std::uint32_t track) override {
+    exec_.set_profiler(profiler, track);
   }
 
  private:

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "nn/network.hpp"
+#include "obs/span.hpp"
 #include "sim/bipolar_network.hpp"
 #include "sim/sc_config.hpp"
 #include "sim/sc_network.hpp"
@@ -74,6 +75,17 @@ class InferenceBackend {
 
   /// Returns the accumulated stats and resets them.
   [[nodiscard]] virtual RunStats take_stats() = 0;
+
+  /// Enables per-layer profiling spans on timeline lane @p track (worker
+  /// index under the batch evaluator). The profiler must outlive the
+  /// backend and may be shared across clones — it is thread-safe. A
+  /// clone() does NOT inherit the profiler (the evaluator re-attaches
+  /// per worker with the worker's own track). Default: no-op, so
+  /// third-party backends keep working unprofiled.
+  virtual void set_profiler(obs::Profiler* profiler, std::uint32_t track) {
+    (void)profiler;
+    (void)track;
+  }
 };
 
 /// Float (binary-arithmetic) reference execution of @p net.

@@ -1,10 +1,12 @@
 #include "sim/batch_evaluator.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace acoustic::sim {
@@ -29,7 +31,8 @@ double percentile(const std::vector<double>& sorted, double q) {
 BatchEvaluator::BatchEvaluator(unsigned threads) : pool_(threads) {}
 
 EvalResult BatchEvaluator::evaluate(InferenceBackend& prototype,
-                                    const train::Dataset& data) {
+                                    const train::Dataset& data,
+                                    const EvalHooks& hooks) {
   if (data.size() == 0) {
     throw std::invalid_argument(
         "BatchEvaluator: refusing to evaluate an empty dataset");
@@ -42,22 +45,33 @@ EvalResult BatchEvaluator::evaluate(InferenceBackend& prototype,
   clones.reserve(workers);
   for (unsigned w = 0; w < workers; ++w) {
     clones.push_back(prototype.clone());
+    if (hooks.profiler != nullptr) {
+      // Each clone reports per-layer spans on its worker's timeline lane.
+      clones.back()->set_profiler(hooks.profiler, w);
+    }
   }
 
   // Per-sample slots: disjoint writes, no synchronization needed.
   std::vector<std::uint8_t> correct(n, 0);
   std::vector<double> latency_us(n, 0.0);
+  std::atomic<std::size_t> done{0};
 
   const Clock::time_point run_start = Clock::now();
   pool_.parallel_for(n, [&](std::size_t i, unsigned worker) {
     const train::Sample& sample = data.samples[i];
+    obs::Span span(hooks.profiler, "image " + std::to_string(i), "image",
+                   worker, static_cast<std::uint32_t>(i));
     const Clock::time_point t0 = Clock::now();
     const nn::Tensor logits = clones[worker]->forward(sample.image);
     const Clock::time_point t1 = Clock::now();
+    span.close();
     correct[i] =
         static_cast<int>(logits.argmax()) == sample.label ? 1 : 0;
     latency_us[i] =
         std::chrono::duration<double, std::micro>(t1 - t0).count();
+    if (hooks.progress) {
+      hooks.progress(done.fetch_add(1, std::memory_order_relaxed) + 1, n);
+    }
   });
   const double wall =
       std::chrono::duration<double>(Clock::now() - run_start).count();
@@ -91,6 +105,20 @@ EvalResult BatchEvaluator::evaluate(InferenceBackend& prototype,
   result.latency.p99_us = percentile(sorted, 0.99);
   result.latency.max_us = sorted.back();
   return result;
+}
+
+void export_metrics(const EvalResult& result, obs::Registry& registry) {
+  registry.add("eval.samples", result.samples);
+  registry.add("eval.correct", result.correct);
+  registry.set("eval.accuracy",
+               result.samples > 0
+                   ? static_cast<double>(result.correct) /
+                         static_cast<double>(result.samples)
+                   : 0.0);
+  registry.add("sim.samples", result.stats.samples);
+  registry.add("sim.layers_run", result.stats.layers_run);
+  registry.add("sc.product_bits", result.stats.product_bits);
+  registry.add("sc.skipped_operands", result.stats.skipped_operands);
 }
 
 }  // namespace acoustic::sim

@@ -12,8 +12,11 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sim/backend.hpp"
 #include "train/dataset.hpp"
@@ -43,6 +46,18 @@ struct EvalResult {
   LatencyStats latency;
 };
 
+/// Optional observability attachments for one evaluate() call. Both hooks
+/// are invoked from worker threads; the profiler is thread-safe by
+/// construction, the progress callback must be too (the CLI throttles
+/// with an atomic).
+struct EvalHooks {
+  /// Receives one category-"image" span per sample (track = worker index,
+  /// seq = sample index) plus the per-layer spans of every backend clone.
+  obs::Profiler* profiler = nullptr;
+  /// progress(done, total) after each completed sample.
+  std::function<void(std::size_t done, std::size_t total)> progress;
+};
+
 class BatchEvaluator {
  public:
   /// @param threads worker count (0 = hardware concurrency). The pool is
@@ -56,10 +71,19 @@ class BatchEvaluator {
   /// caller can keep reusing it. Throws std::invalid_argument on an empty
   /// dataset.
   [[nodiscard]] EvalResult evaluate(InferenceBackend& prototype,
-                                    const train::Dataset& data);
+                                    const train::Dataset& data,
+                                    const EvalHooks& hooks = {});
 
  private:
   runtime::ThreadPool pool_;
 };
+
+/// Registers the DETERMINISTIC portion of @p result (counters sum across
+/// worker shards; nothing wall-clock) under eval./sim./sc.:
+/// eval.samples, eval.correct, gauge eval.accuracy, sim.samples,
+/// sim.layers_run, sc.product_bits, sc.skipped_operands. Timing lives in
+/// the EvalResult itself and is exported separately so the metrics
+/// document stays byte-identical across thread counts.
+void export_metrics(const EvalResult& result, obs::Registry& registry);
 
 }  // namespace acoustic::sim

@@ -28,7 +28,13 @@ BipolarNetwork::BipolarNetwork(nn::Network& net, BipolarConfig cfg)
 
 nn::Tensor BipolarNetwork::forward(const nn::Tensor& input) {
   nn::Tensor x = input;
-  for (const Stage& stage : stages_) {
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    const Stage& stage = stages_[s];
+    obs::Span span(profiler_,
+                   stage.conv != nullptr ? stage.conv->name()
+                                         : stage.dense->name(),
+                   "layer", track_, static_cast<std::uint32_t>(s));
+    span.kind(stage.conv != nullptr ? "conv" : "dense");
     x = stage.conv != nullptr ? run_conv(stage, x) : run_dense(stage, x);
     for (nn::Layer* post : stage.post_ops) {
       x = post->forward(x);

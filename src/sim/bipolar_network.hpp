@@ -20,6 +20,7 @@
 #include "nn/conv.hpp"
 #include "nn/dense.hpp"
 #include "nn/network.hpp"
+#include "obs/span.hpp"
 #include "sim/sc_config.hpp"
 #include "sim/stage_plan.hpp"
 
@@ -46,6 +47,13 @@ class BipolarNetwork {
 
   [[nodiscard]] const BipolarConfig& config() const noexcept { return cfg_; }
 
+  /// Per-stage profiling spans (see ScNetwork::set_profiler; the bipolar
+  /// datapath has no skip counters, so spans carry wall time only).
+  void set_profiler(obs::Profiler* profiler, std::uint32_t track = 0) noexcept {
+    profiler_ = profiler;
+    track_ = track;
+  }
+
  private:
   [[nodiscard]] nn::Tensor run_conv(const Stage& stage,
                                     const nn::Tensor& input);
@@ -55,6 +63,8 @@ class BipolarNetwork {
   nn::Network* net_;
   BipolarConfig cfg_;
   std::vector<Stage> stages_;
+  obs::Profiler* profiler_ = nullptr;
+  std::uint32_t track_ = 0;
 };
 
 }  // namespace acoustic::sim

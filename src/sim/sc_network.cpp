@@ -41,13 +41,28 @@ nn::Tensor ScNetwork::forward(const nn::Tensor& input) {
   // never into stats_, so evaluator clones share nothing mutable.
   Stats run;
   nn::Tensor x = input;
-  for (const Stage& stage : stages_) {
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    const Stage& stage = stages_[s];
+    // The span covers the weighted layer AND its binary-domain post-ops,
+    // so the per-layer profile sums to (almost exactly) the forward wall
+    // time; counters carry the stage's contribution alone.
+    obs::Span span(profiler_,
+                   stage.conv != nullptr ? stage.conv->name()
+                                         : stage.dense->name(),
+                   "layer", track_, static_cast<std::uint32_t>(s));
+    span.kind(stage.conv != nullptr
+                  ? (stage.fused_pool != nullptr ? "conv+pool" : "conv")
+                  : "dense");
+    const std::uint64_t bits_before = run.product_bits;
+    const std::uint64_t skips_before = run.skipped_operands;
     x = stage.conv != nullptr ? run_conv(stage, x, run)
                               : run_dense(stage, x, run);
     for (nn::Layer* post : stage.post_ops) {
       x = post->forward(x);
     }
     ++run.layers_run;
+    span.counter("product_bits", run.product_bits - bits_before);
+    span.counter("skipped_operands", run.skipped_operands - skips_before);
   }
   stats_.merge(run);
   return x;

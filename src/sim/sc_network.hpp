@@ -26,6 +26,7 @@
 #include "nn/dense.hpp"
 #include "nn/network.hpp"
 #include "nn/pool.hpp"
+#include "obs/span.hpp"
 #include "sim/sc_config.hpp"
 #include "sim/stage_plan.hpp"
 
@@ -75,6 +76,18 @@ class ScNetwork {
 
   [[nodiscard]] const ScConfig& config() const noexcept { return cfg_; }
 
+  /// Enables per-stage profiling: every forward() records one
+  /// category-"layer" span per stage (name = weighted layer, kind =
+  /// conv/conv+pool/dense, counters = product_bits / skipped_operands
+  /// deltas) on timeline lane @p track. Pass nullptr to disable. The
+  /// profiler must outlive this object; it may be shared across clones
+  /// running on different threads (obs::Profiler::record is
+  /// thread-safe).
+  void set_profiler(obs::Profiler* profiler, std::uint32_t track = 0) noexcept {
+    profiler_ = profiler;
+    track_ = track;
+  }
+
  private:
   [[nodiscard]] nn::Tensor run_conv(const Stage& stage,
                                     const nn::Tensor& input, Stats& run);
@@ -85,6 +98,8 @@ class ScNetwork {
   ScConfig cfg_;
   std::vector<Stage> stages_;
   Stats stats_;
+  obs::Profiler* profiler_ = nullptr;
+  std::uint32_t track_ = 0;
 };
 
 }  // namespace acoustic::sim

@@ -1,0 +1,343 @@
+// obs::ChromeTraceWriter: the emitted document must be strictly valid
+// JSON (checked by an in-test recursive-descent parser, not substring
+// matching) with the trace-event fields Perfetto/chrome://tracing expect.
+#include "obs/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace acoustic {
+namespace {
+
+// --- minimal strict JSON parser (RFC 8259 subset, throws on any error) ---
+
+struct JValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JValue> array;
+  std::vector<std::pair<std::string, JValue>> object;
+
+  [[nodiscard]] const JValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JValue parse() {
+    JValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing garbage");
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("JSON error at offset " + std::to_string(pos_) +
+                             ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', got '" + peek() + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(const std::string& lit) {
+    if (text_.compare(pos_, lit.size(), lit) == 0) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  JValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') {
+      return object();
+    }
+    if (c == '[') {
+      return array();
+    }
+    if (c == '"') {
+      JValue v;
+      v.kind = JValue::Kind::kString;
+      v.string = string();
+      return v;
+    }
+    if (consume_literal("true")) {
+      JValue v;
+      v.kind = JValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      JValue v;
+      v.kind = JValue::Kind::kBool;
+      v.boolean = false;
+      return v;
+    }
+    if (consume_literal("null")) {
+      return JValue{};
+    }
+    return number();
+  }
+
+  JValue object() {
+    JValue v;
+    v.kind = JValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JValue array() {
+    JValue v;
+    v.kind = JValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        fail("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        fail("dangling escape");
+      }
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            if (!std::isxdigit(static_cast<unsigned char>(h))) {
+              fail("bad \\u escape");
+            }
+            code = code * 16 +
+                   static_cast<unsigned>(
+                       h <= '9' ? h - '0'
+                                : (std::tolower(h) - 'a') + 10);
+          }
+          // The writer only emits \u00xx for control bytes.
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JValue number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') {
+      ++pos_;
+    }
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      fail("malformed number");
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    JValue v;
+    v.kind = JValue::Kind::kNumber;
+    v.number = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// --- tests ---
+
+TEST(ChromeTrace, EmptyWriterIsValidJson) {
+  obs::ChromeTraceWriter writer;
+  const JValue doc = JsonParser(writer.to_string()).parse();
+  ASSERT_EQ(doc.kind, JValue::Kind::kObject);
+  const JValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->kind, JValue::Kind::kArray);
+  EXPECT_TRUE(events->array.empty());
+  ASSERT_NE(doc.find("otherData"), nullptr);
+  ASSERT_NE(doc.find("displayTimeUnit"), nullptr);
+  EXPECT_EQ(doc.find("displayTimeUnit")->string, "ms");
+}
+
+TEST(ChromeTrace, CompleteEventsAndMetadata) {
+  obs::ChromeTraceWriter writer;
+  writer.set_process_name(0, "perf-sim");
+  writer.set_thread_name(0, 3, "MAC");
+  writer.add_complete(0, 3, "CONV \"quoted\"\nline", "isa", 10.0, 2.5,
+                      {{"note", "\"k=5\""}, {"bits", "128"}});
+  writer.set_metadata("timebase", "\"cycles\"");
+  writer.set_metadata("timebase", "\"cycles2\"");  // dedup: last write wins
+  writer.set_metadata("total", "42");
+  EXPECT_EQ(writer.event_count(), 3u);  // 2 metadata + 1 complete
+
+  const JValue doc = JsonParser(writer.to_string()).parse();
+  const JValue& events = *doc.find("traceEvents");
+  ASSERT_EQ(events.array.size(), 3u);
+
+  const JValue& proc = events.array[0];
+  EXPECT_EQ(proc.find("ph")->string, "M");
+  EXPECT_EQ(proc.find("name")->string, "process_name");
+  EXPECT_EQ(proc.find("args")->find("name")->string, "perf-sim");
+
+  const JValue& thread = events.array[1];
+  EXPECT_EQ(thread.find("ph")->string, "M");
+  EXPECT_EQ(thread.find("tid")->number, 3.0);
+  EXPECT_EQ(thread.find("args")->find("name")->string, "MAC");
+
+  const JValue& x = events.array[2];
+  EXPECT_EQ(x.find("ph")->string, "X");
+  // Escaping round-trips through a strict parser.
+  EXPECT_EQ(x.find("name")->string, "CONV \"quoted\"\nline");
+  EXPECT_EQ(x.find("cat")->string, "isa");
+  EXPECT_DOUBLE_EQ(x.find("ts")->number, 10.0);
+  EXPECT_DOUBLE_EQ(x.find("dur")->number, 2.5);
+  EXPECT_EQ(x.find("args")->find("note")->string, "k=5");
+  EXPECT_DOUBLE_EQ(x.find("args")->find("bits")->number, 128.0);
+
+  const JValue& other = *doc.find("otherData");
+  ASSERT_EQ(other.object.size(), 2u);
+  EXPECT_EQ(other.find("timebase")->string, "cycles2");
+  EXPECT_DOUBLE_EQ(other.find("total")->number, 42.0);
+}
+
+TEST(ChromeTrace, SpansRebaseToEarliestStart) {
+  obs::SpanRecord a;
+  a.name = "conv";
+  a.category = "layer";
+  a.kind = "conv+pool";
+  a.track = 0;
+  a.start_ns = 5000;
+  a.dur_ns = 1500;
+  a.counters = {{"product_bits", 64}};
+  obs::SpanRecord b;
+  b.name = "dense";
+  b.category = "layer";
+  b.track = 2;
+  b.start_ns = 9000;
+  b.dur_ns = 500;
+
+  obs::ChromeTraceWriter writer;
+  writer.add_spans(7, {a, b});
+  const JValue doc = JsonParser(writer.to_string()).parse();
+  const JValue& events = *doc.find("traceEvents");
+  ASSERT_EQ(events.array.size(), 2u);
+
+  const JValue& ea = events.array[0];
+  EXPECT_EQ(ea.find("name")->string, "conv");
+  EXPECT_DOUBLE_EQ(ea.find("ts")->number, 0.0);   // rebased
+  EXPECT_DOUBLE_EQ(ea.find("dur")->number, 1.5);  // ns -> us
+  EXPECT_DOUBLE_EQ(ea.find("pid")->number, 7.0);
+  EXPECT_DOUBLE_EQ(ea.find("tid")->number, 0.0);
+  EXPECT_EQ(ea.find("args")->find("kind")->string, "conv+pool");
+  EXPECT_DOUBLE_EQ(ea.find("args")->find("product_bits")->number, 64.0);
+
+  const JValue& eb = events.array[1];
+  EXPECT_DOUBLE_EQ(eb.find("ts")->number, 4.0);
+  EXPECT_DOUBLE_EQ(eb.find("dur")->number, 0.5);
+  EXPECT_DOUBLE_EQ(eb.find("tid")->number, 2.0);
+  EXPECT_EQ(eb.find("args"), nullptr);  // no kind, no counters
+}
+
+}  // namespace
+}  // namespace acoustic

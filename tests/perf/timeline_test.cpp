@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/chrome_trace.hpp"
 #include "perf/codegen.hpp"
+#include "perf/trace_export.hpp"
 
 namespace acoustic::perf {
 namespace {
@@ -65,6 +67,49 @@ TEST(Timeline, EventCapBoundsMemory) {
   EXPECT_EQ(traced.events.size(), 64u);
   // Statistics remain exact despite the cap.
   EXPECT_EQ(traced.perf.unit(isa::Unit::kMac).instructions, 1000u);
+}
+
+TEST(Timeline, TruncationIsCountedAndFlagged) {
+  isa::Program p;
+  p.loop_begin(isa::LoopKind::kKernel, 100);
+  p.mac(1);
+  p.loop_end(isa::LoopKind::kKernel);
+  const TracedResult traced = simulate_traced(p, test_arch(), 10);
+  // Dropped events are counted, not silently discarded...
+  EXPECT_EQ(traced.events.size(), 10u);
+  EXPECT_EQ(traced.dropped_events, 90u);
+  // ...and every renderer says so.
+  EXPECT_NE(render_gantt(traced).find("truncated"), std::string::npos);
+  EXPECT_NE(render_utilization(traced).find("dropped"), std::string::npos);
+
+  const TracedResult full = simulate_traced(p, test_arch());
+  EXPECT_EQ(full.dropped_events, 0u);
+  EXPECT_EQ(render_gantt(full).find("truncated"), std::string::npos);
+}
+
+TEST(Timeline, ChromeExportHasOneTrackPerActiveUnit) {
+  const TracedResult traced = simulate_traced(small_program(), test_arch());
+  obs::ChromeTraceWriter writer;
+  to_chrome_trace(traced, test_arch(), writer);
+  const std::string json = writer.to_string();
+  // One named track per unit that produced events, cycle timebase, and a
+  // complete event per recorded instruction.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"DMA\""), std::string::npos);
+  EXPECT_NE(json.find("\"MAC\""), std::string::npos);
+  EXPECT_NE(json.find("\"timebase\": \"cycles\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"WGTLD\""), std::string::npos);
+}
+
+TEST(Timeline, MetricsExportMatchesPerfResult) {
+  const TracedResult traced = simulate_traced(small_program(), test_arch());
+  obs::Registry registry;
+  export_metrics(traced.perf, registry);
+  EXPECT_EQ(registry.counter("perf.total_cycles"),
+            traced.perf.total_cycles);
+  EXPECT_EQ(registry.counter("perf.unit.MAC.instructions"), 1u);
+  EXPECT_EQ(registry.counter("perf.dram_bytes"), traced.perf.dram_bytes);
 }
 
 TEST(Timeline, GanttHasOneRowPerHardwareUnit) {

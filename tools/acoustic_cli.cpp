@@ -6,10 +6,16 @@
 //       Print the ACOUSTIC assembly for a workload.
 //   acoustic simulate <network> [--arch lp|ulp] [--batch N] [--clock MHZ]
 //                     [--stream N] [--dram ddr3-800..ddr3-2133|hbm]
-//                     [--trace] [--layers]
+//                     [--trace] [--layers] [--metrics] [--json]
+//                     [--prometheus] [--trace-json FILE]
 //       Run the performance + energy simulation; --trace adds the per-unit
 //       Gantt chart of the dispatcher overlap, --layers the per-layer
-//       bottleneck table.
+//       bottleneck table. --metrics collects the cycle/unit/DRAM/energy
+//       counters into the telemetry registry (text table, or one JSON
+//       document with --json, or Prometheus text format with
+//       --prometheus). --trace-json writes the instruction trace as
+//       Chrome trace-event JSON (one track per control unit, cycle
+//       timebase) for ui.perfetto.dev.
 //   acoustic breakdown [--arch lp|ulp]
 //       Print the Fig. 5 area/power breakdowns.
 //   acoustic lint <program.acasm|network> [--arch lp|ulp] [--werror]
@@ -20,12 +26,22 @@
 //       finding).
 //   acoustic eval [--backend float|sc|sc-mux|bipolar] [--model lenet|cifar]
 //                 [--threads N] [--stream N] [--train N] [--test N]
-//                 [--epochs N] [--json]
+//                 [--epochs N] [--json] [--metrics] [--profile]
+//                 [--prometheus] [--trace-json FILE] [--verbose]
 //       Train a small network on a synthetic dataset and evaluate it with
 //       the selected inference backend on the parallel batch evaluator.
 //       --threads 0 (default) uses all hardware threads; results are
 //       bit-identical for any thread count. --json emits the structured
-//       EvalResult instead of the human-readable summary.
+//       EvalResult instead of the human-readable summary. --metrics
+//       routes the run counters through the telemetry registry (with
+//       --json: one uniform document whose "metrics" section is
+//       byte-identical across thread counts; wall-clock data is confined
+//       to "timing"). --profile prints the per-layer wall-time/counter
+//       table, --trace-json writes the evaluator's wall-clock spans (one
+//       track per worker) as Chrome trace-event JSON, --verbose emits a
+//       training/evaluation progress line on stderr.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +49,7 @@
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -42,7 +59,11 @@
 #include "core/report.hpp"
 #include "energy/breakdown.hpp"
 #include "isa/assembler.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "perf/timeline.hpp"
+#include "perf/trace_export.hpp"
 #include "sim/backend.hpp"
 #include "sim/batch_evaluator.hpp"
 #include "train/dataset.hpp"
@@ -63,12 +84,16 @@ int usage() {
                "--stream N\n"
                "           --dram ddr3-800|...|ddr3-2133|hbm  --trace  "
                "--layers\n"
+               "           --metrics  --json  --prometheus  "
+               "--trace-json FILE\n"
                "  lint: acoustic lint <program.acasm|-|network> "
                "[--arch lp|ulp] [--werror]\n"
                "  eval: acoustic eval [--backend float|sc|sc-mux|bipolar] "
                "[--model lenet|cifar]\n"
                "        [--threads N] [--stream N] [--train N] [--test N] "
-               "[--epochs N] [--json]\n");
+               "[--epochs N] [--json]\n"
+               "        [--metrics] [--profile] [--prometheus] "
+               "[--trace-json FILE] [--verbose]\n");
   return 2;
 }
 
@@ -192,7 +217,37 @@ struct EvalOptions {
   std::size_t test_count = 120;
   int epochs = 3;
   bool json = false;
+  bool metrics = false;     ///< route counters through obs::Registry
+  bool profile = false;     ///< per-layer wall-time/counter table
+  bool prometheus = false;  ///< registry in Prometheus text format
+  bool verbose = false;     ///< training log + eval progress on stderr
+  std::string trace_json;   ///< Chrome trace-event output path ("" = off)
 };
+
+/// Writes @p content to @p path; reports the failure on stderr.
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Counters + gauges of @p registry as an aligned two-column table
+/// (histograms are a JSON/Prometheus-only feature for now).
+core::Table metrics_table(const obs::Registry& registry) {
+  core::Table table({"metric", "value"});
+  for (const auto& [name, value] : registry.counters()) {
+    table.add_row({name, std::to_string(value)});
+  }
+  for (const auto& [name, value] : registry.gauges()) {
+    table.add_row({name, core::format_number(value, 6)});
+  }
+  return table;
+}
 
 /// `acoustic eval`: train a small synthetic-dataset network, then run it
 /// through the unified backend layer on the parallel batch evaluator.
@@ -224,11 +279,12 @@ int cmd_eval(const EvalOptions& opt) {
 
   train::TrainConfig cfg;
   cfg.epochs = opt.epochs;
+  cfg.verbose = opt.verbose;
   if (bipolar) {
     cfg.learning_rate = 0.01f;
     cfg.lr_decay = 0.95f;
   }
-  if (!opt.json) {
+  if (!opt.json && !opt.prometheus) {
     std::printf("training %s (%s mode, %d epochs, %zu samples)...\n",
                 opt.model.c_str(), bipolar ? "sum" : "or-approx",
                 cfg.epochs, tr.size());
@@ -243,10 +299,161 @@ int cmd_eval(const EvalOptions& opt) {
       sim::make_backend(opt.backend, net, sc_cfg, bipolar_cfg);
 
   sim::BatchEvaluator evaluator(opt.threads);
-  const sim::EvalResult result = evaluator.evaluate(*backend, te);
+
+  // Observability attachments: spans feed both --profile and --trace-json,
+  // the registry feeds --metrics and --prometheus.
+  const bool want_profiler = opt.profile || !opt.trace_json.empty();
+  const bool want_metrics = opt.metrics || opt.prometheus;
+  obs::Profiler profiler;
+  sim::EvalHooks hooks;
+  if (want_profiler) {
+    hooks.profiler = &profiler;
+  }
+  const auto eval_start = std::chrono::steady_clock::now();
+  if (opt.verbose) {
+    hooks.progress = [&eval_start](std::size_t done, std::size_t total) {
+      // Milestone-throttled: each done value is claimed by exactly one
+      // worker, so at most one thread prints a given milestone.
+      const std::size_t step = std::max<std::size_t>(1, total / 20);
+      if (done % step != 0 && done != total) {
+        return;
+      }
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        eval_start)
+              .count();
+      const double rate = elapsed > 0.0
+                              ? static_cast<double>(done) / elapsed
+                              : 0.0;
+      const double eta =
+          rate > 0.0 ? static_cast<double>(total - done) / rate : 0.0;
+      std::fprintf(stderr, "\reval: %zu/%zu images  %.1f img/s  ETA %.1fs ",
+                   done, total, rate, eta);
+    };
+  }
+
+  const sim::EvalResult result = evaluator.evaluate(*backend, te, hooks);
+  if (opt.verbose) {
+    std::fprintf(stderr, "\n");
+  }
+
+  // Aggregate the spans once; both exports below reuse them.
+  std::vector<obs::SpanRecord> spans;
+  std::vector<obs::ProfileRow> rows;
+  if (want_profiler) {
+    spans = profiler.take();
+    rows = obs::aggregate_profile(spans, "layer");
+  }
+
+  obs::Registry registry;
+  if (want_metrics) {
+    sim::export_metrics(result, registry);
+    // With the profiler on, fold the per-layer counter sums in too — sums
+    // over all samples, so still deterministic across thread counts.
+    for (const obs::ProfileRow& row : rows) {
+      const std::string prefix = "layer." + row.name;
+      registry.add(prefix + ".calls", row.calls);
+      for (const auto& [key, value] : row.counters) {
+        registry.add(prefix + "." + key, value);
+      }
+    }
+  }
+
+  if (!opt.trace_json.empty()) {
+    obs::ChromeTraceWriter writer;
+    writer.set_process_name(0, "acoustic eval (" + result.backend + ")");
+    std::set<std::uint32_t> tracks;
+    for (const obs::SpanRecord& span : spans) {
+      tracks.insert(span.track);
+    }
+    for (const std::uint32_t track : tracks) {
+      writer.set_thread_name(0, static_cast<int>(track),
+                             "worker " + std::to_string(track));
+    }
+    writer.add_spans(0, spans);
+    writer.set_metadata("backend", obs::json_quote(result.backend));
+    writer.set_metadata("model", obs::json_quote(opt.model));
+    writer.set_metadata("samples", obs::json_number(
+                            static_cast<std::uint64_t>(result.samples)));
+    writer.set_metadata("threads", obs::json_number(
+                            static_cast<std::uint64_t>(result.threads)));
+    if (!write_text_file(opt.trace_json, writer.to_string())) {
+      return 1;
+    }
+    std::fprintf(opt.json || opt.prometheus ? stderr : stdout,
+                 "trace: wrote %zu event(s) to %s\n", writer.event_count(),
+                 opt.trace_json.c_str());
+  }
+
+  if (opt.prometheus) {
+    std::fputs(registry.to_prometheus().c_str(), stdout);
+    return 0;
+  }
 
   if (opt.json) {
-    std::fputs(core::to_json(result).c_str(), stdout);
+    if (!opt.metrics && !opt.profile) {
+      // Classic shape, kept stable for existing consumers.
+      std::fputs(core::to_json(result).c_str(), stdout);
+      return 0;
+    }
+    // Unified telemetry document. Everything outside "timing" is
+    // byte-identical for any --threads value (see BatchEvaluator's
+    // determinism contract); all wall-clock data lives under "timing".
+    std::string doc = "{\n  \"command\": \"eval\",\n  \"backend\": ";
+    doc += obs::json_quote(result.backend);
+    doc += ",\n  \"model\": ";
+    doc += obs::json_quote(opt.model);
+    doc += ",\n  \"stream_length\": ";
+    doc += obs::json_number(static_cast<std::uint64_t>(opt.stream));
+    doc += ",\n  \"samples\": ";
+    doc += obs::json_number(static_cast<std::uint64_t>(result.samples));
+    doc += ",\n";
+    if (opt.metrics) {
+      doc += "  \"metrics\": ";
+      doc += registry.to_json(2);
+      doc += ",\n";
+    }
+    if (opt.profile) {
+      doc += "  \"profile\": [";
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        const obs::ProfileRow& row = rows[i];
+        doc += i == 0 ? "\n" : ",\n";
+        doc += "    {\"layer\": ";
+        doc += obs::json_quote(row.name);
+        doc += ", \"kind\": ";
+        doc += obs::json_quote(row.kind);
+        doc += ", \"calls\": ";
+        doc += obs::json_number(row.calls);
+        doc += ", \"wall_ms\": ";
+        doc += obs::json_number(row.wall_ms);
+        for (const auto& [key, value] : row.counters) {
+          doc += ", ";
+          doc += obs::json_quote(key);
+          doc += ": ";
+          doc += obs::json_number(value);
+        }
+        doc += "}";
+      }
+      doc += rows.empty() ? "],\n" : "\n  ],\n";
+    }
+    doc += "  \"timing\": {\n    \"threads\": ";
+    doc += obs::json_number(static_cast<std::uint64_t>(result.threads));
+    doc += ",\n    \"wall_seconds\": ";
+    doc += obs::json_number(result.wall_seconds);
+    doc += ",\n    \"throughput_sps\": ";
+    doc += obs::json_number(result.throughput_sps);
+    doc += ",\n    \"latency_us\": {\"mean\": ";
+    doc += obs::json_number(result.latency.mean_us);
+    doc += ", \"p50\": ";
+    doc += obs::json_number(result.latency.p50_us);
+    doc += ", \"p90\": ";
+    doc += obs::json_number(result.latency.p90_us);
+    doc += ", \"p99\": ";
+    doc += obs::json_number(result.latency.p99_us);
+    doc += ", \"max\": ";
+    doc += obs::json_number(result.latency.max_us);
+    doc += "}\n  }\n}\n";
+    std::fputs(doc.c_str(), stdout);
     return 0;
   }
   std::printf("\n%s backend on %zu test samples (%u thread%s):\n",
@@ -270,6 +477,39 @@ int cmd_eval(const EvalOptions& opt) {
                     result.stats.skipped_operands));
   }
   std::printf("\n");
+
+  if (opt.profile) {
+    double layer_total_ms = 0.0;
+    for (const obs::ProfileRow& row : rows) {
+      layer_total_ms += row.wall_ms;
+    }
+    core::Table table({"layer", "kind", "calls", "wall [ms]",
+                       "product bits", "skipped", "% of layers"});
+    for (const obs::ProfileRow& row : rows) {
+      const double share =
+          layer_total_ms > 0.0 ? 100.0 * row.wall_ms / layer_total_ms : 0.0;
+      table.add_row({row.name, row.kind, std::to_string(row.calls),
+                     core::format_number(row.wall_ms, 4),
+                     std::to_string(row.counter("product_bits")),
+                     std::to_string(row.counter("skipped_operands")),
+                     core::format_number(share, 3) + "%"});
+    }
+    std::printf("\nper-layer profile (summed across all workers):\n%s",
+                table.to_string().c_str());
+    // Compare against total compute time — the sum of per-sample forward
+    // latencies, i.e. wall time normalized for the worker count.
+    const double compute_ms =
+        result.latency.mean_us * static_cast<double>(result.samples) / 1e3;
+    if (compute_ms > 0.0) {
+      std::printf("  layers cover %.4g ms of %.4g ms total compute "
+                  "(%.1f%%)\n", layer_total_ms, compute_ms,
+                  100.0 * layer_total_ms / compute_ms);
+    }
+  }
+
+  if (opt.metrics) {
+    std::printf("\nmetrics:\n%s", metrics_table(registry).to_string().c_str());
+  }
   return 0;
 }
 
@@ -308,6 +548,16 @@ int main(int argc, char** argv) {
         opt.epochs = std::atoi(v);
       } else if (arg == "--json") {
         opt.json = true;
+      } else if (arg == "--metrics") {
+        opt.metrics = true;
+      } else if (arg == "--profile") {
+        opt.profile = true;
+      } else if (arg == "--prometheus") {
+        opt.prometheus = true;
+      } else if (arg == "--verbose") {
+        opt.verbose = true;
+      } else if (arg == "--trace-json" && (v = value()) != nullptr) {
+        opt.trace_json = v;
       } else {
         return usage();
       }
@@ -355,6 +605,10 @@ int main(int argc, char** argv) {
   std::optional<nn::NetworkDesc> net;
   bool trace = false;
   bool layers = false;
+  bool metrics = false;
+  bool json_out = false;
+  bool prometheus = false;
+  std::string trace_json;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -405,6 +659,18 @@ int main(int argc, char** argv) {
       trace = true;
     } else if (arg == "--layers") {
       layers = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else if (arg == "--json") {
+      json_out = true;
+    } else if (arg == "--prometheus") {
+      prometheus = true;
+    } else if (arg == "--trace-json") {
+      const char* v = next();
+      if (v == nullptr) {
+        return usage();
+      }
+      trace_json = v;
     } else if (!net) {
       net = find_network(arg);
       if (!net) {
@@ -437,6 +703,83 @@ int main(int argc, char** argv) {
   if (cmd == "simulate") {
     const core::Accelerator accel(arch);
     const core::InferenceCost cost = accel.run(*net);
+
+    // One traced run serves both the ASCII gantt and the Chrome export.
+    std::optional<perf::TracedResult> traced;
+    if (trace || !trace_json.empty()) {
+      traced = perf::simulate_traced(accel.compile(*net), arch);
+    }
+
+    obs::Registry registry;
+    if (metrics || prometheus) {
+      perf::export_metrics(cost.perf, registry);
+      energy::export_metrics(cost.energy, registry);
+      energy::export_metrics(energy::area_breakdown(arch), "area", registry);
+      energy::export_metrics(energy::power_breakdown(arch), "power",
+                             registry);
+      registry.set("perf.latency_s", cost.latency_s);
+      registry.set("perf.frames_per_s", cost.frames_per_s);
+      registry.set("perf.frames_per_j", cost.frames_per_j);
+    }
+
+    if (!trace_json.empty()) {
+      obs::ChromeTraceWriter writer;
+      perf::to_chrome_trace(*traced, arch, writer);
+      writer.set_metadata("network", obs::json_quote(net->name));
+      if (!write_text_file(trace_json, writer.to_string())) {
+        return 1;
+      }
+      std::fprintf(json_out || prometheus ? stderr : stdout,
+                   "trace: wrote %zu event(s) to %s\n", writer.event_count(),
+                   trace_json.c_str());
+      if (traced->dropped_events > 0) {
+        std::fprintf(stderr,
+                     "warning: trace truncated — %llu event(s) dropped "
+                     "after the recording cap\n",
+                     static_cast<unsigned long long>(
+                         traced->dropped_events));
+      }
+    }
+
+    if (prometheus) {
+      std::fputs(registry.to_prometheus().c_str(), stdout);
+      return 0;
+    }
+
+    if (json_out) {
+      std::string doc = "{\n  \"command\": \"simulate\",\n  \"network\": ";
+      doc += obs::json_quote(net->name);
+      doc += ",\n  \"arch\": ";
+      doc += obs::json_quote(arch.name);
+      doc += ",\n  \"batch\": ";
+      doc += obs::json_number(static_cast<std::uint64_t>(
+          arch.batch > 0 ? arch.batch : 0));
+      doc += ",\n  \"clock_mhz\": ";
+      doc += obs::json_number(arch.clock_mhz);
+      doc += ",\n  \"stream_length\": ";
+      doc += obs::json_number(arch.stream_length);
+      doc += ",\n  \"dram\": ";
+      doc += arch.has_dram ? obs::json_quote(arch.dram.name)
+                           : std::string("null");
+      doc += ",\n  \"latency_s\": ";
+      doc += obs::json_number(cost.latency_s);
+      doc += ",\n  \"frames_per_s\": ";
+      doc += obs::json_number(cost.frames_per_s);
+      doc += ",\n  \"on_chip_energy_j\": ";
+      doc += obs::json_number(cost.on_chip_energy_j);
+      doc += ",\n  \"frames_per_j\": ";
+      doc += obs::json_number(cost.frames_per_j);
+      doc += ",\n  \"dram_energy_j\": ";
+      doc += obs::json_number(cost.dram_energy_j);
+      if (metrics) {
+        doc += ",\n  \"metrics\": ";
+        doc += registry.to_json(2);
+      }
+      doc += "\n}\n";
+      std::fputs(doc.c_str(), stdout);
+      return 0;
+    }
+
     std::printf("%s on %s (batch %d, %.0f MHz, %llu-bit streams, %s)\n",
                 net->name.c_str(), arch.name.c_str(), arch.batch,
                 arch.clock_mhz,
@@ -447,6 +790,10 @@ int main(int argc, char** argv) {
     std::printf("  energy/frame:  %.6g uJ on-chip (%.6g frames/J), "
                 "%.6g uJ DRAM\n", cost.on_chip_energy_j * 1e6,
                 cost.frames_per_j, cost.dram_energy_j * 1e6);
+    if (metrics) {
+      std::printf("\nmetrics:\n%s", metrics_table(registry).to_string()
+                                        .c_str());
+    }
     if (layers) {
       core::Table table({"layer", "latency [us]", "energy [uJ]",
                          "utilization", "weights"});
@@ -461,10 +808,8 @@ int main(int argc, char** argv) {
       std::printf("\n%s", table.to_string().c_str());
     }
     if (trace) {
-      const perf::TracedResult traced =
-          perf::simulate_traced(accel.compile(*net), arch);
-      std::printf("\n%s\n%s", perf::render_gantt(traced).c_str(),
-                  perf::render_utilization(traced).c_str());
+      std::printf("\n%s\n%s", perf::render_gantt(*traced).c_str(),
+                  perf::render_utilization(*traced).c_str());
     }
     return 0;
   }
