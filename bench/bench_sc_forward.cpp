@@ -1,0 +1,268 @@
+// Single-image forward-latency benchmark for the bit-level SC executor:
+// scalar reference path vs the planned (packed stream plan) fast path,
+// serial and with intra-image row parallelism.
+//
+// Before timing anything the harness verifies that every planned variant
+// produces BYTE-identical output to the scalar oracle — a perf number for
+// a path that changed the bits would be meaningless — and exits 1 on any
+// mismatch.
+//
+// Usage:
+//   bench_sc_forward [--iters N] [--stream N] [--threads N] [--json PATH]
+//                    [--check BASELINE [--tolerance F]]
+// --json writes the measured variants to PATH (see BENCH_sc_forward.json
+// for the committed baseline). --check compares the current run against a
+// previously written baseline and prints a GitHub Actions `::warning` for
+// every variant whose images/s dropped more than --tolerance (default
+// 0.2 = 20%) below it. Regressions warn, they never fail the run: CI
+// machines are noisy and a hard gate on throughput would flake.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "sc/rng.hpp"
+#include "sim/sc_network.hpp"
+#include "train/models.hpp"
+
+using namespace acoustic;
+
+namespace {
+
+struct VariantResult {
+  std::string name;
+  unsigned threads = 1;
+  double mean_us = 0.0;
+  double min_us = 0.0;
+  double images_per_s = 0.0;
+};
+
+nn::Tensor random_unit(nn::Shape shape, std::uint32_t seed) {
+  nn::Tensor t(shape);
+  sc::XorShift32 rng(seed);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.next_double());
+  }
+  return t;
+}
+
+bool bytes_equal(const nn::Tensor& a, const nn::Tensor& b) {
+  if (a.shape() != b.shape()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float af = a[i];
+    const float bf = b[i];
+    std::uint32_t aw = 0;
+    std::uint32_t bw = 0;
+    std::memcpy(&aw, &af, sizeof(aw));
+    std::memcpy(&bw, &bf, sizeof(bw));
+    if (aw != bw) {
+      return false;
+    }
+  }
+  return true;
+}
+
+VariantResult measure(const std::string& name, nn::Network& net,
+                      const sim::ScConfig& cfg, const nn::Tensor& input,
+                      int iters) {
+  sim::ScNetwork exec(net, cfg);
+  // Warmup: first forward builds and caches the weight plans.
+  (void)exec.forward(input);
+  (void)exec.forward(input);
+
+  std::vector<double> times_us;
+  times_us.reserve(static_cast<std::size_t>(iters));
+  for (int i = 0; i < iters; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const nn::Tensor out = exec.forward(input);
+    const auto t1 = std::chrono::steady_clock::now();
+    // Keep the output alive so the call cannot be elided.
+    if (out.size() == 0) {
+      std::abort();
+    }
+    times_us.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+
+  VariantResult r;
+  r.name = name;
+  r.threads = cfg.intra_threads;
+  double sum = 0.0;
+  r.min_us = times_us.front();
+  for (const double t : times_us) {
+    sum += t;
+    r.min_us = std::min(r.min_us, t);
+  }
+  r.mean_us = sum / static_cast<double>(times_us.size());
+  r.images_per_s = 1e6 / r.mean_us;
+  return r;
+}
+
+/// Pulls `"images_per_s": <number>` for the variant named @p name out of a
+/// baseline previously written by --json. Returns a negative value when
+/// the variant is absent (nothing to compare against).
+double baseline_images_per_s(const std::string& baseline,
+                             const std::string& name) {
+  const std::string key = "\"name\": \"" + name + "\"";
+  const std::size_t at = baseline.find(key);
+  if (at == std::string::npos) {
+    return -1.0;
+  }
+  const std::string field = "\"images_per_s\": ";
+  const std::size_t value = baseline.find(field, at);
+  if (value == std::string::npos) {
+    return -1.0;
+  }
+  return std::strtod(baseline.c_str() + value + field.size(), nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int iters = 20;
+  std::size_t stream = 128;
+  unsigned threads = 4;
+  std::string json_path;
+  std::string check_path;
+  double tolerance = 0.2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+      iters = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--stream") == 0 && i + 1 < argc) {
+      stream = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      check_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::strtod(argv[++i], nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_sc_forward [--iters N] [--stream N] "
+                   "[--threads N] [--json PATH] [--check BASELINE "
+                   "[--tolerance F]]\n");
+      return 2;
+    }
+  }
+  if (iters < 1) {
+    iters = 1;
+  }
+
+  std::printf("=== SC forward latency: LeNet-small, stream %zu ===\n\n",
+              stream);
+
+  nn::Network net = train::build_lenet_small(nn::AccumMode::kOrApprox, 16);
+  const nn::Tensor input = random_unit(nn::Shape{16, 16, 1}, 2024);
+
+  sim::ScConfig base;
+  base.stream_length = stream;
+
+  sim::ScConfig scalar_cfg = base;
+  scalar_cfg.exec = sim::ExecMode::kScalar;
+  sim::ScConfig planned_cfg = base;
+  planned_cfg.exec = sim::ExecMode::kPlanned;
+  planned_cfg.intra_threads = 1;
+  sim::ScConfig threaded_cfg = planned_cfg;
+  threaded_cfg.intra_threads = threads;
+
+  // Bit-exactness gate: the fast path must be a pure refactoring.
+  {
+    sim::ScNetwork scalar_exec(net, scalar_cfg);
+    const nn::Tensor want = scalar_exec.forward(input);
+    for (const sim::ScConfig* cfg : {&planned_cfg, &threaded_cfg}) {
+      sim::ScNetwork planned_exec(net, *cfg);
+      const nn::Tensor got = planned_exec.forward(input);
+      if (!bytes_equal(got, want)) {
+        std::fprintf(stderr,
+                     "FAIL: planned output (intra_threads=%u) is not "
+                     "bit-identical to the scalar path\n",
+                     cfg->intra_threads);
+        return 1;
+      }
+    }
+    std::printf("bit-exactness: planned output identical to scalar (%zu "
+                "outputs)\n\n",
+                want.size());
+  }
+
+  std::vector<VariantResult> results;
+  results.push_back(measure("scalar", net, scalar_cfg, input, iters));
+  results.push_back(measure("planned", net, planned_cfg, input, iters));
+  results.push_back(
+      measure("planned_threads", net, threaded_cfg, input, iters));
+
+  core::Table table({"Variant", "Threads", "Mean [us]", "Min [us]",
+                     "Images/s"});
+  for (const VariantResult& r : results) {
+    table.add_row({r.name, std::to_string(r.threads),
+                   core::format_number(r.mean_us, 5),
+                   core::format_number(r.min_us, 5),
+                   core::format_number(r.images_per_s, 5)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  const double speedup = results[1].images_per_s / results[0].images_per_s;
+  std::printf("\nplanned vs scalar speedup: %.2fx\n", speedup);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+      return 1;
+    }
+    out << "{\n  \"benchmark\": \"sc_forward_lenet_small\",\n"
+        << "  \"stream_length\": " << stream << ",\n"
+        << "  \"iterations\": " << iters << ",\n"
+        << "  \"speedup_planned_vs_scalar\": " << core::json_number(speedup)
+        << ",\n  \"variants\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const VariantResult& r = results[i];
+      out << "    {\"name\": \"" << core::json_escape(r.name)
+          << "\", \"threads\": " << r.threads
+          << ", \"mean_us\": " << core::json_number(r.mean_us)
+          << ", \"min_us\": " << core::json_number(r.min_us)
+          << ", \"images_per_s\": " << core::json_number(r.images_per_s)
+          << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!check_path.empty()) {
+    std::ifstream in(check_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read baseline '%s'\n", check_path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string baseline = buf.str();
+    for (const VariantResult& r : results) {
+      const double want = baseline_images_per_s(baseline, r.name);
+      if (want <= 0.0) {
+        continue;
+      }
+      const double floor = want * (1.0 - tolerance);
+      if (r.images_per_s < floor) {
+        // GitHub Actions annotation; informational by design (see header).
+        std::printf("::warning title=sc-forward perf::variant %s at %.1f "
+                    "images/s, more than %.0f%% below baseline %.1f\n",
+                    r.name.c_str(), r.images_per_s, tolerance * 100.0, want);
+      } else {
+        std::printf("check %s: %.1f images/s vs baseline %.1f (floor %.1f) "
+                    "ok\n",
+                    r.name.c_str(), r.images_per_s, want, floor);
+      }
+    }
+  }
+  return 0;
+}

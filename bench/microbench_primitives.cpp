@@ -6,13 +6,17 @@
 // functional simulator exists).
 #include <benchmark/benchmark.h>
 
+#include "nn/activation.hpp"
 #include "nn/model_zoo.hpp"
+#include "nn/pool.hpp"
 #include "perf/codegen.hpp"
 #include "perf/perf_sim.hpp"
 #include "sc/gates.hpp"
 #include "sc/sng.hpp"
 #include "sim/evaluate.hpp"
 #include "sim/sc_mac.hpp"
+#include "sim/stream_bank.hpp"
+#include "sim/stream_plan.hpp"
 #include "train/models.hpp"
 
 using namespace acoustic;
@@ -73,10 +77,48 @@ void BM_SplitUnipolarMac(benchmark::State& state) {
 }
 BENCHMARK(BM_SplitUnipolarMac)->Arg(96);
 
-void BM_ScNetworkForward(benchmark::State& state) {
+void BM_StreamBankFill(benchmark::State& state) {
+  // The word-parallel SNG kernel: 64 comparator outputs per word
+  // iteration with the per-lane wiring hoisted out of the bit loop.
+  const auto length = static_cast<std::size_t>(state.range(0));
+  sim::StreamBank bank(8, 0xBEEF, length, true);
+  std::vector<std::uint64_t> words((length + 63) / 64);
+  std::uint32_t lane = 0;
+  for (auto _ : state) {
+    bank.fill(128, lane++, 0, length, words);
+    benchmark::DoNotOptimize(words.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(length));
+}
+BENCHMARK(BM_StreamBankFill)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_StreamPlanBuild(benchmark::State& state) {
+  // Packed layer-plan build for a conv2-sized weight lane space (one
+  // full-window kernel sweep per lane, sliced into pooling-window slots).
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  const sim::SegmentSchedule sched{64, 4, 16};
+  sim::StreamBank bank(8, 0xBEEF, 2 * sched.phase, true);
+  std::vector<std::uint32_t> levels(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    levels[i] = static_cast<std::uint32_t>(1 + (i % 255));
+  }
+  for (auto _ : state) {
+    sim::LayerStreamPlan plan(bank, sched, lanes, 0);
+    sim::StreamPlanCounters counters;
+    plan.build(levels, counters, nullptr);
+    benchmark::DoNotOptimize(plan.enabled());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lanes * 2 * sched.phase));
+}
+BENCHMARK(BM_StreamPlanBuild)->Arg(384)->Arg(2400);
+
+void sc_forward_bench(benchmark::State& state, sim::ExecMode exec) {
   nn::Network net = train::build_lenet_small(nn::AccumMode::kOrApprox, 16);
   sim::ScConfig cfg;
   cfg.stream_length = static_cast<std::size_t>(state.range(0));
+  cfg.exec = exec;
   sim::ScNetwork executor(net, cfg);
   nn::Tensor x(nn::Shape{16, 16, 1});
   x.fill(0.5f);
@@ -84,7 +126,46 @@ void BM_ScNetworkForward(benchmark::State& state) {
     benchmark::DoNotOptimize(executor.forward(x));
   }
 }
+
+void BM_ScNetworkForward(benchmark::State& state) {
+  sc_forward_bench(state, sim::ExecMode::kPlanned);
+}
 BENCHMARK(BM_ScNetworkForward)->Arg(64)->Arg(256);
+
+void BM_ScNetworkForwardScalar(benchmark::State& state) {
+  sc_forward_bench(state, sim::ExecMode::kScalar);
+}
+BENCHMARK(BM_ScNetworkForwardScalar)->Arg(64)->Arg(256);
+
+void sc_conv_stage_bench(benchmark::State& state, sim::ExecMode exec) {
+  // One conv + fused avg-pool stage, the hot shape of the executor.
+  nn::Network net;
+  auto& conv = net.add<nn::Conv2D>(nn::ConvSpec{
+      .in_channels = 6, .out_channels = 16, .kernel = 5,
+      .mode = nn::AccumMode::kOrApprox});
+  net.add<nn::ReLU>();
+  net.add<nn::AvgPool2D>(2);
+  conv.initialize(61);
+  sim::ScConfig cfg;
+  cfg.stream_length = 128;
+  cfg.exec = exec;
+  sim::ScNetwork executor(net, cfg);
+  nn::Tensor x(nn::Shape{8, 8, 6});
+  x.fill(0.4f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.forward(x));
+  }
+}
+
+void BM_ScConvStagePlanned(benchmark::State& state) {
+  sc_conv_stage_bench(state, sim::ExecMode::kPlanned);
+}
+BENCHMARK(BM_ScConvStagePlanned);
+
+void BM_ScConvStageScalar(benchmark::State& state) {
+  sc_conv_stage_bench(state, sim::ExecMode::kScalar);
+}
+BENCHMARK(BM_ScConvStageScalar);
 
 void BM_PerfSimAlexNet(benchmark::State& state) {
   const nn::NetworkDesc net = nn::alexnet();

@@ -78,7 +78,13 @@ std::string to_json(const sim::EvalResult& r) {
   out += "    \"product_bits\": " + json_number(r.stats.product_bits) +
          ",\n";
   out += "    \"skipped_operands\": " +
-         json_number(r.stats.skipped_operands) + "\n";
+         json_number(r.stats.skipped_operands) + ",\n";
+  out += "    \"stream_bits_generated\": " +
+         json_number(r.stats.stream_bits_generated) + ",\n";
+  out += "    \"stream_bits_reused\": " +
+         json_number(r.stats.stream_bits_reused) + ",\n";
+  out += "    \"plan_hits\": " + json_number(r.stats.plan_hits) + ",\n";
+  out += "    \"plan_misses\": " + json_number(r.stats.plan_misses) + "\n";
   out += "  },\n";
   out += "  \"wall_seconds\": " + json_number(r.wall_seconds) + ",\n";
   out += "  \"throughput_sps\": " + json_number(r.throughput_sps) + ",\n";

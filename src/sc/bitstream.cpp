@@ -19,8 +19,12 @@ void BitStream::clear_tail() noexcept {
 }
 
 std::size_t BitStream::count_ones() const noexcept {
+  return popcount_words(words_);
+}
+
+std::size_t popcount_words(std::span<const std::uint64_t> words) noexcept {
   std::size_t total = 0;
-  for (std::uint64_t w : words_) {
+  for (const std::uint64_t w : words) {
     total += static_cast<std::size_t>(std::popcount(w));
   }
   return total;

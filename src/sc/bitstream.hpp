@@ -75,6 +75,13 @@ class BitStream {
     return words_;
   }
 
+  /// Mutable view of the packed words, for in-place generation kernels
+  /// (sim::StreamBank writes comparator output a word at a time). Callers
+  /// must preserve the invariant that tail bits above size() stay zero.
+  [[nodiscard]] std::span<std::uint64_t> mutable_words() noexcept {
+    return words_;
+  }
+
   /// "0101..."-style dump, least-recent bit first. Debug/trace use.
   [[nodiscard]] std::string to_string() const;
 
@@ -103,5 +110,11 @@ class BitStream {
 /// Concatenates streams in order (scaled addition when the inputs are
 /// independent: value(concat) == mean of values when lengths are equal).
 [[nodiscard]] BitStream concatenate(std::span<const BitStream> streams);
+
+/// Number of set bits across @p words — the one popcount kernel shared by
+/// BitStream::count_ones and the raw packed-word paths of the functional
+/// simulator (sim::ScNetwork's OR-accumulator scratch).
+[[nodiscard]] std::size_t popcount_words(
+    std::span<const std::uint64_t> words) noexcept;
 
 }  // namespace acoustic::sc

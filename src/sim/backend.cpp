@@ -84,9 +84,10 @@ class FloatBackend final : public InferenceBackend {
 /// Bit-level split-unipolar execution via ScNetwork.
 class ScBackend final : public InferenceBackend {
  public:
-  ScBackend(nn::Network& net, const ScConfig& cfg)
+  ScBackend(nn::Network& net, const ScConfig& cfg,
+            std::shared_ptr<WeightPlanStore> shared_plans = nullptr)
       : net_(std::make_unique<nn::Network>(net.clone())),
-        exec_(*net_, cfg) {}
+        exec_(*net_, cfg, std::move(shared_plans)) {}
 
   [[nodiscard]] std::string name() const override {
     return exec_.config().pooling == PoolingMode::kSkipping ? "sc"
@@ -94,7 +95,12 @@ class ScBackend final : public InferenceBackend {
   }
 
   [[nodiscard]] std::unique_ptr<InferenceBackend> clone() const override {
-    return std::make_unique<ScBackend>(*net_, exec_.config());
+    // Clones share the weight-plan store: the per-stage weight plans are
+    // pure functions of (config, weight levels), so N workers build each
+    // plan once between them and the merged stats stay thread-count
+    // invariant.
+    return std::make_unique<ScBackend>(*net_, exec_.config(),
+                                       exec_.shared_plans());
   }
 
   [[nodiscard]] nn::Tensor forward(const nn::Tensor& input) override {
@@ -104,14 +110,18 @@ class ScBackend final : public InferenceBackend {
 
   [[nodiscard]] RunStats stats() const override {
     const ScNetwork::Stats& s = exec_.stats();
-    return RunStats{samples_, s.layers_run, s.product_bits,
-                    s.skipped_operands};
+    return RunStats{samples_,         s.layers_run,
+                    s.product_bits,   s.skipped_operands,
+                    s.stream_bits_generated, s.stream_bits_reused,
+                    s.plan_hits,      s.plan_misses};
   }
 
   [[nodiscard]] RunStats take_stats() override {
     const ScNetwork::Stats s = exec_.take_stats();
     return RunStats{std::exchange(samples_, 0), s.layers_run,
-                    s.product_bits, s.skipped_operands};
+                    s.product_bits,   s.skipped_operands,
+                    s.stream_bits_generated, s.stream_bits_reused,
+                    s.plan_hits,      s.plan_misses};
   }
 
   void set_profiler(obs::Profiler* profiler, std::uint32_t track) override {

@@ -39,12 +39,25 @@ struct RunStats {
   std::uint64_t product_bits = 0;
   /// Product candidates skipped by operand gating (SC backend only).
   std::uint64_t skipped_operands = 0;
+  /// SNG comparator bits actually generated (SC backend only).
+  std::uint64_t stream_bits_generated = 0;
+  /// Stream bits served from a packed per-layer plan instead of being
+  /// regenerated (SC backend only; see sim/stream_plan.hpp).
+  std::uint64_t stream_bits_reused = 0;
+  /// Segment fetches served from a plan / generated on the fly because the
+  /// plan exceeded its byte budget (SC backend only).
+  std::uint64_t plan_hits = 0;
+  std::uint64_t plan_misses = 0;
 
   void merge(const RunStats& other) noexcept {
     samples += other.samples;
     layers_run += other.layers_run;
     product_bits += other.product_bits;
     skipped_operands += other.skipped_operands;
+    stream_bits_generated += other.stream_bits_generated;
+    stream_bits_reused += other.stream_bits_reused;
+    plan_hits += other.plan_hits;
+    plan_misses += other.plan_misses;
   }
 
   bool operator==(const RunStats&) const = default;

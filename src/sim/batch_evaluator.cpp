@@ -119,6 +119,11 @@ void export_metrics(const EvalResult& result, obs::Registry& registry) {
   registry.add("sim.layers_run", result.stats.layers_run);
   registry.add("sc.product_bits", result.stats.product_bits);
   registry.add("sc.skipped_operands", result.stats.skipped_operands);
+  registry.add("sc.stream_bits_generated",
+               result.stats.stream_bits_generated);
+  registry.add("sc.stream_bits_reused", result.stats.stream_bits_reused);
+  registry.add("sc.plan_hits", result.stats.plan_hits);
+  registry.add("sc.plan_misses", result.stats.plan_misses);
 }
 
 }  // namespace acoustic::sim

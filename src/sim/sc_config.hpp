@@ -8,6 +8,20 @@
 
 namespace acoustic::sim {
 
+/// Execution strategy of the bit-level simulator. Both modes are
+/// bit-identical (the golden equivalence suite enforces it); they differ
+/// only in speed.
+enum class ExecMode {
+  /// Reference scalar path: every stream segment is regenerated at its
+  /// point of use. Slow; kept as the equivalence oracle and for bisecting
+  /// fast-path regressions.
+  kScalar,
+  /// Fast path: per-layer packed stream plans (weight and activation
+  /// segments generated once, reused across output positions) plus
+  /// optional intra-image row parallelism. The default.
+  kPlanned,
+};
+
 /// How pooling layers execute in the stochastic domain.
 enum class PoolingMode {
   /// Computation skipping (paper II-C): each output in a p x p window is
@@ -38,6 +52,21 @@ struct ScConfig {
   /// Per-lane decorrelation of the shared SNG RNGs (scrambler + phase
   /// taps). Disable only to reproduce the naive-sharing failure mode.
   bool decorrelate_lanes = true;
+
+  ExecMode exec = ExecMode::kPlanned;
+
+  /// Intra-image worker threads for the planned path (conv output rows,
+  /// dense output neurons): 1 = serial, 0 = hardware concurrency. Results
+  /// are bit-identical for any value. Ignored in scalar mode. Leave at 1
+  /// when the batch evaluator already saturates the machine across images;
+  /// raise it to cut single-image latency.
+  unsigned intra_threads = 1;
+
+  /// Byte budget per packed stream plan (one weight plan + one activation
+  /// plan per layer). A plan that would exceed it disables itself and the
+  /// layer falls back to on-the-fly generation, counted as plan misses —
+  /// still bit-identical. 0 = unlimited.
+  std::size_t plan_budget_bytes = std::size_t{256} << 20;
 
   [[nodiscard]] std::size_t phase_length() const noexcept {
     return stream_length / 2;

@@ -1,12 +1,13 @@
 #include "sim/sc_network.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <stdexcept>
 
 #include "nn/activation.hpp"
 #include "nn/pool.hpp"
-#include "sim/stream_bank.hpp"
+#include "sc/bitstream.hpp"
 
 namespace acoustic::sim {
 
@@ -17,23 +18,164 @@ using Words = std::vector<std::uint64_t>;
 
 std::size_t word_count(std::size_t bits) { return (bits + 63) / 64; }
 
-std::int64_t popcount_words(const Words& w, std::size_t words) {
-  std::int64_t total = 0;
-  for (std::size_t i = 0; i < words; ++i) {
-    total += std::popcount(w[i]);
+std::int64_t popcount_acc(const std::uint64_t* words, std::size_t count) {
+  return static_cast<std::int64_t>(sc::popcount_words({words, count}));
+}
+
+/// Geometry of one conv(+fused pool) stage: output shapes, the pooling
+/// window's segment timetable and the receptive-field extent. Shared by
+/// the scalar and planned executors so the two paths cannot drift.
+struct ConvGeometry {
+  nn::Shape in;
+  nn::Shape conv_out;
+  nn::Shape out_shape;
+  int pool = 1;
+  std::size_t window_positions = 1;
+  std::size_t seg = 0;
+  std::size_t seg_words = 0;
+  /// Bits actually counted per phase per pooled output (phase may not
+  /// divide evenly by the window size; hardware rounds the slice down the
+  /// same way).
+  double counted_bits = 0.0;
+  std::size_t rf_max = 0;
+};
+
+ConvGeometry conv_geometry(const Stage& stage, const nn::Tensor& input,
+                           std::size_t phase) {
+  const nn::Conv2D& conv = *stage.conv;
+  const auto& spec = conv.spec();
+  ConvGeometry g;
+  g.in = input.shape();
+  g.conv_out = conv.output_shape(g.in);
+  g.pool = stage.fused_pool != nullptr ? stage.fused_pool->window() : 1;
+  if (g.pool > 1 &&
+      (g.conv_out.h % g.pool != 0 || g.conv_out.w % g.pool != 0)) {
+    throw std::invalid_argument(
+        "ScNetwork: fused pooling window must tile the conv output");
   }
-  return total;
+  g.window_positions = static_cast<std::size_t>(g.pool) * g.pool;
+  g.seg = phase / g.window_positions;
+  if (g.seg == 0) {
+    throw std::invalid_argument(
+        "ScNetwork: stream too short for the pooling window");
+  }
+  g.seg_words = word_count(g.seg);
+  g.counted_bits = static_cast<double>(g.seg * g.window_positions);
+  g.out_shape =
+      nn::Shape{g.conv_out.h / g.pool, g.conv_out.w / g.pool, g.conv_out.c};
+  g.rf_max =
+      static_cast<std::size_t>(spec.kernel) * spec.kernel * spec.in_channels;
+  return g;
+}
+
+/// Gathers the receptive field of conv output (oy, ox): slot s maps to an
+/// input pixel and to the weight offset (ky, kx, ic) shared by all output
+/// channels. Returns the slot count; dead slots (zero padding or a
+/// zero-quantized activation) are marked not-live.
+std::size_t gather_rf(const nn::ConvSpec& spec, const nn::Tensor& input,
+                      const std::uint32_t* act_levels, int oy, int ox,
+                      std::uint32_t* rf_weight_lane,
+                      std::size_t* rf_act_index, char* rf_live) {
+  const nn::Shape in = input.shape();
+  std::size_t rf_size = 0;
+  for (int ky = 0; ky < spec.kernel; ++ky) {
+    const int iy = oy * spec.stride + ky - spec.padding;
+    for (int kx = 0; kx < spec.kernel; ++kx) {
+      const int ix = ox * spec.stride + kx - spec.padding;
+      for (int ic = 0; ic < spec.in_channels; ++ic) {
+        const std::size_t slot = rf_size++;
+        rf_weight_lane[slot] = static_cast<std::uint32_t>(
+            (static_cast<std::size_t>(ky) * spec.kernel + kx) *
+                spec.in_channels +
+            ic);
+        if (iy < 0 || iy >= in.h || ix < 0 || ix >= in.w) {
+          rf_live[slot] = 0;  // zero padding: operand-gated
+          continue;
+        }
+        const std::size_t ai = input.index(iy, ix, ic);
+        rf_act_index[slot] = ai;
+        rf_live[slot] = act_levels[ai] != 0 ? 1 : 0;
+      }
+    }
+  }
+  return rf_size;
+}
+
+/// Quantizes all activations to SNG comparator levels once per layer.
+std::vector<std::uint32_t> quantize_activations(const StreamBank& bank,
+                                                const nn::Tensor& input) {
+  std::vector<std::uint32_t> levels(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    levels[i] = bank.quantize(input[i]);
+  }
+  return levels;
+}
+
+/// Quantizes all weight magnitudes once per layer (the sign schedules the
+/// product into the + or - phase instead).
+std::vector<std::uint32_t> quantize_weights(const StreamBank& bank,
+                                            std::span<const float> weights) {
+  std::vector<std::uint32_t> levels(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    levels[i] = bank.quantize(std::fabs(weights[i]));
+  }
+  return levels;
 }
 
 }  // namespace
 
-ScNetwork::ScNetwork(nn::Network& net, ScConfig cfg)
+ScNetwork::ScNetwork(nn::Network& net, ScConfig cfg,
+                     std::shared_ptr<WeightPlanStore> shared)
     : net_(&net), cfg_(cfg) {
   if (cfg_.phase_length() == 0) {
     throw std::invalid_argument("ScNetwork: stream_length must be >= 2");
   }
   stages_ = plan_stages(net, cfg_.pooling == PoolingMode::kSkipping,
                         "ScNetwork");
+  wgt_plans_ = shared != nullptr
+                   ? std::move(shared)
+                   : std::make_shared<WeightPlanStore>(cfg_, stages_.size());
+}
+
+runtime::ThreadPool* ScNetwork::intra_pool() {
+  if (cfg_.exec != ExecMode::kPlanned || cfg_.intra_threads == 1) {
+    return nullptr;
+  }
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<runtime::ThreadPool>(cfg_.intra_threads);
+  }
+  return pool_.get();
+}
+
+StreamBank& ScNetwork::activation_bank() {
+  if (act_bank_ == nullptr) {
+    act_bank_ = std::make_unique<StreamBank>(
+        cfg_.sng_width, cfg_.activation_seed, 2 * cfg_.phase_length(),
+        cfg_.decorrelate_lanes);
+  }
+  return *act_bank_;
+}
+
+StreamBank& ScNetwork::weight_bank() {
+  if (wgt_bank_ == nullptr) {
+    wgt_bank_ = std::make_unique<StreamBank>(
+        cfg_.sng_width, cfg_.weight_seed, 2 * cfg_.phase_length(),
+        cfg_.decorrelate_lanes);
+  }
+  return *wgt_bank_;
+}
+
+std::shared_ptr<const LayerStreamPlan> ScNetwork::weight_plan(
+    std::size_t stage_idx, const SegmentSchedule& sched,
+    std::span<const std::uint32_t> levels, runtime::ThreadPool* pool) {
+  // The build's own kernel bits are deliberately NOT charged to per-run
+  // stats: a weight plan is built once and amortized across every image
+  // (and every clone), so charging the builder would make stats depend on
+  // evaluation history and break the thread-count / repeated-run
+  // invariance the batch evaluator guarantees.
+  StreamPlanCounters built;
+  return wgt_plans_->get(stage_idx, sched, levels, cfg_.plan_budget_bytes,
+                         built, pool);
 }
 
 nn::Tensor ScNetwork::forward(const nn::Tensor& input) {
@@ -53,134 +195,104 @@ nn::Tensor ScNetwork::forward(const nn::Tensor& input) {
     span.kind(stage.conv != nullptr
                   ? (stage.fused_pool != nullptr ? "conv+pool" : "conv")
                   : "dense");
-    const std::uint64_t bits_before = run.product_bits;
-    const std::uint64_t skips_before = run.skipped_operands;
-    x = stage.conv != nullptr ? run_conv(stage, x, run)
-                              : run_dense(stage, x, run);
+    const Stats before = run;
+    x = stage.conv != nullptr ? run_conv(stage, s, x, run)
+                              : run_dense(stage, s, x, run);
     for (nn::Layer* post : stage.post_ops) {
       x = post->forward(x);
     }
     ++run.layers_run;
-    span.counter("product_bits", run.product_bits - bits_before);
-    span.counter("skipped_operands", run.skipped_operands - skips_before);
+    span.counter("product_bits", run.product_bits - before.product_bits);
+    span.counter("skipped_operands",
+                 run.skipped_operands - before.skipped_operands);
+    span.counter("stream_bits_generated",
+                 run.stream_bits_generated - before.stream_bits_generated);
+    span.counter("stream_bits_reused",
+                 run.stream_bits_reused - before.stream_bits_reused);
   }
   stats_.merge(run);
   return x;
 }
 
-nn::Tensor ScNetwork::run_conv(const Stage& stage, const nn::Tensor& input,
-                               Stats& run) {
+nn::Tensor ScNetwork::run_conv(const Stage& stage, std::size_t stage_idx,
+                               const nn::Tensor& input, Stats& run) {
+  return cfg_.exec == ExecMode::kScalar
+             ? run_conv_scalar(stage, input, run)
+             : run_conv_planned(stage, stage_idx, input, run);
+}
+
+// Reference scalar path (the seed implementation): regenerates every
+// stream segment at its point of use. Kept verbatim as the equivalence
+// oracle for the planned path below.
+nn::Tensor ScNetwork::run_conv_scalar(const Stage& stage,
+                                      const nn::Tensor& input, Stats& run) {
   const nn::Conv2D& conv = *stage.conv;
   const auto& spec = conv.spec();
-  const nn::Shape in = input.shape();
-  const nn::Shape conv_out = conv.output_shape(in);
-  const int pool = stage.fused_pool != nullptr ? stage.fused_pool->window() : 1;
-  if (pool > 1 && (conv_out.h % pool != 0 || conv_out.w % pool != 0)) {
-    throw std::invalid_argument(
-        "ScNetwork: fused pooling window must tile the conv output");
-  }
   const std::size_t phase = cfg_.phase_length();
-  const std::size_t window_positions = static_cast<std::size_t>(pool) * pool;
-  const std::size_t seg = phase / window_positions;
-  if (seg == 0) {
-    throw std::invalid_argument(
-        "ScNetwork: stream too short for the pooling window");
-  }
-  const std::size_t seg_words = word_count(seg);
-  // Bits actually counted per phase per pooled output (phase may not divide
-  // evenly by the window size; hardware rounds the slice down the same way).
-  const auto counted_bits =
-      static_cast<double>(seg * window_positions);
+  const ConvGeometry g = conv_geometry(stage, input, phase);
 
   StreamBank act_bank(cfg_.sng_width, cfg_.activation_seed, 2 * phase,
                       cfg_.decorrelate_lanes);
   StreamBank wgt_bank(cfg_.sng_width, cfg_.weight_seed, 2 * phase,
                       cfg_.decorrelate_lanes);
 
-  // Quantize all activations and weights to SNG comparator levels once.
-  std::vector<std::uint32_t> act_levels(input.size());
-  for (std::size_t i = 0; i < input.size(); ++i) {
-    act_levels[i] = act_bank.quantize(input[i]);
-  }
+  const std::vector<std::uint32_t> act_levels =
+      quantize_activations(act_bank, input);
   const auto weights = conv.weights();
-  std::vector<std::uint32_t> wgt_levels(weights.size());
-  for (std::size_t i = 0; i < weights.size(); ++i) {
-    wgt_levels[i] = wgt_bank.quantize(std::fabs(weights[i]));
-  }
+  const std::vector<std::uint32_t> wgt_levels =
+      quantize_weights(wgt_bank, weights);
 
-  const nn::Shape out_shape{conv_out.h / pool, conv_out.w / pool,
-                            conv_out.c};
-  nn::Tensor out(out_shape);
+  nn::Tensor out(g.out_shape);
   std::uint64_t product_bits = 0;
   std::uint64_t skipped = 0;
+  std::uint64_t bits_generated = 0;
 
   // Receptive-field scratch: activation segment streams for one (output
   // position, window slot, phase), plus reusable weight/OR buffers.
-  const std::size_t rf_max =
-      static_cast<std::size_t>(spec.kernel) * spec.kernel * spec.in_channels;
-  std::vector<Words> act_streams(rf_max, Words(seg_words));
-  std::vector<std::uint32_t> rf_weight_lane(rf_max);  // weight lane per slot
-  std::vector<std::size_t> rf_act_index(rf_max);
-  std::vector<char> rf_live(rf_max);
-  Words wgt_stream(seg_words);
-  Words or_acc(seg_words);
-  std::vector<std::int64_t> counters(
-      static_cast<std::size_t>(conv_out.c));
+  std::vector<Words> act_streams(g.rf_max, Words(g.seg_words));
+  std::vector<std::uint32_t> rf_weight_lane(g.rf_max);
+  std::vector<std::size_t> rf_act_index(g.rf_max);
+  std::vector<char> rf_live(g.rf_max);
+  Words wgt_stream(g.seg_words);
+  Words or_acc(g.seg_words);
+  std::vector<std::int64_t> counters(static_cast<std::size_t>(g.conv_out.c));
 
-  for (int py = 0; py < out_shape.h; ++py) {
-    for (int px = 0; px < out_shape.w; ++px) {
+  for (int py = 0; py < g.out_shape.h; ++py) {
+    for (int px = 0; px < g.out_shape.w; ++px) {
       for (auto& c : counters) {
         c = 0;
       }
-      for (int k = 0; k < static_cast<int>(window_positions); ++k) {
-        const int oy = py * pool + k / pool;
-        const int ox = px * pool + k % pool;
-        // Gather the receptive field of conv output (oy, ox): slot s maps
-        // to input pixel and to weight offset (ky, kx, ic) shared by all
-        // output channels.
-        std::size_t rf_size = 0;
-        for (int ky = 0; ky < spec.kernel; ++ky) {
-          const int iy = oy * spec.stride + ky - spec.padding;
-          for (int kx = 0; kx < spec.kernel; ++kx) {
-            const int ix = ox * spec.stride + kx - spec.padding;
-            for (int ic = 0; ic < spec.in_channels; ++ic) {
-              const std::size_t slot = rf_size++;
-              rf_weight_lane[slot] = static_cast<std::uint32_t>(
-                  (static_cast<std::size_t>(ky) * spec.kernel + kx) *
-                      spec.in_channels +
-                  ic);
-              if (iy < 0 || iy >= in.h || ix < 0 || ix >= in.w) {
-                rf_live[slot] = 0;  // zero padding: operand-gated
-                continue;
-              }
-              const std::size_t ai = input.index(iy, ix, ic);
-              rf_act_index[slot] = ai;
-              rf_live[slot] = act_levels[ai] != 0 ? 1 : 0;
-            }
-          }
-        }
+      for (int k = 0; k < static_cast<int>(g.window_positions); ++k) {
+        const int oy = py * g.pool + k / g.pool;
+        const int ox = px * g.pool + k % g.pool;
+        const std::size_t rf_size =
+            gather_rf(spec, input, act_levels.data(), oy, ox,
+                      rf_weight_lane.data(), rf_act_index.data(),
+                      rf_live.data());
         // Two phases: + (counts up), - (counts down). The activation SNGs
         // run continuously: phase+ uses cycles [k*seg, ...), phase- the
         // same slice offset by a full phase.
         for (int ph = 0; ph < 2; ++ph) {
           const bool positive = ph == 0;
           const std::size_t offset =
-              (positive ? 0 : phase) + static_cast<std::size_t>(k) * seg;
+              (positive ? 0 : phase) + static_cast<std::size_t>(k) * g.seg;
           for (std::size_t s = 0; s < rf_size; ++s) {
             if (rf_live[s]) {
               act_bank.fill(act_levels[rf_act_index[s]],
                             static_cast<std::uint32_t>(rf_act_index[s]),
-                            offset, seg, act_streams[s]);
+                            offset, g.seg, act_streams[s]);
+              bits_generated += g.seg;
             }
           }
-          for (int oc = 0; oc < conv_out.c; ++oc) {
-            for (std::size_t w = 0; w < seg_words; ++w) {
+          for (int oc = 0; oc < g.conv_out.c; ++oc) {
+            for (std::size_t w = 0; w < g.seg_words; ++w) {
               or_acc[w] = 0;
             }
             bool any = false;
             for (std::size_t s = 0; s < rf_size; ++s) {
               const std::size_t wi =
-                  static_cast<std::size_t>(oc) * rf_max + rf_weight_lane[s];
+                  static_cast<std::size_t>(oc) * g.rf_max +
+                  rf_weight_lane[s];
               const float wv = weights[wi];
               const bool active_here = positive ? (wv > 0.0f) : (wv < 0.0f);
               if (!active_here) {
@@ -190,37 +302,346 @@ nn::Tensor ScNetwork::run_conv(const Stage& stage, const nn::Tensor& input,
                 ++skipped;  // operand-gated: zero/padding input, zero weight
                 continue;
               }
-              wgt_bank.fill(wgt_levels[wi],
-                            static_cast<std::uint32_t>(wi), offset, seg,
-                            wgt_stream);
-              for (std::size_t w = 0; w < seg_words; ++w) {
+              wgt_bank.fill(wgt_levels[wi], static_cast<std::uint32_t>(wi),
+                            offset, g.seg, wgt_stream);
+              bits_generated += g.seg;
+              for (std::size_t w = 0; w < g.seg_words; ++w) {
                 or_acc[w] |= act_streams[s][w] & wgt_stream[w];
               }
               any = true;
-              product_bits += seg;
+              product_bits += g.seg;
             }
             if (any) {
-              const std::int64_t ones = popcount_words(or_acc, seg_words);
+              const std::int64_t ones =
+                  popcount_acc(or_acc.data(), g.seg_words);
               counters[static_cast<std::size_t>(oc)] +=
                   positive ? ones : -ones;
             }
           }
         }
       }
-      for (int oc = 0; oc < conv_out.c; ++oc) {
+      for (int oc = 0; oc < g.conv_out.c; ++oc) {
         out.at(py, px, oc) = static_cast<float>(
             static_cast<double>(counters[static_cast<std::size_t>(oc)]) /
-            counted_bits);
+            g.counted_bits);
       }
     }
   }
   run.product_bits += product_bits;
   run.skipped_operands += skipped;
+  run.stream_bits_generated += bits_generated;
   return out;
 }
 
-nn::Tensor ScNetwork::run_dense(const Stage& stage, const nn::Tensor& input,
-                                Stats& run) {
+// Fast path: packed per-layer stream plans + optional row parallelism.
+// Bit-identical to run_conv_scalar — every served segment is the same pure
+// function of (bank, lane, level, offset), counter accumulation stays
+// integer-exact, and output rows are disjoint, so the H-row shard merge is
+// independent of worker count and scheduling order.
+nn::Tensor ScNetwork::run_conv_planned(const Stage& stage,
+                                       std::size_t stage_idx,
+                                       const nn::Tensor& input, Stats& run) {
+  const nn::Conv2D& conv = *stage.conv;
+  const auto& spec = conv.spec();
+  const std::size_t phase = cfg_.phase_length();
+  const ConvGeometry g = conv_geometry(stage, input, phase);
+
+  StreamBank& act_bank = activation_bank();
+  const std::vector<std::uint32_t> act_levels =
+      quantize_activations(act_bank, input);
+  const auto weights = conv.weights();
+  const std::vector<std::uint32_t> wgt_levels =
+      quantize_weights(weight_bank(), weights);
+
+  runtime::ThreadPool* pool = intra_pool();
+
+  // Weight plan: cached across images (the levels vector is the cache
+  // key). Activation plan: built per image, reused by every overlapping
+  // receptive field. Building before the row loop keeps both tables
+  // read-only while workers run.
+  const SegmentSchedule sched{phase, g.window_positions, g.seg};
+  const std::shared_ptr<const LayerStreamPlan> wgt_plan_ptr =
+      weight_plan(stage_idx, sched, wgt_levels, pool);
+  const LayerStreamPlan& wgt_plan = *wgt_plan_ptr;
+  LayerStreamPlan act_plan(act_bank, sched, input.size(),
+                           cfg_.plan_budget_bytes);
+  StreamPlanCounters build_counters;
+  act_plan.build(act_levels, build_counters, pool);
+
+  nn::Tensor out(g.out_shape);
+  const unsigned workers = pool != nullptr ? pool->size() : 1u;
+  const bool fast = wgt_plan.enabled() && act_plan.enabled();
+  const auto oc_count = static_cast<std::size_t>(g.conv_out.c);
+  const std::size_t seg_words = g.seg_words;
+
+  // Sign scheduling is position-invariant: whether weight (oc, slot) joins
+  // the + or the - phase depends only on its sign, and a zero-quantized
+  // weight is operand-gated at every position. Classify each weight once
+  // per layer, hoisting the sign test, the zero-weight gate and the plan
+  // lookup out of the per-position product loop.
+  struct SignEntry {
+    std::uint32_t slot;         ///< receptive-field slot (== weight offset)
+    const std::uint64_t* lane;  ///< weight lane's packed slot table
+  };
+  std::vector<std::vector<SignEntry>> active;  // [ph * oc_count + oc]
+  std::vector<std::uint32_t> gated;            // always-skipped per group
+  if (fast) {
+    active.resize(2 * oc_count);
+    gated.assign(2 * oc_count, 0);
+    for (std::size_t oc = 0; oc < oc_count; ++oc) {
+      for (std::size_t s = 0; s < g.rf_max; ++s) {
+        const std::size_t wi = oc * g.rf_max + s;
+        const float wv = weights[wi];
+        // Same predicates as the scalar path's active_here test: zero (and
+        // non-finite) weights are active in neither sign phase.
+        if (!(wv > 0.0f) && !(wv < 0.0f)) {
+          continue;
+        }
+        const std::size_t group = (wv > 0.0f ? 0 : 1) * oc_count + oc;
+        if (wgt_levels[wi] != 0) {
+          active[group].push_back(
+              {static_cast<std::uint32_t>(s), wgt_plan.lane_words(wi)});
+        } else {
+          ++gated[group];
+        }
+      }
+    }
+  }
+
+  // Per-worker scratch and accounting: disjoint output rows, additive
+  // counters merged after the loop (order-insensitive sums).
+  struct WorkerState {
+    std::vector<const std::uint64_t*> act_lane;  ///< per-slot plan row (fast)
+    std::vector<const std::uint64_t*> act_seg;   ///< per-slot segment (generic)
+    Words act_scratch;  ///< fallback storage, one slice per slot
+    Words wgt_scratch;
+    Words or_acc;
+    std::vector<std::uint32_t> rf_weight_lane;
+    std::vector<std::size_t> rf_act_index;
+    std::vector<char> rf_live;
+    std::vector<std::int64_t> counters;
+    std::uint64_t product_bits = 0;
+    std::uint64_t skipped = 0;
+    StreamPlanCounters plan;
+  };
+  std::vector<WorkerState> states(workers);
+  for (WorkerState& ws : states) {
+    ws.act_lane.resize(g.rf_max);
+    ws.act_seg.resize(g.rf_max);
+    ws.act_scratch.resize(g.rf_max * seg_words);
+    ws.wgt_scratch.resize(seg_words);
+    ws.or_acc.resize(seg_words);
+    ws.rf_weight_lane.resize(g.rf_max);
+    ws.rf_act_index.resize(g.rf_max);
+    ws.rf_live.resize(g.rf_max);
+    ws.counters.resize(oc_count);
+  }
+
+  // Hot row body: every product is two loads, an AND and an OR — segments
+  // come straight out of the plan tables via hoisted row pointers, and all
+  // counters are tallied arithmetically per group instead of per product.
+  const auto run_row_fast = [&](std::size_t row, unsigned worker) {
+    WorkerState& ws = states[worker];
+    const int py = static_cast<int>(row);
+    for (int px = 0; px < g.out_shape.w; ++px) {
+      for (auto& c : ws.counters) {
+        c = 0;
+      }
+      for (int k = 0; k < static_cast<int>(g.window_positions); ++k) {
+        const int oy = py * g.pool + k / g.pool;
+        const int ox = px * g.pool + k % g.pool;
+        // Gather the receptive field as direct plan-row pointers
+        // (nullptr = zero padding or zero activation, operand-gated).
+        std::uint64_t live = 0;
+        {
+          std::size_t slot = 0;
+          for (int ky = 0; ky < spec.kernel; ++ky) {
+            const int iy = oy * spec.stride + ky - spec.padding;
+            for (int kx = 0; kx < spec.kernel; ++kx) {
+              const int ix = ox * spec.stride + kx - spec.padding;
+              if (iy < 0 || iy >= g.in.h || ix < 0 || ix >= g.in.w) {
+                for (int ic = 0; ic < spec.in_channels; ++ic) {
+                  ws.act_lane[slot++] = nullptr;
+                }
+                continue;
+              }
+              for (int ic = 0; ic < spec.in_channels; ++ic) {
+                const std::size_t ai = input.index(iy, ix, ic);
+                if (act_levels[ai] != 0) {
+                  ws.act_lane[slot++] = act_plan.lane_words(ai);
+                  ++live;
+                } else {
+                  ws.act_lane[slot++] = nullptr;
+                }
+              }
+            }
+          }
+        }
+        for (int ph = 0; ph < 2; ++ph) {
+          const bool positive = ph == 0;
+          const std::size_t slot_off =
+              sched.slot_index(positive, static_cast<std::size_t>(k)) *
+              seg_words;
+          // Activation segments: one plan hit per live slot per phase
+          // (the same accounting the generic fetch() path produces).
+          ws.plan.plan_hits += live;
+          ws.plan.bits_reused += live * g.seg;
+          std::uint64_t products_here = 0;
+          for (std::size_t oc = 0; oc < oc_count; ++oc) {
+            const std::size_t group =
+                static_cast<std::size_t>(ph) * oc_count + oc;
+            ws.skipped += gated[group];
+            const std::vector<SignEntry>& entries = active[group];
+            std::uint64_t products = 0;
+            std::int64_t ones = 0;
+            if (seg_words == 1) {
+              std::uint64_t acc = 0;
+              for (const SignEntry& e : entries) {
+                const std::uint64_t* act = ws.act_lane[e.slot];
+                if (act == nullptr) {
+                  ++ws.skipped;
+                  continue;
+                }
+                acc |= act[slot_off] & e.lane[slot_off];
+                ++products;
+              }
+              ones = static_cast<std::int64_t>(std::popcount(acc));
+            } else {
+              std::uint64_t* or_acc = ws.or_acc.data();
+              for (std::size_t w = 0; w < seg_words; ++w) {
+                or_acc[w] = 0;
+              }
+              for (const SignEntry& e : entries) {
+                const std::uint64_t* act = ws.act_lane[e.slot];
+                if (act == nullptr) {
+                  ++ws.skipped;
+                  continue;
+                }
+                const std::uint64_t* a = act + slot_off;
+                const std::uint64_t* b = e.lane + slot_off;
+                for (std::size_t w = 0; w < seg_words; ++w) {
+                  or_acc[w] |= a[w] & b[w];
+                }
+                ++products;
+              }
+              ones = popcount_acc(or_acc, seg_words);
+            }
+            if (products != 0) {
+              ws.counters[oc] += positive ? ones : -ones;
+            }
+            products_here += products;
+          }
+          ws.product_bits += products_here * g.seg;
+          ws.plan.plan_hits += products_here;
+          ws.plan.bits_reused += products_here * g.seg;
+        }
+      }
+      for (std::size_t oc = 0; oc < oc_count; ++oc) {
+        out.at(py, px, static_cast<int>(oc)) = static_cast<float>(
+            static_cast<double>(ws.counters[oc]) / g.counted_bits);
+      }
+    }
+  };
+
+  // Generic row body: taken when a plan exceeded its byte budget. fetch()
+  // serves planned lanes and regenerates the rest on the fly (counted as
+  // plan misses); the served bits are identical either way.
+  const auto run_row_generic = [&](std::size_t row, unsigned worker) {
+    WorkerState& ws = states[worker];
+    const int py = static_cast<int>(row);
+    for (int px = 0; px < g.out_shape.w; ++px) {
+      for (auto& c : ws.counters) {
+        c = 0;
+      }
+      for (int k = 0; k < static_cast<int>(g.window_positions); ++k) {
+        const int oy = py * g.pool + k / g.pool;
+        const int ox = px * g.pool + k % g.pool;
+        const std::size_t rf_size =
+            gather_rf(spec, input, act_levels.data(), oy, ox,
+                      ws.rf_weight_lane.data(), ws.rf_act_index.data(),
+                      ws.rf_live.data());
+        for (int ph = 0; ph < 2; ++ph) {
+          const bool positive = ph == 0;
+          const auto kk = static_cast<std::size_t>(k);
+          for (std::size_t s = 0; s < rf_size; ++s) {
+            if (ws.rf_live[s]) {
+              const std::size_t ai = ws.rf_act_index[s];
+              ws.act_seg[s] = act_plan.fetch(
+                  ai, act_levels[ai], positive, kk,
+                  {ws.act_scratch.data() + s * seg_words, seg_words},
+                  ws.plan);
+            }
+          }
+          for (std::size_t oc = 0; oc < oc_count; ++oc) {
+            for (std::size_t w = 0; w < seg_words; ++w) {
+              ws.or_acc[w] = 0;
+            }
+            bool any = false;
+            for (std::size_t s = 0; s < rf_size; ++s) {
+              const std::size_t wi = oc * g.rf_max + ws.rf_weight_lane[s];
+              const float wv = weights[wi];
+              const bool active_here = positive ? (wv > 0.0f) : (wv < 0.0f);
+              if (!active_here) {
+                continue;  // scheduled in the other sign phase
+              }
+              if (!ws.rf_live[s] || wgt_levels[wi] == 0) {
+                ++ws.skipped;
+                continue;
+              }
+              const std::uint64_t* wgt_words = wgt_plan.fetch(
+                  wi, wgt_levels[wi], positive, kk,
+                  {ws.wgt_scratch.data(), seg_words}, ws.plan);
+              const std::uint64_t* act_words = ws.act_seg[s];
+              for (std::size_t w = 0; w < seg_words; ++w) {
+                ws.or_acc[w] |= act_words[w] & wgt_words[w];
+              }
+              any = true;
+              ws.product_bits += g.seg;
+            }
+            if (any) {
+              const std::int64_t ones =
+                  popcount_acc(ws.or_acc.data(), seg_words);
+              ws.counters[oc] += positive ? ones : -ones;
+            }
+          }
+        }
+      }
+      for (std::size_t oc = 0; oc < oc_count; ++oc) {
+        out.at(py, px, static_cast<int>(oc)) = static_cast<float>(
+            static_cast<double>(ws.counters[oc]) / g.counted_bits);
+      }
+    }
+  };
+
+  const auto run_row = [&](std::size_t row, unsigned worker) {
+    if (fast) {
+      run_row_fast(row, worker);
+    } else {
+      run_row_generic(row, worker);
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(static_cast<std::size_t>(g.out_shape.h), run_row);
+  } else {
+    for (int py = 0; py < g.out_shape.h; ++py) {
+      run_row(static_cast<std::size_t>(py), 0);
+    }
+  }
+
+  run.stream_bits_generated += build_counters.bits_generated;
+  for (const WorkerState& ws : states) {
+    run.product_bits += ws.product_bits;
+    run.skipped_operands += ws.skipped;
+    run.stream_bits_generated += ws.plan.bits_generated;
+    run.stream_bits_reused += ws.plan.bits_reused;
+    run.plan_hits += ws.plan.plan_hits;
+    run.plan_misses += ws.plan.plan_misses;
+  }
+  return out;
+}
+
+nn::Tensor ScNetwork::run_dense(const Stage& stage, std::size_t stage_idx,
+                                const nn::Tensor& input, Stats& run) {
   const nn::Dense& dense = *stage.dense;
   const auto& spec = dense.spec();
   if (static_cast<int>(input.size()) != spec.in_features) {
@@ -235,11 +656,16 @@ nn::Tensor ScNetwork::run_dense(const Stage& stage, const nn::Tensor& input,
                       cfg_.decorrelate_lanes);
 
   const auto n_in = static_cast<std::size_t>(spec.in_features);
-  std::vector<std::uint32_t> act_levels(n_in);
-  for (std::size_t i = 0; i < n_in; ++i) {
-    act_levels[i] = act_bank.quantize(input[i]);
-  }
+  const std::vector<std::uint32_t> act_levels =
+      quantize_activations(act_bank, input);
+  const auto weights = dense.weights();
+  // Quantize every weight level once per layer (not per (output, input)
+  // pair — quantize_unipolar in the inner loop used to dominate).
+  const std::vector<std::uint32_t> wgt_levels =
+      quantize_weights(wgt_bank, weights);
+
   // Activation streams are shared by every output: generate once per phase.
+  std::uint64_t act_bits_generated = 0;
   std::vector<Words> act_pos(n_in, Words(words));
   std::vector<Words> act_neg(n_in, Words(words));
   for (std::size_t i = 0; i < n_in; ++i) {
@@ -248,56 +674,117 @@ nn::Tensor ScNetwork::run_dense(const Stage& stage, const nn::Tensor& input,
                     act_pos[i]);
       act_bank.fill(act_levels[i], static_cast<std::uint32_t>(i), phase,
                     phase, act_neg[i]);
+      act_bits_generated += 2 * phase;
     }
   }
-  const auto weights = dense.weights();
+
   nn::Tensor out = nn::Tensor::vector(spec.out_features);
-  Words wgt_stream(words);
-  Words or_acc(words);
-  std::uint64_t product_bits = 0;
-  std::uint64_t skipped = 0;
-  for (int o = 0; o < spec.out_features; ++o) {
+  runtime::ThreadPool* pool = intra_pool();
+  const unsigned workers = pool != nullptr ? pool->size() : 1u;
+
+  // Planned mode serves weight phases from the cached per-stage plan
+  // (positions == 1: one full-phase slot per sign) instead of regenerating
+  // phase bits per product. Each dense weight is used once per image, so
+  // the reuse is across images; the served bits are identical to a fill.
+  std::shared_ptr<const LayerStreamPlan> wgt_plan_ptr;
+  const LayerStreamPlan* wgt_plan = nullptr;
+  const bool planned_mode = cfg_.exec == ExecMode::kPlanned;
+  if (planned_mode) {
+    const SegmentSchedule dsched{phase, 1, phase};
+    wgt_plan_ptr = weight_plan(stage_idx, dsched, wgt_levels, pool);
+    if (wgt_plan_ptr->enabled()) {
+      wgt_plan = wgt_plan_ptr.get();
+    }
+  }
+
+  // Per-worker scratch + additive accounting; out[o] writes are disjoint,
+  // so sharding output neurons is bit-identical to the serial loop.
+  struct WorkerState {
+    Words wgt_stream;
+    Words or_acc;
+    std::uint64_t product_bits = 0;
+    std::uint64_t skipped = 0;
+    std::uint64_t bits_generated = 0;
+    StreamPlanCounters plan;
+  };
+  std::vector<WorkerState> states(workers);
+  for (WorkerState& ws : states) {
+    ws.wgt_stream.resize(words);
+    ws.or_acc.resize(words);
+  }
+
+  const auto run_output = [&](std::size_t o, unsigned worker) {
+    WorkerState& ws = states[worker];
     std::int64_t counter = 0;
     for (int ph = 0; ph < 2; ++ph) {
       const bool positive = ph == 0;
       const std::size_t offset = positive ? 0 : phase;
       for (std::size_t w = 0; w < words; ++w) {
-        or_acc[w] = 0;
+        ws.or_acc[w] = 0;
       }
       bool any = false;
       for (std::size_t i = 0; i < n_in; ++i) {
-        const std::size_t wi = dense.weight_index(o, static_cast<int>(i));
+        const std::size_t wi =
+            dense.weight_index(static_cast<int>(o), static_cast<int>(i));
         const float wv = weights[wi];
         const bool active_here = positive ? (wv > 0.0f) : (wv < 0.0f);
         if (!active_here) {
           continue;  // scheduled in the other sign phase
         }
-        const std::uint32_t level =
-            act_levels[i] != 0 ? wgt_bank.quantize(std::fabs(wv)) : 0;
-        if (act_levels[i] == 0 || level == 0) {
-          ++skipped;  // operand-gated: zero input or zero weight
+        if (act_levels[i] == 0 || wgt_levels[wi] == 0) {
+          ++ws.skipped;  // operand-gated: zero input or zero weight
           continue;
         }
-        wgt_bank.fill(level, static_cast<std::uint32_t>(wi), offset, phase,
-                      wgt_stream);
-        const auto& act = positive ? act_pos[i] : act_neg[i];
+        const std::uint64_t* wgt_words;
+        if (wgt_plan != nullptr) {
+          wgt_words = wgt_plan->lane_words(wi) + (positive ? 0 : words);
+          ++ws.plan.plan_hits;
+          ws.plan.bits_reused += phase;
+        } else {
+          wgt_bank.fill(wgt_levels[wi], static_cast<std::uint32_t>(wi),
+                        offset, phase, ws.wgt_stream);
+          wgt_words = ws.wgt_stream.data();
+          if (planned_mode) {
+            ++ws.plan.plan_misses;  // plan over budget: on-the-fly fallback
+            ws.plan.bits_generated += phase;
+          } else {
+            ws.bits_generated += phase;
+          }
+        }
+        const Words& act = positive ? act_pos[i] : act_neg[i];
         for (std::size_t w = 0; w < words; ++w) {
-          or_acc[w] |= act[w] & wgt_stream[w];
+          ws.or_acc[w] |= act[w] & wgt_words[w];
         }
         any = true;
-        product_bits += phase;
+        ws.product_bits += phase;
       }
       if (any) {
-        const std::int64_t ones = popcount_words(or_acc, words);
+        const std::int64_t ones = popcount_acc(ws.or_acc.data(), words);
         counter += positive ? ones : -ones;
       }
     }
-    out[static_cast<std::size_t>(o)] =
-        static_cast<float>(static_cast<double>(counter) /
-                           static_cast<double>(phase));
+    out[o] = static_cast<float>(static_cast<double>(counter) /
+                                static_cast<double>(phase));
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(static_cast<std::size_t>(spec.out_features),
+                       run_output);
+  } else {
+    for (int o = 0; o < spec.out_features; ++o) {
+      run_output(static_cast<std::size_t>(o), 0);
+    }
   }
-  run.product_bits += product_bits;
-  run.skipped_operands += skipped;
+
+  run.stream_bits_generated += act_bits_generated;
+  for (const WorkerState& ws : states) {
+    run.product_bits += ws.product_bits;
+    run.skipped_operands += ws.skipped;
+    run.stream_bits_generated += ws.bits_generated + ws.plan.bits_generated;
+    run.stream_bits_reused += ws.plan.bits_reused;
+    run.plan_hits += ws.plan.plan_hits;
+    run.plan_misses += ws.plan.plan_misses;
+  }
   return out;
 }
 

@@ -20,6 +20,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "nn/conv.hpp"
@@ -27,8 +29,11 @@
 #include "nn/network.hpp"
 #include "nn/pool.hpp"
 #include "obs/span.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sim/sc_config.hpp"
 #include "sim/stage_plan.hpp"
+#include "sim/stream_bank.hpp"
+#include "sim/stream_plan.hpp"
 
 namespace acoustic::sim {
 
@@ -38,7 +43,19 @@ class ScNetwork {
   ///            are located with their surrounding ReLU / pooling layers
   ///            and executed stochastically; weights are read live, so
   ///            retraining between forward() calls is allowed.
-  ScNetwork(nn::Network& net, ScConfig cfg);
+  /// @param shared weight-plan store to share with sibling clones (see
+  ///            shared_plans()); nullptr creates a fresh one.
+  ScNetwork(nn::Network& net, ScConfig cfg,
+            std::shared_ptr<WeightPlanStore> shared = nullptr);
+
+  /// The weight-plan store this executor draws from. Pass it to the
+  /// ScNetwork of a clone so the per-stage weight plans are built once
+  /// across all workers (the store is thread-safe; plan content is a pure
+  /// function of config + weight levels, so sharing cannot change bits).
+  [[nodiscard]] const std::shared_ptr<WeightPlanStore>& shared_plans()
+      const noexcept {
+    return wgt_plans_;
+  }
 
   /// Bit-level inference. Input values must lie in [0, 1].
   [[nodiscard]] nn::Tensor forward(const nn::Tensor& input);
@@ -52,11 +69,28 @@ class ScNetwork {
     /// activation or a zero-quantized weight in the phase the product was
     /// scheduled for (paper II-C's "skip computation on zero operands").
     std::uint64_t skipped_operands = 0;
+    /// Comparator bits the SNG kernel actually produced for this run
+    /// (scalar-path fills, per-image activation-plan builds, fallback
+    /// fills). Cached weight-plan builds are amortized across images and
+    /// clones and deliberately excluded, keeping stats a pure function of
+    /// the sample set.
+    std::uint64_t stream_bits_generated = 0;
+    /// Segment bits served from a packed stream plan instead of being
+    /// regenerated — the fast path's reuse headroom.
+    std::uint64_t stream_bits_reused = 0;
+    /// Segment fetches served from a plan / generated on the fly because
+    /// the plan exceeded its byte budget.
+    std::uint64_t plan_hits = 0;
+    std::uint64_t plan_misses = 0;
 
     void merge(const Stats& other) noexcept {
       product_bits += other.product_bits;
       layers_run += other.layers_run;
       skipped_operands += other.skipped_operands;
+      stream_bits_generated += other.stream_bits_generated;
+      stream_bits_reused += other.stream_bits_reused;
+      plan_hits += other.plan_hits;
+      plan_misses += other.plan_misses;
     }
   };
 
@@ -89,15 +123,48 @@ class ScNetwork {
   }
 
  private:
-  [[nodiscard]] nn::Tensor run_conv(const Stage& stage,
+  [[nodiscard]] nn::Tensor run_conv(const Stage& stage, std::size_t stage_idx,
                                     const nn::Tensor& input, Stats& run);
-  [[nodiscard]] nn::Tensor run_dense(const Stage& stage,
+  [[nodiscard]] nn::Tensor run_conv_scalar(const Stage& stage,
+                                           const nn::Tensor& input,
+                                           Stats& run);
+  [[nodiscard]] nn::Tensor run_conv_planned(const Stage& stage,
+                                            std::size_t stage_idx,
+                                            const nn::Tensor& input,
+                                            Stats& run);
+  [[nodiscard]] nn::Tensor run_dense(const Stage& stage, std::size_t stage_idx,
                                      const nn::Tensor& input, Stats& run);
+
+  /// The intra-image worker pool (created lazily on first use), or nullptr
+  /// when the config asks for serial execution.
+  [[nodiscard]] runtime::ThreadPool* intra_pool();
+
+  /// Shared SNG banks for the planned path. A bank's content is a pure
+  /// function of the config, so one activation bank and one weight bank
+  /// serve every stage (the scalar oracle keeps constructing per-layer
+  /// banks with identical content).
+  [[nodiscard]] StreamBank& activation_bank();
+  [[nodiscard]] StreamBank& weight_bank();
+
+  /// Per-stage weight stream plan from the shared store, (re)built only
+  /// when the quantized weight levels changed — they are identical for
+  /// every image, so across a whole evaluation each stage builds once.
+  /// Sign scheduling is re-derived from the live weights on every call
+  /// regardless, so the "weights are read live" contract holds. The
+  /// build's kernel bits are amortized capital cost and excluded from
+  /// per-run stats (stats stay a pure function of the sample set).
+  [[nodiscard]] std::shared_ptr<const LayerStreamPlan> weight_plan(
+      std::size_t stage_idx, const SegmentSchedule& sched,
+      std::span<const std::uint32_t> levels, runtime::ThreadPool* pool);
 
   nn::Network* net_;
   ScConfig cfg_;
   std::vector<Stage> stages_;
   Stats stats_;
+  std::unique_ptr<runtime::ThreadPool> pool_;
+  std::unique_ptr<StreamBank> act_bank_;
+  std::unique_ptr<StreamBank> wgt_bank_;
+  std::shared_ptr<WeightPlanStore> wgt_plans_;
   obs::Profiler* profiler_ = nullptr;
   std::uint32_t track_ = 0;
 };

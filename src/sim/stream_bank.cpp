@@ -1,5 +1,6 @@
 #include "sim/stream_bank.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "sc/sng.hpp"
@@ -19,10 +20,12 @@ StreamBank::StreamBank(unsigned width, std::uint32_t seed, std::size_t length,
   }
 }
 
-std::uint32_t StreamBank::scramble(std::uint32_t state,
-                                   std::uint32_t lane) const noexcept {
+StreamBank::LaneWiring StreamBank::lane_wiring(
+    std::uint32_t lane) const noexcept {
+  LaneWiring w;
   if (!decorrelate_) {
-    return state;  // naive RNG sharing: all lanes see the same sequence
+    w.identity = true;  // naive RNG sharing: all lanes see the same sequence
+    return w;
   }
   // Fixed per-lane wiring: XOR a lane constant, multiply by an odd
   // constant (bijective mod 2^width), rotate by a lane-dependent amount,
@@ -30,29 +33,22 @@ std::uint32_t StreamBank::scramble(std::uint32_t state,
   // space, so each lane sees a uniform full-period sequence; the multiply
   // diffuses low-order LFSR structure across all comparator bits, which
   // keeps lanes decorrelated enough for wide OR accumulation (II-B).
-  std::uint32_t x = state ^ ((lane * 0x9E3779B9u) & mask_);
-  x = (x * 0x2545F491u) & mask_;
-  const unsigned rot = (lane * 7u + 3u) % width_;
-  if (rot != 0) {
-    x = ((x << rot) | (x >> (width_ - rot))) & mask_;
-  }
-  return x ^ ((lane * 0x85EBCA6Bu) & mask_);
+  w.pre_xor = (lane * 0x9E3779B9u) & mask_;
+  w.post_xor = (lane * 0x85EBCA6Bu) & mask_;
+  w.rot = (lane * 7u + 3u) % width_;
+  return w;
+}
+
+std::uint32_t StreamBank::scramble(std::uint32_t state,
+                                   std::uint32_t lane) const noexcept {
+  return apply_wiring(lane_wiring(lane), state);
 }
 
 sc::BitStream StreamBank::stream(std::uint32_t level, std::uint32_t lane,
                                  std::size_t offset,
                                  std::size_t length) const {
-  if (offset + length > base_.size()) {
-    throw std::out_of_range("StreamBank::stream: window exceeds bank length");
-  }
   sc::BitStream out(length);
-  const std::size_t phase = lane_phase(lane);
-  for (std::size_t t = 0; t < length; ++t) {
-    const std::size_t idx = (offset + t + phase) % base_.size();
-    if (scramble(base_[idx], lane) < level) {
-      out.set_bit(t, true);
-    }
-  }
+  fill(level, lane, offset, length, out.mutable_words());
   return out;
 }
 
@@ -73,15 +69,42 @@ void StreamBank::fill(std::uint32_t level, std::uint32_t lane,
     throw std::out_of_range("StreamBank::fill: window exceeds bank length");
   }
   const std::size_t word_count = (length + 63) / 64;
-  for (std::size_t w = 0; w < word_count; ++w) {
-    words[w] = 0;
+  if (level == 0) {  // comparator never fires: all-zero stream
+    std::fill_n(words.begin(), word_count, 0);
+    return;
   }
-  const std::size_t phase = lane_phase(lane);
-  for (std::size_t t = 0; t < length; ++t) {
-    const std::size_t idx = (offset + t + phase) % base_.size();
-    if (scramble(base_[idx], lane) < level) {
-      words[t / 64] |= std::uint64_t{1} << (t % 64);
+  const LaneWiring wiring = lane_wiring(lane);
+  const std::size_t n = base_.size();
+  // Absolute position in the shared sequence the lane's tap starts at.
+  std::size_t pos = (offset + lane_phase(lane)) % n;
+  for (std::size_t w = 0; w < word_count; ++w) {
+    const std::size_t bits = std::min<std::size_t>(64, length - w * 64);
+    std::uint64_t word = 0;
+    if (pos + bits <= n) {
+      // Contiguous run: no wrap check or modulo inside the bit loop. The
+      // compare packs branch-free into bit b of the word.
+      const std::uint32_t* state = base_.data() + pos;
+      for (std::size_t b = 0; b < bits; ++b) {
+        word |= static_cast<std::uint64_t>(apply_wiring(wiring, state[b]) <
+                                           level)
+                << b;
+      }
+      pos += bits;
+      if (pos == n) {
+        pos = 0;
+      }
+    } else {
+      // The word straddles the wrap point of the shared sequence.
+      for (std::size_t b = 0; b < bits; ++b) {
+        word |= static_cast<std::uint64_t>(
+                    apply_wiring(wiring, base_[pos]) < level)
+                << b;
+        if (++pos == n) {
+          pos = 0;
+        }
+      }
     }
+    words[w] = word;
   }
 }
 

@@ -1,0 +1,135 @@
+#include "sim/stream_plan.hpp"
+
+#include <algorithm>
+
+#include "runtime/thread_pool.hpp"
+
+namespace acoustic::sim {
+
+LayerStreamPlan::LayerStreamPlan(const StreamBank& bank,
+                                 const SegmentSchedule& sched,
+                                 std::size_t lanes, std::size_t budget_bytes)
+    : bank_(&bank), sched_(sched), lanes_(lanes), enabled_(true) {
+  const std::size_t table_words = lanes * sched.words_per_lane();
+  if (budget_bytes != 0 &&
+      table_words > budget_bytes / sizeof(std::uint64_t)) {
+    enabled_ = false;
+    return;
+  }
+  words_.resize(table_words);
+  built_.assign(lanes, 0);
+}
+
+void LayerStreamPlan::build(std::span<const std::uint32_t> levels,
+                            StreamPlanCounters& counters,
+                            runtime::ThreadPool* pool) {
+  if (!enabled_) {
+    return;
+  }
+  const std::size_t seg_words = sched_.seg_words();
+  // One kernel run covers both sign phases of a lane; every slot is a
+  // bit-slice of it. fill() maps output bit j of (offset, count) to shared
+  // sequence position offset + j, so slicing the [0, 2*phase) run at
+  // offset(positive, k) is bit-identical to a per-slot fill — at one
+  // wiring hoist and one state sweep per lane instead of one per slot.
+  const std::size_t lane_bits = 2 * sched_.phase;
+  const std::size_t lane_buf_words = (lane_bits + 63) / 64;
+  const unsigned tail = static_cast<unsigned>(sched_.seg % 64);
+  const std::uint64_t tail_mask =
+      tail != 0 ? (std::uint64_t{1} << tail) - 1 : ~std::uint64_t{0};
+  const auto build_lane = [&](std::size_t lane, std::uint64_t* buf) {
+    const std::uint32_t level = levels[lane];
+    if (level == 0) {
+      built_[lane] = 0;  // operand-gated: never fetched
+      return;
+    }
+    bank_->fill(level, static_cast<std::uint32_t>(lane), 0, lane_bits,
+                {buf, lane_buf_words});
+    buf[lane_buf_words] = 0;  // pad word: shift-extract may read past the end
+    std::uint64_t* row = words_.data() + lane * sched_.words_per_lane();
+    for (std::size_t slot = 0; slot < sched_.slots(); ++slot) {
+      const bool positive = slot < sched_.positions;
+      const std::size_t k = positive ? slot : slot - sched_.positions;
+      const std::size_t bit0 = sched_.offset(positive, k);
+      std::uint64_t* dst = row + slot * seg_words;
+      for (std::size_t w = 0; w < seg_words; ++w) {
+        const std::size_t bit = bit0 + w * 64;
+        const std::size_t i = bit / 64;
+        const unsigned r = static_cast<unsigned>(bit % 64);
+        std::uint64_t v = buf[i] >> r;
+        if (r != 0) {
+          v |= buf[i + 1] << (64u - r);
+        }
+        // Bits past the segment end must be zero, exactly as a direct
+        // fill() of `seg` bits leaves them.
+        dst[w] = w + 1 == seg_words ? v & tail_mask : v;
+      }
+    }
+    built_[lane] = 1;
+  };
+  if (pool != nullptr && lanes_ > 1) {
+    // Disjoint writes per lane and pure per-lane content: the sharded
+    // build is bit-identical to the serial one for any worker count.
+    std::vector<std::vector<std::uint64_t>> bufs(
+        pool->size(), std::vector<std::uint64_t>(lane_buf_words + 1));
+    pool->parallel_for(lanes_, [&](std::size_t lane, unsigned worker) {
+      build_lane(lane, bufs[worker].data());
+    });
+  } else {
+    std::vector<std::uint64_t> buf(lane_buf_words + 1);
+    for (std::size_t lane = 0; lane < lanes_; ++lane) {
+      build_lane(lane, buf.data());
+    }
+  }
+  std::uint64_t built = 0;
+  for (const char b : built_) {
+    built += static_cast<std::uint64_t>(b);
+  }
+  // Honest accounting: the kernel swept the full 2*phase window per built
+  // lane (>= slots * seg when phase does not divide evenly).
+  counters.bits_generated += built * static_cast<std::uint64_t>(lane_bits);
+}
+
+WeightPlanStore::WeightPlanStore(const ScConfig& cfg, std::size_t stages)
+    : bank_(cfg.sng_width, cfg.weight_seed, 2 * cfg.phase_length(),
+            cfg.decorrelate_lanes) {
+  entries_.reserve(stages);
+  for (std::size_t s = 0; s < stages; ++s) {
+    entries_.push_back(std::make_unique<Entry>());
+  }
+}
+
+std::shared_ptr<const LayerStreamPlan> WeightPlanStore::get(
+    std::size_t stage, const SegmentSchedule& sched,
+    std::span<const std::uint32_t> levels, std::size_t budget_bytes,
+    StreamPlanCounters& built, runtime::ThreadPool* pool) {
+  Entry& entry = *entries_[stage];
+  const std::lock_guard<std::mutex> lock(entry.mu);
+  if (entry.plan == nullptr ||
+      !std::equal(levels.begin(), levels.end(), entry.levels.begin(),
+                  entry.levels.end())) {
+    entry.levels.assign(levels.begin(), levels.end());
+    auto plan = std::make_shared<LayerStreamPlan>(bank_, sched, levels.size(),
+                                                  budget_bytes);
+    plan->build(levels, built, pool);
+    entry.plan = std::move(plan);
+  }
+  return entry.plan;
+}
+
+const std::uint64_t* LayerStreamPlan::fetch(
+    std::size_t lane, std::uint32_t level, bool positive, std::size_t k,
+    std::span<std::uint64_t> scratch, StreamPlanCounters& counters) const {
+  if (planned(lane)) {
+    ++counters.plan_hits;
+    counters.bits_reused += sched_.seg;
+    return segment(lane, positive, k);
+  }
+  ++counters.plan_misses;
+  counters.bits_generated += sched_.seg;
+  bank_->fill(level, static_cast<std::uint32_t>(lane),
+              sched_.offset(positive, k), sched_.seg, scratch);
+  return scratch.data();
+}
+
+}  // namespace acoustic::sim

@@ -1,0 +1,184 @@
+// Packed per-layer stream plans for the SC functional simulator.
+//
+// Profiling the bit-level executor shows nearly all forward wall time in
+// stream generation: run_conv regenerates the stream segment of every
+// weight lane for every output position, although the segment for weight
+// index wi at a given (sign phase, pooling-window slot) is invariant
+// across all H x W output positions; activation segments are likewise
+// regenerated for every overlapping receptive field that touches a pixel.
+//
+// A LayerStreamPlan materializes those segments once per layer with the
+// word-parallel StreamBank kernel and serves them as packed 64-bit words,
+// so the per-output inner loop degenerates to AND/OR over words it never
+// regenerates. Plans are pure functions of (bank, schedule, levels), so
+// serving a planned segment is bit-identical to regenerating it — the
+// golden equivalence suite (tests/sim/sc_golden_test.cpp) pins that down.
+//
+// Memory is bounded: a plan whose table would exceed its byte budget
+// disables itself, and every fetch falls back to on-the-fly generation
+// (counted as a plan miss). Both paths produce identical bits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "sim/sc_config.hpp"
+#include "sim/stream_bank.hpp"
+
+namespace acoustic::runtime {
+class ThreadPool;
+}
+
+namespace acoustic::sim {
+
+/// The segment timetable one weighted layer runs on: two sign phases
+/// (split-unipolar + / -) of @ref phase bits, each divided into
+/// @ref positions pooling-window slots of @ref seg bits (computation
+/// skipping, paper II-C). positions == 1 degenerates to one full-phase
+/// segment per sign.
+struct SegmentSchedule {
+  std::size_t phase = 0;      ///< bits per sign phase
+  std::size_t positions = 1;  ///< pooling-window slots per phase
+  std::size_t seg = 0;        ///< bits per slot (phase / positions, floored)
+
+  [[nodiscard]] std::size_t seg_words() const noexcept {
+    return (seg + 63) / 64;
+  }
+  /// Slots per lane across both sign phases.
+  [[nodiscard]] std::size_t slots() const noexcept { return 2 * positions; }
+  /// Packed words a planned lane occupies.
+  [[nodiscard]] std::size_t words_per_lane() const noexcept {
+    return slots() * seg_words();
+  }
+  /// Stream-bank bit offset of slot @p k in the given sign phase — the
+  /// same mapping ScNetwork::run_conv uses: the negative phase replays the
+  /// slot layout one full phase later.
+  [[nodiscard]] std::size_t offset(bool positive, std::size_t k) const noexcept {
+    return (positive ? 0 : phase) + k * seg;
+  }
+  /// Dense index of (positive, k) into a lane's slot table.
+  [[nodiscard]] std::size_t slot_index(bool positive,
+                                       std::size_t k) const noexcept {
+    return (positive ? 0 : positions) + k;
+  }
+};
+
+/// Counters a plan reports into ScNetwork's per-run stats. All additive.
+struct StreamPlanCounters {
+  std::uint64_t bits_generated = 0;  ///< comparator bits the SNG kernel ran
+  std::uint64_t bits_reused = 0;     ///< segment bits served from the plan
+  std::uint64_t plan_hits = 0;       ///< segment fetches served from the plan
+  std::uint64_t plan_misses = 0;     ///< fetches generated on the fly
+};
+
+/// Per-layer table of precomputed stream segments for a dense lane id
+/// space (weight index or activation index). Thread-safety: build() must
+/// complete before concurrent fetch()/segment() calls; after that the plan
+/// is read-only and safe to share across row workers.
+class LayerStreamPlan {
+ public:
+  /// @param bank   the SNG bank the lanes draw from; must outlive the plan.
+  /// @param sched  the layer's segment timetable.
+  /// @param lanes  size of the dense lane id space.
+  /// @param budget_bytes table budget; a plan that would exceed it disables
+  ///        itself (every fetch becomes an on-the-fly miss). 0 = unlimited.
+  LayerStreamPlan(const StreamBank& bank, const SegmentSchedule& sched,
+                  std::size_t lanes, std::size_t budget_bytes);
+
+  /// Generates all slots of every lane with levels[lane] != 0 (a zero
+  /// level is operand-gated — dead — and never fetched). No-op when the
+  /// plan is disabled. @p pool, when non-null, shards the build across
+  /// lanes (disjoint writes, deterministic content).
+  void build(std::span<const std::uint32_t> levels,
+             StreamPlanCounters& counters,
+             runtime::ThreadPool* pool = nullptr);
+
+  /// True when the table fits the budget and build() will populate it.
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// True when @p lane was built with a nonzero level.
+  [[nodiscard]] bool planned(std::size_t lane) const noexcept {
+    return enabled_ && built_[lane] != 0;
+  }
+
+  /// The packed segment of (lane, positive, k). Serves the plan entry when
+  /// planned(lane); otherwise regenerates the segment into @p scratch
+  /// (seg_words() words, overwritten). Counters record which path ran.
+  [[nodiscard]] const std::uint64_t* fetch(std::size_t lane,
+                                           std::uint32_t level, bool positive,
+                                           std::size_t k,
+                                           std::span<std::uint64_t> scratch,
+                                           StreamPlanCounters& counters) const;
+
+  /// Planned-entry accessor. Precondition: planned(lane).
+  [[nodiscard]] const std::uint64_t* segment(std::size_t lane, bool positive,
+                                             std::size_t k) const noexcept {
+    return lane_words(lane) + sched_.slot_index(positive, k) * sched_.seg_words();
+  }
+
+  /// First packed word of @p lane's slot table — the hot-loop entry point:
+  /// callers hoist this base pointer and index slots as
+  /// `lane_words(lane)[slot_index * seg_words() + w]`, skipping the fetch()
+  /// call (and its per-segment counter writes) entirely.
+  /// Precondition: planned(lane).
+  [[nodiscard]] const std::uint64_t* lane_words(std::size_t lane) const noexcept {
+    return words_.data() + lane * sched_.words_per_lane();
+  }
+
+  /// Bytes the fully-built table occupies (0 when disabled).
+  [[nodiscard]] std::size_t table_bytes() const noexcept {
+    return enabled_ ? words_.capacity() * sizeof(std::uint64_t) : 0;
+  }
+
+ private:
+  const StreamBank* bank_;
+  SegmentSchedule sched_;
+  std::size_t lanes_;
+  bool enabled_;
+  std::vector<std::uint64_t> words_;
+  std::vector<char> built_;
+};
+
+/// Thread-safe store of per-stage weight stream plans, shared by every
+/// clone of an ScNetwork. Weight streams depend only on the quantized
+/// weight levels — identical for every image — so the store builds each
+/// stage's plan exactly once no matter how many evaluator workers run:
+/// the totals stay thread-count invariant and clones after the first get
+/// the table for free. The store owns the weight SNG bank the plans draw
+/// from, so a handed-out plan never outlives its bank.
+///
+/// The cache key is the level vector itself: retraining that changes any
+/// level triggers a rebuild; the superseded plan stays alive for readers
+/// still holding it (shared_ptr swap).
+class WeightPlanStore {
+ public:
+  /// @param cfg    bank parameters (width, weight seed, phase, wiring).
+  /// @param stages number of weighted stages (one plan slot each).
+  WeightPlanStore(const ScConfig& cfg, std::size_t stages);
+
+  /// The plan for @p stage under @p sched and @p levels, building it if
+  /// absent or stale. @p built receives the build's counters ONLY when
+  /// this call performed the build — callers fold it into their stats, so
+  /// the summed accounting records exactly one build. @p pool, when
+  /// non-null, shards the build (held only while this call runs).
+  [[nodiscard]] std::shared_ptr<const LayerStreamPlan> get(
+      std::size_t stage, const SegmentSchedule& sched,
+      std::span<const std::uint32_t> levels, std::size_t budget_bytes,
+      StreamPlanCounters& built, runtime::ThreadPool* pool);
+
+ private:
+  struct Entry {
+    std::mutex mu;
+    std::vector<std::uint32_t> levels;
+    std::shared_ptr<const LayerStreamPlan> plan;
+  };
+
+  StreamBank bank_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace acoustic::sim

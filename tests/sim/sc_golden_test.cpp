@@ -1,0 +1,214 @@
+// Golden bit-exactness suite for the planned (fast-path) executor.
+//
+// The stream-plan fast path, the plan-budget fallback and intra-image row
+// parallelism are pure refactorings of the scalar reference executor:
+// every stream segment they serve is the same pure function of
+// (bank, lane, level, offset), counter accumulation is integer-exact and
+// output shards are disjoint. These tests pin that down: for every zoo
+// model and hand-built stage the planned output must be BYTE-identical to
+// the scalar oracle — for 1..N intra threads, with and without per-lane
+// decorrelation, and with the plan forced over its byte budget.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "nn/activation.hpp"
+#include "nn/pool.hpp"
+#include "sc/rng.hpp"
+#include "sim/sc_network.hpp"
+#include "train/models.hpp"
+
+namespace acoustic::sim {
+namespace {
+
+nn::Tensor random_unit(nn::Shape shape, std::uint32_t seed) {
+  nn::Tensor t(shape);
+  sc::XorShift32 rng(seed);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.next_double());
+  }
+  return t;
+}
+
+/// Byte-level tensor comparison: exact equality of the float bit patterns,
+/// not EXPECT_FLOAT_EQ closeness.
+void expect_bytes_equal(const nn::Tensor& got, const nn::Tensor& want,
+                        const std::string& label) {
+  ASSERT_EQ(got.shape(), want.shape()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const float gf = got[i];
+    const float wf = want[i];
+    std::uint32_t g = 0;
+    std::uint32_t w = 0;
+    std::memcpy(&g, &gf, sizeof(g));
+    std::memcpy(&w, &wf, sizeof(w));
+    ASSERT_EQ(g, w) << label << ": output " << i << " differs (" << gf
+                    << " vs " << wf << ")";
+  }
+}
+
+/// Runs @p net on @p input under every planned configuration and checks
+/// each against the scalar oracle.
+void expect_planned_matches_scalar(nn::Network& net, const nn::Tensor& input,
+                                   ScConfig base) {
+  for (const bool decorrelate : {true, false}) {
+    base.decorrelate_lanes = decorrelate;
+
+    ScConfig scalar_cfg = base;
+    scalar_cfg.exec = ExecMode::kScalar;
+    ScNetwork scalar_exec(net, scalar_cfg);
+    const nn::Tensor want = scalar_exec.forward(input);
+    const ScNetwork::Stats want_stats = scalar_exec.take_stats();
+
+    for (const unsigned threads : {1u, 2u, 3u}) {
+      ScConfig planned_cfg = base;
+      planned_cfg.exec = ExecMode::kPlanned;
+      planned_cfg.intra_threads = threads;
+      ScNetwork planned_exec(net, planned_cfg);
+      const nn::Tensor got = planned_exec.forward(input);
+      const ScNetwork::Stats got_stats = planned_exec.take_stats();
+
+      const std::string label = "decorrelate=" +
+                                std::to_string(decorrelate) +
+                                " threads=" + std::to_string(threads);
+      expect_bytes_equal(got, want, label);
+      // The planned path must do the same logical work as the oracle:
+      // identical product-bit and operand-gating accounting.
+      EXPECT_EQ(got_stats.product_bits, want_stats.product_bits) << label;
+      EXPECT_EQ(got_stats.skipped_operands, want_stats.skipped_operands)
+          << label;
+      EXPECT_EQ(got_stats.layers_run, want_stats.layers_run) << label;
+    }
+  }
+}
+
+ScConfig golden_config() {
+  ScConfig cfg;
+  cfg.stream_length = 128;
+  cfg.sng_width = 8;
+  return cfg;
+}
+
+TEST(ScGolden, LenetSmallPlannedMatchesScalar) {
+  nn::Network net = train::build_lenet_small(nn::AccumMode::kOrExact);
+  expect_planned_matches_scalar(net, random_unit(nn::Shape{16, 16, 1}, 101),
+                                golden_config());
+}
+
+TEST(ScGolden, CifarSmallPlannedMatchesScalar) {
+  nn::Network net = train::build_cifar_small(nn::AccumMode::kOrExact);
+  expect_planned_matches_scalar(net, random_unit(nn::Shape{16, 16, 3}, 103),
+                                golden_config());
+}
+
+TEST(ScGolden, ResnetTinyPlannedMatchesScalar) {
+  nn::Network net = train::build_resnet_tiny(nn::AccumMode::kOrExact, 8, 9);
+  expect_planned_matches_scalar(net, random_unit(nn::Shape{8, 8, 3}, 107),
+                                golden_config());
+}
+
+TEST(ScGolden, ConvFusedPoolStageMatchesScalar) {
+  // One conv + fused avg-pool stage (computation skipping): the pooled
+  // segment timetable is the part the plan slot layout must reproduce.
+  nn::Network net;
+  auto& conv = net.add<nn::Conv2D>(nn::ConvSpec{
+      .in_channels = 2, .out_channels = 3, .kernel = 3, .padding = 1,
+      .mode = nn::AccumMode::kOrExact});
+  net.add<nn::ReLU>();
+  net.add<nn::AvgPool2D>(2);
+  conv.initialize(51);
+  expect_planned_matches_scalar(net, random_unit(nn::Shape{8, 8, 2}, 109),
+                                golden_config());
+}
+
+TEST(ScGolden, StridedConvNoPoolMatchesScalar) {
+  nn::Network net;
+  auto& conv = net.add<nn::Conv2D>(nn::ConvSpec{
+      .in_channels = 2, .out_channels = 2, .kernel = 3, .stride = 2,
+      .padding = 1, .mode = nn::AccumMode::kOrExact});
+  conv.initialize(53);
+  expect_planned_matches_scalar(net, random_unit(nn::Shape{9, 9, 2}, 113),
+                                golden_config());
+}
+
+TEST(ScGolden, MultiWordSegmentsMatchScalar) {
+  // stream 1024 with a 2x2 fused pool -> 128-bit (two-word) segments:
+  // exercises the multi-word AND/OR lane of the fast path.
+  nn::Network net;
+  auto& conv = net.add<nn::Conv2D>(nn::ConvSpec{
+      .in_channels = 1, .out_channels = 2, .kernel = 3, .padding = 1,
+      .mode = nn::AccumMode::kOrExact});
+  net.add<nn::ReLU>();
+  net.add<nn::AvgPool2D>(2);
+  conv.initialize(57);
+  ScConfig cfg;
+  cfg.stream_length = 1024;
+  cfg.sng_width = 10;
+  expect_planned_matches_scalar(net, random_unit(nn::Shape{6, 6, 1}, 127),
+                                cfg);
+}
+
+TEST(ScGolden, PlanBudgetFallbackMatchesScalar) {
+  // A 1-byte budget disables every plan: the generic fetch() fallback must
+  // regenerate exactly the bits the tables would have served.
+  nn::Network net = train::build_lenet_small(nn::AccumMode::kOrExact);
+  ScConfig cfg = golden_config();
+  cfg.plan_budget_bytes = 1;
+  expect_planned_matches_scalar(net, random_unit(nn::Shape{16, 16, 1}, 131),
+                                cfg);
+}
+
+TEST(ScGolden, PlannedThreadCountsAgreeOnAllStats) {
+  // Row/output sharding merges additive per-worker counters: every stat
+  // (including the reuse counters) must be independent of worker count.
+  nn::Network net = train::build_lenet_small(nn::AccumMode::kOrExact);
+  const nn::Tensor input = random_unit(nn::Shape{16, 16, 1}, 137);
+
+  ScConfig cfg = golden_config();
+  cfg.exec = ExecMode::kPlanned;
+  cfg.intra_threads = 1;
+  ScNetwork serial(net, cfg);
+  const nn::Tensor want = serial.forward(input);
+  const ScNetwork::Stats want_stats = serial.take_stats();
+
+  for (const unsigned threads : {2u, 4u}) {
+    ScConfig threaded_cfg = cfg;
+    threaded_cfg.intra_threads = threads;
+    ScNetwork threaded(net, threaded_cfg);
+    const nn::Tensor got = threaded.forward(input);
+    const ScNetwork::Stats got_stats = threaded.take_stats();
+    expect_bytes_equal(got, want, "threads=" + std::to_string(threads));
+    EXPECT_EQ(got_stats.product_bits, want_stats.product_bits);
+    EXPECT_EQ(got_stats.skipped_operands, want_stats.skipped_operands);
+    EXPECT_EQ(got_stats.stream_bits_generated,
+              want_stats.stream_bits_generated);
+    EXPECT_EQ(got_stats.stream_bits_reused, want_stats.stream_bits_reused);
+    EXPECT_EQ(got_stats.plan_hits, want_stats.plan_hits);
+    EXPECT_EQ(got_stats.plan_misses, want_stats.plan_misses);
+  }
+}
+
+TEST(ScGolden, RepeatedForwardIsBitStable) {
+  // The cached weight plan kicks in on the second image; serving from the
+  // cache must not change a single bit, and per-run stats must be a pure
+  // function of the input.
+  nn::Network net = train::build_lenet_small(nn::AccumMode::kOrExact);
+  const nn::Tensor input = random_unit(nn::Shape{16, 16, 1}, 139);
+
+  ScConfig cfg = golden_config();
+  cfg.exec = ExecMode::kPlanned;
+  ScNetwork exec(net, cfg);
+  const nn::Tensor first = exec.forward(input);
+  const ScNetwork::Stats first_stats = exec.take_stats();
+  const nn::Tensor second = exec.forward(input);
+  const ScNetwork::Stats second_stats = exec.take_stats();
+
+  expect_bytes_equal(second, first, "repeat");
+  EXPECT_EQ(second_stats.product_bits, first_stats.product_bits);
+  EXPECT_EQ(second_stats.stream_bits_generated,
+            first_stats.stream_bits_generated);
+  EXPECT_EQ(second_stats.stream_bits_reused, first_stats.stream_bits_reused);
+}
+
+}  // namespace
+}  // namespace acoustic::sim

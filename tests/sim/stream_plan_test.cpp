@@ -1,0 +1,204 @@
+// Unit tests for the packed per-layer stream plan: slot layout, bit
+// identity of planned segments against direct StreamBank generation, the
+// byte-budget fallback, counter accounting and the shared weight-plan
+// store.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "sim/stream_plan.hpp"
+
+namespace acoustic::sim {
+namespace {
+
+std::vector<std::uint32_t> ramp_levels(std::size_t lanes,
+                                       std::uint32_t max_level) {
+  std::vector<std::uint32_t> levels(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    // Mix of zero (operand-gated) and nonzero lanes.
+    levels[i] = static_cast<std::uint32_t>((i * 37) % (max_level + 1));
+  }
+  return levels;
+}
+
+TEST(SegmentScheduleTest, SlotLayout) {
+  const SegmentSchedule sched{64, 4, 16};
+  EXPECT_EQ(sched.seg_words(), 1u);
+  EXPECT_EQ(sched.slots(), 8u);
+  EXPECT_EQ(sched.words_per_lane(), 8u);
+  EXPECT_EQ(sched.offset(true, 0), 0u);
+  EXPECT_EQ(sched.offset(true, 3), 48u);
+  EXPECT_EQ(sched.offset(false, 0), 64u);
+  EXPECT_EQ(sched.offset(false, 3), 112u);
+  EXPECT_EQ(sched.slot_index(true, 2), 2u);
+  EXPECT_EQ(sched.slot_index(false, 2), 6u);
+}
+
+/// Every planned segment must equal a direct word-parallel fill of the
+/// same (level, lane, offset) window — the core bit-identity contract.
+void expect_plan_matches_fill(const SegmentSchedule& sched, unsigned width,
+                              bool decorrelate) {
+  StreamBank bank(width, 0xBEEF, 2 * sched.phase, decorrelate);
+  const std::size_t lanes = 23;
+  const auto levels =
+      ramp_levels(lanes, (std::uint32_t{1} << width) - 1);
+
+  LayerStreamPlan plan(bank, sched, lanes, 0);
+  ASSERT_TRUE(plan.enabled());
+  StreamPlanCounters counters;
+  plan.build(levels, counters, nullptr);
+
+  std::vector<std::uint64_t> want(sched.seg_words());
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    if (levels[lane] == 0) {
+      EXPECT_FALSE(plan.planned(lane));
+      continue;
+    }
+    ASSERT_TRUE(plan.planned(lane));
+    for (const bool positive : {true, false}) {
+      for (std::size_t k = 0; k < sched.positions; ++k) {
+        bank.fill(levels[lane], static_cast<std::uint32_t>(lane),
+                  sched.offset(positive, k), sched.seg, want);
+        const std::uint64_t* got = plan.segment(lane, positive, k);
+        for (std::size_t w = 0; w < sched.seg_words(); ++w) {
+          ASSERT_EQ(got[w], want[w])
+              << "lane " << lane << " positive " << positive << " k " << k
+              << " word " << w << " decorrelate " << decorrelate;
+        }
+        EXPECT_EQ(got, plan.lane_words(lane) +
+                           sched.slot_index(positive, k) * sched.seg_words());
+      }
+    }
+  }
+}
+
+TEST(LayerStreamPlanTest, SegmentsMatchDirectFill) {
+  expect_plan_matches_fill(SegmentSchedule{64, 4, 16}, 8, true);
+  expect_plan_matches_fill(SegmentSchedule{64, 4, 16}, 8, false);
+}
+
+TEST(LayerStreamPlanTest, SegmentsMatchDirectFillUnevenAndMultiWord) {
+  // seg not a multiple of 64 with a wasted tail (100 / 3 = 33 floored)...
+  expect_plan_matches_fill(SegmentSchedule{100, 3, 33}, 10, true);
+  // ...and multi-word segments straddling word boundaries.
+  expect_plan_matches_fill(SegmentSchedule{512, 4, 128}, 11, true);
+  expect_plan_matches_fill(SegmentSchedule{300, 2, 150}, 9, true);
+}
+
+TEST(LayerStreamPlanTest, PooledBuildIsIdenticalToSerial) {
+  const SegmentSchedule sched{96, 4, 24};
+  StreamBank bank(9, 0xACE5, 2 * sched.phase, true);
+  const std::size_t lanes = 41;
+  const auto levels = ramp_levels(lanes, 511);
+
+  LayerStreamPlan serial(bank, sched, lanes, 0);
+  LayerStreamPlan pooled(bank, sched, lanes, 0);
+  StreamPlanCounters sc1;
+  StreamPlanCounters sc2;
+  serial.build(levels, sc1, nullptr);
+  runtime::ThreadPool pool(3);
+  pooled.build(levels, sc2, &pool);
+
+  EXPECT_EQ(sc1.bits_generated, sc2.bits_generated);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    ASSERT_EQ(serial.planned(lane), pooled.planned(lane));
+    if (!serial.planned(lane)) {
+      continue;
+    }
+    for (std::size_t w = 0; w < sched.words_per_lane(); ++w) {
+      ASSERT_EQ(serial.lane_words(lane)[w], pooled.lane_words(lane)[w])
+          << "lane " << lane << " word " << w;
+    }
+  }
+}
+
+TEST(LayerStreamPlanTest, FetchCountsHitsAndServesPlannedBits) {
+  const SegmentSchedule sched{64, 2, 32};
+  StreamBank bank(8, 0x1234, 2 * sched.phase, true);
+  const std::vector<std::uint32_t> levels{100, 0, 200};
+  LayerStreamPlan plan(bank, sched, levels.size(), 0);
+  StreamPlanCounters counters;
+  plan.build(levels, counters, nullptr);
+  EXPECT_EQ(counters.bits_generated, 2u * 2 * sched.phase);  // 2 built lanes
+
+  std::vector<std::uint64_t> scratch(sched.seg_words());
+  StreamPlanCounters fetch_counters;
+  const std::uint64_t* got =
+      plan.fetch(2, levels[2], true, 1, scratch, fetch_counters);
+  EXPECT_EQ(got, plan.segment(2, true, 1));
+  EXPECT_EQ(fetch_counters.plan_hits, 1u);
+  EXPECT_EQ(fetch_counters.bits_reused, sched.seg);
+  EXPECT_EQ(fetch_counters.plan_misses, 0u);
+}
+
+TEST(LayerStreamPlanTest, BudgetOverflowFallsBackBitExactly) {
+  const SegmentSchedule sched{64, 4, 16};
+  StreamBank bank(8, 0x77, 2 * sched.phase, true);
+  const std::vector<std::uint32_t> levels{10, 250, 77};
+
+  LayerStreamPlan plan(bank, sched, levels.size(), 1);  // 1 byte: disabled
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_EQ(plan.table_bytes(), 0u);
+  StreamPlanCounters counters;
+  plan.build(levels, counters, nullptr);  // no-op
+  EXPECT_EQ(counters.bits_generated, 0u);
+  EXPECT_FALSE(plan.planned(1));
+
+  std::vector<std::uint64_t> scratch(sched.seg_words());
+  std::vector<std::uint64_t> want(sched.seg_words());
+  StreamPlanCounters fetch_counters;
+  for (const bool positive : {true, false}) {
+    for (std::size_t k = 0; k < sched.positions; ++k) {
+      const std::uint64_t* got =
+          plan.fetch(1, levels[1], positive, k, scratch, fetch_counters);
+      EXPECT_EQ(got, scratch.data());
+      bank.fill(levels[1], 1, sched.offset(positive, k), sched.seg, want);
+      for (std::size_t w = 0; w < sched.seg_words(); ++w) {
+        ASSERT_EQ(got[w], want[w]);
+      }
+    }
+  }
+  EXPECT_EQ(fetch_counters.plan_misses, 2 * sched.positions);
+  EXPECT_EQ(fetch_counters.plan_hits, 0u);
+  EXPECT_EQ(fetch_counters.bits_generated, 2 * sched.positions * sched.seg);
+}
+
+TEST(WeightPlanStoreTest, BuildsOncePerStageAndKeysOnLevels) {
+  ScConfig cfg;
+  cfg.stream_length = 128;
+  cfg.sng_width = 8;
+  WeightPlanStore store(cfg, 2);
+  const SegmentSchedule sched{cfg.phase_length(), 4,
+                              cfg.phase_length() / 4};
+  const std::vector<std::uint32_t> levels{5, 0, 9, 200};
+
+  StreamPlanCounters first;
+  const auto plan1 = store.get(0, sched, levels, 0, first, nullptr);
+  EXPECT_GT(first.bits_generated, 0u);
+
+  // Same levels: the cached plan is returned and nothing is rebuilt.
+  StreamPlanCounters second;
+  const auto plan2 = store.get(0, sched, levels, 0, second, nullptr);
+  EXPECT_EQ(plan1.get(), plan2.get());
+  EXPECT_EQ(second.bits_generated, 0u);
+
+  // Changed levels (retraining): rebuild, and the old plan stays valid
+  // for holders of the original shared_ptr.
+  std::vector<std::uint32_t> retrained = levels;
+  retrained[0] = 6;
+  StreamPlanCounters third;
+  const auto plan3 = store.get(0, sched, retrained, 0, third, nullptr);
+  EXPECT_NE(plan1.get(), plan3.get());
+  EXPECT_GT(third.bits_generated, 0u);
+  EXPECT_TRUE(plan1->planned(0));
+
+  // Distinct stages are independent slots.
+  StreamPlanCounters other;
+  const auto plan4 = store.get(1, sched, levels, 0, other, nullptr);
+  EXPECT_NE(plan4.get(), plan2.get());
+  EXPECT_GT(other.bits_generated, 0u);
+}
+
+}  // namespace
+}  // namespace acoustic::sim

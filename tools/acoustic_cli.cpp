@@ -25,13 +25,20 @@
 //       dead weight loads. Exits 1 on errors (with --werror, on any
 //       finding).
 //   acoustic eval [--backend float|sc|sc-mux|bipolar] [--model lenet|cifar]
-//                 [--threads N] [--stream N] [--train N] [--test N]
+//                 [--threads N] [--intra-threads N] [--exec planned|scalar]
+//                 [--stream N] [--train N] [--test N]
 //                 [--epochs N] [--json] [--metrics] [--profile]
 //                 [--prometheus] [--trace-json FILE] [--verbose]
 //       Train a small network on a synthetic dataset and evaluate it with
 //       the selected inference backend on the parallel batch evaluator.
 //       --threads 0 (default) uses all hardware threads; results are
-//       bit-identical for any thread count. --json emits the structured
+//       bit-identical for any thread count. --intra-threads shards each
+//       image's conv rows / dense outputs inside the SC backend (1 =
+//       serial default, 0 = all hardware threads — use with --threads 1
+//       for single-image latency). --exec selects the SC execution
+//       strategy: "planned" (packed stream plans, default) or "scalar"
+//       (the reference path; both are bit-identical). --json emits the
+//       structured
 //       EvalResult instead of the human-readable summary. --metrics
 //       routes the run counters through the telemetry registry (with
 //       --json: one uniform document whose "metrics" section is
@@ -90,7 +97,9 @@ int usage() {
                "[--arch lp|ulp] [--werror]\n"
                "  eval: acoustic eval [--backend float|sc|sc-mux|bipolar] "
                "[--model lenet|cifar]\n"
-               "        [--threads N] [--stream N] [--train N] [--test N] "
+               "        [--threads N] [--intra-threads N] "
+               "[--exec planned|scalar]\n"
+               "        [--stream N] [--train N] [--test N] "
                "[--epochs N] [--json]\n"
                "        [--metrics] [--profile] [--prometheus] "
                "[--trace-json FILE] [--verbose]\n");
@@ -211,7 +220,9 @@ int cmd_lint(const std::string& target, const perf::ArchConfig& arch,
 struct EvalOptions {
   std::string backend = "sc";
   std::string model = "lenet";
-  unsigned threads = 0;  // 0 = hardware concurrency
+  unsigned threads = 0;        // 0 = hardware concurrency
+  unsigned intra_threads = 1;  // SC intra-image workers (1 = serial)
+  std::string exec = "planned";
   std::size_t stream = 128;
   std::size_t train_count = 300;
   std::size_t test_count = 120;
@@ -293,6 +304,13 @@ int cmd_eval(const EvalOptions& opt) {
 
   sim::ScConfig sc_cfg;
   sc_cfg.stream_length = opt.stream;
+  sc_cfg.intra_threads = opt.intra_threads;
+  if (opt.exec == "scalar") {
+    sc_cfg.exec = sim::ExecMode::kScalar;
+  } else if (opt.exec != "planned") {
+    throw std::invalid_argument("eval: unknown --exec '" + opt.exec +
+                                "' (expected planned or scalar)");
+  }
   sim::BipolarConfig bipolar_cfg;
   bipolar_cfg.stream_length = opt.stream;
   const std::unique_ptr<sim::InferenceBackend> backend =
@@ -477,6 +495,17 @@ int cmd_eval(const EvalOptions& opt) {
                     result.stats.skipped_operands));
   }
   std::printf("\n");
+  if (result.stats.stream_bits_generated > 0 ||
+      result.stats.stream_bits_reused > 0) {
+    std::printf("  streams:     %llu bits generated, %llu reused "
+                "(%llu plan hits, %llu misses)\n",
+                static_cast<unsigned long long>(
+                    result.stats.stream_bits_generated),
+                static_cast<unsigned long long>(
+                    result.stats.stream_bits_reused),
+                static_cast<unsigned long long>(result.stats.plan_hits),
+                static_cast<unsigned long long>(result.stats.plan_misses));
+  }
 
   if (opt.profile) {
     double layer_total_ms = 0.0;
@@ -538,6 +567,10 @@ int main(int argc, char** argv) {
         opt.model = v;
       } else if (arg == "--threads" && (v = value()) != nullptr) {
         opt.threads = static_cast<unsigned>(std::atoi(v));
+      } else if (arg == "--intra-threads" && (v = value()) != nullptr) {
+        opt.intra_threads = static_cast<unsigned>(std::atoi(v));
+      } else if (arg == "--exec" && (v = value()) != nullptr) {
+        opt.exec = v;
       } else if (arg == "--stream" && (v = value()) != nullptr) {
         opt.stream = static_cast<std::size_t>(std::atoll(v));
       } else if (arg == "--train" && (v = value()) != nullptr) {
