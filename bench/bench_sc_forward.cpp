@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/report.hpp"
+#include "sc/kernels/kernels.hpp"
 #include "sc/rng.hpp"
 #include "sim/sc_network.hpp"
 #include "train/models.hpp"
@@ -74,15 +75,19 @@ VariantResult measure(const std::string& name, nn::Network& net,
                       const sim::ScConfig& cfg, const nn::Tensor& input,
                       int iters) {
   sim::ScNetwork exec(net, cfg);
-  // Warmup: first forward builds and caches the weight plans.
-  (void)exec.forward(input);
-  (void)exec.forward(input);
+  // Steady-state latency through the production entry point (the batch
+  // evaluator calls forward_into with a reused output tensor). Warmup:
+  // the first forwards build the weight plans and size the scratch arena;
+  // the timed iterations are allocation-free.
+  nn::Tensor out;
+  exec.forward_into(input, out);
+  exec.forward_into(input, out);
 
   std::vector<double> times_us;
   times_us.reserve(static_cast<std::size_t>(iters));
   for (int i = 0; i < iters; ++i) {
     const auto t0 = std::chrono::steady_clock::now();
-    const nn::Tensor out = exec.forward(input);
+    exec.forward_into(input, out);
     const auto t1 = std::chrono::steady_clock::now();
     // Keep the output alive so the call cannot be elided.
     if (out.size() == 0) {
@@ -158,8 +163,10 @@ int main(int argc, char** argv) {
     iters = 1;
   }
 
-  std::printf("=== SC forward latency: LeNet-small, stream %zu ===\n\n",
-              stream);
+  std::printf("=== SC forward latency: LeNet-small, stream %zu, simd %s "
+              "===\n\n",
+              stream,
+              sc::kernels::level_name(sc::kernels::active_level()));
 
   nn::Network net = train::build_lenet_small(nn::AccumMode::kOrApprox, 16);
   const nn::Tensor input = random_unit(nn::Shape{16, 16, 1}, 2024);
@@ -222,6 +229,15 @@ int main(int argc, char** argv) {
     out << "{\n  \"benchmark\": \"sc_forward_lenet_small\",\n"
         << "  \"stream_length\": " << stream << ",\n"
         << "  \"iterations\": " << iters << ",\n"
+        << "  \"simd\": \""
+        << core::json_escape(
+               sc::kernels::level_name(sc::kernels::active_level()))
+        << "\",\n"
+        << "  \"simd_override\": \""
+        << core::json_escape(sc::kernels::env_override() != nullptr
+                                 ? sc::kernels::env_override()
+                                 : "")
+        << "\",\n"
         << "  \"speedup_planned_vs_scalar\": " << core::json_number(speedup)
         << ",\n  \"variants\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {

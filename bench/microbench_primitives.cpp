@@ -12,6 +12,8 @@
 #include "perf/codegen.hpp"
 #include "perf/perf_sim.hpp"
 #include "sc/gates.hpp"
+#include "sc/kernels/kernels.hpp"
+#include "sc/rng.hpp"
 #include "sc/sng.hpp"
 #include "sim/evaluate.hpp"
 #include "sim/sc_mac.hpp"
@@ -92,6 +94,89 @@ void BM_StreamBankFill(benchmark::State& state) {
                           static_cast<std::int64_t>(length));
 }
 BENCHMARK(BM_StreamBankFill)->Arg(128)->Arg(1024)->Arg(8192);
+
+// --- SIMD kernel layer: scalar reference vs the active dispatch level.
+// Run with --benchmark_filter=BM_Kernel --benchmark_format=json to
+// regenerate bench/BENCH_kernels.json.
+
+void BM_KernelComparePack(benchmark::State& state,
+                          sc::kernels::Level level) {
+  const sc::kernels::KernelTable& kt = sc::kernels::table_for(level);
+  const auto count = static_cast<std::size_t>(state.range(0));
+  sc::kernels::CompareWiring wiring;
+  wiring.mask = 0xFFu;
+  wiring.width = 8;
+  wiring.pre_xor = 0x5Au;
+  wiring.post_xor = 0xC3u;
+  wiring.rot = 3;
+  sc::XorShift32 rng(42);
+  std::vector<std::uint32_t> lfsr_states(count);
+  for (auto& s : lfsr_states) {
+    s = rng.next() & wiring.mask;
+  }
+  std::vector<std::uint64_t> out((count + 63) / 64, 0);
+  for (auto _ : state) {
+    std::fill(out.begin(), out.end(), std::uint64_t{0});
+    kt.compare_pack(wiring, lfsr_states.data(), count, 128, out.data(), 0);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK_CAPTURE(BM_KernelComparePack, scalar, sc::kernels::Level::kScalar)
+    ->Arg(256)
+    ->Arg(8192);
+BENCHMARK_CAPTURE(BM_KernelComparePack, active, sc::kernels::active_level())
+    ->Arg(256)
+    ->Arg(8192);
+
+void BM_KernelAndOrPopcount(benchmark::State& state,
+                            sc::kernels::Level level) {
+  const sc::kernels::KernelTable& kt = sc::kernels::table_for(level);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sc::XorShift32 rng(7);
+  std::vector<std::uint64_t> a(n), b(n), acc(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = (static_cast<std::uint64_t>(rng.next()) << 32) | rng.next();
+    b[i] = (static_cast<std::uint64_t>(rng.next()) << 32) | rng.next();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kt.and_or_popcount(acc.data(), a.data(), b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * 64));
+}
+BENCHMARK_CAPTURE(BM_KernelAndOrPopcount, scalar, sc::kernels::Level::kScalar)
+    ->Arg(4)
+    ->Arg(64);
+BENCHMARK_CAPTURE(BM_KernelAndOrPopcount, active,
+                  sc::kernels::active_level())
+    ->Arg(4)
+    ->Arg(64);
+
+void BM_KernelPopcountWords(benchmark::State& state,
+                            sc::kernels::Level level) {
+  const sc::kernels::KernelTable& kt = sc::kernels::table_for(level);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sc::XorShift32 rng(11);
+  std::vector<std::uint64_t> words(n);
+  for (auto& w : words) {
+    w = (static_cast<std::uint64_t>(rng.next()) << 32) | rng.next();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kt.popcount_words(words.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * 64));
+}
+BENCHMARK_CAPTURE(BM_KernelPopcountWords, scalar, sc::kernels::Level::kScalar)
+    ->Arg(16)
+    ->Arg(1024);
+BENCHMARK_CAPTURE(BM_KernelPopcountWords, active,
+                  sc::kernels::active_level())
+    ->Arg(16)
+    ->Arg(1024);
 
 void BM_StreamPlanBuild(benchmark::State& state) {
   // Packed layer-plan build for a conv2-sized weight lane space (one

@@ -84,7 +84,9 @@ std::string to_json(const sim::EvalResult& r) {
   out += "    \"stream_bits_reused\": " +
          json_number(r.stats.stream_bits_reused) + ",\n";
   out += "    \"plan_hits\": " + json_number(r.stats.plan_hits) + ",\n";
-  out += "    \"plan_misses\": " + json_number(r.stats.plan_misses) + "\n";
+  out += "    \"plan_misses\": " + json_number(r.stats.plan_misses) + ",\n";
+  out += "    \"scratch_bytes\": " + json_number(r.stats.scratch_bytes) +
+         "\n";
   out += "  },\n";
   out += "  \"wall_seconds\": " + json_number(r.wall_seconds) + ",\n";
   out += "  \"throughput_sps\": " + json_number(r.throughput_sps) + ",\n";

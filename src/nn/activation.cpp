@@ -13,6 +13,15 @@ Tensor ReLU::forward(const Tensor& input) {
   return out;
 }
 
+bool ReLU::forward_in_place(Tensor& x) {
+  // Same elementwise clamp as forward(); skips the backward() input cache,
+  // so inference callers pay no copy and no allocation.
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  }
+  return true;
+}
+
 Tensor ReLU::backward(const Tensor& grad_output) {
   Tensor grad_input(input_.shape());
   for (std::size_t i = 0; i < input_.size(); ++i) {

@@ -22,6 +22,7 @@ namespace acoustic::nn {
 class ReLU final : public Layer {
  public:
   Tensor forward(const Tensor& input) override;
+  bool forward_in_place(Tensor& x) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] Kind kind() const noexcept override { return Kind::kReLU; }
   [[nodiscard]] Shape output_shape(Shape input) const override {

@@ -59,6 +59,15 @@ class Layer {
   /// backward().
   virtual Tensor forward(const Tensor& input) = 0;
 
+  /// Inference-only in-place variant: overwrites @p x with forward(x) and
+  /// returns true when the layer supports it (same bits as forward(), but
+  /// no allocation and no backward() caching). Default: unsupported —
+  /// callers fall back to forward(). Shape-preserving layers only.
+  virtual bool forward_in_place(Tensor& x) {
+    (void)x;
+    return false;
+  }
+
   /// Propagates @p grad_output (dLoss/dOutput) to dLoss/dInput, adding
   /// parameter gradients along the way.
   virtual Tensor backward(const Tensor& grad_output) = 0;

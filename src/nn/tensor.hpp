@@ -64,6 +64,14 @@ class Tensor {
     }
   }
 
+  /// Reshapes to @p shape and zero-fills, reusing the existing capacity
+  /// when the new size fits — the allocation-free primitive the
+  /// steady-state forward path writes its outputs through.
+  void resize(Shape shape) {
+    shape_ = shape;
+    data_.assign(shape.size(), 0.0f);
+  }
+
   /// Index of the flattened element (y, x, ch).
   [[nodiscard]] std::size_t index(int y, int x, int ch) const noexcept {
     return (static_cast<std::size_t>(y) * static_cast<std::size_t>(shape_.w) +

@@ -1,0 +1,52 @@
+#include "runtime/scratch_arena.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace acoustic::runtime {
+
+namespace {
+
+std::size_t align_up(std::size_t v, std::size_t a) noexcept {
+  return (v + a - 1) & ~(a - 1);
+}
+
+std::byte* align_ptr(std::byte* p, std::size_t a) noexcept {
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  return p + (align_up(addr, a) - addr);
+}
+
+}  // namespace
+
+std::byte* ScratchArena::bump(std::size_t bytes) {
+  // Zero-byte spans still get a distinct aligned slot, so the accounting
+  // (and therefore capacity growth) is a pure function of the request
+  // sequence.
+  const std::size_t need = align_up(bytes == 0 ? 1 : bytes, kAlignment);
+  epoch_bytes_ += need;
+  high_water_ = std::max(high_water_, epoch_bytes_);
+  if (offset_ + need <= primary_size_) {
+    std::byte* p = primary_base_ + offset_;
+    offset_ += need;
+    return p;
+  }
+  // Warm-up spillover: serve from a dedicated block; the next reset()
+  // coalesces everything into one right-sized primary block.
+  overflow_.push_back(std::make_unique<std::byte[]>(need + kAlignment));
+  ++heap_allocs_;
+  return align_ptr(overflow_.back().get(), kAlignment);
+}
+
+void ScratchArena::reset() {
+  if (high_water_ > primary_size_) {
+    primary_ = std::make_unique<std::byte[]>(high_water_ + kAlignment);
+    ++heap_allocs_;
+    primary_base_ = align_ptr(primary_.get(), kAlignment);
+    primary_size_ = high_water_;
+  }
+  overflow_.clear();  // frees spill blocks; keeps the vector's capacity
+  offset_ = 0;
+  epoch_bytes_ = 0;
+}
+
+}  // namespace acoustic::runtime

@@ -1,7 +1,8 @@
 #include "sc/bitstream.hpp"
 
-#include <bit>
 #include <stdexcept>
+
+#include "sc/kernels/kernels.hpp"
 
 namespace acoustic::sc {
 
@@ -23,11 +24,8 @@ std::size_t BitStream::count_ones() const noexcept {
 }
 
 std::size_t popcount_words(std::span<const std::uint64_t> words) noexcept {
-  std::size_t total = 0;
-  for (const std::uint64_t w : words) {
-    total += static_cast<std::size_t>(std::popcount(w));
-  }
-  return total;
+  return static_cast<std::size_t>(
+      kernels::table().popcount_words(words.data(), words.size()));
 }
 
 double BitStream::value() const noexcept {
@@ -94,25 +92,30 @@ void check_same_size(std::size_t a, std::size_t b) {
 
 BitStream& BitStream::operator&=(const BitStream& rhs) {
   check_same_size(size_, rhs.size_);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    words_[i] &= rhs.words_[i];
-  }
+  kernels::table().and_words(words_.data(), words_.data(),
+                             rhs.words_.data(), words_.size());
   return *this;
 }
 
 BitStream& BitStream::operator|=(const BitStream& rhs) {
   check_same_size(size_, rhs.size_);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    words_[i] |= rhs.words_[i];
-  }
+  kernels::table().or_words(words_.data(), words_.data(), rhs.words_.data(),
+                            words_.size());
   return *this;
 }
 
 BitStream& BitStream::operator^=(const BitStream& rhs) {
   check_same_size(size_, rhs.size_);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    words_[i] ^= rhs.words_[i];
-  }
+  kernels::table().xor_words(words_.data(), words_.data(),
+                             rhs.words_.data(), words_.size());
+  return *this;
+}
+
+BitStream& BitStream::xnor_with(const BitStream& rhs) {
+  check_same_size(size_, rhs.size_);
+  kernels::table().xnor_words(words_.data(), words_.data(),
+                              rhs.words_.data(), words_.size());
+  clear_tail();  // the kernel sets tail bits to 1; the invariant wants 0
   return *this;
 }
 

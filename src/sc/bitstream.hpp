@@ -87,10 +87,15 @@ class BitStream {
 
   bool operator==(const BitStream& other) const = default;
 
-  // Bitwise in-place operators require equal sizes (checked).
+  // Bitwise in-place operators require equal sizes (checked). All word
+  // loops run through the active SIMD kernel table (sc/kernels).
   BitStream& operator&=(const BitStream& rhs);
   BitStream& operator|=(const BitStream& rhs);
   BitStream& operator^=(const BitStream& rhs);
+
+  /// In-place bipolar XNOR multiply: *this = ~(*this ^ rhs), tail bits
+  /// re-cleared. One fused kernel pass instead of XOR-then-invert.
+  BitStream& xnor_with(const BitStream& rhs);
 
   /// Flips every bit in place (unipolar complement: v -> 1-v).
   void invert() noexcept;

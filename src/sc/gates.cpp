@@ -9,7 +9,11 @@ BitStream and_multiply(const BitStream& a, const BitStream& b) {
 }
 
 BitStream xnor_multiply(const BitStream& a, const BitStream& b) {
-  return ~(a ^ b);
+  // Fused XNOR kernel: one pass over the words instead of XOR-then-invert
+  // (same bits — the bipolar baseline's multiply is on the eval hot path).
+  BitStream out = a;
+  out.xnor_with(b);
+  return out;
 }
 
 BitStream or_accumulate(std::span<const BitStream> inputs) {

@@ -1,0 +1,163 @@
+// Centralized SIMD kernel layer for the packed-bitstream hot path.
+//
+// Every inner loop of the SC functional simulator that touches packed
+// 64-bit stream words — comparator packing in sim::StreamBank::fill, the
+// fused AND/OR product loops of the planned conv/dense executors, the
+// popcount behind BitStream::count_ones and the bipolar baseline's XNOR
+// multiply — goes through the function table defined here instead of
+// open-coding the loop at each call site.
+//
+// Dispatch model: one table per instruction-set level (scalar, SSE4.2,
+// AVX2; NEON is stubbed behind the same interface and resolves to the
+// scalar table on non-ARM hosts). The active level is detected once at
+// startup from CPUID and can be overridden with ACOUSTIC_SIMD=
+// scalar|sse42|avx2|neon|native for A/B testing — "native" re-runs the
+// detection. Requesting a level the CPU cannot execute falls back to the
+// best supported one, so the override can never SIGILL.
+//
+// Correctness contract: every level is bit-identical to the scalar
+// reference for every input (tests/sc/kernels_test.cpp sweeps all levels
+// against scalar, including empty/one-bit/word-tail lengths), which is
+// what keeps sc_golden_test and `acoustic eval --metrics` byte-identical
+// across ACOUSTIC_SIMD settings.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace acoustic::sc::kernels {
+
+/// Instruction-set levels the dispatcher can select.
+enum class Level {
+  kScalar,
+  kSse42,
+  kAvx2,
+  kNeon,  ///< stub: scalar table on non-ARM hosts (same interface)
+};
+
+/// Per-lane SNG scrambler wiring, mirrored from sim::StreamBank: the
+/// comparator kernel applies XOR -> odd-multiply -> rotate -> XOR to the
+/// shared LFSR state before the `< level` compare. identity models naive
+/// RNG sharing (state passes through untouched).
+struct CompareWiring {
+  std::uint32_t pre_xor = 0;
+  std::uint32_t post_xor = 0;
+  std::uint32_t mask = 0xFFFFFFFFu;  ///< (1 << width) - 1 (all-ones at 32)
+  unsigned rot = 0;                  ///< rotate amount, 0 <= rot < width
+  unsigned width = 32;               ///< comparator width in bits
+  bool identity = false;
+};
+
+/// The odd diffusion multiplier of the scrambler (bijective mod 2^width).
+inline constexpr std::uint32_t kScrambleMul = 0x2545F491u;
+
+/// Scalar reference scrambler — THE definition of the wiring every
+/// compare_pack level must reproduce bit-for-bit (the vector levels apply
+/// the same XOR/multiply/rotate/XOR per SIMD lane).
+[[nodiscard]] inline std::uint32_t scramble_state(
+    const CompareWiring& w, std::uint32_t state) noexcept {
+  if (w.identity) {
+    return state;
+  }
+  std::uint32_t x = state ^ w.pre_xor;
+  x = (x * kScrambleMul) & w.mask;
+  if (w.rot != 0) {
+    x = ((x << w.rot) | (x >> (w.width - w.rot))) & w.mask;
+  }
+  return x ^ w.post_xor;
+}
+
+/// The kernel function table. All pointers are non-null for every level.
+///
+/// Word-span kernels follow one convention: `n` counts 64-bit words,
+/// buffers do not alias unless stated, and tail bits beyond the logical
+/// stream length are the caller's invariant (the kernels are pure word
+/// operations).
+struct KernelTable {
+  /// Human-readable level tag ("scalar", "sse42", "avx2", "neon").
+  const char* name;
+  Level level;
+
+  /// Comparator packing: for j in [0, count), compute
+  ///   bit = scramble(w, states[j]) < level
+  /// and OR it into bit (bit0 + j) of the packed word buffer @p out.
+  /// The destination bits [bit0, bit0 + count) must be pre-zeroed; words
+  /// outside that range are never written. This is StreamBank::fill's
+  /// inner loop: callers split a wrap-around window into (at most) two
+  /// contiguous state runs and invoke the kernel once per piece.
+  void (*compare_pack)(const CompareWiring& w, const std::uint32_t* states,
+                       std::size_t count, std::uint32_t level,
+                       std::uint64_t* out, std::size_t bit0);
+
+  /// acc[i] |= a[i] & b[i] — the split-unipolar product step (AND multiply
+  /// OR-accumulated into the activation counter input).
+  void (*and_or)(std::uint64_t* acc, const std::uint64_t* a,
+                 const std::uint64_t* b, std::size_t n);
+
+  /// acc[i] |= a[i].
+  void (*or_reduce)(std::uint64_t* acc, const std::uint64_t* a,
+                    std::size_t n);
+
+  /// out[i] = a[i] & b[i] (out may alias a).
+  void (*and_words)(std::uint64_t* out, const std::uint64_t* a,
+                    const std::uint64_t* b, std::size_t n);
+
+  /// out[i] = a[i] | b[i] (out may alias a).
+  void (*or_words)(std::uint64_t* out, const std::uint64_t* a,
+                   const std::uint64_t* b, std::size_t n);
+
+  /// out[i] = a[i] ^ b[i] (out may alias a).
+  void (*xor_words)(std::uint64_t* out, const std::uint64_t* a,
+                    const std::uint64_t* b, std::size_t n);
+
+  /// out[i] = ~(a[i] ^ b[i]) — the bipolar XNOR multiply (out may alias
+  /// a). Tail bits come out as 1 and must be cleared by the caller that
+  /// owns the stream-length invariant (sc::BitStream does).
+  void (*xnor_words)(std::uint64_t* out, const std::uint64_t* a,
+                     const std::uint64_t* b, std::size_t n);
+
+  /// Sum of set bits across n words.
+  std::uint64_t (*popcount_words)(const std::uint64_t* words, std::size_t n);
+
+  /// Fused product + count: acc[i] |= a[i] & b[i], returning the popcount
+  /// of the updated acc words — the final product of an OR-accumulation
+  /// chain folds its counter read into the same pass.
+  std::uint64_t (*and_or_popcount)(std::uint64_t* acc, const std::uint64_t* a,
+                                   const std::uint64_t* b, std::size_t n);
+};
+
+/// The table for @p level. Always safe to CALL table_for(kScalar); other
+/// levels require hardware support (see level_supported) — the dispatcher
+/// never hands out an unsupported table.
+[[nodiscard]] const KernelTable& table_for(Level level) noexcept;
+
+/// True when the running CPU can execute @p level. kScalar is always
+/// true; kNeon reports true only on ARM builds (where it currently
+/// resolves to the scalar reference implementation).
+[[nodiscard]] bool level_supported(Level level) noexcept;
+
+/// Best level the running CPU supports (ignores the env override).
+[[nodiscard]] Level detect_best() noexcept;
+
+/// Maps an ACOUSTIC_SIMD-style request to the level the dispatcher would
+/// activate: nullptr/""/"native"/unknown names resolve to detect_best();
+/// a known level name resolves to that level when the CPU supports it and
+/// falls back to detect_best() otherwise (the override can never SIGILL).
+/// Pure — exposed separately from table() so tests can sweep it.
+[[nodiscard]] Level resolve_level(const char* request) noexcept;
+
+/// The process-wide active table: detect_best() unless ACOUSTIC_SIMD
+/// selects otherwise. Resolved once on first call and cached.
+[[nodiscard]] const KernelTable& table() noexcept;
+
+/// Level of the active table.
+[[nodiscard]] Level active_level() noexcept;
+
+/// Tag string for @p level ("scalar", "sse42", "avx2", "neon").
+[[nodiscard]] const char* level_name(Level level) noexcept;
+
+/// The raw ACOUSTIC_SIMD override value in effect, or nullptr when unset.
+/// Exposed so benchmark baselines can record how they were produced.
+[[nodiscard]] const char* env_override() noexcept;
+
+}  // namespace acoustic::sc::kernels

@@ -1,0 +1,98 @@
+// Generic (portable C++) kernel bodies shared by the per-level TUs.
+//
+// Each level's translation unit includes this file inside an anonymous
+// namespace, so the bodies compile under THAT TU's target flags: the
+// scalar TU gets the baseline codegen, the SSE4.2/AVX2 TUs get the same
+// source auto-vectorized (and hardware popcnt) for the table entries they
+// do not hand-write. Results are identical regardless of flags — these
+// are pure integer word operations.
+//
+// Do not include outside a kernels_*.cpp translation unit. Including TUs
+// must pull in <algorithm>, <bit>, <cstddef> and <cstdint> BEFORE this
+// file (it is included inside an anonymous namespace, so it cannot
+// include standard headers itself).
+
+inline void generic_compare_pack(
+    const acoustic::sc::kernels::CompareWiring& w,
+    const std::uint32_t* states, std::size_t count, std::uint32_t level,
+    std::uint64_t* out, std::size_t bit0) {
+  using acoustic::sc::kernels::scramble_state;
+  std::size_t j = 0;
+  while (j < count) {
+    const std::size_t bit = bit0 + j;
+    const std::size_t wi = bit / 64;
+    const unsigned r = static_cast<unsigned>(bit % 64);
+    const std::size_t chunk = std::min<std::size_t>(64 - r, count - j);
+    std::uint64_t word = 0;
+    for (std::size_t b = 0; b < chunk; ++b) {
+      word |= static_cast<std::uint64_t>(scramble_state(w, states[j + b]) <
+                                         level)
+              << b;
+    }
+    out[wi] |= word << r;
+    j += chunk;
+  }
+}
+
+inline void generic_and_or(std::uint64_t* acc, const std::uint64_t* a,
+                           const std::uint64_t* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    acc[i] |= a[i] & b[i];
+  }
+}
+
+inline void generic_or_reduce(std::uint64_t* acc, const std::uint64_t* a,
+                              std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    acc[i] |= a[i];
+  }
+}
+
+inline void generic_and_words(std::uint64_t* out, const std::uint64_t* a,
+                              const std::uint64_t* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = a[i] & b[i];
+  }
+}
+
+inline void generic_or_words(std::uint64_t* out, const std::uint64_t* a,
+                             const std::uint64_t* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = a[i] | b[i];
+  }
+}
+
+inline void generic_xor_words(std::uint64_t* out, const std::uint64_t* a,
+                              const std::uint64_t* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = a[i] ^ b[i];
+  }
+}
+
+inline void generic_xnor_words(std::uint64_t* out, const std::uint64_t* a,
+                               const std::uint64_t* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = ~(a[i] ^ b[i]);
+  }
+}
+
+inline std::uint64_t generic_popcount_words(const std::uint64_t* words,
+                                            std::size_t n) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::uint64_t>(std::popcount(words[i]));
+  }
+  return total;
+}
+
+inline std::uint64_t generic_and_or_popcount(std::uint64_t* acc,
+                                             const std::uint64_t* a,
+                                             const std::uint64_t* b,
+                                             std::size_t n) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc[i] |= a[i] & b[i];
+    total += static_cast<std::uint64_t>(std::popcount(acc[i]));
+  }
+  return total;
+}

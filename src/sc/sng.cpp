@@ -7,7 +7,12 @@ namespace acoustic::sc {
 
 std::uint32_t quantize_unipolar(double value, unsigned width) {
   const double clamped = std::clamp(value, 0.0, 1.0);
-  const double scale = std::ldexp(1.0, static_cast<int>(width));
+  // 2^width as an exact shift for the widths a comparator can have; the
+  // ldexp fallback keeps out-of-range widths defined (same value either
+  // way, so quantization results are unchanged).
+  const double scale = width < 63
+                           ? static_cast<double>(std::uint64_t{1} << width)
+                           : std::ldexp(1.0, static_cast<int>(width));
   const auto level = static_cast<std::uint64_t>(std::llround(clamped * scale));
   // Width-32 levels of exactly 2^32 cannot be represented in the 32-bit
   // comparator; saturate (error <= 2^-32 in the encoded value).

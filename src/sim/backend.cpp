@@ -108,12 +108,18 @@ class ScBackend final : public InferenceBackend {
     return exec_.forward(input);
   }
 
+  void forward_into(const nn::Tensor& input, nn::Tensor& out) override {
+    ++samples_;
+    exec_.forward_into(input, out);
+  }
+
   [[nodiscard]] RunStats stats() const override {
     const ScNetwork::Stats& s = exec_.stats();
     return RunStats{samples_,         s.layers_run,
                     s.product_bits,   s.skipped_operands,
                     s.stream_bits_generated, s.stream_bits_reused,
-                    s.plan_hits,      s.plan_misses};
+                    s.plan_hits,      s.plan_misses,
+                    s.scratch_bytes};
   }
 
   [[nodiscard]] RunStats take_stats() override {
@@ -121,7 +127,8 @@ class ScBackend final : public InferenceBackend {
     return RunStats{std::exchange(samples_, 0), s.layers_run,
                     s.product_bits,   s.skipped_operands,
                     s.stream_bits_generated, s.stream_bits_reused,
-                    s.plan_hits,      s.plan_misses};
+                    s.plan_hits,      s.plan_misses,
+                    s.scratch_bytes};
   }
 
   void set_profiler(obs::Profiler* profiler, std::uint32_t track) override {

@@ -48,6 +48,11 @@ struct RunStats {
   /// plan exceeded its byte budget (SC backend only).
   std::uint64_t plan_hits = 0;
   std::uint64_t plan_misses = 0;
+  /// Steady-state per-forward scratch footprint in bytes (SC backend only;
+  /// see ScNetwork::Stats::scratch_bytes). A pure function of (network,
+  /// config, input shape), identical for every clone — merged by max so
+  /// the figure is invariant across thread counts.
+  std::uint64_t scratch_bytes = 0;
 
   void merge(const RunStats& other) noexcept {
     samples += other.samples;
@@ -58,6 +63,9 @@ struct RunStats {
     stream_bits_reused += other.stream_bits_reused;
     plan_hits += other.plan_hits;
     plan_misses += other.plan_misses;
+    scratch_bytes =
+        scratch_bytes > other.scratch_bytes ? scratch_bytes
+                                            : other.scratch_bytes;
   }
 
   bool operator==(const RunStats&) const = default;
@@ -82,6 +90,14 @@ class InferenceBackend {
   /// Runs one sample. Not thread-safe per instance — use clone() for
   /// concurrency.
   [[nodiscard]] virtual nn::Tensor forward(const nn::Tensor& input) = 0;
+
+  /// Runs one sample into a caller-owned output tensor, reusing its
+  /// capacity. Backends with an allocation-free executor (the SC backend)
+  /// override this; the default simply wraps forward(). Same bits as
+  /// forward() in every backend.
+  virtual void forward_into(const nn::Tensor& input, nn::Tensor& out) {
+    out = forward(input);
+  }
 
   /// Stats accumulated since construction / the last take_stats().
   [[nodiscard]] virtual RunStats stats() const = 0;

@@ -56,17 +56,29 @@ EvalResult BatchEvaluator::evaluate(InferenceBackend& prototype,
   std::vector<double> latency_us(n, 0.0);
   std::atomic<std::size_t> done{0};
 
+  // One reused logits tensor per worker: after each clone's warm-up image
+  // has sized it (and the clone's internal scratch), the steady-state
+  // per-image loop performs no heap allocation (SC backend; asserted by
+  // tests/sim/alloc_test.cpp). The span name is only built when a
+  // profiler is attached — string construction would otherwise allocate
+  // on every image.
+  std::vector<nn::Tensor> logits(workers);
+
   const Clock::time_point run_start = Clock::now();
   pool_.parallel_for(n, [&](std::size_t i, unsigned worker) {
     const train::Sample& sample = data.samples[i];
-    obs::Span span(hooks.profiler, "image " + std::to_string(i), "image",
+    obs::Span span(hooks.profiler,
+                   hooks.profiler != nullptr ? "image " + std::to_string(i)
+                                             : std::string(),
+                   hooks.profiler != nullptr ? std::string("image")
+                                             : std::string(),
                    worker, static_cast<std::uint32_t>(i));
     const Clock::time_point t0 = Clock::now();
-    const nn::Tensor logits = clones[worker]->forward(sample.image);
+    clones[worker]->forward_into(sample.image, logits[worker]);
     const Clock::time_point t1 = Clock::now();
     span.close();
     correct[i] =
-        static_cast<int>(logits.argmax()) == sample.label ? 1 : 0;
+        static_cast<int>(logits[worker].argmax()) == sample.label ? 1 : 0;
     latency_us[i] =
         std::chrono::duration<double, std::micro>(t1 - t0).count();
     if (hooks.progress) {
@@ -124,6 +136,10 @@ void export_metrics(const EvalResult& result, obs::Registry& registry) {
   registry.add("sc.stream_bits_reused", result.stats.stream_bits_reused);
   registry.add("sc.plan_hits", result.stats.plan_hits);
   registry.add("sc.plan_misses", result.stats.plan_misses);
+  // Gauge, not a counter: the steady-state per-forward scratch footprint
+  // (max across clones — identical for each, so thread-count invariant).
+  registry.set("sc.scratch_bytes",
+               static_cast<double>(result.stats.scratch_bytes));
 }
 
 }  // namespace acoustic::sim

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "nn/activation.hpp"
 #include "nn/pool.hpp"
 #include "sc/bitstream.hpp"
+#include "sc/kernels/kernels.hpp"
 
 namespace acoustic::sim {
 
@@ -102,23 +104,34 @@ std::size_t gather_rf(const nn::ConvSpec& spec, const nn::Tensor& input,
 }
 
 /// Quantizes all activations to SNG comparator levels once per layer.
-std::vector<std::uint32_t> quantize_activations(const StreamBank& bank,
-                                                const nn::Tensor& input) {
-  std::vector<std::uint32_t> levels(input.size());
+void quantize_activations_into(const StreamBank& bank, const nn::Tensor& input,
+                               std::span<std::uint32_t> levels) {
   for (std::size_t i = 0; i < input.size(); ++i) {
     levels[i] = bank.quantize(input[i]);
   }
+}
+
+std::vector<std::uint32_t> quantize_activations(const StreamBank& bank,
+                                                const nn::Tensor& input) {
+  std::vector<std::uint32_t> levels(input.size());
+  quantize_activations_into(bank, input, levels);
   return levels;
 }
 
 /// Quantizes all weight magnitudes once per layer (the sign schedules the
 /// product into the + or - phase instead).
-std::vector<std::uint32_t> quantize_weights(const StreamBank& bank,
-                                            std::span<const float> weights) {
-  std::vector<std::uint32_t> levels(weights.size());
+void quantize_weights_into(const StreamBank& bank,
+                           std::span<const float> weights,
+                           std::span<std::uint32_t> levels) {
   for (std::size_t i = 0; i < weights.size(); ++i) {
     levels[i] = bank.quantize(std::fabs(weights[i]));
   }
+}
+
+std::vector<std::uint32_t> quantize_weights(const StreamBank& bank,
+                                            std::span<const float> weights) {
+  std::vector<std::uint32_t> levels(weights.size());
+  quantize_weights_into(bank, weights, levels);
   return levels;
 }
 
@@ -132,6 +145,7 @@ ScNetwork::ScNetwork(nn::Network& net, ScConfig cfg,
   }
   stages_ = plan_stages(net, cfg_.pooling == PoolingMode::kSkipping,
                         "ScNetwork");
+  stage_scratch_.resize(stages_.size());
   wgt_plans_ = shared != nullptr
                    ? std::move(shared)
                    : std::make_shared<WeightPlanStore>(cfg_, stages_.size());
@@ -178,54 +192,107 @@ std::shared_ptr<const LayerStreamPlan> ScNetwork::weight_plan(
                          built, pool);
 }
 
-nn::Tensor ScNetwork::forward(const nn::Tensor& input) {
+std::span<const std::uint32_t> ScNetwork::cached_weight_levels(
+    StageScratch& scratch, const StreamBank& bank,
+    std::span<const float> weights, bool& refreshed) {
+  const bool hit =
+      scratch.wgt_src.size() == weights.size() &&
+      (weights.empty() ||
+       std::memcmp(scratch.wgt_src.data(), weights.data(),
+                   weights.size() * sizeof(float)) == 0);
+  if (!hit) {
+    scratch.wgt_src.assign(weights.begin(), weights.end());
+    scratch.wgt_levels.resize(weights.size());
+    quantize_weights_into(bank, weights, scratch.wgt_levels);
+    refreshed = true;
+  }
+  return scratch.wgt_levels;
+}
+
+void ScNetwork::forward_into(const nn::Tensor& input, nn::Tensor& out) {
   // Per-run accounting: the hot loops below write into `run` (and locals),
   // never into stats_, so evaluator clones share nothing mutable.
   Stats run;
-  nn::Tensor x = input;
+  // One scratch epoch per forward: the first call grows the arena to the
+  // network's high-water mark, every later call only bumps pointers.
+  arena_.reset();
+  // Stages ping-pong between the two member buffers; the external input is
+  // read-only, so the first stage writes buf_a_.
+  const nn::Tensor* cur = &input;
+  nn::Tensor* cur_buf = nullptr;
+  const auto flip = [&]() -> nn::Tensor& {
+    return cur_buf == &buf_a_ ? buf_b_ : buf_a_;
+  };
+  const bool profiled = profiler_ != nullptr;
   for (std::size_t s = 0; s < stages_.size(); ++s) {
     const Stage& stage = stages_[s];
     // The span covers the weighted layer AND its binary-domain post-ops,
     // so the per-layer profile sums to (almost exactly) the forward wall
-    // time; counters carry the stage's contribution alone.
+    // time; counters carry the stage's contribution alone. Name/counter
+    // strings are only built when a profiler is attached — the unprofiled
+    // hot path must not allocate.
     obs::Span span(profiler_,
-                   stage.conv != nullptr ? stage.conv->name()
-                                         : stage.dense->name(),
-                   "layer", track_, static_cast<std::uint32_t>(s));
-    span.kind(stage.conv != nullptr
-                  ? (stage.fused_pool != nullptr ? "conv+pool" : "conv")
-                  : "dense");
+                   profiled ? (stage.conv != nullptr ? stage.conv->name()
+                                                     : stage.dense->name())
+                            : std::string(),
+                   profiled ? std::string("layer") : std::string(), track_,
+                   static_cast<std::uint32_t>(s));
+    if (profiled) {
+      span.kind(stage.conv != nullptr
+                    ? (stage.fused_pool != nullptr ? "conv+pool" : "conv")
+                    : "dense");
+    }
     const Stats before = run;
-    x = stage.conv != nullptr ? run_conv(stage, s, x, run)
-                              : run_dense(stage, s, x, run);
+    nn::Tensor& dst = flip();
+    if (stage.conv != nullptr) {
+      run_conv(stage, s, *cur, dst, run);
+    } else {
+      run_dense(stage, s, *cur, dst, run);
+    }
+    cur_buf = &dst;
+    cur = cur_buf;
     for (nn::Layer* post : stage.post_ops) {
-      x = post->forward(x);
+      // Shape-preserving post-ops (ReLU) run in place; the rest (e.g. a
+      // non-fused pooling layer) take the allocating fallback.
+      if (post->forward_in_place(*cur_buf)) {
+        continue;
+      }
+      nn::Tensor& next = flip();
+      next = post->forward(*cur_buf);
+      cur_buf = &next;
+      cur = cur_buf;
     }
     ++run.layers_run;
-    span.counter("product_bits", run.product_bits - before.product_bits);
-    span.counter("skipped_operands",
-                 run.skipped_operands - before.skipped_operands);
-    span.counter("stream_bits_generated",
-                 run.stream_bits_generated - before.stream_bits_generated);
-    span.counter("stream_bits_reused",
-                 run.stream_bits_reused - before.stream_bits_reused);
+    if (profiled) {
+      span.counter("product_bits", run.product_bits - before.product_bits);
+      span.counter("skipped_operands",
+                   run.skipped_operands - before.skipped_operands);
+      span.counter("stream_bits_generated",
+                   run.stream_bits_generated - before.stream_bits_generated);
+      span.counter("stream_bits_reused",
+                   run.stream_bits_reused - before.stream_bits_reused);
+    }
   }
+  run.scratch_bytes = arena_.high_water_bytes();
   stats_.merge(run);
-  return x;
+  out = *cur;
 }
 
-nn::Tensor ScNetwork::run_conv(const Stage& stage, std::size_t stage_idx,
-                               const nn::Tensor& input, Stats& run) {
-  return cfg_.exec == ExecMode::kScalar
-             ? run_conv_scalar(stage, input, run)
-             : run_conv_planned(stage, stage_idx, input, run);
+void ScNetwork::run_conv(const Stage& stage, std::size_t stage_idx,
+                         const nn::Tensor& input, nn::Tensor& out,
+                         Stats& run) {
+  if (cfg_.exec == ExecMode::kScalar) {
+    run_conv_scalar(stage, input, out, run);
+  } else {
+    run_conv_planned(stage, stage_idx, input, out, run);
+  }
 }
 
 // Reference scalar path (the seed implementation): regenerates every
 // stream segment at its point of use. Kept verbatim as the equivalence
 // oracle for the planned path below.
-nn::Tensor ScNetwork::run_conv_scalar(const Stage& stage,
-                                      const nn::Tensor& input, Stats& run) {
+void ScNetwork::run_conv_scalar(const Stage& stage, const nn::Tensor& input,
+                                nn::Tensor& out, Stats& run) {
   const nn::Conv2D& conv = *stage.conv;
   const auto& spec = conv.spec();
   const std::size_t phase = cfg_.phase_length();
@@ -242,7 +309,7 @@ nn::Tensor ScNetwork::run_conv_scalar(const Stage& stage,
   const std::vector<std::uint32_t> wgt_levels =
       quantize_weights(wgt_bank, weights);
 
-  nn::Tensor out(g.out_shape);
+  out.resize(g.out_shape);
   std::uint64_t product_bits = 0;
   std::uint64_t skipped = 0;
   std::uint64_t bits_generated = 0;
@@ -330,64 +397,91 @@ nn::Tensor ScNetwork::run_conv_scalar(const Stage& stage,
   run.product_bits += product_bits;
   run.skipped_operands += skipped;
   run.stream_bits_generated += bits_generated;
-  return out;
 }
 
 // Fast path: packed per-layer stream plans + optional row parallelism.
 // Bit-identical to run_conv_scalar — every served segment is the same pure
 // function of (bank, lane, level, offset), counter accumulation stays
 // integer-exact, and output rows are disjoint, so the H-row shard merge is
-// independent of worker count and scheduling order.
-nn::Tensor ScNetwork::run_conv_planned(const Stage& stage,
-                                       std::size_t stage_idx,
-                                       const nn::Tensor& input, Stats& run) {
+// independent of worker count and scheduling order. All per-forward
+// scratch comes from the arena (carved BEFORE the row loop — the arena is
+// single-owner), so a steady-state call allocates nothing.
+void ScNetwork::run_conv_planned(const Stage& stage, std::size_t stage_idx,
+                                 const nn::Tensor& input, nn::Tensor& out,
+                                 Stats& run) {
   const nn::Conv2D& conv = *stage.conv;
   const auto& spec = conv.spec();
   const std::size_t phase = cfg_.phase_length();
   const ConvGeometry g = conv_geometry(stage, input, phase);
+  const sc::kernels::KernelTable& kt = sc::kernels::table();
 
   StreamBank& act_bank = activation_bank();
-  const std::vector<std::uint32_t> act_levels =
-      quantize_activations(act_bank, input);
+  const std::span<std::uint32_t> act_levels =
+      arena_.alloc<std::uint32_t>(input.size());
+  quantize_activations_into(act_bank, input, act_levels);
   const auto weights = conv.weights();
-  const std::vector<std::uint32_t> wgt_levels =
-      quantize_weights(weight_bank(), weights);
+  StageScratch& stage_scratch = stage_scratch_[stage_idx];
+  bool wgt_refreshed = false;
+  const std::span<const std::uint32_t> wgt_levels = cached_weight_levels(
+      stage_scratch, weight_bank(), weights, wgt_refreshed);
 
   runtime::ThreadPool* pool = intra_pool();
 
   // Weight plan: cached across images (the levels vector is the cache
-  // key). Activation plan: built per image, reused by every overlapping
-  // receptive field. Building before the row loop keeps both tables
-  // read-only while workers run.
+  // key). Activation plan: rebuilt per image into the stage's retained
+  // plan object — its table allocation depends only on (lanes, schedule),
+  // so across an evaluation the rebuild is allocation-free. Building
+  // before the row loop keeps both tables read-only while workers run.
   const SegmentSchedule sched{phase, g.window_positions, g.seg};
   const std::shared_ptr<const LayerStreamPlan> wgt_plan_ptr =
       weight_plan(stage_idx, sched, wgt_levels, pool);
   const LayerStreamPlan& wgt_plan = *wgt_plan_ptr;
-  LayerStreamPlan act_plan(act_bank, sched, input.size(),
-                           cfg_.plan_budget_bytes);
+  if (stage_scratch.act_plan == nullptr ||
+      stage_scratch.lanes != input.size() ||
+      !(stage_scratch.sched == sched)) {
+    stage_scratch.act_plan = std::make_unique<LayerStreamPlan>(
+        act_bank, sched, input.size(), cfg_.plan_budget_bytes);
+    stage_scratch.lanes = input.size();
+    stage_scratch.sched = sched;
+  }
+  LayerStreamPlan& act_plan = *stage_scratch.act_plan;
   StreamPlanCounters build_counters;
   act_plan.build(act_levels, build_counters, pool);
 
-  nn::Tensor out(g.out_shape);
+  out.resize(g.out_shape);
   const unsigned workers = pool != nullptr ? pool->size() : 1u;
   const bool fast = wgt_plan.enabled() && act_plan.enabled();
   const auto oc_count = static_cast<std::size_t>(g.conv_out.c);
   const std::size_t seg_words = g.seg_words;
+  // Single-word segments (the common geometry) take a branchless row body
+  // driven by the stage's cached ProductTable; wider segments and
+  // budget-disabled plans take the kernel-chain / generic bodies below.
+  const bool fast1 = fast && seg_words == 1;
 
   // Sign scheduling is position-invariant: whether weight (oc, slot) joins
   // the + or the - phase depends only on its sign, and a zero-quantized
   // weight is operand-gated at every position. Classify each weight once
-  // per layer, hoisting the sign test, the zero-weight gate and the plan
-  // lookup out of the per-position product loop.
+  // per layer into a flat grouped table (count -> prefix -> fill, all
+  // arena-backed), hoisting the sign test, the zero-weight gate and the
+  // plan lookup out of the per-position product loop.
   struct SignEntry {
     std::uint32_t slot;         ///< receptive-field slot (== weight offset)
     const std::uint64_t* lane;  ///< weight lane's packed slot table
   };
-  std::vector<std::vector<SignEntry>> active;  // [ph * oc_count + oc]
-  std::vector<std::uint32_t> gated;            // always-skipped per group
-  if (fast) {
-    active.resize(2 * oc_count);
-    gated.assign(2 * oc_count, 0);
+  const std::size_t groups = 2 * oc_count;  // [ph * oc_count + oc]
+
+  // Branchless-path table: rebuilt only when the weights (sign pattern or
+  // quantized levels) or the segment schedule changed — never in steady
+  // state, so the retained vectors keep per-image forwards allocation-free.
+  StageScratch::ProductTable& tbl = stage_scratch.products;
+  if (fast1 && (!tbl.built || wgt_refreshed || !(tbl.sched == sched))) {
+    const std::size_t slots = sched.slots();
+    tbl.sched = sched;
+    tbl.bm_words = (g.rf_max + 63) / 64;
+    tbl.group_count.assign(groups, 0);
+    tbl.gated.assign(groups, 0);
+    tbl.group_off.assign(groups + 1, 0);
+    tbl.group_bm.assign(groups * tbl.bm_words, 0);
     for (std::size_t oc = 0; oc < oc_count; ++oc) {
       for (std::size_t s = 0; s < g.rf_max; ++s) {
         const std::size_t wi = oc * g.rf_max + s;
@@ -399,47 +493,253 @@ nn::Tensor ScNetwork::run_conv_planned(const Stage& stage,
         }
         const std::size_t group = (wv > 0.0f ? 0 : 1) * oc_count + oc;
         if (wgt_levels[wi] != 0) {
-          active[group].push_back(
-              {static_cast<std::uint32_t>(s), wgt_plan.lane_words(wi)});
+          ++tbl.group_count[group];
+        } else {
+          ++tbl.gated[group];
+        }
+      }
+    }
+    std::uint32_t total = 0;
+    for (std::size_t gi = 0; gi < groups; ++gi) {
+      tbl.group_off[gi] = total;
+      total += tbl.group_count[gi];
+    }
+    tbl.group_off[groups] = total;
+    tbl.total = total;
+    tbl.slot_of.assign(total, 0);
+    tbl.wgt_w.assign(slots * total, 0);
+    std::vector<std::uint32_t> cursor(tbl.group_off.begin(),
+                                      tbl.group_off.end() - 1);
+    for (std::size_t oc = 0; oc < oc_count; ++oc) {
+      for (std::size_t s = 0; s < g.rf_max; ++s) {
+        const std::size_t wi = oc * g.rf_max + s;
+        const float wv = weights[wi];
+        if ((!(wv > 0.0f) && !(wv < 0.0f)) || wgt_levels[wi] == 0) {
+          continue;
+        }
+        const std::size_t group = (wv > 0.0f ? 0 : 1) * oc_count + oc;
+        const std::uint32_t ei = cursor[group]++;
+        tbl.slot_of[ei] = static_cast<std::uint32_t>(s);
+        // Transpose the weight lane's slot words so each group's entries
+        // are sequential loads per (phase, position).
+        const std::uint64_t* lane = wgt_plan.lane_words(wi);
+        for (std::size_t si = 0; si < slots; ++si) {
+          tbl.wgt_w[si * total + ei] = lane[si];
+        }
+        tbl.group_bm[group * tbl.bm_words + s / 64] |=
+            std::uint64_t{1} << (s % 64);
+      }
+    }
+    tbl.built = true;
+  }
+
+  std::span<std::uint32_t> group_count;
+  std::span<std::uint32_t> group_off;  ///< exclusive prefix, groups + 1 wide
+  std::span<std::uint32_t> gated;      ///< always-skipped per group
+  std::span<SignEntry> entries;
+  if (fast && !fast1) {
+    group_count = arena_.alloc<std::uint32_t>(groups);
+    gated = arena_.alloc<std::uint32_t>(groups);
+    group_off = arena_.alloc<std::uint32_t>(groups + 1);
+    for (std::size_t oc = 0; oc < oc_count; ++oc) {
+      for (std::size_t s = 0; s < g.rf_max; ++s) {
+        const std::size_t wi = oc * g.rf_max + s;
+        const float wv = weights[wi];
+        // Same predicates as the scalar path's active_here test: zero (and
+        // non-finite) weights are active in neither sign phase.
+        if (!(wv > 0.0f) && !(wv < 0.0f)) {
+          continue;
+        }
+        const std::size_t group = (wv > 0.0f ? 0 : 1) * oc_count + oc;
+        if (wgt_levels[wi] != 0) {
+          ++group_count[group];
         } else {
           ++gated[group];
         }
       }
     }
+    std::uint32_t total = 0;
+    for (std::size_t gi = 0; gi < groups; ++gi) {
+      group_off[gi] = total;
+      total += group_count[gi];
+    }
+    group_off[groups] = total;
+    entries = arena_.alloc<SignEntry>(total);
+    const std::span<std::uint32_t> cursor = arena_.alloc<std::uint32_t>(groups);
+    for (std::size_t gi = 0; gi < groups; ++gi) {
+      cursor[gi] = group_off[gi];
+    }
+    for (std::size_t oc = 0; oc < oc_count; ++oc) {
+      for (std::size_t s = 0; s < g.rf_max; ++s) {
+        const std::size_t wi = oc * g.rf_max + s;
+        const float wv = weights[wi];
+        if ((!(wv > 0.0f) && !(wv < 0.0f)) || wgt_levels[wi] == 0) {
+          continue;
+        }
+        const std::size_t group = (wv > 0.0f ? 0 : 1) * oc_count + oc;
+        entries[cursor[group]++] = {static_cast<std::uint32_t>(s),
+                                    wgt_plan.lane_words(wi)};
+      }
+    }
   }
 
   // Per-worker scratch and accounting: disjoint output rows, additive
-  // counters merged after the loop (order-insensitive sums).
+  // counters merged after the loop (order-insensitive sums). Spans carve
+  // the arena up front; only the path that runs gets its buffers.
   struct WorkerState {
-    std::vector<const std::uint64_t*> act_lane;  ///< per-slot plan row (fast)
-    std::vector<const std::uint64_t*> act_seg;   ///< per-slot segment (generic)
-    Words act_scratch;  ///< fallback storage, one slice per slot
-    Words wgt_scratch;
-    Words or_acc;
-    std::vector<std::uint32_t> rf_weight_lane;
-    std::vector<std::size_t> rf_act_index;
-    std::vector<char> rf_live;
-    std::vector<std::int64_t> counters;
+    std::span<std::uint64_t> act_w;    ///< [phase][slot] act words (fast1)
+    std::span<std::uint64_t> live_bm;  ///< live-slot bitmap (fast1)
+    std::span<const std::uint64_t*> act_lane;  ///< per-slot plan row (fast)
+    std::span<const std::uint64_t*> act_seg;  ///< per-slot segment (generic)
+    std::span<std::uint64_t> act_scratch;  ///< fallback storage per slot
+    std::span<std::uint64_t> wgt_scratch;
+    std::span<std::uint64_t> or_acc;
+    std::span<std::uint32_t> rf_weight_lane;
+    std::span<std::size_t> rf_act_index;
+    std::span<char> rf_live;
+    std::span<std::int64_t> counters;
     std::uint64_t product_bits = 0;
     std::uint64_t skipped = 0;
     StreamPlanCounters plan;
   };
-  std::vector<WorkerState> states(workers);
+  const std::span<WorkerState> states = arena_.alloc<WorkerState>(workers);
   for (WorkerState& ws : states) {
-    ws.act_lane.resize(g.rf_max);
-    ws.act_seg.resize(g.rf_max);
-    ws.act_scratch.resize(g.rf_max * seg_words);
-    ws.wgt_scratch.resize(seg_words);
-    ws.or_acc.resize(seg_words);
-    ws.rf_weight_lane.resize(g.rf_max);
-    ws.rf_act_index.resize(g.rf_max);
-    ws.rf_live.resize(g.rf_max);
-    ws.counters.resize(oc_count);
+    ws.or_acc = arena_.alloc<std::uint64_t>(seg_words);
+    ws.counters = arena_.alloc<std::int64_t>(oc_count);
+    if (fast1) {
+      ws.act_w = arena_.alloc<std::uint64_t>(2 * g.rf_max);
+      ws.live_bm = arena_.alloc<std::uint64_t>(tbl.bm_words);
+    } else if (fast) {
+      ws.act_lane = arena_.alloc<const std::uint64_t*>(g.rf_max);
+    } else {
+      ws.act_seg = arena_.alloc<const std::uint64_t*>(g.rf_max);
+      ws.act_scratch = arena_.alloc<std::uint64_t>(g.rf_max * seg_words);
+      ws.wgt_scratch = arena_.alloc<std::uint64_t>(seg_words);
+      ws.rf_weight_lane = arena_.alloc<std::uint32_t>(g.rf_max);
+      ws.rf_act_index = arena_.alloc<std::size_t>(g.rf_max);
+      ws.rf_live = arena_.alloc<char>(g.rf_max);
+    }
   }
+
+  // Branchless row body (single-word segments): the receptive field is
+  // gathered once per window position as plain activation WORDS (zero for
+  // padding, dead activations and dead lanes — OR-ing a zero word is the
+  // identity, so gating needs no branch), and every group's products run
+  // as a straight-line AND/OR chain over the table's sequential weight
+  // words. Product/skip counts come from the group x live slot bitmaps,
+  // so the accounting is bit-identical to the entry-scan bodies below.
+  const auto run_row_fast1 = [&](std::size_t row, unsigned worker) {
+    WorkerState& ws = states[worker];
+    const std::size_t total = tbl.total;
+    const std::size_t bm_words = tbl.bm_words;
+    std::uint64_t* const act_pos = ws.act_w.data();
+    std::uint64_t* const act_neg = ws.act_w.data() + g.rf_max;
+    std::uint64_t* const live_bm = ws.live_bm.data();
+    const int py = static_cast<int>(row);
+    for (int px = 0; px < g.out_shape.w; ++px) {
+      for (auto& c : ws.counters) {
+        c = 0;
+      }
+      for (int k = 0; k < static_cast<int>(g.window_positions); ++k) {
+        const int oy = py * g.pool + k / g.pool;
+        const int ox = px * g.pool + k % g.pool;
+        const std::size_t sp =
+            sched.slot_index(true, static_cast<std::size_t>(k));
+        const std::size_t sn =
+            sched.slot_index(false, static_cast<std::size_t>(k));
+        std::fill_n(act_pos, g.rf_max, std::uint64_t{0});
+        std::fill_n(act_neg, g.rf_max, std::uint64_t{0});
+        std::fill_n(live_bm, bm_words, std::uint64_t{0});
+        std::uint64_t live = 0;
+        {
+          std::size_t slot = 0;
+          for (int ky = 0; ky < spec.kernel; ++ky) {
+            const int iy = oy * spec.stride + ky - spec.padding;
+            for (int kx = 0; kx < spec.kernel; ++kx) {
+              const int ix = ox * spec.stride + kx - spec.padding;
+              if (iy < 0 || iy >= g.in.h || ix < 0 || ix >= g.in.w) {
+                slot += static_cast<std::size_t>(spec.in_channels);
+                continue;
+              }
+              for (int ic = 0; ic < spec.in_channels; ++ic, ++slot) {
+                const std::size_t ai = input.index(iy, ix, ic);
+                if (act_levels[ai] != 0) {
+                  const std::uint64_t* lane = act_plan.lane_words(ai);
+                  act_pos[slot] = lane[sp];
+                  act_neg[slot] = lane[sn];
+                  live_bm[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+                  ++live;
+                }
+              }
+            }
+          }
+        }
+        for (int ph = 0; ph < 2; ++ph) {
+          const bool positive = ph == 0;
+          const std::uint64_t* const act_w = positive ? act_pos : act_neg;
+          const std::uint64_t* const ww_base =
+              tbl.wgt_w.data() + (positive ? sp : sn) * total;
+          // Activation segments: one plan hit per live slot per phase
+          // (the same accounting the generic fetch() path produces).
+          ws.plan.plan_hits += live;
+          ws.plan.bits_reused += live * g.seg;
+          std::uint64_t products_here = 0;
+          for (std::size_t oc = 0; oc < oc_count; ++oc) {
+            const std::size_t group =
+                static_cast<std::size_t>(ph) * oc_count + oc;
+            const std::size_t off = tbl.group_off[group];
+            const std::size_t n_ent = tbl.group_count[group];
+            const std::uint32_t* const sl = tbl.slot_of.data() + off;
+            const std::uint64_t* const ww = ww_base + off;
+            // Four independent accumulators break the OR dependency chain.
+            std::uint64_t a0 = 0;
+            std::uint64_t a1 = 0;
+            std::uint64_t a2 = 0;
+            std::uint64_t a3 = 0;
+            std::size_t ei = 0;
+            for (; ei + 4 <= n_ent; ei += 4) {
+              a0 |= act_w[sl[ei]] & ww[ei];
+              a1 |= act_w[sl[ei + 1]] & ww[ei + 1];
+              a2 |= act_w[sl[ei + 2]] & ww[ei + 2];
+              a3 |= act_w[sl[ei + 3]] & ww[ei + 3];
+            }
+            for (; ei < n_ent; ++ei) {
+              a0 |= act_w[sl[ei]] & ww[ei];
+            }
+            const std::uint64_t acc = (a0 | a1) | (a2 | a3);
+            const std::uint64_t* const gbm =
+                tbl.group_bm.data() + group * bm_words;
+            std::uint64_t products = 0;
+            for (std::size_t w = 0; w < bm_words; ++w) {
+              products += static_cast<std::uint64_t>(
+                  std::popcount(gbm[w] & live_bm[w]));
+            }
+            ws.skipped += tbl.gated[group] + (n_ent - products);
+            if (products != 0) {
+              const auto ones =
+                  static_cast<std::int64_t>(std::popcount(acc));
+              ws.counters[oc] += positive ? ones : -ones;
+            }
+            products_here += products;
+          }
+          ws.product_bits += products_here * g.seg;
+          ws.plan.plan_hits += products_here;
+          ws.plan.bits_reused += products_here * g.seg;
+        }
+      }
+      for (std::size_t oc = 0; oc < oc_count; ++oc) {
+        out.at(py, px, static_cast<int>(oc)) = static_cast<float>(
+            static_cast<double>(ws.counters[oc]) / g.counted_bits);
+      }
+    }
+  };
 
   // Hot row body: every product is two loads, an AND and an OR — segments
   // come straight out of the plan tables via hoisted row pointers, and all
   // counters are tallied arithmetically per group instead of per product.
+  // Single-word segments use a register accumulator; wider segments run
+  // the dispatched and_or kernel with the final product's popcount fused.
+  const SignEntry* entry_base = entries.data();
   const auto run_row_fast = [&](std::size_t row, unsigned worker) {
     WorkerState& ws = states[worker];
     const int py = static_cast<int>(row);
@@ -491,40 +791,52 @@ nn::Tensor ScNetwork::run_conv_planned(const Stage& stage,
             const std::size_t group =
                 static_cast<std::size_t>(ph) * oc_count + oc;
             ws.skipped += gated[group];
-            const std::vector<SignEntry>& entries = active[group];
+            const SignEntry* ent = entry_base + group_off[group];
+            const std::size_t n_ent = group_count[group];
             std::uint64_t products = 0;
             std::int64_t ones = 0;
             if (seg_words == 1) {
               std::uint64_t acc = 0;
-              for (const SignEntry& e : entries) {
-                const std::uint64_t* act = ws.act_lane[e.slot];
+              for (std::size_t ei = 0; ei < n_ent; ++ei) {
+                const std::uint64_t* act = ws.act_lane[ent[ei].slot];
                 if (act == nullptr) {
                   ++ws.skipped;
                   continue;
                 }
-                acc |= act[slot_off] & e.lane[slot_off];
+                acc |= act[slot_off] & ent[ei].lane[slot_off];
                 ++products;
               }
               ones = static_cast<std::int64_t>(std::popcount(acc));
             } else {
-              std::uint64_t* or_acc = ws.or_acc.data();
-              for (std::size_t w = 0; w < seg_words; ++w) {
-                or_acc[w] = 0;
+              // Find the last live entry so the chain's final AND/OR can
+              // fuse the counter read into the same kernel pass; trailing
+              // dead slots are charged as skipped exactly as the forward
+              // scan would charge them.
+              std::size_t last = n_ent;
+              while (last > 0 &&
+                     ws.act_lane[ent[last - 1].slot] == nullptr) {
+                ++ws.skipped;
+                --last;
               }
-              for (const SignEntry& e : entries) {
-                const std::uint64_t* act = ws.act_lane[e.slot];
-                if (act == nullptr) {
-                  ++ws.skipped;
-                  continue;
+              if (last != 0) {
+                std::uint64_t* acc = ws.or_acc.data();
+                std::fill_n(acc, seg_words, std::uint64_t{0});
+                for (std::size_t ei = 0; ei + 1 < last; ++ei) {
+                  const std::uint64_t* act = ws.act_lane[ent[ei].slot];
+                  if (act == nullptr) {
+                    ++ws.skipped;
+                    continue;
+                  }
+                  kt.and_or(acc, act + slot_off, ent[ei].lane + slot_off,
+                            seg_words);
+                  ++products;
                 }
-                const std::uint64_t* a = act + slot_off;
-                const std::uint64_t* b = e.lane + slot_off;
-                for (std::size_t w = 0; w < seg_words; ++w) {
-                  or_acc[w] |= a[w] & b[w];
-                }
+                const std::uint64_t* act = ws.act_lane[ent[last - 1].slot];
+                ones = static_cast<std::int64_t>(kt.and_or_popcount(
+                    acc, act + slot_off, ent[last - 1].lane + slot_off,
+                    seg_words));
                 ++products;
               }
-              ones = popcount_acc(or_acc, seg_words);
             }
             if (products != 0) {
               ws.counters[oc] += positive ? ones : -ones;
@@ -573,9 +885,7 @@ nn::Tensor ScNetwork::run_conv_planned(const Stage& stage,
             }
           }
           for (std::size_t oc = 0; oc < oc_count; ++oc) {
-            for (std::size_t w = 0; w < seg_words; ++w) {
-              ws.or_acc[w] = 0;
-            }
+            std::fill_n(ws.or_acc.data(), seg_words, std::uint64_t{0});
             bool any = false;
             for (std::size_t s = 0; s < rf_size; ++s) {
               const std::size_t wi = oc * g.rf_max + ws.rf_weight_lane[s];
@@ -591,10 +901,8 @@ nn::Tensor ScNetwork::run_conv_planned(const Stage& stage,
               const std::uint64_t* wgt_words = wgt_plan.fetch(
                   wi, wgt_levels[wi], positive, kk,
                   {ws.wgt_scratch.data(), seg_words}, ws.plan);
-              const std::uint64_t* act_words = ws.act_seg[s];
-              for (std::size_t w = 0; w < seg_words; ++w) {
-                ws.or_acc[w] |= act_words[w] & wgt_words[w];
-              }
+              kt.and_or(ws.or_acc.data(), ws.act_seg[s], wgt_words,
+                        seg_words);
               any = true;
               ws.product_bits += g.seg;
             }
@@ -614,7 +922,9 @@ nn::Tensor ScNetwork::run_conv_planned(const Stage& stage,
   };
 
   const auto run_row = [&](std::size_t row, unsigned worker) {
-    if (fast) {
+    if (fast1) {
+      run_row_fast1(row, worker);
+    } else if (fast) {
       run_row_fast(row, worker);
     } else {
       run_row_generic(row, worker);
@@ -637,11 +947,11 @@ nn::Tensor ScNetwork::run_conv_planned(const Stage& stage,
     run.plan_hits += ws.plan.plan_hits;
     run.plan_misses += ws.plan.plan_misses;
   }
-  return out;
 }
 
-nn::Tensor ScNetwork::run_dense(const Stage& stage, std::size_t stage_idx,
-                                const nn::Tensor& input, Stats& run) {
+void ScNetwork::run_dense(const Stage& stage, std::size_t stage_idx,
+                          const nn::Tensor& input, nn::Tensor& out,
+                          Stats& run) {
   const nn::Dense& dense = *stage.dense;
   const auto& spec = dense.spec();
   if (static_cast<int>(input.size()) != spec.in_features) {
@@ -649,36 +959,43 @@ nn::Tensor ScNetwork::run_dense(const Stage& stage, std::size_t stage_idx,
   }
   const std::size_t phase = cfg_.phase_length();
   const std::size_t words = word_count(phase);
+  const sc::kernels::KernelTable& kt = sc::kernels::table();
 
-  StreamBank act_bank(cfg_.sng_width, cfg_.activation_seed, 2 * phase,
-                      cfg_.decorrelate_lanes);
-  StreamBank wgt_bank(cfg_.sng_width, cfg_.weight_seed, 2 * phase,
-                      cfg_.decorrelate_lanes);
+  // The shared member banks serve both exec modes: bank content is a pure
+  // function of (width, seed, length, wiring), so they are bit-identical
+  // to the per-call locals the seed constructed here.
+  StreamBank& act_bank = activation_bank();
+  StreamBank& wgt_bank = weight_bank();
 
   const auto n_in = static_cast<std::size_t>(spec.in_features);
-  const std::vector<std::uint32_t> act_levels =
-      quantize_activations(act_bank, input);
+  const std::span<std::uint32_t> act_levels =
+      arena_.alloc<std::uint32_t>(input.size());
+  quantize_activations_into(act_bank, input, act_levels);
   const auto weights = dense.weights();
   // Quantize every weight level once per layer (not per (output, input)
-  // pair — quantize_unipolar in the inner loop used to dominate).
-  const std::vector<std::uint32_t> wgt_levels =
-      quantize_weights(wgt_bank, weights);
+  // pair), and only when the live weights changed since the last image.
+  StageScratch& stage_scratch = stage_scratch_[stage_idx];
+  bool wgt_refreshed = false;
+  const std::span<const std::uint32_t> wgt_levels = cached_weight_levels(
+      stage_scratch, wgt_bank, weights, wgt_refreshed);
 
-  // Activation streams are shared by every output: generate once per phase.
+  // Activation streams are shared by every output: generate once per
+  // phase, into one arena block laid out [lane][sign][words].
   std::uint64_t act_bits_generated = 0;
-  std::vector<Words> act_pos(n_in, Words(words));
-  std::vector<Words> act_neg(n_in, Words(words));
+  const std::span<std::uint64_t> act_streams =
+      arena_.alloc<std::uint64_t>(n_in * 2 * words);
   for (std::size_t i = 0; i < n_in; ++i) {
     if (act_levels[i] != 0) {
+      std::uint64_t* lane = act_streams.data() + i * 2 * words;
       act_bank.fill(act_levels[i], static_cast<std::uint32_t>(i), 0, phase,
-                    act_pos[i]);
+                    {lane, words});
       act_bank.fill(act_levels[i], static_cast<std::uint32_t>(i), phase,
-                    phase, act_neg[i]);
+                    phase, {lane + words, words});
       act_bits_generated += 2 * phase;
     }
   }
 
-  nn::Tensor out = nn::Tensor::vector(spec.out_features);
+  out.resize(nn::Shape{1, 1, spec.out_features});
   runtime::ThreadPool* pool = intra_pool();
   const unsigned workers = pool != nullptr ? pool->size() : 1u;
 
@@ -700,17 +1017,17 @@ nn::Tensor ScNetwork::run_dense(const Stage& stage, std::size_t stage_idx,
   // Per-worker scratch + additive accounting; out[o] writes are disjoint,
   // so sharding output neurons is bit-identical to the serial loop.
   struct WorkerState {
-    Words wgt_stream;
-    Words or_acc;
+    std::span<std::uint64_t> wgt_stream;
+    std::span<std::uint64_t> or_acc;
     std::uint64_t product_bits = 0;
     std::uint64_t skipped = 0;
     std::uint64_t bits_generated = 0;
     StreamPlanCounters plan;
   };
-  std::vector<WorkerState> states(workers);
+  const std::span<WorkerState> states = arena_.alloc<WorkerState>(workers);
   for (WorkerState& ws : states) {
-    ws.wgt_stream.resize(words);
-    ws.or_acc.resize(words);
+    ws.wgt_stream = arena_.alloc<std::uint64_t>(words);
+    ws.or_acc = arena_.alloc<std::uint64_t>(words);
   }
 
   const auto run_output = [&](std::size_t o, unsigned worker) {
@@ -719,8 +1036,12 @@ nn::Tensor ScNetwork::run_dense(const Stage& stage, std::size_t stage_idx,
     for (int ph = 0; ph < 2; ++ph) {
       const bool positive = ph == 0;
       const std::size_t offset = positive ? 0 : phase;
-      for (std::size_t w = 0; w < words; ++w) {
-        ws.or_acc[w] = 0;
+      const std::size_t sign_off = positive ? 0 : words;
+      // One-word phases (stream_length <= 128) accumulate in a register;
+      // wider phases run the dispatched and_or / popcount kernels.
+      std::uint64_t acc1 = 0;
+      if (words != 1) {
+        std::fill_n(ws.or_acc.data(), words, std::uint64_t{0});
       }
       bool any = false;
       for (std::size_t i = 0; i < n_in; ++i) {
@@ -737,7 +1058,7 @@ nn::Tensor ScNetwork::run_dense(const Stage& stage, std::size_t stage_idx,
         }
         const std::uint64_t* wgt_words;
         if (wgt_plan != nullptr) {
-          wgt_words = wgt_plan->lane_words(wi) + (positive ? 0 : words);
+          wgt_words = wgt_plan->lane_words(wi) + sign_off;
           ++ws.plan.plan_hits;
           ws.plan.bits_reused += phase;
         } else {
@@ -751,15 +1072,21 @@ nn::Tensor ScNetwork::run_dense(const Stage& stage, std::size_t stage_idx,
             ws.bits_generated += phase;
           }
         }
-        const Words& act = positive ? act_pos[i] : act_neg[i];
-        for (std::size_t w = 0; w < words; ++w) {
-          ws.or_acc[w] |= act[w] & wgt_words[w];
+        const std::uint64_t* act =
+            act_streams.data() + i * 2 * words + sign_off;
+        if (words == 1) {
+          acc1 |= act[0] & wgt_words[0];
+        } else {
+          kt.and_or(ws.or_acc.data(), act, wgt_words, words);
         }
         any = true;
         ws.product_bits += phase;
       }
       if (any) {
-        const std::int64_t ones = popcount_acc(ws.or_acc.data(), words);
+        const std::int64_t ones =
+            words == 1 ? static_cast<std::int64_t>(std::popcount(acc1))
+                       : static_cast<std::int64_t>(
+                             kt.popcount_words(ws.or_acc.data(), words));
         counter += positive ? ones : -ones;
       }
     }
@@ -785,7 +1112,6 @@ nn::Tensor ScNetwork::run_dense(const Stage& stage, std::size_t stage_idx,
     run.plan_hits += ws.plan.plan_hits;
     run.plan_misses += ws.plan.plan_misses;
   }
-  return out;
 }
 
 }  // namespace acoustic::sim

@@ -12,7 +12,8 @@ StreamBank::StreamBank(unsigned width, std::uint32_t seed, std::size_t length,
     : width_(width),
       mask_((width >= 32) ? ~std::uint32_t{0}
                           : ((std::uint32_t{1} << width) - 1)),
-      decorrelate_(decorrelate) {
+      decorrelate_(decorrelate),
+      kt_(&sc::kernels::table()) {
   sc::Lfsr lfsr(width, seed);
   base_.resize(length);
   for (std::size_t t = 0; t < length; ++t) {
@@ -20,9 +21,11 @@ StreamBank::StreamBank(unsigned width, std::uint32_t seed, std::size_t length,
   }
 }
 
-StreamBank::LaneWiring StreamBank::lane_wiring(
+sc::kernels::CompareWiring StreamBank::lane_wiring(
     std::uint32_t lane) const noexcept {
-  LaneWiring w;
+  sc::kernels::CompareWiring w;
+  w.mask = mask_;
+  w.width = width_;
   if (!decorrelate_) {
     w.identity = true;  // naive RNG sharing: all lanes see the same sequence
     return w;
@@ -41,7 +44,7 @@ StreamBank::LaneWiring StreamBank::lane_wiring(
 
 std::uint32_t StreamBank::scramble(std::uint32_t state,
                                    std::uint32_t lane) const noexcept {
-  return apply_wiring(lane_wiring(lane), state);
+  return sc::kernels::scramble_state(lane_wiring(lane), state);
 }
 
 sc::BitStream StreamBank::stream(std::uint32_t level, std::uint32_t lane,
@@ -69,42 +72,22 @@ void StreamBank::fill(std::uint32_t level, std::uint32_t lane,
     throw std::out_of_range("StreamBank::fill: window exceeds bank length");
   }
   const std::size_t word_count = (length + 63) / 64;
-  if (level == 0) {  // comparator never fires: all-zero stream
-    std::fill_n(words.begin(), word_count, 0);
-    return;
+  std::fill_n(words.begin(), word_count, 0);
+  if (level == 0 || length == 0) {
+    return;  // comparator never fires: all-zero stream
   }
-  const LaneWiring wiring = lane_wiring(lane);
+  const sc::kernels::CompareWiring wiring = lane_wiring(lane);
   const std::size_t n = base_.size();
   // Absolute position in the shared sequence the lane's tap starts at.
-  std::size_t pos = (offset + lane_phase(lane)) % n;
-  for (std::size_t w = 0; w < word_count; ++w) {
-    const std::size_t bits = std::min<std::size_t>(64, length - w * 64);
-    std::uint64_t word = 0;
-    if (pos + bits <= n) {
-      // Contiguous run: no wrap check or modulo inside the bit loop. The
-      // compare packs branch-free into bit b of the word.
-      const std::uint32_t* state = base_.data() + pos;
-      for (std::size_t b = 0; b < bits; ++b) {
-        word |= static_cast<std::uint64_t>(apply_wiring(wiring, state[b]) <
-                                           level)
-                << b;
-      }
-      pos += bits;
-      if (pos == n) {
-        pos = 0;
-      }
-    } else {
-      // The word straddles the wrap point of the shared sequence.
-      for (std::size_t b = 0; b < bits; ++b) {
-        word |= static_cast<std::uint64_t>(
-                    apply_wiring(wiring, base_[pos]) < level)
-                << b;
-        if (++pos == n) {
-          pos = 0;
-        }
-      }
-    }
-    words[w] = word;
+  // The window wraps at most once (length <= n), so it splits into at
+  // most two contiguous state runs — one kernel call each.
+  const std::size_t pos = (offset + lane_phase(lane)) % n;
+  const std::size_t first = std::min(length, n - pos);
+  kt_->compare_pack(wiring, base_.data() + pos, first, level, words.data(),
+                    0);
+  if (first < length) {
+    kt_->compare_pack(wiring, base_.data(), length - first, level,
+                      words.data(), first);
   }
 }
 

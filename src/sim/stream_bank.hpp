@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sc/bitstream.hpp"
+#include "sc/kernels/kernels.hpp"
 #include "sc/rng.hpp"
 
 namespace acoustic::sim {
@@ -49,11 +50,12 @@ class StreamBank {
 
   /// Writes the stream for (@p level, @p lane, @p offset) into @p words
   /// (packed, bit t of the segment = bit t of words). words must hold at
-  /// least (length+63)/64 entries; they are fully overwritten. This is the
-  /// word-parallel SNG kernel: the per-lane scrambler constants are hoisted
-  /// out of the bit loop and 64 comparator outputs are packed per word
-  /// iteration (no per-bit modulo or branch). stream() is a thin wrapper,
-  /// so both entry points share one generation kernel.
+  /// least (length+63)/64 entries; they are fully overwritten. The window
+  /// is split at the shared sequence's wrap point into (at most) two
+  /// contiguous state runs and handed to the active compare_pack kernel
+  /// (sc/kernels): the per-lane scrambler constants are hoisted once and
+  /// the SIMD level packs up to 8 comparator outputs per iteration.
+  /// stream() is a thin wrapper, so both entry points share one kernel.
   void fill(std::uint32_t level, std::uint32_t lane, std::size_t offset,
             std::size_t length, std::span<std::uint64_t> words) const;
 
@@ -80,34 +82,19 @@ class StreamBank {
   }
 
  private:
-  /// Per-lane scrambler wiring, precomputed once per fill so the bit loop
-  /// pays only XOR-multiply-rotate-XOR with loop-invariant constants.
-  struct LaneWiring {
-    std::uint32_t pre_xor = 0;
-    std::uint32_t post_xor = 0;
-    unsigned rot = 0;
-    bool identity = false;  ///< naive sharing: state passes through
-  };
-
-  [[nodiscard]] LaneWiring lane_wiring(std::uint32_t lane) const noexcept;
-
-  [[nodiscard]] std::uint32_t apply_wiring(const LaneWiring& w,
-                                           std::uint32_t state) const noexcept {
-    if (w.identity) {
-      return state;
-    }
-    std::uint32_t x = state ^ w.pre_xor;
-    x = (x * 0x2545F491u) & mask_;
-    if (w.rot != 0) {
-      x = ((x << w.rot) | (x >> (width_ - w.rot))) & mask_;
-    }
-    return x ^ w.post_xor;
-  }
+  /// Per-lane scrambler wiring in the kernel layer's vocabulary,
+  /// precomputed once per fill so the compare kernel pays only
+  /// XOR-multiply-rotate-XOR with loop-invariant constants.
+  [[nodiscard]] sc::kernels::CompareWiring lane_wiring(
+      std::uint32_t lane) const noexcept;
 
   unsigned width_;
   std::uint32_t mask_;
   bool decorrelate_;
   std::vector<std::uint32_t> base_;  ///< shared LFSR sequence
+  /// Active kernel table, resolved once at construction (dispatch is
+  /// process-wide; caching the pointer keeps fill() call-overhead-free).
+  const sc::kernels::KernelTable* kt_;
 };
 
 }  // namespace acoustic::sim

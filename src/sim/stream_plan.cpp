@@ -76,9 +76,9 @@ void LayerStreamPlan::build(std::span<const std::uint32_t> levels,
       build_lane(lane, bufs[worker].data());
     });
   } else {
-    std::vector<std::uint64_t> buf(lane_buf_words + 1);
+    build_buf_.resize(lane_buf_words + 1);
     for (std::size_t lane = 0; lane < lanes_; ++lane) {
-      build_lane(lane, buf.data());
+      build_lane(lane, build_buf_.data());
     }
   }
   std::uint64_t built = 0;

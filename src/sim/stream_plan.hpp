@@ -65,6 +65,8 @@ struct SegmentSchedule {
                                        std::size_t k) const noexcept {
     return (positive ? 0 : positions) + k;
   }
+
+  bool operator==(const SegmentSchedule&) const = default;
 };
 
 /// Counters a plan reports into ScNetwork's per-run stats. All additive.
@@ -141,6 +143,9 @@ class LayerStreamPlan {
   bool enabled_;
   std::vector<std::uint64_t> words_;
   std::vector<char> built_;
+  /// Serial build()'s lane buffer, retained so a rebuilt plan (the
+  /// per-image activation plan) allocates nothing after its first build.
+  std::vector<std::uint64_t> build_buf_;
 };
 
 /// Thread-safe store of per-stage weight stream plans, shared by every

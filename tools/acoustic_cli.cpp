@@ -506,6 +506,10 @@ int cmd_eval(const EvalOptions& opt) {
                 static_cast<unsigned long long>(result.stats.plan_hits),
                 static_cast<unsigned long long>(result.stats.plan_misses));
   }
+  if (result.stats.scratch_bytes > 0) {
+    std::printf("  scratch:     %llu bytes steady-state per forward\n",
+                static_cast<unsigned long long>(result.stats.scratch_bytes));
+  }
 
   if (opt.profile) {
     double layer_total_ms = 0.0;
