@@ -181,12 +181,18 @@ int main(int argc, char** argv) {
   planned_cfg.intra_threads = 1;
   sim::ScConfig threaded_cfg = planned_cfg;
   threaded_cfg.intra_threads = threads;
+  // Auto mode: the work-threshold gate decides per layer. On LeNet-small
+  // every layer sits below the threshold, so this must track the serial
+  // planned variant — the recorded regression was auto-parallelism forking
+  // on layers too small to amortize the join.
+  sim::ScConfig auto_cfg = planned_cfg;
+  auto_cfg.intra_threads = 0;
 
   // Bit-exactness gate: the fast path must be a pure refactoring.
   {
     sim::ScNetwork scalar_exec(net, scalar_cfg);
     const nn::Tensor want = scalar_exec.forward(input);
-    for (const sim::ScConfig* cfg : {&planned_cfg, &threaded_cfg}) {
+    for (const sim::ScConfig* cfg : {&planned_cfg, &threaded_cfg, &auto_cfg}) {
       sim::ScNetwork planned_exec(net, *cfg);
       const nn::Tensor got = planned_exec.forward(input);
       if (!bytes_equal(got, want)) {
@@ -207,6 +213,7 @@ int main(int argc, char** argv) {
   results.push_back(measure("planned", net, planned_cfg, input, iters));
   results.push_back(
       measure("planned_threads", net, threaded_cfg, input, iters));
+  results.push_back(measure("planned_auto", net, auto_cfg, input, iters));
 
   core::Table table({"Variant", "Threads", "Mean [us]", "Min [us]",
                      "Images/s"});

@@ -1,0 +1,676 @@
+#include "analysis/check.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/saturation.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/pool.hpp"
+#include "sc/rng.hpp"
+#include "sc/sng.hpp"
+#include "sim/sc_network.hpp"
+
+namespace acoustic::analysis {
+
+namespace {
+
+using core::Report;
+using core::Severity;
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3g", v);
+  return buf;
+}
+
+/// The state a seed actually loads into a width-bit LFSR (the constructor's
+/// masking rules): masked to width bits, an all-zero result replaced by 1.
+std::uint32_t masked_seed(std::uint32_t seed, unsigned width) {
+  const std::uint32_t mask =
+      width >= 32 ? ~std::uint32_t{0} : (std::uint32_t{1} << width) - 1;
+  const std::uint32_t s = seed & mask;
+  return s == 0 ? 1 : s;
+}
+
+std::string hex(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%x", v);
+  return buf;
+}
+
+/// Per-layer stream geometry shared by the descriptor and live-network
+/// walks: the pooling-window segment timetable and its resolution rules.
+struct StreamGeom {
+  std::size_t positions = 1;  ///< pool^2 slots per sign phase
+  std::size_t seg = 0;        ///< bits per slot
+  bool ok = false;            ///< seg > 0 (layer is executable)
+};
+
+/// Applies the stream-geometry rules (pool-untiled, stream-too-short,
+/// segment-truncation, stream-resolution) of one layer whose conv output is
+/// out_h x out_w with fused pooling window @p pool (1 = none).
+StreamGeom check_stream_geometry(Report& report, const std::string& path,
+                                 const sim::ScConfig& cfg, int pool, int out_h,
+                                 int out_w) {
+  StreamGeom g;
+  const std::size_t phase = cfg.phase_length();
+  if (pool > 1 && (out_h % pool != 0 || out_w % pool != 0)) {
+    report.add("pool-untiled", Severity::kError, path,
+               "fused " + std::to_string(pool) + "x" + std::to_string(pool) +
+                   " pooling window does not tile the " +
+                   std::to_string(out_h) + "x" + std::to_string(out_w) +
+                   " conv output; computation skipping requires "
+                   "non-overlapping windows that divide both dimensions");
+  }
+  g.positions = static_cast<std::size_t>(pool > 1 ? pool : 1);
+  g.positions *= g.positions;
+  g.seg = phase / g.positions;
+  if (g.seg == 0) {
+    report.add("stream-too-short", Severity::kError, path,
+               "phase of " + std::to_string(phase) + " bits cannot cover " +
+                   std::to_string(g.positions) +
+                   " pooling-window slots (zero bits per slot); use a "
+                   "stream of at least " +
+                   std::to_string(2 * g.positions) + " bits");
+    return g;
+  }
+  g.ok = true;
+  const std::size_t waste = phase - g.seg * g.positions;
+  if (waste > 0) {
+    const double frac =
+        static_cast<double>(waste) / static_cast<double>(phase);
+    report.add("segment-truncation",
+               frac >= 0.10 ? Severity::kWarning : Severity::kNote, path,
+               std::to_string(g.positions) +
+                   " slots do not divide the phase of " +
+                   std::to_string(phase) + " bits; " + std::to_string(waste) +
+                   " bits per phase (" + fmt(100.0 * frac) +
+                   "%) are never counted");
+  }
+  const std::size_t grid = cfg.sng_width >= 32
+                               ? (std::size_t{1} << 31)
+                               : (std::size_t{1} << cfg.sng_width);
+  if (g.seg < grid) {
+    report.add("stream-resolution", Severity::kNote, path,
+               "each slot counts " + std::to_string(g.seg) +
+                   " bits and subsamples the 2^" +
+                   std::to_string(cfg.sng_width) + " comparator grid; a " +
+                   std::to_string(2 * g.positions * grid) +
+                   "-bit stream gives every slot the full period");
+  }
+  return g;
+}
+
+/// Reports rule or-saturation if the estimate's OR line level exceeds the
+/// threshold. @p basis describes where the product probabilities came from.
+void report_saturation(Report& report, const std::string& path,
+                       const CheckOptions& options,
+                       const SaturationEstimate& est, std::size_t fan_in,
+                       const std::string& basis) {
+  if (est.or_p <= options.saturation_threshold) {
+    return;
+  }
+  std::string msg =
+      "expected OR line level " + fmt(est.or_p) + " (linear target " +
+      fmt(est.sum_p) + ", " + std::to_string(fan_in) +
+      " live products, relative loss " + fmt(est.relative_loss) +
+      ") exceeds the saturation threshold " +
+      fmt(options.saturation_threshold) + " — " + basis +
+      "; the phase output pins near 1 and stops discriminating. "
+      "Saturation is stream-length independent: reduce the effective "
+      "fan-in or the weight magnitudes (or train with an OR-aware mode)";
+  if (est.subsampled) {
+    msg += "; a " + std::to_string(est.recommended_stream) +
+           "-bit stream would at least remove the additional segment "
+           "subsampling";
+  }
+  report.add("or-saturation", Severity::kWarning, path, std::move(msg));
+}
+
+}  // namespace
+
+core::Report check_config(const sim::ScConfig& cfg) {
+  Report report;
+  const std::string path = "config";
+  bool width_ok = true;
+  if (cfg.sng_width < 3 || cfg.sng_width > 32) {
+    report.add("sng-width-invalid", Severity::kError, path,
+               "SNG width " + std::to_string(cfg.sng_width) +
+                   " is outside the supported LFSR range 3..32");
+    width_ok = false;
+  } else if (cfg.sng_width > 24) {
+    report.add("quantize-resolution", Severity::kWarning, path,
+               "SNG width " + std::to_string(cfg.sng_width) +
+                   " exceeds the 24-bit float mantissa of the activations; "
+                   "levels beyond 2^24 cannot be distinguished by the "
+                   "comparator inputs");
+  }
+  bool stream_ok = true;
+  if (cfg.stream_length < 2) {
+    report.add("stream-length-invalid", Severity::kError, path,
+               "stream length " + std::to_string(cfg.stream_length) +
+                   " leaves no bits for the split-unipolar phases "
+                   "(need at least 2)");
+    stream_ok = false;
+  } else if (cfg.stream_length % 2 != 0) {
+    report.add("stream-length-invalid", Severity::kWarning, path,
+               "odd stream length " + std::to_string(cfg.stream_length) +
+                   ": the split-unipolar convention uses stream/2 bits per "
+                   "sign phase, so one bit is never counted");
+  }
+  if (width_ok) {
+    const std::uint32_t act = masked_seed(cfg.activation_seed, cfg.sng_width);
+    const std::uint32_t wgt = masked_seed(cfg.weight_seed, cfg.sng_width);
+    if (act == wgt) {
+      report.add(
+          "sng-seed-collision", Severity::kError, path,
+          "activation seed " + hex(cfg.activation_seed) +
+              " and weight seed " + hex(cfg.weight_seed) +
+              " load the same " + std::to_string(cfg.sng_width) +
+              "-bit LFSR state " + hex(act) +
+              " after masking; the per-lane scrambler wiring is identical "
+              "across the two banks, so activation lane L and weight lane L "
+              "emit identical streams and every product degenerates to "
+              "a AND a = a");
+    }
+  }
+  if (!cfg.decorrelate_lanes) {
+    report.add("sng-naive-sharing", Severity::kWarning, path,
+               "per-lane decorrelation is disabled: every SNG of a bank "
+               "compares against the same shared LFSR sequence, making all "
+               "streams maximally correlated and breaking OR accumulation "
+               "(the ablation failure mode)");
+  }
+  if (width_ok && stream_ok) {
+    const std::uint64_t period =
+        (std::uint64_t{1} << cfg.sng_width) - 1;
+    const std::uint64_t bank = cfg.stream_length;
+    if (bank > period) {
+      const double reuse = static_cast<double>(bank - period) /
+                           static_cast<double>(bank);
+      report.add("lfsr-period-exhausted",
+                 reuse > 0.25 ? Severity::kWarning : Severity::kNote, path,
+                 "the shared " + std::to_string(cfg.sng_width) +
+                     "-bit LFSR repeats after " + std::to_string(period) +
+                     " cycles but the bank window spans " +
+                     std::to_string(bank) + " bits; " + fmt(100.0 * reuse) +
+                     "% of the window replays earlier states, "
+                     "reintroducing correlation between the sign phases");
+    }
+  }
+  return report;
+}
+
+core::Report check_descriptor(const nn::NetworkDesc& net,
+                              const CheckOptions& options) {
+  Report report;
+  const bool sc = options.target == CheckTarget::kScSim;
+  if (sc && options.include_config) {
+    report.merge(check_config(options.sc));
+  }
+  // Every producible activation volume: the network input plus each
+  // layer's pooled output. Branchy topologies (ResNet's downsample convs
+  // read an earlier trunk output) are covered by matching against ANY
+  // earlier volume, not just the immediately preceding one.
+  struct Vol {
+    int h = 0, w = 0, c = 0;
+  };
+  std::vector<Vol> volumes;
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    const nn::LayerDesc& layer = net.layers[i];
+    const std::string path =
+        net.name + "/" +
+        (layer.label.empty() ? "layer" + std::to_string(i) : layer.label);
+    const bool conv = layer.kind == nn::LayerKind::kConv;
+
+    bool geom_ok = layer.in_h > 0 && layer.in_w > 0 && layer.in_c > 0 &&
+                   layer.out_c > 0;
+    if (conv) {
+      geom_ok = geom_ok && layer.kernel > 0 && layer.stride > 0 &&
+                layer.padding >= 0;
+    }
+    if (!geom_ok) {
+      report.add("geometry-invalid", Severity::kError, path,
+                 "non-positive layer dimensions (in " +
+                     std::to_string(layer.in_h) + "x" +
+                     std::to_string(layer.in_w) + "x" +
+                     std::to_string(layer.in_c) + ", out_c " +
+                     std::to_string(layer.out_c) + ")");
+    }
+    if (conv && geom_ok) {
+      if (layer.groups < 1 || layer.in_c % layer.groups != 0 ||
+          layer.out_c % layer.groups != 0) {
+        report.add("geometry-invalid", Severity::kError, path,
+                   std::to_string(layer.groups) +
+                       " groups do not divide in_c=" +
+                       std::to_string(layer.in_c) +
+                       " and out_c=" + std::to_string(layer.out_c));
+        geom_ok = false;
+      } else if (layer.out_h() <= 0 || layer.out_w() <= 0) {
+        report.add("geometry-invalid", Severity::kError, path,
+                   "kernel " + std::to_string(layer.kernel) + " (stride " +
+                       std::to_string(layer.stride) + ", padding " +
+                       std::to_string(layer.padding) +
+                       ") does not fit the " + std::to_string(layer.in_h) +
+                       "x" + std::to_string(layer.in_w) + " input");
+        geom_ok = false;
+      }
+    }
+
+    // Graph / shape inference: the input volume must be producible by an
+    // earlier layer (or be the network input for layer 0).
+    if (i == 0) {
+      volumes.push_back(Vol{layer.in_h, layer.in_w, layer.in_c});
+    } else {
+      bool matched = false;
+      for (const Vol& v : volumes) {
+        if (conv) {
+          matched = v.h == layer.in_h && v.w == layer.in_w &&
+                    v.c == layer.in_c;
+        } else {
+          // Dense inputs are flattened: either an exact vector match or a
+          // volume whose element count equals the feature count.
+          matched = (v.h == 1 && v.w == 1 && v.c == layer.in_c) ||
+                    (static_cast<std::int64_t>(v.h) * v.w * v.c ==
+                     layer.in_c);
+        }
+        if (matched) {
+          break;
+        }
+      }
+      if (!matched) {
+        report.add("shape-mismatch", Severity::kError, path,
+                   "input volume " + std::to_string(layer.in_h) + "x" +
+                       std::to_string(layer.in_w) + "x" +
+                       std::to_string(layer.in_c) +
+                       " is not produced by any earlier layer (or the "
+                       "network input)");
+      }
+    }
+    volumes.push_back(conv ? Vol{layer.pooled_h(), layer.pooled_w(),
+                                 layer.out_c}
+                           : Vol{1, 1, layer.out_c});
+
+    if (!sc) {
+      continue;
+    }
+    // Ops the bit-level SC simulator cannot lower.
+    if (layer.residual) {
+      report.add("sc-unsupported-op", Severity::kError, path,
+                 "residual (skip) addition: the descriptor folds the add "
+                 "into the conv, which the SC functional simulator cannot "
+                 "lower (on hardware the skip preloads the output counter)");
+    }
+    if (conv && layer.groups > 1) {
+      report.add("sc-unsupported-op", Severity::kError, path,
+                 "grouped convolution (groups=" +
+                     std::to_string(layer.groups) +
+                     ") has no SC-simulator lowering; only the "
+                     "performance model supports it");
+    }
+    if (!geom_ok) {
+      continue;
+    }
+    const StreamGeom g = check_stream_geometry(
+        report, path, options.sc, conv && layer.pool > 1 ? layer.pool : 1,
+        conv ? layer.out_h() : 1, conv ? layer.out_w() : 1);
+    if (!g.ok) {
+      continue;
+    }
+    // Prior-based OR-saturation bound: fan_in identical product lines at
+    // the Kaiming |weight| prior scaled by the activation prior.
+    const std::size_t fan_in =
+        conv ? static_cast<std::size_t>(layer.kernel) * layer.kernel *
+                   layer.channels_per_group()
+             : static_cast<std::size_t>(layer.in_c);
+    const double mean_p =
+        options.activation_prior * kaiming_mean_abs_weight(fan_in);
+    const SaturationEstimate est = estimate_saturation_uniform(
+        fan_in, mean_p, g.seg, g.positions, options.sc.sng_width);
+    report_saturation(report, path, options, est, fan_in,
+                      "estimated from the Kaiming prior E|w| = sqrt(1.5/" +
+                          std::to_string(fan_in) + ") at activation prior " +
+                          fmt(options.activation_prior));
+  }
+  return report;
+}
+
+namespace {
+
+/// Quantized product probabilities of one weighted layer, per (output,
+/// sign phase), reduced to the worst OR level across outputs.
+struct WorstPhase {
+  SaturationEstimate est;
+  std::size_t fan_in = 0;   ///< live lines of the worst phase
+  std::size_t output = 0;   ///< output channel / feature of the worst phase
+  bool positive = true;
+  bool any = false;
+};
+
+WorstPhase worst_saturation(std::span<const float> weights,
+                            std::size_t outputs, std::size_t rf,
+                            const CheckOptions& options, std::size_t seg,
+                            std::size_t positions) {
+  WorstPhase worst;
+  const unsigned width = options.sc.sng_width;
+  const double grid =
+      width >= 32 ? 4294967296.0 : static_cast<double>(1u << width) * 1.0;
+  SaturationInput in;
+  in.seg_bits = seg;
+  in.positions = positions;
+  in.sng_width = width;
+  std::vector<double> pos;
+  std::vector<double> neg;
+  for (std::size_t o = 0; o < outputs; ++o) {
+    pos.clear();
+    neg.clear();
+    for (std::size_t s = 0; s < rf; ++s) {
+      const float wv = weights[o * rf + s];
+      if (!(wv > 0.0f) && !(wv < 0.0f)) {
+        continue;  // zero / non-finite weights are operand-gated
+      }
+      const std::uint32_t level =
+          sc::quantize_unipolar(std::fabs(static_cast<double>(wv)), width);
+      if (level == 0) {
+        continue;
+      }
+      const double p =
+          options.activation_prior * static_cast<double>(level) / grid;
+      (wv > 0.0f ? pos : neg).push_back(p);
+    }
+    for (int sign = 0; sign < 2; ++sign) {
+      const std::vector<double>& lines = sign == 0 ? pos : neg;
+      if (lines.empty()) {
+        continue;
+      }
+      in.product_p = lines;
+      const SaturationEstimate est = estimate_saturation(in);
+      if (!worst.any || est.or_p > worst.est.or_p) {
+        worst.any = true;
+        worst.est = est;
+        worst.fan_in = lines.size();
+        worst.output = o;
+        worst.positive = sign == 0;
+      }
+    }
+  }
+  return worst;
+}
+
+/// Weight scans of one live weighted layer: non-finite values, magnitudes
+/// outside the unipolar encoding range, accumulation-mode mismatch.
+void check_weights(Report& report, const std::string& path,
+                   std::span<const float> weights, nn::AccumMode mode) {
+  std::size_t nonfinite = 0;
+  std::size_t out_of_range = 0;
+  float max_abs = 0.0f;
+  for (const float wv : weights) {
+    if (!std::isfinite(wv)) {
+      ++nonfinite;
+      continue;
+    }
+    const float a = std::fabs(wv);
+    max_abs = a > max_abs ? a : max_abs;
+    if (a > 1.0f) {
+      ++out_of_range;
+    }
+  }
+  if (nonfinite > 0) {
+    report.add("nonfinite-weight", Severity::kError, path,
+               std::to_string(nonfinite) + " of " +
+                   std::to_string(weights.size()) +
+                   " weights are NaN/Inf; the simulator silently "
+                   "operand-gates them, which is almost never what a "
+                   "trained model means");
+  }
+  if (out_of_range > 0) {
+    report.add("weight-range", Severity::kWarning, path,
+               std::to_string(out_of_range) + " of " +
+                   std::to_string(weights.size()) +
+                   " weight magnitudes exceed 1 (max |w| = " + fmt(max_abs) +
+                   "); the unipolar SNG encodes |w| in [0, 1], so these "
+                   "saturate at level 2^width - 1");
+  }
+  if (mode == nn::AccumMode::kSum) {
+    report.add("accum-mode-mismatch", Severity::kWarning, path,
+               "layer is configured for linear (kSum) accumulation but the "
+               "SC datapath executes OR accumulation; evaluate a model "
+               "trained with kOrApprox/kOrExact or expect the systematic "
+               "saturation error untrained");
+  }
+}
+
+}  // namespace
+
+core::Report check_network(nn::Network& net, std::string_view name,
+                           nn::Shape input_shape,
+                           const CheckOptions& options) {
+  Report report;
+  const bool sc = options.target == CheckTarget::kScSim;
+  if (sc && options.include_config) {
+    report.merge(check_config(options.sc));
+  }
+  const std::string prefix = std::string(name) + "/";
+  if (net.layer_count() == 0) {
+    report.add("stage-structure", Severity::kError, std::string(name),
+               "network has no layers");
+    return report;
+  }
+  if (sc) {
+    const nn::Layer::Kind k0 = net.layer(0).kind();
+    if (k0 != nn::Layer::Kind::kConv2D && k0 != nn::Layer::Kind::kDense) {
+      report.add("stage-structure", Severity::kError,
+                 prefix + net.layer(0).name(),
+                 "SC execution requires the network to start with a "
+                 "weighted (conv/dense) layer; " + net.layer(0).name() +
+                     " has no stream lowering as a first stage");
+    }
+  }
+
+  nn::Shape shape = input_shape;
+  bool shapes_ok =
+      input_shape.h > 0 && input_shape.w > 0 && input_shape.c > 0;
+  if (!shapes_ok) {
+    report.add("shape-mismatch", Severity::kError, std::string(name),
+               "non-positive input shape " + std::to_string(input_shape.h) +
+                   "x" + std::to_string(input_shape.w) + "x" +
+                   std::to_string(input_shape.c));
+  }
+  for (std::size_t i = 0; i < net.layer_count() && shapes_ok; ++i) {
+    nn::Layer& layer = net.layer(i);
+    const std::string path = prefix + layer.name();
+    if (layer.kind() == nn::Layer::Kind::kConv2D) {
+      auto& conv = static_cast<nn::Conv2D&>(layer);
+      const nn::ConvSpec& spec = conv.spec();
+      if (spec.in_channels != shape.c) {
+        report.add("shape-mismatch", Severity::kError, path,
+                   "expects " + std::to_string(spec.in_channels) +
+                       " input channels but receives " +
+                       std::to_string(shape.c));
+        shapes_ok = false;
+        break;
+      }
+      const nn::Shape out = conv.output_shape(shape);
+      if (out.h <= 0 || out.w <= 0) {
+        report.add("shape-mismatch", Severity::kError, path,
+                   "kernel " + std::to_string(spec.kernel) + " (stride " +
+                       std::to_string(spec.stride) + ", padding " +
+                       std::to_string(spec.padding) +
+                       ") does not fit the " + std::to_string(shape.h) +
+                       "x" + std::to_string(shape.w) + " input");
+        shapes_ok = false;
+        break;
+      }
+      if (sc) {
+        check_weights(report, path, conv.weights(), spec.mode);
+        // Mirror ScNetwork's stage fusion: an AvgPool2D directly after the
+        // conv is executed by stream slicing under skipping mode.
+        int pool = 1;
+        if (options.sc.pooling == sim::PoolingMode::kSkipping &&
+            i + 1 < net.layer_count() &&
+            net.layer(i + 1).kind() == nn::Layer::Kind::kAvgPool2D) {
+          pool = static_cast<nn::AvgPool2D&>(net.layer(i + 1)).window();
+        }
+        const StreamGeom g = check_stream_geometry(report, path, options.sc,
+                                                   pool, out.h, out.w);
+        const std::size_t rf = static_cast<std::size_t>(spec.kernel) *
+                               spec.kernel * spec.in_channels;
+        if (g.ok && rf > 0) {
+          const WorstPhase worst = worst_saturation(
+              conv.weights(), static_cast<std::size_t>(spec.out_channels),
+              rf, options, g.seg, g.positions);
+          if (worst.any) {
+            report_saturation(
+                report, path, options, worst.est, worst.fan_in,
+                "computed from the quantized weight levels of output "
+                "channel " +
+                    std::to_string(worst.output) + "'s " +
+                    (worst.positive ? "positive" : "negative") +
+                    " phase at activation prior " +
+                    fmt(options.activation_prior));
+          }
+          // Per-lane packed plan footprint: lanes x slots x words x 8B.
+          const std::size_t plan_bytes =
+              conv.weights().size() * (2 * g.positions) *
+              ((g.seg + 63) / 64) * sizeof(std::uint64_t);
+          if (options.sc.plan_budget_bytes != 0 &&
+              plan_bytes > options.sc.plan_budget_bytes) {
+            report.add("plan-budget-exceeded", Severity::kNote, path,
+                       "weight stream plan would need ~" +
+                           std::to_string(plan_bytes >> 20) +
+                           " MiB against a budget of " +
+                           std::to_string(options.sc.plan_budget_bytes >>
+                                          20) +
+                           " MiB; the layer falls back to on-the-fly "
+                           "stream generation (bit-identical, slower)");
+          }
+        }
+      }
+      shape = out;
+      continue;
+    }
+    if (layer.kind() == nn::Layer::Kind::kDense) {
+      auto& dense = static_cast<nn::Dense&>(layer);
+      const nn::DenseSpec& spec = dense.spec();
+      if (static_cast<std::size_t>(spec.in_features) != shape.size()) {
+        report.add("shape-mismatch", Severity::kError, path,
+                   "expects " + std::to_string(spec.in_features) +
+                       " input features but receives " +
+                       std::to_string(shape.size()) + " (" +
+                       std::to_string(shape.h) + "x" +
+                       std::to_string(shape.w) + "x" +
+                       std::to_string(shape.c) + ")");
+        shapes_ok = false;
+        break;
+      }
+      if (sc) {
+        check_weights(report, path, dense.weights(), spec.mode);
+        const StreamGeom g =
+            check_stream_geometry(report, path, options.sc, 1, 1, 1);
+        if (g.ok && spec.in_features > 0) {
+          const WorstPhase worst = worst_saturation(
+              dense.weights(), static_cast<std::size_t>(spec.out_features),
+              static_cast<std::size_t>(spec.in_features), options, g.seg, 1);
+          if (worst.any) {
+            report_saturation(
+                report, path, options, worst.est, worst.fan_in,
+                "computed from the quantized weight levels of output "
+                "feature " +
+                    std::to_string(worst.output) + "'s " +
+                    (worst.positive ? "positive" : "negative") +
+                    " phase at activation prior " +
+                    fmt(options.activation_prior));
+          }
+        }
+      }
+      shape = nn::Shape{1, 1, spec.out_features};
+      continue;
+    }
+    // Structural layers (pooling, ReLU, skip save/add): trust their own
+    // shape rule but surface thrown mismatches as diagnostics.
+    try {
+      shape = layer.output_shape(shape);
+    } catch (const std::exception& e) {
+      report.add("shape-mismatch", Severity::kError, path, e.what());
+      shapes_ok = false;
+    }
+    if (shape.h <= 0 || shape.w <= 0 || shape.c <= 0) {
+      report.add("shape-mismatch", Severity::kError, path,
+                 "produces the non-positive output volume " +
+                     std::to_string(shape.h) + "x" +
+                     std::to_string(shape.w) + "x" +
+                     std::to_string(shape.c));
+      shapes_ok = false;
+    }
+  }
+
+  // Probe pass: a deterministic forward through a clone — first the float
+  // network (activation scans), then the bit-level executor, whose built
+  // plans the plan-invariant validator re-derives. Only attempted when the
+  // static rules found no errors: probing a structurally broken model
+  // would just throw the error the walk already reported.
+  if (sc && options.probe && report.ok() && shapes_ok) {
+    nn::Network probe = net.clone();
+    nn::Tensor input(input_shape);
+    sc::XorShift32 rng(0x2f6e2b1u);
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      input[i] = static_cast<float>(rng.next_double());
+    }
+    try {
+      (void)probe.forward_with_hook(
+          input, [&](nn::Tensor& t, std::size_t li) {
+            std::size_t nonfinite = 0;
+            float lo = 0.0f;
+            float hi = 0.0f;
+            for (const float v : t.data()) {
+              if (!std::isfinite(v)) {
+                ++nonfinite;
+              } else {
+                lo = v < lo ? v : lo;
+                hi = v > hi ? v : hi;
+              }
+            }
+            const std::string lpath = prefix + probe.layer(li).name();
+            if (nonfinite > 0) {
+              report.add("nonfinite-activation", Severity::kError, lpath,
+                         std::to_string(nonfinite) +
+                             " activations are NaN/Inf on the probe input");
+            }
+            // Only activations that directly feed a weighted layer reach
+            // an SNG; intermediate conv/pool outputs still pass through
+            // ReLU first, and the final logits are read in binary.
+            const bool feeds_sng =
+                li + 1 < probe.layer_count() &&
+                (probe.layer(li + 1).kind() == nn::Layer::Kind::kConv2D ||
+                 probe.layer(li + 1).kind() == nn::Layer::Kind::kDense);
+            if (feeds_sng && (lo < 0.0f || hi > 1.0f)) {
+              report.add("activation-range", Severity::kWarning, lpath,
+                         "probe activations span [" + fmt(lo) + ", " +
+                             fmt(hi) +
+                             "]; the unipolar SNG clamps its input to "
+                             "[0, 1], so values outside are distorted");
+            }
+          });
+    } catch (const std::exception& e) {
+      report.add("sc-lowering-failed", Severity::kError, std::string(name),
+                 std::string("float probe forward threw: ") + e.what());
+    }
+    try {
+      sim::ScNetwork exec(probe, options.sc);
+      (void)exec.forward(input);
+      report.merge(exec.validate_plans(), name);
+    } catch (const std::exception& e) {
+      report.add("sc-lowering-failed", Severity::kError, std::string(name),
+                 std::string("SC executor rejected the network: ") +
+                     e.what());
+    }
+  }
+  return report;
+}
+
+}  // namespace acoustic::analysis

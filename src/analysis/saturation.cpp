@@ -1,0 +1,73 @@
+#include "analysis/saturation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace acoustic::analysis {
+
+namespace {
+
+double clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+SaturationEstimate finish(double sum_p, double log_miss, std::size_t lines,
+                          std::size_t seg_bits, std::size_t positions,
+                          unsigned sng_width) {
+  SaturationEstimate e;
+  e.sum_p = sum_p;
+  // log_miss accumulates sum of log(1 - p_i); a p_i == 1 line forces the
+  // OR to 1 exactly (log_miss == -inf -> exp == 0).
+  e.or_p = 1.0 - std::exp(log_miss);
+  if (lines > 1 && sum_p > 0.0) {
+    e.relative_loss = std::max(0.0, (sum_p - e.or_p) / sum_p);
+  }
+  const std::size_t grid =
+      sng_width >= 32 ? (std::size_t{1} << 31) : (std::size_t{1} << sng_width);
+  e.subsampled = seg_bits < grid;
+  e.recommended_stream = 2 * std::max<std::size_t>(1, positions) * grid;
+  return e;
+}
+
+}  // namespace
+
+SaturationEstimate estimate_saturation(const SaturationInput& input) {
+  double sum_p = 0.0;
+  double log_miss = 0.0;
+  std::size_t lines = 0;
+  for (double p : input.product_p) {
+    p = clamp01(p);
+    if (p <= 0.0) {
+      continue;
+    }
+    ++lines;
+    sum_p += p;
+    log_miss += p < 1.0 ? std::log1p(-p)
+                        : -std::numeric_limits<double>::infinity();
+  }
+  return finish(sum_p, log_miss, lines, input.seg_bits, input.positions,
+                input.sng_width);
+}
+
+SaturationEstimate estimate_saturation_uniform(std::size_t fan_in,
+                                               double mean_p,
+                                               std::size_t seg_bits,
+                                               std::size_t positions,
+                                               unsigned sng_width) {
+  const double p = clamp01(mean_p);
+  const double n = static_cast<double>(fan_in);
+  double log_miss = 0.0;
+  if (fan_in > 0 && p > 0.0) {
+    log_miss = p < 1.0 ? n * std::log1p(-p)
+                       : -std::numeric_limits<double>::infinity();
+  }
+  return finish(n * p, log_miss, fan_in, seg_bits, positions, sng_width);
+}
+
+double kaiming_mean_abs_weight(std::size_t fan_in) {
+  if (fan_in == 0) {
+    return 0.0;
+  }
+  return std::min(1.0, std::sqrt(1.5 / static_cast<double>(fan_in)));
+}
+
+}  // namespace acoustic::analysis

@@ -1,0 +1,70 @@
+// Analytic OR-accumulation saturation model (paper II-B, and the
+// saturation-vs-fan-in analysis style of Stochastic Synthesis,
+// arXiv:1810.04756).
+//
+// ACOUSTIC replaces the adder tree with a wired OR per sign phase. For
+// independent product streams with per-cycle probabilities p_i, the OR
+// line carries probability
+//
+//   or_p = 1 - prod_i (1 - p_i)
+//
+// instead of the linear target sum_p = sum_i p_i. The gap between the two
+// is the systematic saturation error the training enhancement (II-D) must
+// absorb; once sum_p approaches and exceeds 1, or_p pins near 1 and the
+// layer's outputs stop discriminating — no stream length fixes that, only
+// a smaller effective fan-in or smaller product magnitudes. On top of the
+// systematic term, a pooling-window slot of seg bits can only resolve
+// probabilities on a 1/seg grid and subsamples the 2^width comparator
+// grid whenever seg < 2^width — that part *is* fixed by a longer stream,
+// which is what the recommended stream length targets.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace acoustic::analysis {
+
+/// One sign phase of one output's OR accumulation, abstracted to the
+/// per-cycle probabilities of its live product lines.
+struct SaturationInput {
+  /// Per-cycle probability of each live product line (a_i * w_i for
+  /// independent decorrelated streams), all in [0, 1].
+  std::vector<double> product_p;
+  /// Bits per pooling-window slot (segment) of this layer's schedule.
+  std::size_t seg_bits = 0;
+  /// Pooling-window slots per sign phase (positions = pool^2).
+  std::size_t positions = 1;
+  /// SNG comparator width (resolution grid 2^-width).
+  unsigned sng_width = 8;
+};
+
+struct SaturationEstimate {
+  double sum_p = 0.0;   ///< linear accumulation target, sum of p_i
+  double or_p = 0.0;    ///< expected OR line level, 1 - prod(1 - p_i)
+  /// Systematic saturation loss relative to the linear target:
+  /// (sum_p - or_p) / sum_p, in [0, 1). 0 when at most one line is live.
+  double relative_loss = 0.0;
+  /// Stream length at which each slot covers the full comparator period
+  /// (seg == 2^width), removing segment subsampling on top of the
+  /// systematic error: 2 * positions * 2^width.
+  std::size_t recommended_stream = 0;
+  /// True when seg_bits < 2^width: slots subsample the comparator grid.
+  bool subsampled = false;
+};
+
+/// Evaluates the model above. Probabilities are clamped to [0, 1].
+[[nodiscard]] SaturationEstimate estimate_saturation(
+    const SaturationInput& input);
+
+/// Convenience for descriptor-level (weight-free) analysis: @p fan_in
+/// identical lines of probability @p mean_p each.
+[[nodiscard]] SaturationEstimate estimate_saturation_uniform(
+    std::size_t fan_in, double mean_p, std::size_t seg_bits,
+    std::size_t positions, unsigned sng_width);
+
+/// Kaiming-uniform prior for the expected |weight| of an untrained layer
+/// with @p fan_in inputs: E|w| = sqrt(1.5 / fan_in) (half the clipped
+/// uniform bound sqrt(6 / fan_in)), clamped to [0, 1].
+[[nodiscard]] double kaiming_mean_abs_weight(std::size_t fan_in);
+
+}  // namespace acoustic::analysis

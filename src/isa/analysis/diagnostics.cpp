@@ -4,64 +4,32 @@
 
 namespace acoustic::isa::analysis {
 
-std::string severity_name(Severity severity) {
-  switch (severity) {
-    case Severity::kWarning: return "warning";
-    case Severity::kError:   return "error";
-  }
-  return "unknown";
-}
+namespace {
 
-std::string Diagnostic::to_string(const Program* program) const {
+std::string anchor(const Diagnostic& d, const Program* program) {
   std::ostringstream out;
-  if (index == kWholeProgram) {
+  if (d.index == kWholeProgram) {
     out << "<program>";
   } else {
-    out << '#' << index;
-    if (program != nullptr && index < program->size()) {
-      out << ' ' << mnemonic((*program)[index].op);
+    out << '#' << d.index;
+    if (program != nullptr && d.index < program->size()) {
+      out << ' ' << mnemonic((*program)[d.index].op);
     }
   }
-  out << ": " << severity_name(severity) << " [" << rule << "] " << message;
   return out.str();
 }
 
-void Report::add(std::string rule, Severity severity, std::size_t index,
-                 std::string message) {
-  diags_.push_back(
-      Diagnostic{std::move(rule), severity, index, std::move(message)});
-}
+}  // namespace
 
-std::size_t Report::error_count() const noexcept {
-  std::size_t n = 0;
-  for (const Diagnostic& d : diags_) {
-    if (d.severity == Severity::kError) {
-      ++n;
-    }
-  }
-  return n;
-}
-
-std::size_t Report::warning_count() const noexcept {
-  return diags_.size() - error_count();
-}
-
-bool Report::has_rule(std::string_view rule) const noexcept {
-  for (const Diagnostic& d : diags_) {
-    if (d.rule == rule) {
-      return true;
-    }
-  }
-  return false;
+std::string to_string(const Diagnostic& diagnostic, const Program* program) {
+  return anchor(diagnostic, program) + ": " +
+         severity_name(diagnostic.severity) + " [" + diagnostic.rule + "] " +
+         diagnostic.message;
 }
 
 std::string Report::to_string(const Program* program) const {
-  std::ostringstream out;
-  for (const Diagnostic& d : diags_) {
-    out << d.to_string(program) << '\n';
-  }
-  out << error_count() << " error(s), " << warning_count() << " warning(s)\n";
-  return out.str();
+  return core::Report::to_string(
+      [program](const Diagnostic& d) { return anchor(d, program); });
 }
 
 }  // namespace acoustic::isa::analysis

@@ -1,68 +1,40 @@
 // Structured diagnostics for the ISA static analyzer.
 //
-// A Diagnostic pins one finding to one instruction: a stable kebab-case
-// rule ID (what invariant was violated), a severity (whether the program
-// is broken or merely suspicious), the instruction index it anchors to,
-// and a human-readable message. A Report aggregates the findings of one
-// analyzer run and renders them in a compiler-style text form.
+// The vocabulary (Diagnostic, Severity, Report) is the shared engine in
+// core/diagnostics.hpp; this header rebases the ISA analyzer on it and adds
+// the one piece of domain knowledge the shared engine cannot have: anchor
+// rendering that decorates an instruction index with its mnemonic
+// ("#12 MAC: error [mac-uninit] ...").
 #pragma once
 
 #include <cstddef>
 #include <string>
 #include <string_view>
-#include <vector>
 
+#include "core/diagnostics.hpp"
 #include "isa/program.hpp"
 
 namespace acoustic::isa::analysis {
 
-enum class Severity : std::uint8_t {
-  kWarning,  ///< suspicious but executable (lint finding)
-  kError,    ///< structurally broken; timing it would be meaningless
-};
-
-[[nodiscard]] std::string severity_name(Severity severity);
+using Severity = core::Severity;
+using core::severity_name;
+using Diagnostic = core::Diagnostic;
 
 /// Index value for findings that concern the whole program rather than a
 /// single instruction (e.g. instruction-memory overflow).
-inline constexpr std::size_t kWholeProgram = static_cast<std::size_t>(-1);
+inline constexpr std::size_t kWholeProgram = core::kNoIndex;
 
-struct Diagnostic {
-  std::string rule;          ///< stable rule ID, e.g. "loop-balance"
-  Severity severity = Severity::kWarning;
-  std::size_t index = kWholeProgram;  ///< instruction index in the program
-  std::string message;
+/// One line: "#12 MAC: error [mac-uninit] ...". @p program (optional)
+/// supplies the mnemonic.
+[[nodiscard]] std::string to_string(const Diagnostic& diagnostic,
+                                    const Program* program = nullptr);
 
-  /// One line: "#12 MAC: error [mac-uninit] ...". @p program (optional)
-  /// supplies the mnemonic.
-  [[nodiscard]] std::string to_string(const Program* program = nullptr) const;
-};
-
-/// The findings of one analyzer run over one program.
-class Report {
+/// The findings of one analyzer run over one program: the shared report
+/// with program-aware rendering layered on top.
+class Report : public core::Report {
  public:
-  void add(std::string rule, Severity severity, std::size_t index,
-           std::string message);
-
-  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const noexcept {
-    return diags_;
-  }
-  [[nodiscard]] std::size_t error_count() const noexcept;
-  [[nodiscard]] std::size_t warning_count() const noexcept;
-
-  /// No findings at all (the bar codegen-emitted programs are held to).
-  [[nodiscard]] bool clean() const noexcept { return diags_.empty(); }
-  /// No error-severity findings (warnings allowed).
-  [[nodiscard]] bool ok() const noexcept { return error_count() == 0; }
-
-  /// True if any finding carries @p rule.
-  [[nodiscard]] bool has_rule(std::string_view rule) const noexcept;
-
   /// Compiler-style rendering, one finding per line plus a summary line.
   [[nodiscard]] std::string to_string(const Program* program = nullptr) const;
-
- private:
-  std::vector<Diagnostic> diags_;
 };
 
 }  // namespace acoustic::isa::analysis

@@ -1,0 +1,145 @@
+#include "sim/plan_check.hpp"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace acoustic::sim {
+
+namespace {
+
+using core::Severity;
+
+std::string at(std::string_view path) { return std::string(path); }
+
+}  // namespace
+
+core::Report check_schedule(const SegmentSchedule& sched,
+                            std::size_t phase_length, std::size_t bank_length,
+                            std::string_view path) {
+  core::Report report;
+  if (sched.positions == 0 || sched.seg == 0) {
+    report.add("plan-invariant", Severity::kError, at(path),
+               "degenerate segment schedule: positions=" +
+                   std::to_string(sched.positions) +
+                   " seg=" + std::to_string(sched.seg));
+    return report;
+  }
+  if (sched.phase != phase_length) {
+    report.add("plan-invariant", Severity::kError, at(path),
+               "schedule phase " + std::to_string(sched.phase) +
+                   " does not match the configured phase length " +
+                   std::to_string(phase_length));
+  }
+  if (sched.seg != sched.phase / sched.positions) {
+    report.add("plan-invariant", Severity::kError, at(path),
+               "segment length " + std::to_string(sched.seg) +
+                   " is not phase/positions = " +
+                   std::to_string(sched.phase / sched.positions));
+  }
+  // Slot coverage: every (sign, k) must map to a distinct dense index in
+  // [0, slots()), and its bank window must stay inside the bank.
+  std::vector<char> seen(sched.slots(), 0);
+  for (int sign = 0; sign < 2; ++sign) {
+    const bool positive = sign == 0;
+    for (std::size_t k = 0; k < sched.positions; ++k) {
+      const std::size_t idx = sched.slot_index(positive, k);
+      if (idx >= sched.slots()) {
+        report.add("plan-invariant", Severity::kError, at(path),
+                   "slot index " + std::to_string(idx) + " for (sign=" +
+                       (positive ? std::string("+") : std::string("-")) +
+                       ", k=" + std::to_string(k) + ") exceeds " +
+                       std::to_string(sched.slots()) + " slots");
+        continue;
+      }
+      if (seen[idx] != 0) {
+        report.add("plan-invariant", Severity::kError, at(path),
+                   "slot index " + std::to_string(idx) +
+                       " is covered more than once");
+      }
+      seen[idx] = 1;
+      const std::size_t offset = sched.offset(positive, k);
+      if (offset + sched.seg > bank_length) {
+        report.add("plan-invariant", Severity::kError, at(path),
+                   "slot (sign=" +
+                       (positive ? std::string("+") : std::string("-")) +
+                       ", k=" + std::to_string(k) + ") window [" +
+                       std::to_string(offset) + ", " +
+                       std::to_string(offset + sched.seg) +
+                       ") exceeds the bank length " +
+                       std::to_string(bank_length));
+      }
+      // Within one sign phase, slot windows must not overlap (phase- is
+      // the same layout shifted by a full phase, so checking the k-extent
+      // covers both signs).
+      if (positive && offset + sched.seg > phase_length &&
+          sched.positions > 1) {
+        report.add("plan-invariant", Severity::kError, at(path),
+                   "positive-phase slot k=" + std::to_string(k) +
+                       " spills past the phase boundary");
+      }
+    }
+  }
+  for (std::size_t idx = 0; idx < seen.size(); ++idx) {
+    if (seen[idx] == 0) {
+      report.add("plan-invariant", Severity::kError, at(path),
+                 "slot index " + std::to_string(idx) + " is never covered");
+    }
+  }
+  return report;
+}
+
+core::Report check_plan(const LayerStreamPlan& plan, const StreamBank& bank,
+                        const SegmentSchedule& sched,
+                        std::span<const std::uint32_t> levels,
+                        std::string_view path, std::size_t max_lanes) {
+  core::Report report;
+  if (!plan.enabled() || levels.empty() || max_lanes == 0) {
+    return report;
+  }
+  // Sample lanes evenly across the id space so both ends of the shared
+  // sequence's lane-phase taps are exercised.
+  const std::size_t stride =
+      levels.size() > max_lanes ? levels.size() / max_lanes : 1;
+  std::vector<std::uint64_t> fresh(sched.seg_words());
+  std::size_t checked = 0;
+  for (std::size_t lane = 0; lane < levels.size() && checked < max_lanes;
+       lane += stride) {
+    if (levels[lane] == 0) {
+      if (plan.planned(lane)) {
+        report.add("plan-invariant", core::Severity::kError, at(path),
+                   "lane " + std::to_string(lane) +
+                       " has level 0 but a built plan entry "
+                       "(operand-gated lanes must stay unbuilt)");
+      }
+      continue;
+    }
+    if (!plan.planned(lane)) {
+      report.add("plan-invariant", core::Severity::kError, at(path),
+                 "lane " + std::to_string(lane) +
+                     " has a nonzero level but no built plan entry");
+      continue;
+    }
+    ++checked;
+    for (int sign = 0; sign < 2; ++sign) {
+      const bool positive = sign == 0;
+      for (std::size_t k = 0; k < sched.positions; ++k) {
+        bank.fill(levels[lane], static_cast<std::uint32_t>(lane),
+                  sched.offset(positive, k), sched.seg, fresh);
+        const std::uint64_t* served = plan.segment(lane, positive, k);
+        if (std::memcmp(served, fresh.data(),
+                        fresh.size() * sizeof(std::uint64_t)) != 0) {
+          report.add("plan-invariant", core::Severity::kError, at(path),
+                     "lane " + std::to_string(lane) + " slot (sign=" +
+                         (positive ? std::string("+") : std::string("-")) +
+                         ", k=" + std::to_string(k) +
+                         ") differs from regeneration — the plan is not a "
+                         "pure function of (bank, schedule, level)");
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace acoustic::sim

@@ -1,0 +1,48 @@
+// Plan-invariant verification for the packed stream plans.
+//
+// The planned fast path is only trustworthy because its tables are pure
+// functions of (bank, schedule, levels); these validators re-derive the
+// invariants independently and report violations through the shared
+// diagnostics engine (rule "plan-invariant"):
+//
+//   check_schedule — the segment timetable covers every (sign, slot) pair
+//     exactly once, slot windows are disjoint within a phase, and every
+//     packed word offset stays inside the bank window.
+//   check_plan — planned segments are bit-identical to regenerating the
+//     same (lane, level, offset) window from the bank (sampled lanes; the
+//     golden suite sweeps whole networks on top of this).
+//
+// ScNetwork::validate_plans() composes these with its ProductTable
+// consistency checks; debug builds additionally assert the table
+// invariants right after each rebuild.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "core/diagnostics.hpp"
+#include "sim/stream_bank.hpp"
+#include "sim/stream_plan.hpp"
+
+namespace acoustic::sim {
+
+/// Validates @p sched against a bank window of @p bank_length bits with
+/// sign phases of @p phase_length bits. Findings anchor at @p path.
+[[nodiscard]] core::Report check_schedule(const SegmentSchedule& sched,
+                                          std::size_t phase_length,
+                                          std::size_t bank_length,
+                                          std::string_view path);
+
+/// Cross-checks up to @p max_lanes built lanes of @p plan against fresh
+/// regeneration from @p bank: every slot of a sampled lane must serve
+/// exactly the words bank.fill produces for the schedule's offset.
+/// Disabled (over-budget) plans pass vacuously. Findings anchor at @p path.
+[[nodiscard]] core::Report check_plan(const LayerStreamPlan& plan,
+                                      const StreamBank& bank,
+                                      const SegmentSchedule& sched,
+                                      std::span<const std::uint32_t> levels,
+                                      std::string_view path,
+                                      std::size_t max_lanes = 8);
+
+}  // namespace acoustic::sim

@@ -56,11 +56,24 @@ struct ScConfig {
   ExecMode exec = ExecMode::kPlanned;
 
   /// Intra-image worker threads for the planned path (conv output rows,
-  /// dense output neurons): 1 = serial, 0 = hardware concurrency. Results
-  /// are bit-identical for any value. Ignored in scalar mode. Leave at 1
-  /// when the batch evaluator already saturates the machine across images;
-  /// raise it to cut single-image latency.
+  /// dense output neurons): 1 = serial, 0 = auto (hardware concurrency,
+  /// engaged per layer only when its estimated word-level work exceeds
+  /// intra_work_threshold — small layers stay serial because the fork/join
+  /// cost dominates them, the recorded LeNet-small regression), N >= 2 =
+  /// force N workers on every layer. Results are bit-identical for any
+  /// value. Ignored in scalar mode. Leave at 1 when the batch evaluator
+  /// already saturates the machine across images; use 0 (or an explicit
+  /// count) to cut single-image latency.
   unsigned intra_threads = 1;
+
+  /// Auto mode's per-layer gate (intra_threads == 0 only): estimated
+  /// word-level AND/OR operations (output positions x window slots x
+  /// fan-in x output channels x segment words) a layer must exceed before
+  /// the row/output sharding engages. The default is calibrated on the
+  /// forward bench: LeNet-small layers (~1e5..1e6 word-ops, where 4
+  /// threads measured 1.6x SLOWER than serial) stay serial, while
+  /// VGG-scale layers (1e8+) parallelize.
+  std::size_t intra_work_threshold = std::size_t{4} << 20;
 
   /// Byte budget per packed stream plan (one weight plan + one activation
   /// plan per layer). A plan that would exceed it disables itself and the

@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 #include "nn/activation.hpp"
 #include "nn/pool.hpp"
 #include "sc/bitstream.hpp"
 #include "sc/kernels/kernels.hpp"
+#include "sim/plan_check.hpp"
 
 namespace acoustic::sim {
 
@@ -151,8 +154,15 @@ ScNetwork::ScNetwork(nn::Network& net, ScConfig cfg,
                    : std::make_shared<WeightPlanStore>(cfg_, stages_.size());
 }
 
-runtime::ThreadPool* ScNetwork::intra_pool() {
+runtime::ThreadPool* ScNetwork::intra_pool(std::size_t work_words) {
   if (cfg_.exec != ExecMode::kPlanned || cfg_.intra_threads == 1) {
+    return nullptr;
+  }
+  // Auto mode (0) gates per layer: below the work threshold the fork/join
+  // overhead exceeds the sharding win (bench/BENCH_sc_forward.json recorded
+  // 330 us at 4 forced threads vs 211 us serial on LeNet-small), so small
+  // layers stay serial. An explicit thread count always engages the pool.
+  if (cfg_.intra_threads == 0 && work_words < cfg_.intra_work_threshold) {
     return nullptr;
   }
   if (pool_ == nullptr) {
@@ -425,7 +435,15 @@ void ScNetwork::run_conv_planned(const Stage& stage, std::size_t stage_idx,
   const std::span<const std::uint32_t> wgt_levels = cached_weight_levels(
       stage_scratch, weight_bank(), weights, wgt_refreshed);
 
-  runtime::ThreadPool* pool = intra_pool();
+  // Estimated word-level AND/OR work: output positions x window slots x
+  // receptive field x output channels x segment words — the quantity the
+  // auto-mode gate compares against intra_work_threshold.
+  const std::size_t work_words = static_cast<std::size_t>(g.out_shape.h) *
+                                 static_cast<std::size_t>(g.out_shape.w) *
+                                 g.window_positions *
+                                 static_cast<std::size_t>(g.conv_out.c) *
+                                 g.rf_max * g.seg_words;
+  runtime::ThreadPool* pool = intra_pool(work_words);
 
   // Weight plan: cached across images (the levels vector is the cache
   // key). Activation plan: rebuilt per image into the stage's retained
@@ -531,6 +549,33 @@ void ScNetwork::run_conv_planned(const Stage& stage, std::size_t stage_idx,
       }
     }
     tbl.built = true;
+#ifndef NDEBUG
+    // A freshly rebuilt table must satisfy the plan invariants the
+    // release-mode validator (validate_plans) re-derives on demand: the
+    // prefix sums tile [0, total), every slot id lands in its group's
+    // bitmap, and the bitmaps account for exactly the live entries.
+    assert(tbl.group_off.size() == groups + 1);
+    assert(tbl.group_off[groups] == tbl.total);
+    assert(tbl.slot_of.size() == tbl.total);
+    assert(tbl.wgt_w.size() == slots * tbl.total);
+    for (std::size_t gi = 0; gi < groups; ++gi) {
+      assert(tbl.group_off[gi + 1] - tbl.group_off[gi] ==
+             tbl.group_count[gi]);
+      std::uint64_t bits = 0;
+      for (std::size_t w = 0; w < tbl.bm_words; ++w) {
+        bits += static_cast<std::uint64_t>(
+            std::popcount(tbl.group_bm[gi * tbl.bm_words + w]));
+      }
+      assert(bits == tbl.group_count[gi]);
+      for (std::size_t ei = tbl.group_off[gi]; ei < tbl.group_off[gi + 1];
+           ++ei) {
+        const std::uint32_t slot = tbl.slot_of[ei];
+        assert(slot < g.rf_max);
+        assert((tbl.group_bm[gi * tbl.bm_words + slot / 64] >>
+                (slot % 64)) & 1u);
+      }
+    }
+#endif
   }
 
   std::span<std::uint32_t> group_count;
@@ -996,7 +1041,8 @@ void ScNetwork::run_dense(const Stage& stage, std::size_t stage_idx,
   }
 
   out.resize(nn::Shape{1, 1, spec.out_features});
-  runtime::ThreadPool* pool = intra_pool();
+  runtime::ThreadPool* pool =
+      intra_pool(static_cast<std::size_t>(spec.out_features) * n_in * words);
   const unsigned workers = pool != nullptr ? pool->size() : 1u;
 
   // Planned mode serves weight phases from the cached per-stage plan
@@ -1112,6 +1158,136 @@ void ScNetwork::run_dense(const Stage& stage, std::size_t stage_idx,
     run.plan_hits += ws.plan.plan_hits;
     run.plan_misses += ws.plan.plan_misses;
   }
+}
+
+core::Report ScNetwork::validate_plans() {
+  core::Report report;
+  if (cfg_.exec != ExecMode::kPlanned) {
+    return report;  // scalar mode builds no plans; nothing to validate
+  }
+  const std::size_t phase = cfg_.phase_length();
+  const std::size_t bank_length = 2 * phase;
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    const Stage& stage = stages_[s];
+    StageScratch& scratch = stage_scratch_[s];
+    // Stages that never executed have no cached levels (and no plans);
+    // skip them rather than force a build the run never exercised.
+    if (scratch.wgt_levels.empty()) {
+      continue;
+    }
+    const std::string name =
+        stage.conv != nullptr ? stage.conv->name() : stage.dense->name();
+    const SegmentSchedule sched = stage.conv != nullptr
+                                      ? scratch.sched
+                                      : SegmentSchedule{phase, 1, phase};
+    if (stage.conv != nullptr && scratch.act_plan == nullptr) {
+      continue;  // conv ran scalar / never ran; sched is not meaningful
+    }
+    report.merge(check_schedule(sched, phase, bank_length,
+                                name + "/schedule"));
+    // The store returns the cached plan (the levels vector is the cache
+    // key), so this re-fetch never rebuilds after a forward.
+    const std::shared_ptr<const LayerStreamPlan> plan =
+        weight_plan(s, sched, scratch.wgt_levels, nullptr);
+    report.merge(check_plan(*plan, weight_bank(), sched, scratch.wgt_levels,
+                            name + "/weight-plan"));
+
+    // ProductTable consistency: re-derive the (sign phase, output channel)
+    // classification from the live weights and compare every derived
+    // field. Valid right after a forward; a retrain in between legitimately
+    // invalidates the table (it is rebuilt lazily on the next forward), so
+    // callers are documented to validate before mutating weights.
+    const StageScratch::ProductTable& tbl = scratch.products;
+    if (stage.conv == nullptr || !tbl.built || !(tbl.sched == sched) ||
+        !plan->enabled()) {
+      continue;
+    }
+    const auto& spec = stage.conv->spec();
+    const auto weights = stage.conv->weights();
+    const std::size_t rf_max = static_cast<std::size_t>(spec.kernel) *
+                               spec.kernel * spec.in_channels;
+    const auto oc_count = static_cast<std::size_t>(spec.out_channels);
+    const std::size_t groups = 2 * oc_count;
+    const std::size_t slots = sched.slots();
+    const std::string tpath = name + "/product-table";
+    if (tbl.group_count.size() != groups ||
+        tbl.group_off.size() != groups + 1 ||
+        tbl.group_off[groups] != tbl.total ||
+        tbl.slot_of.size() != tbl.total ||
+        tbl.wgt_w.size() != slots * tbl.total ||
+        tbl.bm_words != (rf_max + 63) / 64 ||
+        tbl.group_bm.size() != groups * tbl.bm_words) {
+      report.add("plan-invariant", core::Severity::kError, tpath,
+                 "table extents are inconsistent with the layer geometry (" +
+                     std::to_string(groups) + " groups, rf " +
+                     std::to_string(rf_max) + ")");
+      continue;
+    }
+    std::vector<std::uint32_t> cursor(tbl.group_off.begin(),
+                                      tbl.group_off.end() - 1);
+    std::size_t mismatches = 0;
+    const auto flag = [&](const std::string& msg) {
+      if (++mismatches <= 4) {  // cap per-layer noise; the count is summarized
+        report.add("plan-invariant", core::Severity::kError, tpath, msg);
+      }
+    };
+    for (std::size_t oc = 0; oc < oc_count; ++oc) {
+      for (std::size_t slot = 0; slot < rf_max; ++slot) {
+        const std::size_t wi = oc * rf_max + slot;
+        const float wv = weights[wi];
+        const bool signed_live = (wv > 0.0f) || (wv < 0.0f);
+        const std::size_t group = (wv > 0.0f ? 0 : 1) * oc_count + oc;
+        const bool in_bm =
+            signed_live &&
+            ((tbl.group_bm[group * tbl.bm_words + slot / 64] >>
+              (slot % 64)) &
+             1u) != 0;
+        const bool expect_entry = signed_live && scratch.wgt_levels[wi] != 0;
+        if (in_bm != expect_entry) {
+          flag("slot " + std::to_string(slot) + " of output channel " +
+               std::to_string(oc) + (expect_entry
+                                         ? " is live but missing from"
+                                         : " is gated but present in") +
+               " the group bitmap");
+          continue;
+        }
+        if (!expect_entry) {
+          continue;
+        }
+        const std::uint32_t ei = cursor[group]++;
+        if (ei >= tbl.group_off[group + 1] || tbl.slot_of[ei] != slot) {
+          flag("entry order for output channel " + std::to_string(oc) +
+               " slot " + std::to_string(slot) +
+               " disagrees with the oc-major fill order");
+          continue;
+        }
+        const std::uint64_t* lane = plan->lane_words(wi);
+        for (std::size_t si = 0; si < slots; ++si) {
+          if (tbl.wgt_w[si * tbl.total + ei] != lane[si]) {
+            flag("transposed weight words for output channel " +
+                 std::to_string(oc) + " slot " + std::to_string(slot) +
+                 " differ from the weight plan");
+            break;
+          }
+        }
+      }
+    }
+    for (std::size_t gi = 0; gi < groups; ++gi) {
+      if (cursor[gi] != tbl.group_off[gi + 1]) {
+        flag("group " + std::to_string(gi) + " holds " +
+             std::to_string(tbl.group_off[gi + 1] - tbl.group_off[gi]) +
+             " entries but the live weights produce " +
+             std::to_string(cursor[gi] - tbl.group_off[gi]));
+      }
+    }
+    if (mismatches > 4) {
+      report.add("plan-invariant", core::Severity::kError, tpath,
+                 std::to_string(mismatches) +
+                     " total mismatches against the live weights (first 4 "
+                     "shown)");
+    }
+  }
+  return report;
 }
 
 }  // namespace acoustic::sim

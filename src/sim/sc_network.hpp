@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "core/diagnostics.hpp"
 #include "nn/conv.hpp"
 #include "nn/dense.hpp"
 #include "nn/network.hpp"
@@ -132,6 +133,18 @@ class ScNetwork {
 
   [[nodiscard]] const ScConfig& config() const noexcept { return cfg_; }
 
+  /// Plan-invariant verification (rule "plan-invariant"): re-derives the
+  /// invariants of every plan built so far — segment-schedule slot
+  /// coverage and word-offset bounds (sim/plan_check), weight-plan
+  /// segments bit-identical to regeneration, and ProductTable consistency
+  /// with the live weights' sign/oc classification (group prefix sums,
+  /// slot lists, bitmap popcounts, transposed word table extents). Run at
+  /// least one forward() first so the plans exist; stages that have not
+  /// executed yet are skipped. Findings anchor at "<layer name>/...".
+  /// Debug builds additionally assert the ProductTable invariants right
+  /// after each rebuild, so the golden suite exercises them implicitly.
+  [[nodiscard]] core::Report validate_plans();
+
   /// Enables per-stage profiling: every forward() records one
   /// category-"layer" span per stage (name = weighted layer, kind =
   /// conv/conv+pool/dense, counters = product_bits / skipped_operands
@@ -191,8 +204,12 @@ class ScNetwork {
                  const nn::Tensor& input, nn::Tensor& out, Stats& run);
 
   /// The intra-image worker pool (created lazily on first use), or nullptr
-  /// when the config asks for serial execution.
-  [[nodiscard]] runtime::ThreadPool* intra_pool();
+  /// when the config asks for serial execution — or when auto mode
+  /// (intra_threads == 0) gates a layer whose estimated word-level work
+  /// @p work_words falls below ScConfig::intra_work_threshold: forking
+  /// workers costs more than small layers save (the recorded LeNet-small
+  /// regression). Explicit counts >= 2 always engage the pool.
+  [[nodiscard]] runtime::ThreadPool* intra_pool(std::size_t work_words);
 
   /// Shared SNG banks for the planned path. A bank's content is a pure
   /// function of the config, so one activation bank and one weight bank

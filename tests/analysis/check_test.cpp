@@ -1,0 +1,366 @@
+// Broken-descriptor corpus for the network-level SC static analyzer: one
+// deliberately malformed configuration / descriptor / live network per
+// rule, each asserting that exactly its diagnostic fires (plus the clean
+// fixtures that prove the rules do not over-trigger).
+#include "analysis/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "nn/activation.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/model_zoo.hpp"
+#include "nn/network.hpp"
+#include "nn/pool.hpp"
+#include "train/models.hpp"
+
+namespace acoustic::analysis {
+namespace {
+
+// ---------------------------------------------------------------------------
+// check_config
+
+TEST(CheckConfig, DefaultConfigHasNoGatingFindings) {
+  const core::Report r = check_config(sim::ScConfig{});
+  EXPECT_TRUE(r.ok()) << r.to_string();
+  EXPECT_EQ(r.warning_count(), 0u) << r.to_string();
+  // The default 256-bit stream replays one state of the 255-cycle width-8
+  // LFSR: worth a note, but notes never gate --werror.
+  EXPECT_TRUE(r.has_rule("lfsr-period-exhausted"));
+  EXPECT_FALSE(r.fails(/*werror=*/true));
+}
+
+TEST(CheckConfig, SeedCollisionAfterMaskingIsAnError) {
+  sim::ScConfig cfg;  // sng_width = 8
+  cfg.activation_seed = 0x1b;
+  cfg.weight_seed = 0x11b;  // same low 8 bits
+  const core::Report r = check_config(cfg);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.has_rule("sng-seed-collision")) << r.to_string();
+}
+
+TEST(CheckConfig, ZeroSeedsCollideThroughTheZeroToOneRule) {
+  sim::ScConfig cfg;
+  cfg.activation_seed = 0;      // masked 0 -> loads 1
+  cfg.weight_seed = 0x100;      // low 8 bits 0 -> also loads 1
+  const core::Report r = check_config(cfg);
+  EXPECT_TRUE(r.has_rule("sng-seed-collision")) << r.to_string();
+}
+
+TEST(CheckConfig, DistinctMaskedSeedsDoNotCollide) {
+  sim::ScConfig cfg;
+  cfg.activation_seed = 0x1b;
+  cfg.weight_seed = 0x1c;
+  EXPECT_FALSE(check_config(cfg).has_rule("sng-seed-collision"));
+}
+
+TEST(CheckConfig, SngWidthOutsideLfsrRangeIsAnError) {
+  sim::ScConfig cfg;
+  cfg.sng_width = 2;
+  EXPECT_TRUE(check_config(cfg).has_rule("sng-width-invalid"));
+  cfg.sng_width = 33;
+  const core::Report r = check_config(cfg);
+  EXPECT_TRUE(r.has_rule("sng-width-invalid"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CheckConfig, WidthBeyondFloatMantissaWarns) {
+  sim::ScConfig cfg;
+  cfg.sng_width = 25;
+  const core::Report r = check_config(cfg);
+  EXPECT_TRUE(r.has_rule("quantize-resolution")) << r.to_string();
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(CheckConfig, StreamLengthRules) {
+  sim::ScConfig cfg;
+  cfg.stream_length = 1;  // no bits left for the two sign phases
+  EXPECT_FALSE(check_config(cfg).ok());
+  EXPECT_TRUE(check_config(cfg).has_rule("stream-length-invalid"));
+
+  cfg.stream_length = 255;  // odd: one bit never counted
+  const core::Report odd = check_config(cfg);
+  EXPECT_TRUE(odd.ok());
+  EXPECT_TRUE(odd.has_rule("stream-length-invalid"));
+  EXPECT_TRUE(odd.fails(/*werror=*/true));
+}
+
+TEST(CheckConfig, NaiveSharingWarns) {
+  sim::ScConfig cfg;
+  cfg.decorrelate_lanes = false;
+  const core::Report r = check_config(cfg);
+  EXPECT_TRUE(r.has_rule("sng-naive-sharing"));
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(CheckConfig, HeavyPeriodReuseEscalatesToWarning) {
+  sim::ScConfig cfg;
+  cfg.sng_width = 3;  // period 7 against a 256-bit bank window
+  const core::Report r = check_config(cfg);
+  ASSERT_TRUE(r.has_rule("lfsr-period-exhausted")) << r.to_string();
+  EXPECT_GE(r.warning_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// check_descriptor
+
+/// One conv (+pool) layer descriptor that satisfies every rule under the
+/// default SC configuration.
+nn::LayerDesc clean_conv() {
+  nn::LayerDesc l;
+  l.kind = nn::LayerKind::kConv;
+  l.label = "conv1";
+  l.in_h = 8;
+  l.in_w = 8;
+  l.in_c = 1;
+  l.kernel = 3;
+  l.out_c = 4;
+  l.pool = 2;  // 6x6 output, tiled by 2x2
+  return l;
+}
+
+nn::NetworkDesc one_layer(const nn::LayerDesc& l) {
+  nn::NetworkDesc net;
+  net.name = "fixture";
+  net.layers.push_back(l);
+  return net;
+}
+
+TEST(CheckDescriptor, CleanFixturePasses) {
+  const core::Report r = check_descriptor(one_layer(clean_conv()));
+  EXPECT_TRUE(r.ok()) << r.to_string();
+  EXPECT_EQ(r.warning_count(), 0u) << r.to_string();
+}
+
+TEST(CheckDescriptor, NonPositiveDimensionsAreFlagged) {
+  nn::LayerDesc l = clean_conv();
+  l.in_h = 0;
+  const core::Report r = check_descriptor(one_layer(l));
+  EXPECT_TRUE(r.has_rule("geometry-invalid")) << r.to_string();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CheckDescriptor, GroupsMustDivideChannels) {
+  nn::LayerDesc l = clean_conv();
+  l.in_c = 4;
+  l.groups = 3;
+  const core::Report r = check_descriptor(one_layer(l));
+  EXPECT_TRUE(r.has_rule("geometry-invalid")) << r.to_string();
+}
+
+TEST(CheckDescriptor, OversizedKernelIsFlagged) {
+  nn::LayerDesc l = clean_conv();
+  l.kernel = 9;  // does not fit the 8x8 input... with pool it would, but
+  l.in_h = 4;    // on 4x4 it cannot
+  l.in_w = 4;
+  l.pool = 0;
+  const core::Report r = check_descriptor(one_layer(l));
+  EXPECT_TRUE(r.has_rule("geometry-invalid")) << r.to_string();
+}
+
+TEST(CheckDescriptor, UnproducedInputVolumeIsAShapeMismatch) {
+  nn::NetworkDesc net = one_layer(clean_conv());
+  nn::LayerDesc l2 = clean_conv();
+  l2.label = "conv2";
+  l2.in_h = 5;  // conv1 produces 3x3x4 (pooled); nothing produces 5x5x4
+  l2.in_w = 5;
+  l2.in_c = 4;
+  l2.kernel = 1;
+  l2.pool = 0;
+  net.layers.push_back(l2);
+  const core::Report r = check_descriptor(net);
+  EXPECT_TRUE(r.has_rule("shape-mismatch")) << r.to_string();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CheckDescriptor, DenseMatchesFlattenedVolume) {
+  nn::NetworkDesc net = one_layer(clean_conv());
+  nn::LayerDesc fc;
+  fc.kind = nn::LayerKind::kDense;
+  fc.label = "fc";
+  fc.in_c = 3 * 3 * 4;  // conv1's pooled output, flattened
+  fc.out_c = 10;
+  net.layers.push_back(fc);
+  const core::Report r = check_descriptor(net);
+  EXPECT_FALSE(r.has_rule("shape-mismatch")) << r.to_string();
+  EXPECT_TRUE(r.ok()) << r.to_string();
+}
+
+TEST(CheckDescriptor, ResidualIsUnsupportedOnTheScSimulator) {
+  nn::LayerDesc l = clean_conv();
+  l.residual = true;
+  const core::Report r = check_descriptor(one_layer(l));
+  EXPECT_TRUE(r.has_rule("sc-unsupported-op")) << r.to_string();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CheckDescriptor, GroupedConvIsUnsupportedOnTheScSimulator) {
+  nn::LayerDesc l = clean_conv();
+  l.in_c = 4;
+  l.out_c = 4;
+  l.groups = 2;  // divides evenly: geometry fine, lowering impossible
+  const core::Report r = check_descriptor(one_layer(l));
+  EXPECT_FALSE(r.has_rule("geometry-invalid")) << r.to_string();
+  EXPECT_TRUE(r.has_rule("sc-unsupported-op")) << r.to_string();
+}
+
+TEST(CheckDescriptor, PerfTargetAcceptsResidualAndGroups) {
+  nn::LayerDesc l = clean_conv();
+  l.in_c = 4;
+  l.out_c = 4;
+  l.groups = 2;
+  l.residual = true;
+  CheckOptions opt;
+  opt.target = CheckTarget::kPerfSim;
+  const core::Report r = check_descriptor(one_layer(l), opt);
+  EXPECT_FALSE(r.has_rule("sc-unsupported-op")) << r.to_string();
+  EXPECT_TRUE(r.ok()) << r.to_string();
+}
+
+TEST(CheckDescriptor, UntiledPoolingWindowIsAnError) {
+  nn::LayerDesc l = clean_conv();
+  l.in_h = 7;  // 5x5 conv output; a 2x2 window cannot tile it
+  l.in_w = 7;
+  const core::Report r = check_descriptor(one_layer(l));
+  EXPECT_TRUE(r.has_rule("pool-untiled")) << r.to_string();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CheckDescriptor, PhaseShorterThanWindowSlotsIsAnError) {
+  nn::LayerDesc l = clean_conv();
+  l.kernel = 1;
+  l.pool = 4;  // 16 slots per sign phase
+  CheckOptions opt;
+  opt.sc.stream_length = 8;  // phase of 4 bits < 16 slots
+  const core::Report r = check_descriptor(one_layer(l), opt);
+  EXPECT_TRUE(r.has_rule("stream-too-short")) << r.to_string();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CheckDescriptor, SlotTruncationWarnsWhenWasteIsLarge) {
+  nn::LayerDesc l = clean_conv();
+  l.in_h = 6;
+  l.in_w = 6;
+  l.kernel = 1;
+  l.pool = 3;  // 9 slots
+  CheckOptions opt;
+  opt.sc.stream_length = 32;  // phase 16: seg 1, 7/16 bits wasted
+  const core::Report r = check_descriptor(one_layer(l), opt);
+  ASSERT_TRUE(r.has_rule("segment-truncation")) << r.to_string();
+  EXPECT_GE(r.warning_count(), 1u) << r.to_string();
+}
+
+TEST(CheckDescriptor, SubsampledSlotsGetAResolutionNote) {
+  // Default config: 2x2 pooling slices the 128-bit phase into 32-bit
+  // slots, far below the 2^8 comparator grid.
+  const core::Report r = check_descriptor(one_layer(clean_conv()));
+  EXPECT_TRUE(r.has_rule("stream-resolution")) << r.to_string();
+  EXPECT_FALSE(r.fails(/*werror=*/true)) << r.to_string();
+}
+
+TEST(CheckDescriptor, WideFanInSaturatesTheOrLine) {
+  nn::LayerDesc fc;
+  fc.kind = nn::LayerKind::kDense;
+  fc.label = "fc";
+  fc.in_h = 1;
+  fc.in_w = 1;
+  fc.in_c = 4096;  // Kaiming-prior products pin the OR output near 1
+  fc.out_c = 10;
+  const core::Report r = check_descriptor(one_layer(fc));
+  EXPECT_TRUE(r.has_rule("or-saturation")) << r.to_string();
+}
+
+TEST(CheckDescriptor, IncludeConfigOffSuppressesConfigFindings) {
+  CheckOptions opt;
+  opt.sc.activation_seed = opt.sc.weight_seed;  // guaranteed collision
+  opt.include_config = false;
+  const core::Report r = check_descriptor(one_layer(clean_conv()), opt);
+  EXPECT_FALSE(r.has_rule("sng-seed-collision")) << r.to_string();
+  opt.include_config = true;
+  EXPECT_TRUE(check_descriptor(one_layer(clean_conv()), opt)
+                  .has_rule("sng-seed-collision"));
+}
+
+// ---------------------------------------------------------------------------
+// check_network (live trainable networks)
+
+constexpr nn::Shape kLenetInput{16, 16, 1};
+
+TEST(CheckNetwork, TrainableBuildersPassWithProbe) {
+  nn::Network lenet = train::build_lenet_small(nn::AccumMode::kOrApprox);
+  const core::Report r = check_network(lenet, "lenet", kLenetInput);
+  EXPECT_TRUE(r.ok()) << r.to_string();
+
+  nn::Network resnet = train::build_resnet_tiny(nn::AccumMode::kOrApprox);
+  const core::Report rr = check_network(resnet, "resnet-tiny", {16, 16, 3});
+  EXPECT_TRUE(rr.ok()) << rr.to_string();
+}
+
+TEST(CheckNetwork, NanWeightIsAnError) {
+  nn::Network net = train::build_lenet_small(nn::AccumMode::kOrApprox);
+  ASSERT_EQ(net.layer(0).kind(), nn::Layer::Kind::kConv2D);
+  static_cast<nn::Conv2D&>(net.layer(0)).weights()[0] =
+      std::numeric_limits<float>::quiet_NaN();
+  const core::Report r = check_network(net, "lenet", kLenetInput);
+  EXPECT_TRUE(r.has_rule("nonfinite-weight")) << r.to_string();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CheckNetwork, WeightMagnitudeBeyondOneWarns) {
+  nn::Network net = train::build_lenet_small(nn::AccumMode::kOrApprox);
+  static_cast<nn::Conv2D&>(net.layer(0)).weights()[0] = 2.5f;
+  const core::Report r = check_network(net, "lenet", kLenetInput);
+  EXPECT_TRUE(r.has_rule("weight-range")) << r.to_string();
+  EXPECT_TRUE(r.ok()) << r.to_string();
+}
+
+TEST(CheckNetwork, SumModeLayersWarnAgainstTheOrDatapath) {
+  nn::Network net = train::build_lenet_small(nn::AccumMode::kSum);
+  const core::Report r = check_network(net, "lenet", kLenetInput);
+  EXPECT_TRUE(r.has_rule("accum-mode-mismatch")) << r.to_string();
+}
+
+TEST(CheckNetwork, WrongInputChannelsAreAShapeMismatch) {
+  nn::Network net = train::build_lenet_small(nn::AccumMode::kOrApprox);
+  const core::Report r = check_network(net, "lenet", {16, 16, 3});
+  EXPECT_TRUE(r.has_rule("shape-mismatch")) << r.to_string();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CheckNetwork, EmptyNetworkIsAStructureError) {
+  nn::Network net;
+  const core::Report r = check_network(net, "empty", kLenetInput);
+  EXPECT_TRUE(r.has_rule("stage-structure")) << r.to_string();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CheckNetwork, UnweightedFirstStageIsAStructureError) {
+  nn::Network net;
+  net.add<nn::ReLU>();
+  net.add<nn::Dense>(nn::DenseSpec{16 * 16, 10, false,
+                                   nn::AccumMode::kOrApprox});
+  CheckOptions opt;
+  opt.probe = false;  // structurally broken; only the static walk matters
+  const core::Report r = check_network(net, "headless", kLenetInput, opt);
+  EXPECT_TRUE(r.has_rule("stage-structure")) << r.to_string();
+}
+
+TEST(CheckNetwork, ProbeRunsThePlanInvariantValidator) {
+  // The probe forwards a clone through sim::ScNetwork and merges
+  // validate_plans(); a clean report proves the planned fast path's
+  // schedules, plans and product tables satisfy every invariant.
+  nn::Network net = train::build_cifar_small(nn::AccumMode::kOrApprox);
+  CheckOptions opt;
+  const core::Report with_probe = check_network(net, "cifar", {16, 16, 3},
+                                                opt);
+  EXPECT_TRUE(with_probe.ok()) << with_probe.to_string();
+  EXPECT_FALSE(with_probe.has_rule("plan-invariant")) << with_probe.to_string();
+  EXPECT_FALSE(with_probe.has_rule("sc-lowering-failed"))
+      << with_probe.to_string();
+}
+
+}  // namespace
+}  // namespace acoustic::analysis

@@ -1,0 +1,127 @@
+// Shared-diagnostics engine tests: Report semantics (merge prefixing,
+// gate predicate, rendering) and the one JSON wire format — an ISA lint
+// report and a network check report must serialize with identical
+// structure, because CI consumers parse both with the same reader.
+#include "core/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/check.hpp"
+#include "isa/analysis/analyzer.hpp"
+#include "isa/program.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace acoustic::core {
+namespace {
+
+TEST(Diagnostics, MergePrefixesPaths) {
+  Report inner;
+  inner.add("some-rule", Severity::kWarning, "conv1", "anchored");
+  inner.add("other-rule", Severity::kError, kNoIndex, "global");
+
+  Report outer;
+  outer.merge(inner, "lenet");
+  ASSERT_EQ(outer.diagnostics().size(), 2u);
+  EXPECT_EQ(outer.diagnostics()[0].path, "lenet/conv1");
+  // A finding with no path of its own lands at the prefix itself.
+  EXPECT_EQ(outer.diagnostics()[1].path, "lenet");
+  EXPECT_EQ(outer.error_count(), 1u);
+  EXPECT_EQ(outer.warning_count(), 1u);
+}
+
+TEST(Diagnostics, GatePredicate) {
+  Report notes;
+  notes.add("advice", Severity::kNote, "a", "take it or leave it");
+  EXPECT_FALSE(notes.fails(false));
+  EXPECT_FALSE(notes.fails(true));  // notes never gate, even under --werror
+  EXPECT_FALSE(notes.clean());
+  EXPECT_TRUE(notes.ok());
+
+  Report warns;
+  warns.add("lint", Severity::kWarning, "b", "suspicious");
+  EXPECT_FALSE(warns.fails(false));
+  EXPECT_TRUE(warns.fails(true));
+
+  Report errs;
+  errs.add("broken", Severity::kError, "c", "no");
+  EXPECT_TRUE(errs.fails(false));
+}
+
+TEST(Diagnostics, ToStringAnchorsAndSummary) {
+  Report r;
+  r.add("path-rule", Severity::kError, "net/conv1", "bad");
+  r.add("index-rule", Severity::kWarning, std::size_t{12}, "odd");
+  r.add("global-rule", Severity::kNote, kNoIndex, "fyi");
+  const std::string text = r.to_string();
+  EXPECT_NE(text.find("net/conv1: error [path-rule] bad"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("#12: warning [index-rule] odd"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("<global>: note [global-rule] fyi"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("1 error(s), 1 warning(s), 1 note(s)"),
+            std::string::npos)
+      << text;
+}
+
+TEST(DiagnosticsJson, EmitsBothAnchorKindsAndCounts) {
+  Report r;
+  r.add("path-rule", Severity::kError, "net/conv1", "bad");
+  r.add("index-rule", Severity::kWarning, std::size_t{3}, "odd");
+  const std::string json = to_json(r);
+  EXPECT_NE(json.find("\"rule\": \"path-rule\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"severity\": \"error\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"path\": \"net/conv1\""), std::string::npos) << json;
+  // Path-anchored findings have a null index and vice versa.
+  EXPECT_NE(json.find("\"index\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"index\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"path\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"errors\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"warnings\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"notes\": 0"), std::string::npos) << json;
+}
+
+/// The top-level keys of a report JSON document, in emission order.
+std::vector<std::string> top_level_keys(const std::string& json) {
+  // Keys at indent 2 of the pretty-printed object: `\n  "key":`.
+  std::vector<std::string> keys;
+  std::string::size_type pos = 0;
+  while ((pos = json.find("\n  \"", pos)) != std::string::npos) {
+    const auto start = pos + 4;
+    const auto end = json.find('"', start);
+    keys.push_back(json.substr(start, end - start));
+    pos = end;
+  }
+  return keys;
+}
+
+TEST(DiagnosticsJson, IsaLintAndNetworkCheckShareTheWireFormat) {
+  // An ISA program with findings...
+  isa::Program program;
+  program.mac(16);  // mac before any load: the analyzer flags it
+  const isa::analysis::Report lint = isa::analysis::analyze(program);
+  ASSERT_FALSE(lint.clean());
+
+  // ...and a network descriptor with findings.
+  nn::NetworkDesc broken = nn::resnet18();
+  const core::Report check = analysis::check_descriptor(broken);
+  ASSERT_FALSE(check.clean());
+
+  const std::string lint_json = to_json(lint);
+  const std::string check_json = to_json(check);
+  EXPECT_EQ(top_level_keys(lint_json), top_level_keys(check_json));
+  const std::vector<std::string> expected{"diagnostics", "errors", "warnings",
+                                          "notes"};
+  EXPECT_EQ(top_level_keys(lint_json), expected) << lint_json;
+  // Both embed the same per-diagnostic fields.
+  for (const char* key : {"\"rule\":", "\"severity\":", "\"index\":",
+                          "\"path\":", "\"message\":"}) {
+    EXPECT_NE(lint_json.find(key), std::string::npos) << key;
+    EXPECT_NE(check_json.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace acoustic::core

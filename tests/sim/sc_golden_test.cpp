@@ -12,6 +12,7 @@
 
 #include <cstring>
 
+#include "core/diagnostics.hpp"
 #include "nn/activation.hpp"
 #include "nn/pool.hpp"
 #include "sc/rng.hpp"
@@ -72,6 +73,13 @@ void expect_planned_matches_scalar(nn::Network& net, const nn::Tensor& input,
                                 std::to_string(decorrelate) +
                                 " threads=" + std::to_string(threads);
       expect_bytes_equal(got, want, label);
+      // The plans the forward just executed must satisfy every structural
+      // invariant (schedule coverage, word offsets, product-table
+      // consistency with the live weights).
+      const core::Report plan_report = planned_exec.validate_plans();
+      EXPECT_TRUE(plan_report.clean())
+          << label << ":\n"
+          << plan_report.to_string();
       // The planned path must do the same logical work as the oracle:
       // identical product-bit and operand-gating accounting.
       EXPECT_EQ(got_stats.product_bits, want_stats.product_bits) << label;
@@ -204,6 +212,9 @@ TEST(ScGolden, RepeatedForwardIsBitStable) {
   const ScNetwork::Stats second_stats = exec.take_stats();
 
   expect_bytes_equal(second, first, "repeat");
+  // Cache-served plans must still validate against the live weights.
+  const core::Report plan_report = exec.validate_plans();
+  EXPECT_TRUE(plan_report.clean()) << plan_report.to_string();
   EXPECT_EQ(second_stats.product_bits, first_stats.product_bits);
   EXPECT_EQ(second_stats.stream_bits_generated,
             first_stats.stream_bits_generated);

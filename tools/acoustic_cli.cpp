@@ -19,11 +19,24 @@
 //   acoustic breakdown [--arch lp|ulp]
 //       Print the Fig. 5 area/power breakdowns.
 //   acoustic lint <program.acasm|network> [--arch lp|ulp] [--werror]
+//                 [--json]
 //       Statically analyze an assembly file ('-' reads stdin) or the
 //       program generated for a model-zoo network: loop balance, barrier
 //       placement, scratchpad/weight-memory bounds, counter ordering,
 //       dead weight loads. Exits 1 on errors (with --werror, on any
-//       finding).
+//       warning). --json prints the diagnostics as the shared JSON
+//       report format on stdout instead of the text rendering.
+//   acoustic check <network|zoo|lenet|cifar|resnet-tiny>
+//                  [--target sc|perf] [--stream N] [--width N]
+//                  [--threshold X] [--no-probe] [--werror] [--json]
+//       Network-level SC static analyzer: graph/shape inference over the
+//       zoo descriptors (or all of them with 'zoo'), SNG seed and LFSR
+//       period analysis, OR-accumulation saturation bounds, quantization
+//       range rules, and — for the trainable models lenet/cifar/
+//       resnet-tiny — weight scans plus an executed plan-invariant
+//       probe. --target perf restricts to the structural rules the
+//       performance simulator needs. Exits 1 on errors (with --werror,
+//       on any warning).
 //   acoustic eval [--backend float|sc|sc-mux|bipolar] [--model lenet|cifar]
 //                 [--threads N] [--intra-threads N] [--exec planned|scalar]
 //                 [--stream N] [--train N] [--test N]
@@ -62,7 +75,9 @@
 #include <string>
 #include <vector>
 
+#include "analysis/check.hpp"
 #include "core/accelerator.hpp"
+#include "core/diagnostics.hpp"
 #include "core/report.hpp"
 #include "energy/breakdown.hpp"
 #include "isa/assembler.hpp"
@@ -92,9 +107,13 @@ int usage() {
                "           --dram ddr3-800|...|ddr3-2133|hbm  --trace  "
                "--layers\n"
                "           --metrics  --json  --prometheus  "
-               "--trace-json FILE\n"
+               "--trace-json FILE  --no-preflight\n"
                "  lint: acoustic lint <program.acasm|-|network> "
-               "[--arch lp|ulp] [--werror]\n"
+               "[--arch lp|ulp] [--werror] [--json]\n"
+               "  check: acoustic check <network|zoo|lenet|cifar|"
+               "resnet-tiny> [--target sc|perf]\n"
+               "         [--stream N] [--width N] [--threshold X] "
+               "[--no-probe] [--werror] [--json]\n"
                "  eval: acoustic eval [--backend float|sc|sc-mux|bipolar] "
                "[--model lenet|cifar]\n"
                "        [--threads N] [--intra-threads N] "
@@ -102,7 +121,7 @@ int usage() {
                "        [--stream N] [--train N] [--test N] "
                "[--epochs N] [--json]\n"
                "        [--metrics] [--profile] [--prometheus] "
-               "[--trace-json FILE] [--verbose]\n");
+               "[--trace-json FILE] [--verbose] [--no-preflight]\n");
   return 2;
 }
 
@@ -171,7 +190,7 @@ int cmd_list() {
 /// program read from stdin ('-'), or the program codegen emits for a
 /// model-zoo network, against the bounds of the selected architecture.
 int cmd_lint(const std::string& target, const perf::ArchConfig& arch,
-             bool werror) {
+             bool werror, bool json) {
   isa::Program program;
   if (const std::optional<nn::NetworkDesc> net = find_network(target)) {
     try {
@@ -207,14 +226,93 @@ int cmd_lint(const std::string& target, const perf::ArchConfig& arch,
   }
   const isa::analysis::Report report =
       isa::analysis::analyze(program, {perf::machine_limits(arch)});
+  if (json) {
+    // Machine-readable mode: stdout carries exactly the shared JSON report
+    // format (the same core::to_json that `acoustic check --json` emits).
+    std::printf("%s\n", core::to_json(report).c_str());
+    return (!report.ok() || (werror && !report.clean())) ? 1 : 0;
+  }
   for (const auto& diag : report.diagnostics()) {
     std::fprintf(stderr, "%s: %s\n", target.c_str(),
-                 diag.to_string(&program).c_str());
+                 isa::analysis::to_string(diag, &program).c_str());
   }
   std::printf("%s: %zu instruction(s), %zu error(s), %zu warning(s)\n",
               target.c_str(), program.size(), report.error_count(),
               report.warning_count());
   return (!report.ok() || (werror && !report.clean())) ? 1 : 0;
+}
+
+/// Options of `acoustic check` (and the eval/simulate preflights).
+struct CheckCliOptions {
+  std::string target_name;
+  analysis::CheckOptions options;
+  bool werror = false;
+  bool json = false;
+};
+
+/// `acoustic check`: the network-level SC static analyzer over a zoo
+/// descriptor ('zoo' = all of them under one shared config), or a
+/// trainable small model (lenet / cifar / resnet-tiny) with weight scans
+/// and the executed plan-invariant probe.
+int cmd_check(const CheckCliOptions& opt) {
+  core::Report report;
+  const std::string& name = opt.target_name;
+  if (name == "zoo") {
+    // One config, many models: emit the config findings once up front.
+    if (opt.options.target == analysis::CheckTarget::kScSim) {
+      report.merge(analysis::check_config(opt.options.sc));
+    }
+    analysis::CheckOptions per_model = opt.options;
+    per_model.include_config = false;
+    for (const nn::NetworkDesc& net : nn::table3_workloads()) {
+      report.merge(analysis::check_descriptor(net, per_model));
+    }
+  } else if (const std::optional<nn::NetworkDesc> net = find_network(name)) {
+    report = analysis::check_descriptor(*net, opt.options);
+  } else if (name == "lenet" || name == "cifar" || name == "resnet-tiny") {
+    // Trainable models: built in the OR-approximate training mode the SC
+    // backends evaluate, Kaiming-initialized (deterministic seeds).
+    nn::Network net = name == "lenet"
+                          ? train::build_lenet_small(nn::AccumMode::kOrApprox)
+                      : name == "cifar"
+                          ? train::build_cifar_small(nn::AccumMode::kOrApprox)
+                          : train::build_resnet_tiny(nn::AccumMode::kOrApprox);
+    const nn::Shape input{16, 16, name == "lenet" ? 1 : 3};
+    report = analysis::check_network(net, name, input, opt.options);
+  } else {
+    std::fprintf(stderr,
+                 "check: unknown target '%s' (expected a zoo network, "
+                 "'zoo', or lenet/cifar/resnet-tiny)\n", name.c_str());
+    return 2;
+  }
+
+  if (opt.json) {
+    std::printf("%s\n", core::to_json(report).c_str());
+  } else {
+    for (const core::Diagnostic& diag : report.diagnostics()) {
+      std::fprintf(stderr, "%s\n", diag.to_string().c_str());
+    }
+    std::printf("%s: %zu error(s), %zu warning(s), %zu note(s)\n",
+                name.c_str(), report.error_count(), report.warning_count(),
+                report.note_count());
+  }
+  return report.fails(opt.werror) ? 1 : 0;
+}
+
+/// Warn-level preflight shared by `acoustic eval` and `acoustic simulate`:
+/// prints every finding on stderr but never blocks the run — the point is
+/// to explain a bad result before it happens, not to refuse to produce it.
+void print_preflight(const core::Report& report, const char* who) {
+  for (const core::Diagnostic& diag : report.diagnostics()) {
+    std::fprintf(stderr, "%s preflight: %s\n", who, diag.to_string().c_str());
+  }
+  if (!report.ok()) {
+    std::fprintf(stderr,
+                 "%s preflight: %zu error(s) — the run below is expected "
+                 "to fail or produce meaningless results (rerun `acoustic "
+                 "check` for details, or pass --no-preflight to silence "
+                 "this)\n", who, report.error_count());
+  }
 }
 
 struct EvalOptions {
@@ -232,6 +330,7 @@ struct EvalOptions {
   bool profile = false;     ///< per-layer wall-time/counter table
   bool prometheus = false;  ///< registry in Prometheus text format
   bool verbose = false;     ///< training log + eval progress on stderr
+  bool preflight = true;    ///< warn-level `acoustic check` before eval
   std::string trace_json;   ///< Chrome trace-event output path ("" = off)
 };
 
@@ -311,6 +410,25 @@ int cmd_eval(const EvalOptions& opt) {
     throw std::invalid_argument("eval: unknown --exec '" + opt.exec +
                                 "' (expected planned or scalar)");
   }
+  // Warn-level preflight of the trained network under the exact SC config
+  // the backend will run: saturation, quantization and stream-geometry
+  // findings explain a bad accuracy figure before it is measured. Only the
+  // SC backends have stream semantics to check.
+  if (opt.preflight && (opt.backend == "sc" || opt.backend == "sc-mux")) {
+    analysis::CheckOptions check_opt;
+    check_opt.sc = sc_cfg;
+    if (opt.backend == "sc-mux") {
+      check_opt.sc.pooling = sim::PoolingMode::kMux;
+    }
+    // The probe runs its own ScNetwork forward; the evaluator below does
+    // the real one, so skip the duplicate work and keep eval fast.
+    check_opt.probe = false;
+    const nn::Shape input_shape{16, 16, opt.model == "lenet" ? 1 : 3};
+    print_preflight(
+        analysis::check_network(net, opt.model, input_shape, check_opt),
+        "eval");
+  }
+
   sim::BipolarConfig bipolar_cfg;
   bipolar_cfg.stream_length = opt.stream;
   const std::unique_ptr<sim::InferenceBackend> backend =
@@ -593,6 +711,8 @@ int main(int argc, char** argv) {
         opt.prometheus = true;
       } else if (arg == "--verbose") {
         opt.verbose = true;
+      } else if (arg == "--no-preflight") {
+        opt.preflight = false;
       } else if (arg == "--trace-json" && (v = value()) != nullptr) {
         opt.trace_json = v;
       } else {
@@ -611,6 +731,7 @@ int main(int argc, char** argv) {
     perf::ArchConfig arch = perf::lp();
     std::string target;
     bool werror = false;
+    bool json = false;
     for (int i = 2; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--arch") {
@@ -625,6 +746,8 @@ int main(int argc, char** argv) {
         }
       } else if (arg == "--werror") {
         werror = true;
+      } else if (arg == "--json") {
+        json = true;
       } else if (target.empty()) {
         target = arg;
       } else {
@@ -634,7 +757,51 @@ int main(int argc, char** argv) {
     if (target.empty()) {
       return usage();
     }
-    return cmd_lint(target, arch, werror);
+    return cmd_lint(target, arch, werror, json);
+  }
+
+  if (cmd == "check") {
+    CheckCliOptions opt;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> const char* {
+        return i + 1 < argc ? argv[++i] : nullptr;
+      };
+      const char* v = nullptr;
+      if (arg == "--target" && (v = value()) != nullptr) {
+        if (std::strcmp(v, "perf") == 0) {
+          opt.options.target = analysis::CheckTarget::kPerfSim;
+        } else if (std::strcmp(v, "sc") != 0) {
+          return usage();
+        }
+      } else if (arg == "--stream" && (v = value()) != nullptr) {
+        opt.options.sc.stream_length =
+            static_cast<std::size_t>(std::atoll(v));
+      } else if (arg == "--width" && (v = value()) != nullptr) {
+        opt.options.sc.sng_width = static_cast<unsigned>(std::atoi(v));
+      } else if (arg == "--threshold" && (v = value()) != nullptr) {
+        opt.options.saturation_threshold = std::atof(v);
+      } else if (arg == "--no-probe") {
+        opt.options.probe = false;
+      } else if (arg == "--werror") {
+        opt.werror = true;
+      } else if (arg == "--json") {
+        opt.json = true;
+      } else if (opt.target_name.empty()) {
+        opt.target_name = arg;
+      } else {
+        return usage();
+      }
+    }
+    if (opt.target_name.empty()) {
+      return usage();
+    }
+    try {
+      return cmd_check(opt);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "check: %s\n", e.what());
+      return 1;
+    }
   }
 
   // Parse common options.
@@ -645,6 +812,7 @@ int main(int argc, char** argv) {
   bool metrics = false;
   bool json_out = false;
   bool prometheus = false;
+  bool preflight = true;
   std::string trace_json;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -702,6 +870,8 @@ int main(int argc, char** argv) {
       json_out = true;
     } else if (arg == "--prometheus") {
       prometheus = true;
+    } else if (arg == "--no-preflight") {
+      preflight = false;
     } else if (arg == "--trace-json") {
       const char* v = next();
       if (v == nullptr) {
@@ -738,6 +908,14 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (cmd == "simulate") {
+    // Warn-level structural preflight: the performance model lowers every
+    // zoo descriptor, so only the graph/shape/geometry rules apply here.
+    if (preflight) {
+      analysis::CheckOptions check_opt;
+      check_opt.target = analysis::CheckTarget::kPerfSim;
+      print_preflight(analysis::check_descriptor(*net, check_opt),
+                      "simulate");
+    }
     const core::Accelerator accel(arch);
     const core::InferenceCost cost = accel.run(*net);
 
