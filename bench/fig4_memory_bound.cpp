@@ -21,7 +21,7 @@ int main() {
               "interface ===\n\n");
 
   nn::LayerDesc layer;
-  layer.kind = nn::LayerKind::kConv;
+  layer.kind = nn::OpKind::kConv2D;
   layer.label = "conv3x3x512";
   layer.in_h = 16;
   layer.in_w = 16;

@@ -25,7 +25,7 @@ int main() {
   core::Table reduction({"pooling window", "MAC cycles", "conv latency",
                          "compute-energy ratio", "paper claim"});
   nn::LayerDesc layer;
-  layer.kind = nn::LayerKind::kConv;
+  layer.kind = nn::OpKind::kConv2D;
   layer.label = "conv";
   layer.in_h = 36;
   layer.in_w = 36;

@@ -113,6 +113,22 @@ int main(int argc, char** argv) {
     rows.push_back(std::move(r));
   }
 
+  {
+    // Deep-network row: the residual model runs its skip connections
+    // (counter-preload adds) through the same graph executor as the
+    // plain stacks — the row pins Table II's trend on a topology with
+    // branches, not just linear conv chains.
+    Row r{"ResNet (tiny)", "SynthObjects-C",
+          train::build_resnet_tiny(nn::AccumMode::kOrApprox, 16, 91),
+          train::make_synth_objects(300, 555, 16)};
+    const train::Dataset tr = train::make_synth_objects(1200, 37, 16);
+    (void)train::fit(r.net, tr, cfg);
+    nn::Network fixed = train::build_resnet_tiny(nn::AccumMode::kSum, 16, 91);
+    (void)train::fit(fixed, tr, fixed_cfg);
+    r.fixed8 = train::evaluate_quantized(fixed, r.test, 8);
+    rows.push_back(std::move(r));
+  }
+
   // One evaluator (and thread pool) for every cell of the table.
   sim::BatchEvaluator evaluator(threads);
   std::printf("evaluating on %u thread%s...\n", evaluator.threads(),

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <map>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "nn/conv.hpp"
 #include "nn/dense.hpp"
 #include "nn/pool.hpp"
+#include "nn/residual.hpp"
 #include "sc/rng.hpp"
 #include "sc/sng.hpp"
 #include "sim/sc_network.hpp"
@@ -60,12 +62,14 @@ StreamGeom check_stream_geometry(Report& report, const std::string& path,
   StreamGeom g;
   const std::size_t phase = cfg.phase_length();
   if (pool > 1 && (out_h % pool != 0 || out_w % pool != 0)) {
-    report.add("pool-untiled", Severity::kError, path,
+    report.add("pool-untiled", Severity::kNote, path,
                "fused " + std::to_string(pool) + "x" + std::to_string(pool) +
                    " pooling window does not tile the " +
                    std::to_string(out_h) + "x" + std::to_string(out_w) +
-                   " conv output; computation skipping requires "
-                   "non-overlapping windows that divide both dimensions");
+                   " conv output; the executor falls back to binary-domain "
+                   "pooling after the unfused conv (still exact, but the "
+                   "computation-skipping benefit is lost)");
+    pool = 1;  // model the fallback: the conv runs over the full phase
   }
   g.positions = static_cast<std::size_t>(pool > 1 ? pool : 1);
   g.positions *= g.positions;
@@ -107,11 +111,15 @@ StreamGeom check_stream_geometry(Report& report, const std::string& path,
 }
 
 /// Reports rule or-saturation if the estimate's OR line level exceeds the
-/// threshold. @p basis describes where the product probabilities came from.
+/// threshold. @p basis describes where the product probabilities came from;
+/// @p severity is kWarning when real weights backed the estimate and kNote
+/// when only a prior did (priors routinely overshoot on wide layers, so a
+/// prior-based bound must not fail --werror gates on its own).
 void report_saturation(Report& report, const std::string& path,
                        const CheckOptions& options,
                        const SaturationEstimate& est, std::size_t fan_in,
-                       const std::string& basis) {
+                       const std::string& basis,
+                       Severity severity = Severity::kWarning) {
   if (est.or_p <= options.saturation_threshold) {
     return;
   }
@@ -129,7 +137,7 @@ void report_saturation(Report& report, const std::string& path,
            "-bit stream would at least remove the additional segment "
            "subsampling";
   }
-  report.add("or-saturation", Severity::kWarning, path, std::move(msg));
+  report.add("or-saturation", severity, path, std::move(msg));
 }
 
 }  // namespace
@@ -221,12 +229,20 @@ core::Report check_descriptor(const nn::NetworkDesc& net,
     int h = 0, w = 0, c = 0;
   };
   std::vector<Vol> volumes;
+  // Residual-block bookkeeping: the volume the open block's skip path
+  // carries (saved input, or the projection conv's output), so the add at
+  // the block closer can be shape-checked statically.
+  struct SkipTrack {
+    bool open = false;
+    Vol saved;
+    std::string opened_at;
+  } skip;
   for (std::size_t i = 0; i < net.layers.size(); ++i) {
     const nn::LayerDesc& layer = net.layers[i];
     const std::string path =
         net.name + "/" +
         (layer.label.empty() ? "layer" + std::to_string(i) : layer.label);
-    const bool conv = layer.kind == nn::LayerKind::kConv;
+    const bool conv = layer.kind == nn::OpKind::kConv2D;
 
     bool geom_ok = layer.in_h > 0 && layer.in_w > 0 && layer.in_c > 0 &&
                    layer.out_c > 0;
@@ -296,22 +312,58 @@ core::Report check_descriptor(const nn::NetworkDesc& net,
                                  layer.out_c}
                            : Vol{1, 1, layer.out_c});
 
+    // Residual-block structure and shape rules (target-independent: both
+    // the SC graph executor and the performance model lower skips).
+    if (conv && geom_ok) {
+      if (layer.residual_proj) {
+        if (skip.open) {
+          report.add("residual-structure", Severity::kError, path,
+                     "skip projection opens a residual block while the one "
+                     "opened at " + skip.opened_at + " is still unclosed "
+                     "(nested residual blocks have no lowering)");
+        }
+        skip.open = true;
+        skip.saved = Vol{layer.out_h(), layer.out_w(), layer.out_c};
+        skip.opened_at = path;
+      } else {
+        if (!skip.open && !layer.residual && i + 1 < net.layers.size() &&
+            net.layers[i + 1].kind == nn::OpKind::kConv2D &&
+            net.layers[i + 1].residual) {
+          // Identity block: the conv before the residual closer opens it,
+          // saving its own input.
+          skip.open = true;
+          skip.saved = Vol{layer.in_h, layer.in_w, layer.in_c};
+          skip.opened_at = path;
+        }
+        if (layer.residual) {
+          if (!skip.open) {
+            report.add("residual-structure", Severity::kError, path,
+                       "residual closer without an open block (no "
+                       "preceding skip save or projection)");
+          } else {
+            if (skip.saved.h != layer.out_h() ||
+                skip.saved.w != layer.out_w() ||
+                skip.saved.c != layer.out_c) {
+              report.add("residual-shape", Severity::kError, path,
+                         "skip tensor " + std::to_string(skip.saved.h) +
+                             "x" + std::to_string(skip.saved.w) + "x" +
+                             std::to_string(skip.saved.c) + " saved at " +
+                             skip.opened_at +
+                             " does not match the block output " +
+                             std::to_string(layer.out_h()) + "x" +
+                             std::to_string(layer.out_w()) + "x" +
+                             std::to_string(layer.out_c) +
+                             " at the residual add (is the skip-path "
+                             "projection missing or mis-sized?)");
+            }
+            skip.open = false;
+          }
+        }
+      }
+    }
+
     if (!sc) {
       continue;
-    }
-    // Ops the bit-level SC simulator cannot lower.
-    if (layer.residual) {
-      report.add("sc-unsupported-op", Severity::kError, path,
-                 "residual (skip) addition: the descriptor folds the add "
-                 "into the conv, which the SC functional simulator cannot "
-                 "lower (on hardware the skip preloads the output counter)");
-    }
-    if (conv && layer.groups > 1) {
-      report.add("sc-unsupported-op", Severity::kError, path,
-                 "grouped convolution (groups=" +
-                     std::to_string(layer.groups) +
-                     ") has no SC-simulator lowering; only the "
-                     "performance model supports it");
     }
     if (!geom_ok) {
       continue;
@@ -335,7 +387,13 @@ core::Report check_descriptor(const nn::NetworkDesc& net,
     report_saturation(report, path, options, est, fan_in,
                       "estimated from the Kaiming prior E|w| = sqrt(1.5/" +
                           std::to_string(fan_in) + ") at activation prior " +
-                          fmt(options.activation_prior));
+                          fmt(options.activation_prior),
+                      Severity::kNote);
+  }
+  if (skip.open) {
+    report.add("residual-structure", Severity::kError, skip.opened_at,
+               "residual block is opened here but never closed (no later "
+               "conv carries the residual add)");
   }
   return report;
 }
@@ -462,17 +520,27 @@ core::Report check_network(nn::Network& net, std::string_view name,
     return report;
   }
   if (sc) {
+    // Binary-domain ops lower by attaching to the preceding graph node,
+    // so they cannot lead the network. Explicit nodes (skip save/project,
+    // max pool) can, in addition to the weighted openers.
     const nn::Layer::Kind k0 = net.layer(0).kind();
-    if (k0 != nn::Layer::Kind::kConv2D && k0 != nn::Layer::Kind::kDense) {
+    if (k0 == nn::Layer::Kind::kReLU ||
+        k0 == nn::Layer::Kind::kOrSaturation ||
+        k0 == nn::Layer::Kind::kAvgPool2D ||
+        k0 == nn::Layer::Kind::kBatchNorm) {
       report.add("stage-structure", Severity::kError,
                  prefix + net.layer(0).name(),
-                 "SC execution requires the network to start with a "
-                 "weighted (conv/dense) layer; " + net.layer(0).name() +
-                     " has no stream lowering as a first stage");
+                 "binary-domain layer " + net.layer(0).name() +
+                     " lowers by attaching to the preceding graph node; "
+                     "the network must start with a layer that opens one "
+                     "(conv, dense, max pool, or a skip save/projection)");
     }
   }
 
   nn::Shape shape = input_shape;
+  // Shapes riding each skip connection, keyed by the shared SkipState so
+  // save / project / add triples pair up exactly like they do at runtime.
+  std::map<const nn::SkipState*, nn::Shape> skip_shapes;
   bool shapes_ok =
       input_shape.h > 0 && input_shape.w > 0 && input_shape.c > 0;
   if (!shapes_ok) {
@@ -591,7 +659,85 @@ core::Report check_network(nn::Network& net, std::string_view name,
       shape = nn::Shape{1, 1, spec.out_features};
       continue;
     }
-    // Structural layers (pooling, ReLU, skip save/add): trust their own
+    if (layer.kind() == nn::Layer::Kind::kSkipSave) {
+      skip_shapes[static_cast<nn::SkipSave&>(layer).state().get()] = shape;
+      continue;  // identity on the main path
+    }
+    if (layer.kind() == nn::Layer::Kind::kSkipProject) {
+      auto& proj = static_cast<nn::SkipProject&>(layer);
+      const auto it = skip_shapes.find(proj.state().get());
+      if (it == skip_shapes.end()) {
+        report.add("residual-structure", Severity::kError, path,
+                   "skip projection runs before any paired skip save "
+                   "recorded a tensor");
+        shapes_ok = false;
+        break;
+      }
+      const nn::ConvSpec& pspec = proj.conv().spec();
+      if (pspec.in_channels != it->second.c) {
+        report.add("shape-mismatch", Severity::kError, path,
+                   "projection conv expects " +
+                       std::to_string(pspec.in_channels) +
+                       " input channels but the saved skip tensor has " +
+                       std::to_string(it->second.c));
+        shapes_ok = false;
+        break;
+      }
+      if (sc) {
+        check_weights(report, path, proj.conv().weights(), pspec.mode);
+        const nn::Shape pout = proj.conv().output_shape(it->second);
+        const StreamGeom g = check_stream_geometry(report, path, options.sc,
+                                                   1, pout.h, pout.w);
+        const std::size_t rf = static_cast<std::size_t>(pspec.kernel) *
+                               pspec.kernel * pspec.in_channels;
+        if (g.ok && rf > 0) {
+          const WorstPhase worst = worst_saturation(
+              proj.conv().weights(),
+              static_cast<std::size_t>(pspec.out_channels), rf, options,
+              g.seg, g.positions);
+          if (worst.any) {
+            report_saturation(
+                report, path, options, worst.est, worst.fan_in,
+                "computed from the quantized weight levels of output "
+                "channel " +
+                    std::to_string(worst.output) + "'s " +
+                    (worst.positive ? "positive" : "negative") +
+                    " phase at activation prior " +
+                    fmt(options.activation_prior));
+          }
+        }
+      }
+      it->second = proj.conv().output_shape(it->second);
+      continue;  // identity on the main path
+    }
+    if (layer.kind() == nn::Layer::Kind::kSkipAdd) {
+      auto& add = static_cast<nn::SkipAdd&>(layer);
+      const auto it = skip_shapes.find(add.state().get());
+      if (it == skip_shapes.end()) {
+        report.add("residual-structure", Severity::kError, path,
+                   "skip add runs before any paired skip save recorded a "
+                   "tensor");
+        shapes_ok = false;
+        break;
+      }
+      if (!(it->second.h == shape.h && it->second.w == shape.w &&
+            it->second.c == shape.c)) {
+        report.add("residual-shape", Severity::kError, path,
+                   "skip tensor " + std::to_string(it->second.h) + "x" +
+                       std::to_string(it->second.w) + "x" +
+                       std::to_string(it->second.c) +
+                       " does not match the block output " +
+                       std::to_string(shape.h) + "x" +
+                       std::to_string(shape.w) + "x" +
+                       std::to_string(shape.c) +
+                       " at the residual add (is the skip-path projection "
+                       "missing or mis-sized?)");
+        shapes_ok = false;
+        break;
+      }
+      continue;
+    }
+    // Structural layers (pooling, ReLU, batch norm): trust their own
     // shape rule but surface thrown mismatches as diagnostics.
     try {
       shape = layer.output_shape(shape);

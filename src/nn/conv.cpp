@@ -14,8 +14,13 @@ constexpr float kProdEps = 1e-6f;
 namespace {
 const ConvSpec& validate(const ConvSpec& spec) {
   if (spec.in_channels <= 0 || spec.out_channels <= 0 || spec.kernel <= 0 ||
-      spec.stride <= 0 || spec.padding < 0) {
+      spec.stride <= 0 || spec.padding < 0 || spec.groups <= 0) {
     throw std::invalid_argument("Conv2D: invalid spec");
+  }
+  if (spec.in_channels % spec.groups != 0 ||
+      spec.out_channels % spec.groups != 0) {
+    throw std::invalid_argument(
+        "Conv2D: groups must divide in_channels and out_channels");
   }
   return spec;
 }
@@ -24,7 +29,7 @@ const ConvSpec& validate(const ConvSpec& spec) {
 Conv2D::Conv2D(const ConvSpec& spec)
     : spec_(validate(spec)),
       weights_(static_cast<std::size_t>(spec.out_channels) * spec.kernel *
-               spec.kernel * spec.in_channels),
+               spec.kernel * (spec.in_channels / spec.groups)),
       weight_grads_(weights_.size()),
       bias_(spec.bias ? static_cast<std::size_t>(spec.out_channels) : 0),
       bias_grads_(bias_.size()) {}
@@ -33,8 +38,8 @@ std::size_t Conv2D::weight_index(int oc, int ky, int kx,
                                  int ic) const noexcept {
   return ((static_cast<std::size_t>(oc) * spec_.kernel + ky) * spec_.kernel +
           kx) *
-             spec_.in_channels +
-         ic;
+             channels_per_group() +
+         (ic - group_base(oc));
 }
 
 Shape Conv2D::output_shape(Shape input) const {
@@ -47,13 +52,14 @@ std::string Conv2D::name() const {
   return "conv" + std::to_string(spec_.kernel) + "x" +
          std::to_string(spec_.kernel) + "(" +
          std::to_string(spec_.in_channels) + "->" +
-         std::to_string(spec_.out_channels) + ")";
+         std::to_string(spec_.out_channels) +
+         (spec_.groups > 1 ? "/g" + std::to_string(spec_.groups) : "") + ")";
 }
 
 void Conv2D::initialize(std::uint32_t seed) {
   sc::XorShift32 rng(seed);
-  const float fan_in =
-      static_cast<float>(spec_.kernel) * spec_.kernel * spec_.in_channels;
+  const float fan_in = static_cast<float>(spec_.kernel) * spec_.kernel *
+                       static_cast<float>(channels_per_group());
   const float bound = std::min(1.0f, std::sqrt(6.0f / fan_in));
   for (float& w : weights_) {
     w = (static_cast<float>(rng.next_double()) * 2.0f - 1.0f) * bound;
@@ -105,6 +111,8 @@ Tensor Conv2D::forward_sum(const Tensor& input) {
     for (int ox = 0; ox < out_shape.w; ++ox) {
       for (int oc = 0; oc < out_shape.c; ++oc) {
         float acc = bias_.empty() ? 0.0f : bias_[oc];
+        const int ic0 = group_base(oc);
+        const int ic1 = ic0 + channels_per_group();
         for (int ky = 0; ky < spec_.kernel; ++ky) {
           const int iy = oy * spec_.stride + ky - spec_.padding;
           if (iy < 0 || iy >= in.h) {
@@ -115,7 +123,7 @@ Tensor Conv2D::forward_sum(const Tensor& input) {
             if (ix < 0 || ix >= in.w) {
               continue;
             }
-            for (int ic = 0; ic < in.c; ++ic) {
+            for (int ic = ic0; ic < ic1; ++ic) {
               acc += input.at(iy, ix, ic) *
                      weights_[weight_index(oc, ky, kx, ic)];
             }
@@ -143,6 +151,8 @@ Tensor Conv2D::forward_or(const Tensor& input, bool exact) {
         double s_neg = 0.0;
         double prod_pos = 1.0;
         double prod_neg = 1.0;
+        const int ic0 = group_base(oc);
+        const int ic1 = ic0 + channels_per_group();
         for (int ky = 0; ky < spec_.kernel; ++ky) {
           const int iy = oy * spec_.stride + ky - spec_.padding;
           if (iy < 0 || iy >= in.h) {
@@ -153,7 +163,7 @@ Tensor Conv2D::forward_or(const Tensor& input, bool exact) {
             if (ix < 0 || ix >= in.w) {
               continue;
             }
-            for (int ic = 0; ic < in.c; ++ic) {
+            for (int ic = ic0; ic < ic1; ++ic) {
               const float a = input.at(iy, ix, ic);
               const float w = weights_[weight_index(oc, ky, kx, ic)];
               const float term = a * std::fabs(w);
@@ -213,6 +223,8 @@ Tensor Conv2D::backward_sum(const Tensor& grad_output) {
         if (!bias_.empty()) {
           bias_grads_[oc] += g;
         }
+        const int ic0 = group_base(oc);
+        const int ic1 = ic0 + channels_per_group();
         for (int ky = 0; ky < spec_.kernel; ++ky) {
           const int iy = oy * spec_.stride + ky - spec_.padding;
           if (iy < 0 || iy >= in.h) {
@@ -223,7 +235,7 @@ Tensor Conv2D::backward_sum(const Tensor& grad_output) {
             if (ix < 0 || ix >= in.w) {
               continue;
             }
-            for (int ic = 0; ic < in.c; ++ic) {
+            for (int ic = ic0; ic < ic1; ++ic) {
               const std::size_t wi = weight_index(oc, ky, kx, ic);
               weight_grads_[wi] += g * input_.at(iy, ix, ic);
               grad_input.at(iy, ix, ic) += g * weights_[wi];
@@ -253,6 +265,8 @@ Tensor Conv2D::backward_or(const Tensor& grad_output, bool exact) {
             exact ? cached_pos : std::exp(-cached_pos);
         const float dneg =
             exact ? cached_neg : std::exp(-cached_neg);
+        const int ic0 = group_base(oc);
+        const int ic1 = ic0 + channels_per_group();
         for (int ky = 0; ky < spec_.kernel; ++ky) {
           const int iy = oy * spec_.stride + ky - spec_.padding;
           if (iy < 0 || iy >= in.h) {
@@ -263,7 +277,7 @@ Tensor Conv2D::backward_or(const Tensor& grad_output, bool exact) {
             if (ix < 0 || ix >= in.w) {
               continue;
             }
-            for (int ic = 0; ic < in.c; ++ic) {
+            for (int ic = ic0; ic < ic1; ++ic) {
               const std::size_t wi = weight_index(oc, ky, kx, ic);
               const float a = input_.at(iy, ix, ic);
               const float w = weights_[wi];

@@ -1,8 +1,11 @@
 // 2-D convolution with selectable accumulation semantics.
 //
-// Weight layout: [out_c][kh][kw][in_c] (output-channel major), matching the
-// ACOUSTIC mapping where each fabric row computes one output channel
-// (kernel) and the three sub-rows cover the kernel rows.
+// Weight layout: [out_c][kh][kw][in_c / groups] (output-channel major),
+// matching the ACOUSTIC mapping where each fabric row computes one output
+// channel (kernel) and the three sub-rows cover the kernel rows. Grouped
+// convolution (AlexNet's two-GPU split, depthwise as the in_c == groups
+// limit) restricts each output channel to its group's input-channel
+// slice; groups == 1 is the dense case.
 //
 // In kOrApprox / kOrExact modes this layer models the split-unipolar
 // OR-accumulating MAC of the accelerator: products with positive weights
@@ -25,6 +28,7 @@ struct ConvSpec {
   int kernel = 3;      ///< square kernel side
   int stride = 1;
   int padding = 0;     ///< symmetric zero padding
+  int groups = 1;      ///< grouped conv; must divide in_ and out_channels
   bool bias = false;   ///< kSum mode only; SC modes have no bias path
   AccumMode mode = AccumMode::kSum;
 };
@@ -56,9 +60,21 @@ class Conv2D final : public Layer {
   /// deterministically.
   void initialize(std::uint32_t seed);
 
-  /// Flat weight index for (out_ch, ky, kx, in_ch).
+  /// Flat weight index for (out_ch, ky, kx, in_ch). @p ic is the *global*
+  /// input channel and must lie inside @p oc's group slice
+  /// [group_base(oc), group_base(oc) + channels_per_group()).
   [[nodiscard]] std::size_t weight_index(int oc, int ky, int kx,
                                          int ic) const noexcept;
+
+  /// Input channels each output channel reads (in_channels / groups).
+  [[nodiscard]] int channels_per_group() const noexcept {
+    return spec_.in_channels / spec_.groups;
+  }
+
+  /// First input channel of @p oc's group slice.
+  [[nodiscard]] int group_base(int oc) const noexcept {
+    return (oc / (spec_.out_channels / spec_.groups)) * channels_per_group();
+  }
 
  private:
   Tensor forward_sum(const Tensor& input);

@@ -18,6 +18,7 @@
 #include <span>
 #include <string>
 
+#include "nn/op.hpp"
 #include "nn/tensor.hpp"
 
 namespace acoustic::nn {
@@ -37,17 +38,10 @@ struct ParamView {
 class Layer {
  public:
   /// Concrete layer type, for executors that dispatch on layer structure
-  /// (stage planning in the SC simulators, network cloning) without RTTI.
-  enum class Kind {
-    kConv2D,
-    kDense,
-    kAvgPool2D,
-    kMaxPool2D,
-    kReLU,
-    kOrSaturation,
-    kSkipSave,
-    kSkipAdd,
-  };
+  /// (graph lowering in the SC simulators, network cloning) without RTTI.
+  /// An alias of the unified op taxonomy (nn/op.hpp) the zoo descriptors
+  /// and the analyzers share.
+  using Kind = OpKind;
 
   virtual ~Layer() = default;
 

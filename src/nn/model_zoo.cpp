@@ -5,14 +5,14 @@
 namespace acoustic::nn {
 
 int LayerDesc::out_h() const noexcept {
-  if (kind == LayerKind::kDense) {
+  if (kind == OpKind::kDense) {
     return 1;
   }
   return (in_h + 2 * padding - kernel) / stride + 1;
 }
 
 int LayerDesc::out_w() const noexcept {
-  if (kind == LayerKind::kDense) {
+  if (kind == OpKind::kDense) {
     return 1;
   }
   return (in_w + 2 * padding - kernel) / stride + 1;
@@ -31,7 +31,7 @@ int LayerDesc::channels_per_group() const noexcept {
 }
 
 std::uint64_t LayerDesc::macs() const noexcept {
-  if (kind == LayerKind::kDense) {
+  if (kind == OpKind::kDense) {
     return static_cast<std::uint64_t>(in_c) * out_c;
   }
   return static_cast<std::uint64_t>(out_h()) * out_w() * out_c * kernel *
@@ -39,7 +39,7 @@ std::uint64_t LayerDesc::macs() const noexcept {
 }
 
 std::uint64_t LayerDesc::weight_count() const noexcept {
-  if (kind == LayerKind::kDense) {
+  if (kind == OpKind::kDense) {
     return static_cast<std::uint64_t>(in_c) * out_c;
   }
   return static_cast<std::uint64_t>(out_c) * kernel * kernel *
@@ -65,7 +65,7 @@ std::uint64_t NetworkDesc::total_macs() const noexcept {
 std::uint64_t NetworkDesc::conv_macs() const noexcept {
   std::uint64_t total = 0;
   for (const LayerDesc& l : layers) {
-    if (l.kind == LayerKind::kConv) {
+    if (l.kind == OpKind::kConv2D) {
       total += l.macs();
     }
   }
@@ -96,7 +96,7 @@ NetworkDesc NetworkDesc::conv_only() const {
   NetworkDesc out;
   out.name = name + "-conv";
   for (const LayerDesc& l : layers) {
-    if (l.kind == LayerKind::kConv) {
+    if (l.kind == OpKind::kConv2D) {
       out.layers.push_back(l);
     }
   }
@@ -108,7 +108,7 @@ namespace {
 LayerDesc conv(std::string label, int in_h, int in_w, int in_c, int kernel,
                int out_c, int stride = 1, int padding = 0, int pool = 0) {
   LayerDesc l;
-  l.kind = LayerKind::kConv;
+  l.kind = OpKind::kConv2D;
   l.label = std::move(label);
   l.in_h = in_h;
   l.in_w = in_w;
@@ -123,7 +123,7 @@ LayerDesc conv(std::string label, int in_h, int in_w, int in_c, int kernel,
 
 LayerDesc dense(std::string label, int in_features, int out_features) {
   LayerDesc l;
-  l.kind = LayerKind::kDense;
+  l.kind = OpKind::kDense;
   l.label = std::move(label);
   l.in_c = in_features;
   l.out_c = out_features;
@@ -218,31 +218,41 @@ NetworkDesc resnet18() {
       conv("conv2_1b", 56, 56, 64, 3, 64, 1, 1, 0),
       conv("conv2_2a", 56, 56, 64, 3, 64, 1, 1, 0),
       conv("conv2_2b", 56, 56, 64, 3, 64, 1, 1, 0),
-      // Stage 2: downsample to 28x28x128.
+      // Stage 2: downsample to 28x28x128. The 1x1 projection conv runs on
+      // the skip path; it precedes the block's main-path convs so a linear
+      // walk of the list emits the block in execution order.
+      conv("conv3_ds", 56, 56, 64, 1, 128, 2, 0, 0),
       conv("conv3_1a", 56, 56, 64, 3, 128, 2, 1, 0),
       conv("conv3_1b", 28, 28, 128, 3, 128, 1, 1, 0),
-      conv("conv3_ds", 56, 56, 64, 1, 128, 2, 0, 0),
       conv("conv3_2a", 28, 28, 128, 3, 128, 1, 1, 0),
       conv("conv3_2b", 28, 28, 128, 3, 128, 1, 1, 0),
       // Stage 3: downsample to 14x14x256.
+      conv("conv4_ds", 28, 28, 128, 1, 256, 2, 0, 0),
       conv("conv4_1a", 28, 28, 128, 3, 256, 2, 1, 0),
       conv("conv4_1b", 14, 14, 256, 3, 256, 1, 1, 0),
-      conv("conv4_ds", 28, 28, 128, 1, 256, 2, 0, 0),
       conv("conv4_2a", 14, 14, 256, 3, 256, 1, 1, 0),
       conv("conv4_2b", 14, 14, 256, 3, 256, 1, 1, 0),
       // Stage 4: downsample to 7x7x512.
+      conv("conv5_ds", 14, 14, 256, 1, 512, 2, 0, 0),
       conv("conv5_1a", 14, 14, 256, 3, 512, 2, 1, 0),
       conv("conv5_1b", 7, 7, 512, 3, 512, 1, 1, 0),
-      conv("conv5_ds", 14, 14, 256, 1, 512, 2, 0, 0),
       conv("conv5_2a", 7, 7, 512, 3, 512, 1, 1, 0),
       conv("conv5_2b", 7, 7, 512, 3, 512, 1, 1, 7),      // global avg pool
       dense("fc", 512, 1000),
   };
   // Every basic block's second conv receives the skip addition via
-  // counter preload.
+  // counter preload; the _ds convs are the skip-path projections and
+  // every ResNet conv is followed by batch normalization.
   for (nn::LayerDesc& l : net.layers) {
     if (!l.label.empty() && l.label.back() == 'b') {
       l.residual = true;
+    }
+    if (l.label.size() > 3 &&
+        l.label.compare(l.label.size() - 3, 3, "_ds") == 0) {
+      l.residual_proj = true;
+    }
+    if (l.kind == OpKind::kConv2D && !l.residual_proj) {
+      l.batch_norm = true;
     }
   }
   return net;

@@ -14,13 +14,17 @@
 #include <string>
 #include <vector>
 
+#include "nn/op.hpp"
+
 namespace acoustic::nn {
 
-enum class LayerKind { kConv, kDense };
-
-/// One weighted layer plus its (optional) fused pooling stage.
+/// One weighted layer plus its (optional) fused pooling stage. The kind
+/// is the unified op taxonomy (nn/op.hpp) — descriptors only use the
+/// weighted kinds (kConv2D / kDense); structural ops (pooling, skip
+/// save/add, batch-norm) are encoded as layer attributes below, mirroring
+/// how the accelerator fuses them into the weighted stages.
 struct LayerDesc {
-  LayerKind kind = LayerKind::kConv;
+  OpKind kind = OpKind::kConv2D;
   std::string label;
 
   // Input activation volume.
@@ -37,8 +41,22 @@ struct LayerDesc {
 
   /// Layer output receives a residual (skip) addition. On ACOUSTIC the
   /// skip activations preload the output counters (CNTLD, Table I), so
-  /// the add is free in the MAC fabric (III-C).
+  /// the add is free in the MAC fabric (III-C). The skip source is the
+  /// input of the block opener: the conv immediately preceding this
+  /// layer's main path (a basic block is two convs), transformed by a
+  /// residual_proj conv when one directly precedes the block.
   bool residual = false;
+
+  /// This conv is the projection (downsample) on a skip path: it
+  /// transforms the saved skip tensor of the block opened by the next
+  /// conv in the list, not the main activation path.
+  bool residual_proj = false;
+
+  /// Batch normalization follows this conv. At SC plan-build time the
+  /// scale folds into the quantized weight levels and the shift is
+  /// applied in the binary (counter) domain, so BN costs nothing in the
+  /// stream pipeline.
+  bool batch_norm = false;
 
   // Average-pooling window applied to this layer's output (0/1 = none).
   // Non-overlapping window == stride, which is what computation skipping

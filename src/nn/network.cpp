@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "nn/activation.hpp"
+#include "nn/batchnorm.hpp"
 #include "nn/conv.hpp"
 #include "nn/dense.hpp"
 #include "nn/pool.hpp"
@@ -103,6 +104,23 @@ Network Network::clone() {
         copy.add<SkipAdd>(
             cloned_state(static_cast<const SkipAdd&>(*layer).state()));
         break;
+      case Layer::Kind::kSkipProject: {
+        const auto& proj = static_cast<const SkipProject&>(*layer);
+        copy.add<SkipProject>(cloned_state(proj.state()),
+                              proj.conv().spec());
+        break;
+      }
+      case Layer::Kind::kBatchNorm: {
+        auto& bn = static_cast<BatchNorm&>(*layer);
+        auto& bn_copy = copy.add<BatchNorm>(bn.spec());
+        // mean/var are buffers, not parameters — the view copy below
+        // covers only gamma/beta.
+        std::copy(bn.mean().begin(), bn.mean().end(),
+                  bn_copy.mean().begin());
+        std::copy(bn.variance().begin(), bn.variance().end(),
+                  bn_copy.variance().begin());
+        break;
+      }
     }
   }
   const std::vector<ParamView> src = parameters();

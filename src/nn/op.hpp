@@ -1,0 +1,63 @@
+// The unified op taxonomy.
+//
+// One enum names every operation the stack knows about, shared by the
+// runtime layers (nn::Layer::kind()), the model-zoo descriptors
+// (nn::LayerDesc::kind) and every consumer that dispatches on op type:
+// the SC graph lowering (sim/op_graph), the performance-simulator mapper
+// (perf/mapping, perf/codegen) and the static analyzer (src/analysis).
+// Before this header existed the zoo kept a private two-value LayerKind
+// that silently drifted from the layer taxonomy; now there is exactly one
+// vocabulary.
+#pragma once
+
+namespace acoustic::nn {
+
+/// Every operation in the stack, descriptor-level and runtime-level.
+enum class OpKind {
+  kConv2D,        ///< 2-D convolution (optionally grouped / depthwise)
+  kDense,         ///< fully-connected
+  kAvgPool2D,     ///< average pooling (fusable into a conv SC stage)
+  kMaxPool2D,     ///< max pooling (exact, or the stochastic max circuit)
+  kBatchNorm,     ///< per-channel affine normalization (foldable into conv)
+  kReLU,          ///< rectifier
+  kOrSaturation,  ///< OR-accumulation saturation model (1 - e^{-s})
+  kSkipSave,      ///< open a skip connection: snapshot the activation
+  kSkipProject,   ///< transform the saved skip tensor (downsample conv)
+  kSkipAdd,       ///< close a skip connection: elementwise add
+};
+
+/// True for ops that own a weight tensor the SC executor streams
+/// (conv / dense / the skip-path projection conv).
+[[nodiscard]] constexpr bool is_weighted(OpKind kind) noexcept {
+  return kind == OpKind::kConv2D || kind == OpKind::kDense ||
+         kind == OpKind::kSkipProject;
+}
+
+/// Stable lower-case op name for reports and traces.
+[[nodiscard]] constexpr const char* to_string(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::kConv2D:
+      return "conv2d";
+    case OpKind::kDense:
+      return "dense";
+    case OpKind::kAvgPool2D:
+      return "avg-pool";
+    case OpKind::kMaxPool2D:
+      return "max-pool";
+    case OpKind::kBatchNorm:
+      return "batch-norm";
+    case OpKind::kReLU:
+      return "relu";
+    case OpKind::kOrSaturation:
+      return "or-saturation";
+    case OpKind::kSkipSave:
+      return "skip-save";
+    case OpKind::kSkipProject:
+      return "skip-project";
+    case OpKind::kSkipAdd:
+      return "skip-add";
+  }
+  return "unknown";
+}
+
+}  // namespace acoustic::nn

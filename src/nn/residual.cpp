@@ -29,6 +29,33 @@ Tensor SkipSave::backward(const Tensor& grad_output) {
   return combined;
 }
 
+SkipProject::SkipProject(std::shared_ptr<SkipState> state,
+                         const ConvSpec& spec)
+    : state_(std::move(state)), proj_(spec) {
+  if (state_ == nullptr) {
+    throw std::invalid_argument("SkipProject: null state");
+  }
+}
+
+Tensor SkipProject::forward(const Tensor& input) {
+  if (state_->saved.size() == 0) {
+    throw std::logic_error(
+        "SkipProject: no saved skip tensor (missing SkipSave?)");
+  }
+  state_->saved = proj_.forward(state_->saved);
+  return input;
+}
+
+Tensor SkipProject::backward(const Tensor& grad_output) {
+  // The main path passes straight through; the skip gradient the paired
+  // SkipAdd recorded flows backward through the projection conv before
+  // SkipSave folds it into the block input's gradient.
+  if (state_->grad_valid) {
+    state_->skip_grad = proj_.backward(state_->skip_grad);
+  }
+  return grad_output;
+}
+
 SkipAdd::SkipAdd(std::shared_ptr<SkipState> state)
     : state_(std::move(state)) {
   if (state_ == nullptr) {

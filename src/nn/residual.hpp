@@ -17,6 +17,7 @@
 
 #include <memory>
 
+#include "nn/conv.hpp"
 #include "nn/layer.hpp"
 
 namespace acoustic::nn {
@@ -49,6 +50,41 @@ class SkipSave final : public Layer {
 
  private:
   std::shared_ptr<SkipState> state_;
+};
+
+/// Projection conv on the skip path: transforms the tensor the paired
+/// SkipSave recorded (saved = proj(saved)) while passing its own input
+/// through unchanged. ResNet downsample blocks use a 1x1 stride-2 conv
+/// here so the skip tensor matches the block output shape at SkipAdd.
+/// Sits between the SkipSave and the block's main-path layers, so forward
+/// and backward order fall out of the ordinary linear walk.
+class SkipProject final : public Layer {
+ public:
+  SkipProject(std::shared_ptr<SkipState> state, const ConvSpec& spec);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamView> parameters() override { return proj_.parameters(); }
+  void zero_gradients() override { proj_.zero_gradients(); }
+  [[nodiscard]] Kind kind() const noexcept override {
+    return Kind::kSkipProject;
+  }
+  [[nodiscard]] Shape output_shape(Shape input) const override {
+    return input;
+  }
+  [[nodiscard]] std::string name() const override {
+    return "skip-project(" + proj_.name() + ")";
+  }
+
+  [[nodiscard]] Conv2D& conv() noexcept { return proj_; }
+  [[nodiscard]] const Conv2D& conv() const noexcept { return proj_; }
+  [[nodiscard]] const std::shared_ptr<SkipState>& state() const noexcept {
+    return state_;
+  }
+
+ private:
+  std::shared_ptr<SkipState> state_;
+  Conv2D proj_;
 };
 
 /// Adds the tensor recorded by the paired SkipSave to its input

@@ -25,7 +25,7 @@ void emit_compute(isa::Program& prog, const nn::LayerDesc& layer,
     // activations so the block's addition happens for free (CNTLD).
     prog.cnt_ld(m.cnt_store_bytes, layer.label + " skip preload");
   }
-  const isa::LoopKind loop_kind = layer.kind == nn::LayerKind::kConv
+  const isa::LoopKind loop_kind = layer.kind == nn::OpKind::kConv2D
                                       ? isa::LoopKind::kKernel
                                       : isa::LoopKind::kRow;
   prog.loop_begin(loop_kind, static_cast<std::uint32_t>(m.passes),
@@ -34,7 +34,7 @@ void emit_compute(isa::Program& prog, const nn::LayerDesc& layer,
                static_cast<std::uint64_t>(arch.sng_load_lanes));
   prog.wgt_rng(m.wgt_rng_cycles_per_pass *
                static_cast<std::uint64_t>(arch.sng_load_lanes));
-  if (layer.kind == nn::LayerKind::kConv && layer.padding > 0) {
+  if (layer.kind == nn::OpKind::kConv2D && layer.padding > 0) {
     // Edge padding: the shared shifting fabric realigns the weight SNG
     // buffers instead of reloading them (III-B "low-overhead shifting
     // fabric"); one shift step per padding column.

@@ -173,7 +173,7 @@ LayerMapping map_dense(const nn::LayerDesc& l, const ArchConfig& a) {
 
 LayerMapping map_layer(const nn::LayerDesc& layer, const ArchConfig& arch,
                        bool first_layer, bool last_layer) {
-  LayerMapping m = layer.kind == nn::LayerKind::kConv ? map_conv(layer, arch)
+  LayerMapping m = layer.kind == nn::OpKind::kConv2D ? map_conv(layer, arch)
                                                       : map_dense(layer, arch);
   // Weight traffic: every layer's weights come from DRAM once (streamed
   // continuously when they exceed the weight memory — same total bytes,

@@ -124,6 +124,16 @@ struct KernelTable {
   /// chain folds its counter read into the same pass.
   std::uint64_t (*and_or_popcount)(std::uint64_t* acc, const std::uint64_t* a,
                                    const std::uint64_t* b, std::size_t n);
+
+  /// Bit-serial stochastic maximum FSM over @p n_bits stream bits: with a
+  /// running counter c starting at 0, bit t of @p out is a_t when c > 0
+  /// and b_t otherwise, then c += a_t - b_t. The counter makes the op
+  /// inherently sequential, so every level registers the same scalar body
+  /// — bit-identity across SIMD levels is structural, not tested luck.
+  /// @p out may alias @p a (each word is read before it is written);
+  /// tail bits beyond n_bits are written as zero in the last word.
+  void (*max_stream)(std::uint64_t* out, const std::uint64_t* a,
+                     const std::uint64_t* b, std::size_t n_bits);
 };
 
 /// The table for @p level. Always safe to CALL table_for(kScalar); other

@@ -143,6 +143,7 @@ const KernelTable& avx2_table() noexcept {
       &generic_xnor_words,
       &avx2_popcount_words,
       &avx2_and_or_popcount,
+      &generic_max_stream,
   };
   return table;
 }

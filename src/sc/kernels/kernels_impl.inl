@@ -96,3 +96,26 @@ inline std::uint64_t generic_and_or_popcount(std::uint64_t* acc,
   }
   return total;
 }
+
+inline void generic_max_stream(std::uint64_t* out, const std::uint64_t* a,
+                               const std::uint64_t* b, std::size_t n_bits) {
+  // The counter carries state across every bit, so the loop is sequential
+  // by construction; out may alias a because each word is consumed before
+  // its output word is stored.
+  std::int64_t c = 0;
+  std::size_t bit = 0;
+  for (std::size_t w = 0; bit < n_bits; ++w) {
+    const std::uint64_t aw = a[w];
+    const std::uint64_t bw = b[w];
+    const std::size_t chunk = std::min<std::size_t>(64, n_bits - bit);
+    std::uint64_t ow = 0;
+    for (std::size_t t = 0; t < chunk; ++t) {
+      const std::int64_t ab = static_cast<std::int64_t>((aw >> t) & 1u);
+      const std::int64_t bb = static_cast<std::int64_t>((bw >> t) & 1u);
+      ow |= static_cast<std::uint64_t>(c > 0 ? ab : bb) << t;
+      c += ab - bb;
+    }
+    out[w] = ow;
+    bit += chunk;
+  }
+}

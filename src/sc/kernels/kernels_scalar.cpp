@@ -27,6 +27,7 @@ const KernelTable& scalar_table() noexcept {
       &generic_xnor_words,
       &generic_popcount_words,
       &generic_and_or_popcount,
+      &generic_max_stream,
   };
   return table;
 }

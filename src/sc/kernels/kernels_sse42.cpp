@@ -110,6 +110,7 @@ const KernelTable& sse42_table() noexcept {
       &generic_xnor_words,
       &sse42_popcount_words,
       &sse42_and_or_popcount,
+      &generic_max_stream,
   };
   return table;
 }

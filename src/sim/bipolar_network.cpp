@@ -23,29 +23,65 @@ BipolarNetwork::BipolarNetwork(nn::Network& net, BipolarConfig cfg)
   if (cfg_.stream_length == 0) {
     throw std::invalid_argument("BipolarNetwork: stream_length must be > 0");
   }
-  stages_ = plan_stages(net, /*fuse_avg_pool=*/false, "BipolarNetwork");
+  LowerOptions lopt;  // no fusion/folding: the MUX baseline runs them binary
+  ops_ = lower_graph(net, lopt, "BipolarNetwork");
 }
 
 nn::Tensor BipolarNetwork::forward(const nn::Tensor& input) {
   nn::Tensor x = input;
-  for (std::size_t s = 0; s < stages_.size(); ++s) {
-    const Stage& stage = stages_[s];
-    obs::Span span(profiler_,
-                   stage.conv != nullptr ? stage.conv->name()
-                                         : stage.dense->name(),
-                   "layer", track_, static_cast<std::uint32_t>(s));
-    span.kind(stage.conv != nullptr ? "conv" : "dense");
-    x = stage.conv != nullptr ? run_conv(stage, x) : run_dense(stage, x);
-    for (nn::Layer* post : stage.post_ops) {
+  for (std::size_t s = 0; s < ops_.size(); ++s) {
+    const LoweredOp& op = ops_[s];
+    obs::Span span(profiler_, op.layer->name(), "layer", track_,
+                   static_cast<std::uint32_t>(s));
+    switch (op.kind) {
+      case nn::OpKind::kConv2D:
+        span.kind("conv");
+        x = run_conv(op, x);
+        break;
+      case nn::OpKind::kDense:
+        span.kind("dense");
+        x = run_dense(op, x);
+        break;
+      case nn::OpKind::kSkipSave:
+        span.kind("skip-save");
+        op.skip->saved = x;
+        break;
+      case nn::OpKind::kSkipProject:
+        span.kind("skip-project");
+        if (op.skip->saved.size() == 0) {
+          throw std::logic_error(
+              "BipolarNetwork: skip projection before any skip save");
+        }
+        op.skip->saved = run_conv(op, op.skip->saved);
+        break;
+      case nn::OpKind::kSkipAdd: {
+        span.kind("skip-add");
+        const nn::Tensor& saved = op.skip->saved;
+        if (!(saved.shape() == x.shape())) {
+          throw std::invalid_argument(
+              "BipolarNetwork: skip-add shape mismatch (is the skip-path "
+              "projection missing?)");
+        }
+        for (std::size_t i = 0; i < x.size(); ++i) {
+          x[i] += saved[i];
+        }
+        break;
+      }
+      default:
+        span.kind("binary");
+        x = op.layer->forward(x);
+        break;
+    }
+    for (nn::Layer* post : op.post_ops) {
       x = post->forward(x);
     }
   }
   return x;
 }
 
-nn::Tensor BipolarNetwork::run_conv(const Stage& stage,
+nn::Tensor BipolarNetwork::run_conv(const LoweredOp& op,
                                     const nn::Tensor& input) {
-  const nn::Conv2D& conv = *stage.conv;
+  const nn::Conv2D& conv = *op.conv;
   const auto& spec = conv.spec();
   const nn::Shape in = input.shape();
   const nn::Shape out_shape = conv.output_shape(in);
@@ -70,19 +106,30 @@ nn::Tensor BipolarNetwork::run_conv(const Stage& stage,
     wgt_levels[i] = bipolar_level(wgt_bank, weights[i]);
   }
 
-  const std::size_t rf_max =
-      static_cast<std::size_t>(spec.kernel) * spec.kernel * spec.in_channels;
+  // Grouped geometry: each output channel's MUX fan-in covers only its
+  // group's input channels, and the weight tensor is packed per group.
+  // groups == 1 degenerates to the classic dense receptive field.
+  const std::size_t n_groups = static_cast<std::size_t>(spec.groups);
+  const std::size_t cpg = static_cast<std::size_t>(spec.in_channels) / n_groups;
+  const std::size_t oc_per_group =
+      static_cast<std::size_t>(spec.out_channels) / n_groups;
+  const std::size_t w_per_oc =
+      static_cast<std::size_t>(spec.kernel) * spec.kernel * cpg;
   nn::Tensor out(out_shape);
 
-  // Gather RF membership once per output position; the MUX picks one live
-  // product per cycle (scaled addition), XNOR computes bipolar products.
-  std::vector<std::size_t> rf_act(rf_max);
-  std::vector<std::size_t> rf_wgt(rf_max);
+  // Gather RF membership once per output position (per group); the MUX
+  // picks one live product per cycle (scaled addition), XNOR computes
+  // bipolar products. rf_wgt holds the within-output-channel weight slot.
+  std::vector<std::vector<std::size_t>> rf_act(n_groups);
+  std::vector<std::vector<std::size_t>> rf_wgt(n_groups);
   sc::XorShift32 select(cfg_.select_seed);
 
   for (int oy = 0; oy < out_shape.h; ++oy) {
     for (int ox = 0; ox < out_shape.w; ++ox) {
-      std::size_t rf_size = 0;
+      for (std::size_t g = 0; g < n_groups; ++g) {
+        rf_act[g].clear();
+        rf_wgt[g].clear();
+      }
       for (int ky = 0; ky < spec.kernel; ++ky) {
         const int iy = oy * spec.stride + ky - spec.padding;
         for (int kx = 0; kx < spec.kernel; ++kx) {
@@ -93,23 +140,28 @@ nn::Tensor BipolarNetwork::run_conv(const Stage& stage,
               // baseline than feeding it half-probability zero streams).
               continue;
             }
-            rf_act[rf_size] = input.index(iy, ix, ic);
-            rf_wgt[rf_size] =
-                (static_cast<std::size_t>(ky) * spec.kernel + kx) *
-                    spec.in_channels +
-                static_cast<std::size_t>(ic);
-            ++rf_size;
+            const std::size_t g = static_cast<std::size_t>(ic) / cpg;
+            rf_act[g].push_back(input.index(iy, ix, ic));
+            rf_wgt[g].push_back(
+                (static_cast<std::size_t>(ky) * spec.kernel + kx) * cpg +
+                (static_cast<std::size_t>(ic) - g * cpg));
           }
         }
       }
       for (int oc = 0; oc < out_shape.c; ++oc) {
+        const std::size_t g = static_cast<std::size_t>(oc) / oc_per_group;
+        const std::size_t rf_size = rf_act[g].size();
+        if (rf_size == 0) {
+          out.at(oy, ox, oc) = 0.0f;
+          continue;
+        }
         std::int64_t ones = 0;
         for (std::size_t t = 0; t < len; ++t) {
           const std::size_t pick =
               static_cast<std::size_t>(select.next()) % rf_size;
-          const std::size_t ai = rf_act[pick];
+          const std::size_t ai = rf_act[g][pick];
           const std::size_t wi =
-              static_cast<std::size_t>(oc) * rf_max + rf_wgt[pick];
+              static_cast<std::size_t>(oc) * w_per_oc + rf_wgt[g][pick];
           const bool a_bit =
               act_bank.scramble(act_bank.state_at(t, ai), ai) <
               act_levels[ai];
@@ -129,9 +181,9 @@ nn::Tensor BipolarNetwork::run_conv(const Stage& stage,
   return out;
 }
 
-nn::Tensor BipolarNetwork::run_dense(const Stage& stage,
+nn::Tensor BipolarNetwork::run_dense(const LoweredOp& op,
                                      const nn::Tensor& input) {
-  const nn::Dense& dense = *stage.dense;
+  const nn::Dense& dense = *op.dense;
   const auto& spec = dense.spec();
   if (static_cast<int>(input.size()) != spec.in_features) {
     throw std::invalid_argument("BipolarNetwork: dense feature mismatch");

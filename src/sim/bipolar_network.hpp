@@ -12,7 +12,10 @@
 //
 // Per-layer binary conversion and stream regeneration are kept identical
 // to ScNetwork so the comparison isolates the representation+accumulation
-// choice.
+// choice. The network is lowered through the same op-graph registry
+// (sim/op_graph.hpp) with folding/fusion disabled: BatchNorm and average
+// pooling run as binary post-ops, max pooling and residual skips execute
+// as explicit graph nodes.
 #pragma once
 
 #include <cstdint>
@@ -21,8 +24,8 @@
 #include "nn/dense.hpp"
 #include "nn/network.hpp"
 #include "obs/span.hpp"
+#include "sim/op_graph.hpp"
 #include "sim/sc_config.hpp"
-#include "sim/stage_plan.hpp"
 
 namespace acoustic::sim {
 
@@ -55,14 +58,14 @@ class BipolarNetwork {
   }
 
  private:
-  [[nodiscard]] nn::Tensor run_conv(const Stage& stage,
+  [[nodiscard]] nn::Tensor run_conv(const LoweredOp& op,
                                     const nn::Tensor& input);
-  [[nodiscard]] nn::Tensor run_dense(const Stage& stage,
+  [[nodiscard]] nn::Tensor run_dense(const LoweredOp& op,
                                      const nn::Tensor& input);
 
   nn::Network* net_;
   BipolarConfig cfg_;
-  std::vector<Stage> stages_;
+  std::vector<LoweredOp> ops_;
   obs::Profiler* profiler_ = nullptr;
   std::uint32_t track_ = 0;
 };

@@ -1,0 +1,102 @@
+// Op-graph lowering for the bit-level executors (DESIGN.md section 15).
+//
+// Both ScNetwork and BipolarNetwork execute a network as a sequence of
+// lowered ops. Lowering walks the layer list once and dispatches each
+// nn::OpKind to a per-op lowering hook; a hook consumes one or more layers
+// and appends LoweredOp nodes:
+//
+//   - kConv2D opens a weighted node. Under LowerOptions::fold_batch_norm a
+//     BatchNorm directly following the conv is absorbed into the node (its
+//     scale folds into the conv's weight levels at plan-build time, its
+//     shift is applied post-counter in the binary domain). Under
+//     fuse_avg_pool an AvgPool2D directly following is recorded as the
+//     node's computation-skipping fused pool (paper II-C).
+//   - kDense opens a weighted node.
+//   - kSkipSave / kSkipAdd / kSkipProject become explicit nodes carrying
+//     their shared SkipState, so residual topologies (identity blocks and
+//     projection downsamples) execute through the ordinary walk without
+//     executor special-casing. kSkipProject is a weighted node: its
+//     projection conv runs on the saved skip tensor.
+//   - kMaxPool2D becomes its own node; the executor picks exact binary max
+//     or the stochastic max FSM per its MaxPoolMode policy.
+//   - Everything else (ReLU, OrSaturation, an unfused AvgPool2D, an
+//     unfolded BatchNorm) attaches to the previous node's binary-domain
+//     post-op list.
+//
+// The hook registry is exposed (lowering_hook) so tests can assert the
+// dispatch table is total over nn::OpKind and DESIGN.md's contract stays
+// executable documentation.
+#pragma once
+
+#include <vector>
+
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/network.hpp"
+#include "nn/op.hpp"
+#include "nn/pool.hpp"
+#include "nn/residual.hpp"
+
+namespace acoustic::sim {
+
+/// One executable node of the lowered graph.
+struct LoweredOp {
+  nn::OpKind kind = nn::OpKind::kConv2D;  ///< executor dispatch key
+  nn::Layer* layer = nullptr;  ///< defining layer (names, binary fallback)
+  nn::Conv2D* conv = nullptr;  ///< kConv2D, or kSkipProject's projection
+  nn::Dense* dense = nullptr;  ///< kDense
+  nn::BatchNorm* bn = nullptr;  ///< folded into the conv's weight levels
+  nn::AvgPool2D* fused_pool = nullptr;  ///< skipping-fused average pool
+  nn::MaxPool2D* max_pool = nullptr;    ///< kMaxPool2D
+  nn::SkipState* skip = nullptr;  ///< kSkipSave / kSkipAdd / kSkipProject
+  std::vector<nn::Layer*> post_ops;  ///< run in the binary domain
+
+  /// Weighted nodes run the stochastic datapath and own per-stage plans.
+  [[nodiscard]] bool weighted() const noexcept {
+    return conv != nullptr || dense != nullptr;
+  }
+};
+
+struct LowerOptions {
+  /// Record an AvgPool2D directly following a conv as the node's fused
+  /// pool (computation skipping). Whether the window actually tiles the
+  /// conv output is a runtime property of the input shape; the executor
+  /// falls back to binary-domain pooling when it does not.
+  bool fuse_avg_pool = false;
+  /// Absorb a BatchNorm directly following a conv into the conv node.
+  bool fold_batch_norm = false;
+};
+
+/// Cursor state a lowering hook advances: the hook for net.layer(i)'s kind
+/// consumes at least that layer (++i) and may look ahead to absorb more.
+struct LowerCtx {
+  nn::Network* net;
+  const LowerOptions* opt;
+  const char* who;
+  std::vector<LoweredOp>* ops;
+  std::size_t i = 0;
+
+  /// Layer @p ahead positions past the cursor, or nullptr past the end.
+  [[nodiscard]] nn::Layer* peek(std::size_t ahead = 0) const {
+    const std::size_t j = i + ahead;
+    return j < net->layer_count() ? &net->layer(j) : nullptr;
+  }
+};
+
+/// A hook lowers the layer at ctx.i (whose kind() selected it) and leaves
+/// ctx.i on the first unconsumed layer.
+using LowerHook = void (*)(LowerCtx& ctx);
+
+/// The registry entry for @p kind. Total over nn::OpKind — every kind has
+/// a hook, which is what "the zoo runs end to end" means structurally.
+[[nodiscard]] LowerHook lowering_hook(nn::OpKind kind) noexcept;
+
+/// Lowers @p net into the executable op graph. Throws
+/// std::invalid_argument (prefixed with @p who) if a binary-domain layer
+/// appears before any node exists to attach it to.
+[[nodiscard]] std::vector<LoweredOp> lower_graph(nn::Network& net,
+                                                 const LowerOptions& opt,
+                                                 const char* who);
+
+}  // namespace acoustic::sim

@@ -22,6 +22,20 @@ enum class ExecMode {
   kPlanned,
 };
 
+/// How MaxPool2D layers execute in the SC simulator.
+enum class MaxPoolMode {
+  /// Exact binary-domain max. The inter-layer binary conversion already
+  /// exists (streams are regenerated per layer), so an exact max between
+  /// conversions models a max unit in the binary datapath. The default.
+  kExact,
+  /// Bit-serial stochastic maximum FSM over the regenerated activation
+  /// streams (the counter-based max circuit: output selects the stream
+  /// whose running ones-count leads). ~2x the cost of average pooling in
+  /// hardware (paper II-C) and only approximate — provided so the
+  /// max-vs-avg accuracy observation can be reproduced end to end.
+  kStochastic,
+};
+
 /// How pooling layers execute in the stochastic domain.
 enum class PoolingMode {
   /// Computation skipping (paper II-C): each output in a p x p window is
@@ -48,6 +62,10 @@ struct ScConfig {
   std::uint32_t weight_seed = 0xbeef;
 
   PoolingMode pooling = PoolingMode::kSkipping;
+
+  /// Execution policy for MaxPool2D layers (independent of `pooling`,
+  /// which selects how *average* pooling fuses into the conv stream).
+  MaxPoolMode max_pool = MaxPoolMode::kExact;
 
   /// Per-lane decorrelation of the shared SNG RNGs (scrambler + phase
   /// taps). Disable only to reproduce the naive-sharing failure mode.

@@ -28,13 +28,19 @@ std::int64_t popcount_acc(const std::uint64_t* words, std::size_t count) {
 }
 
 /// Geometry of one conv(+fused pool) stage: output shapes, the pooling
-/// window's segment timetable and the receptive-field extent. Shared by
-/// the scalar and planned executors so the two paths cannot drift.
+/// window's segment timetable, the receptive-field extent and the grouped
+/// weight mapping. Shared by the scalar and planned executors so the two
+/// paths cannot drift.
 struct ConvGeometry {
   nn::Shape in;
   nn::Shape conv_out;
   nn::Shape out_shape;
   int pool = 1;
+  /// False when the node carries a fused pool whose window does not tile
+  /// this input's conv output: the conv then runs unfused and the caller
+  /// applies the pool in the binary domain (floor-cropping, exactly what
+  /// AvgPool2D::forward computes).
+  bool fused = true;
   std::size_t window_positions = 1;
   std::size_t seg = 0;
   std::size_t seg_words = 0;
@@ -42,21 +48,30 @@ struct ConvGeometry {
   /// divide evenly by the window size; hardware rounds the slice down the
   /// same way).
   double counted_bits = 0.0;
+  /// Receptive-field slot count: kernel^2 * in_channels, the full gather
+  /// extent regardless of grouping (cross-group slots simply map to no
+  /// weight).
   std::size_t rf_max = 0;
+  std::size_t in_c = 0;          ///< input channels
+  std::size_t cpg = 0;           ///< input channels per group
+  std::size_t oc_per_group = 0;  ///< output channels per group
+  std::size_t w_per_oc = 0;      ///< weights per output channel (k*k*cpg)
 };
 
-ConvGeometry conv_geometry(const Stage& stage, const nn::Tensor& input,
+ConvGeometry conv_geometry(const LoweredOp& op, const nn::Tensor& input,
                            std::size_t phase) {
-  const nn::Conv2D& conv = *stage.conv;
+  const nn::Conv2D& conv = *op.conv;
   const auto& spec = conv.spec();
   ConvGeometry g;
   g.in = input.shape();
   g.conv_out = conv.output_shape(g.in);
-  g.pool = stage.fused_pool != nullptr ? stage.fused_pool->window() : 1;
+  g.pool = op.fused_pool != nullptr ? op.fused_pool->window() : 1;
   if (g.pool > 1 &&
       (g.conv_out.h % g.pool != 0 || g.conv_out.w % g.pool != 0)) {
-    throw std::invalid_argument(
-        "ScNetwork: fused pooling window must tile the conv output");
+    // Untiled window (e.g. AlexNet's 55x55 -> pool 2): fall back to
+    // binary-domain cropped pooling instead of refusing the network.
+    g.pool = 1;
+    g.fused = false;
   }
   g.window_positions = static_cast<std::size_t>(g.pool) * g.pool;
   g.seg = phase / g.window_positions;
@@ -68,9 +83,62 @@ ConvGeometry conv_geometry(const Stage& stage, const nn::Tensor& input,
   g.counted_bits = static_cast<double>(g.seg * g.window_positions);
   g.out_shape =
       nn::Shape{g.conv_out.h / g.pool, g.conv_out.w / g.pool, g.conv_out.c};
-  g.rf_max =
-      static_cast<std::size_t>(spec.kernel) * spec.kernel * spec.in_channels;
+  g.in_c = static_cast<std::size_t>(spec.in_channels);
+  g.rf_max = static_cast<std::size_t>(spec.kernel) * spec.kernel * g.in_c;
+  g.cpg = static_cast<std::size_t>(spec.in_channels / spec.groups);
+  g.oc_per_group = static_cast<std::size_t>(spec.out_channels / spec.groups);
+  g.w_per_oc =
+      static_cast<std::size_t>(spec.kernel) * spec.kernel * g.cpg;
   return g;
+}
+
+inline constexpr std::size_t kNoWeight = static_cast<std::size_t>(-1);
+
+/// Weight index of (output channel, receptive-field slot), or kNoWeight
+/// when the slot's input channel lies outside oc's group (grouped conv:
+/// that product does not exist — neither computed nor operand-gated).
+/// Degenerates to oc * rf_max + slot exactly when groups == 1.
+inline std::size_t weight_slot(const ConvGeometry& g, std::size_t oc,
+                               std::size_t slot) noexcept {
+  const std::size_t ic = slot % g.in_c;
+  const std::size_t rel = ic - (oc / g.oc_per_group) * g.cpg;
+  if (rel >= g.cpg) {  // unsigned wrap also catches ic < group base
+    return kNoWeight;
+  }
+  return oc * g.w_per_oc + (slot / g.in_c) * g.cpg + rel;
+}
+
+/// Folds an absorbed BatchNorm's per-channel scale into the conv weights
+/// (w' = w * scale(oc)); the shift is applied post-counter instead. The
+/// folded floats feed quantization AND sign classification, so a negative
+/// scale flips the product's phase exactly as the algebra demands.
+void fold_bn_weights(const nn::Conv2D& conv, const nn::BatchNorm& bn,
+                     std::vector<float>& out) {
+  const auto w = conv.weights();
+  const auto& spec = conv.spec();
+  const std::size_t per_oc = static_cast<std::size_t>(spec.kernel) *
+                             spec.kernel *
+                             static_cast<std::size_t>(spec.in_channels /
+                                                      spec.groups);
+  out.resize(w.size());
+  for (int oc = 0; oc < spec.out_channels; ++oc) {
+    const float s = bn.scale(oc);
+    const std::size_t base = static_cast<std::size_t>(oc) * per_oc;
+    for (std::size_t j = 0; j < per_oc; ++j) {
+      out[base + j] = w[base + j] * s;
+    }
+  }
+}
+
+/// The float weights a conv node's stochastic datapath sees: the live conv
+/// weights, or the BN-folded copy staged in @p scratch.
+std::span<const float> node_weights(const LoweredOp& op,
+                                    std::vector<float>& scratch) {
+  if (op.bn == nullptr) {
+    return op.conv->weights();
+  }
+  fold_bn_weights(*op.conv, *op.bn, scratch);
+  return scratch;
 }
 
 /// Gathers the receptive field of conv output (oy, ox): slot s maps to an
@@ -146,12 +214,16 @@ ScNetwork::ScNetwork(nn::Network& net, ScConfig cfg,
   if (cfg_.phase_length() == 0) {
     throw std::invalid_argument("ScNetwork: stream_length must be >= 2");
   }
-  stages_ = plan_stages(net, cfg_.pooling == PoolingMode::kSkipping,
-                        "ScNetwork");
-  stage_scratch_.resize(stages_.size());
+  LowerOptions lopt;
+  lopt.fuse_avg_pool = cfg_.pooling == PoolingMode::kSkipping;
+  // Both exec modes fold: the scalar oracle quantizes the same folded
+  // weights, so planned == scalar stays byte-exact with BatchNorm present.
+  lopt.fold_batch_norm = true;
+  ops_ = lower_graph(net, lopt, "ScNetwork");
+  stage_scratch_.resize(ops_.size());
   wgt_plans_ = shared != nullptr
                    ? std::move(shared)
-                   : std::make_shared<WeightPlanStore>(cfg_, stages_.size());
+                   : std::make_shared<WeightPlanStore>(cfg_, ops_.size());
 }
 
 runtime::ThreadPool* ScNetwork::intra_pool(std::size_t work_words) {
@@ -233,46 +305,128 @@ void ScNetwork::forward_into(const nn::Tensor& input, nn::Tensor& out) {
   const auto flip = [&]() -> nn::Tensor& {
     return cur_buf == &buf_a_ ? buf_b_ : buf_a_;
   };
+  // A node that mutates the activation in place (skip-add) needs a
+  // writable buffer; the external input is read-only, so copy-on-first-
+  // write into the ping-pong pair.
+  const auto writable = [&]() -> nn::Tensor& {
+    if (cur_buf == nullptr) {
+      nn::Tensor& dst = flip();
+      dst = *cur;
+      cur_buf = &dst;
+      cur = cur_buf;
+    }
+    return *cur_buf;
+  };
   const bool profiled = profiler_ != nullptr;
-  for (std::size_t s = 0; s < stages_.size(); ++s) {
-    const Stage& stage = stages_[s];
-    // The span covers the weighted layer AND its binary-domain post-ops,
-    // so the per-layer profile sums to (almost exactly) the forward wall
-    // time; counters carry the stage's contribution alone. Name/counter
-    // strings are only built when a profiler is attached — the unprofiled
-    // hot path must not allocate.
-    obs::Span span(profiler_,
-                   profiled ? (stage.conv != nullptr ? stage.conv->name()
-                                                     : stage.dense->name())
-                            : std::string(),
+  for (std::size_t s = 0; s < ops_.size(); ++s) {
+    const LoweredOp& op = ops_[s];
+    // The span covers the node AND its binary-domain post-ops, so the
+    // per-layer profile sums to (almost exactly) the forward wall time;
+    // counters carry the node's contribution alone. Name/counter strings
+    // are only built when a profiler is attached — the unprofiled hot
+    // path must not allocate.
+    obs::Span span(profiler_, profiled ? op.layer->name() : std::string(),
                    profiled ? std::string("layer") : std::string(), track_,
                    static_cast<std::uint32_t>(s));
     if (profiled) {
-      span.kind(stage.conv != nullptr
-                    ? (stage.fused_pool != nullptr ? "conv+pool" : "conv")
-                    : "dense");
+      switch (op.kind) {
+        case nn::OpKind::kConv2D:
+          span.kind(op.fused_pool != nullptr ? "conv+pool" : "conv");
+          break;
+        case nn::OpKind::kDense:
+          span.kind("dense");
+          break;
+        case nn::OpKind::kSkipProject:
+          span.kind("skip-project");
+          break;
+        case nn::OpKind::kSkipSave:
+          span.kind("skip-save");
+          break;
+        case nn::OpKind::kSkipAdd:
+          span.kind("skip-add");
+          break;
+        case nn::OpKind::kMaxPool2D:
+          span.kind("max-pool");
+          break;
+        default:
+          span.kind(::acoustic::nn::to_string(op.kind));
+          break;
+      }
     }
     const Stats before = run;
-    nn::Tensor& dst = flip();
-    if (stage.conv != nullptr) {
-      run_conv(stage, s, *cur, dst, run);
-    } else {
-      run_dense(stage, s, *cur, dst, run);
+    switch (op.kind) {
+      case nn::OpKind::kConv2D: {
+        nn::Tensor& dst = flip();
+        run_conv(op, s, *cur, dst, run);
+        cur_buf = &dst;
+        cur = cur_buf;
+        ++run.layers_run;
+        break;
+      }
+      case nn::OpKind::kDense: {
+        nn::Tensor& dst = flip();
+        run_dense(op, s, *cur, dst, run);
+        cur_buf = &dst;
+        cur = cur_buf;
+        ++run.layers_run;
+        break;
+      }
+      case nn::OpKind::kSkipProject:
+        // Transforms the saved skip tensor; the main path passes through.
+        run_skip_project(op, s, run);
+        ++run.layers_run;
+        break;
+      case nn::OpKind::kSkipSave:
+        op.skip->saved = *cur;
+        break;
+      case nn::OpKind::kSkipAdd: {
+        nn::Tensor& acc = writable();
+        const nn::Tensor& saved = op.skip->saved;
+        if (!(saved.shape() == acc.shape())) {
+          throw std::invalid_argument(
+              "ScNetwork: skip-add shape mismatch (is the skip-path "
+              "projection missing?)");
+        }
+        // Counter-preload semantics in the binary domain: out = block + x.
+        for (std::size_t i = 0; i < acc.size(); ++i) {
+          acc[i] += saved[i];
+        }
+        break;
+      }
+      case nn::OpKind::kMaxPool2D: {
+        nn::Tensor& dst = flip();
+        if (cfg_.max_pool == MaxPoolMode::kStochastic) {
+          run_max_pool_sc(op, *cur, dst, run);
+        } else {
+          dst = op.max_pool->forward(*cur);
+        }
+        cur_buf = &dst;
+        cur = cur_buf;
+        break;
+      }
+      default:
+        // Lowering emits no other node kinds (binary-domain layers become
+        // post-ops); run the layer as a defensive fallback.
+        {
+          nn::Tensor& dst = flip();
+          dst = op.layer->forward(*cur);
+          cur_buf = &dst;
+          cur = cur_buf;
+        }
+        break;
     }
-    cur_buf = &dst;
-    cur = cur_buf;
-    for (nn::Layer* post : stage.post_ops) {
+    for (nn::Layer* post : op.post_ops) {
       // Shape-preserving post-ops (ReLU) run in place; the rest (e.g. a
       // non-fused pooling layer) take the allocating fallback.
-      if (post->forward_in_place(*cur_buf)) {
+      nn::Tensor& acc = writable();
+      if (post->forward_in_place(acc)) {
         continue;
       }
       nn::Tensor& next = flip();
-      next = post->forward(*cur_buf);
+      next = post->forward(acc);
       cur_buf = &next;
       cur = cur_buf;
     }
-    ++run.layers_run;
     if (profiled) {
       span.counter("product_bits", run.product_bits - before.product_bits);
       span.counter("skipped_operands",
@@ -288,25 +442,49 @@ void ScNetwork::forward_into(const nn::Tensor& input, nn::Tensor& out) {
   out = *cur;
 }
 
-void ScNetwork::run_conv(const Stage& stage, std::size_t stage_idx,
+void ScNetwork::run_conv(const LoweredOp& op, std::size_t op_idx,
                          const nn::Tensor& input, nn::Tensor& out,
                          Stats& run) {
   if (cfg_.exec == ExecMode::kScalar) {
-    run_conv_scalar(stage, input, out, run);
+    run_conv_scalar(op, input, out, run);
   } else {
-    run_conv_planned(stage, stage_idx, input, out, run);
+    run_conv_planned(op, op_idx, input, out, run);
   }
+  // A fused pool whose window does not tile this conv output ran unfused
+  // (ConvGeometry::fused == false); finish it in the binary domain, where
+  // AvgPool2D floor-crops the ragged border exactly like the descriptor
+  // arithmetic does.
+  if (op.fused_pool != nullptr) {
+    const nn::Shape co = op.conv->output_shape(input.shape());
+    const int p = op.fused_pool->window();
+    if (co.h % p != 0 || co.w % p != 0) {
+      out = op.fused_pool->forward(out);
+    }
+  }
+}
+
+void ScNetwork::run_skip_project(const LoweredOp& op, std::size_t op_idx,
+                                 Stats& run) {
+  nn::SkipState& state = *op.skip;
+  if (state.saved.size() == 0) {
+    throw std::logic_error(
+        "ScNetwork: skip-project before any skip-save recorded a tensor");
+  }
+  run_conv(op, op_idx, state.saved, skip_buf_, run);
+  // Swap rather than copy: saved takes the projected tensor, skip_buf_
+  // keeps the old capacity for the next block.
+  std::swap(state.saved, skip_buf_);
 }
 
 // Reference scalar path (the seed implementation): regenerates every
 // stream segment at its point of use. Kept verbatim as the equivalence
 // oracle for the planned path below.
-void ScNetwork::run_conv_scalar(const Stage& stage, const nn::Tensor& input,
+void ScNetwork::run_conv_scalar(const LoweredOp& op, const nn::Tensor& input,
                                 nn::Tensor& out, Stats& run) {
-  const nn::Conv2D& conv = *stage.conv;
+  const nn::Conv2D& conv = *op.conv;
   const auto& spec = conv.spec();
   const std::size_t phase = cfg_.phase_length();
-  const ConvGeometry g = conv_geometry(stage, input, phase);
+  const ConvGeometry g = conv_geometry(op, input, phase);
 
   StreamBank act_bank(cfg_.sng_width, cfg_.activation_seed, 2 * phase,
                       cfg_.decorrelate_lanes);
@@ -315,9 +493,18 @@ void ScNetwork::run_conv_scalar(const Stage& stage, const nn::Tensor& input,
 
   const std::vector<std::uint32_t> act_levels =
       quantize_activations(act_bank, input);
-  const auto weights = conv.weights();
+  std::vector<float> folded;
+  const std::span<const float> weights = node_weights(op, folded);
   const std::vector<std::uint32_t> wgt_levels =
       quantize_weights(wgt_bank, weights);
+  // Folded BatchNorm's per-channel shift, added post-counter (zeros when
+  // no BN is absorbed so every output write shares one expression).
+  std::vector<float> bias(static_cast<std::size_t>(g.conv_out.c), 0.0f);
+  if (op.bn != nullptr) {
+    for (int oc = 0; oc < g.conv_out.c; ++oc) {
+      bias[static_cast<std::size_t>(oc)] = op.bn->shift(oc);
+    }
+  }
 
   out.resize(g.out_shape);
   std::uint64_t product_bits = 0;
@@ -367,9 +554,11 @@ void ScNetwork::run_conv_scalar(const Stage& stage, const nn::Tensor& input,
             }
             bool any = false;
             for (std::size_t s = 0; s < rf_size; ++s) {
-              const std::size_t wi =
-                  static_cast<std::size_t>(oc) * g.rf_max +
-                  rf_weight_lane[s];
+              const std::size_t wi = weight_slot(
+                  g, static_cast<std::size_t>(oc), rf_weight_lane[s]);
+              if (wi == kNoWeight) {
+                continue;  // grouped conv: no weight connects this pair
+              }
               const float wv = weights[wi];
               const bool active_here = positive ? (wv > 0.0f) : (wv < 0.0f);
               if (!active_here) {
@@ -398,9 +587,11 @@ void ScNetwork::run_conv_scalar(const Stage& stage, const nn::Tensor& input,
         }
       }
       for (int oc = 0; oc < g.conv_out.c; ++oc) {
-        out.at(py, px, oc) = static_cast<float>(
-            static_cast<double>(counters[static_cast<std::size_t>(oc)]) /
-            g.counted_bits);
+        out.at(py, px, oc) =
+            static_cast<float>(
+                static_cast<double>(counters[static_cast<std::size_t>(oc)]) /
+                g.counted_bits) +
+            bias[static_cast<std::size_t>(oc)];
       }
     }
   }
@@ -416,24 +607,33 @@ void ScNetwork::run_conv_scalar(const Stage& stage, const nn::Tensor& input,
 // independent of worker count and scheduling order. All per-forward
 // scratch comes from the arena (carved BEFORE the row loop — the arena is
 // single-owner), so a steady-state call allocates nothing.
-void ScNetwork::run_conv_planned(const Stage& stage, std::size_t stage_idx,
+void ScNetwork::run_conv_planned(const LoweredOp& op, std::size_t op_idx,
                                  const nn::Tensor& input, nn::Tensor& out,
                                  Stats& run) {
-  const nn::Conv2D& conv = *stage.conv;
+  const nn::Conv2D& conv = *op.conv;
   const auto& spec = conv.spec();
   const std::size_t phase = cfg_.phase_length();
-  const ConvGeometry g = conv_geometry(stage, input, phase);
+  const ConvGeometry g = conv_geometry(op, input, phase);
   const sc::kernels::KernelTable& kt = sc::kernels::table();
 
   StreamBank& act_bank = activation_bank();
   const std::span<std::uint32_t> act_levels =
       arena_.alloc<std::uint32_t>(input.size());
   quantize_activations_into(act_bank, input, act_levels);
-  const auto weights = conv.weights();
-  StageScratch& stage_scratch = stage_scratch_[stage_idx];
+  StageScratch& stage_scratch = stage_scratch_[op_idx];
+  const std::span<const float> weights =
+      node_weights(op, stage_scratch.folded);
   bool wgt_refreshed = false;
   const std::span<const std::uint32_t> wgt_levels = cached_weight_levels(
       stage_scratch, weight_bank(), weights, wgt_refreshed);
+  // Folded BatchNorm shift per output channel (zeros without a BN), added
+  // after the counter divide — identical expression in every row body.
+  const std::span<float> bias =
+      arena_.alloc<float>(static_cast<std::size_t>(g.conv_out.c));
+  for (int oc = 0; oc < g.conv_out.c; ++oc) {
+    bias[static_cast<std::size_t>(oc)] =
+        op.bn != nullptr ? op.bn->shift(oc) : 0.0f;
+  }
 
   // Estimated word-level AND/OR work: output positions x window slots x
   // receptive field x output channels x segment words — the quantity the
@@ -452,7 +652,7 @@ void ScNetwork::run_conv_planned(const Stage& stage, std::size_t stage_idx,
   // before the row loop keeps both tables read-only while workers run.
   const SegmentSchedule sched{phase, g.window_positions, g.seg};
   const std::shared_ptr<const LayerStreamPlan> wgt_plan_ptr =
-      weight_plan(stage_idx, sched, wgt_levels, pool);
+      weight_plan(op_idx, sched, wgt_levels, pool);
   const LayerStreamPlan& wgt_plan = *wgt_plan_ptr;
   if (stage_scratch.act_plan == nullptr ||
       stage_scratch.lanes != input.size() ||
@@ -502,7 +702,10 @@ void ScNetwork::run_conv_planned(const Stage& stage, std::size_t stage_idx,
     tbl.group_bm.assign(groups * tbl.bm_words, 0);
     for (std::size_t oc = 0; oc < oc_count; ++oc) {
       for (std::size_t s = 0; s < g.rf_max; ++s) {
-        const std::size_t wi = oc * g.rf_max + s;
+        const std::size_t wi = weight_slot(g, oc, s);
+        if (wi == kNoWeight) {
+          continue;  // grouped conv: slot outside oc's group
+        }
         const float wv = weights[wi];
         // Same predicates as the scalar path's active_here test: zero (and
         // non-finite) weights are active in neither sign phase.
@@ -530,7 +733,10 @@ void ScNetwork::run_conv_planned(const Stage& stage, std::size_t stage_idx,
                                       tbl.group_off.end() - 1);
     for (std::size_t oc = 0; oc < oc_count; ++oc) {
       for (std::size_t s = 0; s < g.rf_max; ++s) {
-        const std::size_t wi = oc * g.rf_max + s;
+        const std::size_t wi = weight_slot(g, oc, s);
+        if (wi == kNoWeight) {
+          continue;
+        }
         const float wv = weights[wi];
         if ((!(wv > 0.0f) && !(wv < 0.0f)) || wgt_levels[wi] == 0) {
           continue;
@@ -588,7 +794,10 @@ void ScNetwork::run_conv_planned(const Stage& stage, std::size_t stage_idx,
     group_off = arena_.alloc<std::uint32_t>(groups + 1);
     for (std::size_t oc = 0; oc < oc_count; ++oc) {
       for (std::size_t s = 0; s < g.rf_max; ++s) {
-        const std::size_t wi = oc * g.rf_max + s;
+        const std::size_t wi = weight_slot(g, oc, s);
+        if (wi == kNoWeight) {
+          continue;  // grouped conv: slot outside oc's group
+        }
         const float wv = weights[wi];
         // Same predicates as the scalar path's active_here test: zero (and
         // non-finite) weights are active in neither sign phase.
@@ -616,7 +825,10 @@ void ScNetwork::run_conv_planned(const Stage& stage, std::size_t stage_idx,
     }
     for (std::size_t oc = 0; oc < oc_count; ++oc) {
       for (std::size_t s = 0; s < g.rf_max; ++s) {
-        const std::size_t wi = oc * g.rf_max + s;
+        const std::size_t wi = weight_slot(g, oc, s);
+        if (wi == kNoWeight) {
+          continue;
+        }
         const float wv = weights[wi];
         if ((!(wv > 0.0f) && !(wv < 0.0f)) || wgt_levels[wi] == 0) {
           continue;
@@ -773,8 +985,10 @@ void ScNetwork::run_conv_planned(const Stage& stage, std::size_t stage_idx,
         }
       }
       for (std::size_t oc = 0; oc < oc_count; ++oc) {
-        out.at(py, px, static_cast<int>(oc)) = static_cast<float>(
-            static_cast<double>(ws.counters[oc]) / g.counted_bits);
+        out.at(py, px, static_cast<int>(oc)) =
+            static_cast<float>(static_cast<double>(ws.counters[oc]) /
+                               g.counted_bits) +
+            bias[oc];
       }
     }
   };
@@ -894,8 +1108,10 @@ void ScNetwork::run_conv_planned(const Stage& stage, std::size_t stage_idx,
         }
       }
       for (std::size_t oc = 0; oc < oc_count; ++oc) {
-        out.at(py, px, static_cast<int>(oc)) = static_cast<float>(
-            static_cast<double>(ws.counters[oc]) / g.counted_bits);
+        out.at(py, px, static_cast<int>(oc)) =
+            static_cast<float>(static_cast<double>(ws.counters[oc]) /
+                               g.counted_bits) +
+            bias[oc];
       }
     }
   };
@@ -933,7 +1149,11 @@ void ScNetwork::run_conv_planned(const Stage& stage, std::size_t stage_idx,
             std::fill_n(ws.or_acc.data(), seg_words, std::uint64_t{0});
             bool any = false;
             for (std::size_t s = 0; s < rf_size; ++s) {
-              const std::size_t wi = oc * g.rf_max + ws.rf_weight_lane[s];
+              const std::size_t wi =
+                  weight_slot(g, oc, ws.rf_weight_lane[s]);
+              if (wi == kNoWeight) {
+                continue;  // grouped conv: no weight connects this pair
+              }
               const float wv = weights[wi];
               const bool active_here = positive ? (wv > 0.0f) : (wv < 0.0f);
               if (!active_here) {
@@ -960,8 +1180,10 @@ void ScNetwork::run_conv_planned(const Stage& stage, std::size_t stage_idx,
         }
       }
       for (std::size_t oc = 0; oc < oc_count; ++oc) {
-        out.at(py, px, static_cast<int>(oc)) = static_cast<float>(
-            static_cast<double>(ws.counters[oc]) / g.counted_bits);
+        out.at(py, px, static_cast<int>(oc)) =
+            static_cast<float>(static_cast<double>(ws.counters[oc]) /
+                               g.counted_bits) +
+            bias[oc];
       }
     }
   };
@@ -994,10 +1216,66 @@ void ScNetwork::run_conv_planned(const Stage& stage, std::size_t stage_idx,
   }
 }
 
-void ScNetwork::run_dense(const Stage& stage, std::size_t stage_idx,
+void ScNetwork::run_max_pool_sc(const LoweredOp& op, const nn::Tensor& input,
+                                nn::Tensor& out, Stats& run) {
+  const int p = op.max_pool->window();
+  const nn::Shape in = input.shape();
+  const nn::Shape os = op.max_pool->output_shape(in);
+  const std::size_t phase = cfg_.phase_length();
+  const std::size_t words = word_count(phase);
+  const sc::kernels::KernelTable& kt = sc::kernels::table();
+  StreamBank& bank = activation_bank();
+
+  // Quantize once per layer; negative inputs clamp to level 0 (a unipolar
+  // stream cannot go below zero, and the following ReLU would discard the
+  // sign anyway), so the stochastic max saturates at 0 for all-negative
+  // windows.
+  const std::span<std::uint32_t> levels =
+      arena_.alloc<std::uint32_t>(input.size());
+  quantize_activations_into(bank, input, levels);
+  const std::span<std::uint64_t> acc = arena_.alloc<std::uint64_t>(words);
+  const std::span<std::uint64_t> cand = arena_.alloc<std::uint64_t>(words);
+
+  out.resize(os);
+  std::uint64_t bits_generated = 0;
+  for (int oy = 0; oy < os.h; ++oy) {
+    for (int ox = 0; ox < os.w; ++ox) {
+      for (int c = 0; c < os.c; ++c) {
+        // Tournament over the window: acc starts as the first candidate's
+        // phase stream, then the bit-serial max FSM folds in the rest.
+        // One scalar FSM serves every exec mode, thread count and SIMD
+        // level, so bit-determinism is structural.
+        bool first = true;
+        for (int ky = 0; ky < p; ++ky) {
+          for (int kx = 0; kx < p; ++kx) {
+            const std::size_t ai =
+                input.index(oy * p + ky, ox * p + kx, c);
+            std::uint64_t* dst = first ? acc.data() : cand.data();
+            std::fill_n(dst, words, std::uint64_t{0});
+            if (levels[ai] != 0) {
+              bank.fill(levels[ai], static_cast<std::uint32_t>(ai), 0,
+                        phase, {dst, words});
+              bits_generated += phase;
+            }
+            if (!first) {
+              kt.max_stream(acc.data(), acc.data(), cand.data(), phase);
+            }
+            first = false;
+          }
+        }
+        out.at(oy, ox, c) = static_cast<float>(
+            static_cast<double>(kt.popcount_words(acc.data(), words)) /
+            static_cast<double>(phase));
+      }
+    }
+  }
+  run.stream_bits_generated += bits_generated;
+}
+
+void ScNetwork::run_dense(const LoweredOp& op, std::size_t op_idx,
                           const nn::Tensor& input, nn::Tensor& out,
                           Stats& run) {
-  const nn::Dense& dense = *stage.dense;
+  const nn::Dense& dense = *op.dense;
   const auto& spec = dense.spec();
   if (static_cast<int>(input.size()) != spec.in_features) {
     throw std::invalid_argument("ScNetwork: dense feature mismatch");
@@ -1019,7 +1297,7 @@ void ScNetwork::run_dense(const Stage& stage, std::size_t stage_idx,
   const auto weights = dense.weights();
   // Quantize every weight level once per layer (not per (output, input)
   // pair), and only when the live weights changed since the last image.
-  StageScratch& stage_scratch = stage_scratch_[stage_idx];
+  StageScratch& stage_scratch = stage_scratch_[op_idx];
   bool wgt_refreshed = false;
   const std::span<const std::uint32_t> wgt_levels = cached_weight_levels(
       stage_scratch, wgt_bank, weights, wgt_refreshed);
@@ -1054,7 +1332,7 @@ void ScNetwork::run_dense(const Stage& stage, std::size_t stage_idx,
   const bool planned_mode = cfg_.exec == ExecMode::kPlanned;
   if (planned_mode) {
     const SegmentSchedule dsched{phase, 1, phase};
-    wgt_plan_ptr = weight_plan(stage_idx, dsched, wgt_levels, pool);
+    wgt_plan_ptr = weight_plan(op_idx, dsched, wgt_levels, pool);
     if (wgt_plan_ptr->enabled()) {
       wgt_plan = wgt_plan_ptr.get();
     }
@@ -1167,20 +1445,20 @@ core::Report ScNetwork::validate_plans() {
   }
   const std::size_t phase = cfg_.phase_length();
   const std::size_t bank_length = 2 * phase;
-  for (std::size_t s = 0; s < stages_.size(); ++s) {
-    const Stage& stage = stages_[s];
+  for (std::size_t s = 0; s < ops_.size(); ++s) {
+    const LoweredOp& op = ops_[s];
     StageScratch& scratch = stage_scratch_[s];
-    // Stages that never executed have no cached levels (and no plans);
-    // skip them rather than force a build the run never exercised.
-    if (scratch.wgt_levels.empty()) {
+    // Nodes that are unweighted or never executed have no cached levels
+    // (and no plans); skip them rather than force a build the run never
+    // exercised.
+    if (!op.weighted() || scratch.wgt_levels.empty()) {
       continue;
     }
-    const std::string name =
-        stage.conv != nullptr ? stage.conv->name() : stage.dense->name();
-    const SegmentSchedule sched = stage.conv != nullptr
+    const std::string name = op.layer->name();
+    const SegmentSchedule sched = op.conv != nullptr
                                       ? scratch.sched
                                       : SegmentSchedule{phase, 1, phase};
-    if (stage.conv != nullptr && scratch.act_plan == nullptr) {
+    if (op.conv != nullptr && scratch.act_plan == nullptr) {
       continue;  // conv ran scalar / never ran; sched is not meaningful
     }
     report.merge(check_schedule(sched, phase, bank_length,
@@ -1193,19 +1471,29 @@ core::Report ScNetwork::validate_plans() {
                             name + "/weight-plan"));
 
     // ProductTable consistency: re-derive the (sign phase, output channel)
-    // classification from the live weights and compare every derived
-    // field. Valid right after a forward; a retrain in between legitimately
-    // invalidates the table (it is rebuilt lazily on the next forward), so
-    // callers are documented to validate before mutating weights.
+    // classification from the live weights — BN-folded, exactly as the
+    // executor classifies them — and compare every derived field. Valid
+    // right after a forward; a retrain in between legitimately invalidates
+    // the table (it is rebuilt lazily on the next forward), so callers are
+    // documented to validate before mutating weights.
     const StageScratch::ProductTable& tbl = scratch.products;
-    if (stage.conv == nullptr || !tbl.built || !(tbl.sched == sched) ||
+    if (op.conv == nullptr || !tbl.built || !(tbl.sched == sched) ||
         !plan->enabled()) {
       continue;
     }
-    const auto& spec = stage.conv->spec();
-    const auto weights = stage.conv->weights();
+    const auto& spec = op.conv->spec();
+    std::vector<float> folded;
+    const std::span<const float> weights = node_weights(op, folded);
     const std::size_t rf_max = static_cast<std::size_t>(spec.kernel) *
                                spec.kernel * spec.in_channels;
+    // Grouped weight mapping, identical to the executor's weight_slot.
+    ConvGeometry wg;
+    wg.in_c = static_cast<std::size_t>(spec.in_channels);
+    wg.cpg = static_cast<std::size_t>(spec.in_channels / spec.groups);
+    wg.oc_per_group =
+        static_cast<std::size_t>(spec.out_channels / spec.groups);
+    wg.w_per_oc =
+        static_cast<std::size_t>(spec.kernel) * spec.kernel * wg.cpg;
     const auto oc_count = static_cast<std::size_t>(spec.out_channels);
     const std::size_t groups = 2 * oc_count;
     const std::size_t slots = sched.slots();
@@ -1233,7 +1521,20 @@ core::Report ScNetwork::validate_plans() {
     };
     for (std::size_t oc = 0; oc < oc_count; ++oc) {
       for (std::size_t slot = 0; slot < rf_max; ++slot) {
-        const std::size_t wi = oc * rf_max + slot;
+        const std::size_t wi = weight_slot(wg, oc, slot);
+        if (wi == kNoWeight) {
+          // Cross-group slot: no weight exists; must be absent everywhere.
+          for (std::size_t gi : {oc, oc_count + oc}) {
+            if (((tbl.group_bm[gi * tbl.bm_words + slot / 64] >>
+                  (slot % 64)) &
+                 1u) != 0) {
+              flag("cross-group slot " + std::to_string(slot) +
+                   " of output channel " + std::to_string(oc) +
+                   " is present in the group bitmap");
+            }
+          }
+          continue;
+        }
         const float wv = weights[wi];
         const bool signed_live = (wv > 0.0f) || (wv < 0.0f);
         const std::size_t group = (wv > 0.0f ? 0 : 1) * oc_count + oc;

@@ -1,6 +1,16 @@
 // Bit-level functional simulation of a whole network on the ACOUSTIC
 // datapath (the paper's "custom SC functional simulator", section IV-A).
 //
+// The network is lowered once into an op graph (sim/op_graph.hpp) and the
+// executor walks the lowered nodes: weighted nodes (conv, dense, and the
+// skip-path projection conv) run the stochastic datapath below, residual
+// save/add nodes run counter-preload semantics in the binary domain,
+// max-pool nodes dispatch on ScConfig::max_pool (exact binary max or the
+// bit-serial stochastic max FSM), and a BatchNorm folded into a conv node
+// multiplies into the quantized weight levels with its shift applied
+// post-counter. Skip-connection topologies therefore execute through the
+// ordinary walk — no executor special-casing per network.
+//
 // Execution model per weighted layer, mirroring the architecture:
 //   1. The layer's binary input activations feed the activation SNG bank
 //      (shared LFSR, per-lane scrambling), weights feed the weight bank.
@@ -32,8 +42,8 @@
 #include "obs/span.hpp"
 #include "runtime/scratch_arena.hpp"
 #include "runtime/thread_pool.hpp"
+#include "sim/op_graph.hpp"
 #include "sim/sc_config.hpp"
-#include "sim/stage_plan.hpp"
 #include "sim/stream_bank.hpp"
 #include "sim/stream_plan.hpp"
 
@@ -171,8 +181,15 @@ class ScNetwork {
     /// bitwise-equal inputs give equal levels). The memcmp guard keeps the
     /// "weights are read live" contract — retraining between forwards is
     /// picked up — while skipping thousands of quantize calls per image.
+    /// For a conv with a folded BatchNorm, wgt_src holds the FOLDED
+    /// weights (w * scale(oc)), so BN retraining invalidates the cache
+    /// exactly like conv retraining does.
     std::vector<float> wgt_src;
     std::vector<std::uint32_t> wgt_levels;
+    /// Folded-weight staging buffer (conv nodes with an absorbed
+    /// BatchNorm): recomputed every forward — one multiply per weight —
+    /// into retained capacity, so steady state stays allocation-free.
+    std::vector<float> folded;
     /// Branchless product table for the single-word-segment fast path:
     /// weights grouped by (sign phase, output channel), each group's slot
     /// indices, its per-slot-index weight words transposed for sequential
@@ -194,14 +211,24 @@ class ScNetwork {
     ProductTable products;
   };
 
-  void run_conv(const Stage& stage, std::size_t stage_idx,
+  void run_conv(const LoweredOp& op, std::size_t op_idx,
                 const nn::Tensor& input, nn::Tensor& out, Stats& run);
-  void run_conv_scalar(const Stage& stage, const nn::Tensor& input,
+  void run_conv_scalar(const LoweredOp& op, const nn::Tensor& input,
                        nn::Tensor& out, Stats& run);
-  void run_conv_planned(const Stage& stage, std::size_t stage_idx,
+  void run_conv_planned(const LoweredOp& op, std::size_t op_idx,
                         const nn::Tensor& input, nn::Tensor& out, Stats& run);
-  void run_dense(const Stage& stage, std::size_t stage_idx,
+  void run_dense(const LoweredOp& op, std::size_t op_idx,
                  const nn::Tensor& input, nn::Tensor& out, Stats& run);
+  /// Runs the node's projection conv stochastically over the saved skip
+  /// tensor (saved = proj(saved)); the main-path activation is untouched.
+  void run_skip_project(const LoweredOp& op, std::size_t op_idx, Stats& run);
+  /// Bit-serial stochastic max pooling (MaxPoolMode::kStochastic): each
+  /// window runs a tournament of the kernel table's max_stream FSM over
+  /// streams regenerated from the activation bank. Deliberately serial —
+  /// the FSM's counter is sequential state — so the result is invariant
+  /// across thread counts, exec modes and SIMD levels by construction.
+  void run_max_pool_sc(const LoweredOp& op, const nn::Tensor& input,
+                       nn::Tensor& out, Stats& run);
 
   /// The intra-image worker pool (created lazily on first use), or nullptr
   /// when the config asks for serial execution — or when auto mode
@@ -239,7 +266,7 @@ class ScNetwork {
 
   nn::Network* net_;
   ScConfig cfg_;
-  std::vector<Stage> stages_;
+  std::vector<LoweredOp> ops_;
   Stats stats_;
   /// Per-forward bump allocator: reset at the top of forward_into(), grown
   /// to its high-water mark by the warm-up calls, allocation-free after.
@@ -248,6 +275,10 @@ class ScNetwork {
   /// reuses their capacity once the largest stage output has been seen.
   nn::Tensor buf_a_;
   nn::Tensor buf_b_;
+  /// Skip-projection output staging (swapped into SkipState::saved), kept
+  /// out of the main-path ping-pong so a projection cannot clobber the
+  /// live activation.
+  nn::Tensor skip_buf_;
   std::vector<StageScratch> stage_scratch_;
   std::unique_ptr<runtime::ThreadPool> pool_;
   std::unique_ptr<StreamBank> act_bank_;

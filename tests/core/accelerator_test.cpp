@@ -130,7 +130,7 @@ TEST(Accelerator, AlexNetFcLayersAreTheLatencyBottleneck) {
   double conv_latency = 0.0;
   double fc_latency = 0.0;
   for (std::size_t i = 0; i < layers.size(); ++i) {
-    (net.layers[i].kind == nn::LayerKind::kConv ? conv_latency
+    (net.layers[i].kind == nn::OpKind::kConv2D ? conv_latency
                                                 : fc_latency) +=
         layers[i].latency_s;
   }

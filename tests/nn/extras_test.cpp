@@ -16,7 +16,7 @@ namespace {
 
 TEST(Groups, HalveMacsAndWeights) {
   LayerDesc l;
-  l.kind = LayerKind::kConv;
+  l.kind = OpKind::kConv2D;
   l.in_h = 8;
   l.in_w = 8;
   l.in_c = 16;

@@ -7,7 +7,7 @@ namespace {
 
 TEST(LayerDesc, ConvOutputDims) {
   LayerDesc l;
-  l.kind = LayerKind::kConv;
+  l.kind = OpKind::kConv2D;
   l.in_h = 227;
   l.in_w = 227;
   l.in_c = 3;
@@ -22,7 +22,7 @@ TEST(LayerDesc, ConvOutputDims) {
 
 TEST(LayerDesc, ConvMacsAndWeights) {
   LayerDesc l;
-  l.kind = LayerKind::kConv;
+  l.kind = OpKind::kConv2D;
   l.in_h = 8;
   l.in_w = 8;
   l.in_c = 4;
@@ -35,7 +35,7 @@ TEST(LayerDesc, ConvMacsAndWeights) {
 
 TEST(LayerDesc, DenseMacsEqualWeights) {
   LayerDesc l;
-  l.kind = LayerKind::kDense;
+  l.kind = OpKind::kDense;
   l.in_c = 100;
   l.out_c = 10;
   EXPECT_EQ(l.macs(), 1000u);
@@ -61,10 +61,10 @@ TEST(ModelZoo, AlexNetShapesChain) {
   for (std::size_t i = 0; i + 1 < net.layers.size(); ++i) {
     const LayerDesc& cur = net.layers[i];
     const LayerDesc& next = net.layers[i + 1];
-    if (next.kind == LayerKind::kConv) {
+    if (next.kind == OpKind::kConv2D) {
       EXPECT_EQ(cur.pooled_h(), next.in_h) << "layer " << i;
       EXPECT_EQ(cur.out_c, next.in_c) << "layer " << i;
-    } else if (cur.kind == LayerKind::kConv) {
+    } else if (cur.kind == OpKind::kConv2D) {
       EXPECT_EQ(cur.output_elems(), static_cast<std::uint64_t>(next.in_c))
           << "layer " << i;
     }

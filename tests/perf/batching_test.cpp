@@ -16,7 +16,7 @@ TEST(Batching, FcPassesGrowSublinearly) {
   // Up to M = 16 batch samples share each FC weight load, so an 8-sample
   // batch needs the same number of FC sweeps as a single frame.
   nn::LayerDesc fc;
-  fc.kind = nn::LayerKind::kDense;
+  fc.kind = nn::OpKind::kDense;
   fc.in_c = 9216;
   fc.out_c = 4096;
   const LayerMapping single = map_layer(fc, lp_with_batch(1));
@@ -35,7 +35,7 @@ TEST(Batching, ConvPassesGrowLinearly) {
 
 TEST(Batching, WeightTrafficPaidOncePerBatch) {
   nn::LayerDesc fc;
-  fc.kind = nn::LayerKind::kDense;
+  fc.kind = nn::OpKind::kDense;
   fc.in_c = 4096;
   fc.out_c = 4096;
   const LayerMapping single = map_layer(fc, lp_with_batch(1));

@@ -8,7 +8,7 @@ namespace {
 nn::LayerDesc conv_layer(int h, int w, int c, int k, int out_c, int pool = 0,
                          int stride = 1, int padding = 0) {
   nn::LayerDesc l;
-  l.kind = nn::LayerKind::kConv;
+  l.kind = nn::OpKind::kConv2D;
   l.label = "conv";
   l.in_h = h;
   l.in_w = w;
@@ -23,7 +23,7 @@ nn::LayerDesc conv_layer(int h, int w, int c, int k, int out_c, int pool = 0,
 
 nn::LayerDesc fc_layer(int in, int out) {
   nn::LayerDesc l;
-  l.kind = nn::LayerKind::kDense;
+  l.kind = nn::OpKind::kDense;
   l.label = "fc";
   l.in_c = in;
   l.out_c = out;

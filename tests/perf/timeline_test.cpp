@@ -143,7 +143,7 @@ TEST(Timeline, PaddedConvProgramsCarryWgtShift) {
   nn::NetworkDesc no_pad;
   no_pad.name = "nopad";
   nn::LayerDesc l;
-  l.kind = nn::LayerKind::kConv;
+  l.kind = nn::OpKind::kConv2D;
   l.label = "c";
   l.in_h = 8;
   l.in_w = 8;

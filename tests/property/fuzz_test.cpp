@@ -11,6 +11,7 @@
 #include "nn/quantize.hpp"
 #include "perf/codegen.hpp"
 #include "sc/gates.hpp"
+#include "sc/kernels/kernels.hpp"
 #include "sc/rng.hpp"
 #include "sc/sng.hpp"
 #include "sim/stream_bank.hpp"
@@ -468,7 +469,7 @@ namespace {
 
 TEST(Figure4Shape, Ddr3FlattensHbmScales) {
   nn::LayerDesc layer;
-  layer.kind = nn::LayerKind::kConv;
+  layer.kind = nn::OpKind::kConv2D;
   layer.label = "fig4";
   layer.in_h = 16;
   layer.in_w = 16;
@@ -503,6 +504,119 @@ TEST(Figure4Shape, Ddr3FlattensHbmScales) {
   const double hbm_100 = latency_at(perf::hbm(), 100.0);
   EXPECT_NEAR(d800_100 / hbm_100, 1.0, 0.35);
 }
+
+// ---------------------------------------------------------------------
+// Stochastic max FSM (sc::kernels max_stream) properties on random and
+// bank-generated streams.
+// ---------------------------------------------------------------------
+
+class MaxStreamTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MaxStreamTest, IdempotentOnAnyStream) {
+  // a == b keeps the FSM counter pinned at zero, so out bit t = b_t = a_t.
+  const sc::BitStream a = random_stream(GetParam() + 211);
+  std::vector<std::uint64_t> out(a.words().size());
+  sc::kernels::table().max_stream(out.data(), a.words().data(),
+                                  a.words().data(), a.size());
+  for (std::size_t w = 0; w < out.size(); ++w) {
+    EXPECT_EQ(out[w], a.words()[w]) << "word " << w;
+  }
+}
+
+TEST_P(MaxStreamTest, OutputBoundedByAndAndOr) {
+  // Every output bit is copied from a or from b, so bitwise
+  // (a AND b) <= out <= (a OR b) — the stochastic max can never invent a
+  // one both inputs lack, nor drop a one both inputs carry.
+  const sc::BitStream a = random_stream(GetParam() + 223);
+  const sc::BitStream b = random_stream(GetParam() * 13 + 227);
+  std::vector<std::uint64_t> out(a.words().size());
+  sc::kernels::table().max_stream(out.data(), a.words().data(),
+                                  b.words().data(), a.size());
+  for (std::size_t w = 0; w < out.size(); ++w) {
+    const std::uint64_t both = a.words()[w] & b.words()[w];
+    const std::uint64_t either = a.words()[w] | b.words()[w];
+    EXPECT_EQ(out[w] & both, both) << "word " << w;
+    EXPECT_EQ(out[w] & ~either, 0u) << "word " << w;
+  }
+}
+
+TEST_P(MaxStreamTest, EverySimdLevelMatchesScalar) {
+  // The FSM is registered as the same scalar body at every level; pin
+  // that down so a future "vectorized" max cannot silently fork behavior.
+  const sc::BitStream a = random_stream(GetParam() + 229);
+  const sc::BitStream b = random_stream(GetParam() * 7 + 233);
+  std::vector<std::uint64_t> want(a.words().size());
+  sc::kernels::table_for(sc::kernels::Level::kScalar)
+      .max_stream(want.data(), a.words().data(), b.words().data(), a.size());
+  for (const auto level :
+       {sc::kernels::Level::kSse42, sc::kernels::Level::kAvx2}) {
+    if (!sc::kernels::level_supported(level)) {
+      continue;
+    }
+    std::vector<std::uint64_t> got(a.words().size());
+    sc::kernels::table_for(level).max_stream(
+        got.data(), a.words().data(), b.words().data(), a.size());
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST_P(MaxStreamTest, TailBitsBeyondLengthAreZero) {
+  const std::size_t n_bits = 100;  // partial last word
+  const sc::BitStream a = random_stream(GetParam() + 239, n_bits);
+  const sc::BitStream b = random_stream(GetParam() + 241, n_bits);
+  std::vector<std::uint64_t> out(a.words().size(), ~std::uint64_t{0});
+  sc::kernels::table().max_stream(out.data(), a.words().data(),
+                                  b.words().data(), n_bits);
+  EXPECT_EQ(out.back() >> (n_bits % 64), 0u);
+}
+
+TEST_P(MaxStreamTest, CorrelatedComparatorStreamsGiveExactMax) {
+  // Same-lane comparator streams nest (bit t set iff rng_t < level), so
+  // the lower stream is a subset of the higher one; the FSM counter then
+  // never favors the subset and the output IS the larger stream — the
+  // correlation regime the SC max-pool unit is designed for.
+  sim::StreamBank bank(10, 0xBEEF ^ GetParam(), 1024);
+  const std::uint32_t lo = bank.quantize(0.25 + (GetParam() % 7) * 0.05);
+  const std::uint32_t hi = bank.quantize(0.6 + (GetParam() % 5) * 0.05);
+  const sc::BitStream a = bank.stream(lo, /*lane=*/3);
+  const sc::BitStream b = bank.stream(hi, /*lane=*/3);
+  std::vector<std::uint64_t> out(a.words().size());
+  sc::kernels::table().max_stream(out.data(), a.words().data(),
+                                  b.words().data(), a.size());
+  const std::uint64_t ones =
+      sc::kernels::table().popcount_words(out.data(), out.size());
+  EXPECT_EQ(ones, std::max(a.count_ones(), b.count_ones()));
+}
+
+TEST_P(MaxStreamTest, ConvergesToExactMaxAsStreamsLengthen) {
+  // Against the exact oracle max(pa, pb): on decorrelated (different-lane)
+  // streams the FSM is only approximate, but its value error must shrink
+  // as the streams lengthen and be small in absolute terms at the long
+  // end — the property that makes it a usable pooling unit.
+  const double pa = 0.2 + (GetParam() % 5) * 0.12;
+  const double pb = 0.35 + (GetParam() % 7) * 0.08;
+  const double exact = std::max(pa, pb);
+  const auto error_at = [&](std::size_t len) {
+    sim::StreamBank bank(12, 0xC0FFEE ^ GetParam(), len);
+    const sc::BitStream a = bank.stream(bank.quantize(pa), /*lane=*/0);
+    const sc::BitStream b = bank.stream(bank.quantize(pb), /*lane=*/7);
+    std::vector<std::uint64_t> out(a.words().size());
+    sc::kernels::table().max_stream(out.data(), a.words().data(),
+                                    b.words().data(), len);
+    const double got =
+        static_cast<double>(
+            sc::kernels::table().popcount_words(out.data(), out.size())) /
+        static_cast<double>(len);
+    return std::abs(got - exact);
+  };
+  const double err_short = error_at(64);
+  const double err_long = error_at(4096);
+  EXPECT_LE(err_long, err_short + 1e-9);
+  EXPECT_LT(err_long, 0.05) << "pa=" << pa << " pb=" << pb;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxStreamTest,
+                         ::testing::Values(3u, 17u, 42u, 255u, 9001u));
 
 TEST(StreamBankProperties, NaiveSharingIsMaximallyCorrelated) {
   sim::StreamBank naive(12, 0xACE1, 4096, /*decorrelate=*/false);

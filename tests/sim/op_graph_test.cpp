@@ -1,0 +1,118 @@
+// Unit tests for the op-graph lowering pass (DESIGN.md section 15): the
+// hook registry must be total over nn::OpKind, and the lowering contract
+// (fusion, folding, post-op attachment, explicit skip nodes) must hold
+// structurally — independent of any executor.
+#include "sim/op_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "nn/activation.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/network.hpp"
+#include "nn/pool.hpp"
+#include "nn/residual.hpp"
+
+namespace acoustic::sim {
+namespace {
+
+TEST(OpGraph, HookRegistryIsTotalOverOpKind) {
+  for (const nn::OpKind kind :
+       {nn::OpKind::kConv2D, nn::OpKind::kDense, nn::OpKind::kAvgPool2D,
+        nn::OpKind::kMaxPool2D, nn::OpKind::kBatchNorm, nn::OpKind::kReLU,
+        nn::OpKind::kOrSaturation, nn::OpKind::kSkipSave,
+        nn::OpKind::kSkipProject, nn::OpKind::kSkipAdd}) {
+    EXPECT_NE(lowering_hook(kind), nullptr) << nn::to_string(kind);
+  }
+}
+
+TEST(OpGraph, ConvAbsorbsBatchNormAndPoolUnderOptions) {
+  nn::Network net;
+  net.add<nn::Conv2D>(nn::ConvSpec{.in_channels = 2, .out_channels = 4,
+                                   .kernel = 3, .padding = 1,
+                                   .mode = nn::AccumMode::kOrExact});
+  net.add<nn::BatchNorm>(nn::BatchNormSpec{.channels = 4});
+  net.add<nn::AvgPool2D>(2);
+  net.add<nn::ReLU>();
+
+  LowerOptions opt;
+  opt.fold_batch_norm = true;
+  opt.fuse_avg_pool = true;
+  const std::vector<LoweredOp> ops = lower_graph(net, opt, "test");
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].kind, nn::OpKind::kConv2D);
+  EXPECT_TRUE(ops[0].weighted());
+  EXPECT_NE(ops[0].bn, nullptr);
+  EXPECT_NE(ops[0].fused_pool, nullptr);
+  ASSERT_EQ(ops[0].post_ops.size(), 1u);  // the ReLU
+  EXPECT_EQ(ops[0].post_ops[0]->kind(), nn::OpKind::kReLU);
+}
+
+TEST(OpGraph, WithoutOptionsBnAndPoolBecomePostOps) {
+  nn::Network net;
+  net.add<nn::Conv2D>(nn::ConvSpec{.in_channels = 2, .out_channels = 4,
+                                   .kernel = 3, .padding = 1,
+                                   .mode = nn::AccumMode::kOrExact});
+  net.add<nn::BatchNorm>(nn::BatchNormSpec{.channels = 4});
+  net.add<nn::AvgPool2D>(2);
+
+  const std::vector<LoweredOp> ops = lower_graph(net, LowerOptions{}, "test");
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].bn, nullptr);
+  EXPECT_EQ(ops[0].fused_pool, nullptr);
+  EXPECT_EQ(ops[0].post_ops.size(), 2u);
+}
+
+TEST(OpGraph, SkipTripleBecomesExplicitNodes) {
+  nn::Network net;
+  auto state = std::make_shared<nn::SkipState>();
+  net.add<nn::SkipSave>(state);
+  net.add<nn::SkipProject>(
+      state, nn::ConvSpec{.in_channels = 2, .out_channels = 4, .kernel = 1,
+                          .stride = 2, .mode = nn::AccumMode::kOrExact});
+  net.add<nn::Conv2D>(nn::ConvSpec{.in_channels = 2, .out_channels = 4,
+                                   .kernel = 3, .stride = 2, .padding = 1,
+                                   .mode = nn::AccumMode::kOrExact});
+  net.add<nn::SkipAdd>(state);
+
+  const std::vector<LoweredOp> ops = lower_graph(net, LowerOptions{}, "test");
+  ASSERT_EQ(ops.size(), 4u);
+  EXPECT_EQ(ops[0].kind, nn::OpKind::kSkipSave);
+  EXPECT_EQ(ops[1].kind, nn::OpKind::kSkipProject);
+  // The projection is a weighted node: its conv runs the SC datapath.
+  EXPECT_TRUE(ops[1].weighted());
+  EXPECT_EQ(ops[2].kind, nn::OpKind::kConv2D);
+  EXPECT_EQ(ops[3].kind, nn::OpKind::kSkipAdd);
+  // All three skip nodes share the one SkipState.
+  EXPECT_EQ(ops[0].skip, ops[1].skip);
+  EXPECT_EQ(ops[0].skip, ops[3].skip);
+}
+
+TEST(OpGraph, MaxPoolIsItsOwnNode) {
+  nn::Network net;
+  net.add<nn::Conv2D>(nn::ConvSpec{.in_channels = 1, .out_channels = 2,
+                                   .kernel = 3, .padding = 1,
+                                   .mode = nn::AccumMode::kOrExact});
+  net.add<nn::ReLU>();
+  net.add<nn::MaxPool2D>(2);
+
+  const std::vector<LoweredOp> ops = lower_graph(net, LowerOptions{}, "test");
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[1].kind, nn::OpKind::kMaxPool2D);
+  EXPECT_NE(ops[1].max_pool, nullptr);
+  EXPECT_FALSE(ops[1].weighted());
+}
+
+TEST(OpGraph, BinaryDomainFirstLayerThrows) {
+  nn::Network net;
+  net.add<nn::ReLU>();
+  EXPECT_THROW((void)lower_graph(net, LowerOptions{}, "test"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acoustic::sim

@@ -14,7 +14,11 @@
 
 #include "core/diagnostics.hpp"
 #include "nn/activation.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/model_zoo.hpp"
 #include "nn/pool.hpp"
+#include "nn/residual.hpp"
+#include "nn/zoo_build.hpp"
 #include "sc/rng.hpp"
 #include "sim/sc_network.hpp"
 #include "train/models.hpp"
@@ -154,6 +158,117 @@ TEST(ScGolden, MultiWordSegmentsMatchScalar) {
   cfg.sng_width = 10;
   expect_planned_matches_scalar(net, random_unit(nn::Shape{6, 6, 1}, 127),
                                 cfg);
+}
+
+TEST(ScGolden, GroupedConvMatchesScalar) {
+  // groups=2: the plan slot space stays kernel*kernel*in_c wide but every
+  // cross-group (oc, ic) pair must be absent from both sign-phase bitmaps.
+  nn::Network net;
+  auto& conv = net.add<nn::Conv2D>(nn::ConvSpec{
+      .in_channels = 4, .out_channels = 4, .kernel = 3, .padding = 1,
+      .groups = 2, .mode = nn::AccumMode::kOrExact});
+  net.add<nn::ReLU>();
+  conv.initialize(61);
+  expect_planned_matches_scalar(net, random_unit(nn::Shape{8, 8, 4}, 141),
+                                golden_config());
+}
+
+TEST(ScGolden, DepthwiseConvMatchesScalar) {
+  // groups == channels: each output channel sees exactly kernel*kernel
+  // live slots; the degenerate extreme of the grouped weight mapping.
+  nn::Network net;
+  auto& conv = net.add<nn::Conv2D>(nn::ConvSpec{
+      .in_channels = 4, .out_channels = 4, .kernel = 3, .padding = 1,
+      .groups = 4, .mode = nn::AccumMode::kOrExact});
+  conv.initialize(63);
+  expect_planned_matches_scalar(net, random_unit(nn::Shape{7, 7, 4}, 143),
+                                golden_config());
+}
+
+TEST(ScGolden, BatchNormFoldMatchesScalar) {
+  // Conv + BN: the planned path folds scale into the quantized weight
+  // levels and applies shift post-counter; the scalar oracle folds the
+  // same way, so outputs must stay byte-identical.
+  nn::Network net;
+  auto& conv = net.add<nn::Conv2D>(nn::ConvSpec{
+      .in_channels = 2, .out_channels = 4, .kernel = 3, .padding = 1,
+      .mode = nn::AccumMode::kOrExact});
+  auto& bn = net.add<nn::BatchNorm>(nn::BatchNormSpec{.channels = 4});
+  net.add<nn::ReLU>();
+  conv.initialize(65);
+  bn.initialize(66);
+  expect_planned_matches_scalar(net, random_unit(nn::Shape{8, 8, 2}, 145),
+                                golden_config());
+}
+
+TEST(ScGolden, SkipProjectionBlockMatchesScalar) {
+  // A ResNet downsample block: the skip path runs a 1x1 stride-2
+  // projection conv (itself an SC stage) so the saved tensor matches the
+  // halved block output at the add.
+  nn::Network net;
+  auto state = std::make_shared<nn::SkipState>();
+  net.add<nn::SkipSave>(state);
+  auto& proj = net.add<nn::SkipProject>(
+      state, nn::ConvSpec{.in_channels = 2, .out_channels = 4, .kernel = 1,
+                          .stride = 2, .mode = nn::AccumMode::kOrExact});
+  auto& conv = net.add<nn::Conv2D>(nn::ConvSpec{
+      .in_channels = 2, .out_channels = 4, .kernel = 3, .stride = 2,
+      .padding = 1, .mode = nn::AccumMode::kOrExact});
+  net.add<nn::SkipAdd>(state);
+  net.add<nn::ReLU>();
+  proj.conv().initialize(67);
+  conv.initialize(68);
+  expect_planned_matches_scalar(net, random_unit(nn::Shape{8, 8, 2}, 147),
+                                golden_config());
+}
+
+TEST(ScGolden, StochasticMaxPoolMatchesScalar) {
+  // MaxPoolMode::kStochastic: the bit-serial max FSM runs the same scalar
+  // body at every SIMD level and thread count, so planned == scalar holds
+  // for the whole max-pool network too.
+  nn::Network net = train::build_cifar_small_maxpool(nn::AccumMode::kOrExact);
+  ScConfig cfg = golden_config();
+  cfg.max_pool = MaxPoolMode::kStochastic;
+  expect_planned_matches_scalar(net, random_unit(nn::Shape{16, 16, 3}, 149),
+                                cfg);
+}
+
+TEST(ScGolden, StochasticMaxPoolDiffersFromExactMax) {
+  // Sanity check that the stochastic mode actually engages: at a short
+  // stream the FSM's approximate max must not collapse to the exact max
+  // on every window.
+  nn::Network net = train::build_cifar_small_maxpool(nn::AccumMode::kOrExact);
+  const nn::Tensor input = random_unit(nn::Shape{16, 16, 3}, 151);
+  ScConfig exact_cfg = golden_config();
+  ScConfig sc_cfg = golden_config();
+  sc_cfg.max_pool = MaxPoolMode::kStochastic;
+  ScNetwork exact_exec(net, exact_cfg);
+  ScNetwork sc_exec(net, sc_cfg);
+  const nn::Tensor exact_out = exact_exec.forward(input);
+  const nn::Tensor sc_out = sc_exec.forward(input);
+  ASSERT_EQ(exact_out.shape(), sc_out.shape());
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < exact_out.size(); ++i) {
+    if (exact_out[i] != sc_out[i]) {
+      ++diffs;
+    }
+  }
+  EXPECT_GT(diffs, 0u);
+}
+
+TEST(ScGolden, Resnet18DescriptorMatchesScalar) {
+  // The deepest zoo workload end to end: residual blocks, projection
+  // downsamples and batch norm, built from the Table III descriptor at a
+  // reduced input side.
+  nn::ZooBuildOptions opt;
+  opt.side = 8;
+  opt.mode = nn::AccumMode::kOrExact;
+  nn::Network net = nn::build_from_descriptor(nn::resnet18(), opt);
+  const nn::Shape in = nn::zoo_input_shape(nn::resnet18(), opt);
+  ScConfig cfg;
+  cfg.stream_length = 32;
+  cfg.sng_width = 8;
+  expect_planned_matches_scalar(net, random_unit(in, 153), cfg);
 }
 
 TEST(ScGolden, PlanBudgetFallbackMatchesScalar) {

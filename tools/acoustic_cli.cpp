@@ -37,13 +37,24 @@
 //       probe. --target perf restricts to the structural rules the
 //       performance simulator needs. Exits 1 on errors (with --werror,
 //       on any warning).
-//   acoustic eval [--backend float|sc|sc-mux|bipolar] [--model lenet|cifar]
+//   acoustic eval [--backend float|sc|sc-mux|bipolar]
+//                 [--model lenet|cifar|cifar-max|resnet-tiny|<zoo network>]
 //                 [--threads N] [--intra-threads N] [--exec planned|scalar]
+//                 [--pool-mode exact|sc] [--side N]
 //                 [--stream N] [--train N] [--test N]
 //                 [--epochs N] [--json] [--metrics] [--profile]
 //                 [--prometheus] [--trace-json FILE] [--verbose]
 //       Train a small network on a synthetic dataset and evaluate it with
 //       the selected inference backend on the parallel batch evaluator.
+//       --model also accepts any zoo workload (lenet5, cifar10, svhn,
+//       alexnet, vgg16, resnet18): the network is built untrained from its
+//       shape descriptor at --side (default 16) and run end to end through
+//       the graph executor — residual blocks, grouped convs and batch norm
+//       included. The trainable variants cifar-max (max pooling) and
+//       resnet-tiny (one residual block) exercise the stochastic max and
+//       skip-connection stages with real trained weights. --pool-mode
+//       selects MaxPool2D execution: "exact" binary max (default) or
+//       "sc", the bit-serial stochastic max FSM.
 //       --threads 0 (default) uses all hardware threads; results are
 //       bit-identical for any thread count. --intra-threads shards each
 //       image's conv rows / dense outputs inside the SC backend (1 =
@@ -86,6 +97,7 @@
 #include "obs/span.hpp"
 #include "perf/timeline.hpp"
 #include "perf/trace_export.hpp"
+#include "nn/zoo_build.hpp"
 #include "sim/backend.hpp"
 #include "sim/batch_evaluator.hpp"
 #include "train/dataset.hpp"
@@ -115,9 +127,10 @@ int usage() {
                "         [--stream N] [--width N] [--threshold X] "
                "[--no-probe] [--werror] [--json]\n"
                "  eval: acoustic eval [--backend float|sc|sc-mux|bipolar] "
-               "[--model lenet|cifar]\n"
+               "[--model lenet|cifar|<zoo network>]\n"
                "        [--threads N] [--intra-threads N] "
                "[--exec planned|scalar]\n"
+               "        [--pool-mode exact|sc] [--side N]\n"
                "        [--stream N] [--train N] [--test N] "
                "[--epochs N] [--json]\n"
                "        [--metrics] [--profile] [--prometheus] "
@@ -321,6 +334,8 @@ struct EvalOptions {
   unsigned threads = 0;        // 0 = hardware concurrency
   unsigned intra_threads = 1;  // SC intra-image workers (1 = serial)
   std::string exec = "planned";
+  std::string pool_mode = "exact";  // MaxPool2D execution: exact | sc
+  int side = 16;  // input side for zoo-descriptor models (0 = native)
   std::size_t stream = 128;
   std::size_t train_count = 300;
   std::size_t test_count = 120;
@@ -372,34 +387,72 @@ int cmd_eval(const EvalOptions& opt) {
 
   train::Dataset tr;
   train::Dataset te;
+  bool zoo = false;  // zoo-descriptor model: untrained, evaluated as-built
+  nn::Shape input_shape{16, 16, 1};
   nn::Network net = [&] {
     if (opt.model == "lenet") {
       tr = train::make_synth_digits(opt.train_count, 42, 16);
       te = train::make_synth_digits(opt.test_count, 999, 16);
+      input_shape = nn::Shape{16, 16, 1};
       return train::build_lenet_small(mode, 16);
     }
-    if (opt.model == "cifar") {
+    if (opt.model == "cifar" || opt.model == "cifar-max" ||
+        opt.model == "resnet-tiny") {
       tr = train::make_synth_objects(opt.train_count, 11, 16);
       te = train::make_synth_objects(opt.test_count, 777, 16);
+      input_shape = nn::Shape{16, 16, 3};
+      if (opt.model == "cifar-max") {
+        return train::build_cifar_small_maxpool(mode, 16);
+      }
+      if (opt.model == "resnet-tiny") {
+        return train::build_resnet_tiny(mode, 16);
+      }
       return train::build_cifar_small(mode, 16);
     }
+    if (const std::optional<nn::NetworkDesc> desc = find_network(opt.model)) {
+      // Full zoo workload built from its shape descriptor at a reduced
+      // input side (Kaiming-initialized, untrained): what `eval` verifies
+      // here is the end-to-end executor — bit determinism across threads
+      // and exec modes — not a trained accuracy figure.
+      zoo = true;
+      nn::ZooBuildOptions zopt;
+      zopt.side = opt.side;
+      zopt.mode = bipolar ? nn::AccumMode::kSum : nn::AccumMode::kOrExact;
+      input_shape = nn::zoo_input_shape(*desc, zopt);
+      te = input_shape.c == 1
+               ? train::make_synth_digits(opt.test_count, 999, input_shape.h)
+               : train::make_synth_objects(opt.test_count, 999,
+                                           input_shape.h);
+      return nn::build_from_descriptor(*desc, zopt);
+    }
     throw std::invalid_argument("eval: unknown model '" + opt.model +
-                                "' (expected lenet or cifar)");
+                                "' (expected lenet, cifar, cifar-max, "
+                                "resnet-tiny, or a zoo network: lenet5/"
+                                "cifar10/svhn/alexnet/vgg16/resnet18)");
   }();
 
-  train::TrainConfig cfg;
-  cfg.epochs = opt.epochs;
-  cfg.verbose = opt.verbose;
-  if (bipolar) {
-    cfg.learning_rate = 0.01f;
-    cfg.lr_decay = 0.95f;
+  if (zoo) {
+    if (!opt.json && !opt.prometheus) {
+      std::printf("built %s from the zoo descriptor at %dx%dx%d "
+                  "(untrained, %zu layers)...\n", opt.model.c_str(),
+                  input_shape.h, input_shape.w, input_shape.c,
+                  net.layer_count());
+    }
+  } else {
+    train::TrainConfig cfg;
+    cfg.epochs = opt.epochs;
+    cfg.verbose = opt.verbose;
+    if (bipolar) {
+      cfg.learning_rate = 0.01f;
+      cfg.lr_decay = 0.95f;
+    }
+    if (!opt.json && !opt.prometheus) {
+      std::printf("training %s (%s mode, %d epochs, %zu samples)...\n",
+                  opt.model.c_str(), bipolar ? "sum" : "or-approx",
+                  cfg.epochs, tr.size());
+    }
+    (void)train::fit(net, tr, cfg);
   }
-  if (!opt.json && !opt.prometheus) {
-    std::printf("training %s (%s mode, %d epochs, %zu samples)...\n",
-                opt.model.c_str(), bipolar ? "sum" : "or-approx",
-                cfg.epochs, tr.size());
-  }
-  (void)train::fit(net, tr, cfg);
 
   sim::ScConfig sc_cfg;
   sc_cfg.stream_length = opt.stream;
@@ -409,6 +462,13 @@ int cmd_eval(const EvalOptions& opt) {
   } else if (opt.exec != "planned") {
     throw std::invalid_argument("eval: unknown --exec '" + opt.exec +
                                 "' (expected planned or scalar)");
+  }
+  if (opt.pool_mode == "sc") {
+    sc_cfg.max_pool = sim::MaxPoolMode::kStochastic;
+  } else if (opt.pool_mode != "exact") {
+    throw std::invalid_argument("eval: unknown --pool-mode '" +
+                                opt.pool_mode +
+                                "' (expected exact or sc)");
   }
   // Warn-level preflight of the trained network under the exact SC config
   // the backend will run: saturation, quantization and stream-geometry
@@ -423,7 +483,6 @@ int cmd_eval(const EvalOptions& opt) {
     // The probe runs its own ScNetwork forward; the evaluator below does
     // the real one, so skip the duplicate work and keep eval fast.
     check_opt.probe = false;
-    const nn::Shape input_shape{16, 16, opt.model == "lenet" ? 1 : 3};
     print_preflight(
         analysis::check_network(net, opt.model, input_shape, check_opt),
         "eval");
@@ -693,6 +752,10 @@ int main(int argc, char** argv) {
         opt.intra_threads = static_cast<unsigned>(std::atoi(v));
       } else if (arg == "--exec" && (v = value()) != nullptr) {
         opt.exec = v;
+      } else if (arg == "--pool-mode" && (v = value()) != nullptr) {
+        opt.pool_mode = v;
+      } else if (arg == "--side" && (v = value()) != nullptr) {
+        opt.side = std::atoi(v);
       } else if (arg == "--stream" && (v = value()) != nullptr) {
         opt.stream = static_cast<std::size_t>(std::atoll(v));
       } else if (arg == "--train" && (v = value()) != nullptr) {
