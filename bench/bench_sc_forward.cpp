@@ -7,17 +7,21 @@
 // a path that changed the bits would be meaningless — and exits 1 on any
 // mismatch.
 //
+// Measurement runs on the shared bench harness (obs/bench_harness.hpp):
+// warmup + repetitions, median/MAD statistics, hardware counters where
+// the host provides them, and the bench.v1 JSON schema — the same one
+// `acoustic bench` emits, so one `--compare` implementation gates both.
+//
 // Usage:
 //   bench_sc_forward [--iters N] [--stream N] [--threads N] [--json PATH]
 //                    [--check BASELINE [--tolerance F]]
-// --json writes the measured variants to PATH (see BENCH_sc_forward.json
-// for the committed baseline). --check compares the current run against a
-// previously written baseline and prints a GitHub Actions `::warning` for
-// every variant whose images/s dropped more than --tolerance (default
-// 0.2 = 20%) below it. Regressions warn, they never fail the run: CI
-// machines are noisy and a hard gate on throughput would flake.
-#include <algorithm>
-#include <chrono>
+// --json writes the bench.v1 document to PATH (see BENCH_sc_forward.json
+// for the committed baseline). --check compares against a previously
+// written baseline with the shared MAD-based noise thresholds and prints
+// a GitHub Actions `::warning` per regressed variant (--tolerance sets
+// the relative floor, default 0.2 = 20%). Regressions warn, they never
+// fail the run: the committed baseline comes from other hardware, and
+// the gating comparison lives in `acoustic bench --compare`.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +31,7 @@
 #include <vector>
 
 #include "core/report.hpp"
+#include "obs/bench_harness.hpp"
 #include "sc/kernels/kernels.hpp"
 #include "sc/rng.hpp"
 #include "sim/sc_network.hpp"
@@ -35,14 +40,6 @@
 using namespace acoustic;
 
 namespace {
-
-struct VariantResult {
-  std::string name;
-  unsigned threads = 1;
-  double mean_us = 0.0;
-  double min_us = 0.0;
-  double images_per_s = 0.0;
-};
 
 nn::Tensor random_unit(nn::Shape shape, std::uint32_t seed) {
   nn::Tensor t(shape);
@@ -69,64 +66,6 @@ bool bytes_equal(const nn::Tensor& a, const nn::Tensor& b) {
     }
   }
   return true;
-}
-
-VariantResult measure(const std::string& name, nn::Network& net,
-                      const sim::ScConfig& cfg, const nn::Tensor& input,
-                      int iters) {
-  sim::ScNetwork exec(net, cfg);
-  // Steady-state latency through the production entry point (the batch
-  // evaluator calls forward_into with a reused output tensor). Warmup:
-  // the first forwards build the weight plans and size the scratch arena;
-  // the timed iterations are allocation-free.
-  nn::Tensor out;
-  exec.forward_into(input, out);
-  exec.forward_into(input, out);
-
-  std::vector<double> times_us;
-  times_us.reserve(static_cast<std::size_t>(iters));
-  for (int i = 0; i < iters; ++i) {
-    const auto t0 = std::chrono::steady_clock::now();
-    exec.forward_into(input, out);
-    const auto t1 = std::chrono::steady_clock::now();
-    // Keep the output alive so the call cannot be elided.
-    if (out.size() == 0) {
-      std::abort();
-    }
-    times_us.push_back(
-        std::chrono::duration<double, std::micro>(t1 - t0).count());
-  }
-
-  VariantResult r;
-  r.name = name;
-  r.threads = cfg.intra_threads;
-  double sum = 0.0;
-  r.min_us = times_us.front();
-  for (const double t : times_us) {
-    sum += t;
-    r.min_us = std::min(r.min_us, t);
-  }
-  r.mean_us = sum / static_cast<double>(times_us.size());
-  r.images_per_s = 1e6 / r.mean_us;
-  return r;
-}
-
-/// Pulls `"images_per_s": <number>` for the variant named @p name out of a
-/// baseline previously written by --json. Returns a negative value when
-/// the variant is absent (nothing to compare against).
-double baseline_images_per_s(const std::string& baseline,
-                             const std::string& name) {
-  const std::string key = "\"name\": \"" + name + "\"";
-  const std::size_t at = baseline.find(key);
-  if (at == std::string::npos) {
-    return -1.0;
-  }
-  const std::string field = "\"images_per_s\": ";
-  const std::size_t value = baseline.find(field, at);
-  if (value == std::string::npos) {
-    return -1.0;
-  }
-  return std::strtod(baseline.c_str() + value + field.size(), nullptr);
 }
 
 }  // namespace
@@ -208,83 +147,101 @@ int main(int argc, char** argv) {
                 want.size());
   }
 
-  std::vector<VariantResult> results;
-  results.push_back(measure("scalar", net, scalar_cfg, input, iters));
-  results.push_back(measure("planned", net, planned_cfg, input, iters));
-  results.push_back(
-      measure("planned_threads", net, threaded_cfg, input, iters));
-  results.push_back(measure("planned_auto", net, auto_cfg, input, iters));
+  obs::BenchOptions bopt = obs::BenchOptions::from_env();
+  bopt.iters = iters;
+  obs::Bench bench("sc_forward_lenet_small", bopt);
+  bench.meta().simd =
+      sc::kernels::level_name(sc::kernels::active_level());
 
-  core::Table table({"Variant", "Threads", "Mean [us]", "Min [us]",
+  struct Variant {
+    const char* name;
+    const sim::ScConfig* cfg;
+  };
+  for (const Variant& variant :
+       std::vector<Variant>{{"scalar", &scalar_cfg},
+                            {"planned", &planned_cfg},
+                            {"planned_threads", &threaded_cfg},
+                            {"planned_auto", &auto_cfg}}) {
+    sim::ScNetwork exec(net, *variant.cfg);
+    // Prime the weight plans + scratch arena; the timed steady state is
+    // allocation-free (asserted by tests/sim/alloc_test.cpp).
+    nn::Tensor out;
+    exec.forward_into(input, out);
+    volatile std::size_t sink = 0;
+    bench.run(variant.name, [&] {
+      exec.forward_into(input, out);
+      sink = sink + out.size();
+    });
+  }
+
+  const obs::BenchDocument& doc = bench.document();
+  core::Table table({"Variant", "Median [us]", "MAD [us]", "Min [us]",
                      "Images/s"});
-  for (const VariantResult& r : results) {
-    table.add_row({r.name, std::to_string(r.threads),
-                   core::format_number(r.mean_us, 5),
-                   core::format_number(r.min_us, 5),
-                   core::format_number(r.images_per_s, 5)});
+  for (const obs::BenchEntry& entry : doc.entries) {
+    table.add_row({entry.name,
+                   core::format_number(entry.stats.median, 5),
+                   core::format_number(entry.stats.mad, 4),
+                   core::format_number(entry.stats.min, 5),
+                   core::format_number(entry.stats.median > 0.0
+                                           ? 1e6 / entry.stats.median
+                                           : 0.0, 5)});
   }
   std::printf("%s", table.to_string().c_str());
-  const double speedup = results[1].images_per_s / results[0].images_per_s;
-  std::printf("\nplanned vs scalar speedup: %.2fx\n", speedup);
+  const obs::BenchEntry* scalar = doc.find("scalar");
+  const obs::BenchEntry* planned = doc.find("planned");
+  if (scalar != nullptr && planned != nullptr &&
+      planned->stats.median > 0.0) {
+    std::printf("\nplanned vs scalar speedup: %.2fx\n",
+                scalar->stats.median / planned->stats.median);
+  }
 
   if (!json_path.empty()) {
-    std::ofstream out(json_path);
+    std::ofstream out(json_path, std::ios::binary);
     if (!out) {
       std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
       return 1;
     }
-    out << "{\n  \"benchmark\": \"sc_forward_lenet_small\",\n"
-        << "  \"stream_length\": " << stream << ",\n"
-        << "  \"iterations\": " << iters << ",\n"
-        << "  \"simd\": \""
-        << core::json_escape(
-               sc::kernels::level_name(sc::kernels::active_level()))
-        << "\",\n"
-        << "  \"simd_override\": \""
-        << core::json_escape(sc::kernels::env_override() != nullptr
-                                 ? sc::kernels::env_override()
-                                 : "")
-        << "\",\n"
-        << "  \"speedup_planned_vs_scalar\": " << core::json_number(speedup)
-        << ",\n  \"variants\": [\n";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const VariantResult& r = results[i];
-      out << "    {\"name\": \"" << core::json_escape(r.name)
-          << "\", \"threads\": " << r.threads
-          << ", \"mean_us\": " << core::json_number(r.mean_us)
-          << ", \"min_us\": " << core::json_number(r.min_us)
-          << ", \"images_per_s\": " << core::json_number(r.images_per_s)
-          << "}" << (i + 1 < results.size() ? "," : "") << "\n";
-    }
-    out << "  ]\n}\n";
+    out << obs::to_json(doc);
     std::printf("wrote %s\n", json_path.c_str());
   }
 
   if (!check_path.empty()) {
-    std::ifstream in(check_path);
+    std::ifstream in(check_path, std::ios::binary);
     if (!in) {
       std::fprintf(stderr, "cannot read baseline '%s'\n", check_path.c_str());
       return 1;
     }
     std::ostringstream buf;
     buf << in.rdbuf();
-    const std::string baseline = buf.str();
-    for (const VariantResult& r : results) {
-      const double want = baseline_images_per_s(baseline, r.name);
-      if (want <= 0.0) {
-        continue;
-      }
-      const double floor = want * (1.0 - tolerance);
-      if (r.images_per_s < floor) {
+    obs::BenchDocument baseline;
+    try {
+      baseline = obs::parse_bench_json(buf.str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "baseline '%s': %s\n", check_path.c_str(),
+                   e.what());
+      return 1;
+    }
+    obs::CompareOptions copt;
+    copt.rel_floor = tolerance;
+    const obs::CompareResult cmp = obs::compare(doc, baseline, copt);
+    for (const obs::CompareEntry& entry : cmp.entries) {
+      if (entry.verdict == obs::Verdict::kRegressed) {
         // GitHub Actions annotation; informational by design (see header).
-        std::printf("::warning title=sc-forward perf::variant %s at %.1f "
-                    "images/s, more than %.0f%% below baseline %.1f\n",
-                    r.name.c_str(), r.images_per_s, tolerance * 100.0, want);
+        std::printf("::warning title=sc-forward perf::variant %s at %.5g "
+                    "us median, beyond the %.5g us noise threshold over "
+                    "baseline %.5g\n",
+                    entry.name.c_str(), entry.cur_median, entry.threshold,
+                    entry.base_median);
       } else {
-        std::printf("check %s: %.1f images/s vs baseline %.1f (floor %.1f) "
-                    "ok\n",
-                    r.name.c_str(), r.images_per_s, want, floor);
+        std::printf("check %s: %.5g us vs baseline %.5g (threshold %.5g) "
+                    "%s\n",
+                    entry.name.c_str(), entry.cur_median, entry.base_median,
+                    entry.threshold, obs::verdict_name(entry.verdict));
       }
+    }
+    if (!cmp.host_match) {
+      std::printf("note: baseline from different hardware/build — verdicts "
+                  "informational\n");
     }
   }
   return 0;

@@ -9,6 +9,7 @@
 #include "nn/activation.hpp"
 #include "nn/model_zoo.hpp"
 #include "nn/pool.hpp"
+#include "obs/span.hpp"
 #include "perf/codegen.hpp"
 #include "perf/perf_sim.hpp"
 #include "sc/gates.hpp"
@@ -251,6 +252,30 @@ void BM_ScConvStageScalar(benchmark::State& state) {
   sc_conv_stage_bench(state, sim::ExecMode::kScalar);
 }
 BENCHMARK(BM_ScConvStageScalar);
+
+// --- profiling span overhead: the hooks stay compiled into the hot
+// paths permanently, so the disabled path (null profiler) must cost a
+// few pointer writes — no clock reads, no string work, no allocation.
+// BM_SpanDisabled tracks that budget; BM_SpanEnabled shows what turning
+// profiling on costs (two clock reads + one mutex-guarded record).
+
+void BM_SpanDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::Span span(nullptr, std::string(), std::string());
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  obs::Profiler profiler;
+  for (auto _ : state) {
+    obs::Span span(&profiler, "bench", "layer");
+    benchmark::DoNotOptimize(&span);
+  }
+  benchmark::DoNotOptimize(profiler.size());
+}
+BENCHMARK(BM_SpanEnabled);
 
 void BM_PerfSimAlexNet(benchmark::State& state) {
   const nn::NetworkDesc net = nn::alexnet();

@@ -16,9 +16,12 @@
 // the test set across per-thread backend clones — results are bit-identical
 // for any thread count. Usage:
 //   table2_accuracy [--threads N] [--json PATH]
-// --json writes the per-cell EvalResults (accuracy, throughput, latency
-// percentiles, product-bit counts) as a JSON array, e.g. to
-// BENCH_table2.json.
+// --json writes every table cell as a bench.v1 document (the shared
+// schema of obs/bench_harness.hpp), e.g. to BENCH_table2.json: one
+// higher-is-better "percent" entry per (network, stream length) plus the
+// fixed-point baseline cells — so `--compare` tooling can gate accuracy
+// trajectories exactly like latency ones. Accuracies are deterministic
+// (MAD 0 by construction); comparisons fall back to the relative floor.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +30,7 @@
 #include <vector>
 
 #include "core/report.hpp"
+#include "obs/bench_harness.hpp"
 #include "sim/backend.hpp"
 #include "sim/batch_evaluator.hpp"
 #include "train/models.hpp"
@@ -38,6 +42,7 @@ namespace {
 
 struct Row {
   const char* network;
+  const char* slug;  ///< bench.v1 entry-name segment
   const char* dataset;
   nn::Network net;
   train::Dataset test;
@@ -79,7 +84,7 @@ int main(int argc, char** argv) {
   std::vector<Row> rows;
 
   {
-    Row r{"LeNet-5 (small)", "SynthDigits",
+    Row r{"LeNet-5 (small)", "lenet5_small", "SynthDigits",
           train::build_lenet_small(nn::AccumMode::kOrApprox, 16),
           train::make_synth_digits(300, 999, 16)};
     const train::Dataset tr = train::make_synth_digits(1200, 42, 16);
@@ -91,7 +96,7 @@ int main(int argc, char** argv) {
     rows.push_back(std::move(r));
   }
   {
-    Row r{"SVHN CNN (small)", "SynthObjects-A",
+    Row r{"SVHN CNN (small)", "svhn_small", "SynthObjects-A",
           train::build_cifar_small(nn::AccumMode::kOrApprox, 16, 31),
           train::make_synth_objects(300, 777, 16)};
     const train::Dataset tr = train::make_synth_objects(1200, 11, 16);
@@ -102,7 +107,7 @@ int main(int argc, char** argv) {
     rows.push_back(std::move(r));
   }
   {
-    Row r{"CIFAR-10 CNN (small)", "SynthObjects-B",
+    Row r{"CIFAR-10 CNN (small)", "cifar10_small", "SynthObjects-B",
           train::build_cifar_small(nn::AccumMode::kOrApprox, 16, 57),
           train::make_synth_objects(300, 888, 16)};
     const train::Dataset tr = train::make_synth_objects(1200, 23, 16);
@@ -118,7 +123,7 @@ int main(int argc, char** argv) {
     // (counter-preload adds) through the same graph executor as the
     // plain stacks — the row pins Table II's trend on a topology with
     // branches, not just linear conv chains.
-    Row r{"ResNet (tiny)", "SynthObjects-C",
+    Row r{"ResNet (tiny)", "resnet_tiny", "SynthObjects-C",
           train::build_resnet_tiny(nn::AccumMode::kOrApprox, 16, 91),
           train::make_synth_objects(300, 555, 16)};
     const train::Dataset tr = train::make_synth_objects(1200, 37, 16);
@@ -134,11 +139,17 @@ int main(int argc, char** argv) {
   std::printf("evaluating on %u thread%s...\n", evaluator.threads(),
               evaluator.threads() == 1 ? "" : "s");
 
-  std::vector<std::string> json_cells;
+  // Accuracy cells are deterministic, so record() single-observation
+  // entries carry them; wall-clock data deliberately stays out of the
+  // document (it would differ per machine for no analytic value here).
+  obs::Bench bench("table2_accuracy", obs::BenchOptions::from_env());
+
   core::Table table({"Network", "Dataset", "Stream", "8-bit Fixed Pt [%]",
                      "ACOUSTIC [%]"});
   for (Row& r : rows) {
     bool first = true;
+    bench.record(std::string("table2/") + r.slug + "/fixed8/accuracy",
+                 100.0 * r.fixed8, "percent", /*lower_is_better=*/false);
     for (std::size_t len : {32u, 64u, 128u, 256u, 512u}) {
       sim::ScConfig sc;
       sc.stream_length = len;
@@ -148,16 +159,10 @@ int main(int argc, char** argv) {
                      std::to_string(len),
                      first ? core::format_number(100.0 * r.fixed8, 4) : "",
                      core::format_number(100.0 * result.accuracy, 4)});
-      if (!json_path.empty()) {
-        std::string cell = "{\n  \"network\": \"" +
-                           core::json_escape(r.network) +
-                           "\",\n  \"stream_length\": " +
-                           std::to_string(len) + ",\n  \"result\": ";
-        cell += core::to_json(result);
-        cell.pop_back();  // to_json ends with '\n'; close the wrapper
-        cell += "\n}";
-        json_cells.push_back(std::move(cell));
-      }
+      bench.record(std::string("table2/") + r.slug + "/stream" +
+                       std::to_string(len) + "/accuracy",
+                   100.0 * result.accuracy, "percent",
+                   /*lower_is_better=*/false);
       first = false;
     }
   }
@@ -170,17 +175,14 @@ int main(int argc, char** argv) {
       "(78.04 vs 79.9).\n");
 
   if (!json_path.empty()) {
-    std::ofstream out(json_path);
+    std::ofstream out(json_path, std::ios::binary);
     if (!out) {
       std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
       return 1;
     }
-    out << "[\n";
-    for (std::size_t i = 0; i < json_cells.size(); ++i) {
-      out << json_cells[i] << (i + 1 < json_cells.size() ? ",\n" : "\n");
-    }
-    out << "]\n";
-    std::printf("\nwrote %zu evaluation records to %s\n", json_cells.size(),
+    const obs::BenchDocument& doc = bench.document();
+    out << obs::to_json(doc);
+    std::printf("\nwrote %zu accuracy entries to %s\n", doc.entries.size(),
                 json_path.c_str());
   }
   return 0;

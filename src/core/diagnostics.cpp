@@ -22,7 +22,11 @@ std::string default_anchor(const Diagnostic& d) {
     return d.path;
   }
   if (d.index != kNoIndex) {
-    return "#" + std::to_string(d.index);
+    // Two appends, not operator+: gcc 12's -Wrestrict false-fires on
+    // concatenated string temporaries under -O2 (PR 105329).
+    std::string anchor("#");
+    anchor += std::to_string(d.index);
+    return anchor;
   }
   return "<global>";
 }

@@ -1,0 +1,89 @@
+// Minimal JSON reader: the parsing counterpart of obs/json.hpp.
+//
+// Every machine-readable document this repo emits (bench.v1 trajectory
+// files, Chrome trace events, the metrics/eval JSON) is consumed back by
+// the same code base — `acoustic bench --compare` reads baselines, the
+// trace round-trip tests validate required event fields — so the reader
+// lives next to the writer and speaks exactly the same dialect: objects,
+// arrays, strings (full escape set incl. \uXXXX surrogate pairs), doubles,
+// bools, null. No extensions (comments, trailing commas, NaN literals):
+// a document the writer cannot produce is a parse error here.
+//
+// Values are an immutable tree built by JsonValue::parse. Object members
+// keep insertion order (the writers emit sorted keys; keeping order makes
+// mismatches reproducible in tests); lookup is linear, which is fine for
+// the document sizes involved (benchmark baselines, trace metadata).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace acoustic::obs {
+
+/// Thrown on malformed input; what() carries a byte offset and context.
+class JsonParseError : public std::runtime_error {
+ public:
+  explicit JsonParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one complete JSON document (trailing whitespace allowed,
+  /// trailing garbage is an error). Throws JsonParseError.
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+  JsonValue() = default;  ///< null
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
+
+  /// Typed accessors; throw std::logic_error on a kind mismatch so a test
+  /// reading a malformed document fails with a message, not UB.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  /// Array elements (throws unless is_array()).
+  [[nodiscard]] const std::vector<JsonValue>& items() const;
+  /// Object members in document order (throws unless is_object()).
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>&
+  members() const;
+
+  /// Object member by key; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  /// Object member by key; throws std::out_of_range when absent.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+  [[nodiscard]] bool has(const std::string& key) const {
+    return find(key) != nullptr;
+  }
+
+  /// Array length / object member count (0 for scalar kinds).
+  [[nodiscard]] std::size_t size() const noexcept;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+
+  friend class JsonParser;
+};
+
+}  // namespace acoustic::obs

@@ -1,17 +1,15 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <set>
 #include <stdexcept>
+#include <vector>
 
 #include "obs/json.hpp"
 
 namespace acoustic::obs {
 
-namespace {
-
-/// Prometheus metric names admit [a-zA-Z0-9_:] only; everything else
-/// (the registry's dotted namespacing in particular) becomes '_'.
-std::string prometheus_name(const std::string& name) {
+std::string prometheus_sanitize(const std::string& name) {
   std::string out = name;
   for (char& c : out) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
@@ -20,19 +18,53 @@ std::string prometheus_name(const std::string& name) {
       c = '_';
     }
   }
-  if (!out.empty() && out.front() >= '0' && out.front() <= '9') {
+  if (out.empty()) {
+    return "_";
+  }
+  if (out.front() >= '0' && out.front() <= '9') {
     out.insert(out.begin(), '_');
   }
   return out;
 }
 
-}  // namespace
+std::string prometheus_escape_help(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string prometheus_escape_label(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
 
 Registry::Registry(const Registry& other) {
   std::lock_guard lock(other.mutex_);
   counters_ = other.counters_;
   gauges_ = other.gauges_;
   histograms_ = other.histograms_;
+  descriptions_ = other.descriptions_;
 }
 
 Registry& Registry::operator=(const Registry& other) {
@@ -44,7 +76,19 @@ Registry& Registry::operator=(const Registry& other) {
   counters_ = other.counters_;
   gauges_ = other.gauges_;
   histograms_ = other.histograms_;
+  descriptions_ = other.descriptions_;
   return *this;
+}
+
+void Registry::describe(const std::string& name, std::string help) {
+  std::lock_guard lock(mutex_);
+  descriptions_[name] = std::move(help);
+}
+
+std::string Registry::description(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = descriptions_.find(name);
+  return it == descriptions_.end() ? std::string() : it->second;
 }
 
 void Registry::add(const std::string& name, std::uint64_t delta) {
@@ -127,8 +171,12 @@ void Registry::merge(const Registry& other) {
   const auto counters = other.counters();
   const auto gauges = other.gauges();
   const auto histograms = other.histograms();
+  const auto descriptions = other.descriptions();
 
   std::lock_guard lock(mutex_);
+  for (const auto& [name, help] : descriptions) {
+    descriptions_.emplace(name, help);  // first writer wins
+  }
   for (const auto& [name, value] : counters) {
     counters_[name] += value;
   }
@@ -164,6 +212,7 @@ void Registry::clear() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  descriptions_.clear();
 }
 
 bool Registry::empty() const {
@@ -184,6 +233,11 @@ std::map<std::string, double> Registry::gauges() const {
 std::map<std::string, HistogramSnapshot> Registry::histograms() const {
   std::lock_guard lock(mutex_);
   return histograms_;
+}
+
+std::map<std::string, std::string> Registry::descriptions() const {
+  std::lock_guard lock(mutex_);
+  return descriptions_;
 }
 
 std::string Registry::to_json(int indent) const {
@@ -244,30 +298,134 @@ std::string Registry::to_prometheus() const {
   const auto counters = this->counters();
   const auto gauges = this->gauges();
   const auto histograms = this->histograms();
+  const auto descriptions = this->descriptions();
 
-  std::string out;
-  for (const auto& [name, value] : counters) {
-    const std::string prom = prometheus_name(name);
-    out += "# TYPE " + prom + " counter\n";
-    out += prom + " " + json_number(value) + "\n";
-  }
-  for (const auto& [name, value] : gauges) {
-    const std::string prom = prometheus_name(name);
-    out += "# TYPE " + prom + " gauge\n";
-    out += prom + " " + json_number(value) + "\n";
-  }
-  for (const auto& [name, h] : histograms) {
-    const std::string prom = prometheus_name(name);
-    out += "# TYPE " + prom + " histogram\n";
-    std::uint64_t cumulative = 0;
-    for (std::size_t i = 0; i < h.edges.size(); ++i) {
-      cumulative += h.buckets[i];
-      out += prom + "_bucket{le=\"" + json_number(h.edges[i]) + "\"} " +
-             json_number(cumulative) + "\n";
+  // Group registry names by sanitized family name (sorted maps in, sorted
+  // groups out — the exposition is deterministic). Within a group the
+  // members are told apart by a name label; a family name that an earlier
+  // kind already claimed gets a kind suffix — the format forbids two
+  // # TYPE lines for one metric name.
+  std::set<std::string> claimed;
+  const auto claim = [&claimed](std::string family, const char* suffix) {
+    if (claimed.count(family) != 0) {
+      family += suffix;
     }
-    out += prom + "_bucket{le=\"+Inf\"} " + json_number(h.count) + "\n";
-    out += prom + "_sum " + json_number(h.sum) + "\n";
-    out += prom + "_count " + json_number(h.count) + "\n";
+    while (claimed.count(family) != 0) {
+      family += '_';
+    }
+    claimed.insert(family);
+    return family;
+  };
+  std::string out;
+  const auto help = [&out, &descriptions](const std::string& family,
+                                          const std::vector<std::string>&
+                                              members) {
+    for (const std::string& member : members) {
+      const auto it = descriptions.find(member);
+      if (it != descriptions.end() && !it->second.empty()) {
+        out += "# HELP ";
+        out += family;
+        out += ' ';
+        out += prometheus_escape_help(it->second);
+        out += '\n';
+        return;
+      }
+    }
+  };
+  const auto group_by_family = [](const auto& metrics) {
+    std::map<std::string, std::vector<std::string>> groups;
+    for (const auto& [name, value] : metrics) {
+      groups[prometheus_sanitize(name)].push_back(name);
+    }
+    return groups;
+  };
+
+  // Sequential appends rather than chained operator+: gcc 12's -Wrestrict
+  // false-fires on concatenated string temporaries (PR 105329) under -O2.
+  const auto append_sample = [&out](const std::string& family,
+                                    bool labelled, const std::string& member,
+                                    const std::string& value) {
+    out += family;
+    if (labelled) {
+      out += "{name=\"";
+      out += prometheus_escape_label(member);
+      out += "\"}";
+    }
+    out += ' ';
+    out += value;
+    out += '\n';
+  };
+
+  for (const auto& [san, members] : group_by_family(counters)) {
+    const std::string family = claim(san, "_counter");
+    help(family, members);
+    out += "# TYPE ";
+    out += family;
+    out += " counter\n";
+    for (const std::string& member : members) {
+      append_sample(family, members.size() > 1, member,
+                    json_number(counters.at(member)));
+    }
+  }
+  for (const auto& [san, members] : group_by_family(gauges)) {
+    const std::string family = claim(san, "_gauge");
+    help(family, members);
+    out += "# TYPE ";
+    out += family;
+    out += " gauge\n";
+    for (const std::string& member : members) {
+      append_sample(family, members.size() > 1, member,
+                    json_number(gauges.at(member)));
+    }
+  }
+  for (const auto& [san, members] : group_by_family(histograms)) {
+    const std::string family = claim(san, "_histogram");
+    help(family, members);
+    out += "# TYPE ";
+    out += family;
+    out += " histogram\n";
+    for (const std::string& member : members) {
+      const HistogramSnapshot& h = histograms.at(member);
+      std::string name_label;
+      std::string bare_label;
+      if (members.size() > 1) {
+        name_label += "name=\"";
+        name_label += prometheus_escape_label(member);
+        name_label += "\",";
+        bare_label += "{name=\"";
+        bare_label += prometheus_escape_label(member);
+        bare_label += "\"}";
+      }
+      const auto append_bucket = [&](const std::string& le,
+                                     std::uint64_t value) {
+        out += family;
+        out += "_bucket{";
+        out += name_label;
+        out += "le=\"";
+        out += le;
+        out += "\"} ";
+        out += json_number(value);
+        out += '\n';
+      };
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < h.edges.size(); ++i) {
+        cumulative += h.buckets[i];
+        append_bucket(json_number(h.edges[i]), cumulative);
+      }
+      append_bucket("+Inf", h.count);
+      out += family;
+      out += "_sum";
+      out += bare_label;
+      out += ' ';
+      out += json_number(h.sum);
+      out += '\n';
+      out += family;
+      out += "_count";
+      out += bare_label;
+      out += ' ';
+      out += json_number(h.count);
+      out += '\n';
+    }
   }
   return out;
 }

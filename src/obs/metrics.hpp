@@ -20,7 +20,15 @@
 //
 // Exporters: to_json() (pretty, stable sorted key order — the document
 // `acoustic eval --metrics --json` embeds) and to_prometheus() (text
-// exposition format, metric names sanitized to [a-zA-Z0-9_:]).
+// exposition format). The Prometheus exporter sanitizes names to the
+// legal [a-zA-Z_:][a-zA-Z0-9_:]* alphabet and is collision-safe: when
+// two registry names sanitize to the same exposition name (the dotted
+// namespacing makes this easy — "a.b" and "a_b" collide), the exporter
+// emits ONE # TYPE family and distinguishes the members with a
+// name="<original>" label instead of emitting duplicate metric families,
+// which scrapers reject. Cross-kind collisions (a counter and a gauge
+// sanitizing identically) get a kind suffix. describe() attaches # HELP
+// text (escaped per the exposition format: backslash and newline).
 #pragma once
 
 #include <cstdint>
@@ -64,9 +72,18 @@ class Registry {
   void observe(const std::string& name, double value);
   [[nodiscard]] HistogramSnapshot histogram(const std::string& name) const;
 
+  // --- descriptions ---
+  /// Attaches Prometheus # HELP text to @p name (any kind, set before or
+  /// after the metric exists). Re-describing overwrites. Descriptions are
+  /// exposition-only: to_json() ignores them, keeping the JSON document's
+  /// byte-identical determinism contract untouched.
+  void describe(const std::string& name, std::string help);
+  [[nodiscard]] std::string description(const std::string& name) const;
+
   /// Folds @p other in: counters and histogram buckets add, gauges take
   /// the element-wise max (the only order-insensitive choice), histograms
-  /// present in both must have identical edges.
+  /// present in both must have identical edges. Descriptions merge
+  /// first-writer-wins (ours kept on conflict).
   void merge(const Registry& other);
 
   void clear();
@@ -77,13 +94,16 @@ class Registry {
   [[nodiscard]] std::map<std::string, std::uint64_t> counters() const;
   [[nodiscard]] std::map<std::string, double> gauges() const;
   [[nodiscard]] std::map<std::string, HistogramSnapshot> histograms() const;
+  [[nodiscard]] std::map<std::string, std::string> descriptions() const;
 
   /// Pretty JSON object {"counters": {...}, "gauges": {...},
   /// "histograms": {...}}, keys sorted, indented by @p indent spaces.
   [[nodiscard]] std::string to_json(int indent = 0) const;
 
-  /// Prometheus text exposition format (# TYPE lines, cumulative
-  /// histogram buckets with le labels, +Inf bucket, _sum and _count).
+  /// Prometheus text exposition format: # HELP (when described) and
+  /// # TYPE lines per family, cumulative histogram buckets with le
+  /// labels, +Inf bucket, _sum and _count; sanitized names, collision
+  /// groups disambiguated with a name label (see the header comment).
   [[nodiscard]] std::string to_prometheus() const;
 
  private:
@@ -91,6 +111,18 @@ class Registry {
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, double> gauges_;
   std::map<std::string, HistogramSnapshot> histograms_;
+  std::map<std::string, std::string> descriptions_;
 };
+
+/// The exposition-name sanitizer to_prometheus() uses, exposed for tests
+/// and external exporters: illegal characters become '_', a leading
+/// digit gets a '_' prefix, an empty name becomes "_".
+[[nodiscard]] std::string prometheus_sanitize(const std::string& name);
+
+/// Escapes @p text for a # HELP line (backslash and newline).
+[[nodiscard]] std::string prometheus_escape_help(const std::string& text);
+
+/// Escapes @p text for a label value (backslash, double-quote, newline).
+[[nodiscard]] std::string prometheus_escape_label(const std::string& text);
 
 }  // namespace acoustic::obs

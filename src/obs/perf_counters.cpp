@@ -1,0 +1,208 @@
+#include "obs/perf_counters.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace acoustic::obs {
+
+namespace {
+
+std::uint64_t wall_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+#if defined(__linux__)
+
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+constexpr EventSpec kSpecs[kPerfEventCount] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK},
+};
+
+int open_event(const EventSpec& spec, bool inherit) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = spec.type;
+  attr.config = spec.config;
+  attr.disabled = 1;
+  // User-space only: stays within the unprivileged budget of
+  // perf_event_paranoid <= 2 and measures the simulator, not the kernel.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.inherit = inherit ? 1 : 0;
+  // TOTAL_TIME_ENABLED/RUNNING make multiplexing visible so the value can
+  // be scaled; each event is its own fd (no PERF_FORMAT_GROUP) because
+  // group reads are incompatible with inherit and per-event degradation
+  // is the whole point.
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+/// Scaled counter value of one fd, or false when the read fails (fd
+/// revoked, short read).
+bool read_scaled(int fd, std::uint64_t& out) {
+  std::uint64_t buf[3] = {0, 0, 0};  // value, time_enabled, time_running
+  const ssize_t n = read(fd, buf, sizeof(buf));
+  if (n != static_cast<ssize_t>(sizeof(buf))) {
+    return false;
+  }
+  if (buf[2] != 0 && buf[2] != buf[1]) {
+    const long double scaled =
+        static_cast<long double>(buf[0]) *
+        (static_cast<long double>(buf[1]) / static_cast<long double>(buf[2]));
+    out = static_cast<std::uint64_t>(scaled);
+  } else {
+    out = buf[0];
+  }
+  return true;
+}
+
+#endif  // __linux__
+
+}  // namespace
+
+const char* perf_event_name(PerfEvent event) noexcept {
+  switch (event) {
+    case PerfEvent::kCycles: return "cycles";
+    case PerfEvent::kInstructions: return "instructions";
+    case PerfEvent::kBranchMisses: return "branch_misses";
+    case PerfEvent::kCacheMisses: return "cache_misses";
+    case PerfEvent::kTaskClock: return "task_clock_ns";
+  }
+  return "unknown";
+}
+
+double PerfSample::ipc() const noexcept {
+  if (!has(PerfEvent::kCycles) || !has(PerfEvent::kInstructions) ||
+      (*this)[PerfEvent::kCycles] == 0) {
+    return std::nan("");
+  }
+  return static_cast<double>((*this)[PerfEvent::kInstructions]) /
+         static_cast<double>((*this)[PerfEvent::kCycles]);
+}
+
+PerfCounterGroup::PerfCounterGroup(Options options) {
+  fd_.fill(-1);
+#if defined(__linux__)
+  for (unsigned i = 0; i < kPerfEventCount; ++i) {
+    const int fd = open_event(kSpecs[i], options.inherit);
+    if (fd >= 0) {
+      fd_[i] = fd;
+      open_mask_ |= 1U << i;
+    }
+  }
+#else
+  (void)options;
+#endif
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+#if defined(__linux__)
+  for (const int fd : fd_) {
+    if (fd >= 0) {
+      close(fd);
+    }
+  }
+#endif
+}
+
+void PerfCounterGroup::start() {
+#if defined(__linux__)
+  for (const int fd : fd_) {
+    if (fd >= 0) {
+      ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+      ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+    }
+  }
+#endif
+  running_ = true;
+  start_wall_ns_ = wall_now_ns();
+}
+
+PerfSample PerfCounterGroup::sample() const {
+  PerfSample s;
+  s.wall_ns = running_ ? wall_now_ns() - start_wall_ns_ : 0;
+#if defined(__linux__)
+  if (!running_) {
+    return s;
+  }
+  for (unsigned i = 0; i < kPerfEventCount; ++i) {
+    if (fd_[i] < 0) {
+      continue;
+    }
+    std::uint64_t value = 0;
+    if (read_scaled(fd_[i], value)) {
+      s.value[i] = value;
+      s.valid |= 1U << i;
+    }
+  }
+#endif
+  return s;
+}
+
+PerfSample PerfCounterGroup::stop() {
+  const PerfSample s = sample();
+#if defined(__linux__)
+  for (const int fd : fd_) {
+    if (fd >= 0) {
+      ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+    }
+  }
+#endif
+  running_ = false;
+  return s;
+}
+
+bool PerfCounterGroup::kernel_supported() {
+  static const bool supported = [] {
+    const PerfCounterGroup probe;
+    return probe.available();
+  }();
+  return supported;
+}
+
+void export_metrics(const PerfSample& sample, Registry& registry,
+                    const std::string& prefix) {
+  for (unsigned i = 0; i < kPerfEventCount; ++i) {
+    const auto event = static_cast<PerfEvent>(i);
+    if (sample.has(event)) {
+      const std::string name = prefix + "." + perf_event_name(event);
+      registry.add(name, sample[event]);
+      registry.describe(name, std::string("perf_event delta (") +
+                                  perf_event_name(event) +
+                                  "), multiplex-scaled");
+    }
+  }
+  const double ipc = sample.ipc();
+  if (!std::isnan(ipc)) {
+    registry.set(prefix + ".ipc", ipc);
+    registry.describe(prefix + ".ipc", "instructions per cycle");
+  }
+  registry.set(prefix + ".wall_ns", static_cast<double>(sample.wall_ns));
+  registry.describe(prefix + ".wall_ns",
+                    "wall clock over the measured region (monotonic)");
+}
+
+}  // namespace acoustic::obs

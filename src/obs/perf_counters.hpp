@@ -1,0 +1,127 @@
+// Hardware performance counters below wall-clock: cycles, instructions,
+// branch misses, cache misses and CPU time for one measured region.
+//
+// A PerfCounterGroup opens one Linux perf_event fd per event for the
+// calling thread (perf_event_open(2), PERF_TYPE_HARDWARE/SOFTWARE) and
+// reads multiplex-scaled deltas between start() and sample()/stop(). The
+// point is attribution: a benchmark that got slower shows *why* — fewer
+// instructions per cycle (stalls, cache misses) vs simply more
+// instructions (algorithmic regression).
+//
+// Graceful degradation is the design center, not an afterthought:
+//   * kernels without the syscall, containers with a seccomp filter,
+//     perf_event_paranoid settings that deny unprivileged counters, and
+//     VMs that do not virtualize the PMU (hardware events fail with
+//     ENOENT while software events work) all degrade per event — every
+//     event that cannot be opened is simply absent from the sample's
+//     valid mask;
+//   * the wall clock (steady_clock, i.e. clock_gettime) is always
+//     measured, so a PerfSample is useful even when the mask is empty;
+//   * nothing in this header throws for lack of kernel support, and a
+//     fully-degraded group costs one failed syscall per event at
+//     construction, nothing per start()/sample().
+//
+// Scope: the calling thread, plus — with Options::inherit — any thread it
+// creates *after* construction (how the bench harness covers a thread
+// pool spawned inside the measured region). Counters for threads that
+// already exist cannot be attached retroactively; callers that need
+// per-worker attribution give each worker its own group.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace acoustic::obs {
+
+/// Events a group measures. kTaskClock is a software event and is the
+/// most widely available (it works even where the PMU is hidden).
+enum class PerfEvent : unsigned {
+  kCycles = 0,
+  kInstructions,
+  kBranchMisses,
+  kCacheMisses,
+  kTaskClock,
+};
+inline constexpr unsigned kPerfEventCount = 5;
+
+/// Stable lower-snake tag: "cycles", "instructions", "branch_misses",
+/// "cache_misses", "task_clock_ns" — the names used for span counters,
+/// registry metrics and bench.v1 documents.
+[[nodiscard]] const char* perf_event_name(PerfEvent event) noexcept;
+
+/// One reading: deltas since start(), multiplex-scaled (value *
+/// time_enabled / time_running, the standard correction when the kernel
+/// rotates more events than the PMU has slots).
+struct PerfSample {
+  std::array<std::uint64_t, kPerfEventCount> value{};
+  unsigned valid = 0;          ///< bitmask: bit (1 << event) set when measured
+  std::uint64_t wall_ns = 0;   ///< always measured (monotonic clock)
+
+  [[nodiscard]] bool has(PerfEvent event) const noexcept {
+    return (valid & (1U << static_cast<unsigned>(event))) != 0;
+  }
+  [[nodiscard]] std::uint64_t operator[](PerfEvent event) const noexcept {
+    return value[static_cast<unsigned>(event)];
+  }
+
+  /// Instructions per cycle; NaN unless both events were measured and at
+  /// least one cycle elapsed.
+  [[nodiscard]] double ipc() const noexcept;
+};
+
+class PerfCounterGroup {
+ public:
+  struct Options {
+    /// Count threads created by the measured code after this group is
+    /// constructed (perf_event_attr.inherit). Off by default: inherited
+    /// reads aggregate children, which is what a *benchmark* wants but
+    /// not what a per-layer span wants.
+    bool inherit = false;
+  };
+
+  /// Opens the event fds; failures degrade silently (see header).
+  PerfCounterGroup() : PerfCounterGroup(Options{}) {}
+  explicit PerfCounterGroup(Options options);
+  ~PerfCounterGroup();
+
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  /// True when at least one perf event opened. A false group still
+  /// produces wall_ns-only samples.
+  [[nodiscard]] bool available() const noexcept { return open_mask_ != 0; }
+  /// Bitmask of events that opened ((1 << PerfEvent) bits).
+  [[nodiscard]] unsigned open_mask() const noexcept { return open_mask_; }
+
+  /// Resets and enables every counter and anchors the wall clock. May be
+  /// called repeatedly; each start() begins a fresh measurement.
+  void start();
+  /// Deltas since the last start() without stopping the counters (used by
+  /// span attachment, where regions nest).
+  [[nodiscard]] PerfSample sample() const;
+  /// Disables the counters and returns the final deltas.
+  PerfSample stop();
+
+  /// One-syscall probe, cached per process: can this kernel/container
+  /// open *any* of the group's events? (CI containers commonly cannot.)
+  [[nodiscard]] static bool kernel_supported();
+
+ private:
+  std::array<int, kPerfEventCount> fd_;
+  unsigned open_mask_ = 0;
+  std::uint64_t start_wall_ns_ = 0;
+  bool running_ = false;
+};
+
+/// Registers @p sample under "<prefix>." in @p registry: counters for the
+/// raw event deltas, gauges <prefix>.ipc (when derivable) and
+/// <prefix>.wall_ns. Events absent from the valid mask are not emitted at
+/// all — a degraded host produces a smaller document, never zeros that
+/// could be mistaken for measurements.
+void export_metrics(const PerfSample& sample, Registry& registry,
+                    const std::string& prefix = "hw");
+
+}  // namespace acoustic::obs

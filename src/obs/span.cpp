@@ -15,12 +15,21 @@ std::uint64_t Profiler::now_ns() {
 
 void Profiler::record(SpanRecord rec) {
   std::lock_guard lock(mutex_);
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return;
+  }
   spans_.push_back(std::move(rec));
 }
 
 std::size_t Profiler::size() const {
   std::lock_guard lock(mutex_);
   return spans_.size();
+}
+
+std::uint64_t Profiler::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
 }
 
 std::vector<SpanRecord> Profiler::snapshot() const {
@@ -32,6 +41,7 @@ std::vector<SpanRecord> Profiler::take() {
   std::lock_guard lock(mutex_);
   std::vector<SpanRecord> out;
   out.swap(spans_);
+  dropped_ = 0;
   return out;
 }
 
@@ -62,11 +72,31 @@ void Span::kind(std::string kind) {
   rec_.kind = std::move(kind);
 }
 
+void Span::attach(PerfCounterGroup* group) {
+  if (profiler_ == nullptr || group == nullptr) {
+    return;
+  }
+  perf_ = group;
+  perf_begin_ = group->sample();
+}
+
 void Span::close() {
   if (profiler_ == nullptr) {
     return;
   }
   rec_.dur_ns = Profiler::now_ns() - rec_.start_ns;
+  if (perf_ != nullptr) {
+    const PerfSample end = perf_->sample();
+    for (unsigned i = 0; i < kPerfEventCount; ++i) {
+      const auto event = static_cast<PerfEvent>(i);
+      if (end.has(event) && perf_begin_.has(event) &&
+          end[event] >= perf_begin_[event]) {
+        rec_.counters.emplace_back(perf_event_name(event),
+                                   end[event] - perf_begin_[event]);
+      }
+    }
+    perf_ = nullptr;
+  }
   profiler_->record(std::move(rec_));
   profiler_ = nullptr;
 }

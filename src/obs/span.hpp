@@ -3,8 +3,24 @@
 // A Span measures one region (a layer's stochastic execution, one image's
 // forward pass) on the monotonic clock and records itself into a Profiler
 // on destruction. Instrumented code takes a nullable Profiler* — a null
-// profiler makes Span construction a few pointer writes and no clock
-// reads, so the hooks can stay compiled into the hot paths permanently.
+// profiler makes Span construction a few pointer writes with NO clock
+// reads, no counter syscalls and no string work, so the hooks can stay
+// compiled into the hot paths permanently (the disabled-path budget is
+// asserted by tests/obs/profile_test.cpp and tracked by the
+// BM_SpanDisabled microbench). Callers must uphold their half of the
+// contract: never build a span name eagerly — pass an empty string when
+// the profiler is null (see sim::BatchEvaluator for the idiom).
+//
+// Hardware counters: attach() samples a PerfCounterGroup at the attach
+// point and appends the deltas (cycles, instructions, ...) as span
+// counters at close, so per-phase and per-region records carry hardware
+// attribution wherever the host provides it. With a null profiler,
+// attach() is a no-op — no perf fd reads on the disabled path.
+//
+// Capacity: a Profiler accepts at most max_spans records (default 1M);
+// further spans are counted in dropped() instead of growing without
+// bound — the same never-silently-truncate contract the perf simulator's
+// trace recorder has.
 //
 // Tracks and ordering: `track` identifies the timeline lane the span
 // belongs to (sim::BatchEvaluator uses the worker index, so the Chrome
@@ -14,11 +30,14 @@
 // though worker threads append spans in racy wall-clock order.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "obs/perf_counters.hpp"
 
 namespace acoustic::obs {
 
@@ -38,23 +57,36 @@ struct SpanRecord {
 /// Thread-safe sink for finished spans.
 class Profiler {
  public:
-  Profiler() = default;
+  /// Default record cap: enough for ~1M spans (hundreds of MB of trace
+  /// JSON) before dropping starts.
+  static constexpr std::size_t kDefaultMaxSpans = 1U << 20U;
+
+  explicit Profiler(std::size_t max_spans = kDefaultMaxSpans)
+      : max_spans_(max_spans) {}
   Profiler(const Profiler&) = delete;
   Profiler& operator=(const Profiler&) = delete;
 
   /// Monotonic timestamp in nanoseconds.
   [[nodiscard]] static std::uint64_t now_ns();
 
+  /// Stores @p rec, or counts it as dropped once max_spans is reached.
   void record(SpanRecord rec);
 
   [[nodiscard]] std::size_t size() const;
+  /// Spans that arrived after the cap — nonzero means every consumer
+  /// (profile tables, trace files, JSON summaries) is looking at a
+  /// truncated record and must say so.
+  [[nodiscard]] std::uint64_t dropped() const;
   [[nodiscard]] std::vector<SpanRecord> snapshot() const;
-  /// Returns all spans and clears the profiler.
+  /// Returns all spans and clears the profiler (the dropped count
+  /// resets too — a fresh recording starts empty).
   [[nodiscard]] std::vector<SpanRecord> take();
 
  private:
   mutable std::mutex mutex_;
   std::vector<SpanRecord> spans_;
+  std::size_t max_spans_;
+  std::uint64_t dropped_ = 0;
 };
 
 /// RAII span: starts timing at construction, records into the profiler at
@@ -74,11 +106,19 @@ class Span {
   /// Overrides the span kind ("conv", "dense", ...).
   void kind(std::string kind);
 
+  /// Samples @p group now and appends the counter deltas (cycles,
+  /// instructions, ... — whatever the host provides) when the span
+  /// closes. The group must be started and must outlive the span; with a
+  /// null profiler or null group this is a no-op.
+  void attach(PerfCounterGroup* group);
+
   /// Stops the clock and records the span now (idempotent).
   void close();
 
  private:
   Profiler* profiler_;
+  PerfCounterGroup* perf_ = nullptr;
+  PerfSample perf_begin_;
   SpanRecord rec_;
 };
 

@@ -40,7 +40,16 @@ EvalResult BatchEvaluator::evaluate(InferenceBackend& prototype,
   const std::size_t n = data.size();
   const unsigned workers = pool_.size();
 
+  // Phase spans carry the hooks' hardware counters (when given), so the
+  // profile attributes cycles/instructions to setup vs run vs reduce.
+  // Track 0 is fine: phases are sequential on the calling thread. The
+  // null-profiler branches keep the disabled path free of string work.
+  const bool phases = hooks.profiler != nullptr;
+
   // One clone per worker; the prototype only serves as the template.
+  obs::Span setup_span(hooks.profiler, phases ? "setup" : "",
+                       phases ? "phase" : "", 0, 0);
+  setup_span.attach(hooks.counters);
   std::vector<std::unique_ptr<InferenceBackend>> clones;
   clones.reserve(workers);
   for (unsigned w = 0; w < workers; ++w) {
@@ -50,6 +59,7 @@ EvalResult BatchEvaluator::evaluate(InferenceBackend& prototype,
       clones.back()->set_profiler(hooks.profiler, w);
     }
   }
+  setup_span.close();
 
   // Per-sample slots: disjoint writes, no synchronization needed.
   std::vector<std::uint8_t> correct(n, 0);
@@ -65,6 +75,9 @@ EvalResult BatchEvaluator::evaluate(InferenceBackend& prototype,
   std::vector<nn::Tensor> logits(workers);
 
   const Clock::time_point run_start = Clock::now();
+  obs::Span run_span(hooks.profiler, phases ? "run" : "",
+                     phases ? "phase" : "", 0, 1);
+  run_span.attach(hooks.counters);
   pool_.parallel_for(n, [&](std::size_t i, unsigned worker) {
     const train::Sample& sample = data.samples[i];
     obs::Span span(hooks.profiler,
@@ -85,9 +98,13 @@ EvalResult BatchEvaluator::evaluate(InferenceBackend& prototype,
       hooks.progress(done.fetch_add(1, std::memory_order_relaxed) + 1, n);
     }
   });
+  run_span.close();
   const double wall =
       std::chrono::duration<double>(Clock::now() - run_start).count();
 
+  obs::Span reduce_span(hooks.profiler, phases ? "reduce" : "",
+                        phases ? "phase" : "", 0, 2);
+  reduce_span.attach(hooks.counters);
   EvalResult result;
   result.backend = prototype.name();
   result.threads = workers;

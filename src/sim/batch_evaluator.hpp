@@ -52,8 +52,18 @@ struct EvalResult {
 /// with an atomic).
 struct EvalHooks {
   /// Receives one category-"image" span per sample (track = worker index,
-  /// seq = sample index) plus the per-layer spans of every backend clone.
+  /// seq = sample index), the per-layer spans of every backend clone, and
+  /// — when a profiler is attached — one category-"phase" span per
+  /// evaluate() phase ("setup" = clone creation, "run" = the parallel
+  /// sample loop, "reduce" = stats merge + percentiles).
   obs::Profiler* profiler = nullptr;
+  /// Started hardware-counter group (obs::PerfCounterGroup) whose deltas
+  /// are appended to each phase span, attributing cycles / instructions /
+  /// cache misses to the phases. To cover the pool workers the group
+  /// needs Options::inherit AND must be constructed before the
+  /// BatchEvaluator (inherit only reaches threads created afterwards);
+  /// ignored without a profiler.
+  obs::PerfCounterGroup* counters = nullptr;
   /// progress(done, total) after each completed sample.
   std::function<void(std::size_t done, std::size_t total)> progress;
 };

@@ -31,8 +31,13 @@ nn::Tensor BipolarNetwork::forward(const nn::Tensor& input) {
   nn::Tensor x = input;
   for (std::size_t s = 0; s < ops_.size(); ++s) {
     const LoweredOp& op = ops_[s];
-    obs::Span span(profiler_, op.layer->name(), "layer", track_,
-                   static_cast<std::uint32_t>(s));
+    // Name only when profiling — the copy would otherwise allocate on
+    // every layer of every image (see the obs::Span disabled-path
+    // contract).
+    obs::Span span(profiler_,
+                   profiler_ != nullptr ? op.layer->name() : std::string(),
+                   profiler_ != nullptr ? std::string("layer") : std::string(),
+                   track_, static_cast<std::uint32_t>(s));
     switch (op.kind) {
       case nn::OpKind::kConv2D:
         span.kind("conv");

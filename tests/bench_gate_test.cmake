@@ -1,0 +1,49 @@
+# Drives the bench regression gate end to end against the real binary:
+# write a bench.v1 baseline, then compare a second run against it.
+#
+#   MODE=unchanged  back-to-back runs of the same build must compare
+#                   clean (exit 0). The tolerance is wide (50%) because
+#                   shared CI vCPUs move run-level medians between
+#                   processes (steal time / DVFS) far beyond in-run MADs.
+#   MODE=slowdown   with ACOUSTIC_BENCH_SLOWDOWN=3 the same comparison
+#                   must flag a regression and exit 1 — proving the gate
+#                   actually trips on a real measured slowdown, not just
+#                   on synthetic documents.
+#
+# Invoked from tests/CMakeLists.txt with -DACOUSTIC_BIN, -DWORK_DIR and
+# -DMODE. Uses the cheap plan-build suite so both gate tests stay fast.
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(BASELINE ${WORK_DIR}/baseline.json)
+
+execute_process(
+  COMMAND ${ACOUSTIC_BIN} bench --quick --suite plan --json ${BASELINE}
+  RESULT_VARIABLE write_rc)
+if(NOT write_rc EQUAL 0)
+  message(FATAL_ERROR "baseline run failed (exit ${write_rc})")
+endif()
+if(NOT EXISTS ${BASELINE})
+  message(FATAL_ERROR "baseline run wrote no document")
+endif()
+
+if(MODE STREQUAL "unchanged")
+  execute_process(
+    COMMAND ${ACOUSTIC_BIN} bench --quick --suite plan
+            --compare ${BASELINE} --tolerance 0.5
+    RESULT_VARIABLE compare_rc)
+  if(NOT compare_rc EQUAL 0)
+    message(FATAL_ERROR
+            "back-to-back compare flagged a regression (exit ${compare_rc})")
+  endif()
+elseif(MODE STREQUAL "slowdown")
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env ACOUSTIC_BENCH_SLOWDOWN=3
+            ${ACOUSTIC_BIN} bench --quick --suite plan
+            --compare ${BASELINE} --tolerance 0.5
+    RESULT_VARIABLE compare_rc)
+  if(compare_rc EQUAL 0)
+    message(FATAL_ERROR
+            "3x injected slowdown did not trip the regression gate")
+  endif()
+else()
+  message(FATAL_ERROR "unknown MODE '${MODE}'")
+endif()

@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "nn/activation.hpp"
+#include "nn/batchnorm.hpp"
 #include "nn/conv.hpp"
 #include "nn/dense.hpp"
 #include "nn/pool.hpp"
@@ -58,6 +59,12 @@ TEST(LayerKind, ReportsDynamicType) {
         break;
       case Layer::Kind::kSkipAdd:
         EXPECT_NE(dynamic_cast<SkipAdd*>(&layer), nullptr);
+        break;
+      case Layer::Kind::kBatchNorm:
+        EXPECT_NE(dynamic_cast<BatchNorm*>(&layer), nullptr);
+        break;
+      case Layer::Kind::kSkipProject:
+        EXPECT_NE(dynamic_cast<SkipProject*>(&layer), nullptr);
         break;
     }
   }

@@ -1,0 +1,95 @@
+// obs::JsonValue: the reader half of the JSON round trip — it must
+// accept exactly the dialect obs/json.hpp writes and reject everything
+// else with a diagnosable error.
+#include "obs/json_read.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace acoustic {
+namespace {
+
+TEST(JsonRead, Scalars) {
+  EXPECT_TRUE(obs::JsonValue::parse("null").is_null());
+  EXPECT_TRUE(obs::JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(obs::JsonValue::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(obs::JsonValue::parse("-12.5e2").as_number(), -1250.0);
+  EXPECT_DOUBLE_EQ(obs::JsonValue::parse("0").as_number(), 0.0);
+  EXPECT_EQ(obs::JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonRead, NestedStructure) {
+  const obs::JsonValue doc = obs::JsonValue::parse(
+      R"({"a": [1, 2, {"b": true}], "c": {"d": null}, "e": "x"})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.size(), 3u);
+  const obs::JsonValue& a = doc.at("a");
+  ASSERT_TRUE(a.is_array());
+  ASSERT_EQ(a.items().size(), 3u);
+  EXPECT_DOUBLE_EQ(a.items()[0].as_number(), 1.0);
+  EXPECT_TRUE(a.items()[2].at("b").as_bool());
+  EXPECT_TRUE(doc.at("c").at("d").is_null());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW((void)doc.at("missing"), std::out_of_range);
+  // Members keep document order.
+  EXPECT_EQ(doc.members()[0].first, "a");
+  EXPECT_EQ(doc.members()[2].first, "e");
+}
+
+TEST(JsonRead, StringEscapes) {
+  EXPECT_EQ(obs::JsonValue::parse(R"("a\"b\\c\n\t\u0041")").as_string(),
+            "a\"b\\c\n\tA");
+  // Surrogate pair: U+1F600 (emoji) -> 4-byte UTF-8.
+  EXPECT_EQ(obs::JsonValue::parse(R"("\ud83d\ude00")").as_string(),
+            "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonRead, WriterRoundTrip) {
+  // Whatever the writer produces, the reader must reproduce exactly.
+  const std::string text = "{\"name\": " + obs::json_quote("conv5x5(1->6)") +
+                           ", \"value\": " + obs::json_number(1525176.0) +
+                           ", \"weird\": " +
+                           obs::json_quote("tab\there \"quoted\"") + "}";
+  const obs::JsonValue doc = obs::JsonValue::parse(text);
+  EXPECT_EQ(doc.at("name").as_string(), "conv5x5(1->6)");
+  EXPECT_DOUBLE_EQ(doc.at("value").as_number(), 1525176.0);
+  EXPECT_EQ(doc.at("weird").as_string(), "tab\there \"quoted\"");
+}
+
+TEST(JsonRead, RejectsMalformedInput) {
+  EXPECT_THROW((void)obs::JsonValue::parse(""), obs::JsonParseError);
+  EXPECT_THROW((void)obs::JsonValue::parse("{"), obs::JsonParseError);
+  EXPECT_THROW((void)obs::JsonValue::parse("[1,]"), obs::JsonParseError);
+  EXPECT_THROW((void)obs::JsonValue::parse("{\"a\": 1} x"),
+               obs::JsonParseError);
+  EXPECT_THROW((void)obs::JsonValue::parse("{'a': 1}"), obs::JsonParseError);
+  EXPECT_THROW((void)obs::JsonValue::parse("NaN"), obs::JsonParseError);
+  EXPECT_THROW((void)obs::JsonValue::parse("\"\\q\""), obs::JsonParseError);
+  EXPECT_THROW((void)obs::JsonValue::parse("// comment\n1"),
+               obs::JsonParseError);
+}
+
+TEST(JsonRead, DepthLimitStopsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) {
+    deep += '[';
+  }
+  deep += '1';
+  for (int i = 0; i < 200; ++i) {
+    deep += ']';
+  }
+  EXPECT_THROW((void)obs::JsonValue::parse(deep), obs::JsonParseError);
+}
+
+TEST(JsonRead, KindMismatchThrowsLogicError) {
+  const obs::JsonValue num = obs::JsonValue::parse("1");
+  EXPECT_THROW((void)num.as_string(), std::logic_error);
+  EXPECT_THROW((void)num.items(), std::logic_error);
+  EXPECT_THROW((void)num.members(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace acoustic

@@ -1,0 +1,208 @@
+// obs::PerfCounterGroup: graceful degradation is the contract under test.
+// These tests must pass identically on hosts with a full PMU, software-
+// events-only containers, and kernels that deny perf_event_open outright —
+// so every assertion about counter *values* is conditional on the event
+// actually having opened, and the unconditional assertions are about the
+// degradation behavior itself (wall clock always measured, no zeros
+// exported for unopened events, no throws anywhere).
+#include "obs/perf_counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace acoustic {
+namespace {
+
+/// Some CPU-visible work so opened counters have something to count.
+std::uint64_t burn() {
+  std::atomic<std::uint64_t> acc{1};
+  for (int i = 0; i < 200000; ++i) {
+    acc.fetch_add(acc.load(std::memory_order_relaxed) % 7 + 1,
+                  std::memory_order_relaxed);
+  }
+  return acc.load();
+}
+
+TEST(PerfCounters, EventNamesAreStable) {
+  EXPECT_STREQ(obs::perf_event_name(obs::PerfEvent::kCycles), "cycles");
+  EXPECT_STREQ(obs::perf_event_name(obs::PerfEvent::kInstructions),
+               "instructions");
+  EXPECT_STREQ(obs::perf_event_name(obs::PerfEvent::kBranchMisses),
+               "branch_misses");
+  EXPECT_STREQ(obs::perf_event_name(obs::PerfEvent::kCacheMisses),
+               "cache_misses");
+  EXPECT_STREQ(obs::perf_event_name(obs::PerfEvent::kTaskClock),
+               "task_clock_ns");
+}
+
+TEST(PerfCounters, WallClockAlwaysMeasured) {
+  obs::PerfCounterGroup group;
+  group.start();
+  (void)burn();
+  const obs::PerfSample sample = group.stop();
+  // Even a fully-degraded group (no PMU, seccomp, paranoid sysctl) must
+  // produce a usable wall-clock reading.
+  EXPECT_GT(sample.wall_ns, 0u);
+  // Unopened events are absent from the mask, never zero-valued "data".
+  for (unsigned i = 0; i < obs::kPerfEventCount; ++i) {
+    const auto event = static_cast<obs::PerfEvent>(i);
+    if (!sample.has(event)) {
+      EXPECT_EQ(sample[event], 0u);
+    }
+  }
+  EXPECT_EQ(sample.valid, group.open_mask() & sample.valid);
+}
+
+TEST(PerfCounters, SamplesAreMonotonicWhileRunning) {
+  obs::PerfCounterGroup group;
+  group.start();
+  (void)burn();
+  const obs::PerfSample first = group.sample();
+  (void)burn();
+  const obs::PerfSample second = group.stop();
+  EXPECT_GE(second.wall_ns, first.wall_ns);
+  for (unsigned i = 0; i < obs::kPerfEventCount; ++i) {
+    const auto event = static_cast<obs::PerfEvent>(i);
+    if (first.has(event) && second.has(event)) {
+      EXPECT_GE(second[event], first[event])
+          << obs::perf_event_name(event);
+    }
+  }
+}
+
+TEST(PerfCounters, RestartResetsTheMeasurement) {
+  obs::PerfCounterGroup group;
+  group.start();
+  (void)burn();
+  const obs::PerfSample big = group.stop();
+  group.start();
+  const obs::PerfSample small = group.stop();
+  // A fresh start() measures from zero — the second (empty) region must
+  // not inherit the first region's counts. Compare CPU time, not wall:
+  // CPU time is immune to the descheduling a shared vCPU can insert
+  // between two clock reads.
+  if (small.has(obs::PerfEvent::kTaskClock) &&
+      big.has(obs::PerfEvent::kTaskClock)) {
+    EXPECT_LT(small[obs::PerfEvent::kTaskClock],
+              big[obs::PerfEvent::kTaskClock]);
+  }
+}
+
+TEST(PerfCounters, TaskClockTracksWallOnSingleThread) {
+  obs::PerfCounterGroup group;
+  group.start();
+  (void)burn();
+  const obs::PerfSample sample = group.stop();
+  if (!sample.has(obs::PerfEvent::kTaskClock)) {
+    GTEST_SKIP() << "host cannot open software perf events";
+  }
+  // One busy thread: CPU time cannot exceed wall time (generous upper
+  // slack for multiplex-scaling rounding).
+  EXPECT_LE(sample[obs::PerfEvent::kTaskClock],
+            sample.wall_ns + sample.wall_ns / 2);
+  EXPECT_GT(sample[obs::PerfEvent::kTaskClock], 0u);
+}
+
+TEST(PerfCounters, IpcNeedsBothEvents) {
+  obs::PerfCounterGroup group;
+  group.start();
+  (void)burn();
+  const obs::PerfSample sample = group.stop();
+  const double ipc = sample.ipc();
+  const bool derivable = sample.has(obs::PerfEvent::kCycles) &&
+                         sample.has(obs::PerfEvent::kInstructions) &&
+                         sample[obs::PerfEvent::kCycles] > 0;
+  if (derivable) {
+    EXPECT_GT(ipc, 0.0);
+    EXPECT_LT(ipc, 16.0);  // no real CPU retires 16 inst/cycle
+  } else {
+    EXPECT_NE(ipc, ipc);  // NaN
+  }
+}
+
+TEST(PerfCounters, ExportEmitsOnlyMeasuredEvents) {
+  obs::PerfCounterGroup group;
+  group.start();
+  (void)burn();
+  const obs::PerfSample sample = group.stop();
+
+  obs::Registry registry;
+  obs::export_metrics(sample, registry, "hw");
+  EXPECT_GT(registry.gauge("hw.wall_ns"), 0.0);
+  for (unsigned i = 0; i < obs::kPerfEventCount; ++i) {
+    const auto event = static_cast<obs::PerfEvent>(i);
+    const std::string name =
+        std::string("hw.") + obs::perf_event_name(event);
+    if (sample.has(event)) {
+      EXPECT_EQ(registry.counter(name), sample[event]) << name;
+    } else {
+      // Degraded hosts produce a smaller document — never zeros that
+      // could be mistaken for measurements.
+      EXPECT_EQ(registry.counters().count(name), 0u) << name;
+    }
+  }
+}
+
+TEST(PerfCounters, SpanAttachAppendsDeltas) {
+  obs::PerfCounterGroup group;
+  group.start();
+  obs::Profiler profiler;
+  {
+    obs::Span span(&profiler, "region", "phase");
+    span.attach(&group);
+    (void)burn();
+  }
+  (void)group.stop();
+
+  const auto spans = profiler.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  if (!group.available()) {
+    EXPECT_TRUE(spans[0].counters.empty());
+    return;
+  }
+  // Every attached counter must name an event the group actually opened.
+  EXPECT_FALSE(spans[0].counters.empty());
+  for (const auto& [key, value] : spans[0].counters) {
+    bool known = false;
+    for (unsigned i = 0; i < obs::kPerfEventCount; ++i) {
+      known |= key == obs::perf_event_name(static_cast<obs::PerfEvent>(i));
+    }
+    EXPECT_TRUE(known) << key;
+  }
+}
+
+TEST(PerfCounters, InheritCoversThreadsSpawnedAfterConstruction) {
+  obs::PerfCounterGroup::Options opt;
+  opt.inherit = true;
+  obs::PerfCounterGroup group(opt);
+  group.start();
+  std::thread worker([] { (void)burn(); });
+  worker.join();
+  const obs::PerfSample sample = group.stop();
+  if (!sample.has(obs::PerfEvent::kTaskClock)) {
+    GTEST_SKIP() << "host cannot open software perf events";
+  }
+  // The child thread's CPU time must be attributed to the group.
+  EXPECT_GT(sample[obs::PerfEvent::kTaskClock], 0u);
+}
+
+TEST(PerfCounters, KernelProbeIsConsistent) {
+  // The cached probe must agree with a real group: if the probe says the
+  // kernel cannot open anything, a group must be fully degraded.
+  obs::PerfCounterGroup group;
+  if (!obs::PerfCounterGroup::kernel_supported()) {
+    EXPECT_FALSE(group.available());
+  }
+  // And stop() without start() must be harmless.
+  const obs::PerfSample sample = group.stop();
+  (void)sample;
+}
+
+}  // namespace
+}  // namespace acoustic

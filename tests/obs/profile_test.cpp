@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/span.hpp"
 #include "sim/backend.hpp"
 #include "sim/batch_evaluator.hpp"
@@ -140,8 +141,84 @@ TEST(Profile, NullProfilerIsNoOp) {
     obs::Span span(nullptr, "unused", "layer");
     span.counter("bits", 1);
     span.kind("conv");
+    span.attach(nullptr);
   }
   EXPECT_EQ(profiler.size(), 0u);
+}
+
+TEST(Profile, DisabledSpanStaysWithinBudget) {
+  // The hooks are compiled into the hot paths permanently, so a span with
+  // a null profiler must cost a few pointer writes — no clock reads, no
+  // counter syscalls, no allocation. The budget here is deliberately
+  // generous (shared CI machines): 1M disabled spans in under 250 ms is
+  // 250 ns/span, ~2 orders of magnitude above the real cost, but a clock
+  // read smuggled into the disabled path would still blow it.
+  constexpr int kIters = 1'000'000;
+  const std::uint64_t begin = obs::Profiler::now_ns();
+  for (int i = 0; i < kIters; ++i) {
+    obs::Span span(nullptr, std::string(), std::string());
+  }
+  const std::uint64_t elapsed = obs::Profiler::now_ns() - begin;
+  EXPECT_LT(elapsed, 250'000'000u)
+      << "disabled span: " << elapsed / kIters << " ns each";
+}
+
+TEST(Profile, DroppedSpansAreCountedAndResetByTake) {
+  obs::Profiler profiler(/*max_spans=*/3);
+  for (int i = 0; i < 5; ++i) {
+    std::string name("s");  // two appends: gcc 12 -Wrestrict false positive
+    name += std::to_string(i);
+    obs::Span span(&profiler, name, "layer");
+  }
+  EXPECT_EQ(profiler.size(), 3u);
+  EXPECT_EQ(profiler.dropped(), 2u);
+
+  // take() hands out the truncated record and starts a fresh recording —
+  // both the spans and the dropped count reset.
+  const std::vector<obs::SpanRecord> spans = profiler.take();
+  EXPECT_EQ(spans.size(), 3u);
+  EXPECT_EQ(profiler.size(), 0u);
+  EXPECT_EQ(profiler.dropped(), 0u);
+}
+
+TEST(Profile, EvaluatorEmitsPhaseSpans) {
+  // With a profiler attached the evaluator brackets its three stages —
+  // clone setup, the parallel run, the reduction — in "phase" spans;
+  // aggregation returns them in structural (seq) order.
+  nn::Network net = train::build_lenet_small(nn::AccumMode::kOrApprox, 16);
+  const train::Dataset data = train::make_synth_digits(kSamples, 999, 16);
+  sim::ScConfig sc_cfg;
+  sc_cfg.stream_length = 32;
+  const std::unique_ptr<sim::InferenceBackend> backend =
+      sim::make_backend("sc", net, sc_cfg, sim::BipolarConfig{});
+
+  obs::PerfCounterGroup::Options popt;
+  popt.inherit = true;
+  obs::PerfCounterGroup counters(popt);
+
+  sim::BatchEvaluator evaluator(2);
+  obs::Profiler profiler;
+  sim::EvalHooks hooks;
+  hooks.profiler = &profiler;
+  hooks.counters = &counters;
+  counters.start();
+  (void)evaluator.evaluate(*backend, data, hooks);
+  (void)counters.stop();
+
+  const std::vector<obs::ProfileRow> phases =
+      obs::aggregate_profile(profiler.snapshot(), "phase");
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_EQ(phases[0].name, "setup");
+  EXPECT_EQ(phases[1].name, "run");
+  EXPECT_EQ(phases[2].name, "reduce");
+  for (const obs::ProfileRow& row : phases) {
+    EXPECT_EQ(row.calls, 1u) << row.name;
+    // Counter deltas ride along wherever the host opened any perf event;
+    // on fully-degraded hosts the rows are wall-clock only.
+    if (counters.available()) {
+      EXPECT_FALSE(row.counters.empty()) << row.name;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,145 @@
+// Chrome trace-event output, parsed back with the repo's own JSON reader:
+// every document the two trace producers emit (the perf simulator's
+// instruction trace and the batch evaluator's span trace) must be valid
+// JSON whose events carry the fields ui.perfetto.dev requires — ph, name,
+// pid, tid, ts (and dur for complete events).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "nn/model_zoo.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
+#include "obs/json_read.hpp"
+#include "obs/span.hpp"
+#include "perf/codegen.hpp"
+#include "perf/timeline.hpp"
+#include "perf/trace_export.hpp"
+
+namespace acoustic {
+namespace {
+
+/// Asserts the trace-document invariants (ASSERT_ needs a void return).
+void validate_trace(const obs::JsonValue& doc) {
+  EXPECT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  const obs::JsonValue& events = doc.at("traceEvents");
+  EXPECT_TRUE(events.is_array());
+  for (const obs::JsonValue& event : events.items()) {
+    ASSERT_TRUE(event.is_object());
+    const std::string& ph = event.at("ph").as_string();
+    ASSERT_TRUE(ph == "X" || ph == "M") << ph;
+    EXPECT_TRUE(event.at("name").is_string());
+    EXPECT_TRUE(event.at("pid").is_number());
+    if (ph == "X") {
+      EXPECT_TRUE(event.at("tid").is_number());
+      EXPECT_GE(event.at("ts").as_number(), 0.0);
+      EXPECT_GE(event.at("dur").as_number(), 0.0);
+    } else {
+      // Metadata events: process_name / thread_name with an args.name.
+      const std::string& name = event.at("name").as_string();
+      EXPECT_TRUE(name == "process_name" || name == "thread_name") << name;
+      EXPECT_TRUE(event.at("args").at("name").is_string());
+    }
+  }
+}
+
+TEST(TraceRoundTrip, SpanTraceParsesWithRequiredFields) {
+  // The eval path: profiler spans across two worker tracks, counters as
+  // args, metadata entries — exactly what `acoustic eval --trace-json`
+  // writes.
+  obs::Profiler profiler;
+  {
+    obs::Span a(&profiler, "conv5x5(1->6)", "layer", /*track=*/0, /*seq=*/0);
+    a.kind("conv+pool");
+    a.counter("product_bits", 1234);
+    obs::Span b(&profiler, "image 1 \"quoted\"", "image", /*track=*/1,
+                /*seq=*/1);
+  }
+  obs::ChromeTraceWriter writer;
+  writer.set_process_name(0, "acoustic eval (sc)");
+  writer.set_thread_name(0, 0, "worker 0");
+  writer.set_thread_name(0, 1, "worker 1");
+  writer.add_spans(0, profiler.snapshot());
+  writer.set_metadata("backend", obs::json_quote("sc"));
+  writer.set_metadata("dropped_events", obs::json_number(std::uint64_t{0}));
+
+  const obs::JsonValue doc = obs::JsonValue::parse(writer.to_string());
+  validate_trace(doc);
+  const obs::JsonValue& events = doc.at("traceEvents");
+  // 3 metadata + 2 span events.
+  ASSERT_EQ(events.items().size(), 5u);
+
+  std::set<double> tids;
+  bool saw_counter_args = false;
+  for (const obs::JsonValue& event : events.items()) {
+    if (event.at("ph").as_string() != "X") {
+      continue;
+    }
+    tids.insert(event.at("tid").as_number());
+    if (const obs::JsonValue* args = event.find("args")) {
+      saw_counter_args |= args->has("product_bits");
+    }
+  }
+  EXPECT_EQ(tids.size(), 2u) << "one track per worker";
+  EXPECT_TRUE(saw_counter_args);
+  EXPECT_EQ(doc.at("otherData").at("backend").as_string(), "sc");
+  EXPECT_EQ(doc.at("otherData").at("dropped_events").as_number(), 0.0);
+}
+
+TEST(TraceRoundTrip, SpanTimestampsAreRebasedAndOrdered) {
+  obs::Profiler profiler;
+  { obs::Span s(&profiler, "first", "layer", 0, 0); }
+  { obs::Span s(&profiler, "second", "layer", 0, 1); }
+  obs::ChromeTraceWriter writer;
+  writer.add_spans(0, profiler.snapshot());
+  const obs::JsonValue doc = obs::JsonValue::parse(writer.to_string());
+  validate_trace(doc);
+
+  std::vector<double> ts;
+  for (const obs::JsonValue& event : doc.at("traceEvents").items()) {
+    if (event.at("ph").as_string() == "X") {
+      ts.push_back(event.at("ts").as_number());
+    }
+  }
+  ASSERT_EQ(ts.size(), 2u);
+  // Rebased to the earliest span: the first timestamp is 0, and the trace
+  // does not start at some multi-hour monotonic-clock offset.
+  EXPECT_DOUBLE_EQ(ts[0], 0.0);
+  EXPECT_GE(ts[1], ts[0]);
+}
+
+TEST(TraceRoundTrip, PerfSimTraceParsesWithRequiredFields) {
+  // The simulate path: instruction trace of the performance simulator,
+  // cycle timebase, one thread per control unit.
+  const nn::NetworkDesc net = nn::lenet5();
+  const perf::ArchConfig arch = perf::lp();
+  const perf::CodegenResult compiled = perf::generate_program(net, arch);
+  const perf::TracedResult traced =
+      perf::simulate_traced(compiled.program, arch);
+  ASSERT_FALSE(traced.events.empty());
+
+  obs::ChromeTraceWriter writer;
+  perf::to_chrome_trace(traced, arch, writer);
+  const obs::JsonValue doc = obs::JsonValue::parse(writer.to_string());
+  validate_trace(doc);
+
+  std::size_t complete = 0;
+  std::set<double> tids;
+  for (const obs::JsonValue& event : doc.at("traceEvents").items()) {
+    if (event.at("ph").as_string() != "X") {
+      continue;
+    }
+    ++complete;
+    tids.insert(event.at("tid").as_number());
+  }
+  EXPECT_EQ(complete, traced.events.size());
+  EXPECT_GT(tids.size(), 1u) << "one track per control unit";
+  // The cycle timebase is declared so nobody misreads the "us" fields.
+  EXPECT_TRUE(doc.at("otherData").has("timebase"));
+}
+
+}  // namespace
+}  // namespace acoustic

@@ -55,6 +55,21 @@
 //       skip-connection stages with real trained weights. --pool-mode
 //       selects MaxPool2D execution: "exact" binary max (default) or
 //       "sc", the bit-serial stochastic max FSM.
+//   acoustic bench [--suite NAME]... [--quick] [--iters N] [--warmup N]
+//                  [--stream N] [--threads-max N] [--json FILE]
+//                  [--compare BASELINE] [--noise F] [--tolerance F]
+//                  [--strict] [--no-counters] [--list]
+//       Run the registered benchmark suites (forward latency, SIMD kernel
+//       table, stream-plan build, batch-eval throughput) under the shared
+//       harness: warmup + repetitions, median/MAD statistics, hardware
+//       counters where the host allows them, machine/build metadata — one
+//       bench.v1 trajectory document. --json writes it; --compare reads a
+//       previous document and prints per-entry verdicts
+//       (improved/unchanged/regressed) using MAD-based noise thresholds,
+//       exiting 1 on a regression. Baselines recorded on different
+//       hardware are reported but never gate unless --strict.
+//       ACOUSTIC_BENCH_SLOWDOWN=<factor> stretches every timed iteration
+//       (the test hook that proves the gate trips).
 //       --threads 0 (default) uses all hardware threads; results are
 //       bit-identical for any thread count. --intra-threads shards each
 //       image's conv rows / dense outputs inside the SC backend (1 =
@@ -66,11 +81,15 @@
 //       EvalResult instead of the human-readable summary. --metrics
 //       routes the run counters through the telemetry registry (with
 //       --json: one uniform document whose "metrics" section is
-//       byte-identical across thread counts; wall-clock data is confined
-//       to "timing"). --profile prints the per-layer wall-time/counter
-//       table, --trace-json writes the evaluator's wall-clock spans (one
-//       track per worker) as Chrome trace-event JSON, --verbose emits a
-//       training/evaluation progress line on stderr.
+//       byte-identical across thread counts; wall-clock data — including
+//       the evaluator's setup/run/reduce phase spans and whole-run
+//       hardware counters — is confined to "timing", and span/dropped
+//       accounting to "trace"). --profile prints the per-layer
+//       wall-time/counter table plus the evaluator phase table,
+//       --trace-json writes the evaluator's wall-clock spans (one track
+//       per worker) as Chrome trace-event JSON with a dropped_events
+//       metadata field, --verbose emits a training/evaluation progress
+//       line plus span/dropped accounting on stderr.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -92,14 +111,17 @@
 #include "core/report.hpp"
 #include "energy/breakdown.hpp"
 #include "isa/assembler.hpp"
+#include "obs/bench_harness.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "perf/timeline.hpp"
 #include "perf/trace_export.hpp"
 #include "nn/zoo_build.hpp"
+#include "sc/kernels/kernels.hpp"
 #include "sim/backend.hpp"
 #include "sim/batch_evaluator.hpp"
+#include "tools/bench_suites.hpp"
 #include "train/dataset.hpp"
 #include "train/models.hpp"
 #include "train/trainer.hpp"
@@ -110,8 +132,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: acoustic <list|compile|simulate|breakdown|lint|eval> "
-               "[network] [options]\n"
+               "usage: acoustic <list|compile|simulate|breakdown|lint|eval|"
+               "bench> [network] [options]\n"
                "  networks: lenet5, cifar10, svhn, alexnet, vgg16, "
                "resnet18 (suffix '-conv' for conv layers only)\n"
                "  options: --arch lp|ulp  --batch N  --clock MHZ  "
@@ -134,7 +156,13 @@ int usage() {
                "        [--stream N] [--train N] [--test N] "
                "[--epochs N] [--json]\n"
                "        [--metrics] [--profile] [--prometheus] "
-               "[--trace-json FILE] [--verbose] [--no-preflight]\n");
+               "[--trace-json FILE] [--verbose] [--no-preflight]\n"
+               "  bench: acoustic bench [--suite NAME]... [--quick] "
+               "[--iters N] [--warmup N]\n"
+               "         [--stream N] [--threads-max N] [--json FILE] "
+               "[--compare BASELINE]\n"
+               "         [--noise F] [--tolerance F] [--strict] "
+               "[--no-counters] [--list]\n");
   return 2;
 }
 
@@ -493,16 +521,27 @@ int cmd_eval(const EvalOptions& opt) {
   const std::unique_ptr<sim::InferenceBackend> backend =
       sim::make_backend(opt.backend, net, sc_cfg, bipolar_cfg);
 
-  sim::BatchEvaluator evaluator(opt.threads);
-
   // Observability attachments: spans feed both --profile and --trace-json,
-  // the registry feeds --metrics and --prometheus.
+  // the registry feeds --metrics and --prometheus. The hardware counter
+  // group must be constructed *before* the BatchEvaluator: with
+  // Options::inherit the kernel only follows threads created after the
+  // event fds open, and the evaluator spawns its pool at construction.
   const bool want_profiler = opt.profile || !opt.trace_json.empty();
   const bool want_metrics = opt.metrics || opt.prometheus;
+  std::optional<obs::PerfCounterGroup> hw;
+  if (want_profiler || want_metrics) {
+    obs::PerfCounterGroup::Options perf_opt;
+    perf_opt.inherit = true;
+    hw.emplace(perf_opt);
+  }
+
+  sim::BatchEvaluator evaluator(opt.threads);
+
   obs::Profiler profiler;
   sim::EvalHooks hooks;
   if (want_profiler) {
     hooks.profiler = &profiler;
+    hooks.counters = hw ? &*hw : nullptr;
   }
   const auto eval_start = std::chrono::steady_clock::now();
   if (opt.verbose) {
@@ -527,17 +566,35 @@ int cmd_eval(const EvalOptions& opt) {
     };
   }
 
+  if (hw) {
+    hw->start();
+  }
   const sim::EvalResult result = evaluator.evaluate(*backend, te, hooks);
+  obs::PerfSample hw_total;
+  if (hw) {
+    hw_total = hw->stop();
+  }
   if (opt.verbose) {
     std::fprintf(stderr, "\n");
   }
 
-  // Aggregate the spans once; both exports below reuse them.
+  // Aggregate the spans once; every export below reuses them. The dropped
+  // count must be read before take() (take() resets it for the next
+  // recording).
+  std::uint64_t dropped_spans = 0;
   std::vector<obs::SpanRecord> spans;
   std::vector<obs::ProfileRow> rows;
+  std::vector<obs::ProfileRow> phase_rows;
   if (want_profiler) {
+    dropped_spans = profiler.dropped();
     spans = profiler.take();
     rows = obs::aggregate_profile(spans, "layer");
+    phase_rows = obs::aggregate_profile(spans, "phase");
+  }
+  if (opt.verbose && want_profiler) {
+    std::fprintf(stderr, "trace: %zu span(s) recorded, %llu dropped\n",
+                 spans.size(),
+                 static_cast<unsigned long long>(dropped_spans));
   }
 
   obs::Registry registry;
@@ -572,15 +629,28 @@ int cmd_eval(const EvalOptions& opt) {
                             static_cast<std::uint64_t>(result.samples)));
     writer.set_metadata("threads", obs::json_number(
                             static_cast<std::uint64_t>(result.threads)));
+    writer.set_metadata("dropped_events", obs::json_number(dropped_spans));
     if (!write_text_file(opt.trace_json, writer.to_string())) {
       return 1;
     }
     std::fprintf(opt.json || opt.prometheus ? stderr : stdout,
                  "trace: wrote %zu event(s) to %s\n", writer.event_count(),
                  opt.trace_json.c_str());
+    if (dropped_spans > 0) {
+      std::fprintf(stderr,
+                   "warning: trace truncated — %llu span(s) dropped after "
+                   "the recording cap\n",
+                   static_cast<unsigned long long>(dropped_spans));
+    }
   }
 
   if (opt.prometheus) {
+    // Prometheus is a point-in-time scrape, so the nondeterministic hw.*
+    // readings belong here (unlike the JSON "metrics" section, which is
+    // documented byte-identical across thread counts).
+    if (hw) {
+      obs::export_metrics(hw_total, registry, "hw");
+    }
     std::fputs(registry.to_prometheus().c_str(), stdout);
     return 0;
   }
@@ -631,6 +701,15 @@ int cmd_eval(const EvalOptions& opt) {
       }
       doc += rows.empty() ? "],\n" : "\n  ],\n";
     }
+    if (want_profiler) {
+      // Span accounting: dropped > 0 means every span-derived view above
+      // (profile, trace file) is truncated.
+      doc += "  \"trace\": {\"spans\": ";
+      doc += obs::json_number(static_cast<std::uint64_t>(spans.size()));
+      doc += ", \"dropped\": ";
+      doc += obs::json_number(dropped_spans);
+      doc += "},\n";
+    }
     doc += "  \"timing\": {\n    \"threads\": ";
     doc += obs::json_number(static_cast<std::uint64_t>(result.threads));
     doc += ",\n    \"wall_seconds\": ";
@@ -647,7 +726,50 @@ int cmd_eval(const EvalOptions& opt) {
     doc += obs::json_number(result.latency.p99_us);
     doc += ", \"max\": ";
     doc += obs::json_number(result.latency.max_us);
-    doc += "}\n  }\n}\n";
+    doc += "}";
+    if (!phase_rows.empty()) {
+      // Evaluator phases (setup/run/reduce), with hardware counter deltas
+      // where the host provides them.
+      doc += ",\n    \"phases\": [";
+      for (std::size_t i = 0; i < phase_rows.size(); ++i) {
+        const obs::ProfileRow& row = phase_rows[i];
+        doc += i == 0 ? "\n" : ",\n";
+        doc += "      {\"phase\": ";
+        doc += obs::json_quote(row.name);
+        doc += ", \"wall_ms\": ";
+        doc += obs::json_number(row.wall_ms);
+        for (const auto& [key, value] : row.counters) {
+          doc += ", ";
+          doc += obs::json_quote(key);
+          doc += ": ";
+          doc += obs::json_number(value);
+        }
+        doc += "}";
+      }
+      doc += "\n    ]";
+    }
+    if (hw) {
+      // Whole-run hardware counters (inherit-scoped: all pool workers).
+      doc += ",\n    \"hw\": {\"wall_ns\": ";
+      doc += obs::json_number(hw_total.wall_ns);
+      for (unsigned i = 0; i < obs::kPerfEventCount; ++i) {
+        const auto event = static_cast<obs::PerfEvent>(i);
+        if (!hw_total.has(event)) {
+          continue;
+        }
+        doc += ", ";
+        doc += obs::json_quote(obs::perf_event_name(event));
+        doc += ": ";
+        doc += obs::json_number(hw_total[event]);
+      }
+      const double ipc = hw_total.ipc();
+      if (ipc == ipc) {
+        doc += ", \"ipc\": ";
+        doc += obs::json_number(ipc);
+      }
+      doc += "}";
+    }
+    doc += "\n  }\n}\n";
     std::fputs(doc.c_str(), stdout);
     return 0;
   }
@@ -715,10 +837,196 @@ int cmd_eval(const EvalOptions& opt) {
                   "(%.1f%%)\n", layer_total_ms, compute_ms,
                   100.0 * layer_total_ms / compute_ms);
     }
+    if (!phase_rows.empty()) {
+      core::Table phases({"phase", "wall [ms]", "counters"});
+      for (const obs::ProfileRow& row : phase_rows) {
+        std::string counters;
+        for (const auto& [key, value] : row.counters) {
+          if (!counters.empty()) {
+            counters += "  ";
+          }
+          counters += key + "=" + std::to_string(value);
+        }
+        phases.add_row({row.name, core::format_number(row.wall_ms, 4),
+                        counters.empty() ? "-" : counters});
+      }
+      std::printf("\nevaluator phases:\n%s", phases.to_string().c_str());
+    }
+    if (dropped_spans > 0) {
+      std::printf("  warning: %llu span(s) dropped after the recording "
+                  "cap — profile and trace views are truncated\n",
+                  static_cast<unsigned long long>(dropped_spans));
+    }
   }
 
   if (opt.metrics) {
+    // hw.* readings join the human table (nondeterministic, so they stay
+    // out of the machine-readable "metrics" JSON section above).
+    if (hw) {
+      obs::export_metrics(hw_total, registry, "hw");
+    }
     std::printf("\nmetrics:\n%s", metrics_table(registry).to_string().c_str());
+  }
+  return 0;
+}
+
+struct BenchCliOptions {
+  std::vector<std::string> suites;  ///< empty = every registered suite
+  int iters = -1;                   ///< -1 = default (10, or 5 with --quick)
+  int warmup = -1;                  ///< -1 = default (2, or 1 with --quick)
+  bool quick = false;
+  std::size_t stream = 128;
+  unsigned threads_max = 0;
+  std::string json_path;
+  std::string compare_path;
+  double noise_mult = 4.0;  ///< --noise: threshold in MADs
+  double rel_floor = 0.10;  ///< --tolerance: relative floor fraction
+  bool counters = true;
+  bool strict = false;  ///< gate even on a foreign-machine baseline
+  bool list = false;
+};
+
+/// `acoustic bench`: run the registered suites under the shared harness
+/// into one bench.v1 document; optionally persist it (--json) and gate
+/// against a previous one (--compare).
+int cmd_bench(const BenchCliOptions& opt) {
+  if (opt.list) {
+    core::Table table({"suite", "description"});
+    for (const tools::BenchSuite& suite : tools::bench_suites()) {
+      table.add_row({suite.name, suite.description});
+    }
+    std::printf("%s", table.to_string().c_str());
+    return 0;
+  }
+
+  std::vector<const tools::BenchSuite*> selected;
+  if (opt.suites.empty()) {
+    for (const tools::BenchSuite& suite : tools::bench_suites()) {
+      selected.push_back(&suite);
+    }
+  } else {
+    for (const std::string& name : opt.suites) {
+      const tools::BenchSuite* suite = tools::find_bench_suite(name);
+      if (suite == nullptr) {
+        std::fprintf(stderr,
+                     "bench: unknown suite '%s' (see `acoustic bench "
+                     "--list`)\n", name.c_str());
+        return 2;
+      }
+      selected.push_back(suite);
+    }
+  }
+
+  obs::BenchOptions bopt = obs::BenchOptions::from_env();
+  bopt.iters = opt.iters >= 0 ? opt.iters : (opt.quick ? 5 : bopt.iters);
+  bopt.warmup = opt.warmup >= 0 ? opt.warmup : (opt.quick ? 1 : bopt.warmup);
+  bopt.counters = opt.counters;
+
+  obs::Bench bench("acoustic-bench", bopt);
+  bench.meta().simd =
+      sc::kernels::level_name(sc::kernels::active_level());
+
+  tools::BenchSuiteOptions sopt;
+  sopt.stream = opt.stream;
+  sopt.threads_max = opt.threads_max;
+  sopt.quick = opt.quick;
+
+  for (const tools::BenchSuite* suite : selected) {
+    std::fprintf(stderr, "bench: suite %s (%d warmup + %d iters)...\n",
+                 suite->name, bopt.warmup, bopt.iters);
+    suite->run(bench, sopt);
+  }
+
+  const obs::BenchDocument& doc = bench.document();
+  const obs::BenchMeta& meta = doc.meta;
+  std::printf("bench: %s | %s | simd %s | %s build | counters:",
+              meta.host.c_str(),
+              meta.cpu.empty() ? "unknown cpu" : meta.cpu.c_str(),
+              meta.simd.c_str(), meta.build.c_str());
+  if (meta.counters.empty()) {
+    std::printf(" none (degraded host)");
+  } else {
+    for (const std::string& name : meta.counters) {
+      std::printf(" %s", name.c_str());
+    }
+  }
+  std::printf("\n\n");
+
+  core::Table table({"entry", "unit", "median", "mad", "min", "p95", "ipc"});
+  for (const obs::BenchEntry& entry : doc.entries) {
+    std::string ipc = "-";
+    for (const auto& [key, value] : entry.counters) {
+      if (key == "ipc") {
+        ipc = core::format_number(value, 4);
+      }
+    }
+    table.add_row({entry.name, entry.unit,
+                   core::format_number(entry.stats.median, 5),
+                   core::format_number(entry.stats.mad, 4),
+                   core::format_number(entry.stats.min, 5),
+                   core::format_number(entry.stats.p95, 5), ipc});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  if (!opt.json_path.empty()) {
+    if (!write_text_file(opt.json_path, obs::to_json(doc))) {
+      return 1;
+    }
+    std::printf("\nwrote %s\n", opt.json_path.c_str());
+  }
+
+  if (opt.compare_path.empty()) {
+    return 0;
+  }
+
+  std::ifstream in(opt.compare_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "bench: cannot read baseline '%s'\n",
+                 opt.compare_path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  obs::BenchDocument baseline;
+  try {
+    baseline = obs::parse_bench_json(buffer.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench: baseline '%s': %s\n",
+                 opt.compare_path.c_str(), e.what());
+    return 1;
+  }
+
+  obs::CompareOptions copt;
+  copt.noise_mult = opt.noise_mult;
+  copt.rel_floor = opt.rel_floor;
+  const obs::CompareResult cmp = obs::compare(doc, baseline, copt);
+
+  core::Table verdicts({"entry", "verdict", "baseline", "current", "ratio",
+                        "threshold"});
+  for (const obs::CompareEntry& entry : cmp.entries) {
+    verdicts.add_row({entry.name, obs::verdict_name(entry.verdict),
+                      core::format_number(entry.base_median, 5),
+                      core::format_number(entry.cur_median, 5),
+                      entry.ratio > 0.0 ? core::format_number(entry.ratio, 4)
+                                        : std::string("-"),
+                      core::format_number(entry.threshold, 4)});
+  }
+  std::printf("\ncompare vs %s:\n%s", opt.compare_path.c_str(),
+              verdicts.to_string().c_str());
+  std::printf("summary: %zu improved, %zu unchanged, %zu regressed\n",
+              cmp.improved, cmp.unchanged, cmp.regressed);
+  if (!cmp.host_match) {
+    std::fprintf(stderr,
+                 "bench: baseline was recorded on different hardware or a "
+                 "different build — verdicts are informational%s\n",
+                 opt.strict ? " (gating anyway: --strict)" : "; pass "
+                 "--strict to gate on them regardless");
+  }
+  if (cmp.should_fail(opt.strict)) {
+    std::fprintf(stderr, "bench: FAIL — %zu entr%s regressed beyond the "
+                 "noise threshold\n", cmp.regressed,
+                 cmp.regressed == 1 ? "y" : "ies");
+    return 1;
   }
   return 0;
 }
@@ -786,6 +1094,52 @@ int main(int argc, char** argv) {
       return cmd_eval(opt);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "eval: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  if (cmd == "bench") {
+    BenchCliOptions opt;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> const char* {
+        return i + 1 < argc ? argv[++i] : nullptr;
+      };
+      const char* v = nullptr;
+      if (arg == "--suite" && (v = value()) != nullptr) {
+        opt.suites.emplace_back(v);
+      } else if (arg == "--iters" && (v = value()) != nullptr) {
+        opt.iters = std::atoi(v);
+      } else if (arg == "--warmup" && (v = value()) != nullptr) {
+        opt.warmup = std::atoi(v);
+      } else if (arg == "--quick") {
+        opt.quick = true;
+      } else if (arg == "--stream" && (v = value()) != nullptr) {
+        opt.stream = static_cast<std::size_t>(std::atoll(v));
+      } else if (arg == "--threads-max" && (v = value()) != nullptr) {
+        opt.threads_max = static_cast<unsigned>(std::atoi(v));
+      } else if (arg == "--json" && (v = value()) != nullptr) {
+        opt.json_path = v;
+      } else if (arg == "--compare" && (v = value()) != nullptr) {
+        opt.compare_path = v;
+      } else if (arg == "--noise" && (v = value()) != nullptr) {
+        opt.noise_mult = std::atof(v);
+      } else if (arg == "--tolerance" && (v = value()) != nullptr) {
+        opt.rel_floor = std::atof(v);
+      } else if (arg == "--no-counters") {
+        opt.counters = false;
+      } else if (arg == "--strict") {
+        opt.strict = true;
+      } else if (arg == "--list") {
+        opt.list = true;
+      } else {
+        return usage();
+      }
+    }
+    try {
+      return cmd_bench(opt);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench: %s\n", e.what());
       return 1;
     }
   }

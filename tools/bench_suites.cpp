@@ -1,0 +1,210 @@
+#include "tools/bench_suites.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sc/kernels/kernels.hpp"
+#include "sc/rng.hpp"
+#include "sim/backend.hpp"
+#include "sim/batch_evaluator.hpp"
+#include "sim/sc_network.hpp"
+#include "sim/stream_bank.hpp"
+#include "sim/stream_plan.hpp"
+#include "train/dataset.hpp"
+#include "train/models.hpp"
+
+namespace acoustic::tools {
+
+namespace {
+
+/// Optimization sink: kernels whose results nothing reads would be dead
+/// code to the optimizer.
+volatile std::uint64_t g_sink = 0;
+
+void sink(std::uint64_t value) { g_sink = g_sink + value; }
+
+nn::Tensor random_unit(nn::Shape shape, std::uint32_t seed) {
+  nn::Tensor t(shape);
+  sc::XorShift32 rng(seed);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.next_double());
+  }
+  return t;
+}
+
+std::vector<std::uint64_t> random_words(std::size_t n, std::uint32_t seed) {
+  std::vector<std::uint64_t> words(n);
+  sc::XorShift32 rng(seed);
+  for (std::uint64_t& w : words) {
+    w = (static_cast<std::uint64_t>(rng.next()) << 32) | rng.next();
+  }
+  return words;
+}
+
+// --- forward: single-image SC latency, the bench_sc_forward variants ---
+
+void run_forward(obs::Bench& bench, const BenchSuiteOptions& options) {
+  nn::Network net = train::build_lenet_small(nn::AccumMode::kOrApprox, 16);
+  const nn::Tensor input = random_unit(nn::Shape{16, 16, 1}, 2024);
+
+  struct Variant {
+    const char* name;
+    sim::ExecMode exec;
+    unsigned intra_threads;
+  };
+  std::vector<Variant> variants = {
+      {"forward/scalar", sim::ExecMode::kScalar, 1},
+      {"forward/planned", sim::ExecMode::kPlanned, 1},
+      {"forward/planned_auto", sim::ExecMode::kPlanned, 0},
+  };
+  if (options.quick) {
+    variants.resize(2);  // scalar + planned cover both code paths
+  }
+  for (const Variant& variant : variants) {
+    sim::ScConfig cfg;
+    cfg.stream_length = options.stream;
+    cfg.exec = variant.exec;
+    cfg.intra_threads = variant.intra_threads;
+    sim::ScNetwork exec(net, cfg);
+    nn::Tensor out;
+    // Prime the weight plans + scratch arena outside the measurement so
+    // the Bench warmup starts from the allocation-free steady state.
+    exec.forward_into(input, out);
+    bench.run(variant.name, [&] {
+      exec.forward_into(input, out);
+      sink(out.size());
+    });
+  }
+}
+
+// --- kernels: the SIMD dispatch table over packed words ---
+
+void run_kernels(obs::Bench& bench, const BenchSuiteOptions& options) {
+  const std::size_t words = options.quick ? (1U << 12U) : (1U << 14U);
+  const sc::kernels::KernelTable& k = sc::kernels::table();
+  const std::vector<std::uint64_t> a = random_words(words, 11);
+  const std::vector<std::uint64_t> b = random_words(words, 22);
+  std::vector<std::uint64_t> acc = random_words(words, 33);
+  std::vector<std::uint64_t> out(words, 0);
+
+  bench.run("kernels/and_or", [&] {
+    k.and_or(acc.data(), a.data(), b.data(), words);
+    sink(acc[0]);
+  });
+  bench.run("kernels/or_reduce", [&] {
+    k.or_reduce(acc.data(), a.data(), words);
+    sink(acc[0]);
+  });
+  bench.run("kernels/and_or_popcount", [&] {
+    sink(k.and_or_popcount(acc.data(), a.data(), b.data(), words));
+  });
+  bench.run("kernels/xnor_words", [&] {
+    k.xnor_words(out.data(), a.data(), b.data(), words);
+    sink(out[0]);
+  });
+  bench.run("kernels/popcount_words",
+            [&] { sink(k.popcount_words(a.data(), words)); });
+  bench.run("kernels/max_stream", [&] {
+    k.max_stream(out.data(), a.data(), b.data(), words * 64);
+    sink(out[words - 1]);
+  });
+
+  // Comparator packing through the production entry point, wrap handling
+  // and per-lane scrambling included.
+  const std::size_t fill_bits = options.quick ? (1U << 14U) : (1U << 16U);
+  const sim::StreamBank bank(8, 0x5eed5eed, fill_bits);
+  std::vector<std::uint64_t> packed((fill_bits + 63) / 64, 0);
+  bench.run("kernels/compare_pack", [&] {
+    bank.fill(100, 7, 0, fill_bits, packed);
+    sink(packed[0]);
+  });
+}
+
+// --- plan: LayerStreamPlan build for one layer's weight lanes ---
+
+void run_plan(obs::Bench& bench, const BenchSuiteOptions& options) {
+  const std::size_t stream = options.stream;
+  const sim::StreamBank bank(8, 0xacde1234, 2 * stream);
+  sim::SegmentSchedule sched;
+  sched.phase = stream;
+  sched.positions = 4;
+  sched.seg = stream / 4;
+
+  const std::size_t lanes = options.quick ? 128 : 512;
+  std::vector<std::uint32_t> levels(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    levels[i] = static_cast<std::uint32_t>(i % 255) + 1;
+  }
+
+  bench.run("plan/build", [&] {
+    // Construction + build is the real per-layer cost a network pays.
+    sim::LayerStreamPlan plan(bank, sched, lanes, /*budget_bytes=*/0);
+    sim::StreamPlanCounters counters;
+    plan.build(levels, counters);
+    sink(counters.bits_generated);
+  });
+}
+
+// --- throughput: BatchEvaluator images/s, 1..N worker threads ---
+
+void run_throughput(obs::Bench& bench, const BenchSuiteOptions& options) {
+  nn::Network net = train::build_lenet_small(nn::AccumMode::kOrApprox, 16);
+  const train::Dataset data =
+      train::make_synth_digits(options.quick ? 16 : 48, 999, 16);
+  sim::ScConfig cfg;
+  cfg.stream_length = options.stream;
+  const std::unique_ptr<sim::InferenceBackend> backend =
+      sim::make_backend("sc", net, cfg);
+
+  unsigned max_threads = options.threads_max;
+  if (max_threads == 0) {
+    max_threads = std::max(1U, std::thread::hardware_concurrency());
+  }
+  // Powers of two up to the ceiling, plus the ceiling itself.
+  std::vector<unsigned> sweep;
+  for (unsigned t = 1; t < max_threads; t *= 2) {
+    sweep.push_back(t);
+  }
+  sweep.push_back(max_threads);
+
+  for (const unsigned threads : sweep) {
+    sim::BatchEvaluator evaluator(threads);
+    bench.run_value("throughput/threads" + std::to_string(threads),
+                    "img/s", /*lower_is_better=*/false, [&] {
+                      const sim::EvalResult result =
+                          evaluator.evaluate(*backend, data);
+                      return result.throughput_sps;
+                    });
+  }
+}
+
+}  // namespace
+
+const std::vector<BenchSuite>& bench_suites() {
+  static const std::vector<BenchSuite> suites = {
+      {"forward", "single-image SC forward latency (scalar vs planned)",
+       run_forward},
+      {"kernels", "SIMD kernel table: word ops, popcounts, comparator pack",
+       run_kernels},
+      {"plan", "LayerStreamPlan build cost for one layer's weight lanes",
+       run_plan},
+      {"throughput", "BatchEvaluator images/s at 1..N worker threads",
+       run_throughput},
+  };
+  return suites;
+}
+
+const BenchSuite* find_bench_suite(const std::string& name) {
+  for (const BenchSuite& suite : bench_suites()) {
+    if (name == suite.name) {
+      return &suite;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace acoustic::tools
