@@ -1,11 +1,38 @@
-// Reusable worker-thread pool for the parallel evaluation paths.
+// Work-stealing scheduler shared by batch (image-level) and intra-image
+// (row/neuron-level) SC execution.
 //
-// One pool, many parallel_for calls: the workers are started once and kept
-// parked between jobs, so per-run overhead is a couple of condition-variable
-// signals rather than thread creation. Index scheduling is dynamic (an
-// atomic cursor), which load-balances uneven per-sample work; callers that
-// need deterministic *results* must therefore make the work item a pure
-// function of its index — the contract sim::BatchEvaluator builds on.
+// Every worker owns a deque of index-range chunks: local pops come from
+// the back (LIFO — the chunk it pushed last, still cache-warm), steals
+// come from the front (FIFO — the oldest work, which a stalled owner is
+// furthest from reaching). parallel_for() may be called from ANY thread:
+//
+//   - an external thread distributes the chunks round-robin across the
+//     worker deques and blocks until the job completes;
+//   - a pool worker pushes the chunks onto its OWN deque and executes
+//     them in place, so nested parallelism (a batch-evaluator image task
+//     sharding its conv rows) joins the same pool instead of spawning a
+//     second worker set that fights it for cores. While joining, a worker
+//     only executes chunks of the job it is joining — never an unrelated
+//     outer task — which bounds the stack depth and keeps single-owner
+//     state (e.g. a backend clone mid-forward) single-owner.
+//
+// Scheduling is dynamic (which worker runs which chunk depends on timing),
+// so callers that need deterministic RESULTS must make every index a pure
+// function of its value, give each index a disjoint output slot, and
+// reduce per-worker scratch with order-insensitive sums — the contract
+// sim::BatchEvaluator and sim::ScNetwork build on. The golden suites pin
+// that contract down under forced-stealing jitter (see set_task_jitter_us
+// and the ACOUSTIC_SCHED_JITTER environment hook). No within-worker
+// ordering is promised either: a worker may run its chunks in any order.
+//
+// Oversubscription guard: a pool may have more workers than the host has
+// cores (worker count doubles as the per-thread-scratch shard count, so
+// callers pick it freely), but only min(size, hardware cores) workers
+// EXECUTE at once. A worker acquires an execution slot before draining
+// work and keeps it while work remains, so on a saturated host large
+// tasks run back-to-back cache-warm instead of timeslicing their working
+// sets against each other (measured 2-3x throughput loss on 1 CPU with 4
+// workers interleaving ResNet-sized images before the cap).
 #pragma once
 
 #include <atomic>
@@ -14,6 +41,7 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -31,36 +59,87 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   [[nodiscard]] unsigned size() const noexcept {
-    return static_cast<unsigned>(threads_.size());
+    return static_cast<unsigned>(workers_.size());
   }
 
   /// Runs fn(index, worker) for every index in [0, count) across the pool
   /// and blocks until all indices have completed. worker is in [0, size())
   /// and identifies which pool thread ran the index — callers use it to
-  /// select per-thread scratch (e.g. a backend clone). If fn throws, the
-  /// first exception is rethrown here after the remaining indices are
-  /// abandoned. One job runs at a time; concurrent callers serialize.
+  /// select per-thread scratch (e.g. a backend clone). Indices are grouped
+  /// into chunks of @p grain consecutive values (0 is treated as 1); a
+  /// chunk is the unit of scheduling and stealing.
+  ///
+  /// If fn throws, the FIRST exception is rethrown here at the join and
+  /// the remaining chunks are drained (counted complete without running),
+  /// so the pool stays usable. Concurrent callers are allowed; a call
+  /// from inside a pool worker runs as a nested job on the same workers.
   void parallel_for(std::size_t count,
-                    const std::function<void(std::size_t, unsigned)>& fn);
+                    const std::function<void(std::size_t, unsigned)>& fn,
+                    std::size_t grain = 1);
+
+  /// Lifetime scheduler telemetry (monotone counters; snapshot before and
+  /// after a run and subtract for per-run deltas).
+  struct Stats {
+    std::uint64_t tasks = 0;   ///< chunks executed to completion
+    std::uint64_t steals = 0;  ///< chunks executed off another worker's deque
+    /// Max concurrently executing workers seen; capped by the execution
+    /// slots, so it reads min(size, cores) on an oversubscribed host.
+    unsigned busy_peak = 0;
+  };
+  [[nodiscard]] Stats stats() const noexcept;
+
+  /// The pool whose worker thread is calling, or nullptr from any other
+  /// thread. Lets nested code (ScNetwork row sharding inside an evaluator
+  /// image task) reuse the enclosing pool instead of creating its own.
+  [[nodiscard]] static ThreadPool* current() noexcept;
+  /// Worker id within current(), or -1 when current() is nullptr.
+  [[nodiscard]] static int current_worker() noexcept;
+
+  /// Test hook: busy-wait up to @p max_us microseconds before each chunk,
+  /// for a duration that is a deterministic hash of (job, chunk) — it
+  /// perturbs SCHEDULING (forcing heavy stealing) without perturbing any
+  /// result, which is exactly what the stealing-determinism suites need.
+  /// Also settable via the ACOUSTIC_SCHED_JITTER environment variable
+  /// (read once at process start). 0 disables.
+  static void set_task_jitter_us(unsigned max_us) noexcept;
+  [[nodiscard]] static unsigned task_jitter_us() noexcept;
 
  private:
+  struct Job;
+  struct Chunk {
+    Job* job = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  struct Worker;
+
   void worker_loop(unsigned id);
+  void acquire_slot();
+  void release_slot();
+  bool try_pop_local(unsigned id, Chunk& out);
+  bool try_pop_local_job(unsigned id, const Job* job, Chunk& out);
+  bool try_steal(unsigned id, Chunk& out);
+  void execute(const Chunk& chunk, unsigned worker, bool stolen);
+  void wake_workers();
 
-  std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<Worker>> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable work_cv_;   ///< wakes workers for a new job
-  std::condition_variable done_cv_;   ///< wakes the caller when a job ends
-  std::mutex job_mutex_;              ///< serializes parallel_for callers
+  std::mutex done_mu_;  ///< guards Job::error; pairs with done_cv_
+  std::condition_variable done_cv_;   ///< wakes external joiners
+  std::mutex sleep_mu_;               ///< parking lot for idle workers
+  std::condition_variable sleep_cv_;
 
-  // State of the current job, guarded by mutex_ except for the cursor.
-  const std::function<void(std::size_t, unsigned)>* fn_ = nullptr;
-  std::size_t count_ = 0;
-  std::atomic<std::size_t> next_{0};  ///< dynamic index cursor
-  std::size_t active_ = 0;            ///< workers still inside the job
-  std::uint64_t generation_ = 0;      ///< bumped per job
-  std::exception_ptr error_;
-  bool stop_ = false;
+  unsigned slots_ = 1;       ///< execution-slot cap: min(size, hw cores)
+  unsigned slots_free_ = 1;  ///< guarded by sleep_mu_
+
+  std::atomic<std::size_t> pending_{0};  ///< chunks queued, not yet popped
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> job_serial_{0};
+
+  std::atomic<std::uint64_t> tasks_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<unsigned> active_{0};     ///< workers inside execute()
+  std::atomic<unsigned> busy_peak_{0};
 };
 
 }  // namespace acoustic::runtime

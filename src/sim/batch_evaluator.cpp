@@ -75,6 +75,7 @@ EvalResult BatchEvaluator::evaluate(InferenceBackend& prototype,
   std::vector<nn::Tensor> logits(workers);
 
   const Clock::time_point run_start = Clock::now();
+  const runtime::ThreadPool::Stats sched_before = pool_.stats();
   obs::Span run_span(hooks.profiler, phases ? "run" : "",
                      phases ? "phase" : "", 0, 1);
   run_span.attach(hooks.counters);
@@ -101,6 +102,10 @@ EvalResult BatchEvaluator::evaluate(InferenceBackend& prototype,
   run_span.close();
   const double wall =
       std::chrono::duration<double>(Clock::now() - run_start).count();
+  // Per-run scheduler deltas: tasks/steals are lifetime counters, so the
+  // difference isolates this run. Image tasks plus any stolen intra-image
+  // row subtasks (ScNetwork nests its row jobs into this same pool).
+  const runtime::ThreadPool::Stats sched_after = pool_.stats();
 
   obs::Span reduce_span(hooks.profiler, phases ? "reduce" : "",
                         phases ? "phase" : "", 0, 2);
@@ -121,6 +126,10 @@ EvalResult BatchEvaluator::evaluate(InferenceBackend& prototype,
   }
   result.wall_seconds = wall;
   result.throughput_sps = wall > 0.0 ? static_cast<double>(n) / wall : 0.0;
+  result.sched.workers = workers;
+  result.sched.tasks = sched_after.tasks - sched_before.tasks;
+  result.sched.steals = sched_after.steals - sched_before.steals;
+  result.sched.busy_peak = sched_after.busy_peak;
 
   std::vector<double> sorted = latency_us;
   std::sort(sorted.begin(), sorted.end());
@@ -138,16 +147,23 @@ EvalResult BatchEvaluator::evaluate(InferenceBackend& prototype,
 
 void export_metrics(const EvalResult& result, obs::Registry& registry) {
   registry.add("eval.samples", result.samples);
+  registry.describe("eval.samples", "Images evaluated");
   registry.add("eval.correct", result.correct);
+  registry.describe("eval.correct", "Top-1 correct predictions");
   registry.set("eval.accuracy",
                result.samples > 0
                    ? static_cast<double>(result.correct) /
                          static_cast<double>(result.samples)
                    : 0.0);
+  registry.describe("eval.accuracy", "Top-1 accuracy (correct / samples)");
   registry.add("sim.samples", result.stats.samples);
   registry.add("sim.layers_run", result.stats.layers_run);
   registry.add("sc.product_bits", result.stats.product_bits);
+  registry.describe("sc.product_bits",
+                    "Stochastic AND-product bits actually computed");
   registry.add("sc.skipped_operands", result.stats.skipped_operands);
+  registry.describe("sc.skipped_operands",
+                    "Zero-operand products skipped by operand gating");
   registry.add("sc.stream_bits_generated",
                result.stats.stream_bits_generated);
   registry.add("sc.stream_bits_reused", result.stats.stream_bits_reused);
@@ -157,6 +173,24 @@ void export_metrics(const EvalResult& result, obs::Registry& registry) {
   // (max across clones — identical for each, so thread-count invariant).
   registry.set("sc.scratch_bytes",
                static_cast<double>(result.stats.scratch_bytes));
+  registry.describe("sc.scratch_bytes",
+                    "Steady-state per-forward scratch arena bytes");
+}
+
+void export_scheduler_metrics(const EvalResult& result,
+                              obs::Registry& registry) {
+  registry.add("sc.task_count", result.sched.tasks);
+  registry.describe("sc.task_count",
+                    "Scheduler chunks (image tasks + stolen row subtasks) "
+                    "the evaluation pool executed");
+  registry.add("sc.steal_count", result.sched.steals);
+  registry.describe("sc.steal_count",
+                    "Chunks executed off another worker's deque — the "
+                    "work-stealing load-rebalance count");
+  registry.set("sc.pool_occupancy", result.sched.occupancy());
+  registry.describe("sc.pool_occupancy",
+                    "Peak concurrently busy workers / pool size (1.0 = "
+                    "the whole pool was simultaneously busy at least once)");
 }
 
 }  // namespace acoustic::sim

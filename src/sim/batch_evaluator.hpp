@@ -32,6 +32,24 @@ struct LatencyStats {
   double max_us = 0.0;
 };
 
+/// Work-stealing scheduler telemetry for one evaluate() run. Wall-clock
+/// flavored: which worker stole which chunk depends on OS scheduling, so
+/// NONE of this is covered by the determinism contract — it is exported
+/// next to the timing fields (eval JSON "timing" section, --verbose,
+/// Prometheus scrapes), never into the deterministic "metrics" section.
+struct SchedulerStats {
+  unsigned workers = 0;       ///< pool size the run used
+  std::uint64_t tasks = 0;    ///< chunks the pool executed during the run
+  std::uint64_t steals = 0;   ///< chunks run off another worker's deque
+  unsigned busy_peak = 0;     ///< max concurrently busy workers observed
+  /// Pool occupancy in [0, 1]: peak concurrently busy workers / pool size.
+  [[nodiscard]] double occupancy() const noexcept {
+    return workers > 0 ? static_cast<double>(busy_peak) /
+                             static_cast<double>(workers)
+                       : 0.0;
+  }
+};
+
 /// Structured result of one dataset evaluation (JSON-serializable via
 /// core::to_json).
 struct EvalResult {
@@ -44,6 +62,7 @@ struct EvalResult {
   double wall_seconds = 0.0;  ///< whole-run wall clock
   double throughput_sps = 0.0;  ///< samples / wall_seconds
   LatencyStats latency;
+  SchedulerStats sched;       ///< nondeterministic; see SchedulerStats
 };
 
 /// Optional observability attachments for one evaluate() call. Both hooks
@@ -95,5 +114,14 @@ class BatchEvaluator {
 /// the EvalResult itself and is exported separately so the metrics
 /// document stays byte-identical across thread counts.
 void export_metrics(const EvalResult& result, obs::Registry& registry);
+
+/// Registers the scheduler telemetry (sc.task_count, sc.steal_count,
+/// gauge sc.pool_occupancy) with Prometheus HELP text. Kept OUT of
+/// export_metrics on purpose: steal counts are scheduling-dependent, so
+/// they belong with the nondeterministic exports (Prometheus scrapes,
+/// human tables) exactly like the hw.* counters — never in the
+/// byte-identical "metrics" JSON section.
+void export_scheduler_metrics(const EvalResult& result,
+                              obs::Registry& registry);
 
 }  // namespace acoustic::sim

@@ -74,15 +74,17 @@ struct ScConfig {
   ExecMode exec = ExecMode::kPlanned;
 
   /// Intra-image worker threads for the planned path (conv output rows,
-  /// dense output neurons): 1 = serial, 0 = auto (hardware concurrency,
-  /// engaged per layer only when its estimated word-level work exceeds
-  /// intra_work_threshold — small layers stay serial because the fork/join
-  /// cost dominates them, the recorded LeNet-small regression), N >= 2 =
-  /// force N workers on every layer. Results are bit-identical for any
-  /// value. Ignored in scalar mode. Leave at 1 when the batch evaluator
-  /// already saturates the machine across images; use 0 (or an explicit
-  /// count) to cut single-image latency.
-  unsigned intra_threads = 1;
+  /// dense output neurons): 0 = auto (the production default — engaged
+  /// per layer only when its estimated word-level work exceeds
+  /// intra_work_threshold; small layers stay serial because the fork/join
+  /// cost dominates them, the recorded LeNet-small regression),
+  /// 1 = always serial, N >= 2 = force N workers on every layer. Results
+  /// are bit-identical for any value. Ignored in scalar mode. When the
+  /// forward runs inside a batch-evaluator worker, the row subtasks join
+  /// the SAME work-stealing pool (runtime::ThreadPool::current()) instead
+  /// of spawning a private worker set, so auto is safe to leave on even
+  /// when the evaluator already saturates the machine across images.
+  unsigned intra_threads = 0;
 
   /// Auto mode's per-layer gate (intra_threads == 0 only): estimated
   /// word-level AND/OR operations (output positions x window slots x

@@ -237,6 +237,14 @@ runtime::ThreadPool* ScNetwork::intra_pool(std::size_t work_words) {
   if (cfg_.intra_threads == 0 && work_words < cfg_.intra_work_threshold) {
     return nullptr;
   }
+  // Inside a work-stealing pool worker (a batch-evaluator image task),
+  // row subtasks join the SAME pool as nested jobs: idle workers steal
+  // them, busy workers keep their own images. Spawning a private pool per
+  // clone here — the pre-unified-scheduler behavior — oversubscribed the
+  // machine with threads x intra_threads workers fighting for cores.
+  if (runtime::ThreadPool* enclosing = runtime::ThreadPool::current()) {
+    return enclosing->size() > 1 ? enclosing : nullptr;
+  }
   if (pool_ == nullptr) {
     pool_ = std::make_unique<runtime::ThreadPool>(cfg_.intra_threads);
   }

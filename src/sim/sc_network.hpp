@@ -230,12 +230,15 @@ class ScNetwork {
   void run_max_pool_sc(const LoweredOp& op, const nn::Tensor& input,
                        nn::Tensor& out, Stats& run);
 
-  /// The intra-image worker pool (created lazily on first use), or nullptr
-  /// when the config asks for serial execution — or when auto mode
+  /// The pool that shards this layer's rows/neurons, or nullptr for
+  /// serial execution — when the config asks for it, or when auto mode
   /// (intra_threads == 0) gates a layer whose estimated word-level work
   /// @p work_words falls below ScConfig::intra_work_threshold: forking
   /// workers costs more than small layers save (the recorded LeNet-small
-  /// regression). Explicit counts >= 2 always engage the pool.
+  /// regression). When the forward already runs on a work-stealing pool
+  /// worker (a batch-evaluator image task) this returns THAT pool — the
+  /// row subtasks become nested jobs idle workers can steal — and the
+  /// private pool_ below is only created for direct forward() callers.
   [[nodiscard]] runtime::ThreadPool* intra_pool(std::size_t work_words);
 
   /// Shared SNG banks for the planned path. A bank's content is a pure
@@ -280,6 +283,9 @@ class ScNetwork {
   /// live activation.
   nn::Tensor skip_buf_;
   std::vector<StageScratch> stage_scratch_;
+  /// Fallback intra-image pool for forwards NOT running inside an
+  /// enclosing work-stealing pool (direct forward() calls, latency
+  /// benches); see intra_pool().
   std::unique_ptr<runtime::ThreadPool> pool_;
   std::unique_ptr<StreamBank> act_bank_;
   std::unique_ptr<StreamBank> wgt_bank_;

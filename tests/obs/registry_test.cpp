@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <set>
 #include <stdexcept>
@@ -103,14 +104,17 @@ TEST(Registry, MergeSemantics) {
 
 // The determinism contract: per-worker shards merged after a pool run are
 // bit-identical to single-threaded accumulation, for any thread count and
-// any scheduling, because every observation is a pure function of its
-// index and merge() is commutative/associative.
+// any scheduling, because every observation is order-insensitive (sums,
+// histogram increments, running max — the work-stealing pool makes NO
+// within-worker ordering promise, so a last-wins set() would not qualify)
+// and merge() is commutative/associative.
 TEST(Registry, ShardedMergeMatchesSingleThread) {
   constexpr std::size_t kItems = 500;
   const auto observe_item = [](obs::Registry& reg, std::size_t i) {
     reg.add("items");
     reg.add("weighted", i % 7);
-    reg.set("max_index", static_cast<double>(i));
+    reg.set("max_index",
+            std::max(reg.gauge("max_index"), static_cast<double>(i)));
     reg.observe("dist", static_cast<double>(i % 10));
   };
 

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace acoustic::runtime {
@@ -114,6 +117,194 @@ TEST(ThreadPool, UsableAfterException) {
     done.fetch_add(1, std::memory_order_relaxed);
   });
   EXPECT_EQ(done.load(), 25u);
+}
+
+// --- work-stealing scheduler behavior ---
+
+TEST(ThreadPool, NestedParallelForRunsAllIndices) {
+  // A task that itself calls parallel_for must push its subtasks into the
+  // same pool and self-execute them (help-first join) — every (outer,
+  // inner) pair runs exactly once, no deadlock, no extra threads.
+  ThreadPool pool(4);
+  constexpr std::size_t kOuter = 16;
+  constexpr std::size_t kInner = 32;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.parallel_for(kOuter, [&](std::size_t outer, unsigned /*worker*/) {
+    pool.parallel_for(kInner, [&](std::size_t inner, unsigned /*worker*/) {
+      hits[outer * kInner + inner].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "pair " << i;
+  }
+}
+
+TEST(ThreadPool, NestedParallelForOnSingleWorkerPool) {
+  // The degenerate pool must still support nesting: the lone worker
+  // executes its own subtasks inline.
+  ThreadPool pool(1);
+  std::atomic<std::size_t> done{0};
+  pool.parallel_for(4, [&](std::size_t, unsigned) {
+    pool.parallel_for(8, [&](std::size_t, unsigned worker) {
+      EXPECT_EQ(worker, 0u);
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(done.load(), 32u);
+}
+
+TEST(ThreadPool, CurrentIsBoundInsideWorkersOnly) {
+  ThreadPool pool(2);
+  EXPECT_EQ(ThreadPool::current(), nullptr);
+  EXPECT_EQ(ThreadPool::current_worker(), -1);
+  std::atomic<bool> bound{true};
+  pool.parallel_for(64, [&](std::size_t, unsigned worker) {
+    if (ThreadPool::current() != &pool ||
+        ThreadPool::current_worker() != static_cast<int>(worker)) {
+      bound.store(false);
+    }
+  });
+  EXPECT_TRUE(bound.load());
+  EXPECT_EQ(ThreadPool::current(), nullptr);
+}
+
+TEST(ThreadPool, StealingRebalancesImbalancedLoad) {
+  // Round-robin seeding gives each worker half the chunks. Parking the
+  // FIRST chunk that runs — while its worker still holds its whole deque
+  // share — forces the other worker to drain its own deque and then steal
+  // the sleeper's backlog: the steal counter must move.
+  ThreadPool pool(2);
+  const ThreadPool::Stats before = pool.stats();
+  constexpr std::size_t kCount = 64;
+  std::vector<std::atomic<int>> hits(kCount);
+  std::atomic<bool> slept{false};
+  pool.parallel_for(kCount, [&](std::size_t i, unsigned /*worker*/) {
+    if (!slept.exchange(true, std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  const ThreadPool::Stats after = pool.stats();
+  EXPECT_EQ(after.tasks - before.tasks, kCount);
+  EXPECT_GT(after.steals, before.steals);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, StatsCountTasksAndBoundBusyPeak) {
+  ThreadPool pool(3);
+  const ThreadPool::Stats before = pool.stats();
+  pool.parallel_for(200, [](std::size_t, unsigned) {});
+  const ThreadPool::Stats after = pool.stats();
+  EXPECT_EQ(after.tasks - before.tasks, 200u);
+  EXPECT_GE(after.busy_peak, 1u);
+  EXPECT_LE(after.busy_peak, pool.size());
+}
+
+TEST(ThreadPool, FirstExceptionWinsAndTheRestDrain) {
+  // Every chunk throws; exactly one exception may surface at the join and
+  // the pool must come back clean. Cancellation means some chunks never
+  // run their body — but none may run after the join returns.
+  ThreadPool pool(4);
+  std::atomic<std::size_t> ran{0};
+  std::string message;
+  try {
+    pool.parallel_for(100, [&](std::size_t i, unsigned) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      throw std::runtime_error("boom " + std::to_string(i));
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    message = e.what();
+  }
+  const std::size_t ran_at_join = ran.load();
+  EXPECT_EQ(message.rfind("boom ", 0), 0u) << message;
+  EXPECT_GE(ran_at_join, 1u);
+  EXPECT_LE(ran_at_join, 100u);
+  // Drained, not abandoned: a fresh job sees a quiet pool.
+  std::atomic<std::size_t> done{0};
+  pool.parallel_for(40, [&](std::size_t, unsigned) {
+    done.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(done.load(), 40u);
+  EXPECT_EQ(ran.load(), ran_at_join) << "late chunk ran after the join";
+}
+
+TEST(ThreadPool, ExceptionInsideNestedJobPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(4,
+                        [&](std::size_t outer, unsigned) {
+                          pool.parallel_for(8, [&](std::size_t inner,
+                                                   unsigned) {
+                            if (outer == 1 && inner == 3) {
+                              throw std::runtime_error("inner boom");
+                            }
+                          });
+                        }),
+      std::runtime_error);
+  std::atomic<std::size_t> done{0};
+  pool.parallel_for(16, [&](std::size_t, unsigned) {
+    done.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(done.load(), 16u);
+}
+
+TEST(ThreadPool, ConcurrentExternalSubmittersShareOnePool) {
+  // Two outside threads submit jobs to the same pool at once; each job's
+  // indices must run exactly once and the joins must not cross-release.
+  ThreadPool pool(3);
+  constexpr std::size_t kCount = 300;
+  std::vector<std::atomic<int>> a(kCount);
+  std::vector<std::atomic<int>> b(kCount);
+  std::thread other([&] {
+    pool.parallel_for(kCount, [&](std::size_t i, unsigned) {
+      b[i].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  pool.parallel_for(kCount, [&](std::size_t i, unsigned) {
+    a[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  other.join();
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(a[i].load(), 1) << "job a index " << i;
+    ASSERT_EQ(b[i].load(), 1) << "job b index " << i;
+  }
+}
+
+TEST(ThreadPool, JitterHookDelaysButNeverChangesResults) {
+  // The CI stealing-stress hook: per-chunk busy-wait jitter shuffles the
+  // schedule, the computed results must not move.
+  const unsigned saved = ThreadPool::task_jitter_us();
+  ThreadPool::set_task_jitter_us(200);
+  ThreadPool pool(4);
+  std::vector<std::uint64_t> out(512, 0);
+  pool.parallel_for(out.size(), [&](std::size_t i, unsigned) {
+    out[i] = i * i;
+  });
+  ThreadPool::set_task_jitter_us(saved);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], static_cast<std::uint64_t>(i) * i);
+  }
+}
+
+TEST(ThreadPool, GrainBatchesChunksButRunsEveryIndex) {
+  ThreadPool pool(2);
+  const ThreadPool::Stats before = pool.stats();
+  constexpr std::size_t kCount = 103;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(
+      kCount,
+      [&](std::size_t i, unsigned) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      },
+      /*grain=*/8);
+  const ThreadPool::Stats after = pool.stats();
+  EXPECT_EQ(after.tasks - before.tasks, (kCount + 7) / 8);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
 }
 
 }  // namespace

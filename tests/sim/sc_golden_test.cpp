@@ -19,6 +19,7 @@
 #include "nn/pool.hpp"
 #include "nn/residual.hpp"
 #include "nn/zoo_build.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sc/rng.hpp"
 #include "sim/sc_network.hpp"
 #include "train/models.hpp"
@@ -308,6 +309,66 @@ TEST(ScGolden, PlannedThreadCountsAgreeOnAllStats) {
     EXPECT_EQ(got_stats.stream_bits_reused, want_stats.stream_bits_reused);
     EXPECT_EQ(got_stats.plan_hits, want_stats.plan_hits);
     EXPECT_EQ(got_stats.plan_misses, want_stats.plan_misses);
+  }
+}
+
+/// Scoped override of the scheduler's per-chunk jitter hook (the same one
+/// ACOUSTIC_SCHED_JITTER sets); restores the previous value on exit.
+class JitterGuard {
+ public:
+  explicit JitterGuard(unsigned max_us)
+      : saved_(runtime::ThreadPool::task_jitter_us()) {
+    runtime::ThreadPool::set_task_jitter_us(max_us);
+  }
+  JitterGuard(const JitterGuard&) = delete;
+  JitterGuard& operator=(const JitterGuard&) = delete;
+  ~JitterGuard() { runtime::ThreadPool::set_task_jitter_us(saved_); }
+
+ private:
+  unsigned saved_;
+};
+
+TEST(ScGolden, JitteredStealingStaysByteIdentical) {
+  // The scheduler stress gate: up to 150us of deterministic per-chunk
+  // busy-wait scrambles which worker reaches which row subtask first, so
+  // chunks migrate between deques (heavy stealing). The work-stealing
+  // schedule must never leak into the numbers — every planned
+  // configuration still has to match the scalar oracle byte for byte,
+  // stats included.
+  const JitterGuard jitter(150);
+  nn::Network net = train::build_lenet_small(nn::AccumMode::kOrExact);
+  expect_planned_matches_scalar(net, random_unit(nn::Shape{16, 16, 1}, 157),
+                                golden_config());
+}
+
+TEST(ScGolden, JitteredThreadCountsAgreeOnAllStats) {
+  // Same invariant as PlannedThreadCountsAgreeOnAllStats, but with the
+  // schedule perturbed: additive counter merges must be steal-order
+  // insensitive, not just worker-count insensitive.
+  const JitterGuard jitter(120);
+  nn::Network net = train::build_lenet_small(nn::AccumMode::kOrExact);
+  const nn::Tensor input = random_unit(nn::Shape{16, 16, 1}, 163);
+
+  ScConfig cfg = golden_config();
+  cfg.exec = ExecMode::kPlanned;
+  cfg.intra_threads = 1;
+  ScNetwork serial(net, cfg);
+  const nn::Tensor want = serial.forward(input);
+  const ScNetwork::Stats want_stats = serial.take_stats();
+
+  for (const unsigned threads : {2u, 4u}) {
+    ScConfig threaded_cfg = cfg;
+    threaded_cfg.intra_threads = threads;
+    ScNetwork threaded(net, threaded_cfg);
+    const nn::Tensor got = threaded.forward(input);
+    const ScNetwork::Stats got_stats = threaded.take_stats();
+    expect_bytes_equal(got, want,
+                       "jitter threads=" + std::to_string(threads));
+    EXPECT_EQ(got_stats.product_bits, want_stats.product_bits);
+    EXPECT_EQ(got_stats.skipped_operands, want_stats.skipped_operands);
+    EXPECT_EQ(got_stats.stream_bits_generated,
+              want_stats.stream_bits_generated);
+    EXPECT_EQ(got_stats.stream_bits_reused, want_stats.stream_bits_reused);
   }
 }
 

@@ -60,7 +60,8 @@
 //                  [--compare BASELINE] [--noise F] [--tolerance F]
 //                  [--strict] [--no-counters] [--list]
 //       Run the registered benchmark suites (forward latency, SIMD kernel
-//       table, stream-plan build, batch-eval throughput) under the shared
+//       table, stream-plan build, batch-eval throughput, thread-scaling
+//       matrix) under the shared
 //       harness: warmup + repetitions, median/MAD statistics, hardware
 //       counters where the host allows them, machine/build metadata — one
 //       bench.v1 trajectory document. --json writes it; --compare reads a
@@ -72,9 +73,10 @@
 //       (the test hook that proves the gate trips).
 //       --threads 0 (default) uses all hardware threads; results are
 //       bit-identical for any thread count. --intra-threads shards each
-//       image's conv rows / dense outputs inside the SC backend (1 =
-//       serial default, 0 = all hardware threads — use with --threads 1
-//       for single-image latency). --exec selects the SC execution
+//       image's conv rows / dense outputs inside the SC backend (0 =
+//       auto, the default: large layers join the batch evaluator's
+//       work-stealing pool as nested subtasks, small layers stay serial;
+//       1 = always serial, N >= 2 = force). --exec selects the SC execution
 //       strategy: "planned" (packed stream plans, default) or "scalar"
 //       (the reference path; both are bit-identical). --json emits the
 //       structured
@@ -360,7 +362,8 @@ struct EvalOptions {
   std::string backend = "sc";
   std::string model = "lenet";
   unsigned threads = 0;        // 0 = hardware concurrency
-  unsigned intra_threads = 1;  // SC intra-image workers (1 = serial)
+  unsigned intra_threads = 0;  // SC intra-image workers (0 = auto,
+                               // work-gated on the shared pool; 1 = serial)
   std::string exec = "planned";
   std::string pool_mode = "exact";  // MaxPool2D execution: exact | sc
   int side = 16;  // input side for zoo-descriptor models (0 = native)
@@ -576,6 +579,15 @@ int cmd_eval(const EvalOptions& opt) {
   }
   if (opt.verbose) {
     std::fprintf(stderr, "\n");
+    // Scheduler telemetry (nondeterministic, so stderr/verbose only —
+    // like the progress line above).
+    std::fprintf(stderr,
+                 "scheduler: %llu task(s), %llu stolen, occupancy %.2f "
+                 "(%u/%u workers busy at peak)\n",
+                 static_cast<unsigned long long>(result.sched.tasks),
+                 static_cast<unsigned long long>(result.sched.steals),
+                 result.sched.occupancy(), result.sched.busy_peak,
+                 result.sched.workers);
   }
 
   // Aggregate the spans once; every export below reuses them. The dropped
@@ -646,11 +658,12 @@ int cmd_eval(const EvalOptions& opt) {
 
   if (opt.prometheus) {
     // Prometheus is a point-in-time scrape, so the nondeterministic hw.*
-    // readings belong here (unlike the JSON "metrics" section, which is
-    // documented byte-identical across thread counts).
+    // and scheduler readings belong here (unlike the JSON "metrics"
+    // section, which is documented byte-identical across thread counts).
     if (hw) {
       obs::export_metrics(hw_total, registry, "hw");
     }
+    sim::export_scheduler_metrics(result, registry);
     std::fputs(registry.to_prometheus().c_str(), stdout);
     return 0;
   }
@@ -726,6 +739,20 @@ int cmd_eval(const EvalOptions& opt) {
     doc += obs::json_number(result.latency.p99_us);
     doc += ", \"max\": ";
     doc += obs::json_number(result.latency.max_us);
+    doc += "},\n    \"scheduler\": {\"workers\": ";
+    // Scheduler telemetry is scheduling-dependent (steal counts vary run
+    // to run), which is exactly why it lives under "timing" and not in
+    // the byte-identical "metrics" section.
+    doc += obs::json_number(static_cast<std::uint64_t>(result.sched.workers));
+    doc += ", \"tasks\": ";
+    doc += obs::json_number(result.sched.tasks);
+    doc += ", \"steals\": ";
+    doc += obs::json_number(result.sched.steals);
+    doc += ", \"busy_peak\": ";
+    doc += obs::json_number(
+        static_cast<std::uint64_t>(result.sched.busy_peak));
+    doc += ", \"occupancy\": ";
+    doc += obs::json_number(result.sched.occupancy());
     doc += "}";
     if (!phase_rows.empty()) {
       // Evaluator phases (setup/run/reduce), with hardware counter deltas
@@ -809,6 +836,12 @@ int cmd_eval(const EvalOptions& opt) {
     std::printf("  scratch:     %llu bytes steady-state per forward\n",
                 static_cast<unsigned long long>(result.stats.scratch_bytes));
   }
+  std::printf("  scheduler:   %llu task(s), %llu stolen, occupancy %.2f "
+              "(%u/%u workers busy at peak)\n",
+              static_cast<unsigned long long>(result.sched.tasks),
+              static_cast<unsigned long long>(result.sched.steals),
+              result.sched.occupancy(), result.sched.busy_peak,
+              result.sched.workers);
 
   if (opt.profile) {
     double layer_total_ms = 0.0;
@@ -860,11 +893,13 @@ int cmd_eval(const EvalOptions& opt) {
   }
 
   if (opt.metrics) {
-    // hw.* readings join the human table (nondeterministic, so they stay
-    // out of the machine-readable "metrics" JSON section above).
+    // hw.* and scheduler readings join the human table (nondeterministic,
+    // so they stay out of the machine-readable "metrics" JSON section
+    // above).
     if (hw) {
       obs::export_metrics(hw_total, registry, "hw");
     }
+    sim::export_scheduler_metrics(result, registry);
     std::printf("\nmetrics:\n%s", metrics_table(registry).to_string().c_str());
   }
   return 0;

@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "nn/model_zoo.hpp"
+#include "nn/zoo_build.hpp"
 #include "sc/kernels/kernels.hpp"
 #include "sc/rng.hpp"
 #include "sim/backend.hpp"
@@ -182,6 +184,80 @@ void run_throughput(obs::Bench& bench, const BenchSuiteOptions& options) {
   }
 }
 
+// --- scaling: the work-stealing scheduler's thread-scaling matrix ---
+
+train::Dataset random_dataset(nn::Shape shape, std::size_t n,
+                              std::uint32_t seed) {
+  train::Dataset data;
+  for (std::size_t i = 0; i < n; ++i) {
+    train::Sample sample;
+    sample.image = random_unit(shape, seed + static_cast<std::uint32_t>(i));
+    sample.label = static_cast<int>(i % 10);
+    data.samples.push_back(std::move(sample));
+  }
+  return data;
+}
+
+void run_scaling(obs::Bench& bench, const BenchSuiteOptions& options) {
+  // Small AND large models on purpose: LeNet-small images are sub-ms (the
+  // per-task scheduling overhead shows), ResNet-18 images are tens of ms
+  // (load imbalance and stealing show); cifar-max adds the serial
+  // stochastic-max stage in between. The gate is monotone throughput
+  // 1 -> 4 threads within the bench.v1 noise thresholds — on a saturated
+  // or single-core host "monotone" degrades to "no regression", which is
+  // exactly what oversubscription must not cause.
+  struct Workload {
+    std::string name;
+    nn::Network net;
+    nn::Shape input;
+    std::size_t images;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"lenet-small",
+                       train::build_lenet_small(nn::AccumMode::kOrApprox, 16),
+                       nn::Shape{16, 16, 1}, options.quick ? 8U : 16U});
+  if (!options.quick) {
+    workloads.push_back(
+        {"cifar-max", train::build_cifar_small_maxpool(nn::AccumMode::kOrApprox),
+         nn::Shape{16, 16, 3}, 8U});
+  }
+  {
+    nn::ZooBuildOptions zoo_opt;
+    zoo_opt.side = 8;
+    zoo_opt.mode = nn::AccumMode::kOrApprox;
+    workloads.push_back({"resnet18",
+                         nn::build_from_descriptor(nn::resnet18(), zoo_opt),
+                         nn::zoo_input_shape(nn::resnet18(), zoo_opt),
+                         options.quick ? 2U : 4U});
+  }
+
+  std::vector<unsigned> sweep = {1, 2, 4};
+  if (options.threads_max != 0) {
+    std::erase_if(sweep, [&](unsigned t) { return t > options.threads_max; });
+    if (sweep.empty()) {
+      sweep.push_back(1);
+    }
+  }
+
+  for (Workload& workload : workloads) {
+    const train::Dataset data =
+        random_dataset(workload.input, workload.images, 500);
+    sim::ScConfig cfg;
+    cfg.stream_length = options.stream;
+    const std::unique_ptr<sim::InferenceBackend> backend =
+        sim::make_backend("sc", workload.net, cfg);
+    for (const unsigned threads : sweep) {
+      sim::BatchEvaluator evaluator(threads);
+      bench.run_value(
+          "scaling/" + workload.name + "/t" + std::to_string(threads),
+          "img/s", /*lower_is_better=*/false, [&] {
+            const sim::EvalResult result = evaluator.evaluate(*backend, data);
+            return result.throughput_sps;
+          });
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<BenchSuite>& bench_suites() {
@@ -194,6 +270,10 @@ const std::vector<BenchSuite>& bench_suites() {
        run_plan},
       {"throughput", "BatchEvaluator images/s at 1..N worker threads",
        run_throughput},
+      {"scaling",
+       "work-stealing thread scaling: img/s at 1/2/4 threads across "
+       "lenet-small, cifar-max, resnet18",
+       run_scaling},
   };
   return suites;
 }

@@ -8,6 +8,9 @@
 //   plan        LayerStreamPlan construction + build for one layer's
 //               weight lanes (the per-network one-time cost)
 //   throughput  BatchEvaluator images/s at 1..N worker threads
+//   scaling     work-stealing scheduler thread-scaling matrix: img/s at
+//               1/2/4 threads across lenet-small, cifar-max and resnet18
+//               (the monotone-scaling gate CI checks)
 //
 // Every suite records into one shared obs::Bench, so the whole run is a
 // single bench.v1 trajectory document `--compare` can gate on. Suites live
